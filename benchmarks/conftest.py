@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+heavyweight suite runs are executed once per configuration
+(``benchmark.pedantic`` with a single round); pytest-benchmark still
+reports the wall time of regenerating each artefact.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a heavyweight experiment exactly once."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,38 @@
+"""Benchmark: the Sections 8-9 instruction-cache study.
+
+Regenerates the prefetch experiment the paper proposes as future work:
+branch-register prefetching should reduce fetch stalls relative to the
+same machine without prefetching, and pollution (unused prefetched lines)
+should stay small.
+"""
+
+from repro.harness.cache9 import run_alignment_study, run_cache_study
+
+
+def test_cache_study(once):
+    result = once(
+        run_cache_study,
+        subset=("wc", "grep", "sort"),
+        configs=((64, 4, 1), (64, 4, 2), (128, 4, 2), (128, 8, 2), (256, 4, 2)),
+    )
+    print()
+    print(result["text"])
+    by_key = {(r.config, r.machine): r for r in result["runs"]}
+    for config in ("64w/4w-line/2-way", "128w/4w-line/2-way", "256w/4w-line/2-way"):
+        with_pf = by_key[(config, "branchreg")]
+        without = by_key[(config, "branchreg-nopf")]
+        # Section 8: prefetching hides or shortens target-fetch misses.
+        assert with_pf.stalls <= without.stalls
+        # Section 9: pollution from unused prefetches stays small.
+        covered = with_pf.stats.fully_covered + with_pf.stats.partial_covered
+        if covered:
+            assert with_pf.stats.unused_prefetches < max(20, covered)
+
+
+def test_alignment_study(once):
+    """Section 9: line-aligned function entries should not hurt, and
+    typically help, the branch-register machine's fetch stalls."""
+    result = once(run_alignment_study, subset=("wc", "grep"))
+    print()
+    print("alignment study:", result)
+    assert result["aligned"] <= result["unaligned"] * 1.05

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate the Section 7 pipeline cycle estimates.
+
+Paper values (3-stage pipeline): baseline ~122.82M cycles; the
+branch-register machine needs 10.6% fewer, with only 13.86% of its
+transfers incurring a prefetch delay; a 4-stage pipeline increases the
+absolute advantage.
+"""
+
+from repro.harness.cycles7 import run_cycle_estimate
+
+
+def test_cycles_full_suite(once):
+    result = once(run_cycle_estimate, stages_list=(3, 4, 5))
+    print()
+    print(result["text"])
+    est3, est4, est5 = result["estimates"]
+    # The branch-register machine wins at every depth.
+    for est in (est3, est4, est5):
+        assert est["branchreg"].cycles < est["baseline"].cycles
+        assert est["baseline"].cycles < est["no_delay"].cycles
+    # Double-digit percentage saving at three stages (paper: 10.6%).
+    assert est3["saving_vs_baseline"] > 0.10
+    # Only a minority of transfers are delayed at three stages
+    # (paper: 13.86%).
+    assert est3["delayed_fraction"] < 0.35
+    # Deeper pipelines widen the absolute cycle advantage.
+    adv = [
+        est["baseline"].cycles - est["branchreg"].cycles
+        for est in (est3, est4, est5)
+    ]
+    assert adv[0] < adv[1] < adv[2]

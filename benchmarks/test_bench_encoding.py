@@ -1,0 +1,32 @@
+"""Benchmark: Figures 10-11 -- every generated instruction for the whole
+suite fits its machine's 32-bit instruction formats."""
+
+from repro.codegen.baseline_gen import generate_baseline
+from repro.codegen.branchreg_gen import generate_branchreg
+from repro.lang.frontend import compile_to_ir
+from repro.machine.encoding import validate_program
+from repro.workloads import all_workloads
+
+
+def _encode_suite():
+    totals = {"baseline": 0, "branchreg": 0}
+    for w in all_workloads():
+        totals["baseline"] += validate_program(
+            generate_baseline(compile_to_ir(w.source))
+        )
+        totals["branchreg"] += validate_program(
+            generate_branchreg(compile_to_ir(w.source))
+        )
+    return totals
+
+
+def test_fig10_11_formats(once):
+    totals = once(_encode_suite)
+    print()
+    print("static code size (words): %r" % totals)
+    assert totals["baseline"] > 4000
+    assert totals["branchreg"] > 4000
+    # The branch-register machine trades branch instructions for address
+    # calculations; static size stays in the same ballpark.
+    ratio = totals["branchreg"] / totals["baseline"]
+    assert 0.9 < ratio < 1.2

@@ -1,0 +1,20 @@
+"""Benchmark: Section 9's small-cache argument -- loop bodies shrink.
+
+"Since instructions to calculate branch target addresses can be moved out
+of loops, the number of instructions in loops will be fewer.  This may
+improve cache performance in machines with small on-chip caches."
+"""
+
+from repro.harness.loopsize import run_loop_size_study
+
+
+def test_loop_bodies_shrink(once):
+    result = once(run_loop_size_study)
+    print()
+    print(result["text"])
+    assert result["branchreg_total"] < result["baseline_total"]
+    # Every single program's static loop footprint shrinks.
+    for row in result["rows"]:
+        assert row["branchreg"] <= row["baseline"], row["program"]
+    shrink = 1 - result["branchreg_total"] / result["baseline_total"]
+    assert shrink > 0.05

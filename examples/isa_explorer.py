@@ -1,0 +1,61 @@
+"""Explore the two ISAs: paper-notation listings and Figure 10/11 words.
+
+Compiles a small function for both machines, prints the RTL listings side
+by side, and shows the 32-bit encodings of a few branch-register-machine
+instructions.
+
+Run:  python examples/isa_explorer.py
+"""
+
+from repro.codegen.baseline_gen import generate_baseline
+from repro.codegen.branchreg_gen import generate_branchreg
+from repro.lang.frontend import compile_to_ir
+from repro.machine.encoding import BaselineEncoder, BranchRegEncoder
+from repro.rtl.printer import listing, minstr_text
+
+SOURCE = """
+int sum_to(int n) {
+    int total = 0;
+    int i;
+    for (i = 1; i <= n; i++)
+        total += i;
+    return total;
+}
+
+int main() {
+    return sum_to(10);
+}
+"""
+
+
+def main():
+    baseline = generate_baseline(compile_to_ir(SOURCE))
+    branchreg = generate_branchreg(compile_to_ir(SOURCE))
+
+    print("=== baseline machine (delayed branches) ===")
+    print(listing(baseline.function("sum_to").instrs))
+    print()
+    print("=== branch-register machine ===")
+    print(listing(branchreg.function("sum_to").instrs))
+    print()
+
+    print("=== Figure 11 encodings (branch-register machine) ===")
+    encoder = BranchRegEncoder(branchreg.spec)
+    for ins in branchreg.function("sum_to").instrs:
+        if ins.is_label():
+            continue
+        word = encoder.encode(ins, disp_words=0)
+        print("0x%08X  %s" % (word, minstr_text(ins)))
+    print()
+
+    print("=== Figure 10 encodings (baseline machine) ===")
+    encoder = BaselineEncoder(baseline.spec)
+    for ins in baseline.function("sum_to").instrs[:8]:
+        if ins.is_label():
+            continue
+        word = encoder.encode(ins, disp_words=0)
+        print("0x%08X  %s" % (word, minstr_text(ins)))
+
+
+if __name__ == "__main__":
+    main()

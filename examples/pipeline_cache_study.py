@@ -1,0 +1,36 @@
+"""Section 7-9 study on a subset of the Appendix I programs: pipeline
+cycle estimates at several depths, plus the prefetching-cache experiment.
+
+Run:  python examples/pipeline_cache_study.py
+"""
+
+from repro.harness.cache9 import run_cache_study
+from repro.harness.cycles7 import run_cycle_estimate
+from repro.pipeline.diagrams import conditional_diagram, unconditional_diagram
+
+SUBSET = ("wc", "grep", "sieve", "sort")
+
+
+def main():
+    print("Pipeline delay ladders (Figures 5 and 7):")
+    for machine in ("no-delay", "delayed", "branchreg"):
+        diagram, delay = unconditional_diagram(machine, 3)
+        print(diagram)
+        print("  -> unconditional delay: %d cycles\n" % delay)
+    for machine in ("no-delay", "delayed", "branchreg"):
+        _diagram, delay = conditional_diagram(machine, 3)
+        print("  %-10s conditional delay at 3 stages: %d" % (machine, delay))
+    print()
+
+    print("Section 7 cycle estimates on %s:" % (SUBSET,))
+    result = run_cycle_estimate(stages_list=(3, 4, 5), subset=SUBSET)
+    print(result["text"])
+    print()
+
+    print("Section 8/9 cache study (stalls include fetch misses):")
+    study = run_cache_study(subset=("wc", "grep"), configs=((64, 4, 2), (128, 4, 2)))
+    print(study["text"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: compile one SmallC program for both machines and compare.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import run_pair
+
+SOURCE = """
+int collatz_len(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2)
+            n = 3 * n + 1;
+        else
+            n = n / 2;
+        steps++;
+    }
+    return steps;
+}
+
+int main() {
+    int n;
+    int best = 0;
+    int best_n = 1;
+    for (n = 1; n <= 60; n++) {
+        int length = collatz_len(n);
+        if (length > best) {
+            best = length;
+            best_n = n;
+        }
+    }
+    print_str("longest chain below 60: n=");
+    print_int(best_n);
+    print_str(" len=");
+    print_int(best);
+    putchar('\\n');
+    return 0;
+}
+"""
+
+
+def main():
+    pair = run_pair(SOURCE, name="collatz")
+    print("program output:", pair.output.decode().strip())
+    print()
+    header = "%-22s %15s %15s" % ("", "baseline", "branch-register")
+    print(header)
+    rows = [
+        ("instructions", "instructions"),
+        ("data references", "data_refs"),
+        ("transfers of control", "transfers"),
+        ("noops executed", "noops"),
+    ]
+    for label, attr in rows:
+        print(
+            "%-22s %15d %15d"
+            % (label, getattr(pair.baseline, attr), getattr(pair.branchreg, attr))
+        )
+    print()
+    print(
+        "branch-register machine executes %.1f%% fewer instructions"
+        % (100 * pair.instruction_reduction())
+    )
+    print(
+        "with %.1f%% more data references"
+        % (100 * pair.data_ref_increase())
+    )
+
+
+if __name__ == "__main__":
+    main()

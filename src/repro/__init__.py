@@ -1,0 +1,55 @@
+"""Reproduction of Davidson & Whalley, "Reducing the Cost of Branches by
+Using Registers" (ISCA 1990).
+
+Public API overview
+-------------------
+
+Compile and run a SmallC program on both machines::
+
+    from repro import run_pair
+    result = run_pair(source, stdin=b"...", name="demo")
+    result.baseline.instructions, result.branchreg.instructions
+
+Reproduce the paper's evaluation::
+
+    from repro.harness.table1 import run_table1
+    from repro.harness.cycles7 import run_cycle_estimate
+    print(run_table1()["text"])
+    print(run_cycle_estimate()["text"])
+
+Layers (see DESIGN.md):
+
+* :mod:`repro.lang` -- the SmallC front end;
+* :mod:`repro.opt` -- machine-independent optimizations + register allocation;
+* :mod:`repro.codegen` -- the two target code generators;
+* :mod:`repro.machine` -- machine specs and Figure 10/11 encodings;
+* :mod:`repro.emu` -- the EASE-style emulators;
+* :mod:`repro.pipeline`, :mod:`repro.cache` -- timing and cache models;
+* :mod:`repro.workloads` -- the 19 Appendix I test programs;
+* :mod:`repro.harness` -- one driver per paper table/figure.
+"""
+
+from repro.ease.environment import (
+    PairResult,
+    compile_for_machine,
+    run_on_machine,
+    run_pair,
+)
+from repro.lang.frontend import compile_to_ir
+from repro.machine.spec import baseline_spec, branchreg_spec
+from repro.workloads import all_workloads, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PairResult",
+    "compile_for_machine",
+    "run_on_machine",
+    "run_pair",
+    "compile_to_ir",
+    "baseline_spec",
+    "branchreg_spec",
+    "all_workloads",
+    "workload",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Instruction-cache model with branch-register prefetching (Section 8)."""
+
+from repro.cache.icache import ICacheStats, PrefetchICache
+
+__all__ = ["ICacheStats", "PrefetchICache"]

@@ -1,0 +1,154 @@
+"""Instruction cache with branch-register prefetch (Sections 8-9).
+
+The paper's Section 8: "each assignment to a branch register has the side
+effect of directing the instruction cache to prefetch the line associated
+with the instruction address", with a busy bit per line being filled and a
+prefetch queue "with the size of the queue equal to the number of
+available branch registers".  Section 9 lists the organisation questions
+(associativity, line size, total size, pollution) as future work; the
+:mod:`repro.harness.cache9` experiment sweeps them.
+
+The model is a set-associative cache with LRU replacement, a fixed miss
+penalty, per-line readiness times (the busy bit), and a bounded number of
+in-flight prefetches.  Demand fetches that arrive while their line is
+still being filled stall only for the *remaining* fill time -- the partial
+coverage that makes prefetching worthwhile even when it is late.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ICacheStats:
+    demand_accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    stall_cycles: int = 0
+    full_miss_stalls: int = 0
+    partial_covered: int = 0  # demand arrived while prefetch in flight
+    fully_covered: int = 0  # prefetched line ready before demand
+    prefetches: int = 0
+    prefetch_drops: int = 0  # queue full
+    unused_prefetches: int = 0  # prefetched lines evicted untouched
+    pollution_evictions: int = 0  # evictions caused by prefetched lines
+
+    @property
+    def miss_rate(self):
+        if not self.demand_accesses:
+            return 0.0
+        return self.misses / self.demand_accesses
+
+
+class _Line:
+    __slots__ = ("tag", "ready", "last_used", "prefetched", "touched")
+
+    def __init__(self, tag, ready, last_used, prefetched):
+        self.tag = tag
+        self.ready = ready
+        self.last_used = last_used
+        self.prefetched = prefetched
+        self.touched = False
+
+
+class PrefetchICache:
+    """Set-associative instruction cache with optional prefetching."""
+
+    def __init__(
+        self,
+        words=256,
+        line_words=4,
+        assoc=2,
+        miss_penalty=8,
+        queue_size=8,
+        prefetch_enabled=True,
+    ):
+        if words % (line_words * assoc):
+            raise ValueError("cache size must be a multiple of line*assoc")
+        self.line_words = line_words
+        self.assoc = assoc
+        self.miss_penalty = miss_penalty
+        self.queue_size = queue_size
+        self.prefetch_enabled = prefetch_enabled
+        self.n_sets = words // (line_words * assoc)
+        self.sets = [[] for _ in range(self.n_sets)]  # lists of _Line
+        self.stats = ICacheStats()
+        self._clock = 0  # LRU tick
+
+    # -- helpers -----------------------------------------------------------
+
+    def _locate(self, addr):
+        line_addr = addr >> (2 + self.line_words.bit_length() - 1)
+        index = line_addr % self.n_sets
+        tag = line_addr // self.n_sets
+        return index, tag
+
+    def _find(self, index, tag):
+        for line in self.sets[index]:
+            if line.tag == tag:
+                return line
+        return None
+
+    def _insert(self, index, tag, ready, prefetched):
+        ways = self.sets[index]
+        self._clock += 1
+        if len(ways) >= self.assoc:
+            victim = min(ways, key=lambda l: l.last_used)
+            ways.remove(victim)
+            if victim.prefetched and not victim.touched:
+                self.stats.unused_prefetches += 1
+            if prefetched:
+                self.stats.pollution_evictions += 1
+        line = _Line(tag, ready, self._clock, prefetched)
+        ways.append(line)
+        return line
+
+    def _in_flight(self, now):
+        count = 0
+        for ways in self.sets:
+            for line in ways:
+                if line.prefetched and line.ready > now:
+                    count += 1
+        return count
+
+    # -- interface used by the emulators ------------------------------------
+
+    def demand(self, addr, now):
+        """Demand instruction fetch; returns stall cycles."""
+        self.stats.demand_accesses += 1
+        index, tag = self._locate(addr)
+        line = self._find(index, tag)
+        self._clock += 1
+        if line is not None:
+            line.last_used = self._clock
+            line.touched = True
+            if line.ready <= now:
+                self.stats.hits += 1
+                if line.prefetched:
+                    self.stats.fully_covered += 1
+                    line.prefetched = False  # count the cover once
+                return 0
+            # Line still being filled by a prefetch: partial cover.
+            stall = line.ready - now
+            self.stats.partial_covered += 1
+            self.stats.misses += 1
+            self.stats.stall_cycles += stall
+            line.prefetched = False
+            return stall
+        self.stats.misses += 1
+        self.stats.full_miss_stalls += 1
+        self.stats.stall_cycles += self.miss_penalty
+        self._insert(index, tag, now + self.miss_penalty, prefetched=False)
+        return self.miss_penalty
+
+    def prefetch(self, addr, now):
+        """Prefetch request from a branch-register assignment."""
+        if not self.prefetch_enabled:
+            return
+        index, tag = self._locate(addr)
+        if self._find(index, tag) is not None:
+            return  # already present (or already being fetched)
+        self.stats.prefetches += 1
+        if self._in_flight(now) >= self.queue_size:
+            self.stats.prefetch_drops += 1
+            return
+        self._insert(index, tag, now + self.miss_penalty, prefetched=True)

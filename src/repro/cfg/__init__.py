@@ -1,0 +1,30 @@
+"""Control-flow analyses: blocks, dominators, loops, liveness, frequency."""
+
+from repro.cfg.blocks import CFG, BasicBlock
+from repro.cfg.build import build_cfg
+from repro.cfg.dom import compute_dominators, dominates
+from repro.cfg.freq import estimate_frequencies
+from repro.cfg.liveness import compute_liveness, per_instruction_liveness
+from repro.cfg.loops import (
+    Loop,
+    ensure_preheader,
+    find_loops,
+    innermost_loop_of,
+    preheader_is_safe,
+)
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "compute_dominators",
+    "dominates",
+    "estimate_frequencies",
+    "compute_liveness",
+    "per_instruction_liveness",
+    "Loop",
+    "ensure_preheader",
+    "find_loops",
+    "innermost_loop_of",
+    "preheader_is_safe",
+]

@@ -1,0 +1,105 @@
+"""Basic blocks and the control-flow graph."""
+
+
+class BasicBlock:
+    """A maximal straight-line sequence of IR instructions.
+
+    Attributes:
+        index: position in the CFG's block list.
+        labels: label names that start this block.
+        instrs: instructions (without label markers).
+        succs / preds: lists of neighbouring blocks.
+        loop_depth: nesting depth filled in by loop analysis.
+        freq: estimated execution frequency filled in by
+            :mod:`repro.cfg.freq`.
+    """
+
+    def __init__(self, index):
+        self.index = index
+        self.labels = []
+        self.instrs = []
+        self.succs = []
+        self.preds = []
+        self.loop_depth = 0
+        self.freq = 1.0
+
+    def terminator(self):
+        """The final transfer instruction, or None if the block falls
+        through."""
+        if self.instrs and self.instrs[-1].is_transfer():
+            return self.instrs[-1]
+        return None
+
+    def first_label(self):
+        return self.labels[0] if self.labels else None
+
+    def __repr__(self):
+        return "<B%d %s: %d instrs>" % (
+            self.index,
+            ",".join(self.labels) or "-",
+            len(self.instrs),
+        )
+
+
+class CFG:
+    """Control-flow graph of one function."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.blocks = []
+        self.entry = None
+        self.label_to_block = {}
+
+    def new_block(self):
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src, dst):
+        if dst not in src.succs:
+            src.succs.append(dst)
+        if src not in dst.preds:
+            dst.preds.append(src)
+
+    def block_of_label(self, name):
+        return self.label_to_block.get(name)
+
+    def reindex(self):
+        for i, block in enumerate(self.blocks):
+            block.index = i
+
+    def remove_unreachable(self):
+        """Drop blocks not reachable from the entry block."""
+        reachable = set()
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            if id(block) in reachable:
+                continue
+            reachable.add(id(block))
+            stack.extend(block.succs)
+        kept = [b for b in self.blocks if id(b) in reachable]
+        for block in kept:
+            block.preds = [p for p in block.preds if id(p) in reachable]
+        self.blocks = kept
+        self.label_to_block = {
+            name: block
+            for name, block in self.label_to_block.items()
+            if id(block) in reachable
+        }
+        self.reindex()
+
+    def linearize(self):
+        """Flatten the CFG back into an IR instruction list, re-emitting
+        label markers."""
+        from repro.rtl import instr as I
+
+        out = []
+        for block in self.blocks:
+            for name in block.labels:
+                out.append(I.label(name))
+            out.extend(block.instrs)
+        return out
+
+    def __repr__(self):
+        return "<CFG %s: %d blocks>" % (self.fn.name, len(self.blocks))

@@ -1,0 +1,60 @@
+"""CFG construction from a flat IR instruction list."""
+
+from repro.cfg.blocks import CFG
+
+
+def build_cfg(fn):
+    """Split ``fn.instrs`` into basic blocks and wire the edges.
+
+    Leaders are: the first instruction, every labelled instruction, and
+    every instruction following a transfer.  ``call`` does not end a block
+    (it always returns to the next instruction); ``trap`` likewise.
+    """
+    cfg = CFG(fn)
+    current = cfg.new_block()
+    cfg.entry = current
+    started = False
+
+    def fresh_block():
+        nonlocal current, started
+        block = cfg.new_block()
+        current = block
+        started = False
+        return block
+
+    pending_labels = []
+    for ins in fn.instrs:
+        if ins.is_label():
+            if started:
+                fresh_block()
+            current.labels.append(ins.name)
+            cfg.label_to_block[ins.name] = current
+            continue
+        current.instrs.append(ins)
+        started = True
+        if ins.is_transfer() and ins.op != "call":
+            fresh_block()
+    # Wire edges.
+    blocks = cfg.blocks
+    for i, block in enumerate(blocks):
+        term = block.terminator()
+        next_block = blocks[i + 1] if i + 1 < len(blocks) else None
+        if term is None or term.op == "call":
+            if next_block is not None:
+                cfg.add_edge(block, next_block)
+            continue
+        if term.op in ("br", "fbr"):
+            cfg.add_edge(block, cfg.label_to_block[term.target.name])
+            if next_block is not None:
+                cfg.add_edge(block, next_block)
+        elif term.op == "jmp":
+            cfg.add_edge(block, cfg.label_to_block[term.target.name])
+        elif term.op == "ijmp":
+            for name in term.args:
+                cfg.add_edge(block, cfg.label_to_block[name])
+        elif term.op == "ret":
+            pass
+        else:
+            raise AssertionError("unexpected terminator %r" % term.op)
+    cfg.remove_unreachable()
+    return cfg

@@ -1,0 +1,40 @@
+"""Dominator computation (iterative dataflow, Cooper-Harvey-Kennedy style
+simplified to bitset iteration -- our CFGs are small)."""
+
+
+def compute_dominators(cfg):
+    """Return a dict block -> set of blocks that dominate it (including
+    itself)."""
+    blocks = cfg.blocks
+    if not blocks:
+        return {}
+    all_ids = set(range(len(blocks)))
+    dom = {b.index: set(all_ids) for b in blocks}
+    dom[cfg.entry.index] = {cfg.entry.index}
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks:
+            if block is cfg.entry:
+                continue
+            preds = [p for p in block.preds]
+            if preds:
+                new = set(all_ids)
+                for p in preds:
+                    new &= dom[p.index]
+            else:
+                new = set()
+            new.add(block.index)
+            if new != dom[block.index]:
+                dom[block.index] = new
+                changed = True
+    by_block = {}
+    index_map = {b.index: b for b in blocks}
+    for block in blocks:
+        by_block[block] = {index_map[i] for i in dom[block.index]}
+    return by_block
+
+
+def dominates(dom, a, b):
+    """True if block ``a`` dominates block ``b``."""
+    return a in dom[b]

@@ -1,0 +1,55 @@
+"""Backward liveness analysis over virtual registers."""
+
+
+def compute_liveness(cfg):
+    """Per-block live-in/live-out sets of register operands.
+
+    Returns ``(live_in, live_out)`` dicts keyed by block.  Works on any
+    instruction object exposing ``defs()``/``uses()`` (IR instructions and
+    target MInstrs wrapped by the allocator adapter).
+    """
+    use = {}
+    defs = {}
+    for block in cfg.blocks:
+        u = set()
+        d = set()
+        for ins in block.instrs:
+            for reg in ins.uses():
+                if reg not in d:
+                    u.add(reg)
+            for reg in ins.defs():
+                d.add(reg)
+        use[block] = u
+        defs[block] = d
+    live_in = {b: set() for b in cfg.blocks}
+    live_out = {b: set() for b in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            out = set()
+            for succ in block.succs:
+                out |= live_in[succ]
+            new_in = use[block] | (out - defs[block])
+            if out != live_out[block] or new_in != live_in[block]:
+                live_out[block] = out
+                live_in[block] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def per_instruction_liveness(block, live_out):
+    """Live sets *after* each instruction in the block, front to back.
+
+    Returns a list ``live_after`` with one set per instruction.
+    """
+    live = set(live_out)
+    after = [None] * len(block.instrs)
+    for i in range(len(block.instrs) - 1, -1, -1):
+        ins = block.instrs[i]
+        after[i] = set(live)
+        for reg in ins.defs():
+            live.discard(reg)
+        for reg in ins.uses():
+            live.add(reg)
+    return after

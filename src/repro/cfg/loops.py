@@ -1,0 +1,200 @@
+"""Natural-loop detection and preheader creation.
+
+The paper's Section 5 optimization hoists branch-target-address
+calculations into "the preheader of the innermost loop in which the branch
+occurs", so loop structure and preheaders are first-class here.
+"""
+
+from repro.cfg.dom import compute_dominators
+from repro.rtl import instr as I
+from repro.rtl.operand import Label
+
+
+class Loop:
+    """One natural loop.
+
+    Attributes:
+        header: the loop header block.
+        blocks: set of member blocks (including the header).
+        parent: enclosing loop or None.
+        depth: nesting depth (outermost = 1).
+        preheader: dedicated preheader block, once created.
+    """
+
+    def __init__(self, header):
+        self.header = header
+        self.blocks = {header}
+        self.parent = None
+        self.depth = 1
+        self.preheader = None
+
+    def contains(self, block):
+        return block in self.blocks
+
+    def contains_call(self):
+        for block in self.blocks:
+            for ins in block.instrs:
+                if ins.op == "call" or (
+                    hasattr(ins, "is_baseline_transfer") and ins.op == "call"
+                ):
+                    return True
+        return False
+
+    def __repr__(self):
+        return "<Loop hdr=B%d depth=%d blocks=%d>" % (
+            self.header.index,
+            self.depth,
+            len(self.blocks),
+        )
+
+
+def find_loops(cfg):
+    """Find all natural loops, merge loops sharing a header, establish the
+    nesting relation, and annotate ``block.loop_depth``."""
+    dom = compute_dominators(cfg)
+    loops_by_header = {}
+    for block in cfg.blocks:
+        for succ in block.succs:
+            if succ in dom[block]:  # back edge block -> succ
+                loop = loops_by_header.get(succ)
+                if loop is None:
+                    loop = Loop(succ)
+                    loops_by_header[succ] = loop
+                _collect_loop_body(loop, block)
+    loops = list(loops_by_header.values())
+    # Nesting: the parent is the smallest strictly-containing loop.
+    for loop in loops:
+        candidates = [
+            other
+            for other in loops
+            if other is not loop
+            and loop.header in other.blocks
+            and loop.blocks <= other.blocks
+        ]
+        if candidates:
+            loop.parent = min(candidates, key=lambda l: len(l.blocks))
+    for loop in loops:
+        depth = 1
+        parent = loop.parent
+        while parent is not None:
+            depth = depth + 1
+            parent = parent.parent
+        loop.depth = depth
+    for block in cfg.blocks:
+        block.loop_depth = 0
+    for loop in sorted(loops, key=lambda l: l.depth):
+        for block in loop.blocks:
+            block.loop_depth = max(block.loop_depth, loop.depth)
+    return loops
+
+
+def _collect_loop_body(loop, tail):
+    """Add to ``loop`` every block that can reach ``tail`` without passing
+    through the header (the classic natural-loop body walk)."""
+    stack = [tail]
+    while stack:
+        block = stack.pop()
+        if block in loop.blocks:
+            continue
+        loop.blocks.add(block)
+        stack.extend(block.preds)
+
+
+def ensure_preheader(cfg, loop, fn):
+    """Return the loop's preheader, creating one if necessary.
+
+    A preheader is a block whose only successor is the loop header and
+    whose successors-from-outside-the-loop all funnel through it.  When the
+    header already has exactly one out-of-loop predecessor that falls
+    through or jumps unconditionally to the header, that predecessor is
+    used directly (the paper's wording: "the basic block that precedes the
+    first basic block that is executed in the loop").
+    """
+    if loop.preheader is not None:
+        return loop.preheader
+    outside_preds = [p for p in loop.header.preds if p not in loop.blocks]
+    if len(outside_preds) == 1:
+        pred = outside_preds[0]
+        term = pred.terminator()
+        sole_jump = (
+            term is not None
+            and term.op == "jmp"
+            and term.target.name in loop.header.labels
+        )
+        falls_through = term is None or term.op == "call"
+        if (sole_jump or falls_through) and len(pred.succs) == 1:
+            loop.preheader = pred
+            return pred
+    # Create a fresh preheader block, *inserted in layout immediately
+    # before the header* so that out-of-loop fall-through still works.
+    pre = _make_block_before(cfg, loop.header)
+    pre_label = fn.new_label("Lpre")
+    pre.labels.append(pre_label)
+    cfg.label_to_block[pre_label] = pre
+    header_label = loop.header.first_label()
+    if header_label is None:
+        header_label = fn.new_label("Lhdr")
+        loop.header.labels.append(header_label)
+        cfg.label_to_block[header_label] = loop.header
+    # In-loop predecessors that previously fell through into the header
+    # would now fall into the preheader; give them an explicit jump.
+    header_pos = cfg.blocks.index(loop.header)
+    fallthrough_pos = header_pos - 2  # block physically before the preheader
+    if fallthrough_pos >= 0:
+        prev = cfg.blocks[fallthrough_pos]
+        if (
+            prev in loop.blocks
+            and loop.header in prev.succs
+            and prev.terminator() is None
+        ):
+            prev.instrs.append(I.jump(Label(header_label)))
+    # Redirect out-of-loop predecessors (explicit jumps and branches; the
+    # physical-fall-through case is handled by the insertion position).
+    for pred in list(outside_preds):
+        term = pred.terminator()
+        if term is not None and term.op in ("br", "fbr", "jmp"):
+            if term.target.name in loop.header.labels:
+                term.target = Label(pre_label)
+        pred.succs = [pre if s is loop.header else s for s in pred.succs]
+        if pred not in pre.preds:
+            pre.preds.append(pred)
+    loop.header.preds = [p for p in loop.header.preds if p in loop.blocks] + [pre]
+    pre.succs = [loop.header]
+    pre.loop_depth = max(loop.depth - 1, 0)
+    pre.freq = max((p.freq for p in pre.preds), default=1.0)
+    loop.preheader = pre
+    return pre
+
+
+def _make_block_before(cfg, anchor):
+    """Create a new block placed immediately before ``anchor`` in layout
+    order."""
+    from repro.cfg.blocks import BasicBlock
+
+    block = BasicBlock(0)
+    position = cfg.blocks.index(anchor)
+    cfg.blocks.insert(position, block)
+    cfg.reindex()
+    return block
+
+
+def preheader_is_safe(loop):
+    """A preheader is unusable when the header is entered by an indirect
+    jump from outside the loop (cannot be redirected)."""
+    for pred in loop.header.preds:
+        if pred in loop.blocks:
+            continue
+        term = pred.terminator()
+        if term is not None and term.op == "ijmp":
+            return False
+    return True
+
+
+def innermost_loop_of(loops, block):
+    """The innermost loop containing ``block``, or None."""
+    best = None
+    for loop in loops:
+        if block in loop.blocks:
+            if best is None or loop.depth > best.depth:
+                best = loop
+    return best

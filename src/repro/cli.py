@@ -1,0 +1,223 @@
+"""Command-line interface.
+
+Usage (``python -m repro <command> ...``):
+
+* ``run FILE [--stdin FILE] [--machine both|baseline|branchreg]`` --
+  compile a SmallC file, emulate it, print its output and measurements;
+* ``asm FILE [--machine baseline|branchreg] [--function NAME]`` -- print
+  the generated code in the paper's RTL notation;
+* ``table1 [--subset a,b,c]`` -- regenerate Table I;
+* ``cycles [--stages 3,4,5]`` -- regenerate the Section 7 cycle estimates;
+* ``figures`` -- print the Figure 2-9 reproductions;
+* ``cache`` -- run the Section 8/9 instruction-cache study;
+* ``ablation`` -- run the Section 9 sweeps;
+* ``workloads`` -- list the Appendix I suite.
+"""
+
+import argparse
+import sys
+
+from repro.codegen.baseline_gen import generate_baseline
+from repro.codegen.branchreg_gen import generate_branchreg
+from repro.ease.environment import run_on_machine, run_pair
+from repro.lang.frontend import compile_to_ir
+from repro.rtl.printer import listing
+
+
+def _read(path):
+    with open(path, "r") as handle:
+        return handle.read()
+
+
+def _read_bytes(path):
+    if path is None:
+        return b""
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def cmd_run(args):
+    source = _read(args.file)
+    stdin = _read_bytes(args.stdin)
+    if args.machine == "both":
+        pair = run_pair(source, stdin=stdin, name=args.file)
+        sys.stdout.write(pair.output.decode("latin-1"))
+        print("--- measurements " + "-" * 40)
+        print(
+            "%-16s %12s %12s" % ("", "baseline", "branch-reg")
+        )
+        for label, attr in [
+            ("instructions", "instructions"),
+            ("data refs", "data_refs"),
+            ("transfers", "transfers"),
+            ("noops", "noops"),
+        ]:
+            print(
+                "%-16s %12d %12d"
+                % (label, getattr(pair.baseline, attr), getattr(pair.branchreg, attr))
+            )
+        print(
+            "%-16s %24.1f%%"
+            % ("instr change", -100.0 * pair.instruction_reduction())
+        )
+        return 0
+    stats = run_on_machine(source, args.machine, stdin=stdin, name=args.file)
+    sys.stdout.write(stats.output.decode("latin-1"))
+    print("--- %s: %d instructions, %d data refs, %d transfers"
+          % (args.machine, stats.instructions, stats.data_refs, stats.transfers))
+    return stats.exit_code
+
+
+def cmd_asm(args):
+    source = _read(args.file)
+    program = compile_to_ir(source)
+    if args.machine == "baseline":
+        mprog = generate_baseline(program)
+    else:
+        mprog = generate_branchreg(program)
+    for fn in mprog.functions:
+        if args.function and fn.name != args.function:
+            continue
+        print(listing(fn.instrs))
+        print()
+    return 0
+
+
+def cmd_trace(args):
+    from repro.codegen.baseline_gen import generate_baseline as gen_base
+    from repro.codegen.branchreg_gen import generate_branchreg as gen_br
+    from repro.emu.loader import Image
+    from repro.emu.trace import trace_run
+
+    source = _read(args.file)
+    program = compile_to_ir(source)
+    if args.machine == "baseline":
+        image = Image(gen_base(program))
+    else:
+        image = Image(gen_br(program))
+    trace, stats = trace_run(
+        image,
+        args.machine,
+        stdin=_read_bytes(args.stdin),
+        max_entries=args.max_entries,
+        function=args.function,
+    )
+    print(trace)
+    print(
+        "--- %d instructions executed, output: %r"
+        % (stats.instructions, stats.output.decode("latin-1"))
+    )
+    return 0
+
+
+def cmd_table1(args):
+    from repro.harness.table1 import run_table1
+
+    subset = tuple(args.subset.split(",")) if args.subset else None
+    print(run_table1(subset=subset)["text"])
+    return 0
+
+
+def cmd_cycles(args):
+    from repro.harness.cycles7 import run_cycle_estimate
+
+    stages = tuple(int(s) for s in args.stages.split(","))
+    subset = tuple(args.subset.split(",")) if args.subset else None
+    print(run_cycle_estimate(stages_list=stages, subset=subset)["text"])
+    return 0
+
+
+def cmd_figures(_args):
+    from repro.harness import figures
+
+    figures.main()
+    return 0
+
+
+def cmd_cache(_args):
+    from repro.harness.cache9 import run_cache_study
+
+    print(run_cache_study()["text"])
+    return 0
+
+
+def cmd_ablation(_args):
+    from repro.harness.ablation import main as ablation_main
+
+    ablation_main()
+    return 0
+
+
+def cmd_workloads(_args):
+    from repro.workloads import all_workloads
+
+    print("%-11s %-10s %s" % ("name", "class", "description"))
+    for w in all_workloads():
+        print("%-11s %-10s %s" % (w.name, w.cls, w.description))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Reducing the Cost of Branches by "
+        "Using Registers' (ISCA 1990)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="compile and emulate a SmallC file")
+    p_run.add_argument("file")
+    p_run.add_argument("--stdin", default=None, help="file fed to getchar()")
+    p_run.add_argument(
+        "--machine", choices=("both", "baseline", "branchreg"), default="both"
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_asm = sub.add_parser("asm", help="print generated RTLs")
+    p_asm.add_argument("file")
+    p_asm.add_argument(
+        "--machine", choices=("baseline", "branchreg"), default="branchreg"
+    )
+    p_asm.add_argument("--function", default=None)
+    p_asm.set_defaults(func=cmd_asm)
+
+    p_tr = sub.add_parser("trace", help="annotated execution trace")
+    p_tr.add_argument("file")
+    p_tr.add_argument("--stdin", default=None)
+    p_tr.add_argument(
+        "--machine", choices=("baseline", "branchreg"), default="branchreg"
+    )
+    p_tr.add_argument("--function", default=None)
+    p_tr.add_argument("--max-entries", type=int, default=60)
+    p_tr.set_defaults(func=cmd_trace)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table I")
+    p_t1.add_argument("--subset", default=None, help="comma-separated names")
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_cy = sub.add_parser("cycles", help="Section 7 cycle estimates")
+    p_cy.add_argument("--stages", default="3,4,5")
+    p_cy.add_argument("--subset", default=None)
+    p_cy.set_defaults(func=cmd_cycles)
+
+    sub.add_parser("figures", help="Figures 2-9").set_defaults(func=cmd_figures)
+    sub.add_parser("cache", help="Sections 8-9 cache study").set_defaults(
+        func=cmd_cache
+    )
+    sub.add_parser("ablation", help="Section 9 sweeps").set_defaults(
+        func=cmd_ablation
+    )
+    sub.add_parser("workloads", help="list the Appendix I suite").set_defaults(
+        func=cmd_workloads
+    )
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

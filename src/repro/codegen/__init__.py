@@ -1,0 +1,1 @@
+"""Target code generation for the baseline and branch-register machines."""

@@ -1,0 +1,296 @@
+"""Code generator for the baseline machine (Section 7, Figure 10).
+
+The baseline machine is a conventional RISC: condition-code compare
+(``cmp``/``fcmp``), delayed branches (``bcc``/``jmp``/``call``/``ijmp``/
+``retrt``), a dedicated return-address cell ``RT`` written by ``call``, and
+32+32 registers.  Every transfer of control is emitted followed by an
+explicit ``noop`` in its delay slot; :mod:`repro.codegen.delayslots` later
+fills slots with useful instructions where possible, exactly as the
+paper's Figure 3 output shows.
+"""
+
+from repro.codegen.common import MInstr, mlabel, mnoop
+from repro.codegen.lowering import (
+    FrameLayout,
+    Legalizer,
+    MachineFunction,
+    MachineProgram,
+    emit_arg_setup,
+    emit_moves,
+)
+from repro.errors import CodegenError
+from repro.machine.spec import baseline_spec
+from repro.opt.pipeline import optimize_function
+from repro.opt.cse import pool_constants
+from repro.opt.legalize import legalize_immediates
+from repro.opt.licm import hoist_loop_invariants
+from repro.opt.regalloc import allocate, reserved_temps
+from repro.rtl.operand import Imm, Sym, VReg
+
+
+class BaselineFunctionGen:
+    """Lowers one register-allocated IR function to baseline MInstrs."""
+
+    def __init__(self, fn, spec, alloc_info):
+        self.fn = fn
+        self.spec = spec
+        self.alloc = alloc_info
+        self.out = []
+        self.legal = Legalizer(spec, self.out.append)
+        extra = ["RT"] if fn.has_call else []
+        self.frame = FrameLayout(fn, alloc_info.used_callee_saved, extra)
+        self.sp = spec.sp()
+        self.itemp = reserved_temps(spec, "int")[2]
+
+    def emit(self, ins):
+        self.out.append(ins)
+        return ins
+
+    # -- prologue / epilogue -------------------------------------------------
+
+    def prologue(self):
+        self.emit(mlabel(self.fn.name))
+        if self.frame.size:
+            operand = self.legal.imm_operand(self.frame.size)
+            self.emit(MInstr("sub", dst=self.sp, srcs=[self.sp, operand]))
+        for reg in sorted(
+            self.alloc.used_callee_saved, key=lambda r: (r.kind, r.index)
+        ):
+            off = self.frame.save_offset(reg)
+            op = "sf" if reg.kind == "f" else "sw"
+            self.emit(MInstr(op, srcs=[reg, self.sp, Imm(off)]))
+        if self.fn.has_call:
+            self.emit(MInstr("mfrt", dst=self.itemp))
+            self.emit(
+                MInstr(
+                    "sw",
+                    srcs=[self.itemp, self.sp, Imm(self.frame.save_offset("RT"))],
+                )
+            )
+        self._move_params_in()
+
+    def _move_params_in(self):
+        moves = []
+        spills = []
+        int_index = 0
+        flt_index = 0
+        for vreg, is_float in self.fn.params:
+            if is_float:
+                src = self.spec.arg_reg(flt_index, float_=True)
+                flt_index = flt_index + 1
+            else:
+                src = self.spec.arg_reg(int_index)
+                int_index = int_index + 1
+            kind, where = self.alloc.location(vreg)
+            if kind == "reg":
+                moves.append((where, src))
+            elif kind == "spill":
+                spills.append((src, where))
+        emit_moves(moves, self.emit, self.spec)
+        for src, local in spills:
+            off = self.frame.local_offset(local)
+            op = "sf" if src.kind == "f" else "sw"
+            self.emit(MInstr(op, srcs=[src, self.sp, Imm(off)]))
+
+    def epilogue(self):
+        if self.fn.has_call:
+            self.emit(
+                MInstr(
+                    "lw",
+                    dst=self.itemp,
+                    srcs=[self.sp, Imm(self.frame.save_offset("RT"))],
+                )
+            )
+            self.emit(MInstr("mtrt", srcs=[self.itemp]))
+        for reg in sorted(
+            self.alloc.used_callee_saved, key=lambda r: (r.kind, r.index)
+        ):
+            off = self.frame.save_offset(reg)
+            op = "lf" if reg.kind == "f" else "lw"
+            self.emit(MInstr(op, dst=reg, srcs=[self.sp, Imm(off)]))
+        if self.frame.size:
+            self.legal.add_immediate(self.sp, self.sp, self.frame.size)
+        self.emit(MInstr("retrt"))
+        self.emit(mnoop())
+
+    # -- body ------------------------------------------------------------------
+
+    def lower(self):
+        self.prologue()
+        for ins in self.fn.instrs:
+            self.lower_instr(ins)
+        return MachineFunction(self.fn.name, self.out, self.frame.size)
+
+    def lower_instr(self, ins):
+        op = ins.op
+        if op == "label":
+            self.emit(mlabel(ins.name))
+        elif op == "li":
+            self.legal.load_constant(ins.dst, ins.srcs[0].value)
+        elif op == "la":
+            self.legal.load_address(ins.dst, ins.srcs[0])
+        elif op == "laddr":
+            local = ins.srcs[0]
+            self.legal.add_immediate(
+                ins.dst, self.sp, self.frame.local_offset(local)
+            )
+        elif op == "ldspill":
+            local = ins.srcs[0]
+            lop = "lf" if ins.dst.kind == "f" else "lw"
+            base, off = self.legal.mem_operands(
+                self.sp, self.frame.local_offset(local)
+            )
+            self.emit(MInstr(lop, dst=ins.dst, srcs=[base, off]))
+        elif op == "stspill":
+            value, local = ins.srcs
+            sop = "sf" if value.kind == "f" else "sw"
+            base, off = self.legal.mem_operands(
+                self.sp, self.frame.local_offset(local)
+            )
+            self.emit(MInstr(sop, srcs=[value, base, off]))
+        elif op in ("lw", "lb", "lf"):
+            base, off = self.legal.mem_operands(ins.srcs[0], ins.srcs[1].value)
+            self.emit(MInstr(op, dst=ins.dst, srcs=[base, off]))
+        elif op in ("sw", "sb", "sf"):
+            base, off = self.legal.mem_operands(ins.srcs[1], ins.srcs[2].value)
+            self.emit(MInstr(op, srcs=[ins.srcs[0], base, off]))
+        elif op in ("mov", "fmov", "neg", "not", "fneg", "cvtif", "cvtfi"):
+            self.emit(MInstr(op, dst=ins.dst, srcs=list(ins.srcs)))
+        elif op in (
+            "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr",
+            "fadd", "fsub", "fmul", "fdiv",
+        ):
+            a, b = ins.srcs
+            if isinstance(b, Imm):
+                b = self.legal.imm_operand(b.value)
+            self.emit(MInstr(op, dst=ins.dst, srcs=[a, b]))
+        elif op in ("br", "fbr"):
+            self._branch(ins)
+        elif op == "jmp":
+            self.emit(MInstr("jmp", target=ins.target))
+            self.emit(mnoop())
+        elif op == "ijmp":
+            self.emit(MInstr("ijmp", srcs=[ins.srcs[0]]))
+            self.emit(mnoop())
+        elif op == "call":
+            self._call(ins)
+        elif op == "trap":
+            self._trap(ins)
+        elif op == "ret":
+            self._return(ins)
+        elif op == "nop":
+            self.emit(mnoop())
+        else:
+            raise CodegenError("baseline: cannot lower %r" % op)
+
+    def _branch(self, ins):
+        a, b = ins.srcs
+        if ins.op == "br":
+            if isinstance(b, Imm):
+                b = self.legal.imm_operand(b.value)
+            self.emit(MInstr("cmp", srcs=[a, b]))
+            self.emit(MInstr("bcc", cond=ins.cond, target=ins.target))
+        else:
+            self.emit(MInstr("fcmp", srcs=[a, b]))
+            self.emit(MInstr("fbcc", cond=ins.cond, target=ins.target))
+        self.emit(mnoop())
+
+    def _arg_moves(self, ins):
+        emit_arg_setup(ins.args, self.spec, self.emit, self.legal, self.frame)
+
+    def _call(self, ins):
+        self._arg_moves(ins)
+        self.emit(MInstr("call", target=Sym(ins.callee)))
+        self.emit(mnoop())
+        self._capture_result(ins)
+
+    def _trap(self, ins):
+        self._arg_moves(ins)
+        self.emit(MInstr("trap", callee=ins.callee))
+        self._capture_result(ins)
+
+    def _capture_result(self, ins):
+        if ins.dst is None:
+            return
+        if isinstance(ins.dst, VReg):
+            raise CodegenError("unallocated vreg %r reached codegen" % (ins.dst,))
+        is_float = ins.dst.kind == "f"
+        ret = self.spec.ret_reg(float_=is_float)
+        if ins.dst != ret:
+            self.emit(
+                MInstr("fmov" if is_float else "mov", dst=ins.dst, srcs=[ret])
+            )
+
+    def _return(self, ins):
+        if ins.srcs:
+            value = ins.srcs[0]
+            is_float = value.kind == "f"
+            ret = self.spec.ret_reg(float_=is_float)
+            if value != ret:
+                self.emit(
+                    MInstr("fmov" if is_float else "mov", dst=ret, srcs=[value])
+                )
+        self.epilogue()
+
+
+def _elide_fallthrough_jumps(instrs):
+    """Remove ``jmp L`` (and its delay slot noop) when L is the next label."""
+    out = []
+    i = 0
+    while i < len(instrs):
+        ins = instrs[i]
+        if ins.op == "jmp":
+            j = i + 1
+            if j < len(instrs) and instrs[j].is_noop() and instrs[j].br == 0:
+                j = j + 1
+            labels = []
+            k = j
+            while k < len(instrs) and instrs[k].is_label():
+                labels.append(instrs[k].label)
+                k = k + 1
+            if ins.target.name in labels:
+                i = j  # drop the jump and its noop
+                continue
+        out.append(ins)
+        i = i + 1
+    return out
+
+
+def _start_stub(spec):
+    """The runtime startup: call main, pass its result to exit, halt."""
+    instrs = [
+        mlabel("__start"),
+        MInstr("call", target=Sym("main")),
+        mnoop(),
+        MInstr("mov", dst=spec.arg_reg(0), srcs=[spec.ret_reg()]),
+        MInstr("trap", callee="exit"),
+        MInstr("halt"),
+    ]
+    return MachineFunction("__start", instrs, 0)
+
+
+def generate_baseline(program, spec=None, fill_delay_slots=True):
+    """Lower an optimised IR program to a baseline MachineProgram.
+
+    ``program`` is mutated (register allocation rewrites the IR); callers
+    wanting to target both machines should compile the source twice or
+    deep-copy, which :func:`repro.ease.environment.compile_both` handles.
+    """
+    from repro.codegen.delayslots import fill_slots
+
+    spec = spec or baseline_spec()
+    mprog = MachineProgram(spec=spec, globals=dict(program.globals))
+    mprog.functions.append(_start_stub(spec))
+    for fn in program.functions.values():
+        optimize_function(fn)
+        legalize_immediates(fn, spec)
+        pool_constants(fn)
+        hoist_loop_invariants(fn)
+        info = allocate(fn, spec)
+        gen = BaselineFunctionGen(fn, spec, info)
+        mfn = gen.lower()
+        mfn.instrs = _elide_fallthrough_jumps(mfn.instrs)
+        if fill_delay_slots:
+            fill_slots(mfn)
+        mprog.functions.append(mfn)
+    return mprog

@@ -1,0 +1,536 @@
+"""Code generator for the branch-register machine (Sections 3-5, Fig. 11).
+
+There are no branch instructions.  Every instruction carries a ``br``
+field; naming a non-PC branch register makes the instruction a transfer of
+control ("carrier").  Target addresses are computed by separate
+instructions (``bta`` for PC-relative targets, ``sethi``+``btalo`` for
+function entries), which the Section 5 allocator hoists out of loops.
+
+Conventions (Section 4 + DESIGN.md §5):
+
+* ``b[0]`` is the PC; ``b[link]`` (``b[7]`` with 8 branch registers) is
+  clobbered with the next sequential address by *every* transfer and is
+  the implied destination of ``cmpset``;
+* conditional branch = ``cmpset`` (compare, select ``b[k]`` or sequential)
+  followed by a carrier referencing ``b[link]``;
+* leaf functions save the incoming link in a scratch branch register
+  (``b[1]=b[7]`` in the paper's Figure 4); non-leaf functions spill it to
+  the stack with ``bst``/``bld``, which is exactly the extra data-memory
+  traffic Table I attributes to branch-register saves/restores.
+"""
+
+from repro.codegen.braregalloc import Site, plan_branch_registers
+from repro.codegen.common import MInstr, mlabel, mnoop
+from repro.codegen.lowering import (
+    FrameLayout,
+    Legalizer,
+    MachineFunction,
+    MachineProgram,
+    emit_arg_setup,
+    emit_moves,
+)
+from repro.cfg.build import build_cfg
+from repro.cfg.freq import estimate_frequencies
+from repro.cfg.loops import ensure_preheader, find_loops, preheader_is_safe
+from repro.errors import CodegenError
+from repro.machine.spec import branchreg_spec
+from repro.opt.pipeline import optimize_function
+from repro.opt.cse import pool_constants
+from repro.opt.legalize import legalize_immediates
+from repro.opt.licm import hoist_loop_invariants
+from repro.opt.regalloc import allocate, reserved_temps
+from repro.rtl.operand import Imm, Label, Reg, Sym, VReg
+
+
+class BranchRegFunctionGen:
+    """Lowers one register-allocated IR function to branch-register MInstrs."""
+
+    def __init__(self, fn, spec, alloc_info, hoisting=True):
+        self.fn = fn
+        self.spec = spec
+        self.alloc = alloc_info
+        self.hoisting = hoisting
+        self.link = spec.br_link
+        self.sp = spec.sp()
+        self.itemp = reserved_temps(spec, "int")[2]
+        self.out = []
+        self.legal = Legalizer(spec, self.out.append)
+        self.cfg = None
+        self.loops = []
+        self.plan = None
+        self.frame = None
+
+    def emit(self, ins):
+        self.out.append(ins)
+        return ins
+
+    # -- site collection -------------------------------------------------------
+
+    def _collect_sites(self):
+        sites = []
+        for block in self.cfg.blocks:
+            for idx, ins in enumerate(block.instrs):
+                if ins.op == "call":
+                    sites.append(
+                        Site("call", block, idx, target=ins.callee, freq=block.freq)
+                    )
+            term = block.terminator()
+            if term is None or term.op == "call":
+                continue
+            idx = len(block.instrs) - 1
+            if term.op in ("br", "fbr"):
+                sites.append(
+                    Site("cond", block, idx, target=term.target.name, freq=block.freq)
+                )
+            elif term.op == "jmp":
+                if self._is_fallthrough(block, term.target.name):
+                    block.instrs.pop()  # elide; sequential execution suffices
+                else:
+                    sites.append(
+                        Site(
+                            "jump", block, idx, target=term.target.name,
+                            freq=block.freq,
+                        )
+                    )
+            elif term.op == "ijmp":
+                sites.append(Site("indirect", block, idx, freq=block.freq))
+            elif term.op == "ret":
+                sites.append(Site("return", block, idx, freq=block.freq))
+        return sites
+
+    def _is_fallthrough(self, block, target_label):
+        """True when the jump target is reached by sequential execution
+        (skipping empty blocks)."""
+        position = self.cfg.blocks.index(block)
+        for nxt in self.cfg.blocks[position + 1 :]:
+            if target_label in nxt.labels:
+                return True
+            if nxt.instrs:
+                return False
+        return False
+
+    # -- prologue / epilogue -------------------------------------------------
+
+    def _extra_slots(self):
+        extra = []
+        if self.plan.link_save == "stack":
+            extra.append("blink")
+        for breg in sorted(self.plan.used_callee_bregs):
+            extra.append("b%d" % breg)
+        return extra
+
+    def prologue(self):
+        self.emit(mlabel(self.fn.name))
+        if self.frame.size:
+            operand = self.legal.imm_operand(self.frame.size)
+            self.emit(MInstr("sub", dst=self.sp, srcs=[self.sp, operand]))
+        if self.plan.link_save == "stack":
+            off = self.frame.save_offset("blink")
+            ins = MInstr(
+                "bst", srcs=[Reg("b", self.link), self.sp, Imm(off)],
+                note="save link",
+            )
+            self.emit(ins)
+        elif self.plan.link_save == "breg":
+            self.emit(
+                MInstr(
+                    "bmov",
+                    dst=Reg("b", self.plan.link_scratch),
+                    srcs=[Reg("b", self.link)],
+                    note="save ret address",
+                )
+            )
+        for breg in sorted(self.plan.used_callee_bregs):
+            off = self.frame.save_offset("b%d" % breg)
+            self.emit(
+                MInstr(
+                    "bst", srcs=[Reg("b", breg), self.sp, Imm(off)],
+                    note="save b%d" % breg,
+                )
+            )
+        for reg in sorted(
+            self.alloc.used_callee_saved, key=lambda r: (r.kind, r.index)
+        ):
+            off = self.frame.save_offset(reg)
+            op = "sf" if reg.kind == "f" else "sw"
+            self.emit(MInstr(op, srcs=[reg, self.sp, Imm(off)]))
+        self._move_params_in()
+
+    def _move_params_in(self):
+        moves = []
+        spills = []
+        int_index = 0
+        flt_index = 0
+        for vreg, is_float in self.fn.params:
+            if is_float:
+                src = self.spec.arg_reg(flt_index, float_=True)
+                flt_index = flt_index + 1
+            else:
+                src = self.spec.arg_reg(int_index)
+                int_index = int_index + 1
+            kind, where = self.alloc.location(vreg)
+            if kind == "reg":
+                moves.append((where, src))
+            elif kind == "spill":
+                spills.append((src, where))
+        emit_moves(moves, self.emit, self.spec)
+        for src, local in spills:
+            off = self.frame.local_offset(local)
+            op = "sf" if src.kind == "f" else "sw"
+            self.emit(MInstr(op, srcs=[src, self.sp, Imm(off)]))
+
+    def epilogue(self, site):
+        """Emit the epilogue and the return transfer."""
+        if self.plan.link_save == "stack":
+            off = self.frame.save_offset("blink")
+            self.emit(
+                MInstr(
+                    "bld",
+                    dst=Reg("b", self.plan.link_scratch),
+                    srcs=[self.sp, Imm(off)],
+                    note="restore link",
+                )
+            )
+        for breg in sorted(self.plan.used_callee_bregs):
+            off = self.frame.save_offset("b%d" % breg)
+            self.emit(
+                MInstr(
+                    "bld", dst=Reg("b", breg), srcs=[self.sp, Imm(off)],
+                    note="restore b%d" % breg,
+                )
+            )
+        for reg in sorted(
+            self.alloc.used_callee_saved, key=lambda r: (r.kind, r.index)
+        ):
+            off = self.frame.save_offset(reg)
+            op = "lf" if reg.kind == "f" else "lw"
+            self.emit(MInstr(op, dst=reg, srcs=[self.sp, Imm(off)]))
+        if self.frame.size:
+            self.legal.add_immediate(self.sp, self.sp, self.frame.size)
+        ret_reg = (
+            self.plan.link_scratch
+            if self.plan.link_save != "none"
+            else self.link
+        )
+        carrier = mnoop(br=ret_reg)
+        carrier.tkind = "return"
+        self.emit(carrier)
+
+    # -- body lowering -------------------------------------------------------
+
+    def lower(self):
+        optimize_needed = False  # already optimised by the driver
+        self.cfg = build_cfg(self.fn)
+        self.loops = find_loops(self.cfg)
+        estimate_frequencies(self.cfg, self.loops)
+        # Pre-create preheaders so the layout is final before planning.
+        for loop in self.loops:
+            if preheader_is_safe(loop):
+                ensure_preheader(self.cfg, loop, self.fn)
+        sites = self._collect_sites()
+        self.plan = plan_branch_registers(
+            self.cfg, self.loops, sites, self.spec, self.fn, hoisting=self.hoisting
+        )
+        self.frame = FrameLayout(
+            self.fn, self.alloc.used_callee_saved, self._extra_slots()
+        )
+        self.prologue()
+        sites_by_block = {}
+        for site in self.plan.sites:
+            sites_by_block.setdefault(id(site.block), []).append(site)
+        hoists_by_block = {}
+        for calc in self.plan.hoisted:
+            hoists_by_block.setdefault(id(calc.preheader), []).append(calc)
+        for block in self.cfg.blocks:
+            self._lower_block(
+                block,
+                sites_by_block.get(id(block), []),
+                hoists_by_block.get(id(block), []),
+            )
+        return MachineFunction(self.fn.name, self.out, self.frame.size)
+
+    def _lower_block(self, block, sites, hoists):
+        for name in block.labels:
+            self.emit(mlabel(name))
+        block_start = len(self.out)
+        call_sites = {s.ir_index: s for s in sites if s.kind == "call"}
+        term_site = None
+        for s in sites:
+            if s.kind in ("jump", "cond", "indirect", "return"):
+                term_site = s
+        # Local terminator bta placement: at block start for maximum
+        # prefetch distance -- but only when the block contains no calls,
+        # because a callee is free to clobber scratch branch registers.
+        # With calls present, the calc is emitted after the last call.
+        term_calc_early = (
+            term_site is not None
+            and term_site.kind in ("jump", "cond")
+            and term_site.hoisted is None
+            and not call_sites
+        )
+        if term_calc_early:
+            self._emit_bta(term_site.breg, term_site.target)
+        last_call_end = None
+        skip_next = False
+        for idx, ins in enumerate(block.instrs):
+            if skip_next:
+                skip_next = False
+                continue
+            if idx in call_sites:
+                self._materialize_call(call_sites[idx], ins)
+                last_call_end = len(self.out)
+                continue
+            if term_site is not None and idx == term_site.ir_index:
+                break  # terminator handled below
+            if (
+                term_site is not None
+                and term_site.kind == "indirect"
+                and idx == term_site.ir_index - 1
+                and ins.op == "lw"
+                and block.instrs[idx + 1].op == "ijmp"
+                and block.instrs[idx + 1].srcs[0] == ins.dst
+            ):
+                # Fuse the jump-table load into a branch-register load.
+                self._materialize_indirect(term_site, ins)
+                skip_next = True
+                term_site = None  # fully handled
+                continue
+            self.lower_instr(ins)
+        # Hoisted calculations land at the end of their preheader, before
+        # the preheader's own terminator.
+        for calc in hoists:
+            if calc.kind == "call":
+                self._emit_call_pair(calc.breg, calc.target)
+            else:
+                self._emit_bta(calc.breg, calc.target)
+        if term_site is None:
+            return
+        if term_site.kind == "return":
+            term = block.instrs[term_site.ir_index]
+            if term.srcs:
+                value = term.srcs[0]
+                is_float = value.kind == "f"
+                ret = self.spec.ret_reg(float_=is_float)
+                if value != ret:
+                    self.emit(
+                        MInstr(
+                            "fmov" if is_float else "mov", dst=ret, srcs=[value]
+                        )
+                    )
+            self.epilogue(term_site)
+            return
+        if term_site.kind == "indirect":
+            # Unfused fallback: the address is already in an integer
+            # register; move it into the branch register via a zero-offset
+            # btalo.
+            term = block.instrs[term_site.ir_index]
+            self.emit(
+                MInstr(
+                    "btalo",
+                    dst=Reg("b", term_site.breg),
+                    srcs=[term.srcs[0], Imm(0)],
+                )
+            )
+            carrier = mnoop(br=term_site.breg)
+            carrier.tkind = "indirect"
+            self.emit(carrier)
+            return
+        if term_site.hoisted is None and not term_calc_early:
+            self._emit_bta(term_site.breg, term_site.target)
+        term = block.instrs[term_site.ir_index]
+        if term_site.kind == "jump":
+            carrier = mnoop(br=term_site.breg)
+            carrier.tkind = "jump"
+            self.emit(carrier)
+        else:  # cond
+            self._materialize_cond(term_site, term)
+
+    # -- site materialisation ------------------------------------------------
+
+    def _emit_bta(self, breg, target):
+        self.emit(MInstr("bta", dst=Reg("b", breg), target=Label(target)))
+
+    def _emit_call_pair(self, breg, target):
+        self.emit(MInstr("sethi", dst=self.itemp, srcs=[Sym(target)]))
+        self.emit(
+            MInstr(
+                "btalo", dst=Reg("b", breg), srcs=[self.itemp], target=Sym(target)
+            )
+        )
+
+    def _materialize_call(self, site, ins):
+        if site.hoisted is None:
+            self._emit_call_pair(site.breg, site.target)
+        before = len(self.out)
+        emit_arg_setup(ins.args, self.spec, self.emit, self.legal, self.frame)
+        if len(self.out) > before:
+            carrier = self.out[-1]
+            carrier.br = site.breg
+            carrier.tkind = "call"
+        else:
+            carrier = mnoop(br=site.breg)
+            carrier.tkind = "call"
+            self.emit(carrier)
+        self._capture_result(ins)
+
+    def _materialize_indirect(self, site, load_ins):
+        base, off = self.legal.mem_operands(
+            load_ins.srcs[0], load_ins.srcs[1].value
+        )
+        self.emit(
+            MInstr("bld", dst=Reg("b", site.breg), srcs=[base, off])
+        )
+        carrier = mnoop(br=site.breg)
+        carrier.tkind = "indirect"
+        self.emit(carrier)
+
+    def _materialize_cond(self, site, term):
+        a, b = term.srcs
+        op = "fcmpset" if term.op == "fbr" else "cmpset"
+        if isinstance(b, Imm) and term.op == "br":
+            b = self.legal.imm_operand(b.value)
+        self.emit(
+            MInstr(
+                op,
+                dst=Reg("b", self.link),
+                srcs=[a, b],
+                cond=term.cond,
+                btrue=site.breg,
+            )
+        )
+        carrier = mnoop(br=self.link)
+        carrier.tkind = "cond"
+        self.emit(carrier)
+
+    def _capture_result(self, ins):
+        if ins.dst is None:
+            return
+        if isinstance(ins.dst, VReg):
+            raise CodegenError("unallocated vreg %r reached codegen" % (ins.dst,))
+        is_float = ins.dst.kind == "f"
+        ret = self.spec.ret_reg(float_=is_float)
+        if ins.dst != ret:
+            self.emit(
+                MInstr("fmov" if is_float else "mov", dst=ins.dst, srcs=[ret])
+            )
+
+    # -- plain instructions ----------------------------------------------------
+
+    def lower_instr(self, ins):
+        op = ins.op
+        if op == "label":
+            self.emit(mlabel(ins.name))
+        elif op == "li":
+            self.legal.load_constant(ins.dst, ins.srcs[0].value)
+        elif op == "la":
+            self.legal.load_address(ins.dst, ins.srcs[0])
+        elif op == "laddr":
+            local = ins.srcs[0]
+            self.legal.add_immediate(
+                ins.dst, self.sp, self.frame.local_offset(local)
+            )
+        elif op == "ldspill":
+            local = ins.srcs[0]
+            lop = "lf" if ins.dst.kind == "f" else "lw"
+            base, off = self.legal.mem_operands(
+                self.sp, self.frame.local_offset(local)
+            )
+            self.emit(MInstr(lop, dst=ins.dst, srcs=[base, off]))
+        elif op == "stspill":
+            value, local = ins.srcs
+            sop = "sf" if value.kind == "f" else "sw"
+            base, off = self.legal.mem_operands(
+                self.sp, self.frame.local_offset(local)
+            )
+            self.emit(MInstr(sop, srcs=[value, base, off]))
+        elif op in ("lw", "lb", "lf"):
+            base, off = self.legal.mem_operands(ins.srcs[0], ins.srcs[1].value)
+            self.emit(MInstr(op, dst=ins.dst, srcs=[base, off]))
+        elif op in ("sw", "sb", "sf"):
+            base, off = self.legal.mem_operands(ins.srcs[1], ins.srcs[2].value)
+            self.emit(MInstr(op, srcs=[ins.srcs[0], base, off]))
+        elif op in ("mov", "fmov", "neg", "not", "fneg", "cvtif", "cvtfi"):
+            self.emit(MInstr(op, dst=ins.dst, srcs=list(ins.srcs)))
+        elif op in (
+            "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr",
+            "fadd", "fsub", "fmul", "fdiv",
+        ):
+            a, b = ins.srcs
+            if isinstance(b, Imm):
+                b = self.legal.imm_operand(b.value)
+            self.emit(MInstr(op, dst=ins.dst, srcs=[a, b]))
+        elif op == "trap":
+            self._trap(ins)
+        elif op == "nop":
+            self.emit(mnoop())
+        else:
+            raise CodegenError("branchreg: cannot lower %r" % op)
+
+    def _trap(self, ins):
+        emit_arg_setup(ins.args, self.spec, self.emit, self.legal, self.frame)
+        self.emit(MInstr("trap", callee=ins.callee))
+        self._capture_result(ins)
+
+
+def _start_stub(spec):
+    """Startup: compute main's address, transfer with the call carrier,
+    then pass the result to exit."""
+    itemp = reserved_temps(spec, "int")[2]
+    call_reg = spec.br_scratch[0] if spec.br_scratch else spec.br_callee_saved[0]
+    carrier = mnoop(br=call_reg)
+    carrier.tkind = "call"
+    instrs = [
+        mlabel("__start"),
+        MInstr("sethi", dst=itemp, srcs=[Sym("main")]),
+        MInstr("btalo", dst=Reg("b", call_reg), srcs=[itemp], target=Sym("main")),
+        carrier,
+        MInstr("mov", dst=spec.arg_reg(0), srcs=[spec.ret_reg()]),
+        MInstr("trap", callee="exit"),
+        MInstr("halt"),
+    ]
+    return MachineFunction("__start", instrs, 0)
+
+
+def generate_branchreg(
+    program, spec=None, hoisting=True, fill_carriers=True, replace_noops=True
+):
+    """Lower an optimised IR program to a branch-register MachineProgram.
+
+    The ``hoisting``/``fill_carriers``/``replace_noops`` switches exist for
+    the ablation benchmarks (Section 9): they disable, respectively, the
+    Section 5 loop hoisting, the useful-carrier selection, and the
+    noop-to-bta replacement.
+    """
+    from repro.codegen.noopfill import (
+        fill_noop_carriers,
+        replace_noops_with_bta,
+        schedule_compares,
+    )
+
+    spec = spec or branchreg_spec()
+    mprog = MachineProgram(spec=spec, globals=dict(program.globals))
+    mprog.functions.append(_start_stub(spec))
+    for fn in program.functions.values():
+        optimize_function(fn)
+        legalize_immediates(fn, spec)
+        pool_constants(fn)
+        hoist_loop_invariants(fn)
+        info = allocate(fn, spec)
+        gen = BranchRegFunctionGen(fn, spec, info, hoisting=hoisting)
+        mfn = gen.lower()
+        if fill_carriers:
+            fill_noop_carriers(mfn, spec)
+        if replace_noops:
+            protected = {calc.breg for calc in gen.plan.hoisted}
+            if gen.plan.link_scratch is not None:
+                protected.add(gen.plan.link_scratch)
+            safe_labels = {
+                label
+                for block in gen.cfg.blocks
+                if len(block.preds) == 1
+                for label in block.labels
+            }
+            replace_noops_with_bta(mfn, spec, protected, safe_labels)
+        schedule_compares(mfn, spec)
+        mprog.functions.append(mfn)
+    return mprog

@@ -1,0 +1,281 @@
+"""Branch-register allocation and loop hoisting -- the paper's Section 5.
+
+Every transfer of control on the branch-register machine needs the target
+address in a branch register.  This module decides, for every transfer
+*site*:
+
+* which branch register holds the target, and
+* where the target-address calculation is placed -- hoisted to the
+  preheader of an enclosing loop (possibly several levels out) or emitted
+  locally in the site's own block.
+
+following the paper's algorithm:
+
+1. branch targets are ordered by estimated execution frequency of the
+   *branches* to them (frequencies of multiple branches to one target are
+   summed);
+2. the calculation with the highest estimate is moved to the preheader of
+   the innermost loop containing the branch, provided a branch register
+   can be allocated -- a register already holding a target for a
+   *non-overlapping* loop may be reused, and a loop containing calls
+   requires a non-scratch (callee-saved) branch register;
+3. after a move the calculation's frequency drops to the preheader's
+   frequency and the process repeats, hoisting further out while registers
+   remain.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cfg.loops import ensure_preheader, innermost_loop_of, preheader_is_safe
+
+
+@dataclass
+class Site:
+    """One transfer of control in one block."""
+
+    kind: str  # "jump" | "cond" | "call" | "indirect" | "return"
+    block: object
+    ir_index: int  # index of the IR instruction within the block
+    target: str = None  # label or function name (None for indirect/return)
+    freq: float = 1.0
+    breg: int = None
+    hoisted: object = None  # HoistedCalc when the calc was hoisted
+
+
+@dataclass
+class HoistedCalc:
+    """A target-address calculation placed in a loop preheader."""
+
+    target: str
+    kind: str  # "jump"/"cond" share "bta"; "call" uses the sethi/btalo pair
+    loop: object
+    preheader: object = None
+    breg: int = None
+    sites: list = field(default_factory=list)
+
+
+@dataclass
+class BranchRegPlan:
+    """The full allocation decision for one function."""
+
+    sites: list = field(default_factory=list)
+    hoisted: list = field(default_factory=list)
+    link_save: str = "none"  # "none" | "breg" | "stack"
+    link_scratch: int = None  # scratch b-reg for the leaf save / epilogue
+    used_callee_bregs: set = field(default_factory=set)
+    local_regs: dict = field(default_factory=dict)  # Site -> breg
+
+
+class BranchRegAllocator:
+    """Runs the Section 5 algorithm for one function."""
+
+    def __init__(self, cfg, loops, sites, spec, fn, hoisting=True):
+        self.cfg = cfg
+        self.loops = loops
+        self.sites = sites
+        self.spec = spec
+        self.fn = fn
+        self.hoisting = hoisting
+        self.plan = BranchRegPlan(sites=sites)
+        # busy[reg] = list of loops in which the register holds a hoisted
+        # target (live through the whole loop body + preheader).
+        self.busy = {i: [] for i in self._usable_regs()}
+
+    def _usable_regs(self):
+        return list(self.spec.br_scratch) + list(self.spec.br_callee_saved)
+
+    # -- link-register strategy --------------------------------------------
+
+    def _plan_link(self):
+        has_call = any(s.kind == "call" for s in self.sites)
+        transfers = [s for s in self.sites if s.kind != "call"]
+        only_plain_return = (
+            not has_call
+            and len(self.sites) == 1
+            and self.sites[0].kind == "return"
+        )
+        if only_plain_return or not self.sites:
+            self.plan.link_save = "none"
+            return
+        # Reserve the highest scratch register for return-address traffic.
+        reserve = max(self.spec.br_scratch) if self.spec.br_scratch else None
+        if reserve is None:
+            # Degenerate spec (no scratch): force a callee-saved reserve.
+            reserve = max(self.spec.br_callee_saved)
+            self.plan.used_callee_bregs.add(reserve)
+        self.plan.link_scratch = reserve
+        self.busy.pop(reserve, None)
+        self.plan.link_save = "stack" if has_call else "breg"
+
+    # -- hoisting ------------------------------------------------------------
+
+    def _loops_overlap(self, a, b):
+        return bool(a.blocks & b.blocks)
+
+    def _register_free_for_loop(self, reg, loop, need_nonscratch):
+        if need_nonscratch and reg in self.spec.br_scratch:
+            return False
+        for other in self.busy[reg]:
+            if self._loops_overlap(other, loop):
+                return False
+        return True
+
+    # How many registers must remain free for local (unhoisted) sites in
+    # any loop region: one for call-address pairs, one for the block
+    # terminator.
+    LOCAL_RESERVE = 2
+
+    def _busy_count_in(self, loop):
+        count = 0
+        for reg, loops in self.busy.items():
+            if any(self._loops_overlap(other, loop) for other in loops):
+                count = count + 1
+        return count
+
+    def _find_register(self, loop, need_nonscratch):
+        # Hoisting must never starve local sites inside the loop: keep
+        # LOCAL_RESERVE registers unassigned over any region.
+        if self._busy_count_in(loop) >= len(self.busy) - self.LOCAL_RESERVE:
+            return None
+        # Prefer scratch registers (free); fall back to callee-saved (one
+        # save/restore pair per function).
+        order = list(self.spec.br_scratch) + list(self.spec.br_callee_saved)
+        for reg in order:
+            if reg not in self.busy:
+                continue
+            if self._register_free_for_loop(reg, loop, need_nonscratch):
+                return reg
+        return None
+
+    def _hoist(self):
+        # Group sites by target; frequencies of branches to the same
+        # target are summed (Section 5).
+        groups = {}
+        for site in self.sites:
+            if site.kind in ("indirect", "return") or site.target is None:
+                continue
+            loop = innermost_loop_of(self.loops, site.block)
+            if loop is None:
+                continue
+            key = (site.target, id(loop))
+            entry = groups.setdefault(
+                key, {"target": site.target, "loop": loop, "sites": [], "freq": 0.0}
+            )
+            entry["sites"].append(site)
+            entry["freq"] = entry["freq"] + site.freq
+        worklist = sorted(groups.values(), key=lambda g: -g["freq"])
+        for group in worklist:
+            self._hoist_group(group)
+
+    def _hoist_group(self, group):
+        """Hoist one target's calculation as far out as registers allow."""
+        loop = group["loop"]
+        achieved = None
+        chosen = None
+        level = loop
+        while level is not None:
+            if not preheader_is_safe(level):
+                break
+            need_nonscratch = _loop_contains_call(level)
+            reg = self._find_register(level, need_nonscratch)
+            if reg is None:
+                break
+            achieved = level
+            chosen = reg
+            level = level.parent
+        if achieved is None:
+            return
+        calc = HoistedCalc(
+            target=group["target"],
+            kind="call" if group["sites"][0].kind == "call" else "bta",
+            loop=achieved,
+            breg=chosen,
+            sites=list(group["sites"]),
+        )
+        calc.preheader = ensure_preheader(self.cfg, achieved, self.fn)
+        self.busy[chosen].append(achieved)
+        if chosen in self.spec.br_callee_saved:
+            self.plan.used_callee_bregs.add(chosen)
+        for site in group["sites"]:
+            site.breg = chosen
+            site.hoisted = calc
+        self.plan.hoisted.append(calc)
+
+    # -- local register assignment ------------------------------------------
+
+    def _assign_local(self):
+        """Registers for sites whose calculation stays in the block.
+
+        Within a block, a *terminator* site's register is live from the
+        block start to the block end and so must differ from every call
+        site's register in the same block; sequential call sites can share
+        one register."""
+        for block in self.cfg.blocks:
+            block_sites = [
+                s
+                for s in self.sites
+                if s.block is block and s.hoisted is None and s.kind != "return"
+            ]
+            if not block_sites:
+                continue
+            order = list(self.spec.br_scratch) + list(self.spec.br_callee_saved)
+            free = [
+                reg
+                for reg in order
+                if reg != self.plan.link_scratch
+                and not self._reg_busy_at_block(reg, block)
+            ]
+            if not free:
+                raise RuntimeError(
+                    "no branch register available for local site in %s"
+                    % self.fn.name
+                )
+            has_call_sites = any(s.kind == "call" for s in block_sites)
+            call_reg = free[0]
+            if not has_call_sites:
+                term_reg = free[0]
+            else:
+                term_reg = free[1] if len(free) > 1 else free[0]
+            for site in block_sites:
+                if site.kind == "call":
+                    site.breg = call_reg
+                    self.plan.local_regs[id(site)] = call_reg
+                    if call_reg in self.spec.br_callee_saved:
+                        self.plan.used_callee_bregs.add(call_reg)
+                else:
+                    site.breg = term_reg
+                    self.plan.local_regs[id(site)] = term_reg
+                    if term_reg in self.spec.br_callee_saved:
+                        self.plan.used_callee_bregs.add(term_reg)
+            # A terminator sharing the call register is only safe when the
+            # calc is placed after the last call carrier; the code
+            # generator handles that via placement order.  Prefer distinct
+            # registers when available (handled above).
+
+    def _reg_busy_at_block(self, reg, block):
+        for loop in self.busy.get(reg, ()):
+            if block in loop.blocks or block is loop.preheader:
+                return True
+        return False
+
+    # -- driver ------------------------------------------------------------------
+
+    def run(self):
+        self._plan_link()
+        if self.hoisting:
+            self._hoist()
+        self._assign_local()
+        return self.plan
+
+
+def _loop_contains_call(loop):
+    for block in loop.blocks:
+        for ins in block.instrs:
+            if getattr(ins, "op", None) == "call":
+                return True
+    return False
+
+
+def plan_branch_registers(cfg, loops, sites, spec, fn, hoisting=True):
+    """Run the Section 5 allocator; returns a :class:`BranchRegPlan`."""
+    return BranchRegAllocator(cfg, loops, sites, spec, fn, hoisting).run()

@@ -1,0 +1,115 @@
+"""Target-machine RTL instructions (``MInstr``) and shared op tables.
+
+Both emulated machines execute lists of :class:`MInstr` objects.  The two
+instruction sets share every computational opcode; they differ only in how
+transfers of control are expressed:
+
+* the **baseline** machine has explicit delayed branch instructions
+  (``bcc``, ``jmp``, ``call``, ``ijmp``, ``retrt``) plus a condition-code
+  compare (``cmp``/``fcmp``);
+* the **branch-register** machine has *no* branch instructions.  Every
+  instruction carries a ``br`` field naming the branch register that holds
+  the address of the next instruction (``b[0]`` is the PC).  New opcodes
+  manipulate branch registers: ``bta`` (PC-relative target-address
+  calculation), ``btahi``/``btalo`` (two-instruction far-address
+  calculation), ``cmpset``/``fcmpset`` (compare with conditional
+  branch-register assignment), ``bmov``, ``bld`` and ``bst``.
+"""
+
+from dataclasses import dataclass, field
+
+# --- opcode sets shared by both machines --------------------------------
+
+ALU_OPS = (
+    "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr",
+    "neg", "not", "mov", "li", "sethi", "addlo",
+)
+FALU_OPS = ("fadd", "fsub", "fmul", "fdiv", "fneg", "fmov", "cvtif", "cvtfi")
+LOAD_OPS = ("lw", "lb", "lf")
+STORE_OPS = ("sw", "sb", "sf")
+MISC_OPS = ("noop", "trap", "halt")
+
+# --- baseline-only opcodes ----------------------------------------------
+
+BASELINE_CONTROL = ("bcc", "fbcc", "jmp", "call", "ijmp", "retrt")
+BASELINE_CMP = ("cmp", "fcmp")
+BASELINE_RT = ("mfrt", "mtrt")
+
+# --- branch-register-machine-only opcodes --------------------------------
+
+BR_OPS = ("bta", "btahi", "btalo", "cmpset", "fcmpset", "bmov", "bld", "bst")
+
+# Opcodes whose execution touches data memory (Table I's second column).
+MEM_OPS = LOAD_OPS + STORE_OPS + ("bld", "bst")
+
+
+@dataclass
+class MInstr:
+    """One target-machine instruction.
+
+    Attributes:
+        op: opcode mnemonic.
+        dst: destination operand (``Reg`` -- may be a branch register for
+            ``bta``/``btalo``/``bmov``/``bld``).
+        srcs: source operands.
+        cond: relational condition for ``bcc``/``cmpset``.
+        target: ``Label`` operand for branches, ``bta``, ``call``.
+        callee: builtin name for ``trap``.
+        br: branch-register field (branch-register machine; 0 = PC =
+            sequential execution).  Ignored by the baseline machine.
+        btrue: for ``cmpset``: index of the branch register selected when
+            the condition holds (the not-taken source is implied ``b[0]``).
+        label: label name when ``op == "label"`` (pseudo, removed at
+            assembly).
+        note: free-form annotation used by the printers.
+    """
+
+    op: str
+    dst: object = None
+    srcs: list = field(default_factory=list)
+    cond: str = None
+    target: object = None
+    callee: str = None
+    br: int = 0
+    btrue: int = None
+    label: str = None
+    note: str = ""
+
+    def is_label(self):
+        return self.op == "label"
+
+    def is_noop(self):
+        return self.op == "noop"
+
+    def is_mem(self):
+        return self.op in MEM_OPS
+
+    def is_load(self):
+        return self.op in LOAD_OPS or self.op == "bld"
+
+    def is_store(self):
+        return self.op in STORE_OPS or self.op == "bst"
+
+    def is_baseline_transfer(self):
+        return self.op in BASELINE_CONTROL
+
+    def is_br_transfer(self):
+        """On the branch-register machine, any instruction whose ``br``
+        field names a register other than the PC is a transfer."""
+        return self.br != 0
+
+    def is_bta_calc(self):
+        return self.op in ("bta", "btahi", "btalo")
+
+    def __repr__(self):
+        from repro.rtl.printer import minstr_text
+
+        return minstr_text(self)
+
+
+def mlabel(name):
+    return MInstr("label", label=name)
+
+
+def mnoop(br=0):
+    return MInstr("noop", br=br)

@@ -1,0 +1,94 @@
+"""Def/use analysis for target machine instructions.
+
+Used by the delay-slot filler (baseline) and the carrier/noop-replacement
+passes (branch-register machine).  Pseudo-cells are represented as strings:
+``"cc"`` (baseline condition codes), ``"RT"`` (baseline return-address
+cell) and ``"mem"`` is *not* modelled here -- memory ordering is handled
+conservatively by the reordering predicates below.
+"""
+
+from repro.rtl.operand import Reg
+
+CC = "cc"
+RT = "RT"
+
+
+def minstr_defs(ins, link=None):
+    """Set of storage cells written by a target instruction.
+
+    ``link`` is the branch-register machine's link-register index; when
+    given, the implicit link-register write of a transfer is modelled as
+    that concrete register instead of the opaque ``"blink"`` marker."""
+    out = set()
+    op = ins.op
+    if ins.dst is not None and isinstance(ins.dst, Reg):
+        out.add(ins.dst)
+    if op in ("cmp", "fcmp"):
+        out.add(CC)
+    if op == "call":
+        out.add(RT)
+    if op == "mtrt":
+        out.add(RT)
+    if op in ("cmpset", "fcmpset") and ins.dst is not None:
+        out.add(ins.dst)
+    if ins.br:
+        # Referencing a non-PC branch register writes the link register
+        # with the next sequential address (Section 4, Function Calls).
+        out.add(Reg("b", link) if link is not None else "blink")
+    return out
+
+
+def minstr_uses(ins):
+    """Set of storage cells read by a target instruction."""
+    out = set()
+    op = ins.op
+    for src in ins.srcs:
+        if isinstance(src, Reg):
+            out.add(src)
+    if op in ("bcc", "fbcc"):
+        out.add(CC)
+    if op == "retrt":
+        out.add(RT)
+    if op == "mfrt":
+        out.add(RT)
+    if op in ("cmpset", "fcmpset") and ins.btrue is not None:
+        out.add(Reg("b", ins.btrue))
+    if ins.br:
+        out.add(Reg("b", ins.br))
+    return out
+
+
+def is_memory_op(ins):
+    return ins.is_mem()
+
+
+def is_barrier(ins):
+    """Instructions nothing may be moved across."""
+    return (
+        ins.op in ("call", "trap", "halt", "retrt", "jmp", "ijmp", "bcc", "fbcc")
+        or ins.is_label()
+        or bool(ins.br)
+    )
+
+
+def can_swap(earlier, later, link=None):
+    """May ``earlier`` be moved to execute after ``later``?
+
+    Both orderings must compute the same result: no def/use overlap in
+    either direction, no def/def overlap, and conservative memory
+    ordering (a load may cross a load; everything else may not cross a
+    memory operation).
+    """
+    e_defs, e_uses = minstr_defs(earlier, link), minstr_uses(earlier)
+    l_defs, l_uses = minstr_defs(later, link), minstr_uses(later)
+    if e_defs & l_uses:
+        return False
+    if l_defs & e_uses:
+        return False
+    if e_defs & l_defs:
+        return False
+    if is_memory_op(earlier) and is_memory_op(later):
+        if earlier.is_load() and later.is_load():
+            return True
+        return False
+    return True

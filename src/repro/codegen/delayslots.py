@@ -1,0 +1,87 @@
+"""Delay-slot filling for the baseline machine.
+
+The baseline machine delays every branch by one instruction.  The code
+generator always emits an explicit ``noop`` in the slot; this pass tries to
+replace it by moving a useful instruction from *above* the transfer into
+the slot (fill-from-above), which is always semantically safe when the
+moved instruction commutes with everything it crosses.
+
+The paper's Figure 3 shows the expected result: the return's delay slot is
+filled (``PC=RT; r[0]=r[2]``) while conditional-branch slots that have no
+independent instruction keep their noops.  Noops that survive here are the
+pool that the branch-register machine later converts into target-address
+calculations (Section 7 reports 36% of them replaced).
+"""
+
+from repro.codegen.dataflow import can_swap
+
+MAX_SCAN = 6  # how far above the transfer to look for a filler
+
+_TRANSFERS = ("bcc", "fbcc", "jmp", "call", "ijmp", "retrt")
+
+_UNMOVABLE = ("cmp", "fcmp", "trap", "halt", "mtrt", "noop", "label") + _TRANSFERS
+
+
+def fill_slots(mfn):
+    """Fill delay slots in one MachineFunction, in place.
+
+    Returns the number of slots filled.
+    """
+    instrs = mfn.instrs
+    filled = 0
+    i = 0
+    while i < len(instrs):
+        ins = instrs[i]
+        if ins.op in _TRANSFERS:
+            slot = i + 1
+            if slot < len(instrs) and instrs[slot].is_noop():
+                candidate = _find_filler(instrs, i)
+                if candidate is not None:
+                    mover = instrs.pop(candidate)
+                    # After the pop the transfer is at i-1 and the noop at
+                    # i; the mover replaces the noop.
+                    instrs[i] = mover
+                    filled = filled + 1
+                    i = i + 1  # continue after the filled slot
+                    continue
+            i = slot + 1
+        else:
+            i = i + 1
+    return filled
+
+
+def _find_filler(instrs, transfer_index):
+    """Index of an instruction that can legally move into the slot of the
+    transfer at ``transfer_index``, or None."""
+    transfer = instrs[transfer_index]
+    scanned = []
+    j = transfer_index - 1
+    steps = 0
+    while j >= 0 and steps < MAX_SCAN:
+        candidate = instrs[j]
+        if candidate.is_label():
+            return None  # block boundary
+        if j > 0 and instrs[j - 1].op in _TRANSFERS:
+            # The candidate occupies the delay slot of an earlier transfer;
+            # it cannot be stolen, and nothing above it can cross that
+            # transfer either.
+            return None
+        if candidate.op in _UNMOVABLE:
+            if candidate.op in ("cmp", "fcmp") and transfer.op in ("bcc", "fbcc"):
+                # The compare pairs with this branch; keep scanning above it.
+                scanned.append(candidate)
+                j = j - 1
+                steps = steps + 1
+                continue
+            return None
+        ok = can_swap(candidate, transfer)
+        for crossed in scanned:
+            if not can_swap(candidate, crossed):
+                ok = False
+                break
+        if ok:
+            return j
+        scanned.append(candidate)
+        j = j - 1
+        steps = steps + 1
+    return None

@@ -1,0 +1,234 @@
+"""Target-independent lowering helpers shared by both code generators.
+
+Covers frame layout, immediate-range legalisation (the branch-register
+machine has narrower immediate fields -- Section 7: "smaller range of
+available constants in some instructions"), global-address formation
+(``sethi``/``addlo``), spill-slot access, and parallel argument moves.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.machine.spec import MachineSpec
+from repro.opt.regalloc import reserved_temps
+from repro.rtl.operand import FLT, Imm, Reg
+from repro.codegen.common import MInstr
+
+
+@dataclass
+class MachineFunction:
+    """A lowered function: labelled MInstr body plus frame metadata."""
+
+    name: str
+    instrs: list = field(default_factory=list)
+    frame_size: int = 0
+
+
+@dataclass
+class MachineProgram:
+    """A whole lowered program ready for assembly and emulation."""
+
+    spec: MachineSpec
+    functions: list = field(default_factory=list)  # of MachineFunction
+    globals: dict = field(default_factory=dict)  # name -> GlobalVar
+    entry: str = "__start"
+
+    def function(self, name):
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    def all_instrs(self):
+        for fn in self.functions:
+            for ins in fn.instrs:
+                yield ins
+
+
+class FrameLayout:
+    """Assigns frame offsets for locals, spill slots and save areas."""
+
+    def __init__(self, fn, used_callee_saved, extra_slots):
+        """``extra_slots`` is a list of slot names (e.g. "RT", "b1") that
+        the code generator needs for return-address / branch-register
+        saves."""
+        self.offsets = {}
+        self.save_offsets = {}
+        offset = 0
+        for local in fn.locals:
+            self.offsets[local.name] = offset
+            offset = offset + _align(local.size, 4)
+        for reg in sorted(used_callee_saved, key=lambda r: (r.kind, r.index)):
+            self.save_offsets[reg] = offset
+            offset = offset + 4
+        for name in extra_slots:
+            self.save_offsets[name] = offset
+            offset = offset + 4
+        self.size = _align(offset, 8)
+
+    def local_offset(self, local):
+        return self.offsets[local.name]
+
+    def save_offset(self, key):
+        return self.save_offsets[key]
+
+
+def _align(n, a):
+    return (n + a - 1) // a * a
+
+
+class Legalizer:
+    """Emits range-legal instruction sequences for one machine."""
+
+    def __init__(self, spec, emit):
+        self.spec = spec
+        self.emit = emit
+        ints = reserved_temps(spec, "int")
+        self.scratch = ints[2]  # dedicated legalisation temporary
+
+    @property
+    def lo_bits(self):
+        return self.spec.imm_bits - 1
+
+    def load_constant(self, dst, value):
+        """Materialise an arbitrary 32-bit constant into ``dst``."""
+        if self.spec.imm_fits(value):
+            self.emit(MInstr("li", dst=dst, srcs=[Imm(value)]))
+            return
+        self.emit(MInstr("sethi", dst=dst, srcs=[Imm(value)]))
+        if value & ((1 << self.lo_bits) - 1):
+            self.emit(MInstr("addlo", dst=dst, srcs=[dst, Imm(value)]))
+
+    def load_address(self, dst, sym):
+        """Materialise the address of a global symbol (always two
+        instructions: the linker-style HI/LO pair of Section 4)."""
+        self.emit(MInstr("sethi", dst=dst, srcs=[sym]))
+        self.emit(MInstr("addlo", dst=dst, srcs=[dst, sym]))
+
+    def imm_operand(self, value):
+        """Return an operand usable as an immediate source: the Imm itself
+        when in range, otherwise the scratch register holding the value."""
+        if self.spec.imm_fits(value):
+            return Imm(value)
+        self.load_constant(self.scratch, value)
+        return self.scratch
+
+    def mem_operands(self, base, offset):
+        """Legalise a base+offset address; returns (base_reg, Imm)."""
+        if self.spec.imm_fits(offset):
+            return base, Imm(offset)
+        self.load_constant(self.scratch, offset)
+        self.emit(MInstr("add", dst=self.scratch, srcs=[base, self.scratch]))
+        return self.scratch, Imm(0)
+
+    def add_immediate(self, dst, src, value):
+        """dst = src + value with legalisation."""
+        if value == 0:
+            if dst != src:
+                self.emit(MInstr("mov", dst=dst, srcs=[src]))
+            return
+        operand = self.imm_operand(value)
+        self.emit(MInstr("add", dst=dst, srcs=[src, operand]))
+
+
+def resolve_parallel_moves(moves, temp):
+    """Order a set of register-to-register moves, breaking cycles.
+
+    ``moves`` is a list of (dst, src) pairs with distinct dsts; ``temp`` is
+    a callable(kind) returning a scratch register of that register kind.
+    Returns an ordered list of (dst, src) pairs whose sequential execution
+    realises the parallel assignment.
+    """
+    pending = [(d, s) for d, s in moves if d != s]
+    out = []
+    while pending:
+        src_set = {s for _, s in pending}
+        ready = [(d, s) for d, s in pending if d not in src_set]
+        if ready:
+            for d, s in ready:
+                out.append((d, s))
+            pending = [(d, s) for d, s in pending if d in src_set]
+            continue
+        # Pure cycle: rotate through a temporary.
+        d0, s0 = pending[0]
+        t = temp(d0.kind)
+        out.append((t, s0))
+        pending[0] = (d0, t)
+        # Re-enter the loop; d0's old value is now safe in t... note the
+        # rewritten move waits until everything reading d0 has fired.
+    return out
+
+
+def emit_moves(moves, emit, spec):
+    """Emit resolved parallel moves as mov/fmov MInstrs."""
+    ints = reserved_temps(spec, "int")
+    flts = reserved_temps(spec, FLT)
+
+    def temp(kind):
+        return ints[2] if kind == "r" else flts[1]
+
+    for dst, src in resolve_parallel_moves(moves, temp):
+        op = "fmov" if dst.kind == "f" else "mov"
+        emit(MInstr(op, dst=dst, srcs=[src]))
+
+
+def emit_arg_setup(args, spec, emit, legal, frame):
+    """Move call/trap arguments into the argument registers.
+
+    Register arguments go through the parallel-move resolver; DeferredArg
+    markers (spilled or rematerialised values -- see
+    :class:`repro.opt.regalloc.DeferredArg`) are materialised directly
+    into their argument register afterwards.  Returns the number of
+    instructions emitted.
+    """
+    from repro.opt.regalloc import DeferredArg
+
+    moves = []
+    deferred = []
+    int_index = 0
+    flt_index = 0
+    emitted = [0]
+
+    def counting_emit(ins):
+        emitted[0] = emitted[0] + 1
+        return emit(ins)
+
+    for arg in args:
+        is_float = (isinstance(arg, Reg) and arg.kind == "f") or (
+            isinstance(arg, DeferredArg) and arg.cls == FLT
+        )
+        if is_float:
+            dst = spec.arg_reg(flt_index, float_=True)
+            flt_index = flt_index + 1
+        else:
+            dst = spec.arg_reg(int_index)
+            int_index = int_index + 1
+        if isinstance(arg, DeferredArg):
+            deferred.append((dst, arg))
+        else:
+            moves.append((dst, arg))
+    emit_moves(moves, counting_emit, spec)
+    for dst, arg in deferred:
+        if arg.kind == "spill":
+            offset = frame.local_offset(arg.payload)
+            lop = "lf" if dst.kind == "f" else "lw"
+            base, off = legal.mem_operands(spec.sp(), offset)
+            counting_emit(MInstr(lop, dst=dst, srcs=[base, off]))
+        else:
+            original = arg.payload
+            saved_emit = legal.emit
+            legal.emit = counting_emit
+            try:
+                if original.op == "li":
+                    legal.load_constant(dst, original.srcs[0].value)
+                else:
+                    legal.load_address(dst, original.srcs[0])
+            finally:
+                legal.emit = saved_emit
+    return emitted[0]
+
+
+def global_init_words(gvar):
+    """Flatten a word-elem GlobalVar init into (value-or-symref) entries."""
+    if gvar.init is None:
+        return [0] * (gvar.size // 4)
+    return list(gvar.init)

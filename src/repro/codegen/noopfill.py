@@ -1,0 +1,212 @@
+"""Carrier filling and noop replacement for the branch-register machine.
+
+Materialisation emits every transfer of control as a ``noop`` carrier
+(a noop whose ``br`` field names the target's branch register).  Two
+post-passes then remove as many of these noops as possible:
+
+1. **fill_noop_carriers** -- move a useful instruction from above the
+   carrier into the carrier position and give it the ``br`` field, the
+   branch-register analogue of delay-slot filling (the paper's Figure 4
+   attaches ``b[0]=b[7]`` to ``r[2]=0``);
+
+2. **replace_noops_with_bta** -- Section 5's final optimization: "the
+   compiler attempts to replace no-operation instructions ... with branch
+   target address calculations", hoisting a later ``bta`` into the carrier
+   position ("Since there are no dependencies between branch target
+   address calculations and other types of instructions ... noop
+   instructions can often be replaced").
+"""
+
+from repro.codegen.dataflow import can_swap, minstr_defs, minstr_uses
+from repro.rtl.operand import Reg
+
+MAX_SCAN = 6
+
+# Instructions that may never become carriers or move across a carrier.
+_NEVER_CARRY = ("trap", "halt", "label", "noop", "cmpset", "fcmpset")
+
+
+def _may_carry(ins, breg, link):
+    """Can ``ins`` take over a transfer referencing ``b[breg]``?"""
+    if ins.op in _NEVER_CARRY or ins.is_label() or ins.br:
+        return False
+    # The carrier reads b[breg] at decode; an instruction that writes it
+    # would be read-before-write and must not carry.
+    if Reg("b", breg) in minstr_defs(ins, link):
+        return False
+    return True
+
+
+def fill_noop_carriers(mfn, spec):
+    """Replace noop carriers by hoisting a nearby useful instruction into
+    the carrier position.  Returns the number of carriers filled."""
+    link = spec.br_link
+    instrs = mfn.instrs
+    filled = 0
+    i = 0
+    while i < len(instrs):
+        ins = instrs[i]
+        if ins.is_noop() and ins.br:
+            j = _find_carrier_filler(instrs, i, link)
+            if j is not None:
+                mover = instrs.pop(j)
+                # The noop shifted down to i-1 after the pop.
+                mover.br = ins.br
+                mover.tkind = getattr(ins, "tkind", "jump")
+                instrs[i - 1] = mover
+                filled = filled + 1
+                continue
+        i = i + 1
+    return filled
+
+
+def _find_carrier_filler(instrs, carrier_index, link):
+    carrier = instrs[carrier_index]
+    crossed = []
+    j = carrier_index - 1
+    steps = 0
+    while j >= 0 and steps < MAX_SCAN:
+        candidate = instrs[j]
+        if candidate.is_label():
+            return None
+        if candidate.br:
+            return None  # never cross another transfer
+        if _may_carry(candidate, carrier.br, link):
+            ok = True
+            for crossing in crossed:
+                if not can_swap(candidate, crossing, link):
+                    ok = False
+                    break
+            # The candidate must also commute with the carrier's implicit
+            # reads: it may not define the referenced branch register
+            # (checked in _may_carry).
+            if ok:
+                return j
+        if candidate.op in ("trap", "halt"):
+            return None  # do not move anything across a trap
+        crossed.append(candidate)
+        j = j - 1
+        steps = steps + 1
+    return None
+
+
+def schedule_compares(mfn, spec, max_hoist=3):
+    """Move each ``cmpset`` earlier past independent instructions.
+
+    On pipelines deeper than three stages, a conditional transfer whose
+    carrier immediately follows the compare stalls for N-3 cycles
+    (Figures 7-8).  Separating the compare from the transfer -- the same
+    idea the paper cites for CRISP's branch folding -- hides that delay.
+    Returns the number of positions gained across all compares.
+    """
+    link = spec.br_link
+    instrs = mfn.instrs
+    gained = 0
+    for i in range(len(instrs)):
+        ins = instrs[i]
+        if ins.op not in ("cmpset", "fcmpset"):
+            continue
+        position = i
+        for _ in range(max_hoist):
+            j = position - 1
+            if j < 0:
+                break
+            above = instrs[j]
+            if (
+                above.is_label()
+                or above.br
+                or above.op in ("cmpset", "fcmpset", "trap", "halt")
+            ):
+                break
+            if not can_swap(above, instrs[position], link):
+                break
+            instrs[j], instrs[position] = instrs[position], instrs[j]
+            position = j
+            gained = gained + 1
+    return gained
+
+
+def replace_noops_with_bta(mfn, spec, protected_regs=(), safe_labels=()):
+    """Merge remaining noop carriers with a later ``bta`` calculation.
+
+    A ``bta`` found after the carrier (nothing in between touching its
+    destination register) is moved into the carrier position and takes
+    over the ``br`` field.  Because the carrier may branch away, the moved
+    ``bta`` then also executes on the taken path; that is safe exactly for
+    registers whose live ranges are always block-local -- i.e. *not* the
+    registers holding hoisted loop targets, and not the function's
+    link-save register.  Callers pass those as ``protected_regs``.
+
+    Returns the count of replacements.
+    """
+    link = spec.br_link
+    protected = set(protected_regs)
+    instrs = mfn.instrs
+    replaced = 0
+    i = 0
+    while i < len(instrs):
+        ins = instrs[i]
+        if ins.is_noop() and ins.br:
+            j = _find_following_bta(
+                instrs, i, link, protected, safe_labels, spec.br_callee_saved
+            )
+            if j is not None:
+                bta = instrs.pop(j)
+                bta.br = ins.br
+                bta.tkind = getattr(ins, "tkind", "jump")
+                instrs[i] = bta
+                replaced = replaced + 1
+        i = i + 1
+    return replaced
+
+
+def _find_following_bta(
+    instrs, carrier_index, link, protected, safe_labels, callee_saved
+):
+    """Index of a ``bta`` that can legally move up into the carrier.
+
+    Scanning may continue past a label only when (a) the carrier is a
+    conditional transfer (so execution falls through into the labelled
+    block on the not-taken path) and (b) the labelled block has a single
+    predecessor (``safe_labels``) -- otherwise other paths into that block
+    would miss the moved calculation."""
+    carrier = instrs[carrier_index]
+    target_reg = Reg("b", carrier.br)
+    j = carrier_index + 1
+    steps = 0
+    while j < len(instrs) and steps < MAX_SCAN:
+        candidate = instrs[j]
+        if candidate.is_label():
+            if (
+                getattr(carrier, "tkind", None) == "cond"
+                and candidate.label in safe_labels
+            ):
+                j = j + 1
+                steps = steps + 1
+                continue
+            return None
+        if candidate.op == "bta":
+            dst = candidate.dst
+            if dst == target_reg or dst.index in protected:
+                return None
+            if (
+                getattr(carrier, "tkind", None) == "call"
+                and dst.index not in callee_saved
+            ):
+                # A scratch branch register written just before a call is
+                # dead on return -- the callee may clobber it.
+                return None
+            # Nothing between the carrier and the bta may read or write
+            # the bta's destination register.
+            for k in range(carrier_index + 1, j):
+                mid = instrs[k]
+                if mid.is_label():
+                    continue
+                if dst in minstr_uses(mid) or dst in minstr_defs(mid, link):
+                    return None
+            return j
+        if candidate.br:
+            return None
+        j = j + 1
+        steps = steps + 1
+    return None

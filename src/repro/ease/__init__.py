@@ -1,0 +1,20 @@
+"""EASE-style experiment environment: compile, emulate, measure, report."""
+
+from repro.ease.environment import (
+    PairResult,
+    compile_for_machine,
+    run_on_machine,
+    run_pair,
+)
+from repro.ease.report import cache_table, cycles_table, per_program_table, table1_text
+
+__all__ = [
+    "PairResult",
+    "compile_for_machine",
+    "run_on_machine",
+    "run_pair",
+    "cache_table",
+    "cycles_table",
+    "per_program_table",
+    "table1_text",
+]

@@ -1,0 +1,108 @@
+"""Textual reports in the style of the paper's tables."""
+
+
+def _fmt_count(n):
+    return "{:,}".format(n)
+
+
+def table1_text(baseline_total, branchreg_total):
+    """Render Table I: dynamic measurements from the two machines."""
+    rows = [
+        ("baseline", baseline_total.instructions, baseline_total.data_refs),
+        ("branch register", branchreg_total.instructions, branchreg_total.data_refs),
+    ]
+    instr_diff = (
+        branchreg_total.instructions / baseline_total.instructions - 1.0
+        if baseline_total.instructions
+        else 0.0
+    )
+    refs_diff = (
+        branchreg_total.data_refs / baseline_total.data_refs - 1.0
+        if baseline_total.data_refs
+        else 0.0
+    )
+    lines = [
+        "Table I: Dynamic Measurements from the Two Machines",
+        "%-16s %>20s %>20s".replace(">", ""),
+    ]
+    lines[1] = "%-16s %20s %20s" % ("Machine", "instructions", "data references")
+    for name, instructions, refs in rows:
+        lines.append("%-16s %20s %20s" % (name, _fmt_count(instructions), _fmt_count(refs)))
+    lines.append(
+        "%-16s %19.1f%% %19.1f%%" % ("diff", instr_diff * 100.0, refs_diff * 100.0)
+    )
+    return "\n".join(lines)
+
+
+def per_program_table(pairs):
+    """One row per workload: instruction and data-reference changes."""
+    lines = [
+        "%-11s %12s %12s %8s %8s"
+        % ("program", "base instr", "brm instr", "d-instr", "d-refs")
+    ]
+    for pair in pairs:
+        lines.append(
+            "%-11s %12s %12s %+7.1f%% %+7.1f%%"
+            % (
+                pair.name,
+                _fmt_count(pair.baseline.instructions),
+                _fmt_count(pair.branchreg.instructions),
+                -100.0 * pair.instruction_reduction(),
+                100.0 * pair.data_ref_increase(),
+            )
+        )
+    return "\n".join(lines)
+
+
+def cycles_table(estimates_by_stage):
+    """Render the Section 7 cycle comparison for several pipeline depths.
+
+    ``estimates_by_stage`` is a list of dicts from
+    :func:`repro.pipeline.model.estimate_all`.
+    """
+    lines = [
+        "%6s %14s %14s %14s %9s %10s %14s %9s"
+        % ("stages", "no-delay", "baseline", "branch-reg", "saving",
+           "delayed%", "fastcmp", "saving")
+    ]
+    for est in estimates_by_stage:
+        fast = est.get("branchreg_fastcmp")
+        lines.append(
+            "%6d %14s %14s %14s %8.1f%% %9.2f%% %14s %8.1f%%"
+            % (
+                est["stages"],
+                _fmt_count(est["no_delay"].cycles),
+                _fmt_count(est["baseline"].cycles),
+                _fmt_count(est["branchreg"].cycles),
+                est["saving_vs_baseline"] * 100.0,
+                est["delayed_fraction"] * 100.0,
+                _fmt_count(fast.cycles) if fast else "-",
+                est.get("fastcmp_saving_vs_baseline", 0.0) * 100.0,
+            )
+        )
+    return "\n".join(lines)
+
+
+def cache_table(rows):
+    """Render the Section 8/9 cache study.
+
+    ``rows`` is a list of dicts with keys: config, machine, stalls,
+    miss_rate, covered, pollution.
+    """
+    lines = [
+        "%-26s %-10s %10s %9s %9s %10s"
+        % ("config", "machine", "stalls", "missrate", "covered", "pollution")
+    ]
+    for row in rows:
+        lines.append(
+            "%-26s %-10s %10s %8.2f%% %9d %10d"
+            % (
+                row["config"],
+                row["machine"],
+                _fmt_count(row["stalls"]),
+                row["miss_rate"] * 100.0,
+                row.get("covered", 0),
+                row.get("pollution", 0),
+            )
+        )
+    return "\n".join(lines)

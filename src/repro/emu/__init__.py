@@ -1,0 +1,1 @@
+"""Emulation substrate: memory, runtime, and the two machine emulators."""

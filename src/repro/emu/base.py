@@ -1,0 +1,245 @@
+"""Shared emulator machinery for both machines.
+
+The two machines share every computational opcode; subclasses add the
+control-transfer semantics.  Execution is instruction-object based: the
+loader pre-resolves symbols, and ``step`` dispatches on the opcode through
+a bound-method table.
+"""
+
+from repro.emu.intmath import cdiv, crem, shl, shr, to_signed, wrap
+from repro.emu.runtime import Runtime
+from repro.emu.stats import RunStats
+from repro.errors import EmulationError, RuntimeLimitExceeded
+from repro.rtl.operand import Imm, Reg
+
+DEFAULT_LIMIT = 200_000_000
+
+
+class BaseEmulator:
+    """State and common opcode semantics shared by both machines."""
+
+    MACHINE_NAME = "base"
+
+    def __init__(self, image, stdin=b"", limit=DEFAULT_LIMIT, icache=None):
+        self.image = image
+        self.spec = image.spec
+        self.memory = image.memory
+        self.runtime = Runtime(stdin)
+        self.stats = RunStats(machine=self.MACHINE_NAME)
+        self.limit = limit
+        self.icache = icache
+        self.cache_stalls = 0
+        self.r = [0] * self.spec.ints.count
+        self.f = [0.0] * self.spec.flts.count
+        self.r[self.spec.ints.sp] = image.stack_top
+        self.pc = image.entry
+        self.halted = False
+        self.icount = 0
+        self._dispatch = self._build_dispatch()
+
+    # -- operand helpers ---------------------------------------------------
+
+    def value(self, operand):
+        """Integer or float value of a pre-resolved operand."""
+        if type(operand) is Reg:
+            if operand.kind == "r":
+                return self.r[operand.index]
+            if operand.kind == "f":
+                return self.f[operand.index]
+            raise EmulationError("branch register in data context")
+        if type(operand) is Imm:
+            return operand.value
+        raise EmulationError("bad operand %r" % (operand,))
+
+    def set_reg(self, reg, value):
+        if reg.kind == "r":
+            self.r[reg.index] = value
+        elif reg.kind == "f":
+            self.f[reg.index] = value
+        else:
+            raise EmulationError("cannot set %r here" % (reg,))
+
+    # -- common opcode handlers ------------------------------------------------
+
+    def op_li(self, ins):
+        self.r[ins.dst.index] = ins.xsrcs[0].value
+
+    def op_sethi(self, ins):
+        lo_bits = self.spec.imm_bits - 1
+        value = ins.xsrcs[0].value & 0xFFFFFFFF
+        self.r[ins.dst.index] = to_signed(value & ~((1 << lo_bits) - 1))
+
+    def op_addlo(self, ins):
+        lo_bits = self.spec.imm_bits - 1
+        value = ins.xsrcs[1].value & 0xFFFFFFFF
+        self.r[ins.dst.index] = wrap(
+            self.value(ins.xsrcs[0]) + (value & ((1 << lo_bits) - 1))
+        )
+
+    def op_mov(self, ins):
+        self.r[ins.dst.index] = self.value(ins.xsrcs[0])
+
+    def op_fmov(self, ins):
+        self.f[ins.dst.index] = self.value(ins.xsrcs[0])
+
+    def op_neg(self, ins):
+        self.r[ins.dst.index] = wrap(-self.value(ins.xsrcs[0]))
+
+    def op_not(self, ins):
+        self.r[ins.dst.index] = wrap(~self.value(ins.xsrcs[0]))
+
+    def op_fneg(self, ins):
+        self.f[ins.dst.index] = -self.f[ins.xsrcs[0].index]
+
+    def op_cvtif(self, ins):
+        self.f[ins.dst.index] = float(self.value(ins.xsrcs[0]))
+
+    def op_cvtfi(self, ins):
+        self.r[ins.dst.index] = wrap(int(self.f[ins.xsrcs[0].index]))
+
+    def op_add(self, ins):
+        self.r[ins.dst.index] = wrap(
+            self.value(ins.xsrcs[0]) + self.value(ins.xsrcs[1])
+        )
+
+    def op_sub(self, ins):
+        self.r[ins.dst.index] = wrap(
+            self.value(ins.xsrcs[0]) - self.value(ins.xsrcs[1])
+        )
+
+    def op_mul(self, ins):
+        self.r[ins.dst.index] = wrap(
+            self.value(ins.xsrcs[0]) * self.value(ins.xsrcs[1])
+        )
+
+    def op_div(self, ins):
+        self.r[ins.dst.index] = cdiv(self.value(ins.xsrcs[0]), self.value(ins.xsrcs[1]))
+
+    def op_rem(self, ins):
+        self.r[ins.dst.index] = crem(self.value(ins.xsrcs[0]), self.value(ins.xsrcs[1]))
+
+    def op_and(self, ins):
+        self.r[ins.dst.index] = wrap(
+            (self.value(ins.xsrcs[0]) & 0xFFFFFFFF)
+            & (self.value(ins.xsrcs[1]) & 0xFFFFFFFF)
+        )
+
+    def op_or(self, ins):
+        self.r[ins.dst.index] = wrap(
+            (self.value(ins.xsrcs[0]) & 0xFFFFFFFF)
+            | (self.value(ins.xsrcs[1]) & 0xFFFFFFFF)
+        )
+
+    def op_xor(self, ins):
+        self.r[ins.dst.index] = wrap(
+            (self.value(ins.xsrcs[0]) & 0xFFFFFFFF)
+            ^ (self.value(ins.xsrcs[1]) & 0xFFFFFFFF)
+        )
+
+    def op_shl(self, ins):
+        self.r[ins.dst.index] = shl(self.value(ins.xsrcs[0]), self.value(ins.xsrcs[1]))
+
+    def op_shr(self, ins):
+        self.r[ins.dst.index] = shr(self.value(ins.xsrcs[0]), self.value(ins.xsrcs[1]))
+
+    def op_fadd(self, ins):
+        self.f[ins.dst.index] = self.f[ins.xsrcs[0].index] + self.f[ins.xsrcs[1].index]
+
+    def op_fsub(self, ins):
+        self.f[ins.dst.index] = self.f[ins.xsrcs[0].index] - self.f[ins.xsrcs[1].index]
+
+    def op_fmul(self, ins):
+        self.f[ins.dst.index] = self.f[ins.xsrcs[0].index] * self.f[ins.xsrcs[1].index]
+
+    def op_fdiv(self, ins):
+        denom = self.f[ins.xsrcs[1].index]
+        if denom == 0.0:
+            raise EmulationError("float division by zero")
+        self.f[ins.dst.index] = self.f[ins.xsrcs[0].index] / denom
+
+    # memory ------------------------------------------------------------------
+
+    def op_lw(self, ins):
+        addr = self.value(ins.xsrcs[0]) + ins.xsrcs[1].value
+        self.r[ins.dst.index] = self.memory.load_word(addr)
+        self.stats.loads += 1
+        self.stats.data_refs += 1
+
+    def op_lb(self, ins):
+        addr = self.value(ins.xsrcs[0]) + ins.xsrcs[1].value
+        self.r[ins.dst.index] = self.memory.load_byte(addr)
+        self.stats.loads += 1
+        self.stats.data_refs += 1
+
+    def op_lf(self, ins):
+        addr = self.value(ins.xsrcs[0]) + ins.xsrcs[1].value
+        self.f[ins.dst.index] = self.memory.load_float(addr)
+        self.stats.loads += 1
+        self.stats.data_refs += 1
+
+    def op_sw(self, ins):
+        addr = self.value(ins.xsrcs[1]) + ins.xsrcs[2].value
+        self.memory.store_word(addr, self.value(ins.xsrcs[0]))
+        self.stats.stores += 1
+        self.stats.data_refs += 1
+
+    def op_sb(self, ins):
+        addr = self.value(ins.xsrcs[1]) + ins.xsrcs[2].value
+        self.memory.store_byte(addr, self.value(ins.xsrcs[0]))
+        self.stats.stores += 1
+        self.stats.data_refs += 1
+
+    def op_sf(self, ins):
+        addr = self.value(ins.xsrcs[1]) + ins.xsrcs[2].value
+        self.memory.store_float(addr, self.value(ins.xsrcs[0]))
+        self.stats.stores += 1
+        self.stats.data_refs += 1
+
+    # misc ----------------------------------------------------------------------
+
+    def op_noop(self, ins):
+        self.stats.noops += 1
+
+    def op_trap(self, ins):
+        arg0 = self.r[self.spec.ints.args[0]]
+        result = self.runtime.trap(ins.callee, arg0)
+        self.r[self.spec.ints.ret] = result
+        self.stats.traps += 1
+        if self.runtime.exit_code is not None:
+            self.halted = True
+
+    def op_halt(self, ins):
+        self.halted = True
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _build_dispatch(self):
+        table = {}
+        for name in dir(self):
+            if name.startswith("op_"):
+                table[name[3:]] = getattr(self, name)
+        return table
+
+    # -- main loop ----------------------------------------------------------------
+
+    def step(self):
+        raise NotImplementedError
+
+    def run(self):
+        """Run to halt (or instruction limit); returns the RunStats."""
+        while not self.halted:
+            if self.icount >= self.limit:
+                raise RuntimeLimitExceeded(
+                    "exceeded %d instructions in %s"
+                    % (self.limit, self.stats.program or "program")
+                )
+            self.step()
+        self.stats.instructions = self.icount
+        self.stats.exit_code = (
+            self.runtime.exit_code if self.runtime.exit_code is not None else 0
+        )
+        self.stats.output = bytes(self.runtime.stdout)
+        if self.icache is not None:
+            self.stats.icache = self.icache.stats
+            self.stats.cache_stalls = self.cache_stalls
+        return self.stats

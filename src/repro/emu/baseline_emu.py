@@ -1,0 +1,85 @@
+"""Emulator for the baseline machine (delayed branches).
+
+Uses the SPARC-style pc/npc pair: the instruction at ``npc`` always
+executes after the one at ``pc``, which gives delayed-branch semantics for
+free -- a taken transfer redirects the *following* fetch, so the delay-slot
+instruction always runs.  ``call`` records ``pc + 8`` in ``RT`` (the return
+point past the delay slot), matching the paper's Figure 3 ``PC=RT`` return.
+"""
+
+from repro.emu.base import BaseEmulator
+from repro.emu.intmath import compare
+
+
+class BaselineEmulator(BaseEmulator):
+    MACHINE_NAME = "baseline"
+
+    def __init__(self, image, stdin=b"", limit=None, icache=None):
+        kwargs = {} if limit is None else {"limit": limit}
+        super().__init__(image, stdin=stdin, icache=icache, **kwargs)
+        self.npc = self.pc + 4
+        self.rt = 0
+        self.cc = (0, 0)
+
+    # -- control-flow handlers ---------------------------------------------
+
+    def op_cmp(self, ins):
+        self.cc = (self.value(ins.xsrcs[0]), self.value(ins.xsrcs[1]))
+
+    def op_fcmp(self, ins):
+        self.cc = (self.value(ins.xsrcs[0]), self.value(ins.xsrcs[1]))
+
+    def op_bcc(self, ins):
+        self.stats.cond_transfers += 1
+        if compare(ins.cond, self.cc[0], self.cc[1]):
+            self.stats.cond_taken += 1
+            self._target = ins.t_addr
+
+    op_fbcc = op_bcc
+
+    def op_jmp(self, ins):
+        self.stats.uncond_transfers += 1
+        self._target = ins.t_addr
+
+    def op_ijmp(self, ins):
+        self.stats.uncond_transfers += 1
+        self._target = self.value(ins.xsrcs[0])
+
+    def op_call(self, ins):
+        self.stats.uncond_transfers += 1
+        self.stats.calls += 1
+        self.rt = self.pc + 8
+        self._target = ins.t_addr
+
+    def op_retrt(self, ins):
+        self.stats.uncond_transfers += 1
+        self.stats.returns += 1
+        self._target = self.rt
+
+    def op_mfrt(self, ins):
+        self.r[ins.dst.index] = self.rt
+
+    def op_mtrt(self, ins):
+        self.rt = self.value(ins.xsrcs[0])
+
+    # -- main loop -------------------------------------------------------------
+
+    def step(self):
+        if self.icache is not None:
+            self.cache_stalls += self.icache.demand(
+                self.pc, self.icount + self.cache_stalls
+            )
+        ins = self.image.instruction_at(self.pc)
+        self._target = None
+        self._dispatch[ins.op](ins)
+        self.icount += 1
+        self.stats.opcounts[ins.op] += 1
+        self.pc = self.npc
+        self.npc = self._target if self._target is not None else self.npc + 4
+
+
+def run_baseline(image, stdin=b"", limit=None, program="", icache=None):
+    """Convenience wrapper: run an image and return its RunStats."""
+    emulator = BaselineEmulator(image, stdin=stdin, limit=limit, icache=icache)
+    emulator.stats.program = program
+    return emulator.run()

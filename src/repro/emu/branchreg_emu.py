@@ -1,0 +1,167 @@
+"""Emulator for the branch-register machine.
+
+Architectural state: the common register files plus eight (configurable)
+branch registers.  Any instruction whose ``br`` field names a non-PC
+branch register transfers control to the address in that register *after*
+executing its own operation, and clobbers the link register with the next
+sequential address (Section 4).
+
+For the Section 7 pipeline estimates, the emulator tracks, per branch
+register, the dynamic instruction index at which its current content's
+prefetch was initiated; every transfer records the distance in the
+``prefetch_gap`` histogram (key ``-1`` = sequential / always-ready, keys
+``0..GAP_CAP`` = instructions between calculation and use).  A second
+histogram, ``compare_gap``, records the distance between each ``cmpset``
+and the conditional transfer consuming it (Figures 7-8's ``N-3`` term).
+"""
+
+from repro.emu.base import BaseEmulator
+from repro.emu.intmath import compare, wrap
+
+GAP_CAP = 8
+READY = -1
+_SEQ = "seq"  # sentinel: conditional fell through; target is pc + 4
+
+
+class BranchRegEmulator(BaseEmulator):
+    MACHINE_NAME = "branchreg"
+
+    def __init__(self, image, stdin=b"", limit=None, icache=None):
+        kwargs = {} if limit is None else {"limit": limit}
+        super().__init__(image, stdin=stdin, icache=icache, **kwargs)
+        n = self.spec.branch_regs
+        self.link = self.spec.br_link
+        self.b = [0] * n
+        # Prefetch pedigree: instruction index when the register's content
+        # was (conceptually) sent to the cache; READY for sequential.
+        self.b_set_at = [READY] * n
+        self.cmpset_at = [READY] * n
+
+    # -- branch-register opcodes --------------------------------------------
+
+    def op_bta(self, ins):
+        self.b[ins.dst.index] = ins.t_addr
+        self.b_set_at[ins.dst.index] = self.icount
+        self.stats.bta_calcs += 1
+        if self.icache is not None:
+            self.icache.prefetch(ins.t_addr, self.icount + self.cache_stalls)
+
+    def op_btalo(self, ins):
+        lo_bits = self.spec.imm_bits - 1
+        if ins.t_addr is not None:
+            low = ins.t_addr & ((1 << lo_bits) - 1)
+        else:
+            low = ins.xsrcs[1].value & ((1 << lo_bits) - 1)
+        self.b[ins.dst.index] = wrap(self.value(ins.xsrcs[0]) + low)
+        self.b_set_at[ins.dst.index] = self.icount
+        self.stats.bta_calcs += 1
+        if self.icache is not None:
+            self.icache.prefetch(
+                self.b[ins.dst.index], self.icount + self.cache_stalls
+            )
+
+    def op_bmov(self, ins):
+        src = ins.srcs[0].index
+        self.b[ins.dst.index] = self.b[src]
+        self.b_set_at[ins.dst.index] = self.b_set_at[src]
+
+    def op_bld(self, ins):
+        addr = self.value(ins.xsrcs[0]) + ins.xsrcs[1].value
+        self.b[ins.dst.index] = self.memory.load_word(addr)
+        self.b_set_at[ins.dst.index] = self.icount
+        if self.icache is not None:
+            self.icache.prefetch(
+                self.b[ins.dst.index], self.icount + self.cache_stalls
+            )
+        self.stats.loads += 1
+        self.stats.data_refs += 1
+        if ins.note.startswith("restore"):
+            self.stats.branch_reg_restores += 1
+
+    def op_bst(self, ins):
+        addr = self.value(ins.xsrcs[1]) + ins.xsrcs[2].value
+        value = self.b[ins.srcs[0].index]
+        self.memory.store_word(addr, value)
+        self.stats.stores += 1
+        self.stats.data_refs += 1
+        if ins.note.startswith("save"):
+            self.stats.branch_reg_saves += 1
+
+    def op_cmpset(self, ins):
+        dst = ins.dst.index
+        taken = compare(
+            ins.cond, self.value(ins.xsrcs[0]), self.value(ins.xsrcs[1])
+        )
+        if taken:
+            self.b[dst] = self.b[ins.btrue]
+            self.b_set_at[dst] = self.b_set_at[ins.btrue]
+        else:
+            self.b[dst] = _SEQ
+            self.b_set_at[dst] = READY
+        self.cmpset_at[dst] = self.icount
+
+    op_fcmpset = op_cmpset
+
+    # -- main loop -------------------------------------------------------------
+
+    def step(self):
+        if self.icache is not None:
+            self.cache_stalls += self.icache.demand(
+                self.pc, self.icount + self.cache_stalls
+            )
+        ins = self.image.instruction_at(self.pc)
+        self._dispatch[ins.op](ins)
+        self.icount += 1
+        self.stats.opcounts[ins.op] += 1
+        br = ins.br
+        if not br:
+            self.pc = self.pc + 4
+            return
+        # Transfer of control: read the branch register, then clobber the
+        # link register with the next sequential address.
+        target = self.b[br]
+        sequential = self.pc + 4
+        # -- statistics -----------------------------------------------------
+        stats = self.stats
+        tkind = getattr(ins, "tkind", "jump")
+        if tkind == "cond":
+            stats.cond_transfers += 1
+            gap_c = min(self.icount - 1 - self.cmpset_at[br], GAP_CAP)
+            stats.compare_gap[gap_c] += 1
+            set_at_cond = self.b_set_at[br]
+            if target is _SEQ or set_at_cond == READY:
+                gap_p = READY
+            else:
+                gap_p = min(self.icount - 1 - set_at_cond, GAP_CAP)
+            stats.cond_joint[(gap_p, gap_c)] += 1
+            if target is not _SEQ:
+                stats.cond_taken += 1
+        else:
+            stats.uncond_transfers += 1
+            if tkind == "call":
+                stats.calls += 1
+            elif tkind == "return":
+                stats.returns += 1
+        set_at = self.b_set_at[br]
+        if target is _SEQ or set_at == READY:
+            stats.prefetch_gap[READY] += 1
+        else:
+            gap = self.icount - 1 - set_at
+            stats.prefetch_gap[min(gap, GAP_CAP)] += 1
+        if ins.is_noop():
+            stats.noop_carriers += 1
+        else:
+            stats.useful_carriers += 1
+            if ins.is_bta_calc():
+                stats.bta_carriers += 1
+        # -- architectural effect ----------------------------------------------
+        self.b[self.link] = sequential
+        self.b_set_at[self.link] = self.icount - 1
+        self.pc = sequential if target is _SEQ else target
+
+
+def run_branchreg(image, stdin=b"", limit=None, program="", icache=None):
+    """Convenience wrapper: run an image and return its RunStats."""
+    emulator = BranchRegEmulator(image, stdin=stdin, limit=limit, icache=icache)
+    emulator.stats.program = program
+    return emulator.run()

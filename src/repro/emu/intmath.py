@@ -1,0 +1,97 @@
+"""32-bit two's-complement arithmetic helpers.
+
+Both target machines are 32-bit; all integer arithmetic wraps modulo 2**32
+with signed interpretation.  Division and remainder truncate toward zero
+(C semantics), unlike Python's floor division.
+"""
+
+_MASK = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+
+def to_signed(value):
+    """Interpret a Python int as a signed 32-bit quantity."""
+    value = value & _MASK
+    if value & _SIGN:
+        return value - (1 << 32)
+    return value
+
+
+def to_unsigned(value):
+    return value & _MASK
+
+
+def wrap(value):
+    """Wrap an arbitrary Python int to signed 32-bit."""
+    return to_signed(value & _MASK)
+
+
+def cdiv(a, b):
+    """C-style truncating division."""
+    if b == 0:
+        raise ZeroDivisionError("integer division by zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return wrap(q)
+
+
+def crem(a, b):
+    """C-style remainder: sign follows the dividend."""
+    if b == 0:
+        raise ZeroDivisionError("integer remainder by zero")
+    r = abs(a) % abs(b)
+    if a < 0:
+        r = -r
+    return wrap(r)
+
+
+def shl(a, b):
+    return wrap(a << (b & 31))
+
+
+def shr(a, b):
+    """Arithmetic right shift (the compiler only emits signed ints)."""
+    return wrap(a >> (b & 31))
+
+
+def int_binop(op, a, b):
+    """Evaluate one IR integer binop with 32-bit wrapping semantics."""
+    if op == "add":
+        return wrap(a + b)
+    if op == "sub":
+        return wrap(a - b)
+    if op == "mul":
+        return wrap(a * b)
+    if op == "div":
+        return cdiv(a, b)
+    if op == "rem":
+        return crem(a, b)
+    if op == "and":
+        return wrap(to_unsigned(a) & to_unsigned(b))
+    if op == "or":
+        return wrap(to_unsigned(a) | to_unsigned(b))
+    if op == "xor":
+        return wrap(to_unsigned(a) ^ to_unsigned(b))
+    if op == "shl":
+        return shl(a, b)
+    if op == "shr":
+        return shr(a, b)
+    raise ValueError("unknown integer binop %r" % op)
+
+
+def compare(cond, a, b):
+    """Evaluate a relational condition on two signed ints (or floats)."""
+    if cond == "eq":
+        return a == b
+    if cond == "ne":
+        return a != b
+    if cond == "lt":
+        return a < b
+    if cond == "le":
+        return a <= b
+    if cond == "gt":
+        return a > b
+    if cond == "ge":
+        return a >= b
+    raise ValueError("unknown condition %r" % cond)

@@ -1,0 +1,142 @@
+"""Assembly and loading: MachineProgram -> executable Image.
+
+Assigns every instruction a word address in the text segment, resolves
+labels and symbols, lays out the data segment, and pre-resolves operand
+values onto the instruction objects so the emulators avoid per-step symbol
+lookups.
+"""
+
+from repro.errors import CodegenError
+from repro.emu.memory import DATA_BASE, Memory, STACK_TOP, TEXT_BASE
+from repro.rtl.operand import Imm, Label, Sym
+
+
+class Image:
+    """A loaded program ready to run.
+
+    ``align_functions`` (in words) pads each function's start to a
+    multiple of that many instruction words -- the Section 9 idea of
+    aligning function entries on cache-line boundaries so that sequential
+    and prefetched-target lines conflict less.  Padding slots hold ``noop``
+    instructions that are never executed (nothing jumps to them).
+    """
+
+    def __init__(self, mprog, align_functions=1):
+        self.mprog = mprog
+        self.spec = mprog.spec
+        self.align_functions = max(1, align_functions)
+        self.instrs = []  # index = (addr - TEXT_BASE) // 4
+        self.labels = {}  # label/function name -> text address
+        self.symbols = {}  # global name -> data address
+        self.memory = Memory()
+        self.entry = None
+        self._assemble_text()
+        self._layout_data()
+        self._resolve()
+        self._pristine = bytes(self.memory.data)
+
+    # -- layout ------------------------------------------------------------
+
+    def _assemble_text(self):
+        from repro.codegen.common import mnoop
+
+        addr = TEXT_BASE
+        align_bytes = 4 * self.align_functions
+        for fn in self.mprog.functions:
+            while addr % align_bytes:
+                pad = mnoop()
+                pad.addr = addr
+                pad.note = "align pad"
+                self.instrs.append(pad)
+                addr = addr + 4
+            for ins in fn.instrs:
+                if ins.is_label():
+                    if ins.label in self.labels:
+                        raise CodegenError("duplicate label %r" % ins.label)
+                    self.labels[ins.label] = addr
+                else:
+                    ins.addr = addr
+                    self.instrs.append(ins)
+                    addr = addr + 4
+        self.entry = self.labels[self.mprog.entry]
+
+    def _layout_data(self):
+        addr = DATA_BASE
+        for name, gvar in self.mprog.globals.items():
+            align = 4 if gvar.elem != "byte" else 1
+            addr = (addr + align - 1) // align * align
+            self.symbols[name] = addr
+            addr = addr + max(gvar.size, 1)
+        self.data_end = (addr + 7) // 8 * 8
+        for name, gvar in self.mprog.globals.items():
+            self._init_global(self.symbols[name], gvar)
+
+    def _init_global(self, addr, gvar):
+        init = gvar.init
+        if init is None:
+            return
+        if gvar.elem == "byte":
+            self.memory.write_bytes(addr, bytes(init))
+            return
+        if gvar.elem == "float":
+            for i, value in enumerate(init):
+                self.memory.store_float(addr + 4 * i, float(value))
+            return
+        if gvar.elem == "label":
+            for i, name in enumerate(init):
+                self.memory.store_word(addr + 4 * i, self.labels[name])
+            return
+        # word data, possibly containing ("sym", name) address entries
+        for i, value in enumerate(init):
+            if isinstance(value, tuple) and value[0] == "sym":
+                self.memory.store_word(addr + 4 * i, self.symbols[value[1]])
+            else:
+                self.memory.store_word(addr + 4 * i, int(value))
+
+    # -- symbol resolution -----------------------------------------------------
+
+    def address_of(self, name):
+        """Address of a label, function, or global symbol."""
+        if name in self.labels:
+            return self.labels[name]
+        if name in self.symbols:
+            return self.symbols[name]
+        raise KeyError(name)
+
+    def _resolve(self):
+        """Pre-resolve symbolic operands onto each instruction:
+
+        * ``ins.t_addr``  -- target address for control ops and bta;
+        * ``ins.xsrcs``   -- sources with Sym/Label replaced by ints
+          (for sethi/addlo the full resolved constant).
+        """
+        for ins in self.instrs:
+            if ins.target is not None:
+                ins.t_addr = self.address_of(ins.target.name)
+            else:
+                ins.t_addr = None
+            xsrcs = []
+            for src in ins.srcs:
+                if isinstance(src, (Sym, Label)):
+                    base = self.address_of(src.name)
+                    offset = getattr(src, "offset", 0)
+                    xsrcs.append(Imm(base + offset))
+                else:
+                    xsrcs.append(src)
+            ins.xsrcs = xsrcs
+
+    def reset(self):
+        """Restore the pristine memory image so the program can be run
+        again (emulation mutates globals and the stack in place)."""
+        self.memory.data[:] = self._pristine
+        return self
+
+    def instruction_at(self, addr):
+        index = (addr - TEXT_BASE) >> 2
+        if index < 0 or index >= len(self.instrs):
+            raise CodegenError("fetch outside text segment: 0x%x" % addr)
+        return self.instrs[index]
+
+    @property
+    def stack_top(self):
+        return STACK_TOP

@@ -1,0 +1,76 @@
+"""Byte-addressable memory for the emulated machines.
+
+Layout (both machines)::
+
+    0x00001000  text base   (4 bytes per instruction; instructions are
+                             *not* stored as bytes -- fetch goes through the
+                             image's instruction table)
+    0x00100000  data base   (globals, string literals, jump tables)
+    0x007FFFF0  initial stack pointer (stack grows down)
+
+Words are little-endian; floats are IEEE-754 single precision.
+"""
+
+import struct
+
+from repro.errors import MemoryFault
+from repro.emu.intmath import to_signed
+
+TEXT_BASE = 0x1000
+DATA_BASE = 0x100000
+STACK_TOP = 0x7FFFF0
+MEMORY_SIZE = 0x800000
+
+
+class Memory:
+    """Flat byte-addressable memory."""
+
+    def __init__(self, size=MEMORY_SIZE):
+        self.size = size
+        self.data = bytearray(size)
+
+    def _check(self, address, length):
+        if address < 0 or address + length > self.size:
+            raise MemoryFault("access out of range", address)
+
+    def load_word(self, address):
+        self._check(address, 4)
+        return to_signed(int.from_bytes(self.data[address : address + 4], "little"))
+
+    def store_word(self, address, value):
+        self._check(address, 4)
+        self.data[address : address + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def load_byte(self, address):
+        self._check(address, 1)
+        return self.data[address]
+
+    def store_byte(self, address, value):
+        self._check(address, 1)
+        self.data[address] = value & 0xFF
+
+    def load_float(self, address):
+        self._check(address, 4)
+        return struct.unpack_from("<f", self.data, address)[0]
+
+    def store_float(self, address, value):
+        self._check(address, 4)
+        struct.pack_into("<f", self.data, address, value)
+
+    def write_bytes(self, address, blob):
+        self._check(address, len(blob))
+        self.data[address : address + len(blob)] = blob
+
+    def read_bytes(self, address, length):
+        self._check(address, length)
+        return bytes(self.data[address : address + length])
+
+    def read_cstring(self, address, limit=1 << 16):
+        """Read a NUL-terminated string (for debugging and runtime I/O)."""
+        out = bytearray()
+        for i in range(limit):
+            b = self.load_byte(address + i)
+            if b == 0:
+                break
+            out.append(b)
+        return out.decode("latin-1")

@@ -1,0 +1,41 @@
+"""Emulated runtime services (the ``trap`` builtins).
+
+stdin is a byte buffer supplied at run time; stdout accumulates into a
+byte buffer.  A trap reads its arguments from the machine's argument
+registers and leaves a result in the integer return register, exactly like
+a call would, but costs one instruction and no transfer of control on
+either machine (see DESIGN.md §3).
+"""
+
+
+class Runtime:
+    """I/O state shared by both emulators."""
+
+    def __init__(self, stdin=b""):
+        if isinstance(stdin, str):
+            stdin = stdin.encode("latin-1")
+        self.stdin = bytes(stdin)
+        self.stdin_pos = 0
+        self.stdout = bytearray()
+        self.exit_code = None
+
+    def trap(self, name, arg0):
+        """Execute builtin ``name`` with integer argument ``arg0``;
+        returns the integer result."""
+        if name == "getchar":
+            if self.stdin_pos >= len(self.stdin):
+                return -1
+            ch = self.stdin[self.stdin_pos]
+            self.stdin_pos = self.stdin_pos + 1
+            return ch
+        if name == "putchar":
+            self.stdout.append(arg0 & 0xFF)
+            return arg0 & 0xFF
+        if name == "exit":
+            self.exit_code = arg0
+            return 0
+        raise ValueError("unknown trap %r" % name)
+
+    @property
+    def output_text(self):
+        return self.stdout.decode("latin-1")

@@ -1,0 +1,94 @@
+"""Dynamic measurement counters -- the observables of Table I and Section 7.
+
+The EASE environment the paper used reported dynamic instruction counts and
+data memory references; we additionally keep the per-category breakdowns
+needed for the Section 7 cycle estimates (transfer counts, noop counts,
+branch-target-calculation counts, prefetch-distance histograms).
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunStats:
+    """Counters accumulated while emulating one program."""
+
+    machine: str = ""
+    program: str = ""
+    instructions: int = 0
+    data_refs: int = 0
+    loads: int = 0
+    stores: int = 0
+    noops: int = 0
+    traps: int = 0
+    # Transfers of control.
+    uncond_transfers: int = 0
+    cond_transfers: int = 0
+    cond_taken: int = 0
+    calls: int = 0
+    returns: int = 0
+    # Branch-register machine only.
+    bta_calcs: int = 0
+    noop_carriers: int = 0  # transfers carried by a noop (unfilled)
+    useful_carriers: int = 0  # transfers carried by a useful instruction
+    bta_carriers: int = 0  # transfers carried by a target-address calc
+    branch_reg_saves: int = 0
+    branch_reg_restores: int = 0
+    # Histogram of the dynamic distance (in instructions) between the
+    # branch-target-address calculation and its use; key 0 means the
+    # target register was written by the immediately preceding
+    # instruction.  "ready" distances (sequential path of an untaken
+    # conditional) are recorded under the key -1.
+    prefetch_gap: Counter = field(default_factory=Counter)
+    # Distance between a cmpset and the transfer that consumes it.
+    compare_gap: Counter = field(default_factory=Counter)
+    # Joint histogram for conditional transfers: (prefetch gap, compare
+    # gap) -> count, so pipeline models can charge the max of both
+    # penalties per transfer exactly.
+    cond_joint: Counter = field(default_factory=Counter)
+    opcounts: Counter = field(default_factory=Counter)
+    exit_code: int = 0
+    output: bytes = b""
+
+    @property
+    def transfers(self):
+        return self.uncond_transfers + self.cond_transfers
+
+    def transfer_fraction(self):
+        if not self.instructions:
+            return 0.0
+        return self.transfers / self.instructions
+
+    def merge(self, other):
+        """Accumulate another run's counters into this one (suite totals)."""
+        self.instructions += other.instructions
+        self.data_refs += other.data_refs
+        self.loads += other.loads
+        self.stores += other.stores
+        self.noops += other.noops
+        self.traps += other.traps
+        self.uncond_transfers += other.uncond_transfers
+        self.cond_transfers += other.cond_transfers
+        self.cond_taken += other.cond_taken
+        self.calls += other.calls
+        self.returns += other.returns
+        self.bta_calcs += other.bta_calcs
+        self.noop_carriers += other.noop_carriers
+        self.useful_carriers += other.useful_carriers
+        self.bta_carriers += other.bta_carriers
+        self.branch_reg_saves += other.branch_reg_saves
+        self.branch_reg_restores += other.branch_reg_restores
+        self.prefetch_gap.update(other.prefetch_gap)
+        self.compare_gap.update(other.compare_gap)
+        self.cond_joint.update(other.cond_joint)
+        self.opcounts.update(other.opcounts)
+        return self
+
+
+def suite_totals(stats_list, machine=""):
+    """Merge a list of per-program stats into suite totals."""
+    total = RunStats(machine=machine, program="TOTAL")
+    for stats in stats_list:
+        total.merge(stats)
+    return total

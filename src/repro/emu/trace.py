@@ -1,0 +1,95 @@
+"""Execution tracing: annotated per-instruction logs from either emulator.
+
+Built on the emulators' ``step`` loop, the tracer records (address,
+paper-notation text, interesting state) tuples, optionally filtered to a
+single function's address range.  Used by ``python -m repro trace`` and by
+tests that assert on control-flow sequences.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.emu.baseline_emu import BaselineEmulator
+from repro.emu.branchreg_emu import BranchRegEmulator
+from repro.rtl.printer import minstr_text
+
+
+@dataclass
+class TraceEntry:
+    index: int
+    addr: int
+    text: str
+    detail: str = ""
+
+    def __str__(self):
+        base = "%6d  0x%05x  %s" % (self.index, self.addr, self.text)
+        if self.detail:
+            base = "%-60s ; %s" % (base, self.detail)
+        return base
+
+
+@dataclass
+class Trace:
+    entries: list = field(default_factory=list)
+    truncated: bool = False
+
+    def __str__(self):
+        lines = [str(e) for e in self.entries]
+        if self.truncated:
+            lines.append("... (truncated)")
+        return "\n".join(lines)
+
+    def addresses(self):
+        return [e.addr for e in self.entries]
+
+
+def _function_range(image, function):
+    """(lo, hi) address range of one function's instructions."""
+    mfn = image.mprog.function(function)
+    addrs = [ins.addr for ins in mfn.instrs if not ins.is_label()]
+    if not addrs:
+        raise ValueError("function %r has no instructions" % function)
+    return min(addrs), max(addrs)
+
+
+def trace_run(
+    image,
+    machine,
+    stdin=b"",
+    max_entries=200,
+    function=None,
+    limit=2_000_000,
+):
+    """Run ``image`` on ``machine`` ("baseline"/"branchreg"), recording up
+    to ``max_entries`` executed instructions (optionally only those inside
+    ``function``).  Returns (Trace, RunStats)."""
+    if machine == "baseline":
+        emulator = BaselineEmulator(image.reset(), stdin=stdin, limit=limit)
+    elif machine == "branchreg":
+        emulator = BranchRegEmulator(image.reset(), stdin=stdin, limit=limit)
+    else:
+        raise ValueError("unknown machine %r" % machine)
+    window = _function_range(image, function) if function else None
+    trace = Trace()
+    while not emulator.halted and emulator.icount < limit:
+        pc = emulator.pc
+        ins = image.instruction_at(pc)
+        record = window is None or (window[0] <= pc <= window[1])
+        detail = ""
+        if record and len(trace.entries) < max_entries:
+            if machine == "branchreg" and ins.br:
+                target = emulator.b[ins.br]
+                detail = (
+                    "-> seq" if target == "seq" else "-> 0x%05x" % target
+                )
+            trace.entries.append(
+                TraceEntry(emulator.icount, pc, minstr_text(ins), detail)
+            )
+        elif record:
+            trace.truncated = True
+            # Keep running to completion for accurate stats, but stop
+            # recording.
+            window = (1, 0)  # never matches again
+        emulator.step()
+    emulator.stats.instructions = emulator.icount
+    emulator.stats.output = bytes(emulator.runtime.stdout)
+    return trace, emulator.stats

@@ -1,0 +1,55 @@
+"""Exception hierarchy shared by every subsystem of the reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LexError(ReproError):
+    """Raised by the SmallC lexer on malformed input."""
+
+    def __init__(self, message, line=None, col=None):
+        self.line = line
+        self.col = col
+        where = "" if line is None else " at line %d, col %d" % (line, col)
+        super().__init__(message + where)
+
+
+class ParseError(ReproError):
+    """Raised by the SmallC parser on a syntax error."""
+
+    def __init__(self, message, line=None, col=None):
+        self.line = line
+        self.col = col
+        where = "" if line is None else " at line %d, col %d" % (line, col)
+        super().__init__(message + where)
+
+
+class SemanticError(ReproError):
+    """Raised by the SmallC semantic analyser (type errors, bad lvalues...)."""
+
+
+class CodegenError(ReproError):
+    """Raised when lowering IR to a target machine fails."""
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction does not fit its machine format."""
+
+
+class EmulationError(ReproError):
+    """Raised by an emulator on an illegal runtime condition."""
+
+
+class MemoryFault(EmulationError):
+    """Raised on an out-of-range or misaligned memory access."""
+
+    def __init__(self, message, address=None):
+        self.address = address
+        if address is not None:
+            message = "%s (address=0x%x)" % (message, address)
+        super().__init__(message)
+
+
+class RuntimeLimitExceeded(EmulationError):
+    """Raised when an emulated program exceeds its instruction budget."""

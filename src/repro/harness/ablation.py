@@ -1,0 +1,113 @@
+"""Section 9 ablations.
+
+The paper's future work asks how results change with "the available number
+of these registers" (branch registers) and credits three compiler
+mechanisms for the wins: loop hoisting of target calculations (Section 5),
+useful-instruction carriers, and noop-to-calculation replacement.  This
+harness sweeps each:
+
+* ``sweep_branch_registers`` -- vary the number of branch registers;
+* ``sweep_optimizations``   -- toggle hoisting / carrier filling / noop
+  replacement independently.
+"""
+
+from repro.harness.runner import FAST_SUBSET, run_suite, suite_summary
+from repro.machine.spec import branchreg_spec
+
+
+def sweep_branch_registers(counts=(4, 6, 8, 12), subset=FAST_SUBSET, limit=None):
+    """Returns rows of (branch_regs, instructions, data_refs, change vs
+    baseline instructions)."""
+    kwargs = {} if limit is None else {"limit": limit}
+    rows = []
+    for count in counts:
+        options = {"spec": branchreg_spec(count)}
+        pairs = run_suite(subset=subset, branchreg_options=options, **kwargs)
+        baseline, branchreg = suite_summary(pairs)
+        rows.append(
+            {
+                "branch_regs": count,
+                "baseline_instr": baseline.instructions,
+                "branchreg_instr": branchreg.instructions,
+                "instr_change": branchreg.instructions / baseline.instructions - 1.0,
+                "refs_change": branchreg.data_refs / baseline.data_refs - 1.0,
+                "bta_calcs": branchreg.bta_calcs,
+            }
+        )
+    return rows
+
+
+def sweep_optimizations(subset=FAST_SUBSET, limit=None):
+    """Toggle the three Section 5 mechanisms; returns rows keyed by the
+    configuration name."""
+    kwargs = {} if limit is None else {"limit": limit}
+    configs = [
+        ("full", {}),
+        ("no-hoisting", {"hoisting": False}),
+        ("no-carrier-fill", {"fill_carriers": False}),
+        ("no-noop-replace", {"replace_noops": False}),
+        (
+            "none",
+            {"hoisting": False, "fill_carriers": False, "replace_noops": False},
+        ),
+    ]
+    rows = []
+    for name, options in configs:
+        pairs = run_suite(subset=subset, branchreg_options=options, **kwargs)
+        baseline, branchreg = suite_summary(pairs)
+        rows.append(
+            {
+                "config": name,
+                "baseline_instr": baseline.instructions,
+                "branchreg_instr": branchreg.instructions,
+                "instr_change": branchreg.instructions / baseline.instructions - 1.0,
+                "noop_carriers": branchreg.noop_carriers,
+                "bta_calcs": branchreg.bta_calcs,
+            }
+        )
+    return rows
+
+
+def ablation_text(reg_rows, opt_rows):
+    lines = ["Branch-register count sweep:"]
+    lines.append(
+        "%8s %14s %14s %9s %9s"
+        % ("b-regs", "base instr", "brm instr", "d-instr", "d-refs")
+    )
+    for row in reg_rows:
+        lines.append(
+            "%8d %14d %14d %+8.1f%% %+8.1f%%"
+            % (
+                row["branch_regs"],
+                row["baseline_instr"],
+                row["branchreg_instr"],
+                100.0 * row["instr_change"],
+                100.0 * row["refs_change"],
+            )
+        )
+    lines.append("")
+    lines.append("Optimization ablation:")
+    lines.append(
+        "%-16s %14s %9s %12s %10s"
+        % ("config", "brm instr", "d-instr", "noop-xfers", "bta-calcs")
+    )
+    for row in opt_rows:
+        lines.append(
+            "%-16s %14d %+8.1f%% %12d %10d"
+            % (
+                row["config"],
+                row["branchreg_instr"],
+                100.0 * row["instr_change"],
+                row["noop_carriers"],
+                row["bta_calcs"],
+            )
+        )
+    return "\n".join(lines)
+
+
+def main():
+    print(ablation_text(sweep_branch_registers(), sweep_optimizations()))
+
+
+if __name__ == "__main__":
+    main()

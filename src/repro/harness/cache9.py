@@ -1,0 +1,162 @@
+"""Sections 8-9: instruction-cache study.
+
+The paper proposes prefetching the branch-target line whenever a branch
+register is assigned (Section 8) and lists the open cache-organisation
+questions as future work (Section 9): associativity (at least two so the
+prefetched line does not displace the current line), line size, total
+size, and the pollution cost of unused prefetches.  This harness makes
+those experiments concrete: it runs a representative subset of workloads
+on both machines across cache configurations and reports stall cycles,
+miss rates, prefetch coverage and pollution.
+"""
+
+from dataclasses import dataclass
+
+from repro.cache.icache import PrefetchICache
+from repro.ease.environment import compile_for_machine
+from repro.ease.report import cache_table
+from repro.codegen.branchreg_gen import generate_branchreg
+from repro.emu.baseline_emu import run_baseline
+from repro.emu.branchreg_emu import run_branchreg
+from repro.emu.loader import Image
+from repro.workloads import workload
+
+DEFAULT_CONFIGS = (
+    # (words, line_words, assoc)
+    (64, 4, 1),
+    (64, 4, 2),
+    (128, 4, 2),
+    (128, 8, 2),
+    (256, 4, 2),
+)
+
+
+@dataclass
+class CacheRun:
+    config: str
+    machine: str
+    instructions: int
+    stalls: int
+    stats: object  # ICacheStats
+
+    @property
+    def cycles(self):
+        return self.instructions + self.stalls
+
+
+def run_cache_study(
+    subset=("wc", "grep", "sort"),
+    configs=DEFAULT_CONFIGS,
+    miss_penalty=8,
+    limit=5_000_000,
+):
+    """Run the cache sweep; returns {"runs": [CacheRun], "text": table}."""
+    runs = []
+    images = {}
+    for name in subset:
+        w = workload(name)
+        images[name] = (
+            compile_for_machine(w.source, "baseline"),
+            compile_for_machine(w.source, "branchreg"),
+            w.stdin_bytes(),
+        )
+    for words, line_words, assoc in configs:
+        config = "%dw/%dw-line/%d-way" % (words, line_words, assoc)
+        for machine in ("baseline", "branchreg", "branchreg-nopf"):
+            total_instr = 0
+            total_stalls = 0
+            merged = None
+            for name in subset:
+                base_img, br_img, stdin = images[name]
+                cache = PrefetchICache(
+                    words=words,
+                    line_words=line_words,
+                    assoc=assoc,
+                    miss_penalty=miss_penalty,
+                    prefetch_enabled=(machine == "branchreg"),
+                )
+                if machine == "baseline":
+                    stats = run_baseline(
+                        base_img.reset(), stdin=stdin, limit=limit, icache=cache
+                    )
+                else:
+                    stats = run_branchreg(
+                        br_img.reset(), stdin=stdin, limit=limit, icache=cache
+                    )
+                total_instr += stats.instructions
+                total_stalls += stats.cache_stalls
+                merged = _merge_cache_stats(merged, cache.stats)
+            runs.append(
+                CacheRun(
+                    config=config,
+                    machine=machine,
+                    instructions=total_instr,
+                    stalls=total_stalls,
+                    stats=merged,
+                )
+            )
+    rows = [
+        {
+            "config": run.config,
+            "machine": run.machine,
+            "stalls": run.stalls,
+            "miss_rate": run.stats.miss_rate,
+            "covered": run.stats.fully_covered + run.stats.partial_covered,
+            "pollution": run.stats.unused_prefetches,
+        }
+        for run in runs
+    ]
+    return {"runs": runs, "text": cache_table(rows)}
+
+
+def run_alignment_study(
+    subset=("wc", "grep"), words=64, line_words=4, assoc=2,
+    miss_penalty=8, limit=5_000_000,
+):
+    """Section 9: align function entries on cache-line boundaries.
+
+    Returns stall totals for the branch-register machine with and without
+    line-aligned function starts.
+    """
+    results = {}
+    for aligned in (False, True):
+        total_stalls = 0
+        for name in subset:
+            w = workload(name)
+            program = compile_to_ir_cached(w.source)
+            image = Image(
+                generate_branchreg(program), align_functions=line_words if aligned else 1
+            )
+            cache = PrefetchICache(
+                words=words, line_words=line_words, assoc=assoc,
+                miss_penalty=miss_penalty,
+            )
+            stats = run_branchreg(
+                image, stdin=w.stdin_bytes(), limit=limit, icache=cache
+            )
+            total_stalls += stats.cache_stalls
+        results["aligned" if aligned else "unaligned"] = total_stalls
+    return results
+
+
+def compile_to_ir_cached(source):
+    # Code generation mutates the IR, so each call compiles fresh.
+    from repro.lang.frontend import compile_to_ir
+
+    return compile_to_ir(source)
+
+
+def _merge_cache_stats(a, b):
+    if a is None:
+        return b
+    for field_name in vars(b):
+        setattr(a, field_name, getattr(a, field_name) + getattr(b, field_name))
+    return a
+
+
+def main():
+    print(run_cache_study()["text"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,154 @@
+"""Figure reproductions.
+
+* Figures 2-4: the strlen example compiled for both machines;
+* Figures 5/7: pipeline-delay diagrams for the three machine styles;
+* Figures 6/8: per-cycle pipeline action traces;
+* Figure 9: delay as a function of calculation-to-transfer distance.
+"""
+
+from repro.codegen.baseline_gen import generate_baseline
+from repro.codegen.branchreg_gen import generate_branchreg
+from repro.lang.frontend import compile_to_ir
+from repro.pipeline.diagrams import (
+    conditional_diagram,
+    fig6_actions,
+    fig8_actions,
+    fig9_table,
+    unconditional_diagram,
+)
+from repro.rtl.printer import listing
+
+# The paper's Figure 2, verbatim in spirit.
+STRLEN_SOURCE = r"""
+int strlen(char *s) {
+    int n = 0;
+    if (s)
+        for (; *s; s++)
+            n++;
+    return n;
+}
+
+int main() {
+    return strlen("twelve chars");
+}
+"""
+
+
+def _function_body(mprog, name):
+    fn = mprog.function(name)
+    return [ins for ins in fn.instrs if not ins.is_label()]
+
+
+def _loop_instruction_count(mprog, name):
+    """Instructions between the loop-body label and the final conditional
+    carrier, inclusive -- the per-iteration cost the paper compares
+    (six baseline vs five branch-register instructions)."""
+    fn = mprog.function(name)
+    body_start = None
+    count = 0
+    for ins in fn.instrs:
+        if ins.is_label() and ins.label.startswith("Lbody"):
+            body_start = True
+            continue
+        if body_start and not ins.is_label():
+            count += 1
+            if ins.op in ("bcc", "fbcc"):
+                # The delay-slot instruction executes every iteration too.
+                return count + 1
+            if getattr(ins, "tkind", None) == "cond":
+                return count
+            if ins.op == "retrt" or getattr(ins, "tkind", None) == "return":
+                break
+    return count
+
+
+def strlen_example():
+    """Figures 2-4: compile strlen for both machines.
+
+    Returns a dict with both listings and the instruction counts the paper
+    compares (total function size and loop size).
+    """
+    baseline_prog = generate_baseline(compile_to_ir(STRLEN_SOURCE))
+    branchreg_prog = generate_branchreg(compile_to_ir(STRLEN_SOURCE))
+    base_body = _function_body(baseline_prog, "strlen")
+    br_body = _function_body(branchreg_prog, "strlen")
+    base_fn = baseline_prog.function("strlen")
+    br_fn = branchreg_prog.function("strlen")
+    result = {
+        "source": STRLEN_SOURCE,
+        "baseline_listing": listing(base_fn.instrs),
+        "branchreg_listing": listing(br_fn.instrs),
+        "baseline_total": len(base_body),
+        "branchreg_total": len(br_body),
+        "baseline_loop": _loop_instruction_count(baseline_prog, "strlen"),
+        "branchreg_loop": _loop_instruction_count(branchreg_prog, "strlen"),
+    }
+    result["text"] = (
+        "Figure 3 (baseline machine, delayed branches):\n%s\n\n"
+        "Figure 4 (branch-register machine):\n%s\n\n"
+        "totals: baseline %d instructions (%d in loop), "
+        "branch-register %d instructions (%d in loop)"
+        % (
+            result["baseline_listing"],
+            result["branchreg_listing"],
+            result["baseline_total"],
+            result["baseline_loop"],
+            result["branchreg_total"],
+            result["branchreg_loop"],
+        )
+    )
+    return result
+
+
+def fig5_unconditional_delays(stages=3):
+    """Figure 5: per-machine unconditional-transfer delays and diagrams."""
+    out = {}
+    for machine in ("no-delay", "delayed", "branchreg"):
+        diagram, delay = unconditional_diagram(machine, stages)
+        out[machine] = {"diagram": diagram, "delay": delay}
+    return out
+
+
+def fig7_conditional_delays(stages=3):
+    """Figure 7: per-machine conditional-transfer delays and diagrams."""
+    out = {}
+    for machine in ("no-delay", "delayed", "branchreg"):
+        diagram, delay = conditional_diagram(machine, stages)
+        out[machine] = {"diagram": diagram, "delay": delay}
+    return out
+
+
+def fig6_trace():
+    return fig6_actions()
+
+
+def fig8_trace():
+    return fig8_actions()
+
+
+def fig9_prefetch_distance(stages=3, cache_delay=1):
+    """Figure 9: distance needed to hide the target prefetch."""
+    table = fig9_table(stages=stages, cache_delay=cache_delay)
+    safe = [d for d, delay in table if delay == 0]
+    return {
+        "table": table,
+        "min_safe_distance": min(safe) if safe else None,
+    }
+
+
+def main():
+    print(strlen_example()["text"])
+    print()
+    for machine, info in fig5_unconditional_delays().items():
+        print(info["diagram"])
+        print("delay: %d cycles" % info["delay"])
+        print()
+    for machine, info in fig7_conditional_delays().items():
+        print(info["diagram"])
+        print("delay: %d cycles" % info["delay"])
+        print()
+    print("Figure 9:", fig9_prefetch_distance())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""Section 9's small-cache argument: static loop-body sizes.
+
+"Since instructions to calculate branch target addresses can be moved out
+of loops, the number of instructions in loops will be fewer.  This may
+improve cache performance in machines with small on-chip caches."
+
+This harness measures the static instruction count inside every natural
+loop for both machines across the suite and reports the totals.  (Loop
+membership is taken from the machine-independent CFG, so the comparison
+counts exactly the instructions the two code generators place between a
+loop's first and last generated instruction.)
+"""
+
+from repro.codegen.baseline_gen import generate_baseline
+from repro.codegen.branchreg_gen import generate_branchreg
+from repro.lang.frontend import compile_to_ir
+from repro.workloads import all_workloads
+
+
+def _baseline_spans(fn):
+    """Loop spans on the baseline machine: backward direct branches."""
+    positions = {}
+    for idx, ins in enumerate(fn.instrs):
+        if ins.is_label():
+            positions[ins.label] = idx
+    spans = []
+    for idx, ins in enumerate(fn.instrs):
+        if ins.target is not None and ins.op in ("bcc", "fbcc", "jmp"):
+            target_pos = positions.get(ins.target.name)
+            if target_pos is not None and target_pos < idx:
+                spans.append((target_pos, idx))
+    return spans
+
+
+def _branchreg_spans(fn):
+    """Loop spans on the branch-register machine.
+
+    A loop exists when a ``bta`` computes the address of label L and the
+    register is later *consumed* (as a carrier's ``br`` field, or as a
+    ``cmpset`` taken-source) at a position after L -- that consumer is the
+    back edge and [L, consumer] is the static body."""
+    positions = {}
+    for idx, ins in enumerate(fn.instrs):
+        if ins.is_label():
+            positions[ins.label] = idx
+    instrs = fn.instrs
+    spans = []
+    for idx, ins in enumerate(instrs):
+        if ins.op != "bta" or ins.target is None:
+            continue
+        target_pos = positions.get(ins.target.name)
+        if target_pos is None:
+            continue
+        breg = ins.dst.index
+        last_consumer = None
+        for j in range(idx + 1, len(instrs)):
+            other = instrs[j]
+            if other.is_label():
+                continue
+            if other.br == breg or (
+                other.op in ("cmpset", "fcmpset") and other.btrue == breg
+            ):
+                last_consumer = j
+            is_redef = (
+                other is not ins
+                and other.dst is not None
+                and getattr(other.dst, "kind", None) == "b"
+                and other.dst.index == breg
+            )
+            if is_redef:
+                break
+        if last_consumer is not None and last_consumer > target_pos:
+            spans.append((target_pos, last_consumer))
+    return spans
+
+
+def _loop_instruction_count(mprog):
+    """Total static instructions located inside loop bodies."""
+    total = 0
+    for fn in mprog.functions:
+        if mprog.spec.name == "baseline":
+            spans = _baseline_spans(fn)
+        else:
+            spans = _branchreg_spans(fn)
+        covered = set()
+        for lo, hi in spans:
+            covered.update(range(lo, hi + 1))
+        total += sum(
+            1 for idx in covered if not fn.instrs[idx].is_label()
+        )
+    return total
+
+
+def run_loop_size_study(subset=None):
+    """Static in-loop instruction totals for both machines.
+
+    Returns {"rows": [...], "baseline_total", "branchreg_total", "text"}.
+    """
+    rows = []
+    base_total = 0
+    br_total = 0
+    for w in all_workloads():
+        if subset is not None and w.name not in subset:
+            continue
+        base = _loop_instruction_count(
+            generate_baseline(compile_to_ir(w.source))
+        )
+        br = _loop_instruction_count(
+            generate_branchreg(compile_to_ir(w.source))
+        )
+        rows.append({"program": w.name, "baseline": base, "branchreg": br})
+        base_total += base
+        br_total += br
+    lines = ["%-11s %10s %10s %8s" % ("program", "baseline", "branch-reg", "change")]
+    for row in rows:
+        change = (
+            row["branchreg"] / row["baseline"] - 1.0 if row["baseline"] else 0.0
+        )
+        lines.append(
+            "%-11s %10d %10d %+7.1f%%"
+            % (row["program"], row["baseline"], row["branchreg"], 100 * change)
+        )
+    lines.append(
+        "%-11s %10d %10d %+7.1f%%"
+        % (
+            "TOTAL",
+            base_total,
+            br_total,
+            100 * (br_total / base_total - 1.0) if base_total else 0.0,
+        )
+    )
+    return {
+        "rows": rows,
+        "baseline_total": base_total,
+        "branchreg_total": br_total,
+        "text": "\n".join(lines),
+    }
+
+
+def main():
+    print(run_loop_size_study()["text"])
+
+
+if __name__ == "__main__":
+    main()

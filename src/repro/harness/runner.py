@@ -1,0 +1,55 @@
+"""Shared suite runner with memoisation.
+
+Emulating the full 19-program suite on both machines takes tens of
+seconds; every experiment harness shares the results through this module's
+cache so that ``pytest benchmarks/`` does each distinct configuration only
+once per process.
+"""
+
+from repro.ease.environment import run_pair
+from repro.emu.stats import suite_totals
+from repro.workloads import all_workloads
+
+DEFAULT_LIMIT = 20_000_000
+
+_CACHE = {}
+
+# A fast subset with one program of each character (byte loops, recursion,
+# FP, sorting, compiler) for experiments that sweep many configurations.
+FAST_SUBSET = ("wc", "grep", "puzzle", "spline", "sort", "vpcc")
+
+
+def run_suite(subset=None, limit=DEFAULT_LIMIT, branchreg_options=None):
+    """Run (or reuse) the suite; returns a list of PairResult.
+
+    ``subset`` is an iterable of workload names or None for all 19.
+    ``branchreg_options`` forwards ablation switches to the
+    branch-register code generator.
+    """
+    names = tuple(subset) if subset is not None else None
+    options = tuple(sorted((branchreg_options or {}).items()))
+    key = (names, limit, options)
+    if key in _CACHE:
+        return _CACHE[key]
+    pairs = []
+    for w in all_workloads():
+        if names is not None and w.name not in names:
+            continue
+        pairs.append(
+            run_pair(
+                w.source,
+                stdin=w.stdin_bytes(),
+                name=w.name,
+                limit=limit,
+                branchreg_options=branchreg_options,
+            )
+        )
+    _CACHE[key] = pairs
+    return pairs
+
+
+def suite_summary(pairs):
+    """(baseline totals, branch-register totals) for a list of pairs."""
+    baseline = suite_totals([p.baseline for p in pairs], machine="baseline")
+    branchreg = suite_totals([p.branchreg for p in pairs], machine="branchreg")
+    return baseline, branchreg

@@ -1,0 +1,84 @@
+"""Table I reproduction: dynamic measurements from the two machines.
+
+Also computes the surrounding Section 7 claims:
+
+* ~14% of the baseline machine's instructions are transfers of control;
+* the branch-register machine executes fewer instructions but slightly
+  more data references, with a large saved-instructions :
+  added-references ratio (the paper reports 10:1);
+* the ratio of transfers executed to branch-target-address calculations
+  executed exceeds 2:1 (hoisting works);
+* a sizeable fraction of the baseline's delay-slot noops is replaced by
+  target-address calculations (the paper reports 36%).
+"""
+
+from repro.ease.report import per_program_table, table1_text
+from repro.harness.runner import run_suite, suite_summary
+
+
+def run_table1(subset=None, limit=None):
+    """Run the experiment; returns a result dict (see keys below)."""
+    kwargs = {} if limit is None else {"limit": limit}
+    pairs = run_suite(subset=subset, **kwargs)
+    baseline, branchreg = suite_summary(pairs)
+    saved = baseline.instructions - branchreg.instructions
+    added_refs = branchreg.data_refs - baseline.data_refs
+    result = {
+        "pairs": pairs,
+        "baseline": baseline,
+        "branchreg": branchreg,
+        "instr_change": branchreg.instructions / baseline.instructions - 1.0,
+        "refs_change": branchreg.data_refs / baseline.data_refs - 1.0,
+        "saved_to_added_ratio": (saved / added_refs) if added_refs > 0 else float("inf"),
+        "transfer_fraction": baseline.transfer_fraction(),
+        "uncond_transfers": baseline.uncond_transfers,
+        "cond_transfers": baseline.cond_transfers,
+        "transfers_per_calc": (
+            branchreg.transfers / branchreg.bta_calcs
+            if branchreg.bta_calcs
+            else float("inf")
+        ),
+        "baseline_noops": baseline.noops,
+        "branchreg_noops": branchreg.noops,
+        "noop_reduction": (
+            1.0 - branchreg.noops / baseline.noops if baseline.noops else 0.0
+        ),
+        "bta_carriers": branchreg.bta_carriers,
+    }
+    result["text"] = "\n\n".join(
+        [
+            table1_text(baseline, branchreg),
+            per_program_table(pairs),
+            _claims_text(result),
+        ]
+    )
+    return result
+
+
+def _claims_text(result):
+    lines = [
+        "Section 7 claims:",
+        "  transfers of control on baseline: %.1f%% of instructions (paper: ~14%%)"
+        % (100.0 * result["transfer_fraction"]),
+        "  saved-instructions : added-data-references = %.1f : 1 (paper: 10 : 1)"
+        % result["saved_to_added_ratio"],
+        "  transfers executed : target calcs executed = %.2f : 1 (paper: > 2 : 1)"
+        % result["transfers_per_calc"],
+        "  noops executed: baseline %d -> branch-register %d (%.0f%% fewer; paper"
+        % (
+            result["baseline_noops"],
+            result["branchreg_noops"],
+            100.0 * result["noop_reduction"],
+        )
+        + " replaced 36% of delay-slot noops)",
+        "  transfers carried by a target-address calc: %d" % result["bta_carriers"],
+    ]
+    return "\n".join(lines)
+
+
+def main():
+    print(run_table1()["text"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""SmallC front end: lexer, parser, semantic analysis, IR generation."""
+
+from repro.lang.frontend import STDLIB_SOURCE, compile_to_ir
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+__all__ = ["STDLIB_SOURCE", "compile_to_ir", "tokenize", "parse", "analyze"]

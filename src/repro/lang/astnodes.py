@@ -1,0 +1,202 @@
+"""AST node definitions for SmallC.
+
+Every node carries ``line``/``col`` for diagnostics.  Expression nodes gain
+a ``ctype`` attribute during semantic analysis.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+
+
+# --- expressions ----------------------------------------------------------
+
+
+@dataclass
+class IntLit(Node):
+    value: int
+    ctype: object = None
+
+
+@dataclass
+class FloatLit(Node):
+    value: float
+    ctype: object = None
+
+
+@dataclass
+class StrLit(Node):
+    value: str
+    ctype: object = None
+
+
+@dataclass
+class Ident(Node):
+    name: str
+    ctype: object = None
+    symbol: object = None  # filled by sema
+
+
+@dataclass
+class Unary(Node):
+    op: str  # "-", "!", "~", "*", "&"
+    operand: object = None
+    ctype: object = None
+
+
+@dataclass
+class Cast(Node):
+    target: object = None  # CType
+    operand: object = None
+    ctype: object = None
+
+
+@dataclass
+class Binary(Node):
+    op: str
+    left: object = None
+    right: object = None
+    ctype: object = None
+
+
+@dataclass
+class Assign(Node):
+    op: str  # "=", "+=", "-=", ...
+    target: object = None
+    value: object = None
+    ctype: object = None
+
+
+@dataclass
+class IncDec(Node):
+    op: str  # "++" or "--"
+    prefix: bool = True
+    operand: object = None
+    ctype: object = None
+
+
+@dataclass
+class Index(Node):
+    base: object = None
+    index: object = None
+    ctype: object = None
+
+
+@dataclass
+class Call(Node):
+    name: str = ""
+    args: list = field(default_factory=list)
+    ctype: object = None
+    symbol: object = None
+
+
+@dataclass
+class Ternary(Node):
+    cond: object = None
+    then: object = None
+    other: object = None
+    ctype: object = None
+
+
+# --- statements -----------------------------------------------------------
+
+
+@dataclass
+class Block(Node):
+    stmts: list = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: object = None
+
+
+@dataclass
+class If(Node):
+    cond: object = None
+    then: object = None
+    other: object = None
+
+
+@dataclass
+class While(Node):
+    cond: object = None
+    body: object = None
+
+
+@dataclass
+class DoWhile(Node):
+    body: object = None
+    cond: object = None
+
+
+@dataclass
+class For(Node):
+    init: object = None  # statement or None
+    cond: object = None  # expression or None
+    step: object = None  # expression or None
+    body: object = None
+
+
+@dataclass
+class Return(Node):
+    value: object = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class Switch(Node):
+    expr: object = None
+    cases: list = field(default_factory=list)  # list of (value:int|None, stmts)
+
+
+@dataclass
+class VarDecl(Node):
+    """One declared variable (local or global)."""
+
+    name: str = ""
+    ctype: object = None
+    init: object = None  # expression, list of constants, or string
+    symbol: object = None
+
+
+@dataclass
+class DeclStmt(Node):
+    decls: list = field(default_factory=list)
+
+
+# --- top level -------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    ctype: object = None
+    symbol: object = None
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    return_type: object = None
+    params: list = field(default_factory=list)
+    body: object = None
+
+
+@dataclass
+class Program(Node):
+    globals: list = field(default_factory=list)  # VarDecl
+    functions: list = field(default_factory=list)  # FuncDef

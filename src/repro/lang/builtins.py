@@ -1,0 +1,22 @@
+"""Builtin (trap) functions provided by the emulated runtime.
+
+These correspond to the operating-system services the paper's test programs
+used for I/O.  They are invoked through a single ``trap`` instruction on
+both machines, so their cost is identical on the baseline and
+branch-register machines and they never perturb the comparison (DESIGN.md
+§3).  Everything else (``puts``, ``print_int``, ``strlen``...) is written
+in SmallC and compiled with the program -- see :data:`repro.lang.frontend.STDLIB_SOURCE`.
+"""
+
+from repro.lang import ctypes as ct
+
+# name -> (return type, parameter types)
+BUILTINS = {
+    "getchar": (ct.INT, ()),
+    "putchar": (ct.INT, (ct.INT,)),
+    "exit": (ct.VOID, (ct.INT,)),
+}
+
+
+def is_builtin(name):
+    return name in BUILTINS

@@ -1,0 +1,126 @@
+"""SmallC's type system.
+
+SmallC has four base types -- ``int`` (32-bit signed), ``char`` (8-bit
+unsigned in memory, widened to int in expressions), ``float`` (IEEE single
+precision) and ``void`` -- plus pointers and constant-dimension arrays over
+them.  There are no structs, unions or typedefs; Appendix I programs that
+used structs are reproduced with parallel arrays (see DESIGN.md §3).
+"""
+
+from dataclasses import dataclass
+
+
+class CType:
+    """Base class for SmallC types."""
+
+    def is_pointer(self):
+        return isinstance(self, PointerType)
+
+    def is_array(self):
+        return isinstance(self, ArrayType)
+
+    def is_float(self):
+        return isinstance(self, BaseType) and self.name == "float"
+
+    def is_void(self):
+        return isinstance(self, BaseType) and self.name == "void"
+
+    def is_char(self):
+        return isinstance(self, BaseType) and self.name == "char"
+
+    def is_int(self):
+        return isinstance(self, BaseType) and self.name == "int"
+
+    def is_integral(self):
+        return self.is_int() or self.is_char()
+
+    def is_scalar(self):
+        return self.is_integral() or self.is_float() or self.is_pointer()
+
+    def is_arithmetic(self):
+        return self.is_integral() or self.is_float()
+
+
+@dataclass(frozen=True)
+class BaseType(CType):
+    name: str  # "int" | "char" | "float" | "void"
+
+    @property
+    def size(self):
+        return {"int": 4, "char": 1, "float": 4, "void": 0}[self.name]
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    pointee: CType
+
+    @property
+    def size(self):
+        return 4
+
+    def __str__(self):
+        return "%s*" % self.pointee
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    elem: CType
+    length: int
+
+    @property
+    def size(self):
+        return self.elem.size * self.length
+
+    def decay(self):
+        return PointerType(self.elem)
+
+    def __str__(self):
+        return "%s[%d]" % (self.elem, self.length)
+
+
+INT = BaseType("int")
+CHAR = BaseType("char")
+FLOAT = BaseType("float")
+VOID = BaseType("void")
+
+
+def decay(ctype):
+    """Array-to-pointer decay as applied in expression contexts."""
+    if ctype.is_array():
+        return ctype.decay()
+    return ctype
+
+
+def element_size(ctype):
+    """Size of the object a pointer/array element refers to, for pointer
+    arithmetic scaling."""
+    if ctype.is_pointer():
+        return ctype.pointee.size
+    if ctype.is_array():
+        return ctype.elem.size
+    raise TypeError("not a pointer/array type: %s" % ctype)
+
+
+def assignable(dst, src):
+    """Loose C-style assignability check used by the semantic analyser."""
+    dst = decay(dst)
+    src = decay(src)
+    if dst.is_arithmetic() and src.is_arithmetic():
+        return True
+    if dst.is_pointer() and src.is_pointer():
+        return True  # SmallC permits pointer casts by assignment, like K&R C
+    if dst.is_pointer() and src.is_integral():
+        return True  # NULL and address arithmetic idioms
+    if dst.is_integral() and src.is_pointer():
+        return True
+    return False
+
+
+def common_arith(left, right):
+    """Usual arithmetic conversions: float wins, otherwise int."""
+    if left.is_float() or right.is_float():
+        return FLOAT
+    return INT

@@ -1,0 +1,312 @@
+"""SmallC compilation driver: source text -> machine-independent IR.
+
+Also provides the SmallC runtime library (string helpers, formatted
+output, and software floating-point math used by the whetstone and spline
+workloads).  Library functions a program does not reach from ``main`` are
+trimmed before code generation.
+"""
+
+from repro.errors import SemanticError
+from repro.lang.irgen import lower_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+STDLIB_SOURCE = r"""
+/* SmallC runtime library.  Compiled together with every program; unused
+   functions are discarded.  strlen is intentionally the paper's Figure 2. */
+
+int strlen(char *s) {
+    int n = 0;
+    if (s)
+        for (; *s; s++)
+            n++;
+    return n;
+}
+
+int strcmp(char *a, char *b) {
+    while (*a && *a == *b) {
+        a++;
+        b++;
+    }
+    return *a - *b;
+}
+
+char *strcpy(char *dst, char *src) {
+    char *p = dst;
+    while ((*p = *src)) {
+        p++;
+        src++;
+    }
+    return dst;
+}
+
+int abs_int(int n) {
+    if (n < 0)
+        return -n;
+    return n;
+}
+
+int atoi(char *s) {
+    int n = 0;
+    int sign = 1;
+    while (*s == ' ' || *s == '\t')
+        s++;
+    if (*s == '-') {
+        sign = -1;
+        s++;
+    } else if (*s == '+')
+        s++;
+    while (*s >= '0' && *s <= '9') {
+        n = n * 10 + (*s - '0');
+        s++;
+    }
+    return n * sign;
+}
+
+void print_str(char *s) {
+    while (*s) {
+        putchar(*s);
+        s++;
+    }
+}
+
+void print_int(int n) {
+    char buf[12];
+    int i = 0;
+    if (n < 0) {
+        putchar('-');
+        n = -n;
+    }
+    do {
+        buf[i] = '0' + n % 10;
+        i++;
+        n = n / 10;
+    } while (n);
+    while (i > 0) {
+        i--;
+        putchar(buf[i]);
+    }
+}
+
+void print_float(float x) {
+    int whole;
+    int frac;
+    if (x < 0.0) {
+        putchar('-');
+        x = -x;
+    }
+    whole = (int) x;
+    frac = (int) ((x - (float) whole) * 1000.0 + 0.5);
+    if (frac >= 1000) {
+        whole = whole + 1;
+        frac = frac - 1000;
+    }
+    print_int(whole);
+    putchar('.');
+    putchar('0' + frac / 100);
+    putchar('0' + frac / 10 % 10);
+    putchar('0' + frac % 10);
+}
+
+float f_abs(float x) {
+    if (x < 0.0)
+        return -x;
+    return x;
+}
+
+float f_sqrt(float x) {
+    float guess;
+    int i;
+    if (x <= 0.0)
+        return 0.0;
+    guess = x;
+    if (guess > 1.0)
+        guess = x / 2.0 + 0.5;
+    for (i = 0; i < 20; i++)
+        guess = 0.5 * (guess + x / guess);
+    return guess;
+}
+
+float f_sin(float x) {
+    float pi = 3.14159265358979;
+    float twopi = 6.28318530717959;
+    float x2;
+    float term;
+    float sum;
+    int n;
+    while (x > pi)
+        x = x - twopi;
+    while (x < -pi)
+        x = x + twopi;
+    x2 = x * x;
+    term = x;
+    sum = x;
+    for (n = 1; n <= 9; n++) {
+        term = -term * x2 / ((2.0 * (float) n) * (2.0 * (float) n + 1.0));
+        sum = sum + term;
+    }
+    return sum;
+}
+
+float f_cos(float x) {
+    return f_sin(x + 1.570796326794897);
+}
+
+float f_atan(float x) {
+    /* Maclaurin series after half-angle reduction:
+       atan(x) = 2*atan(x / (1 + sqrt(1 + x^2))), applied until the
+       argument is small enough for fast convergence. */
+    float sign = 1.0;
+    float result;
+    float x2;
+    float term;
+    int n;
+    int halvings = 0;
+    if (x < 0.0) {
+        x = -x;
+        sign = -1.0;
+    }
+    while (x > 0.25) {
+        x = x / (1.0 + f_sqrt(1.0 + x * x));
+        halvings = halvings + 1;
+    }
+    x2 = x * x;
+    term = x;
+    result = x;
+    for (n = 1; n <= 10; n++) {
+        term = -term * x2;
+        result = result + term / (2.0 * (float) n + 1.0);
+    }
+    while (halvings > 0) {
+        result = result * 2.0;
+        halvings--;
+    }
+    return sign * result;
+}
+
+float f_exp(float x) {
+    /* exp(x) = exp(x/2)^2 range reduction over a Maclaurin series. */
+    float term = 1.0;
+    float sum = 1.0;
+    int n;
+    if (x > 1.0 || x < -1.0) {
+        float half = f_exp(x * 0.5);
+        return half * half;
+    }
+    for (n = 1; n <= 12; n++) {
+        term = term * x / (float) n;
+        sum = sum + term;
+    }
+    return sum;
+}
+
+float f_log(float x) {
+    /* ln via atanh series: ln(x) = 2*artanh((x-1)/(x+1)), range reduced
+       by factoring out powers of e. */
+    float e = 2.718281828459045;
+    float k = 0.0;
+    float y;
+    float y2;
+    float term;
+    float sum;
+    int n;
+    if (x <= 0.0)
+        return 0.0;
+    while (x > e) {
+        x = x / e;
+        k = k + 1.0;
+    }
+    while (x < 1.0 / e) {
+        x = x * e;
+        k = k - 1.0;
+    }
+    y = (x - 1.0) / (x + 1.0);
+    y2 = y * y;
+    term = y;
+    sum = y;
+    for (n = 1; n <= 10; n++) {
+        term = term * y2;
+        sum = sum + term / (2.0 * (float) n + 1.0);
+    }
+    return 2.0 * sum + k;
+}
+"""
+
+
+def _merge_stdlib(user_ast, stdlib_ast):
+    """Append stdlib functions the user program did not redefine."""
+    defined = {fn.name for fn in user_ast.functions}
+    for fn in stdlib_ast.functions:
+        if fn.name not in defined:
+            user_ast.functions.append(fn)
+    return user_ast
+
+
+def _reachable_functions(program):
+    """Names of functions reachable from main via call instructions."""
+    reachable = set()
+    stack = ["main"]
+    while stack:
+        name = stack.pop()
+        if name in reachable or name not in program.functions:
+            continue
+        reachable.add(name)
+        for ins in program.functions[name].instrs:
+            if ins.op == "call" and ins.callee not in reachable:
+                stack.append(ins.callee)
+    return reachable
+
+
+def _referenced_globals(program):
+    """Symbol names referenced from live code or from other live globals."""
+    from repro.rtl.operand import Sym
+
+    referenced = set()
+    for fn in program.functions.values():
+        for ins in fn.instrs:
+            for src in ins.srcs:
+                if isinstance(src, Sym):
+                    referenced.add(src.name)
+    # Globals can reference other globals (char *p = "text").
+    changed = True
+    while changed:
+        changed = False
+        for name in list(referenced):
+            gvar = program.globals.get(name)
+            if gvar is None or not isinstance(gvar.init, list):
+                continue
+            for item in gvar.init:
+                if (
+                    isinstance(item, tuple)
+                    and item[0] == "sym"
+                    and item[1] not in referenced
+                ):
+                    referenced.add(item[1])
+                    changed = True
+    return referenced
+
+
+def _trim_unreachable(program):
+    keep = _reachable_functions(program)
+    program.functions = {
+        name: fn for name, fn in program.functions.items() if name in keep
+    }
+    live_syms = _referenced_globals(program)
+    program.globals = {
+        name: g for name, g in program.globals.items() if name in live_syms
+    }
+    return program
+
+
+def compile_to_ir(source, include_stdlib=True, filename="<source>"):
+    """Compile SmallC source into a trimmed :class:`IRProgram`."""
+    user_ast = parse(source, filename)
+    if include_stdlib:
+        stdlib_ast = parse(STDLIB_SOURCE, "<stdlib>")
+        user_ast = _merge_stdlib(user_ast, stdlib_ast)
+    analyze(user_ast)
+    for fn in user_ast.functions:
+        if fn.name == "main" and fn.params:
+            raise SemanticError("main must take no parameters in SmallC")
+    program = lower_program(user_ast)
+    return _trim_unreachable(program)

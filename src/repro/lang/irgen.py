@@ -1,0 +1,968 @@
+"""Lowering of the SmallC AST into machine-independent IR.
+
+Storage assignment:
+
+* scalar parameters and scalar locals live in virtual registers;
+* arrays, and scalars whose address is taken, live in the stack frame
+  (accessed through ``laddr``);
+* globals live in the data segment (accessed through ``la``).
+
+Floating-point constants are interned in a constant pool in the data
+segment and loaded with ``la``/``lf``, as a load/store machine requires.
+"""
+
+from repro.errors import CodegenError
+from repro.lang import astnodes as ast
+from repro.lang import ctypes as ct
+from repro.rtl import instr as I
+from repro.rtl.function import GlobalVar, IRFunction, IRProgram
+from repro.rtl.operand import FLT, INT, Imm, Label, Sym, VReg
+
+
+def _is_power_of_two(n):
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class FunctionLowering:
+    """Lowers one function body to IR."""
+
+    def __init__(self, program_gen, funcdef):
+        self.pg = program_gen
+        self.funcdef = funcdef
+        self.fn = IRFunction(
+            funcdef.name,
+            return_float=funcdef.return_type.is_float(),
+        )
+        self.storage = {}  # Symbol -> ("reg", VReg) | ("frame", Local) | ("global",)
+        self.break_labels = []
+        self.continue_labels = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def emit(self, instr):
+        return self.fn.emit(instr)
+
+    def _vreg_for(self, ctype):
+        return self.fn.new_vreg(FLT if ctype.is_float() else INT)
+
+    def _materialize(self, operand, cls=INT):
+        """Force an operand into a virtual register."""
+        if isinstance(operand, VReg):
+            return operand
+        dst = self.fn.new_vreg(cls)
+        if isinstance(operand, Imm):
+            self.emit(I.li(dst, operand.value))
+            return dst
+        raise CodegenError("cannot materialize %r" % (operand,))
+
+    def _load_float_const(self, value):
+        sym = self.pg.intern_float(value)
+        addr = self.fn.new_vreg(INT)
+        self.emit(I.la(addr, Sym(sym)))
+        dst = self.fn.new_vreg(FLT)
+        self.emit(I.load("lf", dst, addr, 0))
+        return dst
+
+    def _coerce(self, operand, from_type, to_type):
+        """Insert int<->float conversions when needed; returns operand."""
+        from_type = ct.decay(from_type)
+        to_type = ct.decay(to_type)
+        if from_type.is_float() and not to_type.is_float():
+            src = operand
+            if isinstance(src, Imm):
+                raise CodegenError("float immediate in int context")
+            dst = self.fn.new_vreg(INT)
+            self.emit(I.unop("cvtfi", dst, src))
+            return dst
+        if to_type.is_float() and not from_type.is_float():
+            if isinstance(operand, Imm):
+                return self._load_float_const(float(operand.value))
+            dst = self.fn.new_vreg(FLT)
+            self.emit(I.unop("cvtif", dst, operand))
+            return dst
+        return operand
+
+    # -- storage -----------------------------------------------------------
+
+    def setup_storage(self):
+        for param, psym in zip(
+            self.funcdef.params, [p.symbol for p in self.funcdef.params]
+        ):
+            vreg = self._vreg_for(psym.ctype)
+            self.fn.params.append((vreg, psym.ctype.is_float()))
+            if psym.addressed:
+                local = self.fn.add_local(psym.name, max(psym.ctype.size, 4))
+                self.storage[psym] = ("frame", local)
+                # Spill the incoming argument to its frame home.
+                addr = self.fn.new_vreg(INT)
+                self.emit(I.Instr("laddr", dst=addr, srcs=[local]))
+                op = "sf" if psym.ctype.is_float() else "sw"
+                self.emit(I.store(op, vreg, addr, 0))
+            else:
+                self.storage[psym] = ("reg", vreg)
+
+    def _storage_for(self, symbol):
+        if symbol in self.storage:
+            return self.storage[symbol]
+        if symbol.kind == "global":
+            return ("global",)
+        # First sight of a local: allocate now (decl statements call this).
+        if symbol.addressed:
+            local = self.fn.add_local(symbol.name, max(symbol.ctype.size, 4))
+            slot = ("frame", local)
+        else:
+            slot = ("reg", self._vreg_for(symbol.ctype))
+        self.storage[symbol] = slot
+        return slot
+
+    # -- statements -----------------------------------------------------------
+
+    def lower(self):
+        self.setup_storage()
+        self.stmt(self.funcdef.body)
+        # Implicit return at the end of the function body.
+        last = self.fn.instrs[-1] if self.fn.instrs else None
+        if last is None or last.op != "ret":
+            if self.funcdef.return_type.is_void():
+                self.emit(I.ret())
+            else:
+                zero = self.fn.new_vreg(
+                    FLT if self.funcdef.return_type.is_float() else INT
+                )
+                if self.funcdef.return_type.is_float():
+                    zero = self._load_float_const(0.0)
+                else:
+                    self.emit(I.li(zero, 0))
+                self.emit(I.ret(zero))
+        return self.fn
+
+    def stmt(self, node):
+        if isinstance(node, ast.Block):
+            for stmt in node.stmts:
+                self.stmt(stmt)
+        elif isinstance(node, ast.DeclStmt):
+            for decl in node.decls:
+                self._local_decl(decl)
+        elif isinstance(node, ast.ExprStmt):
+            self.expr_value(node.expr, discard=True)
+        elif isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, ast.While):
+            self._while(node)
+        elif isinstance(node, ast.DoWhile):
+            self._dowhile(node)
+        elif isinstance(node, ast.For):
+            self._for(node)
+        elif isinstance(node, ast.Return):
+            self._return(node)
+        elif isinstance(node, ast.Break):
+            if not self.break_labels:
+                raise CodegenError("break outside loop")
+            self.emit(I.jump(Label(self.break_labels[-1])))
+        elif isinstance(node, ast.Continue):
+            if not self.continue_labels:
+                raise CodegenError("continue outside loop")
+            self.emit(I.jump(Label(self.continue_labels[-1])))
+        elif isinstance(node, ast.Switch):
+            self._switch(node)
+        else:
+            raise CodegenError("cannot lower statement %r" % type(node).__name__)
+
+    def _local_decl(self, decl):
+        slot = self._storage_for(decl.symbol)
+        if decl.init is None:
+            return
+        value = self.expr_value(decl.init)
+        value = self._coerce(value, decl.init.ctype, decl.ctype)
+        if slot[0] == "reg":
+            value = self._materialize(
+                value, FLT if decl.ctype.is_float() else INT
+            )
+            op = "fmov" if decl.ctype.is_float() else "mov"
+            self.emit(I.unop(op, slot[1], value))
+        else:
+            addr = self.fn.new_vreg(INT)
+            self.emit(I.Instr("laddr", dst=addr, srcs=[slot[1]]))
+            value = self._materialize(
+                value, FLT if decl.ctype.is_float() else INT
+            )
+            self.emit(I.store(_store_op(decl.ctype), value, addr, 0))
+
+    def _if(self, node):
+        else_label = self.fn.new_label("Lelse")
+        end_label = self.fn.new_label("Lend")
+        target = else_label if node.other is not None else end_label
+        self.cond(node.cond, None, target)
+        self.stmt(node.then)
+        if node.other is not None:
+            self.emit(I.jump(Label(end_label)))
+            self.emit(I.label(else_label))
+            self.stmt(node.other)
+        self.emit(I.label(end_label))
+
+    def _while(self, node):
+        # Rotate the loop: jump to the test at the bottom, as the paper's
+        # Figure 3 does (jmp L17 ... L18: body; L17: test; branch L18).
+        head = self.fn.new_label("Lbody")
+        test = self.fn.new_label("Ltest")
+        end = self.fn.new_label("Lend")
+        self.emit(I.jump(Label(test)))
+        self.emit(I.label(head))
+        self.break_labels.append(end)
+        self.continue_labels.append(test)
+        self.stmt(node.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit(I.label(test))
+        self.cond(node.cond, head, None)
+        self.emit(I.label(end))
+
+    def _dowhile(self, node):
+        head = self.fn.new_label("Lbody")
+        test = self.fn.new_label("Ltest")
+        end = self.fn.new_label("Lend")
+        self.emit(I.label(head))
+        self.break_labels.append(end)
+        self.continue_labels.append(test)
+        self.stmt(node.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit(I.label(test))
+        self.cond(node.cond, head, None)
+        self.emit(I.label(end))
+
+    def _for(self, node):
+        head = self.fn.new_label("Lbody")
+        test = self.fn.new_label("Ltest")
+        step = self.fn.new_label("Lstep")
+        end = self.fn.new_label("Lend")
+        if node.init is not None:
+            self.stmt(node.init)
+        self.emit(I.jump(Label(test)))
+        self.emit(I.label(head))
+        self.break_labels.append(end)
+        self.continue_labels.append(step)
+        self.stmt(node.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit(I.label(step))
+        if node.step is not None:
+            self.expr_value(node.step, discard=True)
+        self.emit(I.label(test))
+        if node.cond is not None:
+            self.cond(node.cond, head, None)
+        else:
+            self.emit(I.jump(Label(head)))
+        self.emit(I.label(end))
+
+    def _return(self, node):
+        if node.value is None:
+            self.emit(I.ret())
+            return
+        value = self.expr_value(node.value)
+        value = self._coerce(value, node.value.ctype, self.funcdef.return_type)
+        value = self._materialize(
+            value, FLT if self.funcdef.return_type.is_float() else INT
+        )
+        self.emit(I.ret(value))
+
+    # -- switch ----------------------------------------------------------------
+
+    def _switch(self, node):
+        selector = self._materialize(self.expr_value(node.expr))
+        end = self.fn.new_label("Lswend")
+        case_labels = []
+        default_label = end
+        values = []
+        for value, _stmts in node.cases:
+            label = self.fn.new_label("Lcase")
+            case_labels.append(label)
+            if value is None:
+                default_label = label
+            else:
+                values.append(value)
+        if self._use_jump_table(values):
+            self._switch_table(selector, node, case_labels, default_label, values)
+        else:
+            self._switch_chain(selector, node, case_labels, default_label)
+        # Case bodies fall through into each other, as in C.
+        self.break_labels.append(end)
+        for (value, stmts), label in zip(node.cases, case_labels):
+            self.emit(I.label(label))
+            for stmt in stmts:
+                self.stmt(stmt)
+        self.break_labels.pop()
+        self.emit(I.label(end))
+
+    def _use_jump_table(self, values):
+        if len(values) < 4:
+            return False
+        span = max(values) - min(values) + 1
+        return span <= 3 * len(values)
+
+    def _switch_chain(self, selector, node, case_labels, default_label):
+        for (value, _stmts), label in zip(node.cases, case_labels):
+            if value is None:
+                continue
+            self.emit(I.branch("eq", selector, Imm(value), Label(label)))
+        self.emit(I.jump(Label(default_label)))
+
+    def _switch_table(self, selector, node, case_labels, default_label, values):
+        """Indirect jump through a table of labels, as in the paper's
+        Section 4 'Indirect Jumps' example."""
+        low, high = min(values), max(values)
+        span = high - low + 1
+        table = [default_label] * span
+        for (value, _stmts), label in zip(node.cases, case_labels):
+            if value is not None:
+                table[value - low] = label
+        sym = self.pg.add_jump_table(table)
+        self.emit(I.branch("lt", selector, Imm(low), Label(default_label)))
+        self.emit(I.branch("gt", selector, Imm(high), Label(default_label)))
+        index = self.fn.new_vreg(INT)
+        if low:
+            self.emit(I.binop("sub", index, selector, Imm(low)))
+        else:
+            self.emit(I.unop("mov", index, selector))
+        scaled = self.fn.new_vreg(INT)
+        self.emit(I.binop("shl", scaled, index, Imm(2)))
+        base = self.fn.new_vreg(INT)
+        self.emit(I.la(base, Sym(sym)))
+        addr = self.fn.new_vreg(INT)
+        self.emit(I.binop("add", addr, base, scaled))
+        target = self.fn.new_vreg(INT)
+        self.emit(I.load("lw", target, addr, 0))
+        ijmp = I.ijump(target)
+        # Record the possible targets so the CFG builder can add edges.
+        ijmp.args = sorted(set(table))
+        self.emit(ijmp)
+
+    # -- conditions ---------------------------------------------------------
+
+    def cond(self, node, true_label, false_label):
+        """Emit control flow for a boolean context.
+
+        Exactly one of ``true_label``/``false_label`` may be None, meaning
+        "fall through".
+        """
+        if isinstance(node, ast.Binary) and node.op in ("&&", "||"):
+            self._shortcircuit(node, true_label, false_label)
+            return
+        if isinstance(node, ast.Unary) and node.op == "!":
+            self.cond(node.operand, false_label, true_label)
+            return
+        if isinstance(node, ast.Binary) and node.op in (
+            "==", "!=", "<", ">", "<=", ">=",
+        ):
+            self._relational_cond(node, true_label, false_label)
+            return
+        # Scalar truth test: value != 0.
+        value = self.expr_value(node)
+        if node.ctype is not None and ct.decay(node.ctype).is_float():
+            value = self._materialize(value, FLT)
+            zero = self._load_float_const(0.0)
+            self._emit_cond_branch("ne", value, zero, true_label, false_label, True)
+        else:
+            value = self._materialize(value)
+            self._emit_cond_branch(
+                "ne", value, Imm(0), true_label, false_label, False
+            )
+
+    def _relational_cond(self, node, true_label, false_label):
+        relation = {"==": "eq", "!=": "ne", "<": "lt", ">": "gt",
+                    "<=": "le", ">=": "ge"}[node.op]
+        ltype = ct.decay(node.left.ctype)
+        rtype = ct.decay(node.right.ctype)
+        use_float = ltype.is_float() or rtype.is_float()
+        left = self.expr_value(node.left)
+        right = self.expr_value(node.right)
+        if use_float:
+            left = self._coerce(left, ltype, ct.FLOAT)
+            right = self._coerce(right, rtype, ct.FLOAT)
+            left = self._materialize(left, FLT)
+            right = self._materialize(right, FLT)
+        else:
+            left = self._materialize(left)
+            if not isinstance(right, Imm):
+                right = self._materialize(right)
+        self._emit_cond_branch(relation, left, right, true_label, false_label, use_float)
+
+    def _emit_cond_branch(self, relation, left, right, true_label, false_label, is_float):
+        if true_label is not None and false_label is not None:
+            self.emit(I.branch(relation, left, right, Label(true_label), float_=is_float))
+            self.emit(I.jump(Label(false_label)))
+        elif true_label is not None:
+            self.emit(I.branch(relation, left, right, Label(true_label), float_=is_float))
+        else:
+            negated = I.NEGATED[relation]
+            self.emit(
+                I.branch(negated, left, right, Label(false_label), float_=is_float)
+            )
+
+    def _shortcircuit(self, node, true_label, false_label):
+        if node.op == "&&":
+            fall_false = false_label
+            local_false = fall_false or self.fn.new_label("Lsc")
+            self.cond(node.left, None, local_false)
+            self.cond(node.right, true_label, false_label)
+            if fall_false is None:
+                self.emit(I.label(local_false))
+        else:  # ||
+            fall_true = true_label
+            local_true = fall_true or self.fn.new_label("Lsc")
+            self.cond(node.left, local_true, None)
+            self.cond(node.right, true_label, false_label)
+            if fall_true is None:
+                self.emit(I.label(local_true))
+
+    # -- expressions as values ---------------------------------------------
+
+    def expr_value(self, node, discard=False):
+        """Evaluate an expression; returns a VReg or Imm operand.
+
+        With ``discard=True`` the value is not needed (expression
+        statements), letting assignment/call avoid dead copies.
+        """
+        if isinstance(node, ast.IntLit):
+            return Imm(node.value)
+        if isinstance(node, ast.FloatLit):
+            return self._load_float_const(node.value)
+        if isinstance(node, ast.StrLit):
+            sym = self.pg.program.intern_string(node.value)
+            dst = self.fn.new_vreg(INT)
+            self.emit(I.la(dst, Sym(sym)))
+            return dst
+        if isinstance(node, ast.Ident):
+            return self._load_lvalue(self.lvalue(node), node.ctype)
+        if isinstance(node, ast.Index) or (
+            isinstance(node, ast.Unary) and node.op == "*"
+        ):
+            return self._load_lvalue(self.lvalue(node), node.ctype)
+        if isinstance(node, ast.Unary):
+            return self._unary_value(node)
+        if isinstance(node, ast.Cast):
+            value = self.expr_value(node.operand)
+            return self._coerce(value, node.operand.ctype, node.ctype)
+        if isinstance(node, ast.Binary):
+            return self._binary_value(node)
+        if isinstance(node, ast.Assign):
+            return self._assign_value(node, discard)
+        if isinstance(node, ast.IncDec):
+            return self._incdec_value(node, discard)
+        if isinstance(node, ast.Call):
+            return self._call_value(node)
+        if isinstance(node, ast.Ternary):
+            return self._ternary_value(node)
+        raise CodegenError("cannot lower expression %r" % type(node).__name__)
+
+    # -- lvalues --------------------------------------------------------------
+
+    def lvalue(self, node):
+        """Lower an lvalue expression to a location descriptor:
+
+        ``("reg", vreg, is_float)`` or ``("mem", base_vreg, offset, ctype)``.
+        """
+        if isinstance(node, ast.Ident):
+            symbol = node.symbol
+            slot = self._storage_for(symbol)
+            if slot[0] == "reg":
+                return ("reg", slot[1], symbol.ctype.is_float())
+            if slot[0] == "frame":
+                addr = self.fn.new_vreg(INT)
+                self.emit(I.Instr("laddr", dst=addr, srcs=[slot[1]]))
+                return ("mem", addr, 0, symbol.ctype)
+            addr = self.fn.new_vreg(INT)
+            self.emit(I.la(addr, Sym(symbol.name)))
+            return ("mem", addr, 0, symbol.ctype)
+        if isinstance(node, ast.Unary) and node.op == "*":
+            base = self._materialize(self.expr_value(node.operand))
+            return ("mem", base, 0, node.ctype)
+        if isinstance(node, ast.Index):
+            return self._index_lvalue(node)
+        raise CodegenError("not an lvalue: %r" % type(node).__name__)
+
+    def _index_lvalue(self, node):
+        base_type = ct.decay(node.base.ctype)
+        addr = self._address_of(node.base)
+        elem = node.ctype
+        size = ct.element_size(base_type)
+        index = self.expr_value(node.index)
+        index = self._coerce(index, node.index.ctype, ct.INT)
+        if isinstance(index, Imm):
+            return ("mem", addr, index.value * size, elem)
+        scaled = self.fn.new_vreg(INT)
+        if size == 1:
+            scaled = index
+        elif _is_power_of_two(size):
+            self.emit(I.binop("shl", scaled, index, Imm(size.bit_length() - 1)))
+        else:
+            self.emit(I.binop("mul", scaled, index, Imm(size)))
+        total = self.fn.new_vreg(INT)
+        self.emit(I.binop("add", total, addr, scaled))
+        return ("mem", total, 0, elem)
+
+    def _address_of(self, node):
+        """Address of an array/pointer expression (for indexing)."""
+        etype = node.ctype
+        if etype.is_array():
+            # The lvalue of an array *is* its address.
+            loc = self.lvalue(node)
+            if loc[0] != "mem":
+                raise CodegenError("array not in memory")
+            _kind, base, offset, _elem = loc
+            if offset == 0:
+                return base
+            addr = self.fn.new_vreg(INT)
+            self.emit(I.binop("add", addr, base, Imm(offset)))
+            return addr
+        return self._materialize(self.expr_value(node))
+
+    def _load_lvalue(self, loc, ctype):
+        if loc[0] == "reg":
+            return loc[1]
+        _kind, base, offset, _ctype = loc
+        if ctype.is_array():
+            # Arrays decay: the value is the address.
+            if offset == 0:
+                return base
+            addr = self.fn.new_vreg(INT)
+            self.emit(I.binop("add", addr, base, Imm(offset)))
+            return addr
+        dst = self._vreg_for(ctype)
+        self.emit(I.load(_load_op(ctype), dst, base, offset))
+        return dst
+
+    def _store_lvalue(self, loc, value, value_type):
+        if loc[0] == "reg":
+            vreg, is_float = loc[1], loc[2]
+            value = self._materialize(value, FLT if is_float else INT)
+            self.emit(I.unop("fmov" if is_float else "mov", vreg, value))
+            return vreg
+        _kind, base, offset, ctype = loc
+        value = self._materialize(value, FLT if ctype.is_float() else INT)
+        self.emit(I.store(_store_op(ctype), value, base, offset))
+        return value
+
+    # -- operators --------------------------------------------------------------
+
+    def _unary_value(self, node):
+        if node.op == "&":
+            loc = self.lvalue(node.operand)
+            if loc[0] != "mem":
+                raise CodegenError("address of register variable")
+            _kind, base, offset, _ctype = loc
+            if offset == 0:
+                return base
+            dst = self.fn.new_vreg(INT)
+            self.emit(I.binop("add", dst, base, Imm(offset)))
+            return dst
+        if node.op == "-":
+            value = self.expr_value(node.operand)
+            if isinstance(value, Imm):
+                return Imm(-value.value)
+            if ct.decay(node.operand.ctype).is_float():
+                dst = self.fn.new_vreg(FLT)
+                self.emit(I.unop("fneg", dst, value))
+                return dst
+            dst = self.fn.new_vreg(INT)
+            self.emit(I.unop("neg", dst, value))
+            return dst
+        if node.op == "~":
+            value = self.expr_value(node.operand)
+            if isinstance(value, Imm):
+                return Imm(~value.value)
+            dst = self.fn.new_vreg(INT)
+            self.emit(I.unop("not", dst, value))
+            return dst
+        if node.op == "!":
+            return self._bool_value(node)
+        raise CodegenError("unknown unary %r" % node.op)
+
+    def _bool_value(self, node):
+        """Materialize a boolean expression as 0/1."""
+        dst = self.fn.new_vreg(INT)
+        true_label = self.fn.new_label("Ltrue")
+        end_label = self.fn.new_label("Lbool")
+        self.cond(node, true_label, None)
+        self.emit(I.li(dst, 0))
+        self.emit(I.jump(Label(end_label)))
+        self.emit(I.label(true_label))
+        self.emit(I.li(dst, 1))
+        self.emit(I.label(end_label))
+        return dst
+
+    def _binary_value(self, node):
+        op = node.op
+        if op in ("&&", "||", "==", "!=", "<", ">", "<=", ">="):
+            return self._bool_value(node)
+        ltype = ct.decay(node.left.ctype)
+        rtype = ct.decay(node.right.ctype)
+        # Pointer arithmetic.
+        if op in ("+", "-") and (ltype.is_pointer() or rtype.is_pointer()):
+            return self._pointer_arith(node, ltype, rtype)
+        if ltype.is_float() or rtype.is_float():
+            left = self._coerce(self.expr_value(node.left), ltype, ct.FLOAT)
+            right = self._coerce(self.expr_value(node.right), rtype, ct.FLOAT)
+            left = self._materialize(left, FLT)
+            right = self._materialize(right, FLT)
+            dst = self.fn.new_vreg(FLT)
+            fop = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}[op]
+            self.emit(I.binop(fop, dst, left, right))
+            return dst
+        iop = {
+            "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+            "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+        }[op]
+        left = self.expr_value(node.left)
+        right = self.expr_value(node.right)
+        if isinstance(left, Imm) and isinstance(right, Imm):
+            return Imm(_const_fold(iop, left.value, right.value))
+        if isinstance(left, Imm):
+            if iop in I.COMMUTATIVE:
+                left, right = right, left
+            else:
+                left = self._materialize(left)
+        dst = self.fn.new_vreg(INT)
+        self.emit(I.binop(iop, dst, self._materialize(left), right))
+        return dst
+
+    def _pointer_arith(self, node, ltype, rtype):
+        op = node.op
+        if op == "-" and ltype.is_pointer() and rtype.is_pointer():
+            left = self._materialize(self.expr_value(node.left))
+            right = self._materialize(self.expr_value(node.right))
+            diff = self.fn.new_vreg(INT)
+            self.emit(I.binop("sub", diff, left, right))
+            size = ct.element_size(ltype)
+            if size == 1:
+                return diff
+            dst = self.fn.new_vreg(INT)
+            if _is_power_of_two(size):
+                self.emit(I.binop("shr", dst, diff, Imm(size.bit_length() - 1)))
+            else:
+                self.emit(I.binop("div", dst, diff, Imm(size)))
+            return dst
+        if ltype.is_pointer():
+            pointer_node, int_node, ptype = node.left, node.right, ltype
+        else:
+            pointer_node, int_node, ptype = node.right, node.left, rtype
+        pointer = self._materialize(self.expr_value(pointer_node))
+        offset = self.expr_value(int_node)
+        size = ct.element_size(ptype)
+        if isinstance(offset, Imm):
+            delta = offset.value * size
+            if delta == 0:
+                return pointer
+            dst = self.fn.new_vreg(INT)
+            self.emit(I.binop(op_for(op), dst, pointer, Imm(delta)))
+            return dst
+        offset = self._materialize(offset)
+        if size != 1:
+            scaled = self.fn.new_vreg(INT)
+            if _is_power_of_two(size):
+                self.emit(I.binop("shl", scaled, offset, Imm(size.bit_length() - 1)))
+            else:
+                self.emit(I.binop("mul", scaled, offset, Imm(size)))
+            offset = scaled
+        dst = self.fn.new_vreg(INT)
+        self.emit(I.binop(op_for(op), dst, pointer, offset))
+        return dst
+
+    def _assign_value(self, node, discard):
+        target_type = node.target.ctype
+        if node.op == "=":
+            value = self.expr_value(node.value)
+            value = self._coerce(value, node.value.ctype, target_type)
+            loc = self.lvalue(node.target)
+            return self._store_lvalue(loc, value, target_type)
+        # Compound assignment: evaluate the location once.
+        loc = self.lvalue(node.target)
+        current = self._load_lvalue(loc, target_type)
+        base_op = node.op[:-1]
+        synthetic = ast.Binary(op=base_op, left=node.target, right=node.value)
+        synthetic.left = _ValueWrapper(current, target_type)
+        synthetic.right = node.value
+        synthetic.ctype = node.ctype
+        result = self._binary_wrapped(synthetic, target_type)
+        result = self._coerce(result, _result_type(base_op, target_type, node.value.ctype), target_type)
+        return self._store_lvalue(loc, result, target_type)
+
+    def _binary_wrapped(self, node, target_type):
+        """Binary lowering where the left operand may be a pre-evaluated
+        value (used by compound assignment and ++/--)."""
+        op = node.op
+        ltype = ct.decay(
+            node.left.ctype if not isinstance(node.left, _ValueWrapper) else node.left.ctype
+        )
+        rtype = ct.decay(node.right.ctype)
+
+        def left_value():
+            if isinstance(node.left, _ValueWrapper):
+                return node.left.value
+            return self.expr_value(node.left)
+
+        if op in ("+", "-") and ltype.is_pointer():
+            pointer = self._materialize(left_value())
+            offset = self.expr_value(node.right)
+            size = ct.element_size(ltype)
+            if isinstance(offset, Imm):
+                dst = self.fn.new_vreg(INT)
+                self.emit(I.binop(op_for(op), dst, pointer, Imm(offset.value * size)))
+                return dst
+            offset = self._materialize(offset)
+            if size != 1:
+                scaled = self.fn.new_vreg(INT)
+                if _is_power_of_two(size):
+                    self.emit(
+                        I.binop("shl", scaled, offset, Imm(size.bit_length() - 1))
+                    )
+                else:
+                    self.emit(I.binop("mul", scaled, offset, Imm(size)))
+                offset = scaled
+            dst = self.fn.new_vreg(INT)
+            self.emit(I.binop(op_for(op), dst, pointer, offset))
+            return dst
+        if ltype.is_float() or rtype.is_float():
+            left = self._coerce(left_value(), ltype, ct.FLOAT)
+            right = self._coerce(self.expr_value(node.right), rtype, ct.FLOAT)
+            dst = self.fn.new_vreg(FLT)
+            fop = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}[op]
+            self.emit(I.binop(fop, dst, self._materialize(left, FLT), self._materialize(right, FLT)))
+            return dst
+        iop = {
+            "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+            "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+        }[op]
+        left = self._materialize(self._coerce(left_value(), ltype, ct.INT))
+        right = self.expr_value(node.right)
+        right = self._coerce(right, rtype, ct.INT)
+        if not isinstance(right, Imm):
+            right = self._materialize(right)
+        dst = self.fn.new_vreg(INT)
+        self.emit(I.binop(iop, dst, left, right))
+        return dst
+
+    def _incdec_value(self, node, discard):
+        target_type = node.operand.ctype
+        loc = self.lvalue(node.operand)
+        current = self._load_lvalue(loc, target_type)
+        step = 1
+        if ct.decay(target_type).is_pointer():
+            step = ct.element_size(ct.decay(target_type))
+        op = "add" if node.op == "++" else "sub"
+        updated = self.fn.new_vreg(INT)
+        self.emit(I.binop(op, updated, self._materialize(current), Imm(step)))
+        self._store_lvalue(loc, updated, target_type)
+        if discard:
+            return updated
+        if node.prefix:
+            return updated
+        # Postfix: the value before the update.  ``current`` may alias the
+        # register that was just overwritten when the target lives in a
+        # register, so copy it first for register targets.
+        if loc[0] == "reg":
+            # current == loc register only when target is register-resident;
+            # in that case re-derive the old value.
+            old = self.fn.new_vreg(INT)
+            self.emit(I.binop("sub" if node.op == "++" else "add", old, updated, Imm(step)))
+            return old
+        return current
+
+    def _call_value(self, node):
+        fsym = node.symbol
+        args = []
+        for arg, ptype in zip(node.args, fsym.param_types):
+            value = self.expr_value(arg)
+            value = self._coerce(value, arg.ctype, ptype)
+            value = self._materialize(
+                value, FLT if ct.decay(ptype).is_float() else INT
+            )
+            args.append(value)
+        dst = None
+        if not fsym.return_type.is_void():
+            dst = self._vreg_for(fsym.return_type)
+        if fsym.builtin:
+            self.emit(I.trap(fsym.name, args, dst=dst))
+        else:
+            self.emit(I.call(fsym.name, args, dst=dst))
+        return dst if dst is not None else Imm(0)
+
+    def _ternary_value(self, node):
+        result_type = ct.decay(node.ctype)
+        is_float = result_type.is_float()
+        dst = self.fn.new_vreg(FLT if is_float else INT)
+        else_label = self.fn.new_label("Lelse")
+        end_label = self.fn.new_label("Lend")
+        self.cond(node.cond, None, else_label)
+        then_value = self.expr_value(node.then)
+        then_value = self._coerce(then_value, node.then.ctype, result_type)
+        self.emit(
+            I.unop("fmov" if is_float else "mov", dst,
+                   self._materialize(then_value, FLT if is_float else INT))
+        )
+        self.emit(I.jump(Label(end_label)))
+        self.emit(I.label(else_label))
+        other_value = self.expr_value(node.other)
+        other_value = self._coerce(other_value, node.other.ctype, result_type)
+        self.emit(
+            I.unop("fmov" if is_float else "mov", dst,
+                   self._materialize(other_value, FLT if is_float else INT))
+        )
+        self.emit(I.label(end_label))
+        return dst
+
+
+class _ValueWrapper:
+    """Wraps a pre-evaluated operand so it can play the role of an AST
+    operand inside compound-assignment lowering."""
+
+    def __init__(self, value, ctype):
+        self.value = value
+        self.ctype = ctype
+
+
+def _result_type(op, left_type, right_type):
+    left_type = ct.decay(left_type)
+    right_type = ct.decay(right_type)
+    if left_type.is_pointer():
+        return left_type
+    if op in ("+", "-", "*", "/"):
+        return ct.common_arith(
+            left_type if left_type.is_arithmetic() else ct.INT,
+            right_type if right_type.is_arithmetic() else ct.INT,
+        )
+    return ct.INT
+
+
+def op_for(sign):
+    return {"+": "add", "-": "sub"}[sign]
+
+
+def _load_op(ctype):
+    if ctype.is_float():
+        return "lf"
+    if ctype.is_char():
+        return "lb"
+    return "lw"
+
+
+def _store_op(ctype):
+    if ctype.is_float():
+        return "sf"
+    if ctype.is_char():
+        return "sb"
+    return "sw"
+
+
+def _const_fold(op, a, b):
+    from repro.emu.intmath import int_binop
+
+    return int_binop(op, a, b)
+
+
+class ProgramLowering:
+    """Lowers a whole analysed AST program to an :class:`IRProgram`."""
+
+    def __init__(self, astprogram):
+        self.ast = astprogram
+        self.program = IRProgram()
+        self._float_pool = {}
+        self._next_table = 0
+
+    def intern_float(self, value):
+        value = float(value)
+        key = value
+        if key in self._float_pool:
+            return self._float_pool[key]
+        name = "__flt%d" % len(self._float_pool)
+        self.program.add_global(GlobalVar(name, 4, init=[value], elem="float"))
+        self._float_pool[key] = name
+        return name
+
+    def add_jump_table(self, labels):
+        name = "__jtab%d" % self._next_table
+        self._next_table = self._next_table + 1
+        self.program.add_global(
+            GlobalVar(name, 4 * len(labels), init=list(labels), elem="label")
+        )
+        return name
+
+    def run(self):
+        for decl in self.ast.globals:
+            self.program.add_global(_lower_global(decl, self.program))
+        for funcdef in self.ast.functions:
+            lowering = FunctionLowering(self, funcdef)
+            self.program.add_function(lowering.lower())
+        return self.program
+
+
+def _const_value(node):
+    if isinstance(node, ast.IntLit):
+        return node.value
+    if isinstance(node, ast.FloatLit):
+        return node.value
+    if isinstance(node, ast.Unary) and node.op == "-":
+        return -_const_value(node.operand)
+    raise CodegenError("global initializer is not constant")
+
+
+def _lower_global(decl, program):
+    ctype = decl.ctype
+    init = decl.init
+    if init is None:
+        elem = "byte" if (ctype.is_char() or (ctype.is_array() and _base_elem(ctype).is_char())) else (
+            "float" if (ctype.is_float() or (ctype.is_array() and _base_elem(ctype).is_float())) else "word"
+        )
+        return GlobalVar(decl.name, max(ctype.size, 1), init=None, elem=elem)
+    if isinstance(init, ast.StrLit):
+        if ctype.is_pointer():
+            sym = program.intern_string(init.value)
+            return GlobalVar(decl.name, 4, init=[("sym", sym)], elem="word")
+        data = init.value.encode("latin-1") + b"\x00"
+        data = data.ljust(ctype.size, b"\x00")
+        return GlobalVar(decl.name, ctype.size, init=data, elem="byte")
+    if isinstance(init, list):
+        base = _base_elem(ctype)
+        flat = _flatten(init)
+        count = ctype.size // base.size
+        if len(flat) > count:
+            raise CodegenError("too many initializers for %r" % decl.name)
+        if base.is_char():
+            data = bytes(int(_const_value(v)) & 0xFF for v in flat)
+            data = data.ljust(ctype.size, b"\x00")
+            return GlobalVar(decl.name, ctype.size, init=data, elem="byte")
+        if base.is_float():
+            values = [float(_const_value(v)) for v in flat]
+            values.extend([0.0] * (count - len(values)))
+            return GlobalVar(decl.name, ctype.size, init=values, elem="float")
+        values = [int(_const_value(v)) for v in flat]
+        values.extend([0] * (count - len(values)))
+        return GlobalVar(decl.name, ctype.size, init=values, elem="word")
+    # Scalar initializer.
+    value = _const_value(init)
+    if ctype.is_float():
+        return GlobalVar(decl.name, 4, init=[float(value)], elem="float")
+    if ctype.is_char():
+        return GlobalVar(decl.name, 1, init=bytes([int(value) & 0xFF]), elem="byte")
+    return GlobalVar(decl.name, 4, init=[int(value)], elem="word")
+
+
+def _base_elem(ctype):
+    while ctype.is_array():
+        ctype = ctype.elem
+    return ctype
+
+
+def _flatten(init):
+    out = []
+    for item in init:
+        if isinstance(item, list):
+            out.extend(_flatten(item))
+        else:
+            out.append(item)
+    return out
+
+
+def lower_program(astprogram):
+    """AST (already analysed) -> IRProgram."""
+    return ProgramLowering(astprogram).run()

@@ -1,0 +1,216 @@
+"""Hand-written lexer for SmallC.
+
+Supports decimal/hex/octal integer constants, float constants, character
+constants with the usual escapes, string literals, ``//`` and ``/* */``
+comments, identifiers and the punctuator set in
+:mod:`repro.lang.tokens`.
+"""
+
+from repro.errors import LexError
+from repro.lang.tokens import (
+    CHARCONST,
+    EOF,
+    FLOATCONST,
+    ID,
+    INTCONST,
+    KEYWORD,
+    KEYWORDS,
+    PUNCT,
+    PUNCTUATORS,
+    STRING,
+    Token,
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\x00",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "a": "\a",
+}
+
+
+class Lexer:
+    """Converts SmallC source text into a token list."""
+
+    def __init__(self, source, filename="<source>"):
+        self.src = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level cursor helpers -------------------------------------
+
+    def _peek(self, ahead=0):
+        i = self.pos + ahead
+        if i < len(self.src):
+            return self.src[i]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos < len(self.src):
+                if self.src[self.pos] == "\n":
+                    self.line = self.line + 1
+                    self.col = 1
+                else:
+                    self.col = self.col + 1
+                self.pos = self.pos + 1
+
+    def _error(self, message):
+        raise LexError(message, self.line, self.col)
+
+    # -- scanning -------------------------------------------------------
+
+    def tokens(self):
+        """Scan the whole source and return the token list (ending in EOF)."""
+        out = []
+        while True:
+            tok = self._next_token()
+            out.append(tok)
+            if tok.kind == EOF:
+                return out
+
+    def _skip_space_and_comments(self):
+        while True:
+            ch = self._peek()
+            if ch and ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while True:
+                    if not self._peek():
+                        self._error("unterminated comment")
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self):
+        self._skip_space_and_comments()
+        line, col = self.line, self.col
+        ch = self._peek()
+        if not ch:
+            return Token(EOF, "", line=line, col=col)
+        if ch.isalpha() or ch == "_":
+            return self._identifier(line, col)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, col)
+        if ch == "'":
+            return self._charconst(line, col)
+        if ch == '"':
+            return self._string(line, col)
+        for punct in PUNCTUATORS:
+            if self.src.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(PUNCT, punct, line=line, col=col)
+        self._error("unexpected character %r" % ch)
+
+    def _identifier(self, line, col):
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.src[start : self.pos]
+        kind = KEYWORD if text in KEYWORDS else ID
+        return Token(kind, text, line=line, col=col)
+
+    def _number(self, line, col):
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.src[start : self.pos]
+            return Token(INTCONST, text, value=int(text, 16), line=line, col=col)
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.src[start : self.pos]
+        if is_float:
+            return Token(FLOATCONST, text, value=float(text), line=line, col=col)
+        if text.startswith("0") and len(text) > 1:
+            return Token(INTCONST, text, value=int(text, 8), line=line, col=col)
+        return Token(INTCONST, text, value=int(text, 10), line=line, col=col)
+
+    def _escape(self):
+        self._advance()  # backslash
+        ch = self._peek()
+        if not ch:
+            self._error("unterminated escape")
+        if ch in _ESCAPES:
+            self._advance()
+            return _ESCAPES[ch]
+        if ch == "x":
+            self._advance()
+            digits = ""
+            while self._peek() in "0123456789abcdefABCDEF" and len(digits) < 2:
+                digits = digits + self._peek()
+                self._advance()
+            if not digits:
+                self._error("bad hex escape")
+            return chr(int(digits, 16))
+        self._error("unknown escape \\%s" % ch)
+
+    def _charconst(self, line, col):
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            value = ord(self._escape())
+        else:
+            if not self._peek() or self._peek() == "'":
+                self._error("empty character constant")
+            value = ord(self._peek())
+            self._advance()
+        if self._peek() != "'":
+            self._error("unterminated character constant")
+        self._advance()
+        return Token(CHARCONST, "'%c'" % value, value=value, line=line, col=col)
+
+    def _string(self, line, col):
+        self._advance()  # opening quote
+        chars = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                self._error("unterminated string literal")
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                chars.append(self._escape())
+            else:
+                chars.append(ch)
+                self._advance()
+        text = "".join(chars)
+        return Token(STRING, text, value=text, line=line, col=col)
+
+
+def tokenize(source, filename="<source>"):
+    """Convenience wrapper returning the token list for ``source``."""
+    return Lexer(source, filename).tokens()

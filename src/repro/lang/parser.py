@@ -1,0 +1,518 @@
+"""Recursive-descent parser for SmallC.
+
+Grammar (roughly)::
+
+    program    := (funcdef | decl)*
+    decl       := type declarator ("," declarator)* ";"
+    declarator := "*"* ident ("[" intconst "]")* ("=" initializer)?
+    funcdef    := type "*"* ident "(" params ")" block
+    stmt       := block | if | while | do-while | for | switch | return
+                | break ";" | continue ";" | decl | expr ";" | ";"
+    expr       := assignment / ternary / binary precedence ladder
+
+Operator precedence follows C.  Casts are written ``(type) expr``; the
+parser disambiguates from parenthesised expressions by one token of
+lookahead (a type keyword after ``(``).
+"""
+
+from repro.errors import ParseError
+from repro.lang import astnodes as ast
+from repro.lang import ctypes as ct
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import (
+    CHARCONST,
+    EOF,
+    FLOATCONST,
+    ID,
+    INTCONST,
+    KEYWORD,
+    PUNCT,
+    STRING,
+)
+
+_TYPE_KEYWORDS = ("int", "char", "float", "void")
+
+# Binary operators by descending precedence level.
+_BINARY_LEVELS = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=")
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.lang.astnodes.Program`."""
+
+    def __init__(self, tokens):
+        self.toks = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+
+    def _peek(self, ahead=0):
+        i = min(self.pos + ahead, len(self.toks) - 1)
+        return self.toks[i]
+
+    def _advance(self):
+        tok = self.toks[self.pos]
+        if tok.kind != EOF:
+            self.pos = self.pos + 1
+        return tok
+
+    def _check(self, kind, text=None):
+        tok = self._peek()
+        if tok.kind != kind:
+            return False
+        return text is None or tok.text == text
+
+    def _accept(self, kind, text=None):
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, text=None):
+        tok = self._peek()
+        if not self._check(kind, text):
+            wanted = text if text is not None else kind
+            raise ParseError(
+                "expected %r, found %r" % (wanted, tok.text or tok.kind),
+                tok.line,
+                tok.col,
+            )
+        return self._advance()
+
+    def _at_type(self, ahead=0):
+        tok = self._peek(ahead)
+        return tok.kind == KEYWORD and tok.text in _TYPE_KEYWORDS
+
+    # -- top level --------------------------------------------------------
+
+    def parse_program(self):
+        program = ast.Program()
+        while not self._check(EOF):
+            if not self._at_type():
+                tok = self._peek()
+                raise ParseError(
+                    "expected declaration, found %r" % tok.text, tok.line, tok.col
+                )
+            # Distinguish function definition from global declaration:
+            # type '*'* ident '(' ...
+            ahead = 1
+            while self._peek(ahead).kind == PUNCT and self._peek(ahead).text == "*":
+                ahead = ahead + 1
+            is_func = (
+                self._peek(ahead).kind == ID
+                and self._peek(ahead + 1).kind == PUNCT
+                and self._peek(ahead + 1).text == "("
+            )
+            if is_func:
+                funcdef = self._funcdef()
+                if funcdef is not None:  # prototypes parse to None
+                    program.functions.append(funcdef)
+            else:
+                program.globals.extend(self._decl())
+        return program
+
+    def _base_type(self):
+        tok = self._expect(KEYWORD)
+        if tok.text not in _TYPE_KEYWORDS:
+            raise ParseError("expected type, found %r" % tok.text, tok.line, tok.col)
+        return {"int": ct.INT, "char": ct.CHAR, "float": ct.FLOAT, "void": ct.VOID}[
+            tok.text
+        ]
+
+    def _pointer_suffix(self, base):
+        ctype = base
+        while self._accept(PUNCT, "*"):
+            ctype = ct.PointerType(ctype)
+        return ctype
+
+    def _funcdef(self):
+        tok = self._peek()
+        return_type = self._pointer_suffix(self._base_type())
+        name = self._expect(ID).text
+        self._expect(PUNCT, "(")
+        params = []
+        if not self._check(PUNCT, ")"):
+            if self._check(KEYWORD, "void") and self._peek(1).text == ")":
+                self._advance()
+            else:
+                while True:
+                    ptok = self._peek()
+                    ptype = self._pointer_suffix(self._base_type())
+                    pname = self._expect(ID).text
+                    # "char *argv[]"-style array params decay to pointers.
+                    while self._accept(PUNCT, "["):
+                        self._accept(INTCONST)
+                        self._expect(PUNCT, "]")
+                        ptype = ct.PointerType(ptype)
+                    params.append(
+                        ast.Param(name=pname, ctype=ptype, line=ptok.line, col=ptok.col)
+                    )
+                    if not self._accept(PUNCT, ","):
+                        break
+        self._expect(PUNCT, ")")
+        if self._accept(PUNCT, ";"):
+            # Function prototype: harmless, since semantic analysis
+            # resolves forward references in a separate pass.
+            return None
+        body = self._block()
+        return ast.FuncDef(
+            name=name,
+            return_type=return_type,
+            params=params,
+            body=body,
+            line=tok.line,
+            col=tok.col,
+        )
+
+    # -- declarations -----------------------------------------------------
+
+    def _decl(self):
+        """Parse one declaration line; returns a list of VarDecl."""
+        base = self._base_type()
+        decls = []
+        while True:
+            decls.append(self._declarator(base))
+            if not self._accept(PUNCT, ","):
+                break
+        self._expect(PUNCT, ";")
+        return decls
+
+    def _declarator(self, base):
+        tok = self._peek()
+        ctype = self._pointer_suffix(base)
+        name = self._expect(ID).text
+        dims = []
+        while self._accept(PUNCT, "["):
+            if self._check(PUNCT, "]"):
+                dims.append(None)  # size from initializer
+            else:
+                dim = self._expect(INTCONST)
+                dims.append(dim.value)
+            self._expect(PUNCT, "]")
+        init = None
+        if self._accept(PUNCT, "="):
+            init = self._initializer()
+        # Apply array dimensions innermost-last.
+        for dim in reversed(dims):
+            length = dim
+            if length is None:
+                length = _init_length(init)
+                if length is None:
+                    raise ParseError(
+                        "array %r needs a size or initializer" % name,
+                        tok.line,
+                        tok.col,
+                    )
+            ctype = ct.ArrayType(ctype, length)
+        return ast.VarDecl(
+            name=name, ctype=ctype, init=init, line=tok.line, col=tok.col
+        )
+
+    def _initializer(self):
+        if self._accept(PUNCT, "{"):
+            items = []
+            if not self._check(PUNCT, "}"):
+                while True:
+                    items.append(self._initializer())
+                    if not self._accept(PUNCT, ","):
+                        break
+            self._expect(PUNCT, "}")
+            return items
+        return self._assignment()
+
+    # -- statements ---------------------------------------------------------
+
+    def _block(self):
+        tok = self._expect(PUNCT, "{")
+        stmts = []
+        while not self._check(PUNCT, "}"):
+            if self._check(EOF):
+                raise ParseError("unterminated block", tok.line, tok.col)
+            stmts.append(self._statement())
+        self._expect(PUNCT, "}")
+        return ast.Block(stmts=stmts, line=tok.line, col=tok.col)
+
+    def _statement(self):
+        tok = self._peek()
+        if self._check(PUNCT, "{"):
+            return self._block()
+        if self._check(PUNCT, ";"):
+            self._advance()
+            return ast.Block(stmts=[], line=tok.line, col=tok.col)
+        if self._at_type():
+            decls = self._decl()
+            return ast.DeclStmt(decls=decls, line=tok.line, col=tok.col)
+        if self._check(KEYWORD, "if"):
+            return self._if()
+        if self._check(KEYWORD, "while"):
+            return self._while()
+        if self._check(KEYWORD, "do"):
+            return self._dowhile()
+        if self._check(KEYWORD, "for"):
+            return self._for()
+        if self._check(KEYWORD, "switch"):
+            return self._switch()
+        if self._check(KEYWORD, "return"):
+            self._advance()
+            value = None
+            if not self._check(PUNCT, ";"):
+                value = self._expression()
+            self._expect(PUNCT, ";")
+            return ast.Return(value=value, line=tok.line, col=tok.col)
+        if self._check(KEYWORD, "break"):
+            self._advance()
+            self._expect(PUNCT, ";")
+            return ast.Break(line=tok.line, col=tok.col)
+        if self._check(KEYWORD, "continue"):
+            self._advance()
+            self._expect(PUNCT, ";")
+            return ast.Continue(line=tok.line, col=tok.col)
+        expr = self._expression()
+        self._expect(PUNCT, ";")
+        return ast.ExprStmt(expr=expr, line=tok.line, col=tok.col)
+
+    def _if(self):
+        tok = self._expect(KEYWORD, "if")
+        self._expect(PUNCT, "(")
+        cond = self._expression()
+        self._expect(PUNCT, ")")
+        then = self._statement()
+        other = None
+        if self._accept(KEYWORD, "else"):
+            other = self._statement()
+        return ast.If(cond=cond, then=then, other=other, line=tok.line, col=tok.col)
+
+    def _while(self):
+        tok = self._expect(KEYWORD, "while")
+        self._expect(PUNCT, "(")
+        cond = self._expression()
+        self._expect(PUNCT, ")")
+        body = self._statement()
+        return ast.While(cond=cond, body=body, line=tok.line, col=tok.col)
+
+    def _dowhile(self):
+        tok = self._expect(KEYWORD, "do")
+        body = self._statement()
+        self._expect(KEYWORD, "while")
+        self._expect(PUNCT, "(")
+        cond = self._expression()
+        self._expect(PUNCT, ")")
+        self._expect(PUNCT, ";")
+        return ast.DoWhile(body=body, cond=cond, line=tok.line, col=tok.col)
+
+    def _for(self):
+        tok = self._expect(KEYWORD, "for")
+        self._expect(PUNCT, "(")
+        init = None
+        if not self._check(PUNCT, ";"):
+            if self._at_type():
+                decls = self._decl()  # consumes the ';'
+                init = ast.DeclStmt(decls=decls, line=tok.line, col=tok.col)
+            else:
+                init = ast.ExprStmt(expr=self._expression(), line=tok.line, col=tok.col)
+                self._expect(PUNCT, ";")
+        else:
+            self._expect(PUNCT, ";")
+        cond = None
+        if not self._check(PUNCT, ";"):
+            cond = self._expression()
+        self._expect(PUNCT, ";")
+        step = None
+        if not self._check(PUNCT, ")"):
+            step = self._expression()
+        self._expect(PUNCT, ")")
+        body = self._statement()
+        return ast.For(
+            init=init, cond=cond, step=step, body=body, line=tok.line, col=tok.col
+        )
+
+    def _switch(self):
+        tok = self._expect(KEYWORD, "switch")
+        self._expect(PUNCT, "(")
+        expr = self._expression()
+        self._expect(PUNCT, ")")
+        self._expect(PUNCT, "{")
+        cases = []
+        current = None  # (value or None, stmts)
+        while not self._check(PUNCT, "}"):
+            if self._accept(KEYWORD, "case"):
+                value = self._const_int_expr()
+                self._expect(PUNCT, ":")
+                current = (value, [])
+                cases.append(current)
+            elif self._accept(KEYWORD, "default"):
+                self._expect(PUNCT, ":")
+                current = (None, [])
+                cases.append(current)
+            else:
+                if current is None:
+                    bad = self._peek()
+                    raise ParseError(
+                        "statement before first case label", bad.line, bad.col
+                    )
+                current[1].append(self._statement())
+        self._expect(PUNCT, "}")
+        return ast.Switch(expr=expr, cases=cases, line=tok.line, col=tok.col)
+
+    def _const_int_expr(self):
+        """Constant expression in a case label: int/char literal with
+        optional unary minus."""
+        negative = bool(self._accept(PUNCT, "-"))
+        tok = self._peek()
+        if tok.kind in (INTCONST, CHARCONST):
+            self._advance()
+            value = tok.value
+            return -value if negative else value
+        raise ParseError("expected integer constant", tok.line, tok.col)
+
+    # -- expressions -------------------------------------------------------
+
+    def _expression(self):
+        return self._assignment()
+
+    def _assignment(self):
+        left = self._ternary()
+        tok = self._peek()
+        if tok.kind == PUNCT and tok.text in _ASSIGN_OPS:
+            self._advance()
+            value = self._assignment()
+            return ast.Assign(
+                op=tok.text, target=left, value=value, line=tok.line, col=tok.col
+            )
+        return left
+
+    def _ternary(self):
+        cond = self._binary(0)
+        tok = self._peek()
+        if self._accept(PUNCT, "?"):
+            then = self._expression()
+            self._expect(PUNCT, ":")
+            other = self._ternary()
+            return ast.Ternary(
+                cond=cond, then=then, other=other, line=tok.line, col=tok.col
+            )
+        return cond
+
+    def _binary(self, level):
+        if level >= len(_BINARY_LEVELS):
+            return self._unary()
+        ops = _BINARY_LEVELS[level]
+        left = self._binary(level + 1)
+        while True:
+            tok = self._peek()
+            if tok.kind == PUNCT and tok.text in ops:
+                self._advance()
+                right = self._binary(level + 1)
+                left = ast.Binary(
+                    op=tok.text, left=left, right=right, line=tok.line, col=tok.col
+                )
+            else:
+                return left
+
+    def _unary(self):
+        tok = self._peek()
+        if tok.kind == PUNCT and tok.text in ("-", "!", "~", "*", "&"):
+            self._advance()
+            operand = self._unary()
+            return ast.Unary(op=tok.text, operand=operand, line=tok.line, col=tok.col)
+        if tok.kind == PUNCT and tok.text == "+":
+            self._advance()
+            return self._unary()
+        if tok.kind == PUNCT and tok.text in ("++", "--"):
+            self._advance()
+            operand = self._unary()
+            return ast.IncDec(
+                op=tok.text, prefix=True, operand=operand, line=tok.line, col=tok.col
+            )
+        if tok.kind == PUNCT and tok.text == "(" and self._at_type(1):
+            self._advance()
+            target = self._pointer_suffix(self._base_type())
+            self._expect(PUNCT, ")")
+            operand = self._unary()
+            return ast.Cast(
+                target=target, operand=operand, line=tok.line, col=tok.col
+            )
+        return self._postfix()
+
+    def _postfix(self):
+        expr = self._primary()
+        while True:
+            tok = self._peek()
+            if self._accept(PUNCT, "["):
+                index = self._expression()
+                self._expect(PUNCT, "]")
+                expr = ast.Index(base=expr, index=index, line=tok.line, col=tok.col)
+            elif self._check(PUNCT, "(") and isinstance(expr, ast.Ident):
+                self._advance()
+                args = []
+                if not self._check(PUNCT, ")"):
+                    while True:
+                        args.append(self._assignment())
+                        if not self._accept(PUNCT, ","):
+                            break
+                self._expect(PUNCT, ")")
+                expr = ast.Call(
+                    name=expr.name, args=args, line=tok.line, col=tok.col
+                )
+            elif tok.kind == PUNCT and tok.text in ("++", "--"):
+                self._advance()
+                expr = ast.IncDec(
+                    op=tok.text,
+                    prefix=False,
+                    operand=expr,
+                    line=tok.line,
+                    col=tok.col,
+                )
+            else:
+                return expr
+
+    def _primary(self):
+        tok = self._peek()
+        if tok.kind == INTCONST or tok.kind == CHARCONST:
+            self._advance()
+            return ast.IntLit(value=tok.value, line=tok.line, col=tok.col)
+        if tok.kind == FLOATCONST:
+            self._advance()
+            return ast.FloatLit(value=tok.value, line=tok.line, col=tok.col)
+        if tok.kind == STRING:
+            self._advance()
+            # Adjacent string literals concatenate, as in C.
+            text = tok.value
+            while self._check(STRING):
+                text = text + self._advance().value
+            return ast.StrLit(value=text, line=tok.line, col=tok.col)
+        if tok.kind == ID:
+            self._advance()
+            return ast.Ident(name=tok.text, line=tok.line, col=tok.col)
+        if self._accept(PUNCT, "("):
+            expr = self._expression()
+            self._expect(PUNCT, ")")
+            return expr
+        raise ParseError(
+            "unexpected token %r" % (tok.text or tok.kind), tok.line, tok.col
+        )
+
+
+def _init_length(init):
+    """Length implied by an initializer for an unsized array dimension."""
+    if isinstance(init, list):
+        return len(init)
+    if isinstance(init, ast.StrLit):
+        return len(init.value) + 1
+    return None
+
+
+def parse(source, filename="<source>"):
+    """Parse SmallC source text into an AST program."""
+    return Parser(tokenize(source, filename)).parse_program()

@@ -1,0 +1,476 @@
+"""Semantic analysis for SmallC.
+
+Builds symbol tables, resolves identifiers, checks types and lvalue-ness,
+annotates every expression node with its :class:`~repro.lang.ctypes.CType`,
+and records which locals must live in memory (arrays, and scalars whose
+address is taken).
+"""
+
+from repro.errors import SemanticError
+from repro.lang import astnodes as ast
+from repro.lang import ctypes as ct
+from repro.lang.builtins import BUILTINS
+
+
+class Symbol:
+    """A declared name.
+
+    Attributes:
+        name: source name.
+        ctype: declared type.
+        kind: "global", "local" or "param".
+        addressed: True if ``&name`` appears or the type is an array, in
+            which case the object needs a memory home.
+    """
+
+    def __init__(self, name, ctype, kind):
+        self.name = name
+        self.ctype = ctype
+        self.kind = kind
+        self.addressed = ctype.is_array()
+
+    def __repr__(self):
+        return "<Symbol %s:%s %s>" % (self.name, self.ctype, self.kind)
+
+
+class FuncSymbol:
+    def __init__(self, name, return_type, param_types, builtin=False):
+        self.name = name
+        self.return_type = return_type
+        self.param_types = param_types
+        self.builtin = builtin
+
+    def __repr__(self):
+        return "<Func %s>" % self.name
+
+
+class Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.names = {}
+
+    def define(self, symbol):
+        if symbol.name in self.names:
+            raise SemanticError("redefinition of %r" % symbol.name)
+        self.names[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class Analyzer:
+    """Performs semantic analysis over a parsed program in place."""
+
+    def __init__(self, program, max_args=4):
+        self.program = program
+        self.max_args = max_args
+        self.globals = Scope()
+        self.functions = {}
+        self.current_fn = None
+
+    # -- entry point ------------------------------------------------------
+
+    def run(self):
+        for name, (ret, params) in BUILTINS.items():
+            self.functions[name] = FuncSymbol(name, ret, tuple(params), builtin=True)
+        for decl in self.program.globals:
+            self._global_decl(decl)
+        # Two passes over functions so forward calls resolve.
+        for fn in self.program.functions:
+            if fn.name in self.functions:
+                raise SemanticError("redefinition of function %r" % fn.name)
+            self.functions[fn.name] = FuncSymbol(
+                fn.name,
+                fn.return_type,
+                tuple(ct.decay(p.ctype) for p in fn.params),
+            )
+        for fn in self.program.functions:
+            self._function(fn)
+        if "main" not in self.functions:
+            raise SemanticError("program has no main function")
+        return self.program
+
+    # -- declarations -----------------------------------------------------
+
+    def _global_decl(self, decl):
+        if decl.ctype.is_void():
+            raise SemanticError("global %r has void type" % decl.name)
+        symbol = Symbol(decl.name, decl.ctype, "global")
+        symbol.addressed = True  # globals always live in memory
+        self.globals.define(symbol)
+        decl.symbol = symbol
+        self._check_global_init(decl)
+
+    def _check_global_init(self, decl):
+        init = decl.init
+        if init is None:
+            return
+        if isinstance(init, ast.StrLit):
+            if not (
+                decl.ctype.is_array() and decl.ctype.elem.is_char()
+            ) and not (decl.ctype.is_pointer() and decl.ctype.pointee.is_char()):
+                raise SemanticError(
+                    "string initializer for non-char object %r" % decl.name
+                )
+            return
+        if isinstance(init, list):
+            if not decl.ctype.is_array():
+                raise SemanticError("brace initializer for scalar %r" % decl.name)
+            flat = _flatten_init(init)
+            if len(flat) > decl.ctype.size // max(decl.ctype.elem.size, 1) * (
+                decl.ctype.elem.size and 1 or 1
+            ):
+                pass  # length checked during irgen with exact element counts
+            for item in flat:
+                if not isinstance(item, (ast.IntLit, ast.FloatLit, ast.StrLit)) and not (
+                    isinstance(item, ast.Unary)
+                    and item.op == "-"
+                    and isinstance(item.operand, (ast.IntLit, ast.FloatLit))
+                ):
+                    raise SemanticError(
+                        "global initializer for %r must be constant" % decl.name
+                    )
+            return
+        if not isinstance(init, (ast.IntLit, ast.FloatLit, ast.StrLit)) and not (
+            isinstance(init, ast.Unary)
+            and init.op == "-"
+            and isinstance(init.operand, (ast.IntLit, ast.FloatLit))
+        ):
+            raise SemanticError("global initializer for %r must be constant" % decl.name)
+
+    # -- functions ----------------------------------------------------------
+
+    def _function(self, fn):
+        if len(fn.params) > self.max_args:
+            raise SemanticError(
+                "function %r has %d parameters; SmallC allows at most %d"
+                % (fn.name, len(fn.params), self.max_args)
+            )
+        self.current_fn = self.functions[fn.name]
+        scope = Scope(self.globals)
+        for param in fn.params:
+            if param.ctype.is_void():
+                raise SemanticError("parameter %r has void type" % param.name)
+            symbol = Symbol(param.name, ct.decay(param.ctype), "param")
+            scope.define(symbol)
+            param.symbol = symbol
+        self._stmt(fn.body, scope, in_loop=False)
+        self.current_fn = None
+
+    # -- statements -----------------------------------------------------------
+
+    def _stmt(self, node, scope, in_loop):
+        if isinstance(node, ast.Block):
+            inner = Scope(scope)
+            for stmt in node.stmts:
+                self._stmt(stmt, inner, in_loop)
+        elif isinstance(node, ast.DeclStmt):
+            for decl in node.decls:
+                self._local_decl(decl, scope)
+        elif isinstance(node, ast.ExprStmt):
+            self._expr(node.expr, scope)
+        elif isinstance(node, ast.If):
+            self._scalar_expr(node.cond, scope)
+            self._stmt(node.then, scope, in_loop)
+            if node.other is not None:
+                self._stmt(node.other, scope, in_loop)
+        elif isinstance(node, ast.While):
+            self._scalar_expr(node.cond, scope)
+            self._stmt(node.body, scope, True)
+        elif isinstance(node, ast.DoWhile):
+            self._stmt(node.body, scope, True)
+            self._scalar_expr(node.cond, scope)
+        elif isinstance(node, ast.For):
+            inner = Scope(scope)
+            if node.init is not None:
+                self._stmt(node.init, inner, in_loop)
+            if node.cond is not None:
+                self._scalar_expr(node.cond, inner)
+            if node.step is not None:
+                self._expr(node.step, inner)
+            self._stmt(node.body, inner, True)
+        elif isinstance(node, ast.Return):
+            ret = self.current_fn.return_type
+            if node.value is None:
+                if not ret.is_void():
+                    raise SemanticError(
+                        "return without value in non-void function %r"
+                        % self.current_fn.name
+                    )
+            else:
+                if ret.is_void():
+                    raise SemanticError(
+                        "return with value in void function %r" % self.current_fn.name
+                    )
+                vtype = self._expr(node.value, scope)
+                if not ct.assignable(ret, vtype):
+                    raise SemanticError(
+                        "cannot return %s from function returning %s" % (vtype, ret)
+                    )
+        elif isinstance(node, ast.Break):
+            if not in_loop:
+                raise SemanticError("break outside loop/switch")
+        elif isinstance(node, ast.Continue):
+            if not in_loop:
+                raise SemanticError("continue outside loop")
+        elif isinstance(node, ast.Switch):
+            etype = self._expr(node.expr, scope)
+            if not ct.decay(etype).is_integral():
+                raise SemanticError("switch expression must be integral")
+            seen = set()
+            defaults = 0
+            for value, stmts in node.cases:
+                if value is None:
+                    defaults = defaults + 1
+                    if defaults > 1:
+                        raise SemanticError("multiple default labels in switch")
+                else:
+                    if value in seen:
+                        raise SemanticError("duplicate case %d" % value)
+                    seen.add(value)
+                for stmt in stmts:
+                    # break inside a switch is permitted (in_loop=True models it)
+                    self._stmt(stmt, scope, True)
+        else:
+            raise SemanticError("unknown statement node %r" % type(node).__name__)
+
+    def _local_decl(self, decl, scope):
+        if decl.ctype.is_void():
+            raise SemanticError("local %r has void type" % decl.name)
+        symbol = Symbol(decl.name, decl.ctype, "local")
+        scope.define(symbol)
+        decl.symbol = symbol
+        init = decl.init
+        if init is None:
+            return
+        if isinstance(init, list) or (
+            isinstance(init, ast.StrLit) and decl.ctype.is_array()
+        ):
+            raise SemanticError(
+                "local %r: aggregate initializers are only allowed on globals"
+                % decl.name
+            )
+        itype = self._expr(init, scope)
+        if not ct.assignable(decl.ctype, itype):
+            raise SemanticError(
+                "cannot initialise %s %r with %s" % (decl.ctype, decl.name, itype)
+            )
+
+    # -- expressions -------------------------------------------------------
+
+    def _scalar_expr(self, node, scope):
+        etype = self._expr(node, scope)
+        if not ct.decay(etype).is_scalar():
+            raise SemanticError("condition is not scalar: %s" % etype)
+        return etype
+
+    def _expr(self, node, scope):
+        etype = self._expr_inner(node, scope)
+        node.ctype = etype
+        return etype
+
+    def _expr_inner(self, node, scope):
+        if isinstance(node, ast.IntLit):
+            return ct.INT
+        if isinstance(node, ast.FloatLit):
+            return ct.FLOAT
+        if isinstance(node, ast.StrLit):
+            return ct.PointerType(ct.CHAR)
+        if isinstance(node, ast.Ident):
+            symbol = scope.lookup(node.name)
+            if symbol is None:
+                raise SemanticError(
+                    "undeclared identifier %r (line %d)" % (node.name, node.line)
+                )
+            node.symbol = symbol
+            return symbol.ctype
+        if isinstance(node, ast.Unary):
+            return self._unary(node, scope)
+        if isinstance(node, ast.Cast):
+            otype = self._expr(node.operand, scope)
+            if not ct.decay(otype).is_scalar():
+                raise SemanticError("cast of non-scalar %s" % otype)
+            if node.target.is_void():
+                return ct.VOID
+            return node.target
+        if isinstance(node, ast.Binary):
+            return self._binary(node, scope)
+        if isinstance(node, ast.Assign):
+            return self._assign(node, scope)
+        if isinstance(node, ast.IncDec):
+            otype = self._expr(node.operand, scope)
+            self._require_lvalue(node.operand)
+            if not (ct.decay(otype).is_integral() or ct.decay(otype).is_pointer()):
+                raise SemanticError("++/-- needs integer or pointer, got %s" % otype)
+            return ct.decay(otype)
+        if isinstance(node, ast.Index):
+            btype = ct.decay(self._expr(node.base, scope))
+            itype = ct.decay(self._expr(node.index, scope))
+            if not btype.is_pointer():
+                raise SemanticError("indexing non-pointer %s" % btype)
+            if not itype.is_integral():
+                raise SemanticError("array index is not integral: %s" % itype)
+            return btype.pointee
+        if isinstance(node, ast.Call):
+            return self._call(node, scope)
+        if isinstance(node, ast.Ternary):
+            self._scalar_expr(node.cond, scope)
+            ttype = ct.decay(self._expr(node.then, scope))
+            otype = ct.decay(self._expr(node.other, scope))
+            if ttype.is_arithmetic() and otype.is_arithmetic():
+                return ct.common_arith(ttype, otype)
+            if ttype.is_pointer() and (otype.is_pointer() or otype.is_integral()):
+                return ttype
+            if otype.is_pointer() and ttype.is_integral():
+                return otype
+            raise SemanticError("incompatible ternary arms: %s vs %s" % (ttype, otype))
+        raise SemanticError("unknown expression node %r" % type(node).__name__)
+
+    def _unary(self, node, scope):
+        if node.op == "&":
+            otype = self._expr(node.operand, scope)
+            self._require_lvalue(node.operand)
+            if isinstance(node.operand, ast.Ident):
+                node.operand.symbol.addressed = True
+            if otype.is_array():
+                return ct.PointerType(otype.elem)
+            return ct.PointerType(otype)
+        otype = ct.decay(self._expr(node.operand, scope))
+        if node.op == "*":
+            if not otype.is_pointer():
+                raise SemanticError("dereference of non-pointer %s" % otype)
+            if otype.pointee.is_void():
+                raise SemanticError("dereference of void pointer")
+            return otype.pointee
+        if node.op == "-":
+            if not otype.is_arithmetic():
+                raise SemanticError("unary minus on %s" % otype)
+            return ct.FLOAT if otype.is_float() else ct.INT
+        if node.op == "!":
+            if not otype.is_scalar():
+                raise SemanticError("! on non-scalar %s" % otype)
+            return ct.INT
+        if node.op == "~":
+            if not otype.is_integral():
+                raise SemanticError("~ on non-integer %s" % otype)
+            return ct.INT
+        raise SemanticError("unknown unary operator %r" % node.op)
+
+    def _binary(self, node, scope):
+        op = node.op
+        ltype = ct.decay(self._expr(node.left, scope))
+        rtype = ct.decay(self._expr(node.right, scope))
+        if op in ("&&", "||"):
+            if not (ltype.is_scalar() and rtype.is_scalar()):
+                raise SemanticError("%s on non-scalars" % op)
+            return ct.INT
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if ltype.is_arithmetic() and rtype.is_arithmetic():
+                return ct.INT
+            if ltype.is_pointer() and (rtype.is_pointer() or rtype.is_integral()):
+                return ct.INT
+            if rtype.is_pointer() and ltype.is_integral():
+                return ct.INT
+            raise SemanticError("cannot compare %s with %s" % (ltype, rtype))
+        if op in ("&", "|", "^", "<<", ">>", "%"):
+            if not (ltype.is_integral() and rtype.is_integral()):
+                raise SemanticError("%s needs integers, got %s and %s" % (op, ltype, rtype))
+            return ct.INT
+        if op == "+":
+            if ltype.is_pointer() and rtype.is_integral():
+                return ltype
+            if rtype.is_pointer() and ltype.is_integral():
+                return rtype
+            if ltype.is_arithmetic() and rtype.is_arithmetic():
+                return ct.common_arith(ltype, rtype)
+            raise SemanticError("cannot add %s and %s" % (ltype, rtype))
+        if op == "-":
+            if ltype.is_pointer() and rtype.is_pointer():
+                return ct.INT
+            if ltype.is_pointer() and rtype.is_integral():
+                return ltype
+            if ltype.is_arithmetic() and rtype.is_arithmetic():
+                return ct.common_arith(ltype, rtype)
+            raise SemanticError("cannot subtract %s from %s" % (rtype, ltype))
+        if op in ("*", "/"):
+            if not (ltype.is_arithmetic() and rtype.is_arithmetic()):
+                raise SemanticError("%s needs numbers, got %s and %s" % (op, ltype, rtype))
+            return ct.common_arith(ltype, rtype)
+        raise SemanticError("unknown binary operator %r" % op)
+
+    def _assign(self, node, scope):
+        ttype = self._expr(node.target, scope)
+        self._require_lvalue(node.target)
+        if ttype.is_array():
+            raise SemanticError("cannot assign to an array")
+        vtype = self._expr(node.value, scope)
+        if node.op == "=":
+            if not ct.assignable(ttype, vtype):
+                raise SemanticError("cannot assign %s to %s" % (vtype, ttype))
+            return ttype
+        # Compound assignment: target op= value.
+        base_op = node.op[:-1]
+        if base_op in ("%", "&", "|", "^", "<<", ">>"):
+            if not (ttype.is_integral() and ct.decay(vtype).is_integral()):
+                raise SemanticError("%s needs integers" % node.op)
+        elif base_op in ("+", "-"):
+            if ttype.is_pointer():
+                if not ct.decay(vtype).is_integral():
+                    raise SemanticError("pointer %s needs integer rhs" % node.op)
+            elif not (ttype.is_arithmetic() and ct.decay(vtype).is_arithmetic()):
+                raise SemanticError("%s on non-numbers" % node.op)
+        else:  # *= /=
+            if not (ttype.is_arithmetic() and ct.decay(vtype).is_arithmetic()):
+                raise SemanticError("%s on non-numbers" % node.op)
+        return ttype
+
+    def _call(self, node, scope):
+        fsym = self.functions.get(node.name)
+        if fsym is None:
+            raise SemanticError(
+                "call to undeclared function %r (line %d)" % (node.name, node.line)
+            )
+        node.symbol = fsym
+        if len(node.args) != len(fsym.param_types):
+            raise SemanticError(
+                "%s expects %d arguments, got %d"
+                % (node.name, len(fsym.param_types), len(node.args))
+            )
+        for arg, ptype in zip(node.args, fsym.param_types):
+            atype = self._expr(arg, scope)
+            if not ct.assignable(ptype, atype):
+                raise SemanticError(
+                    "argument of type %s incompatible with parameter %s in call to %s"
+                    % (atype, ptype, node.name)
+                )
+        return fsym.return_type
+
+    def _require_lvalue(self, node):
+        if isinstance(node, ast.Ident):
+            return
+        if isinstance(node, ast.Index):
+            return
+        if isinstance(node, ast.Unary) and node.op == "*":
+            return
+        raise SemanticError("expression is not an lvalue")
+
+
+def _flatten_init(init):
+    out = []
+    for item in init:
+        if isinstance(item, list):
+            out.extend(_flatten_init(item))
+        else:
+            out.append(item)
+    return out
+
+
+def analyze(program, max_args=4):
+    """Run semantic analysis on ``program`` in place and return it."""
+    return Analyzer(program, max_args=max_args).run()

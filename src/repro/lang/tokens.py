@@ -1,0 +1,56 @@
+"""Token definitions for the SmallC front end."""
+
+from dataclasses import dataclass
+
+# Token kinds.
+ID = "id"
+INTCONST = "intconst"
+FLOATCONST = "floatconst"
+CHARCONST = "charconst"
+STRING = "string"
+PUNCT = "punct"
+KEYWORD = "keyword"
+EOF = "eof"
+
+KEYWORDS = frozenset(
+    [
+        "int",
+        "char",
+        "float",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "switch",
+        "case",
+        "default",
+    ]
+)
+
+# Multi-character punctuators, longest first so the lexer can match greedily.
+PUNCTUATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    text: str
+    value: object = None
+    line: int = 0
+    col: int = 0
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.text)

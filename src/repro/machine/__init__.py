@@ -1,0 +1,5 @@
+"""Machine specifications and instruction encodings for both machines."""
+
+from repro.machine.spec import MachineSpec, baseline_spec, branchreg_spec
+
+__all__ = ["MachineSpec", "baseline_spec", "branchreg_spec"]

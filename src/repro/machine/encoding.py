@@ -1,0 +1,414 @@
+"""Bit-level instruction encodings (Figures 10 and 11).
+
+Both machines use 32-bit fixed-length instructions.  The baseline machine
+uses SPARC-flavoured formats (Figure 10); the branch-register machine's
+formats (Figure 11) devote a 3-bit ``br`` field in *every* instruction to
+the branch-register specifier and widen register fields relative to the
+16-register files, which is why its immediate fields are narrower
+("smaller range of available constants in some instructions", Section 7).
+
+The emulators execute instruction objects directly; these encoders are the
+*format checkers*: every instruction a code generator emits must encode,
+which enforces the register-count and immediate-range claims of the paper
+bit-for-bit.  ``decode`` reverses ``encode`` field-exactly, and the round
+trip is property-tested.
+
+Layouts (most-significant field first):
+
+Baseline (Figure 10)::
+
+    branch     [op:6][cond:3][i:1][disp:22]            (bcc, jmp, call)
+    sethi      [op:6][rd:5][imm21:21]
+    compute    [op:6][rd:5][rs1:5][i:1][imm13:13]      (i=0)
+    compute    [op:6][rd:5][rs1:5][i:1][pad:10][rs2:5] (i=1)
+
+Branch-register machine (Figure 11)::
+
+    bta        [op:6][bd:3][disp16:16][pad:4][br:3]
+    cmpset     [op:6][cond:3][rs1:4][i:1][imm10/rs2][btrue:3][br:3]
+    sethi      [op:6][rd:4][imm19:19][br:3]
+    compute    [op:6][rd:4][rs1:4][i:1][imm10:10][pad:4][br:3]   (i=0)
+    compute    [op:6][rd:4][rs1:4][i:1][pad:10][rs2:4][br:3]     (i=1)
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import EncodingError
+from repro.rtl.instr import CONDS
+from repro.rtl.operand import Imm, Reg
+
+# Opcode numbering shared by both machines where the mnemonic matches.
+OPCODES = {
+    "noop": 0, "add": 1, "sub": 2, "mul": 3, "div": 4, "rem": 5,
+    "and": 6, "or": 7, "xor": 8, "shl": 9, "shr": 10,
+    "neg": 11, "not": 12, "mov": 13, "li": 14, "sethi": 15, "addlo": 16,
+    "fadd": 17, "fsub": 18, "fmul": 19, "fdiv": 20, "fneg": 21, "fmov": 22,
+    "cvtif": 23, "cvtfi": 24,
+    "lw": 25, "lb": 26, "lf": 27, "sw": 28, "sb": 29, "sf": 30,
+    "trap": 31, "halt": 32,
+    # baseline-only
+    "cmp": 33, "fcmp": 34, "bcc": 35, "fbcc": 36, "jmp": 37, "call": 38,
+    "ijmp": 39, "retrt": 40, "mfrt": 41, "mtrt": 42,
+    # branch-register-machine-only
+    "bta": 43, "btalo": 44, "cmpset": 45, "fcmpset": 46, "bmov": 47,
+    "bld": 48, "bst": 49,
+}
+
+MNEMONICS = {number: name for name, number in OPCODES.items()}
+
+COND_CODES = {name: i for i, name in enumerate(CONDS)}
+
+
+def _check(value, bits, what, signed=False):
+    if signed:
+        half = 1 << (bits - 1)
+        if not (-half <= value < half):
+            raise EncodingError(
+                "%s=%d does not fit %d signed bits" % (what, value, bits)
+            )
+        return value & ((1 << bits) - 1)
+    if not (0 <= value < (1 << bits)):
+        raise EncodingError("%s=%d does not fit %d bits" % (what, value, bits))
+    return value
+
+
+@dataclass(frozen=True)
+class Field:
+    name: str
+    bits: int
+    signed: bool = False
+
+
+class Format:
+    """A sequence of fields packing to exactly 32 bits."""
+
+    def __init__(self, name, fields):
+        self.name = name
+        self.fields = fields
+        total = sum(f.bits for f in fields)
+        if total != 32:
+            raise ValueError("format %s is %d bits" % (name, total))
+
+    def pack(self, **values):
+        word = 0
+        for field in self.fields:
+            value = values.get(field.name, 0)
+            encoded = _check(value, field.bits, "%s.%s" % (self.name, field.name),
+                             signed=field.signed)
+            word = (word << field.bits) | encoded
+        return word
+
+    def unpack(self, word):
+        out = {}
+        shift = 32
+        for field in self.fields:
+            shift -= field.bits
+            raw = (word >> shift) & ((1 << field.bits) - 1)
+            if field.signed and raw >= (1 << (field.bits - 1)):
+                raw -= 1 << field.bits
+            out[field.name] = raw
+        return out
+
+
+# ---- baseline formats (Figure 10) ----------------------------------------
+
+BASE_BRANCH = Format("base-branch", [
+    Field("op", 6), Field("cond", 3), Field("i", 1), Field("disp", 22, True),
+])
+BASE_SETHI = Format("base-sethi", [
+    Field("op", 6), Field("rd", 5), Field("imm", 21, True),
+])
+BASE_COMPUTE_IMM = Format("base-compute-imm", [
+    Field("op", 6), Field("rd", 5), Field("rs1", 5), Field("i", 1),
+    Field("imm", 13, True), Field("pad", 2),
+])
+BASE_COMPUTE_REG = Format("base-compute-reg", [
+    Field("op", 6), Field("rd", 5), Field("rs1", 5), Field("i", 1),
+    Field("pad", 10), Field("rs2", 5),
+])
+
+# ---- branch-register formats (Figure 11) -----------------------------------
+
+BR_BTA = Format("br-bta", [
+    Field("op", 6), Field("bd", 3), Field("disp", 16, True),
+    Field("pad", 4), Field("br", 3),
+])
+BR_CMPSET = Format("br-cmpset", [
+    Field("op", 6), Field("cond", 3), Field("rs1", 4), Field("i", 1),
+    Field("imm", 10, True), Field("pad", 2), Field("btrue", 3), Field("br", 3),
+])
+BR_SETHI = Format("br-sethi", [
+    Field("op", 6), Field("rd", 4), Field("imm", 19, True), Field("br", 3),
+])
+BR_COMPUTE_IMM = Format("br-compute-imm", [
+    Field("op", 6), Field("rd", 4), Field("rs1", 4), Field("i", 1),
+    Field("imm", 10, True), Field("pad", 4), Field("br", 3),
+])
+BR_COMPUTE_REG = Format("br-compute-reg", [
+    Field("op", 6), Field("rd", 4), Field("rs1", 4), Field("i", 1),
+    Field("pad", 10), Field("rs2", 4), Field("br", 3),
+])
+
+_BASE_BRANCH_OPS = ("bcc", "fbcc", "jmp", "call", "retrt", "ijmp")
+
+
+def _reg_index(op, limit, what):
+    if not isinstance(op, Reg):
+        raise EncodingError("%s is not a register: %r" % (what, op))
+    if op.index >= limit:
+        raise EncodingError("%s out of range: %r (limit %d)" % (what, op, limit))
+    return op.index
+
+
+def _src_fields(ins, reg_limit, imm_format, reg_format, spec_word, extra):
+    """Encode a compute-style instruction with 0-2 sources."""
+    values = dict(extra)
+    values["op"] = OPCODES[ins.op]
+    if ins.dst is not None:
+        values["rd"] = _reg_index(ins.dst, reg_limit, "rd")
+    srcs = [s for s in ins.srcs]
+    fmt = imm_format
+    if srcs:
+        first = srcs[0]
+        if isinstance(first, Reg):
+            values["rs1"] = _reg_index(first, reg_limit, "rs1")
+        elif isinstance(first, Imm):
+            # li-style: single immediate source
+            values["i"] = 1 if False else 0
+            values["imm"] = first.value
+            return fmt.pack(**values), fmt
+    if len(srcs) > 1:
+        second = srcs[1]
+        if isinstance(second, Imm):
+            values["i"] = 0
+            values["imm"] = second.value
+            fmt = imm_format
+        else:
+            values["i"] = 1
+            values["rs2"] = _reg_index(second, reg_limit, "rs2")
+            fmt = reg_format
+    if len(srcs) > 2:
+        third = srcs[2]
+        if isinstance(third, Imm):
+            values["imm"] = third.value
+            if fmt is reg_format:
+                raise EncodingError("three-source with register offset")
+    return fmt.pack(**values), fmt
+
+
+class BaselineEncoder:
+    """Encodes/validates baseline-machine instructions (Figure 10)."""
+
+    REGS = 32
+
+    def __init__(self, spec=None):
+        from repro.machine.spec import baseline_spec
+
+        self.spec = spec or baseline_spec()
+
+    def encode(self, ins, disp_words=0):
+        """Encode one MInstr; ``disp_words`` is the signed word displacement
+        for control transfers (labels resolve at assembly)."""
+        op = ins.op
+        if op in _BASE_BRANCH_OPS:
+            cond = COND_CODES.get(ins.cond, 0)
+            i = 1 if op in ("ijmp", "retrt") else 0
+            return BASE_BRANCH.pack(
+                op=OPCODES[op], cond=cond, i=i,
+                disp=_limit_disp(disp_words, 22),
+            )
+        if op == "sethi":
+            value = _hi_part(ins, self.spec)
+            return BASE_SETHI.pack(
+                op=OPCODES[op],
+                rd=_reg_index(ins.dst, self.REGS, "rd"),
+                imm=value,
+            )
+        if op in ("noop", "halt", "trap", "retrt"):
+            return BASE_COMPUTE_IMM.pack(op=OPCODES[op])
+        if op == "addlo":
+            return BASE_COMPUTE_IMM.pack(
+                op=OPCODES[op],
+                rd=_reg_index(ins.dst, self.REGS, "rd"),
+                rs1=_reg_index(ins.srcs[0], self.REGS, "rs1"),
+                imm=_lo_part(ins, self.spec),
+            )
+        if op in ("sw", "sb", "sf"):
+            # Stores place the value register in the rd field.
+            return BASE_COMPUTE_IMM.pack(
+                op=OPCODES[op],
+                rd=_reg_index(ins.srcs[0], self.REGS, "rs-value"),
+                rs1=_reg_index(ins.srcs[1], self.REGS, "rs-base"),
+                imm=ins.srcs[2].value,
+            )
+        word, _fmt = _src_fields(
+            ins, self.REGS, BASE_COMPUTE_IMM, BASE_COMPUTE_REG, 32, {}
+        )
+        return word
+
+    def decode(self, word):
+        """Decode back to (mnemonic, fields)."""
+        op = MNEMONICS[(word >> 26) & 0x3F]
+        if op in _BASE_BRANCH_OPS:
+            return op, BASE_BRANCH.unpack(word)
+        if op == "sethi":
+            return op, BASE_SETHI.unpack(word)
+        fields = BASE_COMPUTE_IMM.unpack(word)
+        if fields["i"]:
+            return op, BASE_COMPUTE_REG.unpack(word)
+        return op, fields
+
+
+class BranchRegEncoder:
+    """Encodes/validates branch-register-machine instructions (Fig. 11)."""
+
+    REGS = 16
+
+    def __init__(self, spec=None):
+        from repro.machine.spec import branchreg_spec
+
+        self.spec = spec or branchreg_spec()
+        self.bregs = self.spec.branch_regs
+
+    def _breg(self, index, what="breg"):
+        bits_limit = 8  # 3-bit field
+        if index >= max(self.bregs, bits_limit) or index >= bits_limit:
+            raise EncodingError("%s=%d exceeds the 3-bit field" % (what, index))
+        return index
+
+    def encode(self, ins, disp_words=0):
+        op = ins.op
+        br = self._breg(ins.br, "br")
+        if op == "bta":
+            return BR_BTA.pack(
+                op=OPCODES[op],
+                bd=self._breg(ins.dst.index, "bd"),
+                disp=_limit_disp(disp_words, 16),
+                br=br,
+            )
+        if op in ("cmpset", "fcmpset"):
+            values = {
+                "op": OPCODES[op],
+                "cond": COND_CODES[ins.cond],
+                "rs1": _reg_index(ins.srcs[0], self.REGS, "rs1"),
+                "btrue": self._breg(ins.btrue, "btrue"),
+                "br": br,
+            }
+            second = ins.srcs[1]
+            if isinstance(second, Imm):
+                values["i"] = 0
+                values["imm"] = second.value
+            else:
+                values["i"] = 1
+                values["imm"] = _reg_index(second, self.REGS, "rs2")
+            return BR_CMPSET.pack(**values)
+        if op == "sethi":
+            return BR_SETHI.pack(
+                op=OPCODES[op],
+                rd=_reg_index(ins.dst, self.REGS, "rd"),
+                imm=_hi_part(ins, self.spec),
+                br=br,
+            )
+        if op == "btalo":
+            return BR_COMPUTE_IMM.pack(
+                op=OPCODES[op],
+                rd=self._breg(ins.dst.index, "bd"),
+                rs1=_reg_index(ins.srcs[0], self.REGS, "rs1"),
+                imm=_lo_part(ins, self.spec),
+                br=br,
+            )
+        if op == "bmov":
+            return BR_COMPUTE_REG.pack(
+                op=OPCODES[op],
+                rd=self._breg(ins.dst.index, "bd"),
+                rs2=self._breg(ins.srcs[0].index, "bs"),
+                i=1,
+                br=br,
+            )
+        if op in ("bld", "bst"):
+            if op == "bld":
+                bd = self._breg(ins.dst.index, "bd")
+                base, offset = ins.srcs[0], ins.srcs[1]
+            else:
+                bd = self._breg(ins.srcs[0].index, "bs")
+                base, offset = ins.srcs[1], ins.srcs[2]
+            return BR_COMPUTE_IMM.pack(
+                op=OPCODES[op],
+                rd=bd,
+                rs1=_reg_index(base, self.REGS, "rs1"),
+                imm=offset.value,
+                br=br,
+            )
+        if op in ("noop", "halt", "trap"):
+            return BR_COMPUTE_IMM.pack(op=OPCODES[op], br=br)
+        if op == "addlo":
+            return BR_COMPUTE_IMM.pack(
+                op=OPCODES[op],
+                rd=_reg_index(ins.dst, self.REGS, "rd"),
+                rs1=_reg_index(ins.srcs[0], self.REGS, "rs1"),
+                imm=_lo_part(ins, self.spec),
+                br=br,
+            )
+        if op in ("sw", "sb", "sf"):
+            return BR_COMPUTE_IMM.pack(
+                op=OPCODES[op],
+                rd=_reg_index(ins.srcs[0], self.REGS, "rs-value"),
+                rs1=_reg_index(ins.srcs[1], self.REGS, "rs-base"),
+                imm=ins.srcs[2].value,
+                br=br,
+            )
+        word, _fmt = _src_fields(
+            ins, self.REGS, BR_COMPUTE_IMM, BR_COMPUTE_REG, 32, {"br": br}
+        )
+        return word
+
+    def decode(self, word):
+        op = MNEMONICS[(word >> 26) & 0x3F]
+        if op == "bta":
+            return op, BR_BTA.unpack(word)
+        if op in ("cmpset", "fcmpset"):
+            return op, BR_CMPSET.unpack(word)
+        if op == "sethi":
+            return op, BR_SETHI.unpack(word)
+        fields = BR_COMPUTE_IMM.unpack(word)
+        if fields["i"]:
+            return op, BR_COMPUTE_REG.unpack(word)
+        return op, fields
+
+
+def _limit_disp(disp_words, bits):
+    half = 1 << (bits - 1)
+    if not (-half <= disp_words < half):
+        raise EncodingError("displacement %d exceeds %d bits" % (disp_words, bits))
+    return disp_words
+
+
+def _hi_part(ins, spec):
+    """The sethi immediate: the constant's upper bits."""
+    value = ins.srcs[0]
+    if isinstance(value, Imm):
+        return (value.value & 0xFFFFFFFF) >> (spec.imm_bits - 1)
+    return 0  # symbolic (relocated at link time); field range trivially ok
+
+
+def _lo_part(ins, spec):
+    value = ins.srcs[-1] if not isinstance(ins.srcs[-1], Reg) else None
+    if isinstance(value, Imm):
+        return value.value & ((1 << (spec.imm_bits - 1)) - 1)
+    return 0
+
+
+def validate_program(mprog):
+    """Encode every instruction of a MachineProgram; raises EncodingError
+    on any format violation.  Returns the number of words encoded."""
+    if mprog.spec.name == "baseline":
+        encoder = BaselineEncoder(mprog.spec)
+    else:
+        encoder = BranchRegEncoder(mprog.spec)
+    count = 0
+    for ins in mprog.all_instrs():
+        if ins.is_label():
+            continue
+        encoder.encode(ins)
+        count += 1
+    return count

@@ -1,0 +1,161 @@
+"""Machine specifications for the two emulated architectures.
+
+The paper (Section 7) evaluates two machines that differ only in how they
+perform transfers of control:
+
+* the **baseline** machine: 32 general-purpose data registers, 32
+  floating-point registers, delayed branches (one delay slot);
+* the **branch-register** machine: 16 data registers, 16 floating-point
+  registers, 8 branch registers and 8 instruction registers, no branch
+  instructions, and a smaller range of immediate constants (the ``br``
+  field and wider register specifiers steal encoding bits).
+
+A :class:`MachineSpec` bundles the register conventions the code generator
+needs.  Both machines share the same calling convention *shape* so that the
+middle end is identical; only the register counts differ.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.rtl.operand import Reg
+
+
+@dataclass(frozen=True)
+class RegisterConvention:
+    """Calling-convention roles for one register class."""
+
+    count: int
+    ret: int  # return-value register index
+    args: tuple  # argument register indices (in order)
+    caller_saved: tuple  # scratch registers (besides ret/args)
+    callee_saved: tuple  # preserved across calls
+    sp: int = None  # stack pointer (integer class only)
+
+    def allocatable(self):
+        """Registers the allocator may use, caller-saved first.
+
+        The return-value and argument registers are also allocatable as
+        scratch between calls; the allocator handles their clobbering at
+        call sites conservatively (virtuals live across calls get
+        callee-saved registers or spill).
+        """
+        return tuple(self.caller_saved) + tuple(self.callee_saved)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Everything target-independent passes need to know about a machine."""
+
+    name: str
+    ints: RegisterConvention
+    flts: RegisterConvention
+    imm_bits: int  # signed immediate width in format-3 instructions
+    disp_bits: int  # signed branch/bta displacement width
+    sethi_bits: int  # width of the sethi immediate (upper bits)
+    has_delayed_branch: bool = False
+    branch_regs: int = 0  # 0 on the baseline machine
+    # Branch-register roles (branch-register machine only):
+    br_pc: int = 0
+    br_link: int = 7  # clobbered by every transfer; compare destination
+    br_callee_saved: tuple = field(default_factory=tuple)
+    br_scratch: tuple = field(default_factory=tuple)
+
+    @property
+    def word(self):
+        return 4
+
+    def sp(self):
+        return Reg("r", self.ints.sp)
+
+    def ret_reg(self, float_=False):
+        conv = self.flts if float_ else self.ints
+        return Reg("f" if float_ else "r", conv.ret)
+
+    def arg_reg(self, i, float_=False):
+        conv = self.flts if float_ else self.ints
+        return Reg("f" if float_ else "r", conv.args[i])
+
+    def max_args(self):
+        return min(len(self.ints.args), len(self.flts.args))
+
+    def imm_fits(self, value):
+        """Does ``value`` fit the signed immediate field of arithmetic and
+        memory instructions?"""
+        half = 1 << (self.imm_bits - 1)
+        return -half <= value < half
+
+    def disp_fits(self, value):
+        half = 1 << (self.disp_bits - 1)
+        return -half <= value < half
+
+
+def baseline_spec():
+    """The baseline machine of Section 7 (Figure 10 formats)."""
+    return MachineSpec(
+        name="baseline",
+        ints=RegisterConvention(
+            count=32,
+            ret=0,
+            args=(1, 2, 3, 4),
+            caller_saved=tuple(range(5, 16)),
+            callee_saved=tuple(range(16, 31)),
+            sp=31,
+        ),
+        flts=RegisterConvention(
+            count=32,
+            ret=0,
+            args=(1, 2, 3, 4),
+            caller_saved=tuple(range(5, 16)),
+            callee_saved=tuple(range(16, 32)),
+        ),
+        imm_bits=13,
+        disp_bits=22,
+        sethi_bits=21,
+        has_delayed_branch=True,
+        branch_regs=0,
+    )
+
+
+def branchreg_spec(branch_regs=8):
+    """The branch-register machine of Section 7 (Figure 11 formats).
+
+    ``branch_regs`` is parameterised to support the Section 9 ablation
+    ("the available number of these registers ... could be varied").  The
+    paper's machine uses 8.  ``b[0]`` is always the PC and the highest
+    register is always the link/trash register; the remainder is split
+    evenly between callee-saved ("non-scratch") and scratch registers.
+    """
+    if branch_regs < 3:
+        raise ValueError("need at least PC, link and one usable branch register")
+    link = branch_regs - 1
+    usable = list(range(1, link))
+    half = len(usable) // 2
+    callee_saved = tuple(usable[:half]) if half else ()
+    scratch = tuple(usable[half:])
+    return MachineSpec(
+        name="branchreg",
+        ints=RegisterConvention(
+            count=16,
+            ret=0,
+            args=(1, 2, 3, 4),
+            caller_saved=(5, 6, 7),
+            callee_saved=tuple(range(8, 15)),
+            sp=15,
+        ),
+        flts=RegisterConvention(
+            count=16,
+            ret=0,
+            args=(1, 2, 3, 4),
+            caller_saved=(5, 6, 7),
+            callee_saved=tuple(range(8, 16)),
+        ),
+        imm_bits=10,
+        disp_bits=16,
+        sethi_bits=21,
+        has_delayed_branch=False,
+        branch_regs=branch_regs,
+        br_pc=0,
+        br_link=link,
+        br_callee_saved=callee_saved,
+        br_scratch=scratch,
+    )

@@ -1,0 +1,13 @@
+"""Machine-independent optimizations and register allocation."""
+
+from repro.opt.pipeline import normalize_returns, optimize_function, optimize_program
+from repro.opt.regalloc import AllocationInfo, allocate, reserved_temps
+
+__all__ = [
+    "normalize_returns",
+    "optimize_function",
+    "optimize_program",
+    "AllocationInfo",
+    "allocate",
+    "reserved_temps",
+]

@@ -1,0 +1,125 @@
+"""Local constant propagation, folding and algebraic simplification.
+
+Operates block-locally (no cross-block dataflow); enough to clean up the
+front end's output the way the paper's vpo-derived compiler would before
+measuring either machine.  Both targets share this pass, so it never
+perturbs the baseline-vs-branch-register comparison.
+"""
+
+from repro.emu.intmath import compare, int_binop
+from repro.rtl import instr as I
+from repro.rtl.operand import Imm, VReg
+
+
+def _is_power_of_two(n):
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def fold_block(block):
+    """Fold constants within one basic block.  Returns True if changed."""
+    known = {}  # VReg -> int constant
+    changed = False
+    new_instrs = []
+    for ins in block.instrs:
+        ins = _substitute(ins, known)
+        folded = _try_fold(ins, known)
+        if folded is not ins:
+            changed = True
+            ins = folded
+        if ins is None:
+            changed = True
+            continue
+        # Update the known-constants map.
+        if ins.op == "li" and isinstance(ins.dst, VReg):
+            known[ins.dst] = ins.srcs[0].value
+        else:
+            for reg in ins.defs():
+                known.pop(reg, None)
+            if ins.op in ("call", "trap"):
+                pass  # only the dst is clobbered; handled above
+        new_instrs.append(ins)
+    block.instrs = new_instrs
+    return changed
+
+
+def _substitute(ins, known):
+    """Replace register sources holding known constants with immediates
+    where the IR shape allows an immediate."""
+    if ins.op in I.INT_BINOPS and len(ins.srcs) == 2:
+        a, b = ins.srcs
+        if isinstance(b, VReg) and b in known:
+            ins = I.Instr(ins.op, dst=ins.dst, srcs=[a, Imm(known[b])])
+        a, b = ins.srcs
+        if isinstance(a, VReg) and a in known and ins.op in I.COMMUTATIVE:
+            if isinstance(b, VReg):
+                ins = I.Instr(ins.op, dst=ins.dst, srcs=[b, Imm(known[a])])
+    elif ins.op == "br":
+        a, b = ins.srcs
+        if isinstance(b, VReg) and b in known:
+            ins = I.Instr(
+                "br", srcs=[a, Imm(known[b])], cond=ins.cond, target=ins.target
+            )
+    elif ins.op == "mov":
+        src = ins.srcs[0]
+        if isinstance(src, VReg) and src in known:
+            ins = I.li(ins.dst, known[src])
+    return ins
+
+
+def _try_fold(ins, known):
+    """Fold an instruction to a simpler one (or None to delete).  Returns
+    the original object when no change applies."""
+    if ins.op in I.INT_BINOPS and len(ins.srcs) == 2:
+        a, b = ins.srcs
+        a_const = known.get(a) if isinstance(a, VReg) else (
+            a.value if isinstance(a, Imm) else None
+        )
+        b_const = b.value if isinstance(b, Imm) else (
+            known.get(b) if isinstance(b, VReg) else None
+        )
+        if a_const is not None and b_const is not None:
+            try:
+                return I.li(ins.dst, int_binop(ins.op, a_const, b_const))
+            except ZeroDivisionError:
+                return ins
+        if b_const is not None:
+            return _algebraic(ins, b_const)
+        return ins
+    if ins.op == "br":
+        a, b = ins.srcs
+        a_const = known.get(a) if isinstance(a, VReg) else None
+        b_const = b.value if isinstance(b, Imm) else known.get(b)
+        if a_const is not None and b_const is not None:
+            if compare(ins.cond, a_const, b_const):
+                return I.jump(ins.target)
+            return None  # never taken
+        return ins
+    return ins
+
+
+def _algebraic(ins, b_const):
+    """Strength reduction and identity elimination with a constant rhs."""
+    op, a = ins.op, ins.srcs[0]
+    if b_const == 0:
+        if op in ("add", "sub", "or", "xor", "shl", "shr"):
+            return I.unop("mov", ins.dst, a)
+        if op in ("mul", "and"):
+            return I.li(ins.dst, 0)
+    if b_const == 1:
+        if op in ("mul", "div"):
+            return I.unop("mov", ins.dst, a)
+        if op == "rem":
+            return I.li(ins.dst, 0)
+    if op == "mul" and _is_power_of_two(b_const):
+        return I.binop("shl", ins.dst, a, Imm(b_const.bit_length() - 1))
+    return ins
+
+
+def run(cfg):
+    """Run constant folding over every block; returns True if anything
+    changed."""
+    changed = False
+    for block in cfg.blocks:
+        if fold_block(block):
+            changed = True
+    return changed

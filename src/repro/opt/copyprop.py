@@ -1,0 +1,50 @@
+"""Local copy propagation.
+
+The front end produces chains like ``v2 = li 0; v1 = mov v2``; this pass
+forwards copy sources into later uses within a block so dead-code
+elimination can drop the copies.
+"""
+
+from repro.rtl.operand import VReg
+
+
+def propagate_block(block):
+    """Forward copies within one block.  Returns True if changed."""
+    copies = {}  # dst VReg -> src VReg while both are unmodified
+    changed = False
+    new_instrs = []
+    for ins in block.instrs:
+        def lookup(reg):
+            seen = set()
+            while isinstance(reg, VReg) and reg in copies and reg not in seen:
+                seen.add(reg)
+                reg = copies[reg]
+            return reg
+
+        replaced = ins.replace_regs(lookup)
+        # Only *uses* may be forwarded; the definition keeps its register.
+        replaced.dst = ins.dst
+        if repr(replaced) != repr(ins):
+            changed = True
+        ins = replaced
+        # Kill copies invalidated by this definition.
+        for reg in ins.defs():
+            copies.pop(reg, None)
+            stale = [d for d, s in copies.items() if s == reg]
+            for d in stale:
+                del copies[d]
+        if ins.op in ("mov", "fmov"):
+            src = ins.srcs[0]
+            if isinstance(src, VReg) and isinstance(ins.dst, VReg) and src != ins.dst:
+                copies[ins.dst] = src
+        new_instrs.append(ins)
+    block.instrs = new_instrs
+    return changed
+
+
+def run(cfg):
+    changed = False
+    for block in cfg.blocks:
+        if propagate_block(block):
+            changed = True
+    return changed

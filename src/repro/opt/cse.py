@@ -1,0 +1,79 @@
+"""Common-subexpression elimination for constant materialisations.
+
+The paper (Section 10) names "conventional optimizations of code motion
+and common subexpression elimination" as the enablers of good code on both
+machines.  The front end emits one address/constant materialisation per
+*use site* (``heap[i] = heap[j]`` computes ``la heap`` twice); this pass
+pools duplicated ``li``/``la`` values into one virtual register defined at
+function entry, which
+
+* removes the duplicate ALU work on both machines, and
+* leaves a single definition, which the loop-invariant-code-motion and
+  rematerialisation machinery handle optimally.
+
+Runs after immediate legalisation so target-created constants pool too.
+"""
+
+from collections import Counter
+
+from repro.rtl import instr as I
+from repro.rtl.operand import VReg
+
+
+def _key(ins):
+    if ins.op == "li":
+        return ("li", ins.srcs[0].value)
+    if ins.op == "la":
+        return ("la", ins.srcs[0])
+    return None
+
+
+def pool_constants(fn, min_uses=2):
+    """Pool duplicated li/la materialisations.  Returns pooled count."""
+    # Count definitions per register and per constant key.
+    def_count = Counter()
+    key_sites = {}
+    for ins in fn.instrs:
+        for reg in ins.defs():
+            def_count[reg] += 1
+        key = _key(ins)
+        if key is not None and isinstance(ins.dst, VReg):
+            key_sites.setdefault(key, []).append(ins)
+    # Eligible: the key appears at >= min_uses sites and every site's
+    # destination has no other definition (so use-rewriting is sound).
+    replacements = {}  # old VReg -> canonical VReg
+    entry_defs = []
+    pooled = 0
+    for key, sites in key_sites.items():
+        if len(sites) < min_uses:
+            continue
+        if any(def_count[ins.dst] != 1 for ins in sites):
+            continue
+        dsts = {ins.dst for ins in sites}
+        if len(dsts) != len(sites):
+            continue  # duplicate dst across sites -- be conservative
+        canonical = fn.new_vreg()
+        prototype = sites[0]
+        entry_defs.append(
+            I.Instr(prototype.op, dst=canonical, srcs=list(prototype.srcs))
+        )
+        for ins in sites:
+            replacements[ins.dst] = canonical
+        pooled += len(sites)
+    if not replacements:
+        return 0
+
+    def rewrite(reg):
+        return replacements.get(reg, reg)
+
+    out = list(entry_defs)
+    dead = {id(ins) for sites in key_sites.values() for ins in sites
+            if ins.dst in replacements}
+    for ins in fn.instrs:
+        if id(ins) in dead:
+            continue
+        replaced = ins.replace_regs(rewrite)
+        replaced.dst = ins.dst  # never rewrite definitions
+        out.append(replaced)
+    fn.instrs = out
+    return pooled

@@ -1,0 +1,42 @@
+"""Global dead-code elimination over virtual registers.
+
+Removes pure instructions whose results are never used.  Impure
+instructions (memory writes, calls, traps, transfers) are always kept;
+calls keep their side effects even when the returned value is dead (the
+dead destination is simply retained -- the value lands in the return
+register either way).
+"""
+
+from repro.cfg.liveness import compute_liveness, per_instruction_liveness
+
+_IMPURE = frozenset(
+    ["sw", "sb", "sf", "call", "trap", "ret", "br", "fbr", "jmp", "ijmp", "nop"]
+)
+
+
+def run(cfg):
+    """One liveness-and-sweep round.  Returns True if anything died."""
+    _live_in, live_out = compute_liveness(cfg)
+    changed = False
+    for block in cfg.blocks:
+        after = per_instruction_liveness(block, live_out[block])
+        kept = []
+        for ins, live in zip(block.instrs, after):
+            if ins.op in _IMPURE or ins.is_label():
+                kept.append(ins)
+                continue
+            defs = ins.defs()
+            if defs and all(d not in live for d in defs):
+                changed = True
+                continue
+            kept.append(ins)
+        block.instrs = kept
+    return changed
+
+
+def run_to_fixpoint(cfg, limit=20):
+    """Iterate DCE until nothing changes (chains of dead copies)."""
+    rounds = 0
+    while run(cfg) and rounds < limit:
+        rounds = rounds + 1
+    return rounds

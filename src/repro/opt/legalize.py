@@ -1,0 +1,42 @@
+"""Target-parameterised immediate legalisation (IR level).
+
+The branch-register machine's instruction formats leave fewer bits for
+immediates (Figure 11; Section 7 lists "smaller range of available
+constants in some instructions" as one of its costs).  Legalising
+immediates *before* register allocation -- by materialising out-of-range
+constants into virtual registers -- lets the loop-invariant code motion
+pass hoist them, exactly as the authors' vpo compiler would ("Enhancing
+the effectiveness of the code can be accomplished with conventional
+optimizations of code motion and common subexpression elimination",
+Section 10).
+
+Only operation immediates are legalised here; memory-offset immediates
+(frame offsets, small field offsets) are left to the code generator's
+backstop legaliser, since they are almost always in range.
+"""
+
+from repro.rtl import instr as I
+from repro.rtl.operand import Imm
+
+
+def legalize_immediates(fn, spec):
+    """Materialise out-of-range immediates into virtual registers."""
+    out = []
+    for ins in fn.instrs:
+        if ins.op in I.INT_BINOPS and len(ins.srcs) == 2:
+            b = ins.srcs[1]
+            if isinstance(b, Imm) and not spec.imm_fits(b.value):
+                temp = fn.new_vreg()
+                out.append(I.li(temp, b.value))
+                ins = I.Instr(ins.op, dst=ins.dst, srcs=[ins.srcs[0], temp])
+        elif ins.op == "br":
+            b = ins.srcs[1]
+            if isinstance(b, Imm) and not spec.imm_fits(b.value):
+                temp = fn.new_vreg()
+                out.append(I.li(temp, b.value))
+                ins = I.Instr(
+                    "br", srcs=[ins.srcs[0], temp], cond=ins.cond, target=ins.target
+                )
+        out.append(ins)
+    fn.instrs = out
+    return fn

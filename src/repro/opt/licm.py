@@ -1,0 +1,78 @@
+"""Loop-invariant code motion for constant materialisations.
+
+Hoists ``li`` (constant) and ``la`` (global address) instructions out of
+loops into the loop preheader.  These are always invariant; the only
+safety requirement is that the destination register has no other
+definition anywhere in the function (so adding an earlier definition
+cannot change any path's value).
+
+This models the "conventional optimizations of code motion" the paper's
+compiler applied (Section 10), and is essential for a fair comparison:
+without it, the branch-register machine's narrower immediates would be
+re-materialised on every loop iteration.
+"""
+
+from repro.cfg.build import build_cfg
+from repro.cfg.loops import ensure_preheader, find_loops, preheader_is_safe
+
+_HOISTABLE = ("li", "la")
+
+
+def _definition_counts(cfg):
+    counts = {}
+    for block in cfg.blocks:
+        for ins in block.instrs:
+            for reg in ins.defs():
+                counts[reg] = counts.get(reg, 0) + 1
+    return counts
+
+
+def hoist_loop_invariants(fn):
+    """Hoist single-definition li/la instructions to loop preheaders.
+
+    Works innermost-outwards: a constant hoisted from an inner loop lands
+    in the inner preheader, which may itself be inside an outer loop and
+    get hoisted again on the outer pass.  Returns the number of moves.
+    """
+    moves = 0
+    for _round in range(4):  # enough for realistic nesting depth
+        cfg = build_cfg(fn)
+        loops = find_loops(cfg)
+        if not loops:
+            break
+        def_counts = _definition_counts(cfg)
+        moved_this_round = 0
+        # Innermost first so constants bubble outward one level per round.
+        for loop in sorted(loops, key=lambda l: -l.depth):
+            if not preheader_is_safe(loop):
+                continue
+            hoistable = []
+            # Iterate blocks in layout order -- loop.blocks is a set and
+            # must not dictate code order (determinism).
+            for block in cfg.blocks:
+                if block not in loop.blocks:
+                    continue
+                for ins in block.instrs:
+                    if ins.op in _HOISTABLE and def_counts.get(ins.dst, 0) == 1:
+                        hoistable.append((block, ins))
+            if not hoistable:
+                continue
+            preheader = ensure_preheader(cfg, loop, fn)
+            if preheader in loop.blocks:
+                continue
+            for block, ins in hoistable:
+                if ins not in block.instrs:
+                    continue  # already moved by an inner loop this round
+                block.instrs.remove(ins)
+                term = preheader.terminator()
+                if term is not None:
+                    index = preheader.instrs.index(term)
+                    preheader.instrs.insert(index, ins)
+                else:
+                    preheader.instrs.append(ins)
+                moved_this_round = moved_this_round + 1
+        fn.instrs = cfg.linearize()
+        moves = moves + moved_this_round
+        if not moved_this_round:
+            break
+    return moves

@@ -1,0 +1,61 @@
+"""Machine-independent optimization pipeline.
+
+Order per round: copy propagation -> constant folding -> dead-code
+elimination, repeated to a fixpoint.  Both target machines receive exactly
+the same optimised IR, so any difference in the measurements comes from the
+target lowering alone -- the property the paper's experiment relies on.
+"""
+
+from repro.cfg.build import build_cfg
+from repro.opt import constfold, copyprop, dce
+from repro.rtl import instr as I
+from repro.rtl.operand import FLT, INT, Label
+
+MAX_ROUNDS = 10
+
+
+def normalize_returns(fn):
+    """Rewrite the function to have a single exit: every ``ret value`` site
+    becomes a move into a shared virtual register followed by a jump to a
+    shared epilogue block.  Both target code generators rely on this to
+    emit one prologue/epilogue pair."""
+    rets = [ins for ins in fn.instrs if ins.op == "ret"]
+    if len(rets) <= 1 and (not rets or fn.instrs[-1] is rets[0]):
+        return fn
+    exit_label = fn.new_label("Lret")
+    has_value = any(ins.srcs for ins in rets)
+    shared = fn.new_vreg(FLT if fn.return_float else INT) if has_value else None
+    out = []
+    for ins in fn.instrs:
+        if ins.op != "ret":
+            out.append(ins)
+            continue
+        if ins.srcs:
+            op = "fmov" if fn.return_float else "mov"
+            out.append(I.unop(op, shared, ins.srcs[0]))
+        out.append(I.jump(Label(exit_label)))
+    out.append(I.label(exit_label))
+    out.append(I.ret(shared) if has_value else I.ret())
+    fn.instrs = out
+    return fn
+
+
+def optimize_function(fn):
+    """Run the pass pipeline over one function, in place."""
+    normalize_returns(fn)
+    for _round in range(MAX_ROUNDS):
+        cfg = build_cfg(fn)
+        changed = copyprop.run(cfg)
+        changed |= constfold.run(cfg)
+        dce.run_to_fixpoint(cfg)
+        fn.instrs = cfg.linearize()
+        if not changed:
+            break
+    return fn
+
+
+def optimize_program(program):
+    """Optimise every function of an IR program, in place."""
+    for fn in program.functions.values():
+        optimize_function(fn)
+    return program

@@ -1,0 +1,357 @@
+"""Global register allocation (priority-based colouring with spilling).
+
+Runs on machine-independent IR, parameterised by a
+:class:`~repro.machine.spec.MachineSpec`, so the *same* allocator serves
+both machines -- only the register counts differ (32 vs 16 data registers,
+32 vs 16 float registers).  This mirrors the paper's setup, where the
+reduced data-register file of the branch-register machine shows up as
+extra data memory references (Table I: +2.0%).
+
+Conventions:
+
+* virtual registers live across a call (or trap) may only receive
+  callee-saved registers;
+* the first three caller-saved integer registers and first two caller-saved
+  float registers are *reserved* as assembler temporaries for spill code
+  and for target-specific legalisation (large immediates, far addresses);
+* unallocated virtuals spill to frame slots accessed through the
+  ``ldspill``/``stspill`` pseudo-ops, which the target code generators
+  lower to sp-relative loads/stores.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cfg.build import build_cfg
+from repro.cfg.freq import estimate_frequencies
+from repro.cfg.liveness import compute_liveness, per_instruction_liveness
+from repro.cfg.loops import find_loops
+from repro.rtl import instr as I
+from repro.rtl.operand import FLT, INT, Reg, VReg
+
+N_RESERVED_INT = 3
+N_RESERVED_FLT = 2
+
+
+@dataclass(frozen=True)
+class DeferredArg:
+    """A call/trap argument whose value is not in a register after
+    allocation.  The code generator materialises it straight into the
+    argument register (a spill-slot load, or a rematerialised constant),
+    sidestepping the two-temporary limit of ordinary spill code.
+
+    ``kind`` is "spill" (payload = frame Local) or "remat" (payload =
+    the defining li/la instruction).  ``cls`` is the register class.
+    """
+
+    kind: str
+    payload: object
+    cls: str = INT
+
+
+@dataclass
+class AllocationInfo:
+    """Result of register allocation for one function."""
+
+    mapping: dict = field(default_factory=dict)  # VReg -> Reg
+    spill_slots: dict = field(default_factory=dict)  # VReg -> Local
+    used_callee_saved: set = field(default_factory=set)  # of Reg
+    spill_loads: int = 0
+    spill_stores: int = 0
+
+    def location(self, vreg):
+        if vreg in self.mapping:
+            return ("reg", self.mapping[vreg])
+        if vreg in self.spill_slots:
+            return ("spill", self.spill_slots[vreg])
+        return ("none", None)
+
+
+def reserved_temps(spec, cls):
+    """The assembler-temporary registers for a class, never allocated."""
+    if cls == INT:
+        indices = spec.ints.caller_saved[:N_RESERVED_INT]
+        return [Reg("r", i) for i in indices]
+    indices = spec.flts.caller_saved[:N_RESERVED_FLT]
+    return [Reg("f", i) for i in indices]
+
+
+class RegisterAllocator:
+    """Allocates one function's virtual registers for one machine."""
+
+    def __init__(self, fn, spec):
+        self.fn = fn
+        self.spec = spec
+        self.info = AllocationInfo()
+
+    # -- pools -----------------------------------------------------------
+
+    def _pools(self, cls):
+        """(non-crossing pool, crossing pool) of physical registers."""
+        if cls == INT:
+            conv, kind = self.spec.ints, "r"
+            reserved = set(conv.caller_saved[:N_RESERVED_INT])
+        else:
+            conv, kind = self.spec.flts, "f"
+            reserved = set(conv.caller_saved[:N_RESERVED_FLT])
+        scratch = [conv.ret] + list(conv.args) + [
+            i for i in conv.caller_saved if i not in reserved
+        ]
+        callee = list(conv.callee_saved)
+        scratch_regs = [Reg(kind, i) for i in scratch]
+        callee_regs = [Reg(kind, i) for i in callee]
+        return scratch_regs, callee_regs
+
+    # -- analysis ----------------------------------------------------------
+
+    def _analyse(self, cfg):
+        loops = find_loops(cfg)
+        estimate_frequencies(cfg, loops)
+        _live_in, live_out = compute_liveness(cfg)
+        interference = {}
+        crossing = set()
+        priority = {}
+
+        def note(vreg, weight):
+            priority[vreg] = priority.get(vreg, 0.0) + weight
+
+        def add_edge(a, b):
+            if a == b:
+                return
+            interference.setdefault(a, set()).add(b)
+            interference.setdefault(b, set()).add(a)
+
+        # Parameters are live on entry and interfere with each other.
+        param_regs = [v for v, _ in self.fn.params]
+        for i, a in enumerate(param_regs):
+            interference.setdefault(a, set())
+            for b in param_regs[i + 1 :]:
+                add_edge(a, b)
+
+        for block in cfg.blocks:
+            after = per_instruction_liveness(block, live_out[block])
+            for ins, live in zip(block.instrs, after):
+                weight = block.freq
+                for reg in ins.uses():
+                    note(reg, weight)
+                    interference.setdefault(reg, set())
+                for reg in ins.defs():
+                    note(reg, weight * 1.0)
+                    interference.setdefault(reg, set())
+                    skip = None
+                    if ins.op in ("mov", "fmov") and isinstance(
+                        ins.srcs[0], VReg
+                    ):
+                        skip = ins.srcs[0]
+                    for other in live:
+                        if other is not skip or other in ins.defs():
+                            add_edge(reg, other)
+                if ins.op in ("call", "trap"):
+                    survivors = set(live)
+                    for d in ins.defs():
+                        survivors.discard(d)
+                    crossing |= survivors
+        return interference, crossing, priority
+
+    # -- assignment -----------------------------------------------------------
+
+    def _assign(self, interference, crossing, priority, cheap_spill=()):
+        """Priority-order colouring.  ``cheap_spill`` contains virtuals
+        whose value can be rematerialised (single li/la definition); they
+        are deprioritised so scarce registers go to real variables first --
+        spilling them costs one or two ALU instructions instead of a
+        memory reference."""
+        mapping = {}
+        cheap = set(cheap_spill)
+
+        def weight(v):
+            base = priority.get(v, 0.0)
+            return base * 0.4 if v in cheap else base
+
+        order = sorted(
+            interference.keys(),
+            key=lambda v: (-weight(v), v.vid),
+        )
+        pools = {INT: self._pools(INT), FLT: self._pools(FLT)}
+        spilled = []
+        for vreg in order:
+            scratch, callee = pools[vreg.cls]
+            candidates = callee if vreg in crossing else scratch + callee
+            taken = {
+                mapping[n] for n in interference.get(vreg, ()) if n in mapping
+            }
+            chosen = None
+            for reg in candidates:
+                if reg not in taken:
+                    chosen = reg
+                    break
+            if chosen is None:
+                spilled.append(vreg)
+            else:
+                mapping[vreg] = chosen
+                if chosen.index in (
+                    self.spec.ints.callee_saved
+                    if chosen.kind == "r"
+                    else self.spec.flts.callee_saved
+                ):
+                    self.info.used_callee_saved.add(chosen)
+        return mapping, spilled
+
+    # -- spilling ----------------------------------------------------------
+
+    def _remat_candidates(self, cfg, spilled):
+        """Spilled virtuals whose single definition is a constant (li/la)
+        are *rematerialised* at each use instead of living in a stack slot
+        -- cheaper than a load, and it undoes LICM's pressure increase
+        gracefully."""
+        defs = {}
+        for block in cfg.blocks:
+            for ins in block.instrs:
+                for reg in ins.defs():
+                    defs.setdefault(reg, []).append(ins)
+        remat = {}
+        for vreg in spilled:
+            sites = defs.get(vreg, [])
+            if len(sites) == 1 and sites[0].op in ("li", "la"):
+                remat[vreg] = sites[0]
+        return remat
+
+    def _spill(self, cfg, spilled):
+        temps = {INT: reserved_temps(self.spec, INT)[:2],
+                 FLT: reserved_temps(self.spec, FLT)[:2]}
+        remat = self._remat_candidates(cfg, spilled)
+        slots = {}
+        for vreg in spilled:
+            if vreg in remat:
+                continue
+            slots[vreg] = self.fn.add_local("__spill_v%d" % vreg.vid, 4)
+        for block in cfg.blocks:
+            out = []
+            for ins in block.instrs:
+                temp_index = {INT: 0, FLT: 0}
+                temp_of = {}
+
+                def temp_for(vreg):
+                    if vreg in temp_of:
+                        return temp_of[vreg]
+                    pool = temps[vreg.cls]
+                    idx = temp_index[vreg.cls]
+                    if idx >= len(pool):
+                        raise AssertionError(
+                            "out of spill temporaries in %s" % self.fn.name
+                        )
+                    temp_index[vreg.cls] = idx + 1
+                    temp_of[vreg] = pool[idx]
+                    return pool[idx]
+
+                # Drop the original definition of rematerialised virtuals.
+                if (
+                    ins.op in ("li", "la")
+                    and ins.dst in remat
+                    and remat[ins.dst] is ins
+                ):
+                    continue
+                # Call/trap arguments go straight into argument registers,
+                # so spilled ones become DeferredArg markers for the code
+                # generator rather than consuming the two temporaries.
+                if ins.op in ("call", "trap"):
+                    new_args = []
+                    for arg in ins.args:
+                        if arg in slots:
+                            new_args.append(
+                                DeferredArg("spill", slots[arg], arg.cls)
+                            )
+                            self.info.spill_loads = self.info.spill_loads + 1
+                        elif arg in remat:
+                            new_args.append(
+                                DeferredArg("remat", remat[arg], arg.cls)
+                            )
+                        else:
+                            new_args.append(arg)
+                    ins.args = new_args
+                used_spilled = [
+                    u for u in dict.fromkeys(ins.uses()) if u in slots
+                ]
+                used_remat = [
+                    u for u in dict.fromkeys(ins.uses()) if u in remat
+                ]
+                def_spilled = [d for d in ins.defs() if d in slots]
+                for vreg in used_spilled:
+                    temp = temp_for(vreg)
+                    out.append(
+                        I.Instr("ldspill", dst=temp, srcs=[slots[vreg]])
+                    )
+                    self.info.spill_loads = self.info.spill_loads + 1
+                for vreg in used_remat:
+                    temp = temp_for(vreg)
+                    original = remat[vreg]
+                    out.append(
+                        I.Instr(original.op, dst=temp, srcs=list(original.srcs))
+                    )
+                for vreg in def_spilled:
+                    temp_for(vreg)  # ensure the def has a temp
+
+                def swap(reg):
+                    if reg in temp_of:
+                        return temp_of[reg]
+                    return reg
+
+                out.append(ins.replace_regs(swap))
+                for vreg in def_spilled:
+                    out.append(
+                        I.Instr(
+                            "stspill", srcs=[temp_of[vreg], slots[vreg]]
+                        )
+                    )
+                    self.info.spill_stores = self.info.spill_stores + 1
+            block.instrs = out
+        return slots
+
+    # -- driver ----------------------------------------------------------------
+
+    def _cheap_spill_candidates(self, cfg):
+        defs = {}
+        for block in cfg.blocks:
+            for ins in block.instrs:
+                for reg in ins.defs():
+                    defs.setdefault(reg, []).append(ins)
+        return {
+            v
+            for v, sites in defs.items()
+            if len(sites) == 1 and sites[0].op in ("li", "la")
+        }
+
+    def run(self):
+        cfg = build_cfg(self.fn)
+        interference, crossing, priority = self._analyse(cfg)
+        cheap = self._cheap_spill_candidates(cfg)
+        mapping, spilled = self._assign(interference, crossing, priority, cheap)
+        self.info.mapping = mapping
+        if spilled:
+            self.info.spill_slots = self._spill(cfg, spilled)
+
+        def rewrite(reg):
+            if isinstance(reg, VReg):
+                return mapping.get(reg, reg)
+            return reg
+
+        for block in cfg.blocks:
+            rewritten = [ins.replace_regs(rewrite) for ins in block.instrs]
+            # Allocation frequently coalesces mov chains onto one register;
+            # drop the resulting self-moves.
+            block.instrs = [
+                ins
+                for ins in rewritten
+                if not (
+                    ins.op in ("mov", "fmov")
+                    and isinstance(ins.dst, Reg)
+                    and ins.dst == ins.srcs[0]
+                )
+            ]
+        self.fn.instrs = cfg.linearize()
+        return self.info
+
+
+def allocate(fn, spec):
+    """Allocate registers for ``fn`` targeting ``spec``; rewrites the
+    function in place and returns the :class:`AllocationInfo`."""
+    return RegisterAllocator(fn, spec).run()

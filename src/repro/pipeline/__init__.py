@@ -1,0 +1,23 @@
+"""Pipeline timing models and diagrams (Figures 5-9, Section 7)."""
+
+from repro.pipeline.model import (
+    CycleEstimate,
+    baseline_cycles,
+    branchreg_cycles,
+    compare_penalty,
+    delayed_transfer_fraction,
+    estimate_all,
+    no_delay_cycles,
+    prefetch_penalty,
+)
+
+__all__ = [
+    "CycleEstimate",
+    "baseline_cycles",
+    "branchreg_cycles",
+    "compare_penalty",
+    "delayed_transfer_fraction",
+    "estimate_all",
+    "no_delay_cycles",
+    "prefetch_penalty",
+]

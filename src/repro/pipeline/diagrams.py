@@ -1,0 +1,120 @@
+"""ASCII pipeline diagrams reproducing Figures 5-9.
+
+Each figure renders the stage occupancy of a short instruction sequence on
+an N-stage fetch/decode/execute pipeline, showing where bubbles appear for
+the three machine styles.
+"""
+
+STAGES3 = ("F", "D", "E")
+
+
+def _render(rows, title):
+    """rows: list of (label, start_cycle, stage_letters)."""
+    total_cycles = max(start + len(stages) for _l, start, stages in rows)
+    width = 2
+    lines = [title]
+    header = " " * 10 + "".join(
+        ("%-2d" % (c + 1)).ljust(width + 1) for c in range(total_cycles)
+    )
+    lines.append(header.rstrip())
+    for label, start, stages in rows:
+        cells = [" " * (width + 1)] * total_cycles
+        for i, letter in enumerate(stages):
+            cells[start + i] = ("|%s|" % letter).ljust(width + 1)
+        lines.append(("%-9s " % label) + "".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def _stage_letters(n):
+    if n == 3:
+        return STAGES3
+    return ("F",) + tuple("D%d" % i for i in range(1, n - 1)) + ("E",)
+
+
+def unconditional_diagram(machine, stages=3):
+    """Figure 5: pipeline flow for JUMP / NEXT / TARGET.
+
+    ``machine`` is "no-delay", "delayed" or "branchreg".  Returns the
+    rendered diagram and the bubble count before TARGET's fetch.
+    """
+    letters = _stage_letters(stages)
+    rows = [("JUMP", 0, letters)]
+    if machine == "no-delay":
+        # Target fetch waits for the jump's execute: N-1 bubble cycles.
+        target_start = stages
+        rows.append(("TARGET", target_start, letters))
+        delay = stages - 1
+    elif machine == "delayed":
+        rows.append(("NEXT", 1, letters))
+        target_start = stages
+        rows.append(("TARGET", target_start, letters))
+        delay = stages - 2
+    elif machine == "branchreg":
+        # The instruction register already holds the prefetched target:
+        # it enters decode right behind the jump; no bubbles.
+        rows.append(("NEXT", 1, ("F",)))
+        rows.append(("TARGET", 1, ("",) + letters[1:]))
+        delay = 0
+    else:
+        raise ValueError("unknown machine %r" % machine)
+    title = "Figure 5 (%s, %d stages): unconditional transfer" % (machine, stages)
+    return _render(rows, title), delay
+
+
+def conditional_diagram(machine, stages=3):
+    """Figure 7: COMPARE / JUMP / TARGET flow and the resulting delay."""
+    letters = _stage_letters(stages)
+    rows = [("COMPARE", 0, letters)]
+    if machine == "no-delay":
+        rows.append(("JUMP", 1, letters))
+        rows.append(("TARGET", stages + 1, letters))
+        delay = stages - 1
+    elif machine == "delayed":
+        rows.append(("JUMP", 1, letters))
+        rows.append(("NEXT", 2, letters))
+        rows.append(("TARGET", stages + 1, letters))
+        delay = stages - 2
+    elif machine == "branchreg":
+        rows.append(("JUMP", 1, letters))
+        # The target's decode must wait for the compare's execute
+        # (selection of the instruction register): N-3 bubbles.
+        delay = max(0, stages - 3)
+        rows.append(("TARGET", 2 + delay, letters))
+    else:
+        raise ValueError("unknown machine %r" % machine)
+    title = "Figure 7 (%s, %d stages): conditional transfer" % (machine, stages)
+    return _render(rows, title), delay
+
+
+def fig6_actions():
+    """Figure 6: per-cycle pipeline actions for an unconditional transfer
+    on the branch-register machine (3 stages)."""
+    return [
+        ("cycle 1", "fetch JUMP; PC += 4"),
+        ("cycle 2", "decode JUMP (br field selects i[k]); fetch NEXT into i[0]"),
+        ("cycle 3", "execute JUMP; decode TARGET from i[k]; fetch TARGET+1 via b[k]"),
+    ]
+
+
+def fig8_actions():
+    """Figure 8: per-cycle actions for a conditional transfer (3 stages)."""
+    return [
+        ("cycle 1", "fetch COMPARE; PC += 4"),
+        ("cycle 2", "decode COMPARE; fetch JUMP"),
+        ("cycle 3", "execute COMPARE (assign b[7], i[7]); decode JUMP; fetch NEXT"),
+        ("cycle 4", "execute JUMP; decode TARGET-or-NEXT from i[7]; fetch following"),
+    ]
+
+
+def fig9_table(stages=3, cache_delay=1, max_distance=5):
+    """Figure 9: delay as a function of the calculation-to-transfer
+    distance.  Returns a list of (distance, delay_cycles)."""
+    out = []
+    for distance in range(1, max_distance + 1):
+        # The address leaves the calc's execute stage, spends
+        # ``cache_delay`` cycles in the cache, and must arrive before the
+        # transfer's decode consumes the instruction register.
+        required = stages - 2 + cache_delay
+        delay = max(0, required - distance)
+        out.append((distance, delay))
+    return out

@@ -1,0 +1,164 @@
+"""N-stage pipeline cost models (Section 7, Figures 5, 7 and 9).
+
+The paper estimates cycles exactly this way: "Assuming a pipeline of three
+stages ... and assuming that each instruction can execute in one machine
+cycle, and no other pipeline delays except for transfers of control".
+
+Per-transfer delays:
+
+=====================  ===========================  =======================
+machine                unconditional                conditional
+=====================  ===========================  =======================
+no delayed branch      N-1                          N-1
+delayed branch         N-2                          N-2
+branch registers       prefetch penalty only        max(prefetch, N-3 term)
+=====================  ===========================  =======================
+
+The branch-register machine's *prefetch penalty* for one transfer is
+``max(0, (N-1) - gap)`` where ``gap`` is the dynamic distance (in
+instructions) between the target-address calculation and the transfer;
+Figure 9 shows the N=3 case, where a gap of two or more instructions fully
+hides the cache access.  Sequential targets (untaken conditionals) are
+always ready.  The conditional *compare term* is ``max(0, (N-3) -
+(gap_c - 1))`` where ``gap_c`` is the distance from the ``cmpset`` to its
+carrier (Figures 7-8: with the carrier immediately after the compare the
+delay is N-3).  Both penalties overlap in time, so a conditional transfer
+is charged the maximum of the two, computed exactly from the emulator's
+joint histogram.
+"""
+
+from dataclasses import dataclass
+
+READY = -1
+
+
+def prefetch_penalty(gap, stages):
+    """Pipeline bubble cycles for one transfer with calculation-to-use
+    distance ``gap`` (READY = sequential / already fetched)."""
+    if gap == READY:
+        return 0
+    required = stages - 1
+    return max(0, required - gap)
+
+
+def compare_penalty(gap_c, stages):
+    """Figure 7/8 penalty for a conditional transfer whose carrier runs
+    ``gap_c`` instructions after the cmpset."""
+    return max(0, (stages - 3) - (gap_c - 1))
+
+
+@dataclass
+class CycleEstimate:
+    """Cycle estimate for one machine on one run."""
+
+    machine: str
+    stages: int
+    instructions: int
+    transfer_delays: int
+
+    @property
+    def cycles(self):
+        return self.instructions + self.transfer_delays
+
+    def __repr__(self):
+        return "<%s N=%d: %d cycles (%d instr + %d delay)>" % (
+            self.machine, self.stages, self.cycles,
+            self.instructions, self.transfer_delays,
+        )
+
+
+def no_delay_cycles(stats, stages=3):
+    """Conventional machine *without* delayed branches (Figs. 5a/7a)."""
+    delays = stats.transfers * (stages - 1)
+    return CycleEstimate("no-delayed-branch", stages, stats.instructions, delays)
+
+
+def baseline_cycles(stats, stages=3):
+    """The baseline machine: delayed branches, one delay slot
+    (Figs. 5b/7b: N-2 cycles per transfer)."""
+    delays = stats.transfers * (stages - 2)
+    return CycleEstimate("baseline", stages, stats.instructions, delays)
+
+
+def branchreg_cycles(stats, stages=3):
+    """The branch-register machine, driven by the emulator's recorded
+    calculation-to-use distances."""
+    delays = 0
+    # Unconditional transfers: prefetch penalty only.  The prefetch_gap
+    # histogram covers *all* transfers; subtract the conditional portion
+    # (available exactly in cond_joint) and charge conditionals max-wise.
+    cond_prefetch = {}
+    for (gap_p, _gap_c), count in stats.cond_joint.items():
+        cond_prefetch[gap_p] = cond_prefetch.get(gap_p, 0) + count
+    for gap, count in stats.prefetch_gap.items():
+        uncond_count = count - cond_prefetch.get(gap, 0)
+        delays += prefetch_penalty(gap, stages) * uncond_count
+    for (gap_p, gap_c), count in stats.cond_joint.items():
+        per = max(
+            prefetch_penalty(gap_p, stages), compare_penalty(gap_c, stages)
+        )
+        delays += per * count
+    return CycleEstimate("branchreg", stages, stats.instructions, delays)
+
+
+def branchreg_fastcmp_cycles(stats, stages=3):
+    """Section 9 variant: a *fast compare* resolves the branch-register
+    selection during the decode stage, so the Figure 7 ``N-3`` term
+    vanishes and only prefetch distance matters.  ("If a fast compare
+    instruction could be used to test the condition during the decode
+    stage, then the compare instruction could update the program counter
+    directly.")"""
+    delays = 0
+    cond_prefetch = {}
+    for (gap_p, _gap_c), count in stats.cond_joint.items():
+        cond_prefetch[gap_p] = cond_prefetch.get(gap_p, 0) + count
+    for gap, count in stats.prefetch_gap.items():
+        delays += prefetch_penalty(gap, stages) * count
+    return CycleEstimate("branchreg+fastcmp", stages, stats.instructions, delays)
+
+
+def delayed_transfer_fraction(stats, stages=3):
+    """Fraction of branch-register transfers that incur any pipeline
+    delay at the given depth (the paper estimates 13.86% at N=3)."""
+    delayed = 0
+    total = 0
+    cond_prefetch = {}
+    for (gap_p, _gap_c), count in stats.cond_joint.items():
+        cond_prefetch[gap_p] = cond_prefetch.get(gap_p, 0) + count
+    for gap, count in stats.prefetch_gap.items():
+        uncond = count - cond_prefetch.get(gap, 0)
+        total += uncond
+        if prefetch_penalty(gap, stages) > 0:
+            delayed += uncond
+    for (gap_p, gap_c), count in stats.cond_joint.items():
+        total += count
+        if max(prefetch_penalty(gap_p, stages), compare_penalty(gap_c, stages)) > 0:
+            delayed += count
+    if not total:
+        return 0.0
+    return delayed / total
+
+
+def estimate_all(baseline_stats, branchreg_stats, stages=3):
+    """The Section 7 comparison at one pipeline depth.
+
+    Returns a dict with the three machine estimates plus the headline
+    relative saving of the branch-register machine over the baseline.
+    """
+    base = baseline_cycles(baseline_stats, stages)
+    nodelay = no_delay_cycles(baseline_stats, stages)
+    brm = branchreg_cycles(branchreg_stats, stages)
+    saving = 1.0 - brm.cycles / base.cycles if base.cycles else 0.0
+    fast = branchreg_fastcmp_cycles(branchreg_stats, stages)
+    return {
+        "stages": stages,
+        "no_delay": nodelay,
+        "baseline": base,
+        "branchreg": brm,
+        "branchreg_fastcmp": fast,
+        "saving_vs_baseline": saving,
+        "fastcmp_saving_vs_baseline": (
+            1.0 - fast.cycles / base.cycles if base.cycles else 0.0
+        ),
+        "delayed_fraction": delayed_transfer_fraction(branchreg_stats, stages),
+    }

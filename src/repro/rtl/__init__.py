@@ -1,0 +1,19 @@
+"""Register-transfer-list IR: operands, instructions, containers, printing."""
+
+from repro.rtl.function import GlobalVar, IRFunction, IRProgram, Local
+from repro.rtl.instr import Instr
+from repro.rtl.operand import FImm, Imm, Label, Reg, Sym, VReg
+
+__all__ = [
+    "GlobalVar",
+    "IRFunction",
+    "IRProgram",
+    "Local",
+    "Instr",
+    "FImm",
+    "Imm",
+    "Label",
+    "Reg",
+    "Sym",
+    "VReg",
+]

@@ -1,0 +1,119 @@
+"""Containers for IR functions, global data, and whole programs."""
+
+from dataclasses import dataclass
+
+from repro.rtl.operand import FLT, INT, VReg
+
+WORD = 4  # bytes per machine word on both target machines
+
+
+@dataclass
+class GlobalVar:
+    """A global data object.
+
+    Attributes:
+        name: symbol name.
+        size: size in bytes.
+        init: optional initial contents -- ``bytes`` for byte data, a list
+            of ints for word data, a list of floats for float data, or a
+            list of label-name strings for a jump table.
+        elem: element kind: "byte", "word", "float" or "label".
+    """
+
+    name: str
+    size: int
+    init: object = None
+    elem: str = "word"
+
+    @property
+    def align(self):
+        return 1 if self.elem == "byte" else WORD
+
+
+@dataclass
+class Local:
+    """A stack-allocated local (array or spilled scalar)."""
+
+    name: str
+    size: int
+    offset: int = None  # frame offset, assigned by the target code generator
+
+
+class IRFunction:
+    """A function in machine-independent IR form."""
+
+    def __init__(self, name, params=None, return_float=False):
+        self.name = name
+        self.params = params or []  # list of (VReg, is_float)
+        self.return_float = return_float
+        self.instrs = []
+        self.locals = []  # list of Local (arrays/addressed vars)
+        self._next_vreg = 0
+        self._next_label = 0
+        self.has_call = False
+
+    def new_vreg(self, cls=INT):
+        v = VReg(self._next_vreg, cls)
+        self._next_vreg = self._next_vreg + 1
+        return v
+
+    def new_flt(self):
+        return self.new_vreg(FLT)
+
+    def new_label(self, hint="L"):
+        self._next_label = self._next_label + 1
+        return "%s_%s_%d" % (hint, self.name, self._next_label)
+
+    def emit(self, instr):
+        if instr.op == "call":
+            self.has_call = True
+        self.instrs.append(instr)
+        return instr
+
+    def add_local(self, name, size):
+        loc = Local(name, size)
+        self.locals.append(loc)
+        return loc
+
+    def vreg_count(self):
+        return self._next_vreg
+
+    def __repr__(self):
+        return "<IRFunction %s: %d instrs>" % (self.name, len(self.instrs))
+
+
+class IRProgram:
+    """A whole program: functions plus global data."""
+
+    def __init__(self):
+        self.functions = {}
+        self.globals = {}
+        self._next_string = 0
+
+    def add_function(self, fn):
+        self.functions[fn.name] = fn
+
+    def add_global(self, gvar):
+        self.globals[gvar.name] = gvar
+        return gvar
+
+    def intern_string(self, text):
+        """Place a NUL-terminated string literal in the data segment and
+        return its symbol name.  Identical literals are shared."""
+        data = text.encode("latin-1") + b"\x00"
+        for name, g in self.globals.items():
+            if g.elem == "byte" and g.init == data and name.startswith("__str"):
+                return name
+        name = "__str%d" % self._next_string
+        self._next_string = self._next_string + 1
+        self.add_global(GlobalVar(name, len(data), init=data, elem="byte"))
+        return name
+
+    def function(self, name):
+        return self.functions[name]
+
+    def __repr__(self):
+        return "<IRProgram: %d functions, %d globals>" % (
+            len(self.functions),
+            len(self.globals),
+        )

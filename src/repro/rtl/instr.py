@@ -1,0 +1,252 @@
+"""Machine-independent three-address IR.
+
+The SmallC front end lowers the AST into a flat list of :class:`Instr`
+objects per function.  The IR is deliberately close to the RTLs of the two
+target machines: three-address register operations, explicit loads and
+stores, compare-and-branch, direct and indirect jumps, calls, and returns.
+
+Opcode groups
+-------------
+
+=============  =====================================================
+group          opcodes
+=============  =====================================================
+constants      ``li`` ``fli`` ``la``
+int arith      ``add sub mul div rem and or xor shl shr`` (reg/imm rhs)
+int unary      ``neg not mov``
+float arith    ``fadd fsub fmul fdiv``
+float unary    ``fneg fmov``
+conversions    ``cvtif`` (int->float), ``cvtfi`` (float->int, truncating)
+memory         ``lw lb lf`` / ``sw sb sf`` (word, byte, float)
+control        ``br`` ``fbr`` ``jmp`` ``ijmp`` ``call`` ``trap`` ``ret``
+markers        ``label`` ``nop``
+=============  =====================================================
+
+``br cond, a, b, target`` compares two integer operands and branches when
+the relation holds; ``fbr`` is its float twin.  ``ijmp`` jumps to an address
+held in a register (switch tables).  ``trap`` invokes an emulator-provided
+builtin (I/O); it is *not* a transfer of control on either machine.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.rtl.operand import Imm, is_reg_like
+
+# Relational conditions usable in br/fbr.
+CONDS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+NEGATED = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt", "le": "gt", "gt": "le"}
+
+SWAPPED = {"eq": "eq", "ne": "ne", "lt": "gt", "gt": "lt", "le": "ge", "ge": "le"}
+
+INT_BINOPS = ("add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr")
+INT_UNOPS = ("neg", "not", "mov")
+FLT_BINOPS = ("fadd", "fsub", "fmul", "fdiv")
+FLT_UNOPS = ("fneg", "fmov")
+LOADS = ("lw", "lb", "lf")
+STORES = ("sw", "sb", "sf")
+TRANSFERS = ("br", "fbr", "jmp", "ijmp", "call", "ret")
+
+COMMUTATIVE = ("add", "mul", "and", "or", "xor", "fadd", "fmul")
+
+
+@dataclass
+class Instr:
+    """One IR instruction.
+
+    Attributes:
+        op: opcode string from the table above.
+        dst: destination register (or None).
+        srcs: list of source operands (registers, immediates, syms).
+        cond: relational condition for ``br``/``fbr``.
+        target: :class:`~repro.rtl.operand.Label` for ``br``/``fbr``/``jmp``.
+        callee: function name for ``call``/``trap``.
+        args: argument operands for ``call``/``trap``.
+        name: label name for ``label`` markers.
+    """
+
+    op: str
+    dst: object = None
+    srcs: list = field(default_factory=list)
+    cond: str = None
+    target: object = None
+    callee: str = None
+    args: list = field(default_factory=list)
+    name: str = None
+
+    # ---- classification helpers -------------------------------------
+
+    def is_label(self):
+        return self.op == "label"
+
+    def is_transfer(self):
+        return self.op in TRANSFERS
+
+    def is_cond_branch(self):
+        return self.op in ("br", "fbr")
+
+    def is_load(self):
+        return self.op in LOADS
+
+    def is_store(self):
+        return self.op in STORES
+
+    def is_call(self):
+        return self.op == "call"
+
+    def is_mem(self):
+        return self.is_load() or self.is_store()
+
+    # ---- def/use sets ------------------------------------------------
+
+    def defs(self):
+        """Registers written by this instruction."""
+        out = []
+        if self.dst is not None and is_reg_like(self.dst):
+            out.append(self.dst)
+        return out
+
+    def uses(self):
+        """Registers read by this instruction."""
+        out = [s for s in self.srcs if is_reg_like(s)]
+        out.extend(a for a in self.args if is_reg_like(a))
+        return out
+
+    def replace_regs(self, mapping):
+        """Return a copy with every register operand rewritten via mapping.
+
+        ``mapping`` is a callable taking a register operand and returning
+        its replacement (possibly the same object).
+        """
+
+        def swap(op):
+            if is_reg_like(op):
+                return mapping(op)
+            return op
+
+        return Instr(
+            op=self.op,
+            dst=swap(self.dst) if self.dst is not None else None,
+            srcs=[swap(s) for s in self.srcs],
+            cond=self.cond,
+            target=self.target,
+            callee=self.callee,
+            args=[swap(a) for a in self.args],
+            name=self.name,
+        )
+
+    def __repr__(self):
+        return ir_repr(self)
+
+
+def ir_repr(ins):
+    """Readable, assembly-flavoured rendering of one IR instruction."""
+    if ins.op == "label":
+        return "%s:" % ins.name
+    if ins.op in ("br", "fbr"):
+        return "%s.%s %r, %r -> %s" % (
+            ins.op,
+            ins.cond,
+            ins.srcs[0],
+            ins.srcs[1],
+            ins.target,
+        )
+    if ins.op == "jmp":
+        return "jmp %s" % ins.target
+    if ins.op == "ijmp":
+        return "ijmp %r" % ins.srcs[0]
+    if ins.op in ("call", "trap"):
+        args = ", ".join(repr(a) for a in ins.args)
+        if ins.dst is not None:
+            return "%r = %s %s(%s)" % (ins.dst, ins.op, ins.callee, args)
+        return "%s %s(%s)" % (ins.op, ins.callee, args)
+    if ins.op == "ret":
+        if ins.srcs:
+            return "ret %r" % ins.srcs[0]
+        return "ret"
+    if ins.op == "nop":
+        return "nop"
+    if ins.op in STORES:
+        return "%s %r -> [%r + %r]" % (ins.op, ins.srcs[0], ins.srcs[1], ins.srcs[2])
+    if ins.op in LOADS:
+        return "%r = %s [%r + %r]" % (ins.dst, ins.op, ins.srcs[0], ins.srcs[1])
+    if ins.dst is not None:
+        rhs = ", ".join(repr(s) for s in ins.srcs)
+        return "%r = %s %s" % (ins.dst, ins.op, rhs)
+    rhs = ", ".join(repr(s) for s in ins.srcs)
+    return "%s %s" % (ins.op, rhs)
+
+
+# ---- construction shorthands used by irgen and tests ------------------
+
+
+def label(name):
+    return Instr("label", name=name)
+
+
+def li(dst, value):
+    return Instr("li", dst=dst, srcs=[Imm(int(value))])
+
+
+def fli(dst, value):
+    from repro.rtl.operand import FImm
+
+    return Instr("fli", dst=dst, srcs=[FImm(float(value))])
+
+
+def la(dst, sym):
+    return Instr("la", dst=dst, srcs=[sym])
+
+
+def binop(op, dst, a, b):
+    if op not in INT_BINOPS and op not in FLT_BINOPS:
+        raise ValueError("bad binop %r" % op)
+    return Instr(op, dst=dst, srcs=[a, b])
+
+
+def unop(op, dst, a):
+    if op not in INT_UNOPS and op not in FLT_UNOPS and op not in ("cvtif", "cvtfi"):
+        raise ValueError("bad unop %r" % op)
+    return Instr(op, dst=dst, srcs=[a])
+
+
+def load(op, dst, base, offset=0):
+    if op not in LOADS:
+        raise ValueError("bad load op %r" % op)
+    return Instr(op, dst=dst, srcs=[base, Imm(offset)])
+
+
+def store(op, value, base, offset=0):
+    if op not in STORES:
+        raise ValueError("bad store op %r" % op)
+    return Instr(op, srcs=[value, base, Imm(offset)])
+
+
+def branch(cond, a, b, target, float_=False):
+    if cond not in CONDS:
+        raise ValueError("bad condition %r" % cond)
+    return Instr("fbr" if float_ else "br", srcs=[a, b], cond=cond, target=target)
+
+
+def jump(target):
+    return Instr("jmp", target=target)
+
+
+def ijump(reg):
+    return Instr("ijmp", srcs=[reg])
+
+
+def call(callee, args, dst=None):
+    return Instr("call", dst=dst, callee=callee, args=list(args))
+
+
+def trap(callee, args, dst=None):
+    return Instr("trap", dst=dst, callee=callee, args=list(args))
+
+
+def ret(value=None):
+    return Instr("ret", srcs=[] if value is None else [value])
+
+
+def nop():
+    return Instr("nop")

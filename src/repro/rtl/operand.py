@@ -1,0 +1,115 @@
+"""Operand kinds used by the machine-independent IR and the target RTLs.
+
+The paper expresses machine instructions as register transfer lists (RTLs)
+over the hardware's storage cells.  The storage cells we model are:
+
+* ``r[n]``  -- general-purpose (integer) registers,
+* ``f[n]``  -- floating-point registers,
+* ``b[n]``  -- branch registers (branch-register machine only),
+* ``NZ``    -- the condition-code cell of the baseline machine,
+* ``RT``    -- the baseline machine's return-address cell.
+
+Before register allocation the compiler manipulates *virtual* registers
+(:class:`VReg`); allocation rewrites them to physical :class:`Reg` operands.
+"""
+
+from dataclasses import dataclass
+
+# Register classes.
+INT = "int"
+FLT = "flt"
+BRANCH = "br"
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register produced by the front end.
+
+    Attributes:
+        vid: unique id within one function.
+        cls: register class, :data:`INT` or :data:`FLT`.
+    """
+
+    vid: int
+    cls: str = INT
+
+    def __repr__(self):
+        prefix = "v" if self.cls == INT else "vf"
+        return "%s%d" % (prefix, self.vid)
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A physical register, e.g. ``r[5]``, ``f[2]`` or ``b[7]``."""
+
+    kind: str  # "r", "f" or "b"
+    index: int
+
+    def __repr__(self):
+        return "%s[%d]" % (self.kind, self.index)
+
+    @property
+    def cls(self):
+        if self.kind == "r":
+            return INT
+        if self.kind == "f":
+            return FLT
+        return BRANCH
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An integer immediate operand."""
+
+    value: int
+
+    def __repr__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FImm:
+    """A floating-point immediate operand (materialised from the data
+    segment on a real machine; carried symbolically here)."""
+
+    value: float
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Label:
+    """A code label (branch target or function entry)."""
+
+    name: str
+
+    def __repr__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Sym:
+    """The address of a global symbol (variable, string, jump table)."""
+
+    name: str
+    offset: int = 0
+
+    def __repr__(self):
+        if self.offset:
+            return "%s+%d" % (self.name, self.offset)
+        return self.name
+
+
+def is_reg_like(op):
+    """True for operands that name a register (virtual or physical)."""
+    return isinstance(op, (VReg, Reg))
+
+
+def reg_class(op):
+    """Register class of a register-like operand."""
+    if isinstance(op, VReg):
+        return op.cls
+    if isinstance(op, Reg):
+        return op.cls
+    raise TypeError("not a register operand: %r" % (op,))

@@ -1,0 +1,155 @@
+"""Paper-style RTL printing.
+
+The paper presents machine instructions as register transfer lists, e.g.::
+
+    r[3]=r[1]+r[2];
+    b[7]=r[5]<0->b[2]|b[0];
+    NL=NL; b[0]=b[7];
+
+This module renders :class:`~repro.codegen.common.MInstr` sequences in that
+notation so the Figure 3 / Figure 4 comparisons can be regenerated
+verbatim-in-spirit.
+"""
+
+from repro.rtl.operand import FImm, Imm, Label, Reg, Sym
+
+_BINOP_SIGN = {
+    "add": "+", "sub": "-", "mul": "*", "div": "/", "rem": "%",
+    "and": "&", "or": "|", "xor": "^", "shl": "<<", "shr": ">>",
+    "fadd": "+", "fsub": "-", "fmul": "*", "fdiv": "/",
+}
+
+_COND_SIGN = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+_MEM_CELL = {"lw": "M", "lb": "B", "lf": "F", "sw": "M", "sb": "B", "sf": "F"}
+
+
+def _operand(op):
+    if isinstance(op, Reg):
+        return "%s[%d]" % (op.kind, op.index)
+    if isinstance(op, Imm):
+        return str(op.value)
+    if isinstance(op, FImm):
+        return repr(op.value)
+    if isinstance(op, (Label, Sym)):
+        return str(op)
+    return repr(op)
+
+
+def _mem(base, offset):
+    base_text = _operand(base)
+    off = offset.value if isinstance(offset, Imm) else offset
+    if isinstance(off, int):
+        if off == 0:
+            return base_text
+        if off < 0:
+            return "%s-%d" % (base_text, -off)
+        return "%s+%d" % (base_text, off)
+    return "%s+%s" % (base_text, _operand(offset))
+
+
+def minstr_core_text(ins):
+    """Render one instruction *without* its branch-register suffix."""
+    op = ins.op
+    if op == "label":
+        return "%s:" % ins.label
+    if op == "noop":
+        return "NL=NL;"
+    if op == "halt":
+        return "halt;"
+    if op == "trap":
+        return "trap %s;" % ins.callee
+    if op == "li":
+        return "%s=%s;" % (_operand(ins.dst), _operand(ins.srcs[0]))
+    if op == "sethi":
+        return "%s=HI(%s);" % (_operand(ins.dst), _operand(ins.srcs[0]))
+    if op == "addlo":
+        return "%s=%s+LO(%s);" % (
+            _operand(ins.dst), _operand(ins.srcs[0]), _operand(ins.srcs[1]))
+    if op in ("mov", "fmov", "bmov"):
+        return "%s=%s;" % (_operand(ins.dst), _operand(ins.srcs[0]))
+    if op in ("neg", "fneg"):
+        return "%s=-%s;" % (_operand(ins.dst), _operand(ins.srcs[0]))
+    if op == "not":
+        return "%s=~%s;" % (_operand(ins.dst), _operand(ins.srcs[0]))
+    if op == "cvtif":
+        return "%s=ITOF(%s);" % (_operand(ins.dst), _operand(ins.srcs[0]))
+    if op == "cvtfi":
+        return "%s=FTOI(%s);" % (_operand(ins.dst), _operand(ins.srcs[0]))
+    if op in _BINOP_SIGN:
+        return "%s=%s%s%s;" % (
+            _operand(ins.dst), _operand(ins.srcs[0]),
+            _BINOP_SIGN[op], _operand(ins.srcs[1]))
+    if op in ("lw", "lb", "lf"):
+        return "%s=%s[%s];" % (
+            _operand(ins.dst), _MEM_CELL[op], _mem(ins.srcs[0], ins.srcs[1]))
+    if op in ("sw", "sb", "sf"):
+        return "%s[%s]=%s;" % (
+            _MEM_CELL[op], _mem(ins.srcs[1], ins.srcs[2]), _operand(ins.srcs[0]))
+    if op == "bld":
+        return "%s=M[%s];" % (_operand(ins.dst), _mem(ins.srcs[0], ins.srcs[1]))
+    if op == "bst":
+        return "M[%s]=%s;" % (_mem(ins.srcs[1], ins.srcs[2]), _operand(ins.srcs[0]))
+    if op in ("cmp", "fcmp"):
+        return "cc=%s?%s;" % (_operand(ins.srcs[0]), _operand(ins.srcs[1]))
+    if op in ("bcc", "fbcc"):
+        return "PC=cc%s0->%s;" % (_COND_SIGN[ins.cond], ins.target)
+    if op == "jmp":
+        return "PC=%s;" % ins.target
+    if op == "call":
+        return "PC=%s; RT=NXT;" % ins.target
+    if op == "ijmp":
+        return "PC=%s;" % _operand(ins.srcs[0])
+    if op == "retrt":
+        return "PC=RT;"
+    if op == "mfrt":
+        return "%s=RT;" % _operand(ins.dst)
+    if op == "mtrt":
+        return "RT=%s;" % _operand(ins.srcs[0])
+    if op == "bta":
+        return "%s=b[0]+(%s-.);" % (_operand(ins.dst), ins.target)
+    if op == "btahi":
+        return "%s=HI(%s);" % (_operand(ins.dst), ins.target)
+    if op == "btalo":
+        return "%s=%s+LO(%s);" % (
+            _operand(ins.dst), _operand(ins.srcs[0]), ins.target)
+    if op in ("cmpset", "fcmpset"):
+        return "b[%d]=%s%s%s->b[%d]|b[0];" % (
+            ins.dst.index, _operand(ins.srcs[0]), _COND_SIGN[ins.cond],
+            _operand(ins.srcs[1]), ins.btrue)
+    return "%s ???" % op
+
+
+def minstr_text(ins, show_br=True):
+    """Render one instruction, appending the branch-register transfer
+    (``b[0]=b[k];``) when the ``br`` field names a non-PC register, in the
+    style of the paper's Figure 4."""
+    text = minstr_core_text(ins)
+    if show_br and ins.br:
+        text = "%s b[0]=b[%d];" % (text, ins.br)
+    if ins.note:
+        text = "%s /* %s */" % (text, ins.note)
+    return text
+
+
+def listing(instrs, show_br=True):
+    """Render an instruction sequence as a multi-line listing.  Labels are
+    outdented; real instructions are indented."""
+    lines = []
+    for ins in instrs:
+        if ins.is_label():
+            lines.append("%s:" % ins.label)
+        else:
+            lines.append("    " + minstr_text(ins, show_br=show_br))
+    return "\n".join(lines)
+
+
+def ir_listing(instrs):
+    """Render machine-independent IR (for debugging and examples)."""
+    lines = []
+    for ins in instrs:
+        if ins.is_label():
+            lines.append("%s:" % ins.name)
+        else:
+            lines.append("    " + repr(ins))
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""The Appendix I test-program suite, rewritten in SmallC."""
+
+from repro.workloads.registry import Workload, all_workloads, workload, workload_names
+
+__all__ = ["Workload", "all_workloads", "workload", "workload_names"]

@@ -1,0 +1,83 @@
+"""Deterministic synthetic inputs for the workload suite.
+
+The paper ran real UNIX utilities over real files; we generate
+deterministic pseudo-random text and data so every run is reproducible
+without shipping corpora.  A small linear congruential generator keeps the
+package dependency-free and platform-stable.
+"""
+
+
+class Lcg:
+    """Numerical Recipes LCG; stable across platforms and Python versions."""
+
+    def __init__(self, seed=12345):
+        self.state = seed & 0xFFFFFFFF
+
+    def next(self):
+        self.state = (1664525 * self.state + 1013904223) & 0xFFFFFFFF
+        return self.state
+
+    def below(self, n):
+        return self.next() % n
+
+    def choice(self, seq):
+        return seq[self.below(len(seq))]
+
+
+_WORDS = (
+    "the quick brown fox jumps over lazy dog register branch target "
+    "address loop compiler pipeline cache delay cost machine code "
+    "instruction fetch decode execute transfer control program counter"
+).split()
+
+
+def words(count, seed=1):
+    """``count`` space-separated pseudo-words."""
+    rng = Lcg(seed)
+    return " ".join(rng.choice(_WORDS) for _ in range(count))
+
+
+def text_lines(lines, words_per_line=6, seed=2):
+    """Multi-line pseudo text ending in a newline."""
+    rng = Lcg(seed)
+    out = []
+    for _ in range(lines):
+        n = 1 + rng.below(words_per_line)
+        out.append(" ".join(rng.choice(_WORDS) for _ in range(n)))
+    return "\n".join(out) + "\n"
+
+
+def int_lines(count, bound=10000, seed=3):
+    """Newline-separated integers."""
+    rng = Lcg(seed)
+    return "\n".join(str(rng.below(bound) - bound // 2) for _ in range(count)) + "\n"
+
+
+def byte_blob(count, seed=4):
+    """Printable-ish byte blob with some repetition (for compact/od)."""
+    rng = Lcg(seed)
+    out = bytearray()
+    while len(out) < count:
+        ch = 32 + rng.below(64)
+        run = 1 + (rng.below(8) if rng.below(4) == 0 else 0)
+        out.extend(bytes([ch]) * run)
+    return bytes(out[:count])
+
+
+def c_source_sample(lines=30, seed=5):
+    """Pseudo C-like source for the cb (C beautifier) workload."""
+    rng = Lcg(seed)
+    out = []
+    depth = 0
+    for i in range(lines):
+        roll = rng.below(5)
+        if roll == 0:
+            out.append("if (x%d > %d) {" % (i % 7, rng.below(100)))
+            depth = depth + 1
+        elif roll == 1 and depth > 0:
+            out.append("}")
+            depth = depth - 1
+        else:
+            out.append("y%d = y%d + %d;" % (i % 5, (i + 1) % 5, rng.below(50)))
+    out.extend(["}"] * depth)
+    return "\n".join(out) + "\n"

@@ -1,0 +1,76 @@
+"""Registry of the Appendix I test-program suite."""
+
+from dataclasses import dataclass
+
+from repro.workloads.sources import (
+    cal,
+    cb,
+    compact,
+    dhrystone,
+    diff,
+    grep,
+    matmult,
+    mincost,
+    nroff,
+    od,
+    puzzle,
+    sed,
+    sieve,
+    sort,
+    spline,
+    tr,
+    vpcc,
+    wc,
+    whetstone,
+)
+
+_MODULES = [
+    cal, cb, compact, diff, grep, nroff, od, sed, sort, spline, tr, wc,
+    dhrystone, matmult, puzzle, sieve, whetstone, mincost, vpcc,
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One Appendix I test program."""
+
+    name: str
+    cls: str  # "utility" | "benchmark" | "user"
+    description: str
+    source: str
+    stdin: bytes
+
+    def stdin_bytes(self):
+        stdin = self.stdin
+        if isinstance(stdin, str):
+            return stdin.encode("latin-1")
+        return stdin
+
+
+def all_workloads():
+    """The full 19-program suite, in Appendix I order."""
+    out = []
+    for module in _MODULES:
+        out.append(
+            Workload(
+                name=module.NAME,
+                cls=module.CLASS,
+                description=module.DESCRIPTION,
+                source=module.SOURCE,
+                stdin=module.STDIN
+                if isinstance(module.STDIN, bytes)
+                else module.STDIN.encode("latin-1"),
+            )
+        )
+    return out
+
+
+def workload(name):
+    for w in all_workloads():
+        if w.name == name:
+            return w
+    raise KeyError("no workload named %r" % name)
+
+
+def workload_names():
+    return [w.name for w in all_workloads()]

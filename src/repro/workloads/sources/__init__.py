@@ -1,0 +1,1 @@
+"""One module per Appendix I test program."""

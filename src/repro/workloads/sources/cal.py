@@ -1,0 +1,82 @@
+"""cal -- calendar generator (Appendix I, class: utility)."""
+
+NAME = "cal"
+CLASS = "utility"
+DESCRIPTION = "Calendar Generator"
+
+SOURCE = r"""
+int is_leap(int year) {
+    if (year % 400 == 0)
+        return 1;
+    if (year % 100 == 0)
+        return 0;
+    return year % 4 == 0;
+}
+
+int days_in_month(int month, int year) {
+    int days[13];
+    days[1] = 31; days[2] = 28; days[3] = 31; days[4] = 30;
+    days[5] = 31; days[6] = 30; days[7] = 31; days[8] = 31;
+    days[9] = 30; days[10] = 31; days[11] = 30; days[12] = 31;
+    if (month == 2 && is_leap(year))
+        return 29;
+    return days[month];
+}
+
+/* Zeller's congruence: 0 = Sunday. */
+int day_of_week(int day, int month, int year) {
+    int k;
+    int j;
+    int h;
+    if (month < 3) {
+        month = month + 12;
+        year = year - 1;
+    }
+    k = year % 100;
+    j = year / 100;
+    h = (day + 13 * (month + 1) / 5 + k + k / 4 + j / 4 + 5 * j) % 7;
+    return (h + 6) % 7;
+}
+
+void print_pad(int n) {
+    if (n < 10)
+        putchar(' ');
+    print_int(n);
+}
+
+void print_month(int month, int year) {
+    int first = day_of_week(1, month, year);
+    int days = days_in_month(month, year);
+    int cell = 0;
+    int day;
+    print_int(month);
+    putchar('/');
+    print_int(year);
+    putchar('\n');
+    print_str("Su Mo Tu We Th Fr Sa\n");
+    while (cell < first) {
+        print_str("   ");
+        cell++;
+    }
+    for (day = 1; day <= days; day++) {
+        print_pad(day);
+        putchar(' ');
+        cell++;
+        if (cell == 7) {
+            putchar('\n');
+            cell = 0;
+        }
+    }
+    if (cell)
+        putchar('\n');
+}
+
+int main() {
+    int month;
+    for (month = 1; month <= 12; month++)
+        print_month(month, 1990);
+    return 0;
+}
+"""
+
+STDIN = b""

@@ -1,0 +1,43 @@
+"""cb -- C program beautifier (Appendix I, class: utility)."""
+
+from repro.workloads.inputs import c_source_sample
+
+NAME = "cb"
+CLASS = "utility"
+DESCRIPTION = "C Program Beautifier"
+
+SOURCE = r"""
+/* Re-indent brace-structured input: strip leading blanks, emit 4 spaces
+   per nesting level, adjust depth on braces. */
+
+int main() {
+    int c;
+    int depth = 0;
+    int at_line_start = 1;
+    int pending = 0;
+    while ((c = getchar()) != -1) {
+        if (at_line_start) {
+            if (c == ' ' || c == '\t')
+                continue;
+            pending = depth;
+            if (c == '}')
+                pending = pending - 1;
+            while (pending > 0) {
+                print_str("    ");
+                pending--;
+            }
+            at_line_start = 0;
+        }
+        if (c == '{')
+            depth++;
+        else if (c == '}' && depth > 0)
+            depth--;
+        putchar(c);
+        if (c == '\n')
+            at_line_start = 1;
+    }
+    return 0;
+}
+"""
+
+STDIN = c_source_sample(60, seed=21)

@@ -1,0 +1,76 @@
+"""compact -- file compression (Appendix I, class: utility).
+
+The original compact(1) used adaptive Huffman coding; this reproduction
+does run-length encoding plus a static Huffman cost estimate over the byte
+frequency table, which exercises the same control-flow profile (tight
+byte loops, table updates, bit counting).
+"""
+
+from repro.workloads.inputs import byte_blob
+
+NAME = "compact"
+CLASS = "utility"
+DESCRIPTION = "File Compression"
+
+SOURCE = r"""
+int freq[128];
+
+/* Bits needed for a value (ceil log2). */
+int bit_width(int n) {
+    int bits = 0;
+    while (n > 0) {
+        bits++;
+        n = n >> 1;
+    }
+    return bits;
+}
+
+int main() {
+    int c;
+    int prev = -1;
+    int run = 0;
+    int in_bytes = 0;
+    int out_bytes = 0;
+    int i;
+    int symbols = 0;
+    int cost_bits = 0;
+    while ((c = getchar()) != -1) {
+        in_bytes++;
+        if (c < 128)
+            freq[c]++;
+        if (c == prev && run < 255) {
+            run++;
+        } else {
+            if (run >= 4)
+                out_bytes = out_bytes + 3;   /* marker, char, count */
+            else
+                out_bytes = out_bytes + run;
+            prev = c;
+            run = 1;
+        }
+    }
+    if (run >= 4)
+        out_bytes = out_bytes + 3;
+    else
+        out_bytes = out_bytes + run;
+    /* Static-code cost estimate: frequent symbols get short codes. */
+    for (i = 0; i < 128; i++) {
+        if (freq[i] > 0) {
+            symbols++;
+            cost_bits = cost_bits + freq[i] * (1 + bit_width(in_bytes / freq[i]));
+        }
+    }
+    print_str("in ");
+    print_int(in_bytes);
+    print_str(" rle ");
+    print_int(out_bytes);
+    print_str(" symbols ");
+    print_int(symbols);
+    print_str(" estbits ");
+    print_int(cost_bits);
+    putchar('\n');
+    return 0;
+}
+"""
+
+STDIN = byte_blob(900, seed=31)

@@ -1,0 +1,186 @@
+"""dhrystone -- synthetic benchmark (Appendix I, class: benchmark).
+
+A struct-free transliteration of the Dhrystone statement mix: global and
+parameter assignments, nested calls, string copy/compare, array
+assignments, and the characteristic branchy helper procedures.  The
+record-type fields of the original become parallel global arrays
+(DESIGN.md §3 documents the substitution).
+"""
+
+NAME = "dhrystone"
+CLASS = "benchmark"
+DESCRIPTION = "Synthetic Benchmark"
+
+SOURCE = r"""
+/* Record fields as parallel arrays: [0] and [1] are the two records. */
+int rec_discr[2];
+int rec_enum[2];
+int rec_int[2];
+char rec_string[2][32];
+
+int int_glob = 0;
+int bool_glob = 0;
+char char1_glob = 0;
+char char2_glob = 0;
+int arr1_glob[50];
+int arr2_glob[50];
+
+int func1(int ch1, int ch2) {
+    int ch_loc = ch1;
+    if (ch_loc != ch2)
+        return 0;
+    char1_glob = ch_loc;
+    return 1;
+}
+
+int func2(char *str1, char *str2) {
+    int int_loc = 2;
+    int ch_loc = 'A';
+    while (int_loc <= 2)
+        if (func1(str1[int_loc], str2[int_loc + 1]) == 0) {
+            ch_loc = 'A';
+            int_loc = int_loc + 1;
+        }
+    if (ch_loc >= 'W' && ch_loc < 'Z')
+        int_loc = 7;
+    if (ch_loc == 'R')
+        return 1;
+    if (strcmp(str1, str2) > 0) {
+        int_loc = int_loc + 7;
+        int_glob = int_loc;
+        return 1;
+    }
+    return 0;
+}
+
+int func3(int enum_par) {
+    int enum_loc = enum_par;
+    if (enum_loc == 2)
+        return 1;
+    return 0;
+}
+
+void proc6(int enum_val, int *enum_ref) {
+    *enum_ref = enum_val;
+    if (!func3(enum_val))
+        *enum_ref = 3;
+    if (enum_val == 0)
+        *enum_ref = 0;
+    else if (enum_val == 2)
+        *enum_ref = 1;
+    else if (enum_val == 4)
+        *enum_ref = 2;
+}
+
+void proc7(int in1, int in2, int *out) {
+    int int_loc = in1 + 2;
+    *out = in2 + int_loc;
+}
+
+void proc8(int *arr1, int *arr2, int int1, int int2) {
+    int int_loc = int1 + 5;
+    int index;
+    arr1[int_loc] = int2;
+    arr1[int_loc + 1] = arr1[int_loc];
+    arr1[int_loc + 30] = int_loc;
+    for (index = int_loc; index <= int_loc + 1; index++)
+        arr2[index] = int_loc;
+    arr2[int_loc + 20] = arr2[int_loc + 20] + 1;
+    int_glob = 5;
+}
+
+void proc5() {
+    char1_glob = 'A';
+    bool_glob = 0;
+}
+
+void proc4() {
+    int bool_loc = char1_glob == 'A';
+    bool_glob = bool_loc | bool_glob;
+    char2_glob = 'B';
+}
+
+void proc3(int *ptr_out) {
+    if (rec_discr[0] == 0)
+        *ptr_out = rec_int[0];
+    proc7(10, int_glob, &rec_int[0]);
+}
+
+void proc2(int *int_ref) {
+    int int_loc = *int_ref + 10;
+    int enum_loc = 0;
+    int done = 0;
+    while (!done) {
+        if (char1_glob == 'A') {
+            int_loc = int_loc - 1;
+            *int_ref = int_loc - int_glob;
+            enum_loc = 1;
+        }
+        if (enum_loc == 1)
+            done = 1;
+    }
+}
+
+void proc1(int rec1, int rec2) {
+    rec_discr[rec2] = rec_discr[rec1];
+    rec_int[rec2] = 5;
+    rec_enum[rec2] = rec_enum[rec1];
+    strcpy(rec_string[rec2], rec_string[rec1]);
+    proc3(&rec_int[rec2]);
+    if (rec_discr[rec2] == 0) {
+        rec_int[rec2] = 6;
+        proc6(rec_enum[rec1], &rec_enum[rec2]);
+        proc7(rec_int[rec2], 10, &rec_int[rec2]);
+    } else
+        rec_discr[rec2] = rec_discr[rec1];
+}
+
+int main() {
+    int run;
+    int int1;
+    int int2;
+    int int3 = 0;
+    char str1[32];
+    char str2[32];
+    int enum_loc = 0;
+    strcpy(rec_string[0], "DHRYSTONE PROGRAM, SOME STRING");
+    strcpy(str1, "DHRYSTONE PROGRAM, 1'ST STRING");
+    rec_discr[0] = 0;
+    rec_enum[0] = 2;
+    rec_int[0] = 40;
+    for (run = 0; run < 40; run++) {
+        proc5();
+        proc4();
+        int1 = 2;
+        int2 = 3;
+        strcpy(str2, "DHRYSTONE PROGRAM, 2'ND STRING");
+        enum_loc = 1;
+        bool_glob = !func2(str1, str2);
+        while (int1 < int2) {
+            int3 = 5 * int1 - int2;
+            proc7(int1, int2, &int3);
+            int1 = int1 + 1;
+        }
+        proc8(arr1_glob, arr2_glob, int1, int3);
+        proc1(0, 1);
+        if (char2_glob >= 'A')
+            int2 = 7;
+        int2 = int2 * enum_loc;
+        int3 = int2 / int1;
+        int2 = 7 * (int3 - int2) - int1;
+        proc2(&int1);
+    }
+    print_str("int_glob ");
+    print_int(int_glob);
+    print_str(" bool_glob ");
+    print_int(bool_glob);
+    print_str(" int1 ");
+    print_int(int1);
+    print_str(" int3 ");
+    print_int(int3);
+    putchar('\n');
+    return 0;
+}
+"""
+
+STDIN = b""

@@ -1,0 +1,105 @@
+"""diff -- file differences (Appendix I, class: utility).
+
+Two "files" arrive on stdin separated by a line containing only ``%%``.
+A classic LCS dynamic program computes the edit script.
+"""
+
+from repro.workloads.inputs import Lcg, text_lines
+
+NAME = "diff"
+CLASS = "utility"
+DESCRIPTION = "File differences"
+
+SOURCE = r"""
+char text_a[32][40];
+char text_b[32][40];
+int lcs[33][33];
+
+/* ``lines`` is the flat base of a 32x40 character matrix. */
+int read_side(char *lines, int stop_on_marker) {
+    int count = 0;
+    int col = 0;
+    int c;
+    while ((c = getchar()) != -1) {
+        if (c == '\n') {
+            lines[count * 40 + col] = 0;
+            if (stop_on_marker && lines[count * 40] == '%'
+                    && lines[count * 40 + 1] == '%')
+                return count;
+            count++;
+            col = 0;
+            if (count == 32)
+                return count;
+        } else if (col < 39) {
+            lines[count * 40 + col] = c;
+            col++;
+        }
+    }
+    if (col > 0) {
+        lines[count * 40 + col] = 0;
+        count++;
+    }
+    return count;
+}
+
+int max_int(int a, int b) {
+    if (a > b)
+        return a;
+    return b;
+}
+
+void show(int side, char *line) {
+    if (side)
+        print_str("> ");
+    else
+        print_str("< ");
+    print_str(line);
+    putchar('\n');
+}
+
+void walk(int i, int j) {
+    /* Recursive backtrack over the LCS table printing the edit script. */
+    if (i > 0 && j > 0 && strcmp(text_a[i - 1], text_b[j - 1]) == 0) {
+        walk(i - 1, j - 1);
+    } else if (j > 0 && (i == 0 || lcs[i][j - 1] >= lcs[i - 1][j])) {
+        walk(i, j - 1);
+        show(1, text_b[j - 1]);
+    } else if (i > 0) {
+        walk(i - 1, j);
+        show(0, text_a[i - 1]);
+    }
+}
+
+int main() {
+    int na = read_side(text_a[0], 1);
+    int nb = read_side(text_b[0], 0);
+    int i;
+    int j;
+    for (i = 1; i <= na; i++)
+        for (j = 1; j <= nb; j++) {
+            if (strcmp(text_a[i - 1], text_b[j - 1]) == 0)
+                lcs[i][j] = lcs[i - 1][j - 1] + 1;
+            else
+                lcs[i][j] = max_int(lcs[i][j - 1], lcs[i - 1][j]);
+        }
+    walk(na, nb);
+    print_str("lcs ");
+    print_int(lcs[na][nb]);
+    putchar('\n');
+    return 0;
+}
+"""
+
+
+def _make_stdin():
+    rng = Lcg(41)
+    base = text_lines(26, words_per_line=4, seed=42).strip("\n").split("\n")
+    edited = list(base)
+    # Delete, mutate and insert a few lines deterministically.
+    del edited[rng.below(len(edited))]
+    edited[rng.below(len(edited))] = "a changed line of text"
+    edited.insert(rng.below(len(edited)), "an inserted line appears")
+    return ("\n".join(base) + "\n%%\n" + "\n".join(edited) + "\n").encode("latin-1")
+
+
+STDIN = _make_stdin()

@@ -1,0 +1,78 @@
+"""grep -- search for pattern (Appendix I, class: utility).
+
+Implements Kernighan's tiny regex matcher (literal characters, ``.``,
+``*`` and ``^``/``$`` anchors), a heavily-branching recursive workload.
+"""
+
+from repro.workloads.inputs import text_lines
+
+NAME = "grep"
+CLASS = "utility"
+DESCRIPTION = "Search for Pattern"
+
+SOURCE = r"""
+char pattern[16] = "br.nch";
+
+int match_here(char *re, char *text);
+
+int match_star(int c, char *re, char *text) {
+    do {
+        if (match_here(re, text))
+            return 1;
+    } while (*text != 0 && (*text++ == c || c == '.'));
+    return 0;
+}
+
+int match_here(char *re, char *text) {
+    if (re[0] == 0)
+        return 1;
+    if (re[1] == '*')
+        return match_star(re[0], re + 2, text);
+    if (re[0] == '$' && re[1] == 0)
+        return *text == 0;
+    if (*text != 0 && (re[0] == '.' || re[0] == *text))
+        return match_here(re + 1, text + 1);
+    return 0;
+}
+
+int match(char *re, char *text) {
+    if (re[0] == '^')
+        return match_here(re + 1, text);
+    do {
+        if (match_here(re, text))
+            return 1;
+    } while (*text++ != 0);
+    return 0;
+}
+
+int main() {
+    char line[80];
+    int col = 0;
+    int c;
+    int lineno = 0;
+    int hits = 0;
+    while ((c = getchar()) != -1) {
+        if (c == '\n') {
+            line[col] = 0;
+            lineno++;
+            if (match(pattern, line)) {
+                hits++;
+                print_int(lineno);
+                putchar(':');
+                print_str(line);
+                putchar('\n');
+            }
+            col = 0;
+        } else if (col < 79) {
+            line[col] = c;
+            col++;
+        }
+    }
+    print_str("matches ");
+    print_int(hits);
+    putchar('\n');
+    return 0;
+}
+"""
+
+STDIN = text_lines(120, words_per_line=5, seed=51)

@@ -1,0 +1,57 @@
+"""matmult -- matrix multiplication (Appendix I, class: benchmark)."""
+
+NAME = "matmult"
+CLASS = "benchmark"
+DESCRIPTION = "Matrix multiplication"
+
+SOURCE = r"""
+int mat_a[14][14];
+int mat_b[14][14];
+int mat_c[14][14];
+
+void fill() {
+    int i;
+    int j;
+    for (i = 0; i < 14; i++)
+        for (j = 0; j < 14; j++) {
+            mat_a[i][j] = i + j;
+            mat_b[i][j] = i - j;
+        }
+}
+
+void multiply() {
+    int i;
+    int j;
+    int k;
+    int sum;
+    for (i = 0; i < 14; i++)
+        for (j = 0; j < 14; j++) {
+            sum = 0;
+            for (k = 0; k < 14; k++)
+                sum = sum + mat_a[i][k] * mat_b[k][j];
+            mat_c[i][j] = sum;
+        }
+}
+
+int main() {
+    int i;
+    int trace = 0;
+    int total = 0;
+    int j;
+    fill();
+    multiply();
+    for (i = 0; i < 14; i++)
+        trace = trace + mat_c[i][i];
+    for (i = 0; i < 14; i++)
+        for (j = 0; j < 14; j++)
+            total = total + mat_c[i][j];
+    print_str("trace ");
+    print_int(trace);
+    print_str(" total ");
+    print_int(total);
+    putchar('\n');
+    return 0;
+}
+"""
+
+STDIN = b""

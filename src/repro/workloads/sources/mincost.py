@@ -1,0 +1,114 @@
+"""mincost -- VLSI circuit partitioning (Appendix I, class: user code).
+
+A greedy Kernighan-Lin-style min-cut bipartition of a synthetic netlist:
+compute the cut cost of an initial partition, then repeatedly swap the
+node pair with the best gain until no improving swap remains.
+"""
+
+NAME = "mincost"
+CLASS = "user"
+DESCRIPTION = "VLSI circuit partitioning"
+
+SOURCE = r"""
+int adj[26][26];
+int side[26];
+
+/* Deterministic pseudo-random netlist. */
+int rng_state = 77;
+
+int rng_next(int bound) {
+    rng_state = (rng_state * 1103 + 12343) % 65536;
+    return rng_state % bound;
+}
+
+void build_netlist() {
+    int i;
+    int j;
+    int w;
+    for (i = 0; i < 26; i++)
+        for (j = i + 1; j < 26; j++) {
+            w = 0;
+            if (rng_next(100) < 30)
+                w = 1 + rng_next(9);
+            adj[i][j] = w;
+            adj[j][i] = w;
+        }
+    for (i = 0; i < 26; i++)
+        side[i] = i % 2;
+}
+
+int cut_cost() {
+    int cost = 0;
+    int i;
+    int j;
+    for (i = 0; i < 26; i++)
+        for (j = i + 1; j < 26; j++)
+            if (side[i] != side[j])
+                cost = cost + adj[i][j];
+    return cost;
+}
+
+/* External cost minus internal cost of one node. */
+int gain_of(int node) {
+    int gain = 0;
+    int j;
+    for (j = 0; j < 26; j++) {
+        if (j == node)
+            continue;
+        if (side[j] != side[node])
+            gain = gain + adj[node][j];
+        else
+            gain = gain - adj[node][j];
+    }
+    return gain;
+}
+
+int main() {
+    int passes = 0;
+    int improved = 1;
+    int best_gain;
+    int best_a;
+    int best_b;
+    int a;
+    int b;
+    int g;
+    build_netlist();
+    print_str("initial ");
+    print_int(cut_cost());
+    putchar('\n');
+    while (improved && passes < 30) {
+        improved = 0;
+        best_gain = 0;
+        best_a = -1;
+        best_b = -1;
+        for (a = 0; a < 26; a++) {
+            if (side[a] != 0)
+                continue;
+            for (b = 0; b < 26; b++) {
+                if (side[b] != 1)
+                    continue;
+                g = gain_of(a) + gain_of(b) - 2 * adj[a][b];
+                if (g > best_gain) {
+                    best_gain = g;
+                    best_a = a;
+                    best_b = b;
+                }
+            }
+        }
+        if (best_a >= 0) {
+            side[best_a] = 1;
+            side[best_b] = 0;
+            improved = 1;
+        }
+        passes++;
+    }
+    print_str("final ");
+    print_int(cut_cost());
+    print_str(" passes ");
+    print_int(passes);
+    putchar('\n');
+    return 0;
+}
+"""
+
+STDIN = b""

@@ -1,0 +1,92 @@
+"""nroff -- text formatter (Appendix I, class: utility).
+
+A miniature fill-and-adjust formatter: words from stdin are packed into
+lines of width 44; a ``.br`` request forces a break; short lines of
+right-padding exercise the inner character loops the real nroff spends its
+time in.
+"""
+
+from repro.workloads.inputs import text_lines
+
+NAME = "nroff"
+CLASS = "utility"
+DESCRIPTION = "Text formatter"
+
+SOURCE = r"""
+char line[64];
+int line_len = 0;
+int line_words = 0;
+
+void flush_line(int justify) {
+    int i;
+    int gaps;
+    int extra;
+    if (line_len == 0)
+        return;
+    if (justify && line_words > 1 && line_len < 44) {
+        /* Distribute the slack over the first (44 - len) gaps. */
+        gaps = line_words - 1;
+        extra = 44 - line_len;
+        for (i = 0; i < line_len; i++) {
+            putchar(line[i]);
+            if (line[i] == ' ' && extra > 0 && gaps > 0) {
+                putchar(' ');
+                extra--;
+                gaps--;
+            }
+        }
+    } else {
+        for (i = 0; i < line_len; i++)
+            putchar(line[i]);
+    }
+    putchar('\n');
+    line_len = 0;
+    line_words = 0;
+}
+
+void add_word(char *word, int len) {
+    int i;
+    if (line_len + len + 1 > 44)
+        flush_line(1);
+    if (line_len > 0) {
+        line[line_len] = ' ';
+        line_len++;
+    }
+    for (i = 0; i < len; i++) {
+        line[line_len] = word[i];
+        line_len++;
+    }
+    line_words++;
+}
+
+int main() {
+    char word[32];
+    int wlen = 0;
+    int c;
+    while ((c = getchar()) != -1) {
+        if (c == ' ' || c == '\n' || c == '\t') {
+            if (wlen > 0) {
+                word[wlen] = 0;
+                if (strcmp(word, ".br") == 0)
+                    flush_line(0);
+                else
+                    add_word(word, wlen);
+                wlen = 0;
+            }
+        } else if (wlen < 31) {
+            word[wlen] = c;
+            wlen++;
+        }
+    }
+    if (wlen > 0) {
+        word[wlen] = 0;
+        add_word(word, wlen);
+    }
+    flush_line(0);
+    return 0;
+}
+"""
+
+STDIN = (
+    text_lines(40, words_per_line=7, seed=61).replace("\n", " .br\n", 5)
+).encode("latin-1")

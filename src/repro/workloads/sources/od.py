@@ -1,0 +1,54 @@
+"""od -- octal dump (Appendix I, class: utility)."""
+
+from repro.workloads.inputs import byte_blob
+
+NAME = "od"
+CLASS = "utility"
+DESCRIPTION = "Octal dump"
+
+SOURCE = r"""
+void print_octal(int value, int width) {
+    char digits[12];
+    int count = 0;
+    do {
+        digits[count] = '0' + value % 8;
+        count++;
+        value = value / 8;
+    } while (value);
+    while (count < width) {
+        digits[count] = '0';
+        count++;
+    }
+    while (count > 0) {
+        count--;
+        putchar(digits[count]);
+    }
+}
+
+int main() {
+    int offset = 0;
+    int col = 0;
+    int c;
+    while ((c = getchar()) != -1) {
+        if (col == 0) {
+            print_octal(offset, 7);
+            putchar(' ');
+        }
+        print_octal(c, 3);
+        col++;
+        offset++;
+        if (col == 8) {
+            putchar('\n');
+            col = 0;
+        } else
+            putchar(' ');
+    }
+    if (col)
+        putchar('\n');
+    print_octal(offset, 7);
+    putchar('\n');
+    return 0;
+}
+"""
+
+STDIN = byte_blob(500, seed=71)

@@ -1,0 +1,87 @@
+"""puzzle -- recursion and arrays (Appendix I, class: benchmark).
+
+A scaled-down Baskett puzzle: recursively pack pieces of several sizes
+into a one-dimensional board, counting placement trials and solutions --
+the same deep-recursion, array-scanning profile as the classic benchmark.
+"""
+
+NAME = "puzzle"
+CLASS = "benchmark"
+DESCRIPTION = "Recursion, Arrays"
+
+SOURCE = r"""
+int board[24];
+int piece_size[4];
+int piece_count[4];
+int trials = 0;
+int solutions = 0;
+
+int fits(int pos, int size) {
+    int i;
+    if (pos + size > 24)
+        return 0;
+    for (i = pos; i < pos + size; i++)
+        if (board[i])
+            return 0;
+    return 1;
+}
+
+void place(int pos, int size, int value) {
+    int i;
+    for (i = pos; i < pos + size; i++)
+        board[i] = value;
+}
+
+int first_empty() {
+    int i;
+    for (i = 0; i < 24; i++)
+        if (!board[i])
+            return i;
+    return -1;
+}
+
+void solve() {
+    int pos = first_empty();
+    int kind;
+    if (pos < 0) {
+        solutions++;
+        return;
+    }
+    if (solutions >= 40)
+        return;
+    for (kind = 0; kind < 4; kind++) {
+        if (piece_count[kind] == 0)
+            continue;
+        trials++;
+        if (fits(pos, piece_size[kind])) {
+            place(pos, piece_size[kind], 1);
+            piece_count[kind] = piece_count[kind] - 1;
+            solve();
+            piece_count[kind] = piece_count[kind] + 1;
+            place(pos, piece_size[kind], 0);
+        }
+        if (solutions >= 40)
+            return;
+    }
+}
+
+int main() {
+    piece_size[0] = 1;
+    piece_size[1] = 2;
+    piece_size[2] = 3;
+    piece_size[3] = 4;
+    piece_count[0] = 5;
+    piece_count[1] = 4;
+    piece_count[2] = 3;
+    piece_count[3] = 2;
+    solve();
+    print_str("trials ");
+    print_int(trials);
+    print_str(" solutions ");
+    print_int(solutions);
+    putchar('\n');
+    return 0;
+}
+"""
+
+STDIN = b""

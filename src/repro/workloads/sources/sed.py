@@ -1,0 +1,59 @@
+"""sed -- stream editor (Appendix I, class: utility).
+
+Performs the classic ``s/old/new/g`` substitution with literal patterns on
+every input line.
+"""
+
+from repro.workloads.inputs import text_lines
+
+NAME = "sed"
+CLASS = "utility"
+DESCRIPTION = "Stream editor"
+
+SOURCE = r"""
+char old_pat[8] = "branch";
+char new_pat[12] = "transfer";
+
+int starts_with(char *text, char *prefix) {
+    while (*prefix) {
+        if (*text != *prefix)
+            return 0;
+        text++;
+        prefix++;
+    }
+    return 1;
+}
+
+void substitute(char *line) {
+    int pat_len = strlen(old_pat);
+    while (*line) {
+        if (starts_with(line, old_pat)) {
+            print_str(new_pat);
+            line = line + pat_len;
+        } else {
+            putchar(*line);
+            line++;
+        }
+    }
+    putchar('\n');
+}
+
+int main() {
+    char line[100];
+    int col = 0;
+    int c;
+    while ((c = getchar()) != -1) {
+        if (c == '\n') {
+            line[col] = 0;
+            substitute(line);
+            col = 0;
+        } else if (col < 99) {
+            line[col] = c;
+            col++;
+        }
+    }
+    return 0;
+}
+"""
+
+STDIN = text_lines(100, words_per_line=6, seed=81)

@@ -1,0 +1,34 @@
+"""sieve -- iteration (Appendix I, class: benchmark)."""
+
+NAME = "sieve"
+CLASS = "benchmark"
+DESCRIPTION = "Iteration"
+
+SOURCE = r"""
+char flags[4000];
+
+int main() {
+    int i;
+    int k;
+    int count = 0;
+    int last = 0;
+    for (i = 2; i < 4000; i++)
+        flags[i] = 1;
+    for (i = 2; i < 4000; i++) {
+        if (flags[i]) {
+            count++;
+            last = i;
+            for (k = i + i; k < 4000; k = k + i)
+                flags[k] = 0;
+        }
+    }
+    print_str("primes ");
+    print_int(count);
+    print_str(" last ");
+    print_int(last);
+    putchar('\n');
+    return 0;
+}
+"""
+
+STDIN = b""

@@ -1,0 +1,65 @@
+"""sort -- sort or merge files (Appendix I, class: utility).
+
+Reads lines, sorts an index array with Shell sort using ``strcmp``, prints
+the sorted lines -- the pointer-chasing, compare-heavy profile of the real
+utility.
+"""
+
+from repro.workloads.inputs import text_lines
+
+NAME = "sort"
+CLASS = "utility"
+DESCRIPTION = "Sort or merge files"
+
+SOURCE = r"""
+char lines[96][48];
+int order[96];
+
+int read_lines() {
+    int count = 0;
+    int col = 0;
+    int c;
+    while ((c = getchar()) != -1 && count < 96) {
+        if (c == '\n') {
+            lines[count][col] = 0;
+            count++;
+            col = 0;
+        } else if (col < 47) {
+            lines[count][col] = c;
+            col++;
+        }
+    }
+    return count;
+}
+
+void shell_sort(int n) {
+    int gap;
+    int i;
+    int j;
+    int temp;
+    for (gap = n / 2; gap > 0; gap = gap / 2)
+        for (i = gap; i < n; i++)
+            for (j = i - gap; j >= 0; j = j - gap) {
+                if (strcmp(lines[order[j]], lines[order[j + gap]]) <= 0)
+                    break;
+                temp = order[j];
+                order[j] = order[j + gap];
+                order[j + gap] = temp;
+            }
+}
+
+int main() {
+    int n = read_lines();
+    int i;
+    for (i = 0; i < n; i++)
+        order[i] = i;
+    shell_sort(n);
+    for (i = 0; i < n; i++) {
+        print_str(lines[order[i]]);
+        putchar('\n');
+    }
+    return 0;
+}
+"""
+
+STDIN = text_lines(90, words_per_line=4, seed=91)

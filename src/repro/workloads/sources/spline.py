@@ -1,0 +1,87 @@
+"""spline -- interpolate curve (Appendix I, class: utility).
+
+Fits a natural cubic spline through sample points (tridiagonal solve) and
+evaluates it on a fine grid -- floating-point heavy, like the original.
+"""
+
+NAME = "spline"
+CLASS = "utility"
+DESCRIPTION = "Interpolate Curve"
+
+SOURCE = r"""
+float xs[12];
+float ys[12];
+float y2[12];
+float scratch[12];
+
+void build_points() {
+    int i;
+    for (i = 0; i < 12; i++) {
+        xs[i] = (float) i;
+        ys[i] = f_sin((float) i * 0.6);
+    }
+}
+
+/* Natural cubic spline second derivatives (Numerical-Recipes style). */
+void spline_fit(int n) {
+    int i;
+    float sig;
+    float p;
+    y2[0] = 0.0;
+    scratch[0] = 0.0;
+    for (i = 1; i < n - 1; i++) {
+        sig = (xs[i] - xs[i - 1]) / (xs[i + 1] - xs[i - 1]);
+        p = sig * y2[i - 1] + 2.0;
+        y2[i] = (sig - 1.0) / p;
+        scratch[i] = (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i])
+                   - (ys[i] - ys[i - 1]) / (xs[i] - xs[i - 1]);
+        scratch[i] = (6.0 * scratch[i] / (xs[i + 1] - xs[i - 1])
+                   - sig * scratch[i - 1]) / p;
+    }
+    y2[n - 1] = 0.0;
+    for (i = n - 2; i >= 0; i--)
+        y2[i] = y2[i] * y2[i + 1] + scratch[i];
+}
+
+float spline_eval(int n, float x) {
+    int lo = 0;
+    int hi = n - 1;
+    int mid;
+    float h;
+    float a;
+    float b;
+    while (hi - lo > 1) {
+        mid = (hi + lo) / 2;
+        if (xs[mid] > x)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    h = xs[hi] - xs[lo];
+    a = (xs[hi] - x) / h;
+    b = (x - xs[lo]) / h;
+    return a * ys[lo] + b * ys[hi]
+         + ((a * a * a - a) * y2[lo] + (b * b * b - b) * y2[hi]) * h * h / 6.0;
+}
+
+int main() {
+    int i;
+    float x;
+    float total = 0.0;
+    build_points();
+    spline_fit(12);
+    for (i = 0; i < 60; i++) {
+        x = (float) i * 11.0 / 59.0;
+        total = total + f_abs(spline_eval(12, x));
+    }
+    print_str("area ");
+    print_float(total);
+    putchar('\n');
+    print_str("mid ");
+    print_float(spline_eval(12, 5.5));
+    putchar('\n');
+    return 0;
+}
+"""
+
+STDIN = b""

@@ -1,0 +1,35 @@
+"""tr -- translate characters (Appendix I, class: utility)."""
+
+from repro.workloads.inputs import text_lines
+
+NAME = "tr"
+CLASS = "utility"
+DESCRIPTION = "Translate characters"
+
+SOURCE = r"""
+char table[128];
+
+void build_table() {
+    int i;
+    for (i = 0; i < 128; i++)
+        table[i] = i;
+    /* lowercase -> uppercase, blanks -> underscores */
+    for (i = 'a'; i <= 'z'; i++)
+        table[i] = i - 'a' + 'A';
+    table[' '] = '_';
+}
+
+int main() {
+    int c;
+    build_table();
+    while ((c = getchar()) != -1) {
+        if (c < 128)
+            putchar(table[c]);
+        else
+            putchar(c);
+    }
+    return 0;
+}
+"""
+
+STDIN = text_lines(140, words_per_line=6, seed=101)

@@ -1,0 +1,255 @@
+"""vpcc -- very portable C compiler (Appendix I, class: user code).
+
+The original workload is the authors' own C compiler.  We reproduce its
+profile (tokenising, recursive-descent parsing, symbol-table lookups, code
+emission through a switch) with a miniature expression-language compiler:
+it reads assignment statements, parses them with full operator precedence,
+and emits stack-machine code while also interpreting the program.
+"""
+
+NAME = "vpcc"
+CLASS = "user"
+DESCRIPTION = "Very Portable C compiler"
+
+SOURCE = r"""
+char src[2048];
+int src_len = 0;
+int pos = 0;
+
+/* token kinds */
+int tok_kind = 0;       /* 0 eof, 1 num, 2 ident, 3 punct */
+int tok_value = 0;      /* number value or punct char */
+int tok_name = 0;       /* variable index 'a'..'z' */
+
+int vars[26];
+int stack[64];
+int sp = 0;
+int kind_count[4];
+
+/* Dense switch -> compiled through a jump table (Section 4, Indirect
+   Jumps). */
+void count_token() {
+    switch (tok_kind) {
+    case 0:
+        kind_count[0]++;
+        break;
+    case 1:
+        kind_count[1]++;
+        break;
+    case 2:
+        kind_count[2]++;
+        break;
+    case 3:
+        kind_count[3]++;
+        break;
+    }
+}
+
+void read_source() {
+    int c;
+    while ((c = getchar()) != -1 && src_len < 2047) {
+        src[src_len] = c;
+        src_len++;
+    }
+    src[src_len] = 0;
+}
+
+void next_token() {
+    int c;
+    while (src[pos] == ' ' || src[pos] == '\n' || src[pos] == '\t')
+        pos++;
+    c = src[pos];
+    if (c == 0) {
+        tok_kind = 0;
+        return;
+    }
+    if (c >= '0' && c <= '9') {
+        tok_kind = 1;
+        tok_value = 0;
+        while (src[pos] >= '0' && src[pos] <= '9') {
+            tok_value = tok_value * 10 + (src[pos] - '0');
+            pos++;
+        }
+        return;
+    }
+    if (c >= 'a' && c <= 'z') {
+        tok_kind = 2;
+        tok_name = c - 'a';
+        pos++;
+        return;
+    }
+    tok_kind = 3;
+    tok_value = c;
+    pos++;
+}
+
+void advance() {
+    next_token();
+    count_token();
+}
+
+void emit_op(char *op) {
+    print_str("  ");
+    print_str(op);
+    putchar('\n');
+}
+
+void push(int v) {
+    stack[sp] = v;
+    sp++;
+}
+
+int pop() {
+    sp--;
+    return stack[sp];
+}
+
+void expression();
+
+void primary() {
+    if (tok_kind == 1) {
+        print_str("  push ");
+        print_int(tok_value);
+        putchar('\n');
+        push(tok_value);
+        advance();
+    } else if (tok_kind == 2) {
+        print_str("  load ");
+        putchar('a' + tok_name);
+        putchar('\n');
+        push(vars[tok_name]);
+        advance();
+    } else if (tok_kind == 3 && tok_value == '(') {
+        advance();
+        expression();
+        if (tok_kind == 3 && tok_value == ')')
+            advance();
+    } else if (tok_kind == 3 && tok_value == '-') {
+        advance();
+        primary();
+        emit_op("neg");
+        push(-pop());
+    } else {
+        advance();
+    }
+}
+
+void term() {
+    int op;
+    int b;
+    int a;
+    primary();
+    while (tok_kind == 3 && (tok_value == '*' || tok_value == '/'
+                             || tok_value == '%')) {
+        op = tok_value;
+        advance();
+        primary();
+        b = pop();
+        a = pop();
+        switch (op) {
+        case '*':
+            emit_op("mul");
+            push(a * b);
+            break;
+        case '/':
+            emit_op("div");
+            if (b)
+                push(a / b);
+            else
+                push(0);
+            break;
+        case '%':
+            emit_op("mod");
+            if (b)
+                push(a % b);
+            else
+                push(0);
+            break;
+        }
+    }
+}
+
+void expression() {
+    int op;
+    int b;
+    int a;
+    term();
+    while (tok_kind == 3 && (tok_value == '+' || tok_value == '-')) {
+        op = tok_value;
+        advance();
+        term();
+        b = pop();
+        a = pop();
+        if (op == '+') {
+            emit_op("add");
+            push(a + b);
+        } else {
+            emit_op("sub");
+            push(a - b);
+        }
+    }
+}
+
+void statement() {
+    int target;
+    if (tok_kind != 2) {
+        advance();
+        return;
+    }
+    target = tok_name;
+    next_token();
+    if (tok_kind == 3 && tok_value == '=')
+        advance();
+    expression();
+    print_str("  store ");
+    putchar('a' + target);
+    putchar('\n');
+    vars[target] = pop();
+    if (tok_kind == 3 && tok_value == ';')
+        advance();
+}
+
+int main() {
+    int i;
+    int checksum = 0;
+    read_source();
+    advance();
+    while (tok_kind != 0)
+        statement();
+    for (i = 0; i < 26; i++)
+        checksum = checksum + vars[i] * (i + 1);
+    print_str("checksum ");
+    print_int(checksum);
+    print_str(" kinds ");
+    print_int(kind_count[0]);
+    putchar(' ');
+    print_int(kind_count[1]);
+    putchar(' ');
+    print_int(kind_count[2]);
+    putchar(' ');
+    print_int(kind_count[3]);
+    putchar('\n');
+    return 0;
+}
+"""
+
+
+def _make_program():
+    from repro.workloads.inputs import Lcg
+
+    rng = Lcg(111)
+    lines = []
+    for i in range(60):
+        target = chr(ord("a") + rng.below(26))
+        a = chr(ord("a") + rng.below(26))
+        b = rng.below(90) + 1
+        op1 = rng.choice("+-*/%")
+        op2 = rng.choice("+-*")
+        c = rng.below(30) + 1
+        lines.append(
+            "%s = (%s %s %d) %s %d;" % (target, a, op1, b, op2, c)
+        )
+    return ("\n".join(lines) + "\n").encode("latin-1")
+
+
+STDIN = _make_program()

@@ -1,0 +1,37 @@
+"""wc -- word count (Appendix I, class: utility)."""
+
+from repro.workloads.inputs import text_lines
+
+NAME = "wc"
+CLASS = "utility"
+DESCRIPTION = "Word count"
+
+SOURCE = r"""
+int main() {
+    int c;
+    int lines = 0;
+    int chars = 0;
+    int word_count = 0;
+    int in_word = 0;
+    while ((c = getchar()) != -1) {
+        chars++;
+        if (c == '\n')
+            lines++;
+        if (c == ' ' || c == '\n' || c == '\t')
+            in_word = 0;
+        else if (!in_word) {
+            in_word = 1;
+            word_count++;
+        }
+    }
+    print_int(lines);
+    putchar(' ');
+    print_int(word_count);
+    putchar(' ');
+    print_int(chars);
+    putchar('\n');
+    return 0;
+}
+"""
+
+STDIN = text_lines(150, seed=11)

@@ -1,0 +1,137 @@
+"""whetstone -- floating-point arithmetic (Appendix I, class: benchmark).
+
+The classic Whetstone module structure (array elements, conditional
+jumps, trig, exp/log/sqrt) scaled down, with the transcendental functions
+implemented in SmallC (see the runtime library).
+"""
+
+NAME = "whetstone"
+CLASS = "benchmark"
+DESCRIPTION = "Floating-Point arithmetic"
+
+SOURCE = r"""
+float e1[4];
+float t = 0.499975;
+float t1 = 0.50025;
+float t2 = 2.0;
+
+void pa(float *e) {
+    int j = 0;
+    do {
+        e[0] = (e[0] + e[1] + e[2] - e[3]) * t;
+        e[1] = (e[0] + e[1] - e[2] + e[3]) * t;
+        e[2] = (e[0] - e[1] + e[2] + e[3]) * t;
+        e[3] = (-e[0] + e[1] + e[2] + e[3]) / t2;
+        j++;
+    } while (j < 6);
+}
+
+void p0(int *j_ref, int *k_ref, int *l_ref) {
+    e1[*j_ref] = e1[*k_ref];
+    e1[*k_ref] = e1[*l_ref];
+    e1[*l_ref] = e1[*j_ref];
+}
+
+void p3(float x, float y, float *z) {
+    float x1 = x;
+    float y1 = y;
+    x1 = t * (x1 + y1);
+    y1 = t * (x1 + y1);
+    *z = (x1 + y1) / t2;
+}
+
+int main() {
+    float x1; float x2; float x3; float x4;
+    float x; float y; float z;
+    int i; int j; int k; int l;
+    int n1 = 0; int n2 = 12; int n3 = 14; int n4 = 34;
+    int n6 = 29; int n7 = 4; int n8 = 61; int n9 = 5; int n10 = 0; int n11 = 9;
+
+    /* Module 1: simple identifiers */
+    x1 = 1.0; x2 = -1.0; x3 = -1.0; x4 = -1.0;
+    for (i = 1; i <= n2; i++) {
+        x1 = (x1 + x2 + x3 - x4) * t;
+        x2 = (x1 + x2 - x3 + x4) * t;
+        x3 = (x1 - x2 + x3 + x4) * t;
+        x4 = (-x1 + x2 + x3 + x4) * t;
+    }
+
+    /* Module 2: array elements */
+    e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+    for (i = 1; i <= n3; i++) {
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+        e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+    }
+
+    /* Module 3: array as parameter */
+    for (i = 1; i <= n4; i++)
+        pa(e1);
+
+    /* Module 4: conditional jumps */
+    j = 1;
+    for (i = 1; i <= n6; i++) {
+        if (j == 1)
+            j = 2;
+        else
+            j = 3;
+        if (j > 2)
+            j = 0;
+        else
+            j = 1;
+        if (j < 1)
+            j = 1;
+        else
+            j = 0;
+    }
+
+    /* Module 6: integer arithmetic */
+    j = 1; k = 2; l = 3;
+    for (i = 1; i <= n8; i++) {
+        j = j * (k - j) * (l - k);
+        k = l * k - (l - j) * k;
+        l = (l - k) * (k + j);
+        e1[l - 2] = (float) (j + k + l);
+        e1[k - 2] = (float) (j * k * l);
+    }
+
+    /* Module 7: trig */
+    x = 0.5; y = 0.5;
+    for (i = 1; i <= n7; i++) {
+        x = t * f_atan(t2 * f_sin(x) * f_cos(x)
+              / (f_cos(x + y) + f_cos(x - y) - 1.0));
+        y = t * f_atan(t2 * f_sin(y) * f_cos(y)
+              / (f_cos(x + y) + f_cos(x - y) - 1.0));
+    }
+
+    /* Module 8: procedure calls */
+    x = 1.0; y = 1.0; z = 1.0;
+    for (i = 1; i <= n9; i++)
+        p3(x, y, &z);
+
+    /* Module 9: array references via pointers */
+    j = 1; k = 2; l = 3;
+    e1[0] = 1.0; e1[1] = 2.0; e1[2] = 3.0;
+    for (i = 1; i <= n10 + 6; i++)
+        p0(&j, &k, &l);
+
+    /* Module 11: standard functions */
+    x = 0.75;
+    for (i = 1; i <= n11; i++)
+        x = f_sqrt(f_exp(f_log(x) / t1));
+
+    print_str("x1 "); print_float(x1);
+    print_str(" e1[3] "); print_float(e1[3]);
+    print_str(" z "); print_float(z);
+    print_str(" x "); print_float(x);
+    putchar('\n');
+    print_str("j "); print_int(j);
+    print_str(" k "); print_int(k);
+    print_str(" l "); print_int(l);
+    putchar('\n');
+    return 0;
+}
+"""
+
+STDIN = b""

@@ -1,0 +1,36 @@
+"""Shared test helpers: compile-and-run on both machines."""
+
+import pytest
+
+from repro.ease.environment import run_pair
+
+
+def run_both(source, stdin=b"", limit=2_000_000, branchreg_options=None):
+    """Compile and run on both machines; asserts they agree and returns
+    the common output as text."""
+    pair = run_pair(
+        source,
+        stdin=stdin,
+        limit=limit,
+        name="test",
+        branchreg_options=branchreg_options,
+    )
+    return pair
+
+
+@pytest.fixture
+def both():
+    """Fixture returning a runner: both(source, stdin) -> output text."""
+
+    def runner(source, stdin=b"", **kwargs):
+        return run_both(source, stdin=stdin, **kwargs).output.decode("latin-1")
+
+    return runner
+
+
+@pytest.fixture
+def both_pair():
+    def runner(source, stdin=b"", **kwargs):
+        return run_both(source, stdin=stdin, **kwargs)
+
+    return runner

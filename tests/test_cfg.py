@@ -1,0 +1,222 @@
+"""Tests for CFG construction, dominators, loops, liveness, frequency."""
+
+from repro.cfg.build import build_cfg
+from repro.cfg.dom import compute_dominators, dominates
+from repro.cfg.freq import estimate_frequencies
+from repro.cfg.liveness import compute_liveness, per_instruction_liveness
+from repro.cfg.loops import ensure_preheader, find_loops, innermost_loop_of
+from repro.lang.frontend import compile_to_ir
+
+
+def fn_of(source, name="main"):
+    return compile_to_ir(source).functions[name]
+
+
+LOOP_SRC = """
+int main() {
+    int i; int n = 0;
+    for (i = 0; i < 10; i++)
+        n += i;
+    return n;
+}
+"""
+
+NESTED_SRC = """
+int main() {
+    int i; int j; int n = 0;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 4; j++)
+            n++;
+    return n;
+}
+"""
+
+DIAMOND_SRC = """
+int main() {
+    int x = 1;
+    if (x) x = 2; else x = 3;
+    return x;
+}
+"""
+
+
+class TestBuild:
+    def test_straight_line_single_block(self):
+        fn = fn_of("int main() { int a = 1; int b = 2; return a + b; }")
+        cfg = build_cfg(fn)
+        assert len(cfg.blocks) == 1
+        assert cfg.entry is cfg.blocks[0]
+
+    def test_diamond_shape(self):
+        fn = fn_of(DIAMOND_SRC)
+        cfg = build_cfg(fn)
+        # entry, then, else, join (possibly a separate exit block)
+        assert len(cfg.entry.succs) == 2
+        join_candidates = [b for b in cfg.blocks if len(b.preds) == 2]
+        assert join_candidates
+
+    def test_labels_map_to_blocks(self):
+        fn = fn_of(LOOP_SRC)
+        cfg = build_cfg(fn)
+        for name, block in cfg.label_to_block.items():
+            assert name in block.labels
+            assert block in cfg.blocks
+
+    def test_terminator_edges_consistent(self):
+        fn = fn_of(NESTED_SRC)
+        cfg = build_cfg(fn)
+        for block in cfg.blocks:
+            for succ in block.succs:
+                assert block in succ.preds
+            for pred in block.preds:
+                assert block in pred.succs
+
+    def test_linearize_roundtrip_preserves_instructions(self):
+        fn = fn_of(LOOP_SRC)
+        before = [repr(i) for i in fn.instrs if not i.is_label()]
+        cfg = build_cfg(fn)
+        fn.instrs = cfg.linearize()
+        after = [repr(i) for i in fn.instrs if not i.is_label()]
+        assert before == after
+
+    def test_unreachable_code_removed(self):
+        src = """
+        int main() {
+            return 1;
+        }
+        int dead() { return 2; }
+        int caller() { return dead(); }
+        """
+        prog = compile_to_ir(src)
+        assert "dead" not in prog.functions  # trimmed at frontend
+        fn = prog.functions["main"]
+        cfg = build_cfg(fn)
+        assert all(
+            b is cfg.entry or b.preds for b in cfg.blocks
+        )
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        fn = fn_of(NESTED_SRC)
+        cfg = build_cfg(fn)
+        dom = compute_dominators(cfg)
+        for block in cfg.blocks:
+            assert dominates(dom, cfg.entry, block)
+
+    def test_self_domination(self):
+        fn = fn_of(DIAMOND_SRC)
+        cfg = build_cfg(fn)
+        dom = compute_dominators(cfg)
+        for block in cfg.blocks:
+            assert dominates(dom, block, block)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        fn = fn_of(DIAMOND_SRC)
+        cfg = build_cfg(fn)
+        dom = compute_dominators(cfg)
+        join = next(b for b in cfg.blocks if len(b.preds) == 2)
+        for pred in join.preds:
+            if pred is not cfg.entry:
+                assert not dominates(dom, pred, join) or pred is join
+
+
+class TestLoops:
+    def test_single_loop_found(self):
+        fn = fn_of(LOOP_SRC)
+        cfg = build_cfg(fn)
+        loops = find_loops(cfg)
+        assert len(loops) == 1
+        assert loops[0].depth == 1
+
+    def test_nested_loops_depths(self):
+        fn = fn_of(NESTED_SRC)
+        cfg = build_cfg(fn)
+        loops = find_loops(cfg)
+        assert sorted(l.depth for l in loops) == [1, 2]
+        inner = max(loops, key=lambda l: l.depth)
+        outer = min(loops, key=lambda l: l.depth)
+        assert inner.parent is outer
+        assert inner.blocks < outer.blocks
+
+    def test_no_loops_in_straight_line(self):
+        fn = fn_of("int main() { return 3; }")
+        cfg = build_cfg(fn)
+        assert find_loops(cfg) == []
+
+    def test_loop_depth_annotation(self):
+        fn = fn_of(NESTED_SRC)
+        cfg = build_cfg(fn)
+        find_loops(cfg)
+        assert max(b.loop_depth for b in cfg.blocks) == 2
+        assert cfg.entry.loop_depth == 0
+
+    def test_innermost_loop_of(self):
+        fn = fn_of(NESTED_SRC)
+        cfg = build_cfg(fn)
+        loops = find_loops(cfg)
+        inner = max(loops, key=lambda l: l.depth)
+        some_inner_block = next(iter(inner.blocks))
+        assert innermost_loop_of(loops, some_inner_block) is inner
+
+    def test_preheader_exists_and_is_outside(self):
+        fn = fn_of(LOOP_SRC)
+        cfg = build_cfg(fn)
+        loops = find_loops(cfg)
+        pre = ensure_preheader(cfg, loops[0], fn)
+        assert pre not in loops[0].blocks
+        assert loops[0].header in pre.succs
+
+    def test_preheader_idempotent(self):
+        fn = fn_of(LOOP_SRC)
+        cfg = build_cfg(fn)
+        loops = find_loops(cfg)
+        pre1 = ensure_preheader(cfg, loops[0], fn)
+        pre2 = ensure_preheader(cfg, loops[0], fn)
+        assert pre1 is pre2
+
+    def test_while_loop_header_is_test_block(self):
+        # Rotated loops: `jmp test; body: ...; test: cond -> body`.
+        fn = fn_of(LOOP_SRC)
+        cfg = build_cfg(fn)
+        loops = find_loops(cfg)
+        header = loops[0].header
+        assert any(label.startswith("Ltest") for label in header.labels)
+
+
+class TestFrequency:
+    def test_loop_weighting(self):
+        fn = fn_of(NESTED_SRC)
+        cfg = build_cfg(fn)
+        loops = find_loops(cfg)
+        estimate_frequencies(cfg, loops)
+        assert cfg.entry.freq == 1.0
+        assert max(b.freq for b in cfg.blocks) == 100.0
+
+
+class TestLiveness:
+    def test_dead_value_not_live(self):
+        fn = fn_of("int main() { int a = 1; return 2; }")
+        cfg = build_cfg(fn)
+        live_in, live_out = compute_liveness(cfg)
+        # Nothing is live out of the final block.
+        last = cfg.blocks[-1]
+        assert live_out[last] == set()
+
+    def test_loop_carried_value_live_around_backedge(self):
+        fn = fn_of(LOOP_SRC)
+        cfg = build_cfg(fn)
+        live_in, live_out = compute_liveness(cfg)
+        loops = find_loops(cfg)
+        header = loops[0].header
+        assert live_in[header]  # i and n circulate
+
+    def test_per_instruction_liveness_shrinks_after_last_use(self):
+        fn = fn_of("int main() { int a = 1; int b = a + 2; return b; }")
+        cfg = build_cfg(fn)
+        _in, out = compute_liveness(cfg)
+        block = cfg.entry
+        after = per_instruction_liveness(block, out[block])
+        assert len(after) == len(block.instrs)
+        # The return value register is live right up to the ret.
+        assert after[-1] == set()

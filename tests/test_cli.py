@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def demo_c(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(
+        """
+        int main() {
+            int c;
+            int count = 0;
+            while ((c = getchar()) != -1)
+                count++;
+            print_int(count);
+            putchar(10);
+            return 0;
+        }
+        """
+    )
+    return str(path)
+
+
+@pytest.fixture
+def stdin_file(tmp_path):
+    path = tmp_path / "input.txt"
+    path.write_bytes(b"hello")
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "x.c"])
+        assert args.machine == "both"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+
+class TestCommands:
+    def test_run_both(self, demo_c, stdin_file, capsys):
+        rc = main(["run", demo_c, "--stdin", stdin_file])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.startswith("5\n")
+        assert "baseline" in out and "branch-reg" in out
+
+    def test_run_single_machine(self, demo_c, stdin_file, capsys):
+        rc = main(["run", demo_c, "--stdin", stdin_file, "--machine", "baseline"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "baseline:" in out
+
+    def test_run_without_stdin(self, demo_c, capsys):
+        rc = main(["run", demo_c])
+        out = capsys.readouterr().out
+        assert out.startswith("0\n")
+
+    def test_asm_branchreg(self, demo_c, capsys):
+        main(["asm", demo_c, "--function", "main"])
+        out = capsys.readouterr().out
+        assert "main:" in out
+        assert "b[0]=b[" in out  # carriers present
+
+    def test_asm_baseline(self, demo_c, capsys):
+        main(["asm", demo_c, "--machine", "baseline", "--function", "main"])
+        out = capsys.readouterr().out
+        assert "PC=" in out
+
+    def test_workloads_listing(self, capsys):
+        main(["workloads"])
+        out = capsys.readouterr().out
+        assert "dhrystone" in out and "vpcc" in out
+
+    def test_table1_subset(self, capsys):
+        main(["table1", "--subset", "wc"])
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_cycles_subset(self, capsys):
+        main(["cycles", "--stages", "3", "--subset", "wc"])
+        out = capsys.readouterr().out
+        assert "stages" in out

@@ -1,0 +1,209 @@
+"""Static invariants of the baseline code generator and delay-slot filler."""
+
+from repro.codegen.baseline_gen import generate_baseline
+from repro.codegen.common import BASELINE_CONTROL
+from repro.codegen.dataflow import can_swap, minstr_defs, minstr_uses
+from repro.codegen.delayslots import fill_slots
+from repro.codegen.lowering import MachineFunction
+from repro.codegen.common import MInstr, mnoop
+from repro.lang.frontend import compile_to_ir
+from repro.rtl.operand import Imm, Reg
+
+
+def baseline_program(source):
+    return generate_baseline(compile_to_ir(source))
+
+
+LOOP_SRC = """
+int main() {
+    int i; int n = 0;
+    for (i = 0; i < 10; i++)
+        n += i;
+    print_int(n); putchar(10);
+    return 0;
+}
+"""
+
+
+class TestStructure:
+    def test_every_transfer_has_delay_slot(self):
+        mprog = baseline_program(LOOP_SRC)
+        for fn in mprog.functions:
+            instrs = [i for i in fn.instrs if not i.is_label()]
+            for idx, ins in enumerate(instrs):
+                if ins.op in BASELINE_CONTROL:
+                    assert idx + 1 < len(instrs) or fn.name == "__start", (
+                        "transfer at end of %s" % fn.name
+                    )
+
+    def test_delay_slot_never_contains_transfer(self):
+        mprog = baseline_program(LOOP_SRC)
+        for fn in mprog.functions:
+            instrs = [i for i in fn.instrs if not i.is_label()]
+            for idx, ins in enumerate(instrs[:-1]):
+                if ins.op in BASELINE_CONTROL:
+                    assert instrs[idx + 1].op not in BASELINE_CONTROL
+
+    def test_cmp_precedes_conditional_branch(self):
+        mprog = baseline_program(LOOP_SRC)
+        for fn in mprog.functions:
+            instrs = [i for i in fn.instrs if not i.is_label()]
+            for idx, ins in enumerate(instrs):
+                if ins.op in ("bcc", "fbcc"):
+                    assert instrs[idx - 1].op in ("cmp", "fcmp")
+
+    def test_functions_end_with_return_path(self):
+        mprog = baseline_program(LOOP_SRC)
+        main = mprog.function("main")
+        ops = [i.op for i in main.instrs]
+        assert "retrt" in ops
+
+    def test_rt_saved_in_non_leaf(self):
+        mprog = baseline_program(LOOP_SRC)  # main calls print_int
+        ops = [i.op for i in mprog.function("main").instrs]
+        assert "mfrt" in ops and "mtrt" in ops
+
+    def test_leaf_does_not_save_rt(self):
+        src = "int add1(int x) { return x + 1; } int main() { return add1(2); }"
+        mprog = baseline_program(src)
+        ops = [i.op for i in mprog.function("add1").instrs]
+        assert "mfrt" not in ops
+
+    def test_immediates_in_range(self):
+        mprog = baseline_program("int main() { return 123456; }")
+        for ins in mprog.all_instrs():
+            if ins.op in ("add", "sub", "cmp", "li"):
+                for src in ins.srcs:
+                    if isinstance(src, Imm):
+                        assert mprog.spec.imm_fits(src.value)
+
+
+class TestDelaySlotFiller:
+    def _mfn(self, instrs):
+        return MachineFunction("t", list(instrs))
+
+    def test_fills_independent_instruction(self):
+        r1, r2, r3 = Reg("r", 1), Reg("r", 2), Reg("r", 3)
+        instrs = [
+            MInstr("li", dst=r3, srcs=[Imm(5)]),
+            MInstr("cmp", srcs=[r1, Imm(0)]),
+            MInstr("bcc", cond="eq"),
+            mnoop(),
+        ]
+        mfn = self._mfn(instrs)
+        assert fill_slots(mfn) == 1
+        assert mfn.instrs[-1].op == "li"  # moved into the slot
+
+    def test_does_not_fill_with_compare_input(self):
+        r1 = Reg("r", 1)
+        instrs = [
+            MInstr("li", dst=r1, srcs=[Imm(5)]),  # defines the cmp source
+            MInstr("cmp", srcs=[r1, Imm(0)]),
+            MInstr("bcc", cond="eq"),
+            mnoop(),
+        ]
+        mfn = self._mfn(instrs)
+        assert fill_slots(mfn) == 0
+        assert mfn.instrs[-1].is_noop()
+
+    def test_does_not_cross_label(self):
+        r3 = Reg("r", 3)
+        instrs = [
+            MInstr("li", dst=r3, srcs=[Imm(5)]),
+            MInstr("label", label="L"),
+            MInstr("jmp"),
+            mnoop(),
+        ]
+        mfn = self._mfn(instrs)
+        assert fill_slots(mfn) == 0
+
+    def test_does_not_steal_from_other_slot(self):
+        r3 = Reg("r", 3)
+        instrs = [
+            MInstr("jmp"),
+            MInstr("li", dst=r3, srcs=[Imm(5)]),  # occupies jmp's slot
+            MInstr("jmp"),
+            mnoop(),
+        ]
+        mfn = self._mfn(instrs)
+        assert fill_slots(mfn) == 0
+
+    def test_memory_op_fills_safely(self):
+        r1, r2 = Reg("r", 1), Reg("r", 2)
+        instrs = [
+            MInstr("lw", dst=r2, srcs=[r1, Imm(0)]),
+            MInstr("cmp", srcs=[r1, Imm(0)]),
+            MInstr("bcc", cond="eq"),
+            mnoop(),
+        ]
+        mfn = self._mfn(instrs)
+        assert fill_slots(mfn) == 1
+
+    def test_dynamic_noop_count_reduced(self):
+        # With vs without filling: fewer dynamic noops.
+        from repro.ease.environment import compile_for_machine
+        from repro.emu.baseline_emu import run_baseline
+        from repro.lang.frontend import compile_to_ir
+
+        prog1 = compile_to_ir(LOOP_SRC)
+        prog2 = compile_to_ir(LOOP_SRC)
+        from repro.emu.loader import Image
+
+        filled = Image(generate_baseline(prog1, fill_delay_slots=True))
+        unfilled = Image(generate_baseline(prog2, fill_delay_slots=False))
+        s1 = run_baseline(filled)
+        s2 = run_baseline(unfilled)
+        assert s1.output == s2.output
+        assert s1.noops < s2.noops
+        assert s1.instructions < s2.instructions
+
+
+class TestDataflow:
+    def test_defs_and_uses(self):
+        r1, r2, r3 = Reg("r", 1), Reg("r", 2), Reg("r", 3)
+        ins = MInstr("add", dst=r1, srcs=[r2, r3])
+        assert minstr_defs(ins) == {r1}
+        assert minstr_uses(ins) == {r2, r3}
+
+    def test_cmp_defines_cc(self):
+        ins = MInstr("cmp", srcs=[Reg("r", 1), Imm(0)])
+        assert "cc" in minstr_defs(ins)
+
+    def test_bcc_uses_cc(self):
+        ins = MInstr("bcc", cond="eq")
+        assert "cc" in minstr_uses(ins)
+
+    def test_call_defines_rt(self):
+        assert "RT" in minstr_defs(MInstr("call"))
+
+    def test_swap_blocked_by_raw(self):
+        r1, r2 = Reg("r", 1), Reg("r", 2)
+        producer = MInstr("li", dst=r1, srcs=[Imm(1)])
+        consumer = MInstr("mov", dst=r2, srcs=[r1])
+        assert not can_swap(producer, consumer)
+
+    def test_swap_blocked_by_waw(self):
+        r1 = Reg("r", 1)
+        a = MInstr("li", dst=r1, srcs=[Imm(1)])
+        b = MInstr("li", dst=r1, srcs=[Imm(2)])
+        assert not can_swap(a, b)
+
+    def test_independent_ops_swap(self):
+        a = MInstr("li", dst=Reg("r", 1), srcs=[Imm(1)])
+        b = MInstr("li", dst=Reg("r", 2), srcs=[Imm(2)])
+        assert can_swap(a, b)
+
+    def test_loads_may_cross_loads(self):
+        a = MInstr("lw", dst=Reg("r", 1), srcs=[Reg("r", 3), Imm(0)])
+        b = MInstr("lw", dst=Reg("r", 2), srcs=[Reg("r", 4), Imm(0)])
+        assert can_swap(a, b)
+
+    def test_store_never_crosses_load(self):
+        a = MInstr("sw", srcs=[Reg("r", 1), Reg("r", 3), Imm(0)])
+        b = MInstr("lw", dst=Reg("r", 2), srcs=[Reg("r", 4), Imm(0)])
+        assert not can_swap(a, b)
+
+    def test_carrier_clobbers_link(self):
+        ins = mnoop(br=4)
+        assert Reg("b", 7) in minstr_defs(ins, link=7)
+        assert Reg("b", 4) in minstr_uses(ins)

@@ -1,0 +1,257 @@
+"""Static invariants of the branch-register code generator, the Section 5
+allocator, and the carrier/noop passes."""
+
+from repro.codegen.branchreg_gen import generate_branchreg
+from repro.codegen.common import MInstr, mnoop
+from repro.codegen.noopfill import fill_noop_carriers, replace_noops_with_bta
+from repro.codegen.lowering import MachineFunction
+from repro.lang.frontend import compile_to_ir
+from repro.machine.spec import branchreg_spec
+from repro.rtl.operand import Imm, Label, Reg
+
+
+def br_program(source, **options):
+    return generate_branchreg(compile_to_ir(source), **options)
+
+
+LOOP_SRC = """
+int main() {
+    int i; int n = 0;
+    for (i = 0; i < 10; i++)
+        n += i;
+    print_int(n); putchar(10);
+    return 0;
+}
+"""
+
+CALL_IN_LOOP = """
+int work(int x) { return x * 2; }
+int main() {
+    int i; int n = 0;
+    for (i = 0; i < 8; i++)
+        n += work(i);
+    print_int(n); putchar(10);
+    return 0;
+}
+"""
+
+
+class TestStructure:
+    def test_no_branch_instructions_exist(self):
+        mprog = br_program(LOOP_SRC)
+        for ins in mprog.all_instrs():
+            assert ins.op not in ("bcc", "fbcc", "jmp", "call", "ijmp", "retrt")
+
+    def test_cmpset_followed_by_link_carrier(self):
+        mprog = br_program(LOOP_SRC)
+        link = mprog.spec.br_link
+        for fn in mprog.functions:
+            instrs = [i for i in fn.instrs if not i.is_label()]
+            for idx, ins in enumerate(instrs):
+                if ins.op in ("cmpset", "fcmpset"):
+                    nxt = instrs[idx + 1]
+                    assert nxt.br == link, "cmpset not consumed by a carrier"
+
+    def test_cmpset_never_carries(self):
+        mprog = br_program(LOOP_SRC)
+        for ins in mprog.all_instrs():
+            if ins.op in ("cmpset", "fcmpset"):
+                assert ins.br == 0
+
+    def test_carrier_never_writes_referenced_register(self):
+        mprog = br_program(CALL_IN_LOOP)
+        for ins in mprog.all_instrs():
+            if ins.br and ins.dst is not None and isinstance(ins.dst, Reg):
+                if ins.dst.kind == "b":
+                    assert ins.dst.index != ins.br
+
+    def test_bta_displacement_within_function(self):
+        from repro.emu.loader import Image
+
+        mprog = br_program(CALL_IN_LOOP)
+        image = Image(mprog)
+        for ins in image.instrs:
+            if ins.op == "bta":
+                disp_words = (ins.t_addr - ins.addr) >> 2
+                assert mprog.spec.disp_fits(disp_words)
+
+    def test_loop_target_hoisted_to_preheader(self):
+        """The loop-body bta must execute before the loop, not inside it."""
+        from repro.emu.loader import Image
+        from repro.emu.branchreg_emu import run_branchreg
+
+        mprog = br_program(LOOP_SRC)
+        stats = run_branchreg(Image(mprog))
+        # 10 iterations but only a handful of bta calcs: hoisting worked.
+        assert stats.bta_calcs < stats.transfers / 2
+
+    def test_hoisting_disabled_increases_calcs(self):
+        from repro.emu.loader import Image
+        from repro.emu.branchreg_emu import run_branchreg
+
+        with_h = run_branchreg(Image(br_program(LOOP_SRC)))
+        without = run_branchreg(Image(br_program(LOOP_SRC, hoisting=False)))
+        assert without.output == with_h.output
+        assert without.bta_calcs > with_h.bta_calcs
+        assert without.instructions > with_h.instructions
+
+    def test_call_in_loop_uses_callee_saved_breg(self):
+        mprog = br_program(CALL_IN_LOOP)
+        spec = mprog.spec
+        main = mprog.function("main")
+        # The hoisted work() address pair must target a callee-saved breg.
+        saved = [
+            ins for ins in main.instrs
+            if ins.op == "btalo" and ins.dst.index in spec.br_callee_saved
+        ]
+        assert saved, "call target in loop should use a non-scratch breg"
+
+    def test_callee_saved_bregs_saved_and_restored(self):
+        mprog = br_program(CALL_IN_LOOP)
+        main = mprog.function("main")
+        saves = [i for i in main.instrs if i.op == "bst" and "save b" in i.note]
+        restores = [i for i in main.instrs if i.op == "bld" and "restore b" in i.note]
+        assert len(saves) == len(restores) >= 1
+
+    def test_leaf_saves_link_in_register(self):
+        src = "int add1(int x) { if (x) return x + 1; return 0; } int main() { return add1(2); }"
+        mprog = br_program(src)
+        fn = mprog.function("add1")
+        bmovs = [i for i in fn.instrs if i.op == "bmov"]
+        assert bmovs and bmovs[0].srcs[0].index == mprog.spec.br_link
+
+    def test_nonleaf_saves_link_to_stack(self):
+        mprog = br_program(CALL_IN_LOOP)
+        main = mprog.function("main")
+        assert any(i.op == "bst" and i.note == "save link" for i in main.instrs)
+
+    def test_straightline_leaf_returns_via_link_directly(self):
+        src = "int three() { return 3; } int main() { return three(); }"
+        mprog = br_program(src)
+        fn = mprog.function("three")
+        carriers = [i for i in fn.instrs if i.br]
+        assert len(carriers) == 1
+        assert carriers[0].br == mprog.spec.br_link
+        assert not any(i.op in ("bmov", "bst") for i in fn.instrs)
+
+    def test_indirect_jump_via_bld(self):
+        src = """
+        int f(int x) {
+            switch (x) {
+            case 0: return 1; case 1: return 2; case 2: return 3;
+            case 3: return 4; default: return 0;
+            }
+        }
+        int main() { return f(2); }
+        """
+        mprog = br_program(src)
+        fn = mprog.function("f")
+        blds = [i for i in fn.instrs if i.op == "bld" and not i.note]
+        assert blds, "switch should load its target through bld"
+
+
+class TestNoopFill:
+    def _mfn(self, instrs):
+        return MachineFunction("t", list(instrs))
+
+    def test_attaches_to_adjacent_instruction(self):
+        spec = branchreg_spec()
+        r1 = Reg("r", 1)
+        carrier = mnoop(br=4)
+        carrier.tkind = "jump"
+        mfn = self._mfn([
+            MInstr("li", dst=r1, srcs=[Imm(5)]),
+            carrier,
+        ])
+        assert fill_noop_carriers(mfn, spec) == 1
+        assert mfn.instrs[0].op == "li" and mfn.instrs[0].br == 4
+
+    def test_never_attaches_to_bta_of_same_register(self):
+        spec = branchreg_spec()
+        carrier = mnoop(br=4)
+        carrier.tkind = "jump"
+        mfn = self._mfn([
+            MInstr("bta", dst=Reg("b", 4), target=Label("L")),
+            carrier,
+        ])
+        assert fill_noop_carriers(mfn, spec) == 0
+
+    def test_attaches_to_bta_of_other_register(self):
+        spec = branchreg_spec()
+        carrier = mnoop(br=4)
+        carrier.tkind = "jump"
+        mfn = self._mfn([
+            MInstr("bta", dst=Reg("b", 2), target=Label("L")),
+            carrier,
+        ])
+        assert fill_noop_carriers(mfn, spec) == 1
+
+    def test_cmpset_source_cannot_move_past_cmpset(self):
+        spec = branchreg_spec()
+        link = spec.br_link
+        r1 = Reg("r", 1)
+        carrier = mnoop(br=link)
+        carrier.tkind = "cond"
+        mfn = self._mfn([
+            MInstr("li", dst=r1, srcs=[Imm(5)]),
+            MInstr("cmpset", dst=Reg("b", link), srcs=[r1, Imm(0)],
+                   cond="eq", btrue=4),
+            carrier,
+        ])
+        assert fill_noop_carriers(mfn, spec) == 0
+
+    def test_independent_value_moves_past_cmpset(self):
+        spec = branchreg_spec()
+        link = spec.br_link
+        carrier = mnoop(br=link)
+        carrier.tkind = "cond"
+        mfn = self._mfn([
+            MInstr("li", dst=Reg("r", 2), srcs=[Imm(5)]),
+            MInstr("cmpset", dst=Reg("b", link), srcs=[Reg("r", 1), Imm(0)],
+                   cond="eq", btrue=4),
+            carrier,
+        ])
+        assert fill_noop_carriers(mfn, spec) == 1
+        assert mfn.instrs[-1].op == "li"
+
+    def test_replacement_pulls_later_bta(self):
+        spec = branchreg_spec()
+        carrier = mnoop(br=4)
+        carrier.tkind = "jump"
+        mfn = self._mfn([
+            carrier,
+            MInstr("bta", dst=Reg("b", 5), target=Label("L")),
+        ])
+        assert replace_noops_with_bta(mfn, spec) == 1
+        assert mfn.instrs[0].op == "bta" and mfn.instrs[0].br == 4
+
+    def test_replacement_respects_protected_registers(self):
+        spec = branchreg_spec()
+        carrier = mnoop(br=4)
+        carrier.tkind = "jump"
+        mfn = self._mfn([
+            carrier,
+            MInstr("bta", dst=Reg("b", 5), target=Label("L")),
+        ])
+        assert replace_noops_with_bta(mfn, spec, protected_regs={5}) == 0
+
+    def test_replacement_never_feeds_scratch_bta_to_call(self):
+        spec = branchreg_spec()
+        carrier = mnoop(br=4)
+        carrier.tkind = "call"
+        mfn = self._mfn([
+            carrier,
+            MInstr("bta", dst=Reg("b", 5), target=Label("L")),
+        ])
+        assert replace_noops_with_bta(mfn, spec) == 0
+
+    def test_replacement_allows_callee_saved_bta_into_call_carrier(self):
+        spec = branchreg_spec()
+        carrier = mnoop(br=4)
+        carrier.tkind = "call"
+        saved = spec.br_callee_saved[0]
+        mfn = self._mfn([
+            carrier,
+            MInstr("bta", dst=Reg("b", saved), target=Label("L")),
+        ])
+        assert replace_noops_with_bta(mfn, spec) == 1

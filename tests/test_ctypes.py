@@ -1,0 +1,72 @@
+"""Tests for the SmallC type system."""
+
+import pytest
+
+from repro.lang import ctypes as ct
+
+
+class TestBaseTypes:
+    def test_sizes(self):
+        assert ct.INT.size == 4
+        assert ct.CHAR.size == 1
+        assert ct.FLOAT.size == 4
+        assert ct.VOID.size == 0
+
+    def test_predicates(self):
+        assert ct.INT.is_int() and ct.INT.is_integral() and ct.INT.is_arithmetic()
+        assert ct.CHAR.is_char() and ct.CHAR.is_integral()
+        assert ct.FLOAT.is_float() and not ct.FLOAT.is_integral()
+        assert ct.VOID.is_void() and not ct.VOID.is_scalar()
+
+    def test_str(self):
+        assert str(ct.INT) == "int"
+        assert str(ct.PointerType(ct.CHAR)) == "char*"
+        assert str(ct.ArrayType(ct.INT, 4)) == "int[4]"
+
+
+class TestComposite:
+    def test_pointer_size(self):
+        assert ct.PointerType(ct.CHAR).size == 4
+        assert ct.PointerType(ct.PointerType(ct.INT)).size == 4
+
+    def test_array_size(self):
+        assert ct.ArrayType(ct.INT, 10).size == 40
+        assert ct.ArrayType(ct.ArrayType(ct.CHAR, 8), 4).size == 32
+
+    def test_decay(self):
+        arr = ct.ArrayType(ct.INT, 3)
+        assert ct.decay(arr) == ct.PointerType(ct.INT)
+        assert ct.decay(ct.INT) is ct.INT
+
+    def test_element_size(self):
+        assert ct.element_size(ct.PointerType(ct.INT)) == 4
+        assert ct.element_size(ct.PointerType(ct.CHAR)) == 1
+        assert ct.element_size(ct.ArrayType(ct.FLOAT, 2)) == 4
+        with pytest.raises(TypeError):
+            ct.element_size(ct.INT)
+
+
+class TestAssignability:
+    def test_arithmetic_mix(self):
+        assert ct.assignable(ct.INT, ct.FLOAT)
+        assert ct.assignable(ct.FLOAT, ct.CHAR)
+        assert ct.assignable(ct.CHAR, ct.INT)
+
+    def test_pointer_rules(self):
+        p_char = ct.PointerType(ct.CHAR)
+        p_int = ct.PointerType(ct.INT)
+        assert ct.assignable(p_char, p_int)  # K&R-style looseness
+        assert ct.assignable(p_char, ct.INT)  # NULL idiom
+        assert ct.assignable(ct.INT, p_char)
+
+    def test_array_decays_in_assignment_source(self):
+        assert ct.assignable(ct.PointerType(ct.INT), ct.ArrayType(ct.INT, 3))
+
+
+class TestCommonArith:
+    def test_float_wins(self):
+        assert ct.common_arith(ct.INT, ct.FLOAT).is_float()
+        assert ct.common_arith(ct.FLOAT, ct.CHAR).is_float()
+
+    def test_ints_widen_to_int(self):
+        assert ct.common_arith(ct.CHAR, ct.CHAR).is_int()

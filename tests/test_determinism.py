@@ -1,0 +1,55 @@
+"""Determinism and caching guarantees.
+
+A reproduction must reproduce *itself*: compiling the same source twice
+must yield byte-identical code and identical measurements.
+"""
+
+from repro.codegen.baseline_gen import generate_baseline
+from repro.codegen.branchreg_gen import generate_branchreg
+from repro.harness.runner import run_suite
+from repro.lang.frontend import compile_to_ir
+from repro.rtl.printer import listing
+from repro.workloads import workload
+from repro.ease.environment import run_pair
+
+
+def _full_listing(mprog):
+    return "\n\n".join(listing(fn.instrs) for fn in mprog.functions)
+
+
+class TestCompilationDeterminism:
+    def test_baseline_codegen_deterministic(self):
+        w = workload("grep")
+        a = _full_listing(generate_baseline(compile_to_ir(w.source)))
+        b = _full_listing(generate_baseline(compile_to_ir(w.source)))
+        assert a == b
+
+    def test_branchreg_codegen_deterministic(self):
+        w = workload("grep")
+        a = _full_listing(generate_branchreg(compile_to_ir(w.source)))
+        b = _full_listing(generate_branchreg(compile_to_ir(w.source)))
+        assert a == b
+
+    def test_measurements_deterministic(self):
+        w = workload("wc")
+        p1 = run_pair(w.source, stdin=w.stdin_bytes(), name="wc")
+        p2 = run_pair(w.source, stdin=w.stdin_bytes(), name="wc")
+        assert p1.baseline.instructions == p2.baseline.instructions
+        assert p1.branchreg.instructions == p2.branchreg.instructions
+        assert p1.baseline.data_refs == p2.baseline.data_refs
+        assert dict(p1.branchreg.prefetch_gap) == dict(p2.branchreg.prefetch_gap)
+
+
+class TestRunnerCache:
+    def test_same_key_returns_same_objects(self):
+        a = run_suite(subset=("wc",))
+        b = run_suite(subset=("wc",))
+        assert a is b
+
+    def test_different_options_fork_the_cache(self):
+        a = run_suite(subset=("wc",))
+        b = run_suite(subset=("wc",), branchreg_options={"hoisting": False})
+        assert a is not b
+        assert (
+            b[0].branchreg.instructions >= a[0].branchreg.instructions
+        )

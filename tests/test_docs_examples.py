@@ -1,0 +1,64 @@
+"""The code samples shipped in the documentation actually work."""
+
+from tests.conftest import run_both
+
+
+class TestSmallCReferenceExamples:
+    def test_fib_example(self):
+        source = """
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+
+        int main() {
+            int i;
+            for (i = 0; i < 10; i++) {
+                print_int(fib(i));
+                putchar(' ');
+            }
+            putchar('\\n');
+            return 0;
+        }
+        """
+        pair = run_both(source)
+        assert pair.output == b"0 1 1 2 3 5 8 13 21 34 \n"
+
+    def test_readme_quickstart(self):
+        source = """
+        int main() {
+            int i; int n = 0;
+            for (i = 0; i < 100; i++) n += i;
+            print_int(n); putchar(10);
+            return 0;
+        }
+        """
+        pair = run_both(source)
+        assert pair.output == b"4950\n"
+        assert pair.instruction_reduction() > 0
+
+    def test_unsized_string_array_length_claim(self):
+        # docs/SMALLC.md: char s[] = "hi" has length 3.
+        source = """
+        char s[] = "hi";
+        int main() { print_int(s[2] == 0); putchar(10); return 0; }
+        """
+        assert run_both(source).output == b"1\n"
+
+    def test_octal_and_hex_constants_claim(self):
+        source = """
+        int main() {
+            print_int(017); putchar(' '); print_int(0xFF);
+            putchar(10); return 0;
+        }
+        """
+        assert run_both(source).output == b"15 255\n"
+
+    def test_zeroed_data_segment_claim(self):
+        source = """
+        int uninitialised[4];
+        int main() {
+            print_int(uninitialised[3]); putchar(10); return 0;
+        }
+        """
+        assert run_both(source).output == b"0\n"

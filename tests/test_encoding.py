@@ -1,0 +1,174 @@
+"""Tests for the Figure 10/11 instruction encoders."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codegen.common import MInstr, mnoop
+from repro.errors import EncodingError
+from repro.lang.frontend import compile_to_ir
+from repro.codegen.baseline_gen import generate_baseline
+from repro.codegen.branchreg_gen import generate_branchreg
+from repro.machine.encoding import (
+    BASE_BRANCH,
+    BASE_COMPUTE_IMM,
+    BR_BTA,
+    BR_CMPSET,
+    BaselineEncoder,
+    BranchRegEncoder,
+    Format,
+    Field,
+    OPCODES,
+    validate_program,
+)
+from repro.rtl.operand import Imm, Reg
+
+
+class TestFormatPacking:
+    def test_formats_are_32_bits(self):
+        # Constructing a mis-sized format raises.
+        with pytest.raises(ValueError):
+            Format("bad", [Field("op", 6), Field("x", 10)])
+
+    def test_pack_unpack_roundtrip(self):
+        values = {"op": 35, "cond": 3, "i": 0, "disp": -1000}
+        word = BASE_BRANCH.pack(**values)
+        assert BASE_BRANCH.unpack(word) == values
+
+    def test_signed_field_range_enforced(self):
+        with pytest.raises(EncodingError):
+            BASE_COMPUTE_IMM.pack(op=1, rd=0, rs1=0, i=0, imm=5000)
+
+    def test_unsigned_field_range_enforced(self):
+        with pytest.raises(EncodingError):
+            BASE_BRANCH.pack(op=99, cond=0, i=0, disp=0)
+
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=-(2**15), max_value=2**15 - 1),
+        st.integers(min_value=0, max_value=7),
+    )
+    def test_bta_roundtrip_property(self, op, bd, disp, br):
+        word = BR_BTA.pack(op=op, bd=bd, disp=disp, pad=0, br=br)
+        fields = BR_BTA.unpack(word)
+        assert fields["op"] == op
+        assert fields["bd"] == bd
+        assert fields["disp"] == disp
+        assert fields["br"] == br
+
+    def test_word_fits_32_bits(self):
+        word = BR_CMPSET.pack(op=45, cond=2, rs1=3, i=0, imm=-1, btrue=4, br=7)
+        assert 0 <= word < 2**32
+
+
+class TestBaselineEncoder:
+    def setup_method(self):
+        self.enc = BaselineEncoder()
+
+    def test_add_reg_reg(self):
+        ins = MInstr("add", dst=Reg("r", 1), srcs=[Reg("r", 2), Reg("r", 3)])
+        op, fields = self.enc.decode(self.enc.encode(ins))
+        assert op == "add"
+        assert fields["rd"] == 1 and fields["rs1"] == 2 and fields["rs2"] == 3
+
+    def test_add_reg_imm(self):
+        ins = MInstr("add", dst=Reg("r", 1), srcs=[Reg("r", 2), Imm(-7)])
+        op, fields = self.enc.decode(self.enc.encode(ins))
+        assert fields["imm"] == -7 and fields["i"] == 0
+
+    def test_imm_13bit_limit(self):
+        ok = MInstr("add", dst=Reg("r", 1), srcs=[Reg("r", 2), Imm(4095)])
+        self.enc.encode(ok)
+        bad = MInstr("add", dst=Reg("r", 1), srcs=[Reg("r", 2), Imm(4096)])
+        with pytest.raises(EncodingError):
+            self.enc.encode(bad)
+
+    def test_register_31_ok_32_would_not_exist(self):
+        ins = MInstr("mov", dst=Reg("r", 31), srcs=[Reg("r", 0)])
+        self.enc.encode(ins)
+        with pytest.raises(EncodingError):
+            self.enc.encode(MInstr("mov", dst=Reg("r", 32), srcs=[Reg("r", 0)]))
+
+    def test_branch_displacement(self):
+        ins = MInstr("bcc", cond="eq")
+        word = self.enc.encode(ins, disp_words=-100)
+        op, fields = self.enc.decode(word)
+        assert op == "bcc" and fields["disp"] == -100
+
+    def test_store_encodes_value_in_rd(self):
+        ins = MInstr("sw", srcs=[Reg("r", 5), Reg("r", 31), Imm(16)])
+        op, fields = self.enc.decode(self.enc.encode(ins))
+        assert fields["rd"] == 5 and fields["rs1"] == 31 and fields["imm"] == 16
+
+    def test_noop(self):
+        op, _f = self.enc.decode(self.enc.encode(mnoop()))
+        assert op == "noop"
+
+
+class TestBranchRegEncoder:
+    def setup_method(self):
+        self.enc = BranchRegEncoder()
+
+    def test_every_instruction_carries_br(self):
+        ins = MInstr("add", dst=Reg("r", 1), srcs=[Reg("r", 2), Imm(3)], br=5)
+        op, fields = self.enc.decode(self.enc.encode(ins))
+        assert fields["br"] == 5
+
+    def test_imm_10bit_limit(self):
+        ok = MInstr("add", dst=Reg("r", 1), srcs=[Reg("r", 2), Imm(511)])
+        self.enc.encode(ok)
+        with pytest.raises(EncodingError):
+            self.enc.encode(
+                MInstr("add", dst=Reg("r", 1), srcs=[Reg("r", 2), Imm(512)])
+            )
+
+    def test_only_16_registers(self):
+        with pytest.raises(EncodingError):
+            self.enc.encode(MInstr("mov", dst=Reg("r", 16), srcs=[Reg("r", 0)]))
+
+    def test_cmpset_roundtrip(self):
+        ins = MInstr(
+            "cmpset",
+            dst=Reg("b", 7),
+            srcs=[Reg("r", 5), Imm(0)],
+            cond="lt",
+            btrue=2,
+        )
+        op, fields = self.enc.decode(self.enc.encode(ins))
+        assert op == "cmpset"
+        assert fields["btrue"] == 2 and fields["imm"] == 0
+
+    def test_bta_displacement_16bit(self):
+        ins = MInstr("bta", dst=Reg("b", 3))
+        self.enc.encode(ins, disp_words=32767)
+        with pytest.raises(EncodingError):
+            self.enc.encode(ins, disp_words=32768)
+
+    def test_bld_bst(self):
+        bld = MInstr("bld", dst=Reg("b", 2), srcs=[Reg("r", 15), Imm(8)])
+        bst = MInstr("bst", srcs=[Reg("b", 2), Reg("r", 15), Imm(8)])
+        assert self.enc.decode(self.enc.encode(bld))[0] == "bld"
+        assert self.enc.decode(self.enc.encode(bst))[0] == "bst"
+
+    def test_bmov(self):
+        ins = MInstr("bmov", dst=Reg("b", 1), srcs=[Reg("b", 7)])
+        op, fields = self.enc.decode(self.enc.encode(ins))
+        assert op == "bmov"
+
+
+class TestWholeProgramValidation:
+    def test_every_workload_program_encodes(self):
+        # A light version of the full-suite check: one program per class.
+        from repro.workloads import workload
+
+        for name in ("wc", "sieve", "whetstone"):
+            w = workload(name)
+            assert validate_program(generate_baseline(compile_to_ir(w.source))) > 0
+            assert validate_program(generate_branchreg(compile_to_ir(w.source))) > 0
+
+    def test_opcode_numbers_unique(self):
+        assert len(set(OPCODES.values())) == len(OPCODES)
+
+    def test_opcode_fits_6_bits(self):
+        assert max(OPCODES.values()) < 64

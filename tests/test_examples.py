@@ -1,0 +1,45 @@
+"""Smoke tests: the shipped examples run and print sensible output."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(name, capsys):
+    sys.path.insert(0, "examples")
+    try:
+        module = runpy.run_path("examples/%s.py" % name, run_name="not_main")
+        module["main"]()
+    finally:
+        sys.path.pop(0)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "longest chain below 60" in out
+        assert "fewer instructions" in out
+
+    def test_strlen_paper_example(self, capsys):
+        out = run_example("strlen_paper_example", capsys)
+        assert "Figure 3" in out and "Figure 4" in out
+        assert "b[0]=b[" in out
+
+    def test_custom_workload(self, capsys):
+        out = run_example("custom_workload", capsys)
+        assert "events" in out
+        assert "ORDER VIOLATION" not in out
+        assert "3-stage cycles" in out
+
+    def test_isa_explorer(self, capsys):
+        out = run_example("isa_explorer", capsys)
+        assert "0x" in out
+        assert "branch-register machine" in out
+
+    @pytest.mark.slow
+    def test_pipeline_cache_study(self, capsys):
+        out = run_example("pipeline_cache_study", capsys)
+        assert "stages" in out
+        assert "missrate" in out

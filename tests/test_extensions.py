@@ -1,0 +1,93 @@
+"""Tests for the Section 9 future-work extensions we implemented:
+function alignment in the loader and the fast-compare pipeline variant."""
+
+import pytest
+
+from repro.codegen.baseline_gen import generate_baseline
+from repro.codegen.branchreg_gen import generate_branchreg
+from repro.emu.baseline_emu import run_baseline
+from repro.emu.branchreg_emu import run_branchreg
+from repro.emu.loader import Image
+from repro.emu.memory import TEXT_BASE
+from repro.harness.cycles7 import run_cycle_estimate
+from repro.lang.frontend import compile_to_ir
+from repro.pipeline.model import branchreg_fastcmp_cycles, branchreg_cycles
+
+SRC = """
+int helper(int x) { return x * 3; }
+int main() {
+    int i; int n = 0;
+    for (i = 0; i < 6; i++) n += helper(i);
+    print_int(n); putchar(10);
+    return 0;
+}
+"""
+
+
+class TestFunctionAlignment:
+    def test_functions_aligned_to_line(self):
+        image = Image(generate_baseline(compile_to_ir(SRC)), align_functions=4)
+        for name, addr in image.labels.items():
+            if name in ("main", "helper", "__start", "print_int"):
+                assert (addr - TEXT_BASE) % 16 == 0, name
+
+    def test_alignment_preserves_semantics_baseline(self):
+        plain = Image(generate_baseline(compile_to_ir(SRC)))
+        aligned = Image(generate_baseline(compile_to_ir(SRC)), align_functions=8)
+        s1 = run_baseline(plain)
+        s2 = run_baseline(aligned)
+        assert s1.output == s2.output
+        assert s1.instructions == s2.instructions  # pads never execute
+
+    def test_alignment_preserves_semantics_branchreg(self):
+        plain = Image(generate_branchreg(compile_to_ir(SRC)))
+        aligned = Image(generate_branchreg(compile_to_ir(SRC)), align_functions=8)
+        s1 = run_branchreg(plain)
+        s2 = run_branchreg(aligned)
+        assert s1.output == s2.output
+        assert s1.instructions == s2.instructions
+
+    def test_default_alignment_is_none(self):
+        image = Image(generate_baseline(compile_to_ir(SRC)))
+        assert image.align_functions == 1
+
+    def test_pad_instructions_are_noops(self):
+        image = Image(generate_baseline(compile_to_ir(SRC)), align_functions=4)
+        pads = [i for i in image.instrs if getattr(i, "note", "") == "align pad"]
+        assert pads
+        assert all(p.is_noop() for p in pads)
+
+
+class TestFastCompareModel:
+    @pytest.fixture(scope="class")
+    def estimates(self):
+        return run_cycle_estimate(stages_list=(3, 4, 5), subset=("wc", "sieve"))
+
+    def test_fastcmp_equals_standard_at_three_stages(self, estimates):
+        est3 = estimates["estimates"][0]
+        # At N=3 the compare term is zero anyway.
+        assert est3["branchreg_fastcmp"].cycles == est3["branchreg"].cycles
+
+    def test_fastcmp_beats_standard_at_four_stages(self, estimates):
+        est4 = estimates["estimates"][1]
+        assert est4["branchreg_fastcmp"].cycles < est4["branchreg"].cycles
+
+    def test_fastcmp_relative_savings_grow_with_depth(self, estimates):
+        savings = [
+            est["fastcmp_saving_vs_baseline"] for est in estimates["estimates"]
+        ]
+        assert savings[0] < savings[1] < savings[2]
+
+    def test_fastcmp_never_worse_than_standard(self, estimates):
+        for est in estimates["estimates"]:
+            assert (
+                est["branchreg_fastcmp"].transfer_delays
+                <= est["branchreg"].transfer_delays
+            )
+
+    def test_models_agree_on_instruction_component(self, estimates):
+        for est in estimates["estimates"]:
+            assert (
+                est["branchreg_fastcmp"].instructions
+                == est["branchreg"].instructions
+            )

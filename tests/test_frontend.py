@@ -1,0 +1,130 @@
+"""Tests for the compilation driver (stdlib merge, trimming, checks)."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.frontend import STDLIB_SOURCE, compile_to_ir
+from repro.lang.parser import parse
+
+
+class TestStdlibMerge:
+    def test_stdlib_parses_standalone(self):
+        prog = parse(STDLIB_SOURCE)
+        names = {fn.name for fn in prog.functions}
+        assert {"strlen", "strcmp", "strcpy", "print_int", "f_sqrt"} <= names
+
+    def test_user_definition_wins(self):
+        # A program may redefine a library function.
+        src = """
+        int strlen(char *s) { return 42; }
+        int main() { return strlen("x"); }
+        """
+        prog = compile_to_ir(src)
+        assert "strlen" in prog.functions
+        # The user body returns the constant 42.
+        ops = [i.op for i in prog.functions["strlen"].instrs]
+        assert "lb" not in ops  # no character loop
+
+    def test_stdlib_can_be_excluded(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir(
+                "int main() { return strlen(\"x\"); }", include_stdlib=False
+            )
+
+    def test_builtins_survive_without_stdlib(self):
+        prog = compile_to_ir(
+            "int main() { putchar(65); return 0; }", include_stdlib=False
+        )
+        assert "main" in prog.functions
+
+
+class TestTrimming:
+    def test_unreachable_user_function_trimmed(self):
+        prog = compile_to_ir(
+            "int unused() { return 9; } int main() { return 0; }"
+        )
+        assert "unused" not in prog.functions
+
+    def test_reachability_is_transitive(self):
+        src = """
+        int c() { return 3; }
+        int b() { return c(); }
+        int a() { return b(); }
+        int main() { return a(); }
+        """
+        prog = compile_to_ir(src)
+        assert set(prog.functions) == {"main", "a", "b", "c"}
+
+    def test_unreferenced_globals_trimmed(self):
+        prog = compile_to_ir("int unused_g; int main() { return 0; }")
+        assert "unused_g" not in prog.globals
+
+    def test_string_behind_pointer_global_kept(self):
+        prog = compile_to_ir(
+            'char *msg = "keep me"; int main() { return msg != 0; }'
+        )
+        strings = [n for n in prog.globals if n.startswith("__str")]
+        assert strings
+
+    def test_float_pool_trimmed_with_function(self):
+        # f_sin's constants must not leak into a program that never uses it.
+        prog = compile_to_ir("int main() { return 0; }")
+        assert not [n for n in prog.globals if n.startswith("__flt")]
+
+
+class TestChecks:
+    def test_main_with_parameters_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("int main(int argc) { return argc; }")
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_to_ir("int helper() { return 1; }")
+
+
+class TestStdlibBehaviour:
+    """The SmallC library functions themselves, exercised end to end."""
+
+    def test_f_sin_accuracy(self, both):
+        src = """
+        int main() {
+            /* sin(pi/2) == 1 */
+            print_float(f_sin(1.570796)); putchar(10);
+            print_float(f_sin(0.0)); putchar(10);
+            return 0;
+        }
+        """
+        assert both(src) == "1.000\n0.000\n"
+
+    def test_f_cos_accuracy(self, both):
+        src = """
+        int main() { print_float(f_cos(0.0)); putchar(10); return 0; }
+        """
+        assert both(src) == "1.000\n"
+
+    def test_f_exp_and_log_inverse(self, both):
+        src = """
+        int main() {
+            print_float(f_exp(1.0)); putchar(10);       /* e */
+            print_float(f_log(f_exp(2.0))); putchar(10); /* ~2 */
+            return 0;
+        }
+        """
+        out = both(src).splitlines()
+        assert out[0].startswith("2.718")
+        assert out[1].startswith("2.00") or out[1].startswith("1.99")
+
+    def test_f_atan(self, both):
+        src = """
+        int main() { print_float(f_atan(1.0) * 4.0); putchar(10); return 0; }
+        """
+        assert both(src).startswith("3.14")
+
+    def test_abs_int(self, both):
+        src = """
+        int main() {
+            print_int(abs_int(-7)); print_int(abs_int(7)); print_int(abs_int(0));
+            putchar(10); return 0;
+        }
+        """
+        assert both(src) == "770\n"

@@ -1,0 +1,158 @@
+"""Smoke and shape tests for the experiment harnesses (fast subsets).
+
+The benchmarks/ directory regenerates the full tables; these tests verify
+the *shape* claims on a fast subset so `pytest tests/` stays quick-ish.
+"""
+
+import pytest
+
+from repro.harness.ablation import (
+    ablation_text,
+    sweep_branch_registers,
+    sweep_optimizations,
+)
+from repro.harness.cache9 import run_cache_study
+from repro.harness.cycles7 import run_cycle_estimate
+from repro.harness.figures import (
+    fig5_unconditional_delays,
+    fig7_conditional_delays,
+    fig9_prefetch_distance,
+    strlen_example,
+)
+from repro.harness.table1 import run_table1
+
+SUBSET = ("wc", "grep", "sieve")
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(subset=SUBSET)
+
+
+class TestTable1:
+    def test_branchreg_executes_fewer_instructions(self, table1):
+        assert table1["instr_change"] < 0
+
+    def test_data_refs_increase_modestly(self, table1):
+        assert 0 <= table1["refs_change"] < 0.25
+
+    def test_saved_to_added_ratio_large(self, table1):
+        assert table1["saved_to_added_ratio"] > 2
+
+    def test_transfer_fraction_in_paper_band(self, table1):
+        # Paper: ~14% of instructions are transfers of control.
+        assert 0.08 < table1["transfer_fraction"] < 0.25
+
+    def test_transfers_exceed_calcs(self, table1):
+        # Paper reports > 2:1 on its loop-dominated suite; our scaled
+        # suite is more recursion-heavy (recursive functions offer no
+        # loop to hoist into), measuring ~1.9:1 overall.
+        assert table1["transfers_per_calc"] > 1.5
+
+    def test_noops_reduced(self, table1):
+        assert table1["branchreg_noops"] < table1["baseline_noops"]
+
+    def test_text_renders(self, table1):
+        assert "Table I" in table1["text"]
+        assert "wc" in table1["text"]
+
+
+class TestCycles:
+    @pytest.fixture(scope="class")
+    def cycles(self):
+        return run_cycle_estimate(stages_list=(3, 4), subset=SUBSET)
+
+    def test_branchreg_saves_cycles_at_n3(self, cycles):
+        est3 = cycles["estimates"][0]
+        assert est3["saving_vs_baseline"] > 0.05
+
+    def test_absolute_advantage_grows_with_pipeline_depth(self, cycles):
+        # Paper: "There would be greater savings for machines having
+        # pipelines with more stages."  The absolute cycle advantage
+        # grows with depth (the relative percentage depends on the
+        # conditional-transfer mix; see EXPERIMENTS.md).
+        est3, est4 = cycles["estimates"]
+        adv3 = est3["baseline"].cycles - est3["branchreg"].cycles
+        adv4 = est4["baseline"].cycles - est4["branchreg"].cycles
+        assert adv4 > adv3
+
+    def test_delayed_fraction_small(self, cycles):
+        # Paper estimates 13.86% of transfers delayed at 3 stages.
+        est3 = cycles["estimates"][0]
+        assert est3["delayed_fraction"] < 0.40
+
+    def test_ordering_no_delay_worst(self, cycles):
+        est3 = cycles["estimates"][0]
+        assert (
+            est3["no_delay"].cycles
+            > est3["baseline"].cycles
+            > est3["branchreg"].cycles
+        )
+
+
+class TestFigures:
+    def test_strlen_counts_match_paper_shape(self):
+        result = strlen_example()
+        # Paper: 11 vs 14 total, 5 vs 6 in the loop.
+        assert result["branchreg_total"] < result["baseline_total"]
+        assert result["branchreg_loop"] < result["baseline_loop"]
+        assert result["branchreg_loop"] == 5
+        assert result["baseline_loop"] == 6
+
+    def test_strlen_listings_in_paper_notation(self):
+        result = strlen_example()
+        assert "b[0]+(" in result["branchreg_listing"]
+        assert "PC=cc" in result["baseline_listing"]
+        assert "->b[" in result["branchreg_listing"]
+
+    def test_fig5_delay_ladder(self):
+        delays = {m: d["delay"] for m, d in fig5_unconditional_delays(3).items()}
+        assert delays == {"no-delay": 2, "delayed": 1, "branchreg": 0}
+
+    def test_fig7_delay_ladder(self):
+        delays = {m: d["delay"] for m, d in fig7_conditional_delays(4).items()}
+        assert delays == {"no-delay": 3, "delayed": 2, "branchreg": 1}
+
+    def test_fig9_min_safe_distance(self):
+        assert fig9_prefetch_distance(stages=3)["min_safe_distance"] == 2
+
+
+class TestCacheStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_cache_study(subset=("wc",), configs=((64, 4, 2), (128, 4, 2)))
+
+    def test_prefetch_beats_no_prefetch(self, study):
+        by_key = {(r.config, r.machine): r for r in study["runs"]}
+        for config in ("64w/4w-line/2-way", "128w/4w-line/2-way"):
+            with_pf = by_key[(config, "branchreg")]
+            without = by_key[(config, "branchreg-nopf")]
+            assert with_pf.stalls <= without.stalls
+
+    def test_bigger_cache_fewer_stalls(self, study):
+        by_key = {(r.config, r.machine): r for r in study["runs"]}
+        small = by_key[("64w/4w-line/2-way", "baseline")]
+        big = by_key[("128w/4w-line/2-way", "baseline")]
+        assert big.stalls <= small.stalls
+
+    def test_text_renders(self, study):
+        assert "missrate" in study["text"]
+
+
+class TestAblation:
+    def test_more_branch_registers_help(self):
+        rows = sweep_branch_registers(counts=(4, 8), subset=("wc", "sieve"))
+        assert rows[1]["instr_change"] < rows[0]["instr_change"]
+
+    def test_disabling_everything_erases_the_win(self):
+        rows = {r["config"]: r for r in sweep_optimizations(subset=("wc", "sieve"))}
+        assert rows["none"]["instr_change"] > rows["full"]["instr_change"]
+        # Hoisting is the dominant mechanism (Section 5).
+        assert rows["no-hoisting"]["instr_change"] > rows["full"]["instr_change"]
+
+    def test_ablation_text(self):
+        text = ablation_text(
+            sweep_branch_registers(counts=(8,), subset=("wc",)),
+            sweep_optimizations(subset=("wc",)),
+        )
+        assert "b-regs" in text

@@ -1,0 +1,129 @@
+"""Tests for the Section 8 prefetching instruction cache."""
+
+import pytest
+
+from repro.cache.icache import PrefetchICache
+
+
+def make_cache(**kwargs):
+    defaults = dict(words=64, line_words=4, assoc=2, miss_penalty=8, queue_size=8)
+    defaults.update(kwargs)
+    return PrefetchICache(**defaults)
+
+
+class TestDemandPath:
+    def test_cold_miss_pays_full_penalty(self):
+        cache = make_cache()
+        assert cache.demand(0x1000, now=0) == 8
+        assert cache.stats.misses == 1
+
+    def test_hit_after_fill(self):
+        cache = make_cache()
+        cache.demand(0x1000, now=0)
+        assert cache.demand(0x1000, now=20) == 0
+        assert cache.stats.hits == 1
+
+    def test_same_line_shares_fill(self):
+        cache = make_cache(line_words=4)
+        cache.demand(0x1000, now=0)
+        # 0x1004 is in the same 16-byte line; after fill completes: hit.
+        assert cache.demand(0x1004, now=20) == 0
+
+    def test_different_lines_miss_separately(self):
+        cache = make_cache(line_words=4)
+        cache.demand(0x1000, now=0)
+        assert cache.demand(0x1010, now=20) == 8
+
+    def test_lru_eviction(self):
+        cache = make_cache(words=16, line_words=4, assoc=2)  # 2 sets
+        # Two lines mapping to the same set, then a third evicts the LRU.
+        a, b, c = 0x1000, 0x1000 + 2 * 16, 0x1000 + 4 * 16
+        cache.demand(a, 0)
+        cache.demand(b, 100)
+        cache.demand(a, 200)  # refresh a
+        cache.demand(c, 300)  # evicts b
+        assert cache.demand(a, 400) == 0
+        assert cache.demand(b, 500) == 8  # b was evicted
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.demand(0x1000, 0)
+        cache.demand(0x1000, 20)
+        cache.demand(0x1000, 30)
+        assert cache.stats.miss_rate == pytest.approx(1 / 3)
+
+
+class TestPrefetch:
+    def test_prefetch_covers_later_demand(self):
+        cache = make_cache()
+        cache.prefetch(0x2000, now=0)
+        assert cache.demand(0x2000, now=10) == 0
+        assert cache.stats.fully_covered == 1
+
+    def test_late_prefetch_partially_covers(self):
+        cache = make_cache(miss_penalty=8)
+        cache.prefetch(0x2000, now=0)
+        stall = cache.demand(0x2000, now=3)
+        assert stall == 5  # remaining fill time
+        assert cache.stats.partial_covered == 1
+
+    def test_prefetch_of_resident_line_is_noop(self):
+        cache = make_cache()
+        cache.demand(0x2000, 0)
+        cache.prefetch(0x2000, 20)
+        assert cache.stats.prefetches == 0
+
+    def test_queue_limit_drops(self):
+        cache = make_cache(words=256, assoc=2, queue_size=2)
+        cache.prefetch(0x1000, 0)
+        cache.prefetch(0x2000, 0)
+        cache.prefetch(0x3000, 0)  # queue full
+        assert cache.stats.prefetch_drops == 1
+
+    def test_queue_drains_over_time(self):
+        cache = make_cache(words=256, queue_size=2, miss_penalty=8)
+        cache.prefetch(0x1000, 0)
+        cache.prefetch(0x2000, 0)
+        # After the fills complete the queue is free again.
+        cache.prefetch(0x3000, now=50)
+        assert cache.stats.prefetch_drops == 0
+
+    def test_unused_prefetch_counted_on_eviction(self):
+        cache = make_cache(words=16, line_words=4, assoc=1)  # 4 sets, direct
+        target = 0x1000
+        conflicting = 0x1000 + 4 * 16  # same set
+        cache.prefetch(target, 0)
+        cache.demand(conflicting, 50)  # evicts the untouched prefetch
+        assert cache.stats.unused_prefetches == 1
+
+    def test_prefetch_disabled(self):
+        cache = make_cache(prefetch_enabled=False)
+        cache.prefetch(0x2000, 0)
+        assert cache.stats.prefetches == 0
+        assert cache.demand(0x2000, 10) == 8
+
+
+class TestConfiguration:
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            PrefetchICache(words=30, line_words=4, assoc=2)
+
+    def test_set_count(self):
+        cache = make_cache(words=64, line_words=4, assoc=2)
+        assert cache.n_sets == 8
+
+
+class TestEndToEnd:
+    def test_prefetch_reduces_branchreg_stalls(self):
+        from repro.ease.environment import compile_for_machine
+        from repro.emu.branchreg_emu import run_branchreg
+        from repro.workloads import workload
+
+        w = workload("sieve")
+        image = compile_for_machine(w.source, "branchreg")
+        with_pf = PrefetchICache(words=64, prefetch_enabled=True)
+        without = PrefetchICache(words=64, prefetch_enabled=False)
+        s1 = run_branchreg(image.reset(), stdin=b"", icache=with_pf)
+        s2 = run_branchreg(image.reset(), stdin=b"", icache=without)
+        assert s1.output == s2.output
+        assert s1.cache_stalls <= s2.cache_stalls

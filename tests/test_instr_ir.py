@@ -1,0 +1,131 @@
+"""Tests for IR instruction helpers and containers."""
+
+import pytest
+
+from repro.rtl import instr as I
+from repro.rtl.function import GlobalVar, IRFunction, IRProgram
+from repro.rtl.operand import FLT, INT, Imm, Label, Reg, Sym, VReg, reg_class
+
+
+class TestOperands:
+    def test_vreg_repr(self):
+        assert repr(VReg(3)) == "v3"
+        assert repr(VReg(2, FLT)) == "vf2"
+
+    def test_reg_repr_and_class(self):
+        assert repr(Reg("r", 5)) == "r[5]"
+        assert reg_class(Reg("f", 1)) == FLT
+        assert reg_class(VReg(0)) == INT
+
+    def test_reg_class_rejects_non_register(self):
+        with pytest.raises(TypeError):
+            reg_class(Imm(1))
+
+    def test_operands_hashable(self):
+        assert len({Reg("r", 1), Reg("r", 1), Reg("b", 1)}) == 2
+        assert len({VReg(1), VReg(1), VReg(2)}) == 2
+
+    def test_sym_offset_repr(self):
+        assert repr(Sym("tab", 8)) == "tab+8"
+        assert repr(Sym("tab")) == "tab"
+
+
+class TestInstrHelpers:
+    def test_defs_and_uses(self):
+        ins = I.binop("add", VReg(0), VReg(1), VReg(2))
+        assert ins.defs() == [VReg(0)]
+        assert set(ins.uses()) == {VReg(1), VReg(2)}
+
+    def test_imm_not_a_use(self):
+        ins = I.binop("add", VReg(0), VReg(1), Imm(5))
+        assert set(ins.uses()) == {VReg(1)}
+
+    def test_store_has_no_defs(self):
+        ins = I.store("sw", VReg(1), VReg(2), 4)
+        assert ins.defs() == []
+        assert set(ins.uses()) == {VReg(1), VReg(2)}
+
+    def test_call_args_are_uses(self):
+        ins = I.call("f", [VReg(1), VReg(2)], dst=VReg(0))
+        assert set(ins.uses()) == {VReg(1), VReg(2)}
+        assert ins.defs() == [VReg(0)]
+
+    def test_replace_regs_is_nonmutating(self):
+        ins = I.binop("add", VReg(0), VReg(1), Imm(5))
+        swapped = ins.replace_regs(lambda r: VReg(r.vid + 10))
+        assert swapped.dst == VReg(10)
+        assert ins.dst == VReg(0)
+
+    def test_classification(self):
+        assert I.branch("eq", VReg(0), Imm(0), Label("L")).is_cond_branch()
+        assert I.jump(Label("L")).is_transfer()
+        assert I.ret().is_transfer()
+        assert I.load("lw", VReg(0), VReg(1)).is_load()
+        assert I.store("sb", VReg(0), VReg(1)).is_store()
+        assert not I.trap("putchar", [VReg(1)]).is_transfer()
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            I.binop("pow", VReg(0), VReg(1), VReg(2))
+        with pytest.raises(ValueError):
+            I.branch("spaceship", VReg(0), VReg(1), Label("L"))
+        with pytest.raises(ValueError):
+            I.load("ld", VReg(0), VReg(1))
+
+    def test_negated_is_involution(self):
+        for cond in I.CONDS:
+            assert I.NEGATED[I.NEGATED[cond]] == cond
+
+    def test_swapped_is_involution(self):
+        for cond in I.CONDS:
+            assert I.SWAPPED[I.SWAPPED[cond]] == cond
+
+    def test_repr_smoke(self):
+        # Every shape renders without raising.
+        samples = [
+            I.label("L"),
+            I.li(VReg(0), 3),
+            I.la(VReg(0), Sym("g")),
+            I.binop("xor", VReg(0), VReg(1), Imm(1)),
+            I.unop("neg", VReg(0), VReg(1)),
+            I.load("lb", VReg(0), VReg(1), 2),
+            I.store("sf", VReg(0), VReg(1), -4),
+            I.branch("le", VReg(0), Imm(0), Label("L")),
+            I.jump(Label("L")),
+            I.ijump(VReg(0)),
+            I.call("f", [VReg(1)], dst=VReg(0)),
+            I.trap("exit", [VReg(1)]),
+            I.ret(VReg(0)),
+            I.nop(),
+        ]
+        for ins in samples:
+            assert repr(ins)
+
+
+class TestContainers:
+    def test_vreg_allocation_monotonic(self):
+        fn = IRFunction("f")
+        a, b = fn.new_vreg(), fn.new_flt()
+        assert a.vid != b.vid
+        assert b.cls == FLT
+
+    def test_labels_unique(self):
+        fn = IRFunction("f")
+        assert fn.new_label() != fn.new_label()
+
+    def test_emit_tracks_calls(self):
+        fn = IRFunction("f")
+        assert not fn.has_call
+        fn.emit(I.call("g", []))
+        assert fn.has_call
+
+    def test_program_string_interning(self):
+        prog = IRProgram()
+        a = prog.intern_string("hello")
+        b = prog.intern_string("hello")
+        c = prog.intern_string("other")
+        assert a == b != c
+
+    def test_global_alignment(self):
+        assert GlobalVar("b", 3, elem="byte").align == 1
+        assert GlobalVar("w", 8, elem="word").align == 4

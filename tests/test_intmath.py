@@ -1,0 +1,151 @@
+"""Unit and property tests for 32-bit wrapping arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.emu import intmath
+
+i32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+nonzero_i32 = i32.filter(lambda v: v != 0)
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        assert intmath.wrap(12345) == 12345
+        assert intmath.wrap(-12345) == -12345
+
+    def test_overflow_wraps(self):
+        assert intmath.wrap(2**31) == -(2**31)
+        assert intmath.wrap(2**32) == 0
+        assert intmath.wrap(2**32 + 7) == 7
+
+    def test_underflow_wraps(self):
+        assert intmath.wrap(-(2**31) - 1) == 2**31 - 1
+
+    @given(i32)
+    def test_wrap_fixpoint(self, value):
+        assert intmath.wrap(value) == value
+
+    @given(st.integers())
+    def test_wrap_range(self, value):
+        wrapped = intmath.wrap(value)
+        assert -(2**31) <= wrapped < 2**31
+        assert (wrapped - value) % (2**32) == 0
+
+
+class TestSigned:
+    def test_to_signed(self):
+        assert intmath.to_signed(0xFFFFFFFF) == -1
+        assert intmath.to_signed(0x7FFFFFFF) == 2**31 - 1
+        assert intmath.to_signed(0x80000000) == -(2**31)
+
+    def test_to_unsigned(self):
+        assert intmath.to_unsigned(-1) == 0xFFFFFFFF
+
+    @given(i32)
+    def test_roundtrip(self, value):
+        assert intmath.to_signed(intmath.to_unsigned(value)) == value
+
+
+class TestDivision:
+    def test_cdiv_truncates_toward_zero(self):
+        assert intmath.cdiv(7, 2) == 3
+        assert intmath.cdiv(-7, 2) == -3
+        assert intmath.cdiv(7, -2) == -3
+        assert intmath.cdiv(-7, -2) == 3
+
+    def test_crem_sign_follows_dividend(self):
+        assert intmath.crem(7, 2) == 1
+        assert intmath.crem(-7, 2) == -1
+        assert intmath.crem(7, -2) == 1
+        assert intmath.crem(-7, -2) == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            intmath.cdiv(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            intmath.crem(1, 0)
+
+    @given(i32, nonzero_i32)
+    def test_euclid_identity(self, a, b):
+        q = intmath.cdiv(a, b)
+        r = intmath.crem(a, b)
+        # Identity holds modulo 2**32 (quotient may wrap at INT_MIN/-1).
+        assert intmath.wrap(q * b + r) == intmath.wrap(a)
+
+    @given(i32, nonzero_i32)
+    def test_remainder_bound(self, a, b):
+        r = intmath.crem(a, b)
+        assert abs(r) < abs(b)
+
+
+class TestShifts:
+    def test_shl(self):
+        assert intmath.shl(1, 4) == 16
+
+    def test_shl_wraps(self):
+        assert intmath.shl(1, 31) == -(2**31)
+
+    def test_shift_amount_masked_to_5_bits(self):
+        assert intmath.shl(1, 32) == 1
+        assert intmath.shr(4, 33) == 2
+
+    def test_shr_is_arithmetic(self):
+        assert intmath.shr(-8, 1) == -4
+
+    @given(i32, st.integers(min_value=0, max_value=31))
+    def test_shl_matches_mod_arith(self, a, s):
+        assert intmath.shl(a, s) == intmath.wrap(a << s)
+
+
+class TestIntBinop:
+    @given(i32, i32)
+    def test_add_commutes(self, a, b):
+        assert intmath.int_binop("add", a, b) == intmath.int_binop("add", b, a)
+
+    @given(i32, i32)
+    def test_sub_antisymmetric(self, a, b):
+        assert intmath.int_binop("sub", a, b) == intmath.wrap(
+            -intmath.int_binop("sub", b, a)
+        )
+
+    @given(i32, i32)
+    def test_bitops_match_python_unsigned(self, a, b):
+        ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+        assert intmath.int_binop("and", a, b) == intmath.to_signed(ua & ub)
+        assert intmath.int_binop("or", a, b) == intmath.to_signed(ua | ub)
+        assert intmath.int_binop("xor", a, b) == intmath.to_signed(ua ^ ub)
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            intmath.int_binop("pow", 2, 3)
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "cond,a,b,expected",
+        [
+            ("eq", 1, 1, True), ("eq", 1, 2, False),
+            ("ne", 1, 2, True), ("ne", 2, 2, False),
+            ("lt", -1, 0, True), ("lt", 0, 0, False),
+            ("le", 0, 0, True), ("le", 1, 0, False),
+            ("gt", 1, 0, True), ("gt", 0, 0, False),
+            ("ge", 0, 0, True), ("ge", -1, 0, False),
+        ],
+    )
+    def test_all_conditions(self, cond, a, b, expected):
+        assert intmath.compare(cond, a, b) is expected
+
+    def test_unknown_condition_raises(self):
+        with pytest.raises(ValueError):
+            intmath.compare("approx", 1, 1)
+
+    @given(i32, i32)
+    def test_trichotomy(self, a, b):
+        results = [
+            intmath.compare("lt", a, b),
+            intmath.compare("eq", a, b),
+            intmath.compare("gt", a, b),
+        ]
+        assert sum(results) == 1

@@ -1,0 +1,183 @@
+"""Tests for the AST -> IR lowering (structural, complementing the
+execution battery in test_exec_semantics.py)."""
+
+from repro.lang.frontend import compile_to_ir
+from repro.rtl.operand import FLT, INT, Imm
+
+
+def fn_of(source, name="main"):
+    return compile_to_ir(source).functions[name]
+
+
+def ops(fn):
+    return [i.op for i in fn.instrs if not i.is_label()]
+
+
+class TestStorageAssignment:
+    def test_scalar_local_stays_in_register(self):
+        fn = fn_of("int main() { int a = 1; return a; }")
+        assert not fn.locals  # no frame traffic needed
+
+    def test_array_gets_frame_slot(self):
+        fn = fn_of("int main() { int a[4]; a[0] = 1; return a[0]; }")
+        assert any(local.size == 16 for local in fn.locals)
+
+    def test_addressed_scalar_gets_frame_slot(self):
+        fn = fn_of("int main() { int a; int *p = &a; *p = 3; return a; }")
+        assert fn.locals
+
+    def test_addressed_param_spilled_to_frame(self):
+        src = """
+        int deref_arg(int x) { int *p = &x; return *p; }
+        int main() { return deref_arg(7); }
+        """
+        fn = fn_of(src, "deref_arg")
+        assert fn.locals
+        assert "sw" in ops(fn)  # incoming argument stored to its home
+
+
+class TestExpressionLowering:
+    def test_constant_folding_at_emit(self):
+        fn = fn_of("int main() { return 2 + 3; }")
+        lis = [i for i in fn.instrs if i.op == "li"]
+        assert any(i.srcs[0].value == 5 for i in lis)
+
+    def test_pointer_index_scales_by_element_size(self):
+        fn = fn_of(
+            "int a[4]; int main() { int i; i = getchar(); return a[i]; }"
+        )
+        assert "shl" in ops(fn)  # i << 2
+
+    def test_char_index_not_scaled(self):
+        fn = fn_of(
+            "char a[4]; int main() { int i; i = getchar(); return a[i]; }"
+        )
+        assert "shl" not in ops(fn)
+
+    def test_char_load_uses_lb(self):
+        fn = fn_of("char g; int main() { return g; }")
+        assert "lb" in ops(fn)
+
+    def test_float_ops_use_float_opcodes(self):
+        fn = fn_of("int main() { float a = 1.0; float b = a * 2.0; return (int) b; }")
+        assert "fmul" in ops(fn)
+        assert "cvtfi" in ops(fn)
+
+    def test_float_constants_from_pool(self):
+        prog = compile_to_ir("int main() { float x = 1.25; return (int) x; }")
+        pools = [g for g in prog.globals.values() if g.elem == "float"]
+        assert pools
+        assert "lf" in ops(prog.functions["main"])
+
+    def test_division_not_strength_reduced_blindly(self):
+        # Signed division by power of two is NOT a plain shift in C.
+        fn = fn_of("int main() { int a; a = getchar(); return a / 2; }")
+        assert "div" in ops(fn)
+
+    def test_mul_by_constant_power_of_two_after_optimizer(self):
+        from repro.opt.pipeline import optimize_function
+
+        fn = fn_of("int main() { int a; a = getchar(); return a * 16; }")
+        optimize_function(fn)
+        o = ops(fn)
+        assert "shl" in o and "mul" not in o
+
+
+class TestControlLowering:
+    def test_while_is_rotated(self):
+        # Rotated loops: entry jump to the test, body first in layout
+        # (the Figure 3 shape: jmp L17; L18: body; L17: test).
+        fn = fn_of("int main() { int i = 0; while (i < 5) i++; return i; }")
+        jumps = [i for i in fn.instrs if i.op == "jmp"]
+        assert any(j.target.name.startswith("Ltest") for j in jumps)
+
+    def test_one_branch_per_loop_iteration(self):
+        fn = fn_of("int main() { int i = 0; while (i < 5) i++; return i; }")
+        # The loop body must contain exactly one conditional branch.
+        brs = [i for i in fn.instrs if i.op == "br"]
+        assert len(brs) == 1
+
+    def test_dense_switch_emits_ijmp_and_table(self):
+        src = """
+        int main() {
+            int x; x = getchar();
+            switch (x) {
+            case 0: return 1; case 1: return 2; case 2: return 3;
+            case 3: return 4; default: return 0;
+            }
+        }
+        """
+        prog = compile_to_ir(src)
+        assert "ijmp" in ops(prog.functions["main"])
+        assert any(g.elem == "label" for g in prog.globals.values())
+
+    def test_sparse_switch_uses_compare_chain(self):
+        src = """
+        int main() {
+            int x; x = getchar();
+            switch (x) { case 1: return 1; case 100: return 2; }
+            return 0;
+        }
+        """
+        fn = fn_of(src)
+        assert "ijmp" not in ops(fn)
+
+    def test_ijmp_records_possible_targets(self):
+        src = """
+        int main() {
+            int x; x = getchar();
+            switch (x) {
+            case 0: return 1; case 1: return 2; case 2: return 3;
+            case 3: return 4;
+            }
+            return 0;
+        }
+        """
+        fn = fn_of(src)
+        ijmps = [i for i in fn.instrs if i.op == "ijmp"]
+        assert ijmps and len(ijmps[0].args) >= 4
+
+    def test_call_becomes_trap_for_builtin(self):
+        fn = fn_of("int main() { putchar(65); return 0; }")
+        o = ops(fn)
+        assert "trap" in o and "call" not in o
+
+    def test_library_function_is_real_call(self):
+        fn = fn_of('int main() { return strlen("abc"); }')
+        assert "call" in ops(fn)
+
+
+class TestProgramLowering:
+    def test_string_literals_interned_once(self):
+        prog = compile_to_ir(
+            'int main() { print_str("dup"); print_str("dup"); return 0; }'
+        )
+        strings = [n for n in prog.globals if n.startswith("__str")]
+        assert len(strings) == 1
+
+    def test_unused_stdlib_trimmed(self):
+        prog = compile_to_ir("int main() { return 0; }")
+        assert "f_sin" not in prog.functions
+        assert "print_float" not in prog.functions
+
+    def test_used_stdlib_kept_transitively(self):
+        prog = compile_to_ir(
+            "int main() { print_float(1.0); return 0; }"
+        )
+        assert "print_float" in prog.functions
+        assert "print_int" in prog.functions  # called by print_float
+
+    def test_global_word_initializer(self):
+        prog = compile_to_ir("int g[3] = {1, -2, 3}; int main() { return g[0]; }")
+        assert prog.globals["g"].init == [1, -2, 3]
+
+    def test_global_char_string_initializer(self):
+        prog = compile_to_ir('char s[8] = "hi"; int main() { return s[0]; }')
+        g = prog.globals["s"]
+        assert g.elem == "byte"
+        assert g.init.startswith(b"hi\x00")
+        assert len(g.init) == 8
+
+    def test_negative_scalar_initializer(self):
+        prog = compile_to_ir("int g = -42; int main() { return g; }")
+        assert prog.globals["g"].init == [-42]

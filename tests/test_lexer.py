@@ -1,0 +1,137 @@
+"""Tests for the SmallC lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import (
+    CHARCONST,
+    EOF,
+    FLOATCONST,
+    ID,
+    INTCONST,
+    KEYWORD,
+    PUNCT,
+    STRING,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]  # strip EOF
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == EOF
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("int foo while bar_2 _x")
+        assert [t.kind for t in toks[:-1]] == [KEYWORD, ID, KEYWORD, ID, ID]
+
+    def test_identifier_with_digits(self):
+        assert tokenize("abc123")[0].text == "abc123"
+
+    def test_positions_tracked(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+class TestNumbers:
+    def test_decimal(self):
+        assert tokenize("42")[0].value == 42
+
+    def test_hex(self):
+        assert tokenize("0xFF")[0].value == 255
+        assert tokenize("0x0")[0].value == 0
+
+    def test_octal(self):
+        assert tokenize("017")[0].value == 15
+
+    def test_plain_zero_is_decimal(self):
+        assert tokenize("0")[0].value == 0
+
+    def test_float(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind == FLOATCONST
+        assert tok.value == 3.25
+
+    def test_float_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+
+    def test_int_then_member_like_dot(self):
+        # "1." parses as float; "1 ." would be int + punct -- ensure the
+        # leading-dot float also works.
+        assert tokenize(".5")[0].value == 0.5
+
+
+class TestCharAndString:
+    def test_simple_char(self):
+        tok = tokenize("'a'")[0]
+        assert tok.kind == CHARCONST
+        assert tok.value == ord("a")
+
+    @pytest.mark.parametrize(
+        "literal,expected",
+        [(r"'\n'", 10), (r"'\t'", 9), (r"'\0'", 0), (r"'\\'", 92), (r"'\''", 39),
+         (r"'\x41'", 65)],
+    )
+    def test_escapes(self, literal, expected):
+        assert tokenize(literal)[0].value == expected
+
+    def test_string(self):
+        tok = tokenize('"hello world"')[0]
+        assert tok.kind == STRING
+        assert tok.value == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb"')[0].value == "a\nb"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_empty_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("''")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\n b") == [ID, ID, EOF]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [ID, ID, EOF]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestPunctuators:
+    def test_multichar_greedy(self):
+        assert texts("a <<= b") == ["a", "<<=", "b"]
+        assert texts("a << b") == ["a", "<<", "b"]
+        assert texts("x++ + ++y") == ["x", "++", "+", "++", "y"]
+
+    def test_relational(self):
+        assert texts("a <= b >= c == d != e") == [
+            "a", "<=", "b", ">=", "c", "==", "d", "!=", "e",
+        ]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_all_single_punctuators(self):
+        for p in "+-*/%=<>!~&|^()[]{};,?:":
+            toks = tokenize(p)
+            assert toks[0].kind == PUNCT
+            assert toks[0].text == p

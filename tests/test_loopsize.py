@@ -1,0 +1,70 @@
+"""Tests for the Section 9 loop-size study."""
+
+import pytest
+
+from repro.codegen.baseline_gen import generate_baseline
+from repro.codegen.branchreg_gen import generate_branchreg
+from repro.harness.loopsize import (
+    _baseline_spans,
+    _branchreg_spans,
+    _loop_instruction_count,
+    run_loop_size_study,
+)
+from repro.lang.frontend import compile_to_ir
+
+LOOP_SRC = """
+int main() {
+    int i; int n = 0;
+    for (i = 0; i < 10; i++)
+        n += i;
+    print_int(n); putchar(10);
+    return 0;
+}
+"""
+
+STRAIGHT_SRC = """
+int main() { putchar('7'); putchar(10); return 0; }
+"""
+
+
+class TestSpanDetection:
+    def test_baseline_loop_detected(self):
+        mprog = generate_baseline(compile_to_ir(LOOP_SRC))
+        spans = _baseline_spans(mprog.function("main"))
+        assert spans
+        lo, hi = spans[0]
+        assert lo < hi
+
+    def test_branchreg_loop_detected(self):
+        mprog = generate_branchreg(compile_to_ir(LOOP_SRC))
+        spans = _branchreg_spans(mprog.function("main"))
+        assert spans
+        lo, hi = spans[0]
+        assert lo < hi
+
+    def test_straight_line_has_no_spans(self):
+        base = generate_baseline(compile_to_ir(STRAIGHT_SRC))
+        br = generate_branchreg(compile_to_ir(STRAIGHT_SRC))
+        assert _loop_instruction_count(base) == 0
+        assert _loop_instruction_count(br) == 0
+
+    def test_branchreg_loop_smaller(self):
+        base = generate_baseline(compile_to_ir(LOOP_SRC))
+        br = generate_branchreg(compile_to_ir(LOOP_SRC))
+        assert 0 < _loop_instruction_count(br) < _loop_instruction_count(base)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_loop_size_study(subset=("wc", "sieve", "grep"))
+
+    def test_totals_consistent(self, study):
+        assert study["baseline_total"] == sum(r["baseline"] for r in study["rows"])
+        assert study["branchreg_total"] == sum(r["branchreg"] for r in study["rows"])
+
+    def test_shrinkage(self, study):
+        assert study["branchreg_total"] < study["baseline_total"]
+
+    def test_text_has_total_row(self, study):
+        assert "TOTAL" in study["text"]

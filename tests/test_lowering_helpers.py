@@ -1,0 +1,191 @@
+"""Tests for shared lowering helpers: parallel moves, the legalizer,
+frame layout, and compare scheduling."""
+
+import pytest
+
+from repro.codegen.common import MInstr, mnoop
+from repro.codegen.lowering import (
+    FrameLayout,
+    Legalizer,
+    MachineFunction,
+    emit_moves,
+    resolve_parallel_moves,
+)
+from repro.codegen.noopfill import schedule_compares
+from repro.machine.spec import baseline_spec, branchreg_spec
+from repro.rtl.function import IRFunction, Local
+from repro.rtl.operand import Imm, Reg
+
+
+def r(i):
+    return Reg("r", i)
+
+
+class TestParallelMoves:
+    def _apply(self, order, initial):
+        state = dict(initial)
+        for dst, src in order:
+            state[dst] = state.get(src, src)
+        return state
+
+    def test_independent_moves(self):
+        order = resolve_parallel_moves([(r(1), r(5)), (r(2), r(6))], lambda k: r(7))
+        assert len(order) == 2
+
+    def test_chain_ordered_correctly(self):
+        # r1 <- r2, r2 <- r3: r1 must be written first.
+        moves = [(r(1), r(2)), (r(2), r(3))]
+        order = resolve_parallel_moves(moves, lambda k: r(7))
+        state = self._apply(order, {r(1): "a", r(2): "b", r(3): "c"})
+        assert state[r(1)] == "b" and state[r(2)] == "c"
+
+    def test_two_cycle_uses_temp(self):
+        moves = [(r(1), r(2)), (r(2), r(1))]
+        order = resolve_parallel_moves(moves, lambda k: r(7))
+        state = self._apply(order, {r(1): "a", r(2): "b"})
+        assert state[r(1)] == "b" and state[r(2)] == "a"
+        assert any(dst == r(7) for dst, _src in order)
+
+    def test_three_cycle(self):
+        moves = [(r(1), r(2)), (r(2), r(3)), (r(3), r(1))]
+        order = resolve_parallel_moves(moves, lambda k: r(7))
+        state = self._apply(order, {r(1): "a", r(2): "b", r(3): "c"})
+        assert (state[r(1)], state[r(2)], state[r(3)]) == ("b", "c", "a")
+
+    def test_self_move_elided(self):
+        assert resolve_parallel_moves([(r(1), r(1))], lambda k: r(7)) == []
+
+    def test_emit_moves_picks_fmov_for_floats(self):
+        out = []
+        emit_moves([(Reg("f", 1), Reg("f", 5))], out.append, baseline_spec())
+        assert out[0].op == "fmov"
+
+
+class TestLegalizer:
+    def _legal(self, spec):
+        out = []
+        return Legalizer(spec, out.append), out
+
+    def test_small_constant_single_li(self):
+        legal, out = self._legal(branchreg_spec())
+        legal.load_constant(r(1), 100)
+        assert [i.op for i in out] == ["li"]
+
+    def test_large_constant_sethi_addlo(self):
+        legal, out = self._legal(branchreg_spec())
+        legal.load_constant(r(1), 123456)
+        assert [i.op for i in out] == ["sethi", "addlo"]
+
+    def test_aligned_constant_skips_addlo(self):
+        legal, out = self._legal(branchreg_spec())
+        legal.load_constant(r(1), 1 << 12)  # low 9 bits clear
+        assert [i.op for i in out] == ["sethi"]
+
+    def test_imm_operand_passthrough(self):
+        legal, out = self._legal(baseline_spec())
+        operand = legal.imm_operand(100)
+        assert operand == Imm(100)
+        assert out == []
+
+    def test_imm_operand_materialises_when_too_big(self):
+        legal, out = self._legal(branchreg_spec())
+        operand = legal.imm_operand(100000)
+        assert operand == legal.scratch
+        assert out  # emitted the materialisation
+
+    def test_baseline_wider_range(self):
+        base, base_out = self._legal(baseline_spec())
+        brm, brm_out = self._legal(branchreg_spec())
+        base.load_constant(r(1), 3000)
+        brm.load_constant(r(1), 3000)
+        assert len(base_out) == 1  # fits 13-bit
+        assert len(brm_out) == 2  # exceeds 10-bit
+
+    def test_add_immediate_zero_is_mov_or_nothing(self):
+        legal, out = self._legal(baseline_spec())
+        legal.add_immediate(r(1), r(1), 0)
+        assert out == []
+        legal.add_immediate(r(1), r(2), 0)
+        assert out[0].op == "mov"
+
+
+class TestFrameLayout:
+    def _fn_with_locals(self, sizes):
+        fn = IRFunction("f")
+        for i, size in enumerate(sizes):
+            fn.add_local("l%d" % i, size)
+        return fn
+
+    def test_locals_packed_word_aligned(self):
+        fn = self._fn_with_locals([4, 1, 8])
+        frame = FrameLayout(fn, set(), [])
+        offsets = [frame.local_offset(l) for l in fn.locals]
+        assert offsets == [0, 4, 8]
+
+    def test_save_slots_after_locals(self):
+        fn = self._fn_with_locals([4])
+        frame = FrameLayout(fn, {Reg("r", 8)}, ["RT"])
+        assert frame.save_offset(Reg("r", 8)) == 4
+        assert frame.save_offset("RT") == 8
+
+    def test_size_aligned_to_8(self):
+        fn = self._fn_with_locals([4])
+        frame = FrameLayout(fn, set(), [])
+        assert frame.size == 8
+
+    def test_empty_frame(self):
+        frame = FrameLayout(IRFunction("f"), set(), [])
+        assert frame.size == 0
+
+
+class TestScheduleCompares:
+    def _mfn(self, instrs):
+        return MachineFunction("t", list(instrs))
+
+    def _cmpset(self, src_index=1):
+        spec = branchreg_spec()
+        return MInstr(
+            "cmpset", dst=Reg("b", spec.br_link),
+            srcs=[r(src_index), Imm(0)], cond="eq", btrue=4,
+        )
+
+    def test_independent_instruction_hoisted_over(self):
+        spec = branchreg_spec()
+        carrier = mnoop(br=spec.br_link)
+        mfn = self._mfn([
+            MInstr("li", dst=r(2), srcs=[Imm(5)]),
+            self._cmpset(src_index=1),
+            carrier,
+        ])
+        assert schedule_compares(mfn, spec) == 1
+        assert mfn.instrs[0].op == "cmpset"
+
+    def test_dependent_instruction_blocks(self):
+        spec = branchreg_spec()
+        carrier = mnoop(br=spec.br_link)
+        mfn = self._mfn([
+            MInstr("li", dst=r(1), srcs=[Imm(5)]),  # feeds the compare
+            self._cmpset(src_index=1),
+            carrier,
+        ])
+        assert schedule_compares(mfn, spec) == 0
+
+    def test_never_crosses_label_or_carrier(self):
+        spec = branchreg_spec()
+        mfn = self._mfn([
+            MInstr("label", label="L"),
+            self._cmpset(),
+            mnoop(br=spec.br_link),
+        ])
+        assert schedule_compares(mfn, spec) == 0
+
+    def test_hoist_bounded(self):
+        spec = branchreg_spec()
+        instrs = [
+            MInstr("li", dst=r(i + 2), srcs=[Imm(i)]) for i in range(6)
+        ]
+        instrs.append(self._cmpset())
+        instrs.append(mnoop(br=spec.br_link))
+        mfn = self._mfn(instrs)
+        gained = schedule_compares(mfn, spec, max_hoist=3)
+        assert gained == 3

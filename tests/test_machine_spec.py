@@ -1,0 +1,104 @@
+"""Tests for the machine specifications (Section 7 parameters)."""
+
+import pytest
+
+from repro.machine.spec import baseline_spec, branchreg_spec
+from repro.rtl.operand import Reg
+
+
+class TestBaselineSpec:
+    def setup_method(self):
+        self.spec = baseline_spec()
+
+    def test_register_counts(self):
+        assert self.spec.ints.count == 32
+        assert self.spec.flts.count == 32
+        assert self.spec.branch_regs == 0
+
+    def test_delayed_branch(self):
+        assert self.spec.has_delayed_branch
+
+    def test_sp_is_r31(self):
+        assert self.spec.sp() == Reg("r", 31)
+
+    def test_immediate_range_13_bits(self):
+        assert self.spec.imm_fits(4095)
+        assert self.spec.imm_fits(-4096)
+        assert not self.spec.imm_fits(4096)
+
+    def test_displacement_range(self):
+        assert self.spec.disp_fits(2**21 - 1)
+        assert not self.spec.disp_fits(2**21)
+
+    def test_roles_disjoint(self):
+        conv = self.spec.ints
+        roles = [conv.ret] + list(conv.args) + list(conv.caller_saved) + list(
+            conv.callee_saved
+        ) + [conv.sp]
+        assert len(roles) == len(set(roles))
+        assert sorted(roles) == list(range(32))
+
+
+class TestBranchRegSpec:
+    def setup_method(self):
+        self.spec = branchreg_spec()
+
+    def test_register_counts(self):
+        assert self.spec.ints.count == 16
+        assert self.spec.flts.count == 16
+        assert self.spec.branch_regs == 8
+
+    def test_no_delayed_branch(self):
+        assert not self.spec.has_delayed_branch
+
+    def test_narrower_immediates_than_baseline(self):
+        # Section 7: "smaller range of available constants".
+        assert self.spec.imm_bits < baseline_spec().imm_bits
+        assert self.spec.imm_fits(511)
+        assert not self.spec.imm_fits(512)
+
+    def test_branch_register_roles(self):
+        assert self.spec.br_pc == 0
+        assert self.spec.br_link == 7
+        assert set(self.spec.br_callee_saved) == {1, 2, 3}
+        assert set(self.spec.br_scratch) == {4, 5, 6}
+
+    def test_roles_partition_registers(self):
+        regs = (
+            {self.spec.br_pc, self.spec.br_link}
+            | set(self.spec.br_callee_saved)
+            | set(self.spec.br_scratch)
+        )
+        assert regs == set(range(8))
+
+    def test_int_roles_disjoint(self):
+        conv = self.spec.ints
+        roles = [conv.ret] + list(conv.args) + list(conv.caller_saved) + list(
+            conv.callee_saved
+        ) + [conv.sp]
+        assert sorted(roles) == list(range(16))
+
+
+class TestAblationSpecs:
+    @pytest.mark.parametrize("count", [3, 4, 6, 12, 16])
+    def test_partition_holds_for_any_count(self, count):
+        spec = branchreg_spec(count)
+        regs = (
+            {spec.br_pc, spec.br_link}
+            | set(spec.br_callee_saved)
+            | set(spec.br_scratch)
+        )
+        assert regs == set(range(count))
+        assert spec.br_link == count - 1
+
+    def test_too_few_registers_rejected(self):
+        with pytest.raises(ValueError):
+            branchreg_spec(2)
+
+    def test_arg_and_ret_helpers(self):
+        spec = branchreg_spec()
+        assert spec.ret_reg() == Reg("r", 0)
+        assert spec.ret_reg(float_=True) == Reg("f", 0)
+        assert spec.arg_reg(0) == Reg("r", 1)
+        assert spec.arg_reg(2, float_=True) == Reg("f", 3)
+        assert spec.max_args() == 4

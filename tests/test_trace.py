@@ -1,0 +1,76 @@
+"""Tests for the execution tracer."""
+
+import pytest
+
+from repro.codegen.baseline_gen import generate_baseline
+from repro.codegen.branchreg_gen import generate_branchreg
+from repro.emu.loader import Image
+from repro.emu.trace import trace_run
+from repro.lang.frontend import compile_to_ir
+
+SRC = """
+int twice(int x) { return 2 * x; }
+int main() {
+    print_int(twice(21));
+    putchar(10);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def images():
+    return {
+        "baseline": Image(generate_baseline(compile_to_ir(SRC))),
+        "branchreg": Image(generate_branchreg(compile_to_ir(SRC))),
+    }
+
+
+class TestTraceRun:
+    def test_stats_match_untraced_run(self, images):
+        trace, stats = trace_run(images["branchreg"], "branchreg")
+        assert stats.output == b"42\n"
+        assert stats.instructions == len(trace.entries) or trace.truncated
+
+    def test_baseline_trace(self, images):
+        trace, stats = trace_run(images["baseline"], "baseline")
+        assert stats.output == b"42\n"
+        assert any("PC=" in e.text for e in trace.entries)
+
+    def test_function_filter(self, images):
+        trace, _stats = trace_run(
+            images["branchreg"], "branchreg", function="twice"
+        )
+        mfn = images["branchreg"].mprog.function("twice")
+        addrs = {ins.addr for ins in mfn.instrs if not ins.is_label()}
+        assert trace.entries
+        assert all(e.addr in addrs for e in trace.entries)
+
+    def test_truncation(self, images):
+        trace, stats = trace_run(
+            images["branchreg"], "branchreg", max_entries=5
+        )
+        assert len(trace.entries) == 5
+        assert trace.truncated
+        assert stats.output == b"42\n"  # ran to completion anyway
+
+    def test_carrier_annotated_with_target(self, images):
+        trace, _stats = trace_run(images["branchreg"], "branchreg")
+        carrier_entries = [e for e in trace.entries if "b[0]=b[" in e.text]
+        assert carrier_entries
+        assert any(e.detail.startswith("->") for e in carrier_entries)
+
+    def test_str_rendering(self, images):
+        trace, _stats = trace_run(
+            images["branchreg"], "branchreg", max_entries=3
+        )
+        text = str(trace)
+        assert "0x" in text and "truncated" in text
+
+    def test_unknown_machine_rejected(self, images):
+        with pytest.raises(ValueError):
+            trace_run(images["baseline"], "z80")
+
+    def test_unknown_function_rejected(self, images):
+        with pytest.raises(KeyError):
+            trace_run(images["baseline"], "baseline", function="nope")

@@ -1,0 +1,198 @@
+"""The Appendix I suite: every program runs on both machines, outputs
+agree, and spot-checked outputs match independently computed values."""
+
+import pytest
+
+from repro.ease.environment import run_pair
+from repro.workloads import all_workloads, workload, workload_names
+from repro.workloads.inputs import byte_blob, text_lines
+
+_LIMIT = 5_000_000
+
+_RESULTS = {}
+
+
+def pair_for(name):
+    if name not in _RESULTS:
+        w = workload(name)
+        _RESULTS[name] = run_pair(
+            w.source, stdin=w.stdin_bytes(), name=name, limit=_LIMIT
+        )
+    return _RESULTS[name]
+
+
+class TestRegistry:
+    def test_nineteen_programs(self):
+        assert len(all_workloads()) == 19
+
+    def test_names_match_appendix_i(self):
+        expected = {
+            "cal", "cb", "compact", "diff", "grep", "nroff", "od", "sed",
+            "sort", "spline", "tr", "wc", "dhrystone", "matmult", "puzzle",
+            "sieve", "whetstone", "mincost", "vpcc",
+        }
+        assert set(workload_names()) == expected
+
+    def test_classes(self):
+        classes = {w.name: w.cls for w in all_workloads()}
+        assert classes["wc"] == "utility"
+        assert classes["dhrystone"] == "benchmark"
+        assert classes["vpcc"] == "user"
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            workload("doom")
+
+
+@pytest.mark.parametrize("name", workload_names())
+class TestSuiteRuns:
+    def test_outputs_agree_and_nonempty(self, name):
+        pair = pair_for(name)
+        assert pair.baseline.output == pair.branchreg.output
+        assert pair.output, "%s produced no output" % name
+
+    def test_clean_exit(self, name):
+        pair = pair_for(name)
+        assert pair.baseline.exit_code == 0
+        assert pair.branchreg.exit_code == 0
+
+    def test_nontrivial_instruction_count(self, name):
+        pair = pair_for(name)
+        assert pair.baseline.instructions > 3000, (
+            "%s too small to be a meaningful measurement" % name
+        )
+
+
+class TestIndependentlyComputedOutputs:
+    """Outputs checked against pure-Python recomputations, guarding
+    against a compiler bug that affects both machines identically."""
+
+    def test_wc_counts(self):
+        text = text_lines(150, seed=11)
+        lines = text.count("\n")
+        words = len(text.split())
+        chars = len(text)
+        assert pair_for("wc").output.decode() == "%d %d %d\n" % (lines, words, chars)
+
+    def test_tr_translation(self):
+        text = text_lines(140, words_per_line=6, seed=101)
+        expected = text.upper().replace(" ", "_")
+        assert pair_for("tr").output.decode() == expected
+
+    def test_sort_is_sorted_permutation(self):
+        text = text_lines(90, words_per_line=4, seed=91)
+        original = [line[:47] for line in text.strip("\n").split("\n")[:96]]
+        out_lines = pair_for("sort").output.decode().strip("\n").split("\n")
+        assert sorted(original) == out_lines
+
+    def test_sieve_prime_count(self):
+        flags = [True] * 4000
+        count = 0
+        last = 0
+        for i in range(2, 4000):
+            if flags[i]:
+                count += 1
+                last = i
+                for k in range(i + i, 4000, i):
+                    flags[k] = False
+        assert pair_for("sieve").output.decode() == "primes %d last %d\n" % (
+            count, last,
+        )
+
+    def test_matmult_trace_and_total(self):
+        n = 14
+        a = [[i + j for j in range(n)] for i in range(n)]
+        b = [[i - j for j in range(n)] for i in range(n)]
+        c = [
+            [sum(a[i][k] * b[k][j] for k in range(n)) for j in range(n)]
+            for i in range(n)
+        ]
+        trace = sum(c[i][i] for i in range(n))
+        total = sum(sum(row) for row in c)
+        assert pair_for("matmult").output.decode() == (
+            "trace %d total %d\n" % (trace, total)
+        )
+
+    def test_od_reports_length(self):
+        blob = byte_blob(500, seed=71)
+        out = pair_for("od").output.decode()
+        final_offset = out.strip().split("\n")[-1]
+        assert int(final_offset, 8) == len(blob)
+
+    def test_grep_matches_regex(self):
+        import re
+
+        text = text_lines(120, words_per_line=5, seed=51)
+        expected = []
+        for lineno, line in enumerate(text.strip("\n").split("\n"), 1):
+            if re.search("br.nch", line[:79]):
+                expected.append("%d:%s" % (lineno, line[:79]))
+        out = pair_for("grep").output.decode().strip("\n").split("\n")
+        hits = [l for l in out if ":" in l and not l.startswith("matches")]
+        assert hits == expected
+        assert out[-1] == "matches %d" % len(expected)
+
+    def test_cb_preserves_nonblank_content(self):
+        out = pair_for("cb").output.decode()
+        w = workload("cb")
+        original = w.stdin_bytes().decode()
+        strip = lambda text: "".join(text.split())
+        assert strip(out) == strip(original)
+
+    def test_sed_substitution(self):
+        text = text_lines(100, words_per_line=6, seed=81)
+        expected = "".join(
+            line.replace("branch", "transfer") + "\n"
+            for line in text.strip("\n").split("\n")
+        )
+        assert pair_for("sed").output.decode() == expected
+
+    def test_vpcc_checksum(self):
+        # Interpret the same little language in Python.
+        w = workload("vpcc")
+        text = w.stdin_bytes().decode()
+        variables = {chr(ord("a") + i): 0 for i in range(26)}
+
+        def trunc_div(a, b):
+            if b == 0:
+                return 0
+            q = abs(a) // abs(b)
+            return -q if (a < 0) != (b < 0) else q
+
+        def trunc_mod(a, b):
+            if b == 0:
+                return 0
+            r = abs(a) % abs(b)
+            return -r if a < 0 else r
+
+        import re
+
+        for line in text.strip().split("\n"):
+            m = re.match(r"(\w) = \((\w) (.) (\d+)\) (.) (\d+);", line)
+            target, a, op1, b, op2, c = m.groups()
+            b, c = int(b), int(c)
+            v = variables[a]
+            inner = {
+                "+": v + b, "-": v - b, "*": v * b,
+                "/": trunc_div(v, b), "%": trunc_mod(v, b),
+            }[op1]
+            outer = {"+": inner + c, "-": inner - c, "*": inner * c}[op2]
+            variables[target] = outer
+        checksum = sum(
+            variables[chr(ord("a") + i)] * (i + 1) for i in range(26)
+        )
+        out = pair_for("vpcc").output.decode()
+        assert ("checksum %d " % checksum) in out
+
+    def test_diff_recovers_edit(self):
+        out = pair_for("diff").output.decode()
+        assert "> a changed line of text" in out
+        assert "> an inserted line appears" in out
+        assert "lcs " in out
+
+    def test_spline_interpolates_knots(self):
+        # The spline passes through its knots; the midpoint value printed
+        # is sin-based and must be small in magnitude.
+        out = pair_for("spline").output.decode()
+        assert out.startswith("area ")
+        assert "mid " in out
