@@ -1,0 +1,67 @@
+"""Benchmark: instrumentation overhead of the observability layer.
+
+The run manifests promise that attaching an :class:`EmulationObserver`
+(plus the always-on metrics/span bookkeeping) costs less than 10% of
+emulation wall time versus running with observation disabled.  This
+benchmark measures exactly that: each workload image is compiled once,
+then emulated with and without an observer in interleaved rounds (so OS
+noise and cache warmth hit both arms equally), and the enabled/disabled
+time ratio must stay under the budget.
+"""
+
+import time
+
+from repro.ease.environment import compile_for_machine
+from repro.emu.branchreg_emu import run_branchreg
+from repro.obs.emuobs import EmulationObserver
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads import all_workloads
+
+# Enough dynamic instructions to dwarf per-run setup, small enough to
+# keep the benchmark quick.
+SUBSET = ("wc", "sort", "sieve")
+ROUNDS = 3
+OVERHEAD_BUDGET = 1.10
+
+
+def _emulate_all(images, observer=None):
+    for name, (image, stdin) in images.items():
+        run_branchreg(image.reset(), stdin=stdin, program=name, observer=observer)
+
+
+def _measure_overhead():
+    workloads = {w.name: w for w in all_workloads() if w.name in SUBSET}
+    images = {
+        name: (compile_for_machine(w.source, "branchreg"), w.stdin_bytes())
+        for name, w in workloads.items()
+    }
+    observer = EmulationObserver(sample_every=65536, registry=MetricsRegistry())
+    _emulate_all(images)  # warm-up round, not timed
+    disabled = enabled = 0.0
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        _emulate_all(images)
+        disabled += time.perf_counter() - start
+        start = time.perf_counter()
+        _emulate_all(images, observer=observer)
+        enabled += time.perf_counter() - start
+    return {
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "ratio": enabled / disabled,
+        "observed_runs": observer.runs,
+    }
+
+
+def test_observer_overhead_under_budget(once):
+    result = once(_measure_overhead)
+    print()
+    print(
+        "observability overhead: disabled %.3fs, enabled %.3fs, ratio %.3f"
+        % (result["disabled_s"], result["enabled_s"], result["ratio"])
+    )
+    assert result["observed_runs"] == ROUNDS * len(SUBSET)
+    assert result["ratio"] < OVERHEAD_BUDGET, (
+        "instrumentation overhead %.1f%% exceeds the %d%% budget"
+        % (100.0 * (result["ratio"] - 1.0), round(100 * (OVERHEAD_BUDGET - 1)))
+    )

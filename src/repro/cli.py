@@ -1,26 +1,37 @@
 """Command-line interface.
 
-Usage (``python -m repro <command> ...``):
+Usage (``python -m repro [-v|-q] <command> ...``):
 
-* ``run FILE [--stdin FILE] [--machine both|baseline|branchreg]`` --
-  compile a SmallC file, emulate it, print its output and measurements;
+* ``run FILE [--stdin FILE] [--machine both|baseline|branchreg] [--json]``
+  -- compile a SmallC file, emulate it, print its output and measurements;
 * ``asm FILE [--machine baseline|branchreg] [--function NAME]`` -- print
   the generated code in the paper's RTL notation;
-* ``table1 [--subset a,b,c]`` -- regenerate Table I;
-* ``cycles [--stages 3,4,5]`` -- regenerate the Section 7 cycle estimates;
+* ``table1 [--subset a,b,c] [--json]`` -- regenerate Table I;
+* ``cycles [--stages 3,4,5] [--json]`` -- regenerate the Section 7 cycle
+  estimates;
 * ``figures`` -- print the Figure 2-9 reproductions;
-* ``cache`` -- run the Section 8/9 instruction-cache study;
+* ``cache [--subset a,b] [--json]`` -- run the Section 8/9
+  instruction-cache study;
 * ``ablation`` -- run the Section 9 sweeps;
-* ``workloads`` -- list the Appendix I suite.
+* ``workloads`` -- list the Appendix I suite;
+* ``report [--subset a,b] [--out FILE] [--events FILE] [--replay FILE]``
+  -- run the suite under full instrumentation and emit a schema-validated
+  run manifest (see ``docs/OBSERVABILITY.md``) plus a profile table.
+
+``-v``/``-vv`` raise and ``-q`` lowers the diagnostic log level on the
+shared ``repro`` logger (stderr); report/table output stays on stdout.
 """
 
 import argparse
+import json
 import sys
 
 from repro.codegen.baseline_gen import generate_baseline
 from repro.codegen.branchreg_gen import generate_branchreg
 from repro.ease.environment import run_on_machine, run_pair
 from repro.lang.frontend import compile_to_ir
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import log
 from repro.rtl.printer import listing
 
 
@@ -36,11 +47,32 @@ def _read_bytes(path):
         return handle.read()
 
 
+def _print_json(payload):
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
 def cmd_run(args):
+    from repro.obs.manifest import stats_to_dict
+
     source = _read(args.file)
     stdin = _read_bytes(args.stdin)
     if args.machine == "both":
         pair = run_pair(source, stdin=stdin, name=args.file)
+        if args.json:
+            _print_json(
+                {
+                    "program": args.file,
+                    "output": pair.output.decode("latin-1"),
+                    "baseline": stats_to_dict(pair.baseline),
+                    "branchreg": stats_to_dict(pair.branchreg),
+                    "derived": {
+                        "instr_change": -pair.instruction_reduction(),
+                        "refs_change": pair.data_ref_increase(),
+                    },
+                }
+            )
+            return 0
         sys.stdout.write(pair.output.decode("latin-1"))
         print("--- measurements " + "-" * 40)
         print(
@@ -62,6 +94,11 @@ def cmd_run(args):
         )
         return 0
     stats = run_on_machine(source, args.machine, stdin=stdin, name=args.file)
+    if args.json:
+        payload = stats_to_dict(stats)
+        payload["output"] = stats.output.decode("latin-1")
+        _print_json(payload)
+        return stats.exit_code
     sys.stdout.write(stats.output.decode("latin-1"))
     print("--- %s: %d instructions, %d data refs, %d transfers"
           % (args.machine, stats.instructions, stats.data_refs, stats.transfers))
@@ -112,9 +149,46 @@ def cmd_trace(args):
 
 def cmd_table1(args):
     from repro.harness.table1 import run_table1
+    from repro.obs.manifest import stats_to_dict
 
     subset = tuple(args.subset.split(",")) if args.subset else None
-    print(run_table1(subset=subset)["text"])
+    try:
+        result = run_table1(subset=subset)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json(
+            {
+                "programs": [
+                    {
+                        "name": pair.name,
+                        "baseline": stats_to_dict(pair.baseline),
+                        "branchreg": stats_to_dict(pair.branchreg),
+                        "derived": {
+                            "instr_change": -pair.instruction_reduction(),
+                            "refs_change": pair.data_ref_increase(),
+                        },
+                    }
+                    for pair in result["pairs"]
+                ],
+                "totals": {
+                    "baseline": stats_to_dict(result["baseline"]),
+                    "branchreg": stats_to_dict(result["branchreg"]),
+                    "instr_change": result["instr_change"],
+                    "refs_change": result["refs_change"],
+                },
+                "claims": {
+                    "transfer_fraction": result["transfer_fraction"],
+                    "saved_to_added_ratio": result["saved_to_added_ratio"],
+                    "transfers_per_calc": result["transfers_per_calc"],
+                    "noop_reduction": result["noop_reduction"],
+                    "bta_carriers": result["bta_carriers"],
+                },
+            }
+        )
+        return 0
+    print(result["text"])
     return 0
 
 
@@ -123,7 +197,31 @@ def cmd_cycles(args):
 
     stages = tuple(int(s) for s in args.stages.split(","))
     subset = tuple(args.subset.split(",")) if args.subset else None
-    print(run_cycle_estimate(stages_list=stages, subset=subset)["text"])
+    try:
+        result = run_cycle_estimate(stages_list=stages, subset=subset)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        rows = []
+        for est in result["estimates"]:
+            row = {
+                "stages": est["stages"],
+                "saving_vs_baseline": est["saving_vs_baseline"],
+                "fastcmp_saving_vs_baseline": est["fastcmp_saving_vs_baseline"],
+                "delayed_fraction": est["delayed_fraction"],
+            }
+            for machine in ("no_delay", "baseline", "branchreg", "branchreg_fastcmp"):
+                cyc = est[machine]
+                row[machine] = {
+                    "cycles": cyc.cycles,
+                    "instructions": cyc.instructions,
+                    "transfer_delays": cyc.transfer_delays,
+                }
+            rows.append(row)
+        _print_json({"estimates": rows})
+        return 0
+    print(result["text"])
     return 0
 
 
@@ -134,10 +232,36 @@ def cmd_figures(_args):
     return 0
 
 
-def cmd_cache(_args):
+def cmd_cache(args):
     from repro.harness.cache9 import run_cache_study
 
-    print(run_cache_study()["text"])
+    kwargs = {}
+    if args.subset:
+        kwargs["subset"] = tuple(args.subset.split(","))
+    try:
+        result = run_cache_study(**kwargs)
+    except (ValueError, KeyError) as exc:
+        # cache9 resolves workload names itself, so typos surface as KeyError
+        message = exc.args[0] if exc.args else str(exc)
+        print("error: %s" % message, file=sys.stderr)
+        return 2
+    if args.json:
+        rows = [
+            {
+                "config": run.config,
+                "machine": run.machine,
+                "instructions": run.instructions,
+                "stalls": run.stalls,
+                "cycles": run.cycles,
+                "miss_rate": run.stats.miss_rate,
+                "covered": run.stats.fully_covered + run.stats.partial_covered,
+                "pollution": run.stats.unused_prefetches,
+            }
+            for run in result["runs"]
+        ]
+        _print_json({"runs": rows})
+        return 0
+    print(result["text"])
     return 0
 
 
@@ -157,11 +281,52 @@ def cmd_workloads(_args):
     return 0
 
 
+def cmd_report(args):
+    from repro.obs.manifest import ManifestError
+    from repro.obs.report import replay_report, run_report, save_report
+
+    if args.replay:
+        try:
+            result = replay_report(args.replay)
+        except (OSError, json.JSONDecodeError, ManifestError) as exc:
+            print("error: cannot replay %s: %s" % (args.replay, exc), file=sys.stderr)
+            return 1
+        print(result["text"])
+        return 0
+    if args.sample_every <= 0:
+        print("error: --sample-every must be positive", file=sys.stderr)
+        return 2
+    subset = tuple(args.subset.split(",")) if args.subset else None
+    try:
+        result = run_report(
+            subset=subset,
+            limit=args.limit,
+            sample_every=args.sample_every,
+            events_path=args.events,
+        )
+    except ValueError as exc:  # e.g. unknown workload names
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    path = save_report(result, out=args.out)
+    print(result["text"])
+    log.info("wrote run manifest to %s", path)
+    print("\nmanifest: %s" % path)
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Reducing the Cost of Branches by "
         "Using Registers' (ISCA 1990)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise diagnostic verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="lower diagnostic verbosity (errors only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -170,6 +335,9 @@ def build_parser():
     p_run.add_argument("--stdin", default=None, help="file fed to getchar()")
     p_run.add_argument(
         "--machine", choices=("both", "baseline", "branchreg"), default="both"
+    )
+    p_run.add_argument(
+        "--json", action="store_true", help="emit stats as JSON instead of tables"
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -193,30 +361,72 @@ def build_parser():
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I")
     p_t1.add_argument("--subset", default=None, help="comma-separated names")
+    p_t1.add_argument(
+        "--json", action="store_true", help="emit the table data as JSON"
+    )
     p_t1.set_defaults(func=cmd_table1)
 
     p_cy = sub.add_parser("cycles", help="Section 7 cycle estimates")
     p_cy.add_argument("--stages", default="3,4,5")
     p_cy.add_argument("--subset", default=None)
+    p_cy.add_argument(
+        "--json", action="store_true", help="emit the estimates as JSON"
+    )
     p_cy.set_defaults(func=cmd_cycles)
 
     sub.add_parser("figures", help="Figures 2-9").set_defaults(func=cmd_figures)
-    sub.add_parser("cache", help="Sections 8-9 cache study").set_defaults(
-        func=cmd_cache
+    p_ca = sub.add_parser("cache", help="Sections 8-9 cache study")
+    p_ca.add_argument("--subset", default=None, help="comma-separated names")
+    p_ca.add_argument(
+        "--json", action="store_true", help="emit the cache rows as JSON"
     )
+    p_ca.set_defaults(func=cmd_cache)
     sub.add_parser("ablation", help="Section 9 sweeps").set_defaults(
         func=cmd_ablation
     )
     sub.add_parser("workloads", help="list the Appendix I suite").set_defaults(
         func=cmd_workloads
     )
+
+    p_rep = sub.add_parser(
+        "report",
+        help="instrumented suite run emitting a machine-readable manifest",
+    )
+    p_rep.add_argument("--subset", default=None, help="comma-separated names")
+    p_rep.add_argument(
+        "--out", default=None,
+        help="manifest path (default BENCH_<timestamp>.json)",
+    )
+    p_rep.add_argument(
+        "--events", default=None,
+        help="also write the raw JSON-lines event stream to this path",
+    )
+    p_rep.add_argument("--limit", type=int, default=None)
+    p_rep.add_argument(
+        "--sample-every", type=int, default=65536,
+        help="emulator telemetry sampling interval in instructions",
+    )
+    p_rep.add_argument(
+        "--replay", default=None,
+        help="re-render a saved manifest instead of running the suite",
+    )
+    p_rep.set_defaults(func=cmd_report)
     return parser
 
 
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_logging(args.verbose - args.quiet)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Reader went away (e.g. ``repro report | head``); exit quietly
+        # with the conventional SIGPIPE status instead of a traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -276,21 +276,25 @@ def generate_baseline(program, spec=None, fill_delay_slots=True):
     wanting to target both machines should compile the source twice or
     deep-copy, which :func:`repro.ease.environment.compile_both` handles.
     """
+    from repro.codegen.common import record_codegen_metrics
     from repro.codegen.delayslots import fill_slots
+    from repro.obs import span
 
     spec = spec or baseline_spec()
     mprog = MachineProgram(spec=spec, globals=dict(program.globals))
     mprog.functions.append(_start_stub(spec))
     for fn in program.functions.values():
         optimize_function(fn)
-        legalize_immediates(fn, spec)
-        pool_constants(fn)
-        hoist_loop_invariants(fn)
-        info = allocate(fn, spec)
-        gen = BaselineFunctionGen(fn, spec, info)
-        mfn = gen.lower()
-        mfn.instrs = _elide_fallthrough_jumps(mfn.instrs)
-        if fill_delay_slots:
-            fill_slots(mfn)
+        with span("codegen.baseline"):
+            legalize_immediates(fn, spec)
+            pool_constants(fn)
+            hoist_loop_invariants(fn)
+            info = allocate(fn, spec)
+            gen = BaselineFunctionGen(fn, spec, info)
+            mfn = gen.lower()
+            mfn.instrs = _elide_fallthrough_jumps(mfn.instrs)
+            if fill_delay_slots:
+                fill_slots(mfn)
         mprog.functions.append(mfn)
+    record_codegen_metrics(mprog, "baseline")
     return mprog

@@ -501,36 +501,40 @@ def generate_branchreg(
     Section 5 loop hoisting, the useful-carrier selection, and the
     noop-to-bta replacement.
     """
+    from repro.codegen.common import record_codegen_metrics
     from repro.codegen.noopfill import (
         fill_noop_carriers,
         replace_noops_with_bta,
         schedule_compares,
     )
+    from repro.obs import span
 
     spec = spec or branchreg_spec()
     mprog = MachineProgram(spec=spec, globals=dict(program.globals))
     mprog.functions.append(_start_stub(spec))
     for fn in program.functions.values():
         optimize_function(fn)
-        legalize_immediates(fn, spec)
-        pool_constants(fn)
-        hoist_loop_invariants(fn)
-        info = allocate(fn, spec)
-        gen = BranchRegFunctionGen(fn, spec, info, hoisting=hoisting)
-        mfn = gen.lower()
-        if fill_carriers:
-            fill_noop_carriers(mfn, spec)
-        if replace_noops:
-            protected = {calc.breg for calc in gen.plan.hoisted}
-            if gen.plan.link_scratch is not None:
-                protected.add(gen.plan.link_scratch)
-            safe_labels = {
-                label
-                for block in gen.cfg.blocks
-                if len(block.preds) == 1
-                for label in block.labels
-            }
-            replace_noops_with_bta(mfn, spec, protected, safe_labels)
-        schedule_compares(mfn, spec)
+        with span("codegen.branchreg"):
+            legalize_immediates(fn, spec)
+            pool_constants(fn)
+            hoist_loop_invariants(fn)
+            info = allocate(fn, spec)
+            gen = BranchRegFunctionGen(fn, spec, info, hoisting=hoisting)
+            mfn = gen.lower()
+            if fill_carriers:
+                fill_noop_carriers(mfn, spec)
+            if replace_noops:
+                protected = {calc.breg for calc in gen.plan.hoisted}
+                if gen.plan.link_scratch is not None:
+                    protected.add(gen.plan.link_scratch)
+                safe_labels = {
+                    label
+                    for block in gen.cfg.blocks
+                    if len(block.preds) == 1
+                    for label in block.labels
+                }
+                replace_noops_with_bta(mfn, spec, protected, safe_labels)
+            schedule_compares(mfn, spec)
         mprog.functions.append(mfn)
+    record_codegen_metrics(mprog, "branchreg")
     return mprog

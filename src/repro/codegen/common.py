@@ -113,3 +113,33 @@ def mlabel(name):
 
 def mnoop(br=0):
     return MInstr("noop", br=br)
+
+
+def record_codegen_metrics(mprog, machine):
+    """Report generated-code shape into the metrics registry.
+
+    Called by both code generators after lowering a whole program:
+    instruction/label/section counts plus a per-function size histogram,
+    labelled by target machine.
+    """
+    from repro.obs import METRICS
+
+    total_instrs = 0
+    total_labels = 0
+    noops = 0
+    for mfn in mprog.functions:
+        fn_size = 0
+        for ins in mfn.instrs:
+            if ins.is_label():
+                total_labels += 1
+                continue
+            fn_size += 1
+            if ins.op == "noop":
+                noops += 1
+        total_instrs += fn_size
+        METRICS.histogram("codegen.fn_size", machine=machine).observe(fn_size)
+    METRICS.counter("codegen.instructions", machine=machine).inc(total_instrs)
+    METRICS.counter("codegen.labels", machine=machine).inc(total_labels)
+    METRICS.counter("codegen.static_noops", machine=machine).inc(noops)
+    METRICS.counter("codegen.functions", machine=machine).inc(len(mprog.functions))
+    METRICS.counter("codegen.data_globals", machine=machine).inc(len(mprog.globals))

@@ -19,6 +19,7 @@ from repro.emu.branchreg_emu import run_branchreg
 from repro.emu.loader import Image
 from repro.errors import EmulationError
 from repro.lang.frontend import compile_to_ir
+from repro.obs import log, span
 
 
 @dataclass
@@ -64,19 +65,31 @@ def compile_for_machine(source, machine, **codegen_options):
     return Image(mprog)
 
 
-def run_on_machine(source, machine, stdin=b"", limit=None, name="", **options):
+def run_on_machine(
+    source, machine, stdin=b"", limit=None, name="", observer=None, **options
+):
     """Compile and run one program on one machine; returns RunStats."""
     image = compile_for_machine(source, machine, **options)
-    if machine == "baseline":
-        return run_baseline(image, stdin=stdin, limit=limit, program=name)
-    return run_branchreg(image, stdin=stdin, limit=limit, program=name)
+    log.debug("emulating %s on %s", name or "<anonymous>", machine)
+    with span("emulate", machine=machine):
+        if machine == "baseline":
+            return run_baseline(
+                image, stdin=stdin, limit=limit, program=name, observer=observer
+            )
+        return run_branchreg(
+            image, stdin=stdin, limit=limit, program=name, observer=observer
+        )
 
 
-def run_pair(source, stdin=b"", limit=None, name="", branchreg_options=None):
+def run_pair(
+    source, stdin=b"", limit=None, name="", branchreg_options=None, observer=None
+):
     """Run one program on both machines and cross-check the outputs."""
-    base_stats = run_on_machine(source, "baseline", stdin=stdin, limit=limit, name=name)
+    base_stats = run_on_machine(
+        source, "baseline", stdin=stdin, limit=limit, name=name, observer=observer
+    )
     br_stats = run_on_machine(
-        source, "branchreg", stdin=stdin, limit=limit, name=name,
+        source, "branchreg", stdin=stdin, limit=limit, name=name, observer=observer,
         **(branchreg_options or {}),
     )
     if base_stats.output != br_stats.output:

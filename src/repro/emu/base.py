@@ -20,7 +20,9 @@ class BaseEmulator:
 
     MACHINE_NAME = "base"
 
-    def __init__(self, image, stdin=b"", limit=DEFAULT_LIMIT, icache=None):
+    def __init__(
+        self, image, stdin=b"", limit=DEFAULT_LIMIT, icache=None, observer=None
+    ):
         self.image = image
         self.spec = image.spec
         self.memory = image.memory
@@ -28,6 +30,7 @@ class BaseEmulator:
         self.stats = RunStats(machine=self.MACHINE_NAME)
         self.limit = limit
         self.icache = icache
+        self.observer = observer
         self.cache_stalls = 0
         self.r = [0] * self.spec.ints.count
         self.f = [0.0] * self.spec.flts.count
@@ -226,7 +229,29 @@ class BaseEmulator:
         raise NotImplementedError
 
     def run(self):
-        """Run to halt (or instruction limit); returns the RunStats."""
+        """Run to halt (or instruction limit); returns the RunStats.
+
+        With no observer the loop below is the untouched hot path; with
+        one attached (:class:`repro.obs.emuobs.EmulationObserver`) the
+        instrumented loop adds one comparison per instruction plus a
+        sampled callback every ``observer.sample_every`` instructions.
+        """
+        if self.observer is None:
+            while not self.halted:
+                if self.icount >= self.limit:
+                    raise RuntimeLimitExceeded(
+                        "exceeded %d instructions in %s"
+                        % (self.limit, self.stats.program or "program")
+                    )
+                self.step()
+        else:
+            self._run_observed()
+        return self._finalize()
+
+    def _run_observed(self):
+        observer = self.observer
+        observer.on_start(self)
+        next_sample = observer.sample_every
         while not self.halted:
             if self.icount >= self.limit:
                 raise RuntimeLimitExceeded(
@@ -234,6 +259,11 @@ class BaseEmulator:
                     % (self.limit, self.stats.program or "program")
                 )
             self.step()
+            if self.icount >= next_sample:
+                observer.on_sample(self)
+                next_sample = self.icount + observer.sample_every
+
+    def _finalize(self):
         self.stats.instructions = self.icount
         self.stats.exit_code = (
             self.runtime.exit_code if self.runtime.exit_code is not None else 0
@@ -242,4 +272,6 @@ class BaseEmulator:
         if self.icache is not None:
             self.stats.icache = self.icache.stats
             self.stats.cache_stalls = self.cache_stalls
+        if self.observer is not None:
+            self.observer.on_end(self)
         return self.stats

@@ -14,9 +14,9 @@ from repro.emu.intmath import compare
 class BaselineEmulator(BaseEmulator):
     MACHINE_NAME = "baseline"
 
-    def __init__(self, image, stdin=b"", limit=None, icache=None):
+    def __init__(self, image, stdin=b"", limit=None, icache=None, observer=None):
         kwargs = {} if limit is None else {"limit": limit}
-        super().__init__(image, stdin=stdin, icache=icache, **kwargs)
+        super().__init__(image, stdin=stdin, icache=icache, observer=observer, **kwargs)
         self.npc = self.pc + 4
         self.rt = 0
         self.cc = (0, 0)
@@ -78,8 +78,10 @@ class BaselineEmulator(BaseEmulator):
         self.npc = self._target if self._target is not None else self.npc + 4
 
 
-def run_baseline(image, stdin=b"", limit=None, program="", icache=None):
+def run_baseline(image, stdin=b"", limit=None, program="", icache=None, observer=None):
     """Convenience wrapper: run an image and return its RunStats."""
-    emulator = BaselineEmulator(image, stdin=stdin, limit=limit, icache=icache)
+    emulator = BaselineEmulator(
+        image, stdin=stdin, limit=limit, icache=icache, observer=observer
+    )
     emulator.stats.program = program
     return emulator.run()

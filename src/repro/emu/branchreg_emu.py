@@ -26,9 +26,9 @@ _SEQ = "seq"  # sentinel: conditional fell through; target is pc + 4
 class BranchRegEmulator(BaseEmulator):
     MACHINE_NAME = "branchreg"
 
-    def __init__(self, image, stdin=b"", limit=None, icache=None):
+    def __init__(self, image, stdin=b"", limit=None, icache=None, observer=None):
         kwargs = {} if limit is None else {"limit": limit}
-        super().__init__(image, stdin=stdin, icache=icache, **kwargs)
+        super().__init__(image, stdin=stdin, icache=icache, observer=observer, **kwargs)
         n = self.spec.branch_regs
         self.link = self.spec.br_link
         self.b = [0] * n
@@ -160,8 +160,10 @@ class BranchRegEmulator(BaseEmulator):
         self.pc = sequential if target is _SEQ else target
 
 
-def run_branchreg(image, stdin=b"", limit=None, program="", icache=None):
+def run_branchreg(image, stdin=b"", limit=None, program="", icache=None, observer=None):
     """Convenience wrapper: run an image and return its RunStats."""
-    emulator = BranchRegEmulator(image, stdin=stdin, limit=limit, icache=icache)
+    emulator = BranchRegEmulator(
+        image, stdin=stdin, limit=limit, icache=icache, observer=observer
+    )
     emulator.stats.program = program
     return emulator.run()

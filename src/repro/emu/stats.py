@@ -7,7 +7,7 @@ branch-target-calculation counts, prefetch-distance histograms).
 """
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -60,29 +60,32 @@ class RunStats:
             return 0.0
         return self.transfers / self.instructions
 
+    #: Fields that identify a run rather than measure it; ``merge`` leaves
+    #: them untouched on the receiving side.
+    IDENTITY_FIELDS = ("machine", "program", "exit_code", "output")
+
     def merge(self, other):
-        """Accumulate another run's counters into this one (suite totals)."""
-        self.instructions += other.instructions
-        self.data_refs += other.data_refs
-        self.loads += other.loads
-        self.stores += other.stores
-        self.noops += other.noops
-        self.traps += other.traps
-        self.uncond_transfers += other.uncond_transfers
-        self.cond_transfers += other.cond_transfers
-        self.cond_taken += other.cond_taken
-        self.calls += other.calls
-        self.returns += other.returns
-        self.bta_calcs += other.bta_calcs
-        self.noop_carriers += other.noop_carriers
-        self.useful_carriers += other.useful_carriers
-        self.bta_carriers += other.bta_carriers
-        self.branch_reg_saves += other.branch_reg_saves
-        self.branch_reg_restores += other.branch_reg_restores
-        self.prefetch_gap.update(other.prefetch_gap)
-        self.compare_gap.update(other.compare_gap)
-        self.cond_joint.update(other.cond_joint)
-        self.opcounts.update(other.opcounts)
+        """Accumulate another run's counters into this one (suite totals).
+
+        Derived from ``dataclasses.fields()`` so that adding a counter to
+        the dataclass automatically includes it in suite totals: integer
+        fields sum, Counter fields update, identity fields are skipped.
+        """
+        for f in fields(self):
+            if f.name in self.IDENTITY_FIELDS:
+                continue
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if isinstance(mine, Counter):
+                mine.update(theirs)
+            elif isinstance(mine, int):
+                setattr(self, f.name, mine + theirs)
+            else:
+                raise TypeError(
+                    "RunStats.%s has unmergeable type %s; add it to "
+                    "IDENTITY_FIELDS or give it int/Counter semantics"
+                    % (f.name, type(mine).__name__)
+                )
         return self
 
 

@@ -4,10 +4,16 @@ Emulating the full 19-program suite on both machines takes tens of
 seconds; every experiment harness shares the results through this module's
 cache so that ``pytest benchmarks/`` does each distinct configuration only
 once per process.
+
+Observability: every suite run records a ``workload`` span per program
+(the per-workload durations that feed the run manifest), and the memo
+cache reports hits/misses through the metrics registry so harness users
+can see whether they actually re-ran anything.
 """
 
 from repro.ease.environment import run_pair
 from repro.emu.stats import suite_totals
+from repro.obs import METRICS, log, span
 from repro.workloads import all_workloads
 
 DEFAULT_LIMIT = 20_000_000
@@ -19,32 +25,56 @@ _CACHE = {}
 FAST_SUBSET = ("wc", "grep", "puzzle", "spline", "sort", "vpcc")
 
 
-def run_suite(subset=None, limit=DEFAULT_LIMIT, branchreg_options=None):
+def run_suite(
+    subset=None,
+    limit=DEFAULT_LIMIT,
+    branchreg_options=None,
+    observer=None,
+    use_cache=True,
+):
     """Run (or reuse) the suite; returns a list of PairResult.
 
     ``subset`` is an iterable of workload names or None for all 19.
     ``branchreg_options`` forwards ablation switches to the
-    branch-register code generator.
+    branch-register code generator.  ``observer`` attaches a
+    :class:`repro.obs.emuobs.EmulationObserver` to every emulation;
+    ``use_cache=False`` forces a fresh run (the observer is *not* part of
+    the cache key, so instrumented runs should bypass the cache).
     """
     names = tuple(subset) if subset is not None else None
+    if names is not None:
+        known = {w.name for w in all_workloads()}
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            raise ValueError(
+                "unknown workload(s): %s (see 'repro workloads')"
+                % ", ".join(unknown)
+            )
     options = tuple(sorted((branchreg_options or {}).items()))
     key = (names, limit, options)
-    if key in _CACHE:
+    if use_cache and key in _CACHE:
+        METRICS.counter("harness.suite_cache", result="hit").inc()
+        log.debug("suite cache hit for subset=%s", names or "all")
         return _CACHE[key]
+    METRICS.counter("harness.suite_cache", result="miss").inc()
     pairs = []
     for w in all_workloads():
         if names is not None and w.name not in names:
             continue
-        pairs.append(
-            run_pair(
-                w.source,
-                stdin=w.stdin_bytes(),
-                name=w.name,
-                limit=limit,
-                branchreg_options=branchreg_options,
+        log.info("running workload %s on both machines", w.name)
+        with span("workload", name=w.name):
+            pairs.append(
+                run_pair(
+                    w.source,
+                    stdin=w.stdin_bytes(),
+                    name=w.name,
+                    limit=limit,
+                    branchreg_options=branchreg_options,
+                    observer=observer,
+                )
             )
-        )
-    _CACHE[key] = pairs
+    if use_cache:
+        _CACHE[key] = pairs
     return pairs
 
 

@@ -10,6 +10,7 @@ from repro.errors import SemanticError
 from repro.lang.irgen import lower_program
 from repro.lang.parser import parse
 from repro.lang.sema import analyze
+from repro.obs import METRICS, log, span
 
 STDLIB_SOURCE = r"""
 /* SmallC runtime library.  Compiled together with every program; unused
@@ -300,13 +301,26 @@ def _trim_unreachable(program):
 
 def compile_to_ir(source, include_stdlib=True, filename="<source>"):
     """Compile SmallC source into a trimmed :class:`IRProgram`."""
-    user_ast = parse(source, filename)
-    if include_stdlib:
-        stdlib_ast = parse(STDLIB_SOURCE, "<stdlib>")
-        user_ast = _merge_stdlib(user_ast, stdlib_ast)
-    analyze(user_ast)
-    for fn in user_ast.functions:
-        if fn.name == "main" and fn.params:
-            raise SemanticError("main must take no parameters in SmallC")
-    program = lower_program(user_ast)
-    return _trim_unreachable(program)
+    with span("frontend.parse"):
+        user_ast = parse(source, filename)
+        if include_stdlib:
+            stdlib_ast = parse(STDLIB_SOURCE, "<stdlib>")
+            user_ast = _merge_stdlib(user_ast, stdlib_ast)
+    with span("frontend.sema"):
+        analyze(user_ast)
+        for fn in user_ast.functions:
+            if fn.name == "main" and fn.params:
+                raise SemanticError("main must take no parameters in SmallC")
+    with span("frontend.lower"):
+        program = lower_program(user_ast)
+    with span("frontend.trim"):
+        program = _trim_unreachable(program)
+    METRICS.counter("frontend.compilations").inc()
+    METRICS.counter("frontend.ir_functions").inc(len(program.functions))
+    METRICS.counter("frontend.ir_instructions").inc(
+        sum(len(fn.instrs) for fn in program.functions.values())
+    )
+    log.debug(
+        "compiled %s: %d live functions", filename, len(program.functions)
+    )
+    return program

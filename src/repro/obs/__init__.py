@@ -1,0 +1,60 @@
+"""Observability layer: metrics, span timing, events, logging, manifests.
+
+This package is the instrumentation substrate for the whole reproduction
+(see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.metrics` -- labelled counters / gauges / histograms in a
+  process-wide registry (``METRICS``);
+* :mod:`repro.obs.spans` -- aggregated wall-time spans with
+  context-manager (``span``) and decorator (``timed``) APIs;
+* :mod:`repro.obs.events` -- structured JSON-lines event stream, disabled
+  (one ``is None`` test) unless a sink is attached;
+* :mod:`repro.obs.log` -- the shared ``repro`` logger and its ``-v``/``-q``
+  configuration;
+* :mod:`repro.obs.emuobs` -- sampled low-overhead emulator hooks;
+* :mod:`repro.obs.manifest` -- the run-manifest JSON schema, builder, and
+  dependency-free validator;
+* :mod:`repro.obs.report` -- the ``python -m repro report`` driver.
+
+Everything here is pure standard library and always importable; the
+instrumented code paths cost close to nothing unless a report run enables
+collection.
+"""
+
+from repro.obs.events import (
+    JsonlSink,
+    MemorySink,
+    emit,
+    enabled,
+    get_sink,
+    set_sink,
+)
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import log
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.spans import RECORDER, SpanRecorder, span, timed
+
+
+def reset():
+    """Clear the global metrics registry and span recorder."""
+    METRICS.reset()
+    RECORDER.reset()
+
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "RECORDER",
+    "SpanRecorder",
+    "span",
+    "timed",
+    "emit",
+    "enabled",
+    "set_sink",
+    "get_sink",
+    "MemorySink",
+    "JsonlSink",
+    "log",
+    "configure_logging",
+    "reset",
+]

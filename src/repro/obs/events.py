@@ -1,0 +1,91 @@
+"""Structured event stream: JSON-lines sinks for telemetry events.
+
+Events are flat dicts with a ``type``, a wall-clock timestamp ``t``, and
+arbitrary JSON-serialisable fields.  By default no sink is attached and
+:func:`emit` is a single ``is None`` test -- the hot paths stay effectively
+free.  Attach a :class:`MemorySink` (tests, in-process analysis) or a
+:class:`JsonlSink` (one JSON object per line, the interchange format the
+run-report tooling and external consumers read) to capture the stream.
+"""
+
+import json
+import time
+
+_SINK = None
+
+
+def set_sink(sink):
+    """Install ``sink`` (or None to disable); returns the previous sink."""
+    global _SINK
+    previous = _SINK
+    _SINK = sink
+    return previous
+
+
+def get_sink():
+    return _SINK
+
+
+def enabled():
+    return _SINK is not None
+
+
+def emit(etype, **fields):
+    """Emit one event to the active sink (no-op when none attached)."""
+    sink = _SINK
+    if sink is None:
+        return
+    event = {"type": etype, "t": time.time()}
+    event.update(fields)
+    sink.emit(event)
+
+
+class MemorySink:
+    """Keeps events in a bounded in-memory list."""
+
+    def __init__(self, max_events=100_000):
+        self.events = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def emit(self, event):
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def by_type(self, etype):
+        return [e for e in self.events if e["type"] == etype]
+
+    def close(self):
+        pass
+
+
+class JsonlSink:
+    """Appends one JSON object per line to ``path`` (or a file object)."""
+
+    def __init__(self, path):
+        if hasattr(path, "write"):
+            self._fh = path
+            self._owns = False
+        else:
+            self._fh = open(path, "w")
+            self._owns = True
+        self.count = 0
+
+    def emit(self, event):
+        self._fh.write(json.dumps(event, sort_keys=True, default=str))
+        self._fh.write("\n")
+        self.count += 1
+
+    def close(self):
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -1,0 +1,42 @@
+"""Shared logger for the whole reproduction.
+
+Every module logs through ``repro.obs.log.log`` (logger name ``repro``);
+the CLI's ``-v``/``-q`` flags call :func:`configure` to pick the level.
+Diagnostics that previously went to bare ``print`` belong here, keeping
+stdout clean for the actual report/table output.
+"""
+
+import logging
+import sys
+
+log = logging.getLogger("repro")
+
+_HANDLER = None
+
+
+def configure(verbosity=0, stream=None):
+    """Set the log level from a verbosity count.
+
+    ``verbosity``: <=-1 errors only (``-q``), 0 warnings (default),
+    1 info (``-v``), >=2 debug (``-vv``).  Installs a single stderr
+    handler; repeated calls reconfigure it rather than stacking handlers.
+    """
+    global _HANDLER
+    if verbosity <= -1:
+        level = logging.ERROR
+    elif verbosity == 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    if _HANDLER is None:
+        _HANDLER = logging.StreamHandler(stream or sys.stderr)
+        _HANDLER.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        log.addHandler(_HANDLER)
+    elif stream is not None:
+        _HANDLER.setStream(stream)
+    log.setLevel(level)
+    return log

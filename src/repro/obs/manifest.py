@@ -1,0 +1,329 @@
+"""Run manifests: the machine-readable record of one suite run.
+
+A manifest is a single JSON document (``BENCH_<timestamp>.json`` by
+default) containing everything a perf PR needs for a before/after
+comparison: per-program :class:`~repro.emu.stats.RunStats` for both
+machines, suite totals, aggregated per-phase wall-time spans
+(frontend / opt / codegen / emulate / workload), the metrics snapshot, and
+enough environment information to interpret the numbers later.
+
+The schema below is a deliberately small JSON-Schema subset (``type``,
+``required``, ``properties``, ``items``, ``const``) with a matching
+in-repo validator, so manifests can be checked in CI without third-party
+dependencies.
+"""
+
+import json
+import platform
+import sys
+import time
+from dataclasses import fields as dataclass_fields
+
+SCHEMA_ID = "repro.run-manifest/1"
+
+
+class ManifestError(ValueError):
+    """A manifest failed schema validation."""
+
+
+# --------------------------------------------------------------------------
+# RunStats serialisation
+# --------------------------------------------------------------------------
+
+#: RunStats fields excluded from the JSON form (raw output is replaced by
+#: its length; identity fields are emitted explicitly).
+_STATS_RAW_FIELDS = ("output",)
+
+
+def stats_to_dict(stats):
+    """Serialise a RunStats (Counters become plain dicts; tuple keys of the
+    ``cond_joint`` histogram become ``"p,c"`` strings; raw output bytes
+    become ``output_len``)."""
+    out = {}
+    for f in dataclass_fields(stats):
+        if f.name in _STATS_RAW_FIELDS:
+            continue
+        value = getattr(stats, f.name)
+        if hasattr(value, "items"):  # Counter / dict
+            if f.name == "cond_joint":
+                out[f.name] = {
+                    "%d,%d" % key: count for key, count in sorted(value.items())
+                }
+            else:
+                out[f.name] = {str(k): v for k, v in sorted(value.items())}
+        else:
+            out[f.name] = value
+    out["transfers"] = stats.transfers
+    out["output_len"] = len(stats.output)
+    icache = getattr(stats, "icache", None)
+    if icache is not None:
+        out["icache"] = dict(vars(icache))
+        out["cache_stalls"] = getattr(stats, "cache_stalls", 0)
+    return out
+
+
+def environment_info():
+    from repro import __version__
+
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repro_version": __version__,
+    }
+
+
+# --------------------------------------------------------------------------
+# Schema
+# --------------------------------------------------------------------------
+
+_RUNSTATS_SCHEMA = {
+    "type": "object",
+    "required": [
+        "machine",
+        "program",
+        "instructions",
+        "data_refs",
+        "transfers",
+        "noops",
+        "opcounts",
+        "exit_code",
+        "output_len",
+    ],
+    "properties": {
+        "machine": {"type": "string"},
+        "program": {"type": "string"},
+        "instructions": {"type": "integer"},
+        "data_refs": {"type": "integer"},
+        "transfers": {"type": "integer"},
+        "noops": {"type": "integer"},
+        "opcounts": {"type": "object"},
+        "exit_code": {"type": "integer"},
+        "output_len": {"type": "integer"},
+    },
+}
+
+_PHASE_SCHEMA = {
+    "type": "object",
+    "required": ["name", "phase", "count", "total_s"],
+    "properties": {
+        "name": {"type": "string"},
+        "phase": {"type": "string"},
+        "labels": {"type": "object"},
+        "count": {"type": "integer"},
+        "total_s": {"type": "number"},
+        "min_s": {"type": "number"},
+        "max_s": {"type": "number"},
+    },
+}
+
+MANIFEST_SCHEMA = {
+    "type": "object",
+    "required": [
+        "schema",
+        "created_unix",
+        "duration_s",
+        "environment",
+        "config",
+        "programs",
+        "totals",
+        "phases",
+        "phase_totals",
+        "metrics",
+    ],
+    "properties": {
+        "schema": {"type": "string", "const": SCHEMA_ID},
+        "created_unix": {"type": "number"},
+        "duration_s": {"type": "number"},
+        "environment": {
+            "type": "object",
+            "required": ["python", "platform", "repro_version"],
+            "properties": {
+                "python": {"type": "string"},
+                "platform": {"type": "string"},
+                "repro_version": {"type": "string"},
+            },
+        },
+        "config": {
+            "type": "object",
+            "required": ["subset", "limit"],
+            "properties": {
+                "subset": {"type": ["array", "null"], "items": {"type": "string"}},
+                "limit": {"type": ["integer", "null"]},
+            },
+        },
+        "programs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "baseline", "branchreg", "derived"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "baseline": _RUNSTATS_SCHEMA,
+                    "branchreg": _RUNSTATS_SCHEMA,
+                    "derived": {
+                        "type": "object",
+                        "required": ["instr_change", "refs_change"],
+                        "properties": {
+                            "instr_change": {"type": "number"},
+                            "refs_change": {"type": "number"},
+                        },
+                    },
+                    "duration_s": {"type": "number"},
+                },
+            },
+        },
+        "totals": {
+            "type": "object",
+            "required": ["baseline", "branchreg", "instr_change", "refs_change"],
+            "properties": {
+                "baseline": _RUNSTATS_SCHEMA,
+                "branchreg": _RUNSTATS_SCHEMA,
+                "instr_change": {"type": "number"},
+                "refs_change": {"type": "number"},
+            },
+        },
+        "phases": {"type": "array", "items": _PHASE_SCHEMA},
+        "phase_totals": {"type": "object"},
+        "metrics": {
+            "type": "object",
+            "required": ["counters", "gauges", "histograms"],
+            "properties": {
+                "counters": {"type": "array"},
+                "gauges": {"type": "array"},
+                "histograms": {"type": "array"},
+            },
+        },
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _validate(doc, schema, path):
+    stype = schema.get("type")
+    if stype is not None:
+        allowed = stype if isinstance(stype, list) else [stype]
+        if not any(_TYPE_CHECKS[t](doc) for t in allowed):
+            raise ManifestError(
+                "%s: expected %s, got %s" % (path, "/".join(allowed), type(doc).__name__)
+            )
+    if "const" in schema and doc != schema["const"]:
+        raise ManifestError(
+            "%s: expected %r, got %r" % (path, schema["const"], doc)
+        )
+    if isinstance(doc, dict):
+        for key in schema.get("required", ()):
+            if key not in doc:
+                raise ManifestError("%s: missing required key %r" % (path, key))
+        for key, sub in schema.get("properties", {}).items():
+            if key in doc:
+                _validate(doc[key], sub, "%s.%s" % (path, key))
+    if isinstance(doc, list) and "items" in schema:
+        for i, item in enumerate(doc):
+            _validate(item, schema["items"], "%s[%d]" % (path, i))
+
+
+def validate_manifest(doc, schema=None):
+    """Raise :class:`ManifestError` if ``doc`` violates the schema."""
+    _validate(doc, schema or MANIFEST_SCHEMA, "$")
+    return doc
+
+
+# --------------------------------------------------------------------------
+# Building
+# --------------------------------------------------------------------------
+
+def build_manifest(
+    pairs,
+    config,
+    duration_s,
+    span_rows=None,
+    phase_totals=None,
+    metrics_snapshot=None,
+    workload_durations=None,
+    created_unix=None,
+):
+    """Assemble (and validate) a run manifest from suite results.
+
+    ``pairs`` is a list of :class:`~repro.ease.environment.PairResult`;
+    ``span_rows``/``phase_totals``/``metrics_snapshot`` come from the obs
+    recorders; ``workload_durations`` maps workload name to seconds.
+    """
+    from repro.emu.stats import suite_totals
+
+    durations = workload_durations or {}
+    programs = []
+    for pair in pairs:
+        entry = {
+            "name": pair.name,
+            "baseline": stats_to_dict(pair.baseline),
+            "branchreg": stats_to_dict(pair.branchreg),
+            "derived": {
+                "instr_change": -pair.instruction_reduction(),
+                "refs_change": pair.data_ref_increase(),
+            },
+        }
+        if pair.name in durations:
+            entry["duration_s"] = durations[pair.name]
+        programs.append(entry)
+    baseline = suite_totals([p.baseline for p in pairs], machine="baseline")
+    branchreg = suite_totals([p.branchreg for p in pairs], machine="branchreg")
+    totals = {
+        "baseline": stats_to_dict(baseline),
+        "branchreg": stats_to_dict(branchreg),
+        "instr_change": (
+            branchreg.instructions / baseline.instructions - 1.0
+            if baseline.instructions
+            else 0.0
+        ),
+        "refs_change": (
+            branchreg.data_refs / baseline.data_refs - 1.0
+            if baseline.data_refs
+            else 0.0
+        ),
+    }
+    manifest = {
+        "schema": SCHEMA_ID,
+        "created_unix": time.time() if created_unix is None else created_unix,
+        "duration_s": duration_s,
+        "environment": environment_info(),
+        "config": {
+            "subset": list(config.get("subset")) if config.get("subset") else None,
+            "limit": config.get("limit"),
+        },
+        "programs": programs,
+        "totals": totals,
+        "phases": list(span_rows or []),
+        "phase_totals": dict(phase_totals or {}),
+        "metrics": metrics_snapshot
+        or {"counters": [], "gauges": [], "histograms": []},
+    }
+    return validate_manifest(manifest)
+
+
+def load_manifest(path):
+    """Read and validate a manifest file."""
+    with open(path, "r") as handle:
+        doc = json.load(handle)
+    return validate_manifest(doc)
+
+
+def write_manifest(manifest, out=None):
+    """Write a manifest; default filename ``BENCH_<timestamp>.json``."""
+    if out is None:
+        stamp = time.strftime(
+            "%Y%m%dT%H%M%S", time.localtime(manifest["created_unix"])
+        )
+        out = "BENCH_%s.json" % stamp
+    with open(out, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return out

@@ -1,0 +1,157 @@
+"""Metrics registry: labelled counters, gauges, and histograms.
+
+The instrumentation layer needs three primitive shapes:
+
+* **Counter** -- a monotonically increasing count (instructions retired,
+  suite-cache hits, IR instructions removed by a pass);
+* **Gauge** -- a point-in-time value (code size of the last generated
+  program, current suite subset size);
+* **Histogram** -- a summary of observations (per-function code sizes,
+  per-workload durations) with optional fixed bucket boundaries.
+
+Every metric is identified by a name plus a frozen label set, mirroring
+the Prometheus data model so the snapshot serialises naturally into the
+run manifest.  The registry is cheap enough to leave permanently enabled:
+metric lookup is one dict access and instruments hold plain ints/floats.
+"""
+
+from dataclasses import dataclass, field
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonic counter.  ``inc`` with a negative amount is rejected."""
+
+    name: str
+    labels: dict
+    value: float = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counter %r cannot decrease" % self.name)
+        self.value += amount
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value; ``set`` replaces, ``add`` adjusts."""
+
+    name: str
+    labels: dict
+    value: float = 0
+
+    def set(self, value):
+        self.value = value
+        return self.value
+
+    def add(self, amount):
+        self.value += amount
+        return self.value
+
+
+@dataclass
+class Histogram:
+    """Observation summary with optional fixed bucket upper bounds."""
+
+    name: str
+    labels: dict
+    buckets: tuple = ()
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+    bucket_counts: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.buckets and not self.bucket_counts:
+            # One count per bound plus the overflow bucket.
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.buckets:
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Holds every instrument, keyed by (kind, name, labels)."""
+
+    def __init__(self):
+        self._instruments = {}
+
+    def _get(self, kind, cls, name, labels, **kwargs):
+        key = (kind, name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name=name, labels=dict(labels), **kwargs)
+            self._instruments[key] = inst
+        return inst
+
+    def counter(self, name, /, **labels):
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name, /, **labels):
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(self, name, /, buckets=(), **labels):
+        return self._get("histogram", Histogram, name, labels, buckets=tuple(buckets))
+
+    def reset(self):
+        self._instruments.clear()
+
+    def __len__(self):
+        return len(self._instruments)
+
+    def snapshot(self):
+        """Serialisable view: {"counters": [...], "gauges": [...],
+        "histograms": [...]}, each row {name, labels, ...}."""
+        out = {"counters": [], "gauges": [], "histograms": []}
+        for (kind, _name, _lk), inst in sorted(
+            self._instruments.items(), key=lambda kv: kv[0][:2] + (kv[0][2],)
+        ):
+            if kind == "counter":
+                out["counters"].append(
+                    {"name": inst.name, "labels": inst.labels, "value": inst.value}
+                )
+            elif kind == "gauge":
+                out["gauges"].append(
+                    {"name": inst.name, "labels": inst.labels, "value": inst.value}
+                )
+            else:
+                row = {
+                    "name": inst.name,
+                    "labels": inst.labels,
+                    "count": inst.count,
+                    "total": inst.total,
+                    "mean": inst.mean,
+                }
+                if inst.count:
+                    row["min"] = inst.min
+                    row["max"] = inst.max
+                if inst.buckets:
+                    row["buckets"] = list(inst.buckets)
+                    row["bucket_counts"] = list(inst.bucket_counts)
+                out["histograms"].append(row)
+        return out
+
+
+#: Process-wide default registry; everything in ``repro`` reports here.
+METRICS = MetricsRegistry()

@@ -1,0 +1,170 @@
+"""The ``repro report`` driver: run a suite under full instrumentation and
+emit a run manifest plus a human-readable profile.
+
+This is the artifact-producing path every perf PR uses for before/after
+comparisons: it resets the metric/span recorders, attaches an
+:class:`~repro.obs.emuobs.EmulationObserver` (and optionally a JSON-lines
+event sink), runs the suite through the shared harness, and assembles a
+schema-validated manifest (see :mod:`repro.obs.manifest`).
+
+A saved manifest can be *replayed* -- re-rendered without re-running
+anything -- which is how older ``BENCH_*.json`` artifacts stay readable.
+"""
+
+import time
+
+from repro.obs import events
+from repro.obs.emuobs import EmulationObserver
+from repro.obs.log import log
+from repro.obs.manifest import build_manifest, load_manifest, write_manifest
+from repro.obs.metrics import METRICS
+from repro.obs.spans import RECORDER
+
+PHASE_ORDER = ("frontend", "opt", "codegen", "emulate", "workload")
+
+
+def run_report(
+    subset=None,
+    limit=None,
+    sample_every=65536,
+    events_path=None,
+    reset=True,
+):
+    """Run the (sub)suite instrumented; returns {"manifest", "text", "pairs"}.
+
+    ``subset`` is an iterable of workload names (None = all 19);
+    ``events_path`` writes the raw event stream as JSON lines alongside
+    the manifest; ``reset`` clears the global metric/span recorders first
+    so the manifest reflects only this run.
+    """
+    from repro.harness.runner import DEFAULT_LIMIT, run_suite
+
+    if reset:
+        METRICS.reset()
+        RECORDER.reset()
+    sink = events.JsonlSink(events_path) if events_path else None
+    previous_sink = events.set_sink(sink) if sink is not None else events.get_sink()
+    observer = EmulationObserver(sample_every=sample_every)
+    started = time.perf_counter()
+    try:
+        pairs = run_suite(
+            subset=subset,
+            limit=limit if limit is not None else DEFAULT_LIMIT,
+            observer=observer,
+            use_cache=False,
+        )
+    finally:
+        if sink is not None:
+            events.set_sink(previous_sink)
+            sink.close()
+    duration = time.perf_counter() - started
+    span_rows = RECORDER.snapshot()
+    workload_durations = {
+        row["labels"]["name"]: row["total_s"]
+        for row in span_rows
+        if row["name"] == "workload" and "name" in row["labels"]
+    }
+    manifest = build_manifest(
+        pairs,
+        config={"subset": tuple(subset) if subset else None, "limit": limit},
+        duration_s=duration,
+        span_rows=span_rows,
+        phase_totals=RECORDER.phase_totals(),
+        metrics_snapshot=METRICS.snapshot(),
+        workload_durations=workload_durations,
+    )
+    log.info(
+        "report: %d programs in %.2fs (%d spans, %d metrics)",
+        len(pairs),
+        duration,
+        len(span_rows),
+        len(METRICS),
+    )
+    return {"manifest": manifest, "text": render_report(manifest), "pairs": pairs}
+
+
+def replay_report(path):
+    """Load a saved manifest and re-render its profile text."""
+    manifest = load_manifest(path)
+    return {"manifest": manifest, "text": render_report(manifest)}
+
+
+def save_report(result, out=None):
+    """Write a run_report result's manifest; returns the path."""
+    return write_manifest(result["manifest"], out)
+
+
+# --------------------------------------------------------------------------
+# Rendering
+# --------------------------------------------------------------------------
+
+def _fmt_count(n):
+    return "{:,}".format(n)
+
+
+def render_report(manifest):
+    """Human-readable profile: totals, per-program rows, phase profile."""
+    env = manifest["environment"]
+    totals = manifest["totals"]
+    lines = [
+        "Run report (%s)" % manifest["schema"],
+        "  python %s on %s, repro %s"
+        % (env["python"], env["platform"], env["repro_version"]),
+        "  %d programs, %.2fs total"
+        % (len(manifest["programs"]), manifest["duration_s"]),
+        "",
+        "%-11s %14s %14s %9s %9s %9s"
+        % ("program", "base instr", "brm instr", "d-instr", "d-refs", "time"),
+    ]
+    for prog in manifest["programs"]:
+        lines.append(
+            "%-11s %14s %14s %+8.1f%% %+8.1f%% %8s"
+            % (
+                prog["name"],
+                _fmt_count(prog["baseline"]["instructions"]),
+                _fmt_count(prog["branchreg"]["instructions"]),
+                100.0 * prog["derived"]["instr_change"],
+                100.0 * prog["derived"]["refs_change"],
+                "%.3fs" % prog["duration_s"] if "duration_s" in prog else "-",
+            )
+        )
+    lines.append(
+        "%-11s %14s %14s %+8.1f%% %+8.1f%%"
+        % (
+            "TOTAL",
+            _fmt_count(totals["baseline"]["instructions"]),
+            _fmt_count(totals["branchreg"]["instructions"]),
+            100.0 * totals["instr_change"],
+            100.0 * totals["refs_change"],
+        )
+    )
+    lines.append("")
+    lines.append("Phase profile:")
+    lines.append(
+        "%-28s %8s %12s %12s %12s"
+        % ("span", "count", "total", "mean", "max")
+    )
+    for row in manifest["phases"]:
+        label = row["name"]
+        if row.get("labels"):
+            label += "{%s}" % ",".join(
+                "%s=%s" % kv for kv in sorted(row["labels"].items())
+            )
+        mean = row["total_s"] / row["count"] if row["count"] else 0.0
+        lines.append(
+            "%-28s %8d %11.4fs %11.6fs %11.6fs"
+            % (label[:28], row["count"], row["total_s"], mean, row.get("max_s", 0.0))
+        )
+    if manifest["phase_totals"]:
+        lines.append("")
+        lines.append("Per-phase totals:")
+        ordered = sorted(
+            manifest["phase_totals"].items(),
+            key=lambda kv: (
+                PHASE_ORDER.index(kv[0]) if kv[0] in PHASE_ORDER else 99,
+                kv[0],
+            ),
+        )
+        for phase, total in ordered:
+            lines.append("  %-12s %10.4fs" % (phase, total))
+    return "\n".join(lines)

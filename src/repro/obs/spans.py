@@ -1,0 +1,132 @@
+"""Span/phase timing: context-manager and decorator wall-time profiling.
+
+A *span* is a named, optionally labelled region of wall time ("frontend.parse",
+"emulate" with ``machine=branchreg``).  Spans aggregate in place -- each
+(name, labels) pair keeps a count / total / min / max rather than a log of
+every occurrence -- so instrumenting a pass that runs thousands of times
+per suite costs two ``perf_counter`` calls and one dict update per entry,
+and memory stays bounded.
+
+The first dot-separated component of a span name is its *phase*
+("frontend", "opt", "codegen", "emulate", "workload"), which is how the
+run manifest groups the profile table.
+
+If an event sink is attached (:mod:`repro.obs.events`), every span
+completion additionally emits a ``span`` event so external tools can see
+the raw stream.
+"""
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import wraps
+
+from repro.obs import events
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timings for one (name, labels) pair."""
+
+    name: str
+    labels: dict
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = field(default=float("inf"))
+    max_s: float = 0.0
+
+    def record(self, duration):
+        self.count += 1
+        self.total_s += duration
+        if duration < self.min_s:
+            self.min_s = duration
+        if duration > self.max_s:
+            self.max_s = duration
+
+    @property
+    def phase(self):
+        return self.name.split(".", 1)[0]
+
+
+class SpanRecorder:
+    """Aggregates span timings; one process-wide instance by default."""
+
+    def __init__(self):
+        self._spans = {}
+
+    @contextmanager
+    def span(self, name, /, **labels):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            self._record(name, labels, duration)
+
+    def timed(self, name, /, **labels):
+        """Decorator form: ``@timed("opt.copyprop")``."""
+
+        def deco(fn):
+            @wraps(fn)
+            def wrapper(*args, **kwargs):
+                start = time.perf_counter()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    self._record(name, labels, time.perf_counter() - start)
+
+            return wrapper
+
+        return deco
+
+    def _record(self, name, labels, duration):
+        key = (name, _label_key(labels))
+        stats = self._spans.get(key)
+        if stats is None:
+            stats = SpanStats(name=name, labels=dict(labels))
+            self._spans[key] = stats
+        stats.record(duration)
+        events.emit("span", name=name, labels=labels, duration_s=duration)
+
+    def reset(self):
+        self._spans.clear()
+
+    def __len__(self):
+        return len(self._spans)
+
+    def snapshot(self):
+        """Serialisable rows sorted by descending total time."""
+        rows = []
+        for stats in sorted(
+            self._spans.values(), key=lambda s: -s.total_s
+        ):
+            rows.append(
+                {
+                    "name": stats.name,
+                    "phase": stats.phase,
+                    "labels": stats.labels,
+                    "count": stats.count,
+                    "total_s": stats.total_s,
+                    "min_s": stats.min_s if stats.count else 0.0,
+                    "max_s": stats.max_s,
+                }
+            )
+        return rows
+
+    def phase_totals(self):
+        """{phase: total seconds} across all spans."""
+        totals = {}
+        for stats in self._spans.values():
+            totals[stats.phase] = totals.get(stats.phase, 0.0) + stats.total_s
+        return totals
+
+
+#: Process-wide recorder used by all built-in instrumentation.
+RECORDER = SpanRecorder()
+
+span = RECORDER.span
+timed = RECORDER.timed

@@ -7,11 +7,24 @@ target lowering alone -- the property the paper's experiment relies on.
 """
 
 from repro.cfg.build import build_cfg
+from repro.obs import METRICS, span
 from repro.opt import constfold, copyprop, dce
 from repro.rtl import instr as I
 from repro.rtl.operand import FLT, INT, Label
 
 MAX_ROUNDS = 10
+
+
+def _cfg_size(cfg):
+    return sum(len(block.instrs) for block in cfg.blocks)
+
+
+def _record_pass(stage, before, after):
+    """Per-pass IR size delta (positive = instructions removed)."""
+    if after < before:
+        METRICS.counter("opt.ir_removed", stage=stage).inc(before - after)
+    elif after > before:
+        METRICS.counter("opt.ir_added", stage=stage).inc(after - before)
 
 
 def normalize_returns(fn):
@@ -42,15 +55,30 @@ def normalize_returns(fn):
 
 def optimize_function(fn):
     """Run the pass pipeline over one function, in place."""
-    normalize_returns(fn)
+    size_in = len(fn.instrs)
+    with span("opt.normalize_returns"):
+        normalize_returns(fn)
     for _round in range(MAX_ROUNDS):
-        cfg = build_cfg(fn)
-        changed = copyprop.run(cfg)
-        changed |= constfold.run(cfg)
-        dce.run_to_fixpoint(cfg)
+        with span("opt.build_cfg"):
+            cfg = build_cfg(fn)
+        size = _cfg_size(cfg)
+        with span("opt.copyprop"):
+            changed = copyprop.run(cfg)
+        after_copyprop = _cfg_size(cfg)
+        _record_pass("copyprop", size, after_copyprop)
+        with span("opt.constfold"):
+            changed |= constfold.run(cfg)
+        after_constfold = _cfg_size(cfg)
+        _record_pass("constfold", after_copyprop, after_constfold)
+        with span("opt.dce"):
+            dce.run_to_fixpoint(cfg)
+        _record_pass("dce", after_constfold, _cfg_size(cfg))
         fn.instrs = cfg.linearize()
         if not changed:
             break
+    METRICS.counter("opt.functions").inc()
+    METRICS.counter("opt.ir_instrs_in").inc(size_in)
+    METRICS.counter("opt.ir_instrs_out").inc(len(fn.instrs))
     return fn
 
 

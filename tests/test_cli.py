@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -89,3 +92,70 @@ class TestCommands:
         main(["cycles", "--stages", "3", "--subset", "wc"])
         out = capsys.readouterr().out
         assert "stages" in out
+
+
+class TestJsonOutput:
+    def test_run_json(self, demo_c, stdin_file, capsys):
+        rc = main(["run", demo_c, "--stdin", stdin_file, "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["output"] == "5\n"
+        assert doc["baseline"]["instructions"] > 0
+        assert doc["branchreg"]["machine"] == "branchreg"
+        assert "instr_change" in doc["derived"]
+
+    def test_run_single_machine_json(self, demo_c, capsys):
+        rc = main(["run", demo_c, "--machine", "branchreg", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["machine"] == "branchreg"
+        assert doc["output"] == "0\n"
+
+    def test_table1_json(self, capsys):
+        rc = main(["table1", "--subset", "wc", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [p["name"] for p in doc["programs"]] == ["wc"]
+        assert doc["totals"]["baseline"]["instructions"] > 0
+        assert "transfer_fraction" in doc["claims"]
+
+    def test_cycles_json(self, capsys):
+        rc = main(["cycles", "--stages", "3,4", "--subset", "wc", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [e["stages"] for e in doc["estimates"]] == [3, 4]
+        est = doc["estimates"][0]
+        assert est["branchreg"]["cycles"] < est["baseline"]["cycles"]
+
+    def test_cache_json(self, capsys):
+        rc = main(["cache", "--subset", "wc", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"]
+        assert {"config", "machine", "cycles", "miss_rate"} <= set(doc["runs"][0])
+
+
+class TestVerbosity:
+    def teardown_method(self):
+        from repro.obs.log import configure
+
+        configure(0)
+
+    def test_verbose_flag_sets_log_level(self, demo_c, capsys):
+        from repro.obs.log import log
+
+        main(["-v", "run", demo_c])
+        assert log.level == logging.INFO
+        main(["-vv", "run", demo_c])
+        assert log.level == logging.DEBUG
+
+    def test_quiet_flag_sets_log_level(self, demo_c, capsys):
+        from repro.obs.log import log
+
+        main(["-q", "run", demo_c])
+        assert log.level == logging.ERROR
+
+    def test_verbose_emits_diagnostics(self, demo_c, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            main(["-vv", "run", demo_c])
+        assert any("compiled" in r.message for r in caplog.records)

@@ -1,0 +1,146 @@
+"""Tests for run-manifest building, serialisation, and validation."""
+
+import json
+
+import pytest
+
+from repro.ease.environment import run_pair
+from repro.emu.stats import RunStats
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    SCHEMA_ID,
+    ManifestError,
+    build_manifest,
+    load_manifest,
+    stats_to_dict,
+    validate_manifest,
+    write_manifest,
+)
+
+SIMPLE = """
+int main() {
+    int i; int n = 0;
+    for (i = 0; i < 5; i++) n += i;
+    print_int(n); putchar(10);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return run_pair(SIMPLE, name="simple")
+
+
+@pytest.fixture(scope="module")
+def manifest(pair):
+    return build_manifest(
+        [pair],
+        config={"subset": ("simple",), "limit": 1000000},
+        duration_s=0.5,
+        workload_durations={"simple": 0.25},
+    )
+
+
+class TestStatsToDict:
+    def test_core_fields(self, pair):
+        d = stats_to_dict(pair.baseline)
+        assert d["machine"] == "baseline"
+        assert d["instructions"] == pair.baseline.instructions
+        assert d["transfers"] == pair.baseline.transfers
+        assert d["output_len"] == len(pair.baseline.output)
+        assert "output" not in d
+
+    def test_counters_serialised_as_dicts(self, pair):
+        d = stats_to_dict(pair.branchreg)
+        assert isinstance(d["opcounts"], dict)
+        assert sum(d["opcounts"].values()) == pair.branchreg.instructions
+        # Tuple keys become "p,c" strings.
+        for key in d["cond_joint"]:
+            assert len(key.split(",")) == 2
+
+    def test_json_serialisable(self, pair):
+        json.dumps(stats_to_dict(pair.branchreg))
+
+    def test_icache_attached_when_present(self):
+        stats = RunStats(machine="baseline")
+
+        class FakeICacheStats:
+            def __init__(self):
+                self.hits = 3
+                self.misses = 1
+
+        stats.icache = FakeICacheStats()
+        stats.cache_stalls = 8
+        d = stats_to_dict(stats)
+        assert d["icache"] == {"hits": 3, "misses": 1}
+        assert d["cache_stalls"] == 8
+
+
+class TestBuildManifest:
+    def test_schema_id(self, manifest):
+        assert manifest["schema"] == SCHEMA_ID
+
+    def test_validates_on_build(self, manifest):
+        validate_manifest(manifest)  # must not raise
+
+    def test_totals_match_program(self, manifest):
+        prog = manifest["programs"][0]
+        assert (
+            manifest["totals"]["baseline"]["instructions"]
+            == prog["baseline"]["instructions"]
+        )
+
+    def test_duration_recorded(self, manifest):
+        assert manifest["programs"][0]["duration_s"] == 0.25
+
+    def test_json_roundtrip(self, manifest):
+        doc = json.loads(json.dumps(manifest))
+        validate_manifest(doc)
+
+    def test_write_and_load(self, manifest, tmp_path):
+        path = write_manifest(manifest, str(tmp_path / "run.json"))
+        loaded = load_manifest(path)
+        assert loaded["totals"] == manifest["totals"]
+
+    def test_default_filename_is_bench_timestamp(self, manifest, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = write_manifest(dict(manifest))
+        assert path.startswith("BENCH_") and path.endswith(".json")
+
+
+class TestValidator:
+    def test_missing_required_key_rejected(self, manifest):
+        broken = dict(manifest)
+        del broken["totals"]
+        with pytest.raises(ManifestError, match="totals"):
+            validate_manifest(broken)
+
+    def test_wrong_type_rejected(self, manifest):
+        broken = json.loads(json.dumps(manifest))
+        broken["programs"][0]["baseline"]["instructions"] = "lots"
+        with pytest.raises(ManifestError, match="instructions"):
+            validate_manifest(broken)
+
+    def test_wrong_schema_id_rejected(self, manifest):
+        broken = dict(manifest)
+        broken["schema"] = "something/else"
+        with pytest.raises(ManifestError, match="schema"):
+            validate_manifest(broken)
+
+    def test_bool_is_not_integer(self):
+        with pytest.raises(ManifestError):
+            validate_manifest(True, schema={"type": "integer"})
+
+    def test_null_alternative_accepted(self):
+        validate_manifest(None, schema={"type": ["array", "null"]})
+
+    def test_error_paths_are_useful(self, manifest):
+        broken = json.loads(json.dumps(manifest))
+        broken["phases"] = [{"name": "x"}]
+        with pytest.raises(ManifestError, match=r"phases\[0\]"):
+            validate_manifest(broken)
+
+    def test_schema_itself_lists_phases_and_metrics(self):
+        assert "phases" in MANIFEST_SCHEMA["required"]
+        assert "metrics" in MANIFEST_SCHEMA["required"]

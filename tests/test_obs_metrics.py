@@ -1,0 +1,98 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        c = registry.counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_same_name_same_instrument(self, registry):
+        registry.counter("x").inc(2)
+        assert registry.counter("x").value == 2
+
+    def test_labels_split_instruments(self, registry):
+        registry.counter("x", machine="baseline").inc(1)
+        registry.counter("x", machine="branchreg").inc(2)
+        assert registry.counter("x", machine="baseline").value == 1
+        assert registry.counter("x", machine="branchreg").value == 2
+
+    def test_label_order_irrelevant(self, registry):
+        registry.counter("x", a="1", b="2").inc()
+        assert registry.counter("x", b="2", a="1").value == 1
+
+    def test_negative_inc_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+    def test_name_label_allowed(self, registry):
+        # "name" as a label key must not collide with the positional arg.
+        registry.counter("x", name="wc").inc()
+        assert registry.counter("x", name="wc").value == 1
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        g = registry.gauge("depth")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_summary_stats(self, registry):
+        h = registry.histogram("sizes")
+        for v in (1, 5, 3):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 9
+        assert h.min == 1
+        assert h.max == 5
+        assert h.mean == 3
+
+    def test_bucketed(self, registry):
+        h = registry.histogram("lat", buckets=(10, 100))
+        for v in (5, 50, 500, 7):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1]
+
+    def test_empty_mean_zero(self, registry):
+        assert registry.histogram("empty").mean == 0.0
+
+
+class TestRegistry:
+    def test_snapshot_shape(self, registry):
+        registry.counter("c", m="b").inc(3)
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(2.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == [{"name": "c", "labels": {"m": "b"}, "value": 3}]
+        assert snap["gauges"][0]["value"] == 1
+        assert snap["histograms"][0]["count"] == 1
+        assert snap["histograms"][0]["min"] == 2.0
+
+    def test_snapshot_json_serialisable(self, registry):
+        import json
+
+        registry.counter("c").inc()
+        registry.histogram("h", buckets=(1,)).observe(0.5)
+        json.dumps(registry.snapshot())
+
+    def test_reset(self, registry):
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.counter("c").value == 0
+
+    def test_global_registry_exists(self):
+        assert isinstance(METRICS, MetricsRegistry)

@@ -1,0 +1,144 @@
+"""End-to-end tests: emulation observer hooks and the report driver/CLI."""
+
+import json
+
+import pytest
+
+from repro.ease.environment import compile_for_machine, run_on_machine
+from repro.obs import events
+from repro.obs.emuobs import EmulationObserver
+from repro.obs.manifest import validate_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import replay_report, run_report
+from repro.emu.baseline_emu import run_baseline
+from repro.emu.branchreg_emu import run_branchreg
+
+SIMPLE = """
+int main() {
+    int i; int n = 0;
+    for (i = 0; i < 200; i++) n += i;
+    print_int(n); putchar(10);
+    return 0;
+}
+"""
+
+
+class TestEmulationObserver:
+    def test_stats_identical_with_and_without_observer(self):
+        plain = run_on_machine(SIMPLE, "branchreg", name="simple")
+        observed = run_on_machine(
+            SIMPLE,
+            "branchreg",
+            name="simple",
+            observer=EmulationObserver(sample_every=100, registry=MetricsRegistry()),
+        )
+        assert observed.instructions == plain.instructions
+        assert observed.output == plain.output
+        assert observed.opcounts == plain.opcounts
+
+    def test_observer_counts_runs_and_samples(self):
+        registry = MetricsRegistry()
+        observer = EmulationObserver(sample_every=100, registry=registry)
+        image = compile_for_machine(SIMPLE, "baseline")
+        stats = run_baseline(image, program="simple", observer=observer)
+        assert observer.runs == 1
+        assert observer.samples == stats.instructions // 100
+        assert (
+            registry.counter("emu.instructions", machine="baseline").value
+            == stats.instructions
+        )
+
+    def test_events_emitted(self):
+        previous = events.set_sink(events.MemorySink())
+        try:
+            sink = events.get_sink()
+            image = compile_for_machine(SIMPLE, "branchreg")
+            run_branchreg(
+                image,
+                program="simple",
+                observer=EmulationObserver(
+                    sample_every=100, registry=MetricsRegistry()
+                ),
+            )
+            assert len(sink.by_type("emu.start")) == 1
+            assert len(sink.by_type("emu.sample")) >= 1
+            ends = sink.by_type("emu.end")
+            assert len(ends) == 1
+            assert ends[0]["machine"] == "branchreg"
+            assert "prefetch_gap" in ends[0]
+        finally:
+            events.set_sink(previous)
+
+    def test_invalid_sample_interval_rejected(self):
+        with pytest.raises(ValueError):
+            EmulationObserver(sample_every=0)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_report(subset=("wc",), sample_every=4096)
+
+
+class TestRunReport:
+    def test_manifest_schema_valid(self, report):
+        validate_manifest(report["manifest"])
+
+    def test_per_program_stats_present(self, report):
+        programs = report["manifest"]["programs"]
+        assert [p["name"] for p in programs] == ["wc"]
+        assert programs[0]["baseline"]["instructions"] > 0
+        assert programs[0]["duration_s"] > 0
+
+    def test_all_pipeline_phases_timed(self, report):
+        phases = set(report["manifest"]["phase_totals"])
+        assert {"frontend", "opt", "codegen", "emulate", "workload"} <= phases
+
+    def test_metrics_include_emulation_counters(self, report):
+        counters = {
+            (c["name"], tuple(sorted(c["labels"].items())))
+            for c in report["manifest"]["metrics"]["counters"]
+        }
+        assert ("emu.instructions", (("machine", "baseline"),)) in counters
+        assert ("codegen.instructions", (("machine", "branchreg"),)) in counters
+
+    def test_text_profile_renders(self, report):
+        assert "Phase profile" in report["text"]
+        assert "wc" in report["text"]
+
+    def test_events_path_written(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        run_report(subset=("wc",), events_path=str(path), sample_every=4096)
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        types = {json.loads(line)["type"] for line in lines}
+        assert "emu.end" in types and "span" in types
+
+    def test_replay_renders_saved_manifest(self, report, tmp_path):
+        from repro.obs.report import save_report
+
+        path = save_report(report, out=str(tmp_path / "run.json"))
+        replayed = replay_report(path)
+        assert replayed["text"] == report["text"]
+
+
+class TestReportCli:
+    def test_report_command_writes_valid_manifest(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "run.json"
+        rc = main(["report", "--subset", "wc", "--out", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "Phase profile" in printed
+        assert "manifest:" in printed
+        validate_manifest(json.loads(out.read_text()))
+
+    def test_report_replay_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "run.json"
+        main(["report", "--subset", "wc", "--out", str(out)])
+        capsys.readouterr()
+        rc = main(["report", "--replay", str(out)])
+        assert rc == 0
+        assert "Phase profile" in capsys.readouterr().out

@@ -1,0 +1,151 @@
+"""Tests for span timing, the event stream, and the shared logger."""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs import events
+from repro.obs.log import configure, log
+from repro.obs.spans import SpanRecorder
+
+
+@pytest.fixture
+def recorder():
+    return SpanRecorder()
+
+
+@pytest.fixture
+def sink():
+    previous = events.set_sink(events.MemorySink())
+    yield events.get_sink()
+    events.set_sink(previous)
+
+
+class TestSpans:
+    def test_span_records(self, recorder):
+        with recorder.span("frontend.parse"):
+            pass
+        rows = recorder.snapshot()
+        assert len(rows) == 1
+        assert rows[0]["name"] == "frontend.parse"
+        assert rows[0]["phase"] == "frontend"
+        assert rows[0]["count"] == 1
+        assert rows[0]["total_s"] >= 0.0
+
+    def test_span_aggregates_not_logs(self, recorder):
+        for _ in range(100):
+            with recorder.span("opt.dce"):
+                pass
+        assert len(recorder) == 1
+        assert recorder.snapshot()[0]["count"] == 100
+
+    def test_labels_split_spans(self, recorder):
+        with recorder.span("emulate", machine="baseline"):
+            pass
+        with recorder.span("emulate", machine="branchreg"):
+            pass
+        assert len(recorder) == 2
+
+    def test_name_label_allowed(self, recorder):
+        with recorder.span("workload", name="wc"):
+            pass
+        assert recorder.snapshot()[0]["labels"] == {"name": "wc"}
+
+    def test_records_on_exception(self, recorder):
+        with pytest.raises(RuntimeError):
+            with recorder.span("x"):
+                raise RuntimeError("boom")
+        assert recorder.snapshot()[0]["count"] == 1
+
+    def test_timed_decorator(self, recorder):
+        @recorder.timed("opt.helper")
+        def helper(a, b):
+            return a + b
+
+        assert helper(2, 3) == 5
+        rows = recorder.snapshot()
+        assert rows[0]["name"] == "opt.helper"
+        assert rows[0]["count"] == 1
+
+    def test_phase_totals(self, recorder):
+        with recorder.span("opt.a"):
+            pass
+        with recorder.span("opt.b"):
+            pass
+        with recorder.span("emulate"):
+            pass
+        totals = recorder.phase_totals()
+        assert set(totals) == {"opt", "emulate"}
+
+    def test_reset(self, recorder):
+        with recorder.span("x"):
+            pass
+        recorder.reset()
+        assert len(recorder) == 0
+
+
+class TestEvents:
+    def test_emit_noop_without_sink(self):
+        previous = events.set_sink(None)
+        try:
+            assert not events.enabled()
+            events.emit("anything", value=1)  # must not raise
+        finally:
+            events.set_sink(previous)
+
+    def test_memory_sink_captures(self, sink):
+        events.emit("emu.start", machine="baseline")
+        assert events.enabled()
+        assert sink.by_type("emu.start")[0]["machine"] == "baseline"
+        assert "t" in sink.events[0]
+
+    def test_memory_sink_bounded(self):
+        sink = events.MemorySink(max_events=2)
+        for i in range(5):
+            sink.emit({"type": "x", "i": i})
+        assert len(sink.events) == 2
+        assert sink.dropped == 3
+
+    def test_spans_emit_events_when_sink_attached(self, sink):
+        from repro.obs.spans import SpanRecorder
+
+        rec = SpanRecorder()
+        with rec.span("opt.dce"):
+            pass
+        spans = sink.by_type("span")
+        assert spans and spans[0]["name"] == "opt.dce"
+
+    def test_jsonl_sink_writes_valid_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with events.JsonlSink(str(path)) as sink:
+            previous = events.set_sink(sink)
+            try:
+                events.emit("a", x=1)
+                events.emit("b", y=[1, 2])
+            finally:
+                events.set_sink(previous)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["type"] == "a"
+        assert parsed[1]["y"] == [1, 2]
+
+
+class TestLogging:
+    def teardown_method(self):
+        configure(0)
+
+    def test_logger_name(self):
+        assert log.name == "repro"
+
+    def test_verbosity_levels(self):
+        assert configure(-1).level == logging.ERROR
+        assert configure(0).level == logging.WARNING
+        assert configure(1).level == logging.INFO
+        assert configure(2).level == logging.DEBUG
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        configure(1)
+        configure(2)
+        assert len(log.handlers) == 1

@@ -27,6 +27,50 @@ class TestRunStats:
         assert a.instructions == 15
         assert a.data_refs == 5
 
+    def test_merge_covers_every_field(self):
+        # Regression: merge is derived from dataclasses.fields(), so every
+        # non-identity field must participate.  Set each int field to a
+        # distinct value, merge twice, and check the sums -- a counter
+        # added to the dataclass but forgotten by merge fails here.
+        import dataclasses
+        from collections import Counter
+
+        a, b = RunStats(), RunStats()
+        expected = {}
+        for i, f in enumerate(dataclasses.fields(RunStats), start=1):
+            if f.name in RunStats.IDENTITY_FIELDS:
+                continue
+            if f.type is Counter or f.default_factory is Counter:
+                getattr(a, f.name)[i] = 2
+                getattr(b, f.name)[i] = 3
+                expected[f.name] = Counter({i: 5})
+            else:
+                setattr(a, f.name, i)
+                setattr(b, f.name, 10 * i)
+                expected[f.name] = 11 * i
+        a.merge(b)
+        for name, want in expected.items():
+            assert getattr(a, name) == want, name
+
+    def test_merge_preserves_identity_fields(self):
+        a = RunStats(machine="baseline", program="wc", exit_code=0, output=b"x")
+        b = RunStats(machine="branchreg", program="sort", exit_code=1, output=b"y")
+        a.merge(b)
+        assert a.machine == "baseline"
+        assert a.program == "wc"
+        assert a.exit_code == 0
+        assert a.output == b"x"
+
+    def test_merge_rejects_unmergeable_field(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class BadStats(RunStats):
+            weird: float = 0.5
+
+        with pytest.raises(TypeError, match="weird"):
+            BadStats().merge(BadStats())
+
     def test_suite_totals(self):
         total = suite_totals(
             [RunStats(instructions=10), RunStats(instructions=20)], "m"

@@ -60,6 +60,43 @@ class TestTraceRun:
         assert carrier_entries
         assert any(e.detail.startswith("->") for e in carrier_entries)
 
+    def test_max_entries_exact_boundary_not_truncated(self, images):
+        # When the recordable instruction count equals max_entries exactly,
+        # the trace is complete: truncated must stay False.
+        full, _stats = trace_run(images["branchreg"], "branchreg")
+        assert not full.truncated
+        exact, stats = trace_run(
+            images["branchreg"], "branchreg", max_entries=len(full.entries)
+        )
+        assert len(exact.entries) == len(full.entries)
+        assert not exact.truncated
+        assert stats.output == b"42\n"
+
+    def test_one_below_boundary_truncates(self, images):
+        full, _stats = trace_run(images["branchreg"], "branchreg")
+        trace, _stats = trace_run(
+            images["branchreg"], "branchreg", max_entries=len(full.entries) - 1
+        )
+        assert len(trace.entries) == len(full.entries) - 1
+        assert trace.truncated
+
+    def test_window_sentinel_stops_recording_but_keeps_running(self, images):
+        # Truncating inside a function window flips the window to the
+        # (1, 0) sentinel: recording stops for good -- even when the PC
+        # re-enters the function -- but emulation runs to completion so
+        # the stats stay accurate.
+        full, _stats = trace_run(
+            images["branchreg"], "branchreg", function="twice"
+        )
+        assert len(full.entries) >= 2
+        trace, stats = trace_run(
+            images["branchreg"], "branchreg", function="twice", max_entries=1
+        )
+        assert len(trace.entries) == 1
+        assert trace.truncated
+        assert stats.output == b"42\n"  # ran to completion
+        assert stats.instructions > len(trace.entries)
+
     def test_str_rendering(self, images):
         trace, _stats = trace_run(
             images["branchreg"], "branchreg", max_entries=3
