@@ -16,7 +16,14 @@ Usage (``python -m repro [-v|-q] <command> ...``):
 * ``workloads`` -- list the Appendix I suite;
 * ``report [--subset a,b] [--out FILE] [--events FILE] [--replay FILE]``
   -- run the suite under full instrumentation and emit a schema-validated
-  run manifest (see ``docs/OBSERVABILITY.md``) plus a profile table.
+  run manifest (see ``docs/OBSERVABILITY.md``) plus a profile table;
+* ``profile WORKLOAD [--machine baseline|branchreg] [--top N] [--json]
+  [--out FILE]`` -- dynamic execution profile with an annotated
+  per-source-line hot listing and a schema-validated JSON document;
+* ``diff MANIFEST_A [MANIFEST_B] [--paper] [--threshold F]`` -- compare
+  two run manifests (or one against the pinned Table I reproduction with
+  ``--paper``); exits non-zero when any gated metric drifts beyond the
+  threshold, which is how CI uses it as a drift gate.
 
 ``-v``/``-vv`` raise and ``-q`` lowers the diagnostic log level on the
 shared ``repro`` logger (stderr); report/table output stays on stdout.
@@ -314,6 +321,77 @@ def cmd_report(args):
     return 0
 
 
+def cmd_profile(args):
+    from repro.obs.profile import render_listing, run_profile, write_profile
+
+    if args.top <= 0:
+        print("error: --top must be positive", file=sys.stderr)
+        return 2
+    try:
+        run = run_profile(args.workload, args.machine, limit=args.limit)
+    except ValueError as exc:  # unknown workload name
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json(run.profile)
+    else:
+        print(render_listing(run, top=args.top))
+    if args.out:
+        write_profile(run.profile, args.out)
+        log.info("wrote profile to %s", args.out)
+        if not args.json:
+            print("\nprofile: %s" % args.out)
+    return 0
+
+
+def _load_manifest_or_none(path):
+    from repro.obs.manifest import ManifestError, load_manifest
+
+    try:
+        return load_manifest(path)
+    except (OSError, json.JSONDecodeError, ManifestError) as exc:
+        print("error: cannot load %s: %s" % (path, exc), file=sys.stderr)
+        return None
+
+
+def cmd_diff(args):
+    from repro.obs.diff import diff_against_paper, diff_manifests, render_diff
+
+    if args.threshold < 0:
+        print("error: --threshold must be >= 0", file=sys.stderr)
+        return 2
+    manifest_a = _load_manifest_or_none(args.manifest_a)
+    if manifest_a is None:
+        return 2
+    if args.paper:
+        if args.manifest_b:
+            print(
+                "error: --paper compares a single manifest against the "
+                "pinned Table I", file=sys.stderr,
+            )
+            return 2
+        result = diff_against_paper(manifest_a, threshold=args.threshold)
+    else:
+        if not args.manifest_b:
+            print(
+                "error: need two manifests, or --paper with one",
+                file=sys.stderr,
+            )
+            return 2
+        manifest_b = _load_manifest_or_none(args.manifest_b)
+        if manifest_b is None:
+            return 2
+        result = diff_manifests(
+            manifest_a,
+            manifest_b,
+            threshold=args.threshold,
+            label_a=args.manifest_a,
+            label_b=args.manifest_b,
+        )
+    print(render_diff(result, max_rows=args.max_rows))
+    return result.exit_code
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -411,6 +489,52 @@ def build_parser():
         help="re-render a saved manifest instead of running the suite",
     )
     p_rep.set_defaults(func=cmd_report)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="dynamic execution profile with source attribution",
+    )
+    p_prof.add_argument("workload", help="Appendix I workload name")
+    p_prof.add_argument(
+        "--machine", choices=("baseline", "branchreg"), default="baseline"
+    )
+    p_prof.add_argument(
+        "--top", type=int, default=10,
+        help="rows per hot-listing section (default 10)",
+    )
+    p_prof.add_argument("--limit", type=int, default=None)
+    p_prof.add_argument(
+        "--json", action="store_true",
+        help="emit the schema-validated JSON profile instead of the listing",
+    )
+    p_prof.add_argument(
+        "--out", default=None, help="also write the JSON profile to this path"
+    )
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare run manifests and gate on drift",
+    )
+    p_diff.add_argument("manifest_a", help="BENCH_*.json manifest")
+    p_diff.add_argument(
+        "manifest_b", nargs="?", default=None,
+        help="second manifest (omit with --paper)",
+    )
+    p_diff.add_argument(
+        "--paper", action="store_true",
+        help="check MANIFEST_A against the pinned Table I reproduction",
+    )
+    p_diff.add_argument(
+        "--threshold", type=float, default=0.0,
+        help="max tolerated relative change per metric (0.01 = 1%%; "
+        "default 0: exact)",
+    )
+    p_diff.add_argument(
+        "--max-rows", type=int, default=20,
+        help="max changed rows to print (breaches always shown)",
+    )
+    p_diff.set_defaults(func=cmd_diff)
     return parser
 
 

@@ -118,7 +118,12 @@ class BaselineFunctionGen:
     def lower(self):
         self.prologue()
         for ins in self.fn.instrs:
+            start = len(self.out)
             self.lower_instr(ins)
+            if ins.line:
+                for minstr in self.out[start:]:
+                    if not minstr.line:
+                        minstr.line = ins.line
         return MachineFunction(self.fn.name, self.out, self.frame.size)
 
     def lower_instr(self, ins):

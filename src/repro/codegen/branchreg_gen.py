@@ -64,6 +64,13 @@ class BranchRegFunctionGen:
         self.out.append(ins)
         return ins
 
+    def _stamp(self, start, line):
+        """Attribute MInstrs emitted since ``start`` to a source line."""
+        if line:
+            for minstr in self.out[start:]:
+                if not minstr.line:
+                    minstr.line = line
+
     # -- site collection -------------------------------------------------------
 
     def _collect_sites(self):
@@ -270,14 +277,19 @@ class BranchRegFunctionGen:
         )
         if term_calc_early:
             self._emit_bta(term_site.breg, term_site.target)
+            self._stamp(
+                block_start, block.instrs[term_site.ir_index].line
+            )
         last_call_end = None
         skip_next = False
         for idx, ins in enumerate(block.instrs):
             if skip_next:
                 skip_next = False
                 continue
+            start = len(self.out)
             if idx in call_sites:
                 self._materialize_call(call_sites[idx], ins)
+                self._stamp(start, ins.line)
                 last_call_end = len(self.out)
                 continue
             if term_site is not None and idx == term_site.ir_index:
@@ -292,10 +304,12 @@ class BranchRegFunctionGen:
             ):
                 # Fuse the jump-table load into a branch-register load.
                 self._materialize_indirect(term_site, ins)
+                self._stamp(start, ins.line)
                 skip_next = True
                 term_site = None  # fully handled
                 continue
             self.lower_instr(ins)
+            self._stamp(start, ins.line)
         # Hoisted calculations land at the end of their preheader, before
         # the preheader's own terminator.
         for calc in hoists:
@@ -305,6 +319,8 @@ class BranchRegFunctionGen:
                 self._emit_bta(calc.breg, calc.target)
         if term_site is None:
             return
+        start = len(self.out)
+        term_line = block.instrs[term_site.ir_index].line
         if term_site.kind == "return":
             term = block.instrs[term_site.ir_index]
             if term.srcs:
@@ -318,6 +334,7 @@ class BranchRegFunctionGen:
                         )
                     )
             self.epilogue(term_site)
+            self._stamp(start, term_line)
             return
         if term_site.kind == "indirect":
             # Unfused fallback: the address is already in an integer
@@ -334,6 +351,7 @@ class BranchRegFunctionGen:
             carrier = mnoop(br=term_site.breg)
             carrier.tkind = "indirect"
             self.emit(carrier)
+            self._stamp(start, term_line)
             return
         if term_site.hoisted is None and not term_calc_early:
             self._emit_bta(term_site.breg, term_site.target)
@@ -344,6 +362,7 @@ class BranchRegFunctionGen:
             self.emit(carrier)
         else:  # cond
             self._materialize_cond(term_site, term)
+        self._stamp(start, term_line)
 
     # -- site materialisation ------------------------------------------------
 

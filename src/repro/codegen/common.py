@@ -62,6 +62,9 @@ class MInstr:
         label: label name when ``op == "label"`` (pseudo, removed at
             assembly).
         note: free-form annotation used by the printers.
+        line: SmallC source line this instruction was lowered from
+            (0 = unknown).  Feeds the image's address->line debug map so
+            the execution profiler can render annotated source listings.
     """
 
     op: str
@@ -74,6 +77,7 @@ class MInstr:
     btrue: int = None
     label: str = None
     note: str = ""
+    line: int = 0
 
     def is_label(self):
         return self.op == "label"

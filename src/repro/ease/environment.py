@@ -66,7 +66,8 @@ def compile_for_machine(source, machine, **codegen_options):
 
 
 def run_on_machine(
-    source, machine, stdin=b"", limit=None, name="", observer=None, **options
+    source, machine, stdin=b"", limit=None, name="", observer=None,
+    profiler=None, **options
 ):
     """Compile and run one program on one machine; returns RunStats."""
     image = compile_for_machine(source, machine, **options)
@@ -74,10 +75,12 @@ def run_on_machine(
     with span("emulate", machine=machine):
         if machine == "baseline":
             return run_baseline(
-                image, stdin=stdin, limit=limit, program=name, observer=observer
+                image, stdin=stdin, limit=limit, program=name,
+                observer=observer, profiler=profiler,
             )
         return run_branchreg(
-            image, stdin=stdin, limit=limit, program=name, observer=observer
+            image, stdin=stdin, limit=limit, program=name,
+            observer=observer, profiler=profiler,
         )
 
 

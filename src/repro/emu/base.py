@@ -20,8 +20,21 @@ class BaseEmulator:
 
     MACHINE_NAME = "base"
 
+    #: Distance (bytes) from the address where a control discontinuity is
+    #: *observed* back to the instruction that caused it.  The baseline
+    #: machine's delayed branches redirect the fetch after the delay slot,
+    #: so the discontinuity shows up one instruction (4 bytes) past the
+    #: branch; the branch-register machine transfers immediately.
+    TRANSFER_SHADOW = 0
+
     def __init__(
-        self, image, stdin=b"", limit=DEFAULT_LIMIT, icache=None, observer=None
+        self,
+        image,
+        stdin=b"",
+        limit=DEFAULT_LIMIT,
+        icache=None,
+        observer=None,
+        profiler=None,
     ):
         self.image = image
         self.spec = image.spec
@@ -31,6 +44,7 @@ class BaseEmulator:
         self.limit = limit
         self.icache = icache
         self.observer = observer
+        self.profiler = profiler
         self.cache_stalls = 0
         self.r = [0] * self.spec.ints.count
         self.f = [0.0] * self.spec.flts.count
@@ -235,8 +249,13 @@ class BaseEmulator:
         one attached (:class:`repro.obs.emuobs.EmulationObserver`) the
         instrumented loop adds one comparison per instruction plus a
         sampled callback every ``observer.sample_every`` instructions.
+        A profiler (:class:`repro.obs.profile.ExecutionProfiler`) uses a
+        third loop that detects control discontinuities by comparing the
+        program counter before and after each step.
         """
-        if self.observer is None:
+        if self.profiler is not None:
+            self._run_profiled()
+        elif self.observer is None:
             while not self.halted:
                 if self.icount >= self.limit:
                     raise RuntimeLimitExceeded(
@@ -263,6 +282,45 @@ class BaseEmulator:
                 observer.on_sample(self)
                 next_sample = self.icount + observer.sample_every
 
+    def _run_profiled(self):
+        """Profiled loop: record only control-flow *edges*.  The pc is
+        tracked in a local across steps; when a step does not advance it by
+        exactly 4 bytes, control transferred, and one Counter update
+        records the raw (observation pc, target) pair.  Attribution to the
+        transfer instruction (``pc - TRANSFER_SHADOW``: the delay slot
+        pushes the observation one word past the branch on the baseline
+        machine) and exact per-PC reconstruction happen afterwards in
+        :mod:`repro.obs.profile`, so the attached loop costs one
+        comparison per instruction plus a single Counter update per taken
+        transfer.
+
+        Known imprecision: a transfer whose target happens to be the next
+        sequential address is indistinguishable from fall-through here and
+        is counted as such (its dynamic execution is still exact).
+        """
+        profiler = self.profiler
+        profiler.on_start(self)
+        raw_edges = profiler.raw_edges
+        step = self.step
+        limit = self.limit
+        pc = self.pc
+        seg_start = pc
+        while not self.halted:
+            if self.icount >= limit:
+                raise RuntimeLimitExceeded(
+                    "exceeded %d instructions in %s"
+                    % (limit, self.stats.program or "program")
+                )
+            step()
+            npc = self.pc
+            if npc != pc + 4:
+                # Packed int key: cheaper to build and hash than a tuple.
+                # The transfer shadow is applied at decode time, not here.
+                raw_edges[(pc << 32) | npc] += 1
+                seg_start = npc
+            pc = npc
+        profiler.seg_start = seg_start
+
     def _finalize(self):
         self.stats.instructions = self.icount
         self.stats.exit_code = (
@@ -274,4 +332,6 @@ class BaseEmulator:
             self.stats.cache_stalls = self.cache_stalls
         if self.observer is not None:
             self.observer.on_end(self)
+        if self.profiler is not None:
+            self.profiler.on_end(self)
         return self.stats

@@ -13,10 +13,19 @@ from repro.emu.intmath import compare
 
 class BaselineEmulator(BaseEmulator):
     MACHINE_NAME = "baseline"
+    # Delayed branches: the pc discontinuity is observed at the delay-slot
+    # instruction, one word past the branch itself.
+    TRANSFER_SHADOW = 4
 
-    def __init__(self, image, stdin=b"", limit=None, icache=None, observer=None):
+    def __init__(
+        self, image, stdin=b"", limit=None, icache=None, observer=None,
+        profiler=None,
+    ):
         kwargs = {} if limit is None else {"limit": limit}
-        super().__init__(image, stdin=stdin, icache=icache, observer=observer, **kwargs)
+        super().__init__(
+            image, stdin=stdin, icache=icache, observer=observer,
+            profiler=profiler, **kwargs
+        )
         self.npc = self.pc + 4
         self.rt = 0
         self.cc = (0, 0)
@@ -78,10 +87,14 @@ class BaselineEmulator(BaseEmulator):
         self.npc = self._target if self._target is not None else self.npc + 4
 
 
-def run_baseline(image, stdin=b"", limit=None, program="", icache=None, observer=None):
+def run_baseline(
+    image, stdin=b"", limit=None, program="", icache=None, observer=None,
+    profiler=None,
+):
     """Convenience wrapper: run an image and return its RunStats."""
     emulator = BaselineEmulator(
-        image, stdin=stdin, limit=limit, icache=icache, observer=observer
+        image, stdin=stdin, limit=limit, icache=icache, observer=observer,
+        profiler=profiler,
     )
     emulator.stats.program = program
     return emulator.run()

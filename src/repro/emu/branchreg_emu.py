@@ -25,10 +25,18 @@ _SEQ = "seq"  # sentinel: conditional fell through; target is pc + 4
 
 class BranchRegEmulator(BaseEmulator):
     MACHINE_NAME = "branchreg"
+    # Transfers redirect the very next fetch; no delay-slot shadow.
+    TRANSFER_SHADOW = 0
 
-    def __init__(self, image, stdin=b"", limit=None, icache=None, observer=None):
+    def __init__(
+        self, image, stdin=b"", limit=None, icache=None, observer=None,
+        profiler=None,
+    ):
         kwargs = {} if limit is None else {"limit": limit}
-        super().__init__(image, stdin=stdin, icache=icache, observer=observer, **kwargs)
+        super().__init__(
+            image, stdin=stdin, icache=icache, observer=observer,
+            profiler=profiler, **kwargs
+        )
         n = self.spec.branch_regs
         self.link = self.spec.br_link
         self.b = [0] * n
@@ -160,10 +168,14 @@ class BranchRegEmulator(BaseEmulator):
         self.pc = sequential if target is _SEQ else target
 
 
-def run_branchreg(image, stdin=b"", limit=None, program="", icache=None, observer=None):
+def run_branchreg(
+    image, stdin=b"", limit=None, program="", icache=None, observer=None,
+    profiler=None,
+):
     """Convenience wrapper: run an image and return its RunStats."""
     emulator = BranchRegEmulator(
-        image, stdin=stdin, limit=limit, icache=icache, observer=observer
+        image, stdin=stdin, limit=limit, icache=icache, observer=observer,
+        profiler=profiler,
     )
     emulator.stats.program = program
     return emulator.run()

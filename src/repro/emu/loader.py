@@ -28,6 +28,8 @@ class Image:
         self.instrs = []  # index = (addr - TEXT_BASE) // 4
         self.labels = {}  # label/function name -> text address
         self.symbols = {}  # global name -> data address
+        self.debug_map = {}  # text address -> (function name, source line)
+        self.function_addrs = {}  # function name -> set of text addresses
         self.memory = Memory()
         self.entry = None
         self._assemble_text()
@@ -49,6 +51,7 @@ class Image:
                 pad.note = "align pad"
                 self.instrs.append(pad)
                 addr = addr + 4
+            fn_addrs = self.function_addrs.setdefault(fn.name, set())
             for ins in fn.instrs:
                 if ins.is_label():
                     if ins.label in self.labels:
@@ -57,8 +60,15 @@ class Image:
                 else:
                     ins.addr = addr
                     self.instrs.append(ins)
+                    fn_addrs.add(addr)
+                    self.debug_map[addr] = (fn.name, getattr(ins, "line", 0))
                     addr = addr + 4
         self.entry = self.labels[self.mprog.entry]
+
+    def source_location(self, addr):
+        """(function name, source line) for a text address; line 0 means
+        no attribution (runtime stubs, alignment padding)."""
+        return self.debug_map.get(addr, ("?", 0))
 
     def _layout_data(self):
         addr = DATA_BASE

@@ -42,13 +42,19 @@ class Trace:
         return [e.addr for e in self.entries]
 
 
-def _function_range(image, function):
-    """(lo, hi) address range of one function's instructions."""
-    mfn = image.mprog.function(function)
-    addrs = [ins.addr for ins in mfn.instrs if not ins.is_label()]
+def _function_addresses(image, function):
+    """Exact set of one function's instruction addresses.
+
+    Uses the loader's per-function membership sets rather than the old
+    ``min(addrs)..max(addrs)`` span approximation, which also matched any
+    alignment-padding noops laid out inside the span and would
+    mis-attribute them to the filtered function."""
+    if function not in image.function_addrs:
+        raise KeyError(function)
+    addrs = image.function_addrs[function]
     if not addrs:
         raise ValueError("function %r has no instructions" % function)
-    return min(addrs), max(addrs)
+    return frozenset(addrs)
 
 
 def trace_run(
@@ -68,12 +74,12 @@ def trace_run(
         emulator = BranchRegEmulator(image.reset(), stdin=stdin, limit=limit)
     else:
         raise ValueError("unknown machine %r" % machine)
-    window = _function_range(image, function) if function else None
+    addr_filter = _function_addresses(image, function) if function else None
     trace = Trace()
     while not emulator.halted and emulator.icount < limit:
         pc = emulator.pc
         ins = image.instruction_at(pc)
-        record = window is None or (window[0] <= pc <= window[1])
+        record = addr_filter is None or pc in addr_filter
         detail = ""
         if record and len(trace.entries) < max_entries:
             if machine == "branchreg" and ins.br:
@@ -88,7 +94,7 @@ def trace_run(
             trace.truncated = True
             # Keep running to completion for accurate stats, but stop
             # recording.
-            window = (1, 0)  # never matches again
+            addr_filter = frozenset()  # never matches again
         emulator.step()
     emulator.stats.instructions = emulator.icount
     emulator.stats.output = bytes(emulator.runtime.stdout)

@@ -25,6 +25,25 @@ _CACHE = {}
 FAST_SUBSET = ("wc", "grep", "puzzle", "spline", "sort", "vpcc")
 
 
+def resolve_workloads(names=None):
+    """Workload objects for ``names`` (all 19 when None), always in
+    Appendix I registry order.  Raises ValueError for unknown names with
+    the same wording everywhere a subset is accepted (run_suite, the
+    report driver, ``repro profile``)."""
+    workloads = all_workloads()
+    if names is None:
+        return workloads
+    known = {w.name for w in workloads}
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise ValueError(
+            "unknown workload(s): %s (see 'repro workloads')"
+            % ", ".join(unknown)
+        )
+    wanted = set(names)
+    return [w for w in workloads if w.name in wanted]
+
+
 def run_suite(
     subset=None,
     limit=DEFAULT_LIMIT,
@@ -42,14 +61,7 @@ def run_suite(
     the cache key, so instrumented runs should bypass the cache).
     """
     names = tuple(subset) if subset is not None else None
-    if names is not None:
-        known = {w.name for w in all_workloads()}
-        unknown = [n for n in names if n not in known]
-        if unknown:
-            raise ValueError(
-                "unknown workload(s): %s (see 'repro workloads')"
-                % ", ".join(unknown)
-            )
+    selected = resolve_workloads(names)
     options = tuple(sorted((branchreg_options or {}).items()))
     key = (names, limit, options)
     if use_cache and key in _CACHE:
@@ -58,9 +70,7 @@ def run_suite(
         return _CACHE[key]
     METRICS.counter("harness.suite_cache", result="miss").inc()
     pairs = []
-    for w in all_workloads():
-        if names is not None and w.name not in names:
-            continue
+    for w in selected:
         log.info("running workload %s on both machines", w.name)
         with span("workload", name=w.name):
             pairs.append(

@@ -36,10 +36,16 @@ class FunctionLowering:
         self.storage = {}  # Symbol -> ("reg", VReg) | ("frame", Local) | ("global",)
         self.break_labels = []
         self.continue_labels = []
+        # Source line of the statement currently being lowered; every
+        # emitted instruction inherits it (debug-map granularity is the
+        # statement, which is what the profiler's hot listing reports).
+        self.cur_line = getattr(funcdef, "line", 0) or 0
 
     # -- helpers -----------------------------------------------------------
 
     def emit(self, instr):
+        if not instr.line:
+            instr.line = self.cur_line
         return self.fn.emit(instr)
 
     def _vreg_for(self, ctype):
@@ -137,6 +143,9 @@ class FunctionLowering:
         return self.fn
 
     def stmt(self, node):
+        line = getattr(node, "line", 0)
+        if line:
+            self.cur_line = line
         if isinstance(node, ast.Block):
             for stmt in node.stmts:
                 self.stmt(stmt)
@@ -214,6 +223,7 @@ class FunctionLowering:
         self.break_labels.pop()
         self.continue_labels.pop()
         self.emit(I.label(test))
+        self.cur_line = getattr(node, "line", 0) or self.cur_line
         self.cond(node.cond, head, None)
         self.emit(I.label(end))
 
@@ -228,6 +238,7 @@ class FunctionLowering:
         self.break_labels.pop()
         self.continue_labels.pop()
         self.emit(I.label(test))
+        self.cur_line = getattr(node, "line", 0) or self.cur_line
         self.cond(node.cond, head, None)
         self.emit(I.label(end))
 
@@ -246,6 +257,7 @@ class FunctionLowering:
         self.break_labels.pop()
         self.continue_labels.pop()
         self.emit(I.label(step))
+        self.cur_line = getattr(node, "line", 0) or self.cur_line
         if node.step is not None:
             self.expr_value(node.step, discard=True)
         self.emit(I.label(test))

@@ -15,11 +15,17 @@ dependencies.
 
 import json
 import platform
+import subprocess
 import sys
 import time
 from dataclasses import fields as dataclass_fields
 
-SCHEMA_ID = "repro.run-manifest/1"
+#: Version 2 adds the ``provenance`` section (git commit SHA and CLI argv)
+#: so any archived BENCH_*.json can be traced back to the exact tree and
+#: command that produced it.  Version-1 manifests are still accepted on
+#: load so ``repro diff`` can compare against old artifacts.
+SCHEMA_V1 = "repro.run-manifest/1"
+SCHEMA_ID = "repro.run-manifest/2"
 
 
 class ManifestError(ValueError):
@@ -69,6 +75,32 @@ def environment_info():
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "repro_version": __version__,
+    }
+
+
+def git_commit():
+    """The current git commit SHA, or None when not in a git checkout (or
+    git is unavailable) -- provenance is best-effort by design."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def collect_provenance(argv=None):
+    """The manifest ``provenance`` section: git SHA plus the command line
+    that produced the run (defaults to this process's ``sys.argv``)."""
+    return {
+        "git_sha": git_commit(),
+        "argv": list(sys.argv if argv is None else argv),
     }
 
 
@@ -131,9 +163,17 @@ MANIFEST_SCHEMA = {
         "metrics",
     ],
     "properties": {
-        "schema": {"type": "string", "const": SCHEMA_ID},
+        "schema": {"type": "string", "enum": [SCHEMA_V1, SCHEMA_ID]},
         "created_unix": {"type": "number"},
         "duration_s": {"type": "number"},
+        "provenance": {
+            "type": "object",
+            "required": ["git_sha", "argv"],
+            "properties": {
+                "git_sha": {"type": ["string", "null"]},
+                "argv": {"type": "array", "items": {"type": "string"}},
+            },
+        },
         "environment": {
             "type": "object",
             "required": ["python", "platform", "repro_version"],
@@ -219,6 +259,10 @@ def _validate(doc, schema, path):
         raise ManifestError(
             "%s: expected %r, got %r" % (path, schema["const"], doc)
         )
+    if "enum" in schema and doc not in schema["enum"]:
+        raise ManifestError(
+            "%s: %r not one of %r" % (path, doc, schema["enum"])
+        )
     if isinstance(doc, dict):
         for key in schema.get("required", ()):
             if key not in doc:
@@ -250,12 +294,15 @@ def build_manifest(
     metrics_snapshot=None,
     workload_durations=None,
     created_unix=None,
+    provenance=None,
 ):
     """Assemble (and validate) a run manifest from suite results.
 
     ``pairs`` is a list of :class:`~repro.ease.environment.PairResult`;
     ``span_rows``/``phase_totals``/``metrics_snapshot`` come from the obs
     recorders; ``workload_durations`` maps workload name to seconds.
+    ``provenance`` is the :func:`collect_provenance` section (collected
+    here when omitted).
     """
     from repro.emu.stats import suite_totals
 
@@ -295,6 +342,7 @@ def build_manifest(
         "created_unix": time.time() if created_unix is None else created_unix,
         "duration_s": duration_s,
         "environment": environment_info(),
+        "provenance": provenance if provenance is not None else collect_provenance(),
         "config": {
             "subset": list(config.get("subset")) if config.get("subset") else None,
             "limit": config.get("limit"),

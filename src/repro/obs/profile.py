@@ -1,0 +1,633 @@
+"""Dynamic execution profiler with source attribution.
+
+The profiler answers "where did the cycles go" for any workload on either
+machine: per-PC and per-basic-block dynamic instruction counts,
+control-flow edge counts (with taken/not-taken breakdowns), delay-slot
+outcomes on the baseline machine, carrier/prefetch-distance outcomes on
+the branch-register machine, and -- through the debug map the loader
+builds from the ``line`` fields the code generators stamp -- an annotated
+hot listing over the SmallC source.
+
+Collection is *exact* yet cheap: the emulator's profiled loop
+(:meth:`repro.emu.base.BaseEmulator._run_profiled`) records one counter
+bump per taken control transfer -- nothing per straight-line instruction.
+Everything else is reconstructed afterwards from the edge table plus the
+entry point and final pc: every edge target starts a straight-line
+segment and every edge source ends one, so a difference array over those
+boundary events rebuilds the exact per-PC execution counts, and
+
+    sum(per-PC counts) == RunStats.instructions
+
+holds identically -- the invariant the profile tests assert.  Control-flow
+edges are attributed to the *transfer* instruction (the branch on the
+baseline machine, one word before the observed discontinuity because of
+the delay slot; the carrier itself on the branch-register machine).
+
+One documented imprecision: a transfer whose target is exactly the next
+sequential address is indistinguishable from fall-through in the pc
+stream and is tallied as not-taken; its executed instructions are still
+counted exactly.
+"""
+
+import json
+from collections import Counter
+
+from repro.codegen.common import BASELINE_CONTROL
+from repro.obs.manifest import ManifestError, _validate
+
+PROFILE_SCHEMA_ID = "repro.profile/1"
+
+_BLOCK_SCHEMA = {
+    "type": "object",
+    "required": ["start", "end", "count", "instructions", "function"],
+    "properties": {
+        "start": {"type": "integer"},
+        "end": {"type": "integer"},
+        "count": {"type": "integer"},
+        "instructions": {"type": "integer"},
+        "function": {"type": "string"},
+    },
+}
+
+_LINE_SCHEMA = {
+    "type": "object",
+    "required": ["function", "line", "count"],
+    "properties": {
+        "function": {"type": "string"},
+        "line": {"type": "integer"},
+        "count": {"type": "integer"},
+    },
+}
+
+_EDGE_SCHEMA = {
+    "type": "object",
+    "required": ["from", "to", "count"],
+    "properties": {
+        "from": {"type": "integer"},
+        "to": {"type": "integer"},
+        "count": {"type": "integer"},
+    },
+}
+
+_BRANCH_SCHEMA = {
+    "type": "object",
+    "required": ["addr", "op", "kind", "function", "line", "executed", "taken",
+                 "not_taken"],
+    "properties": {
+        "addr": {"type": "integer"},
+        "op": {"type": "string"},
+        "kind": {"type": "string"},
+        "cond": {"type": "string"},
+        "function": {"type": "string"},
+        "line": {"type": "integer"},
+        "executed": {"type": "integer"},
+        "taken": {"type": "integer"},
+        "not_taken": {"type": "integer"},
+    },
+}
+
+PROFILE_SCHEMA = {
+    "type": "object",
+    "required": [
+        "schema",
+        "workload",
+        "machine",
+        "instructions",
+        "data_refs",
+        "exit_code",
+        "pc_total",
+        "blocks",
+        "functions",
+        "lines",
+        "edges",
+        "branches",
+    ],
+    "properties": {
+        "schema": {"type": "string", "const": PROFILE_SCHEMA_ID},
+        "workload": {"type": "string"},
+        "machine": {"type": "string", "enum": ["baseline", "branchreg"]},
+        "instructions": {"type": "integer"},
+        "data_refs": {"type": "integer"},
+        "exit_code": {"type": "integer"},
+        "pc_total": {"type": "integer"},
+        "blocks": {"type": "array", "items": _BLOCK_SCHEMA},
+        "functions": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["function", "count"],
+                "properties": {
+                    "function": {"type": "string"},
+                    "count": {"type": "integer"},
+                },
+            },
+        },
+        "lines": {"type": "array", "items": _LINE_SCHEMA},
+        "edges": {"type": "array", "items": _EDGE_SCHEMA},
+        "branches": {"type": "array", "items": _BRANCH_SCHEMA},
+        # Baseline machine only.
+        "delay_slots": {
+            "type": "object",
+            "required": ["filled", "unfilled"],
+            "properties": {
+                "filled": {"type": "integer"},
+                "unfilled": {"type": "integer"},
+            },
+        },
+        # Branch-register machine only.
+        "carriers": {
+            "type": "object",
+            "required": ["noop", "useful", "bta"],
+            "properties": {
+                "noop": {"type": "integer"},
+                "useful": {"type": "integer"},
+                "bta": {"type": "integer"},
+            },
+        },
+        "prefetch_gap": {"type": "object"},
+        "compare_gap": {"type": "object"},
+    },
+}
+
+
+def validate_profile(doc):
+    """Raise :class:`~repro.obs.manifest.ManifestError` on schema
+    violation; returns the document for chaining."""
+    _validate(doc, PROFILE_SCHEMA, "$")
+    return doc
+
+
+class ExecutionProfiler:
+    """Per-run edge collector; attach via the emulators' ``profiler=``
+    keyword.  One instance profiles one run."""
+
+    def __init__(self):
+        # The loop packs (observation pc, target) into one int key --
+        # cheaper to build and hash than a tuple on the hot path.
+        self.raw_edges = Counter()  # (obs_pc << 32 | target) -> count
+        self.seg_start = None  # final segment start (written by the loop)
+        self.entry = None
+        self.final_end = None
+        self.shadow = 0
+        self.image = None
+        self.machine = ""
+        self.stats = None
+        self._edges = None
+
+    @property
+    def edges(self):
+        """(transfer addr, target addr) -> count, decoded from the packed
+        keys with the machine's transfer shadow applied."""
+        if self._edges is None or len(self._edges) != len(self.raw_edges):
+            shadow = self.shadow
+            self._edges = {
+                ((key >> 32) - shadow, key & 0xFFFFFFFF): n
+                for key, n in self.raw_edges.items()
+            }
+        return self._edges
+
+    # -- emulator hooks ----------------------------------------------------
+
+    def on_start(self, emulator):
+        self.image = emulator.image
+        self.machine = emulator.MACHINE_NAME
+        self.shadow = emulator.TRANSFER_SHADOW
+        self.entry = emulator.pc
+
+    def on_end(self, emulator):
+        """Record where execution stopped (the pc sits one word past the
+        halting instruction on both machines)."""
+        self.stats = emulator.stats
+        self.final_end = emulator.pc - 4
+
+    # -- reconstruction ----------------------------------------------------
+
+    def _boundary_events(self):
+        """(starts, ends): how many straight-line segments begin / finish
+        at each address.  Every edge target starts a segment and every
+        edge source (plus the transfer shadow) ends one; the entry point
+        starts the first and the final pc ends the last.  If the very last
+        executed step was itself a transfer, its target never ran, so that
+        start is cancelled instead of closing an empty segment."""
+        shadow = self.shadow
+        starts = Counter()
+        ends = Counter()
+        for (src, dst), n in self.edges.items():
+            starts[dst] += n
+            ends[src + shadow] += n
+        if self.entry is not None:
+            starts[self.entry] += 1
+        if self.final_end is not None:
+            if self.seg_start is not None and self.final_end < self.seg_start:
+                starts[self.seg_start] -= 1
+            else:
+                ends[self.final_end] += 1
+        return starts, ends
+
+    def pc_counts(self):
+        """Exact dynamic execution count per text address, rebuilt from the
+        segment boundary events with a difference array."""
+        starts, ends = self._boundary_events()
+        diff = {}
+        for addr, n in starts.items():
+            diff[addr] = diff.get(addr, 0) + n
+        for addr, n in ends.items():
+            diff[addr + 4] = diff.get(addr + 4, 0) - n
+        counts = {}
+        bounds = sorted(diff)
+        running = 0
+        for i, addr in enumerate(bounds):
+            running += diff[addr]
+            if running and i + 1 < len(bounds):
+                for a in range(addr, bounds[i + 1], 4):
+                    counts[a] = running
+        return counts
+
+    def basic_blocks(self):
+        """``[(start, end, count), ...]``: maximal straight-line address
+        runs split at every observed control-flow boundary.  The dynamic
+        count is uniform across a block by construction (control only
+        enters at edge targets and leaves at edge sources, which are
+        exactly the split points)."""
+        pcs = self.pc_counts()
+        if not pcs:
+            return []
+        starts, ends = self._boundary_events()
+        blocks = []
+        addrs = sorted(pcs)
+        start = prev = addrs[0]
+        for addr in addrs[1:]:
+            if (
+                addr != prev + 4
+                or addr in starts
+                or prev in ends
+                or pcs[addr] != pcs[start]
+            ):
+                blocks.append((start, prev, pcs[start]))
+                start = addr
+            prev = addr
+        blocks.append((start, prev, pcs[start]))
+        return blocks
+
+    # -- derived views -----------------------------------------------------
+
+    def _is_transfer_site(self, ins):
+        if self.machine == "baseline":
+            return ins.op in BASELINE_CONTROL
+        return ins.br != 0
+
+    def _branch_rows(self, pcs):
+        taken = Counter()
+        for (src, _dst), n in self.edges.items():
+            taken[src] += n
+        sites = set(taken)
+        for addr in pcs:
+            if self._is_transfer_site(self.image.instruction_at(addr)):
+                sites.add(addr)
+        rows = []
+        for addr in sites:
+            ins = self.image.instruction_at(addr)
+            fn, line = self.image.source_location(addr)
+            if self.machine == "baseline":
+                kind = ins.op
+                conditional = ins.op in ("bcc", "fbcc")
+            else:
+                kind = getattr(ins, "tkind", "jump")
+                conditional = kind == "cond"
+            executed = pcs.get(addr, 0)
+            t = taken.get(addr, 0)
+            row = {
+                "addr": addr,
+                "op": ins.op,
+                "kind": kind,
+                "function": fn,
+                "line": line,
+                "executed": executed,
+                "taken": t,
+                "not_taken": max(executed - t, 0) if conditional else 0,
+            }
+            if conditional and ins.cond:
+                row["cond"] = ins.cond
+            rows.append(row)
+        rows.sort(key=lambda r: (-r["executed"], r["addr"]))
+        return rows
+
+    def _delay_slot_tallies(self, pcs):
+        """Dynamic filled/unfilled delay-slot outcomes (baseline): the slot
+        one word after each executed branch either does useful work or is
+        a noop the slot filler could not fill."""
+        filled = 0
+        unfilled = 0
+        for addr, n in pcs.items():
+            if self.image.instruction_at(addr).op in BASELINE_CONTROL:
+                if self.image.instruction_at(addr + 4).is_noop():
+                    unfilled += n
+                else:
+                    filled += n
+        return {"filled": filled, "unfilled": unfilled}
+
+    def to_profile(self, workload=""):
+        """The schema-validated JSON profile document."""
+        pcs = self.pc_counts()
+        stats = self.stats
+        blocks = []
+        for start, end, n in self.basic_blocks():
+            length = (end - start) // 4 + 1
+            fn, _line = self.image.source_location(start)
+            blocks.append(
+                {
+                    "start": start,
+                    "end": end,
+                    "count": n,
+                    "instructions": n * length,
+                    "function": fn,
+                }
+            )
+        blocks.sort(key=lambda b: (-b["instructions"], b["start"]))
+        func_counts = Counter()
+        line_counts = Counter()
+        for addr, n in pcs.items():
+            fn, line = self.image.source_location(addr)
+            func_counts[fn] += n
+            if line:
+                line_counts[(fn, line)] += n
+        functions = [
+            {"function": fn, "count": n}
+            for fn, n in sorted(
+                func_counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        lines = [
+            {"function": fn, "line": line, "count": n}
+            for (fn, line), n in sorted(
+                line_counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        edges = [
+            {"from": src, "to": dst, "count": n}
+            for (src, dst), n in sorted(
+                self.edges.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        profile = {
+            "schema": PROFILE_SCHEMA_ID,
+            "workload": workload,
+            "machine": self.machine,
+            "instructions": stats.instructions,
+            "data_refs": stats.data_refs,
+            "exit_code": stats.exit_code,
+            "pc_total": sum(pcs.values()),
+            "blocks": blocks,
+            "functions": functions,
+            "lines": lines,
+            "edges": edges,
+            "branches": self._branch_rows(pcs),
+        }
+        if self.machine == "baseline":
+            profile["delay_slots"] = self._delay_slot_tallies(pcs)
+        else:
+            profile["carriers"] = {
+                "noop": stats.noop_carriers,
+                "useful": stats.useful_carriers,
+                "bta": stats.bta_carriers,
+            }
+            profile["prefetch_gap"] = {
+                str(k): v for k, v in sorted(stats.prefetch_gap.items())
+            }
+            profile["compare_gap"] = {
+                str(k): v for k, v in sorted(stats.compare_gap.items())
+            }
+        return validate_profile(profile)
+
+
+class ProfileRun:
+    """Everything one ``repro profile`` invocation produced."""
+
+    def __init__(self, workload, machine, profile, profiler, image, stats):
+        self.workload = workload
+        self.machine = machine
+        self.profile = profile
+        self.profiler = profiler
+        self.image = image
+        self.stats = stats
+
+
+def run_profile(name, machine, limit=None, branchreg_options=None):
+    """Compile ``name`` for ``machine``, run it under the profiler, and
+    return a :class:`ProfileRun` with the validated profile document."""
+    from repro.ease.environment import compile_for_machine
+    from repro.emu.baseline_emu import run_baseline
+    from repro.emu.branchreg_emu import run_branchreg
+    from repro.harness.runner import DEFAULT_LIMIT, resolve_workloads
+    from repro.obs import span
+
+    workload = resolve_workloads([name])[0]
+    options = dict(branchreg_options or {}) if machine == "branchreg" else {}
+    image = compile_for_machine(workload.source, machine, **options)
+    profiler = ExecutionProfiler()
+    runner = run_baseline if machine == "baseline" else run_branchreg
+    with span("profile", machine=machine, name=name):
+        stats = runner(
+            image,
+            stdin=workload.stdin_bytes(),
+            limit=limit or DEFAULT_LIMIT,
+            program=name,
+            profiler=profiler,
+        )
+    return ProfileRun(
+        workload=workload,
+        machine=machine,
+        profile=profiler.to_profile(name),
+        profiler=profiler,
+        image=image,
+        stats=stats,
+    )
+
+
+# --------------------------------------------------------------------------
+# Rendering
+# --------------------------------------------------------------------------
+
+def _percent(part, whole):
+    return 100.0 * part / whole if whole else 0.0
+
+
+def render_listing(run, top=10):
+    """The human-readable hot listing: hot source lines annotated with the
+    workload's source text, hot blocks, branch behaviour, and a per-PC
+    annotated disassembly of the hottest function."""
+    from repro.rtl.printer import minstr_text
+
+    profile = run.profile
+    source_lines = run.workload.source.splitlines()
+    total = profile["instructions"]
+    out = []
+    out.append(
+        "profile: %s on %s -- %d instructions, %d data refs, exit %d"
+        % (
+            profile["workload"],
+            profile["machine"],
+            total,
+            profile["data_refs"],
+            profile["exit_code"],
+        )
+    )
+    attributed = sum(row["count"] for row in profile["lines"])
+    out.append(
+        "source attribution: %d of %d dynamic instructions (%.1f%%)"
+        % (attributed, total, _percent(attributed, total))
+    )
+
+    out.append("")
+    out.append("hot source lines (top %d of %d):" % (
+        min(top, len(profile["lines"])), len(profile["lines"])))
+    out.append("   %10s %6s %5s  %s" % ("count", "%", "line", "source"))
+    for row in profile["lines"][:top]:
+        line_no = row["line"]
+        text = (
+            source_lines[line_no - 1].rstrip()
+            if 0 < line_no <= len(source_lines)
+            else "<line %d>" % line_no
+        )
+        out.append(
+            "   %10d %6.2f %5d  | %s"
+            % (row["count"], _percent(row["count"], total), line_no, text)
+        )
+
+    out.append("")
+    out.append("hot blocks (top %d of %d):" % (
+        min(top, len(profile["blocks"])), len(profile["blocks"])))
+    out.append(
+        "   %10s %10s  %-21s %s"
+        % ("instrs", "execs", "addresses", "function")
+    )
+    for block in profile["blocks"][:top]:
+        out.append(
+            "   %10d %10d  0x%06x-0x%06x     %s"
+            % (
+                block["instructions"],
+                block["count"],
+                block["start"],
+                block["end"],
+                block["function"],
+            )
+        )
+
+    branches = profile["branches"]
+    conds = [b for b in branches if b["not_taken"] or "cond" in b]
+    out.append("")
+    out.append("hot conditional transfers (top %d of %d):" % (
+        min(top, len(conds)), len(conds)))
+    out.append(
+        "   %10s %10s %7s  %-10s %5s  %s"
+        % ("executed", "taken", "taken%", "op", "line", "function")
+    )
+    for b in conds[:top]:
+        out.append(
+            "   %10d %10d %6.1f%%  %-10s %5d  %s"
+            % (
+                b["executed"],
+                b["taken"],
+                _percent(b["taken"], b["executed"]),
+                b["op"] + ("." + b["cond"] if b.get("cond") else ""),
+                b["line"],
+                b["function"],
+            )
+        )
+
+    if "delay_slots" in profile:
+        slots = profile["delay_slots"]
+        executed = slots["filled"] + slots["unfilled"]
+        out.append("")
+        out.append(
+            "delay slots: %d executed, %d filled (%.1f%%), %d noop"
+            % (
+                executed,
+                slots["filled"],
+                _percent(slots["filled"], executed),
+                slots["unfilled"],
+            )
+        )
+    if "carriers" in profile:
+        carriers = profile["carriers"]
+        transfers = carriers["noop"] + carriers["useful"]
+        out.append("")
+        out.append(
+            "carriers: %d transfers, %d useful (%.1f%%), %d noop, %d bta"
+            % (
+                transfers,
+                carriers["useful"],
+                _percent(carriers["useful"], transfers),
+                carriers["noop"],
+                carriers["bta"],
+            )
+        )
+        gaps = profile.get("prefetch_gap", {})
+        if gaps:
+            ready = gaps.get("-1", 0)
+            out.append(
+                "prefetch distance (calc->use, instructions): ready=%d  %s"
+                % (
+                    ready,
+                    "  ".join(
+                        "%s:%d" % (k, v)
+                        for k, v in sorted(
+                            gaps.items(), key=lambda kv: int(kv[0])
+                        )
+                        if k != "-1"
+                    ),
+                )
+            )
+
+    if profile["functions"]:
+        hottest = profile["functions"][0]["function"]
+        pcs = run.profiler.pc_counts()
+        addrs = sorted(run.image.function_addrs.get(hottest, ()))
+        out.append("")
+        out.append(
+            "annotated disassembly of hottest function %s "
+            "(%d dynamic instructions, %.1f%%):"
+            % (
+                hottest,
+                profile["functions"][0]["count"],
+                _percent(profile["functions"][0]["count"], total),
+            )
+        )
+        out.append("   %10s  %-8s %5s  %s" % ("count", "addr", "line", "instruction"))
+        for addr in addrs:
+            ins = run.image.instruction_at(addr)
+            _fn, line = run.image.source_location(addr)
+            out.append(
+                "   %10d  0x%06x %5d  %s"
+                % (pcs.get(addr, 0), addr, line, minstr_text(ins))
+            )
+    return "\n".join(out)
+
+
+def write_profile(profile, path):
+    """Write the JSON profile document."""
+    with open(path, "w") as handle:
+        json.dump(profile, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_profile(path):
+    """Read and validate a profile document."""
+    with open(path, "r") as handle:
+        doc = json.load(handle)
+    return validate_profile(doc)
+
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "PROFILE_SCHEMA_ID",
+    "ExecutionProfiler",
+    "ProfileRun",
+    "ManifestError",
+    "load_profile",
+    "render_listing",
+    "run_profile",
+    "validate_profile",
+    "write_profile",
+]

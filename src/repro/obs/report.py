@@ -16,7 +16,12 @@ import time
 from repro.obs import events
 from repro.obs.emuobs import EmulationObserver
 from repro.obs.log import log
-from repro.obs.manifest import build_manifest, load_manifest, write_manifest
+from repro.obs.manifest import (
+    build_manifest,
+    collect_provenance,
+    load_manifest,
+    write_manifest,
+)
 from repro.obs.metrics import METRICS
 from repro.obs.spans import RECORDER
 
@@ -29,13 +34,16 @@ def run_report(
     sample_every=65536,
     events_path=None,
     reset=True,
+    argv=None,
 ):
     """Run the (sub)suite instrumented; returns {"manifest", "text", "pairs"}.
 
     ``subset`` is an iterable of workload names (None = all 19);
     ``events_path`` writes the raw event stream as JSON lines alongside
     the manifest; ``reset`` clears the global metric/span recorders first
-    so the manifest reflects only this run.
+    so the manifest reflects only this run.  ``argv`` is recorded in the
+    manifest's provenance section (defaults to this process's command
+    line).
     """
     from repro.harness.runner import DEFAULT_LIMIT, run_suite
 
@@ -72,6 +80,7 @@ def run_report(
         phase_totals=RECORDER.phase_totals(),
         metrics_snapshot=METRICS.snapshot(),
         workload_durations=workload_durations,
+        provenance=collect_provenance(argv),
     )
     log.info(
         "report: %d programs in %.2fs (%d spans, %d metrics)",

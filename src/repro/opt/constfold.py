@@ -21,6 +21,7 @@ def fold_block(block):
     changed = False
     new_instrs = []
     for ins in block.instrs:
+        line = ins.line
         ins = _substitute(ins, known)
         folded = _try_fold(ins, known)
         if folded is not ins:
@@ -29,6 +30,8 @@ def fold_block(block):
         if ins is None:
             changed = True
             continue
+        if not ins.line:
+            ins.line = line
         # Update the known-constants map.
         if ins.op == "li" and isinstance(ins.dst, VReg):
             known[ins.dst] = ins.srcs[0].value

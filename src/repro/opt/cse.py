@@ -55,7 +55,10 @@ def pool_constants(fn, min_uses=2):
         canonical = fn.new_vreg()
         prototype = sites[0]
         entry_defs.append(
-            I.Instr(prototype.op, dst=canonical, srcs=list(prototype.srcs))
+            I.Instr(
+                prototype.op, dst=canonical, srcs=list(prototype.srcs),
+                line=prototype.line,
+            )
         )
         for ins in sites:
             replacements[ins.dst] = canonical

@@ -28,14 +28,19 @@ def legalize_immediates(fn, spec):
             if isinstance(b, Imm) and not spec.imm_fits(b.value):
                 temp = fn.new_vreg()
                 out.append(I.li(temp, b.value))
-                ins = I.Instr(ins.op, dst=ins.dst, srcs=[ins.srcs[0], temp])
+                out[-1].line = ins.line
+                ins = I.Instr(
+                    ins.op, dst=ins.dst, srcs=[ins.srcs[0], temp], line=ins.line
+                )
         elif ins.op == "br":
             b = ins.srcs[1]
             if isinstance(b, Imm) and not spec.imm_fits(b.value):
                 temp = fn.new_vreg()
                 out.append(I.li(temp, b.value))
+                out[-1].line = ins.line
                 ins = I.Instr(
-                    "br", srcs=[ins.srcs[0], temp], cond=ins.cond, target=ins.target
+                    "br", srcs=[ins.srcs[0], temp], cond=ins.cond,
+                    target=ins.target, line=ins.line,
                 )
         out.append(ins)
     fn.instrs = out

@@ -278,14 +278,20 @@ class RegisterAllocator:
                 for vreg in used_spilled:
                     temp = temp_for(vreg)
                     out.append(
-                        I.Instr("ldspill", dst=temp, srcs=[slots[vreg]])
+                        I.Instr(
+                            "ldspill", dst=temp, srcs=[slots[vreg]],
+                            line=ins.line,
+                        )
                     )
                     self.info.spill_loads = self.info.spill_loads + 1
                 for vreg in used_remat:
                     temp = temp_for(vreg)
                     original = remat[vreg]
                     out.append(
-                        I.Instr(original.op, dst=temp, srcs=list(original.srcs))
+                        I.Instr(
+                            original.op, dst=temp, srcs=list(original.srcs),
+                            line=ins.line,
+                        )
                     )
                 for vreg in def_spilled:
                     temp_for(vreg)  # ensure the def has a temp
@@ -299,7 +305,8 @@ class RegisterAllocator:
                 for vreg in def_spilled:
                     out.append(
                         I.Instr(
-                            "stspill", srcs=[temp_of[vreg], slots[vreg]]
+                            "stspill", srcs=[temp_of[vreg], slots[vreg]],
+                            line=ins.line,
                         )
                     )
                     self.info.spill_stores = self.info.spill_stores + 1

@@ -73,6 +73,10 @@ class Instr:
     callee: str = None
     args: list = field(default_factory=list)
     name: str = None
+    #: SmallC source line this instruction was lowered from (0 = unknown).
+    #: Carried through the optimiser and into the MInstr debug maps so the
+    #: profiler can attribute dynamic counts to source lines.
+    line: int = 0
 
     # ---- classification helpers -------------------------------------
 
@@ -133,6 +137,7 @@ class Instr:
             callee=self.callee,
             args=[swap(a) for a in self.args],
             name=self.name,
+            line=self.line,
         )
 
     def __repr__(self):

@@ -135,6 +135,112 @@ class TestJsonOutput:
         assert {"config", "machine", "cycles", "miss_rate"} <= set(doc["runs"][0])
 
 
+class TestProfileCommand:
+    def test_listing(self, capsys):
+        rc = main(["profile", "wc"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "profile: wc on baseline" in out
+        assert "hot source lines" in out
+        assert "delay slots" in out
+
+    def test_branchreg_json(self, capsys):
+        rc = main(["profile", "wc", "--machine", "branchreg", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["machine"] == "branchreg"
+        assert doc["pc_total"] == doc["instructions"]
+        assert "carriers" in doc
+
+    def test_out_writes_validated_profile(self, tmp_path, capsys):
+        from repro.obs.profile import load_profile
+
+        path = str(tmp_path / "wc.profile.json")
+        rc = main(["profile", "wc", "--out", path])
+        assert rc == 0
+        doc = load_profile(path)
+        assert doc["workload"] == "wc"
+
+    def test_unknown_workload_fails(self, capsys):
+        rc = main(["profile", "nope"])
+        assert rc == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_bad_top_rejected(self, capsys):
+        rc = main(["profile", "wc", "--top", "0"])
+        assert rc == 2
+
+
+class TestDiffCommand:
+    @pytest.fixture(scope="class")
+    def manifests(self, tmp_path_factory):
+        from repro.obs.report import run_report, save_report
+
+        tmp = tmp_path_factory.mktemp("diff")
+        result = run_report(subset=("wc",))
+        path_a = save_report(result, str(tmp / "a.json"))
+        doc = json.loads(json.dumps(result["manifest"]))
+        doc["programs"][0]["baseline"]["instructions"] += 7
+        path_b = str(tmp / "b.json")
+        with open(path_b, "w") as handle:
+            json.dump(doc, handle)
+        return path_a, path_b
+
+    def test_identical_manifests_exit_zero(self, manifests, capsys):
+        path_a, _ = manifests
+        rc = main(["diff", path_a, path_a])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "result: OK" in out
+
+    def test_drift_exits_nonzero(self, manifests, capsys):
+        path_a, path_b = manifests
+        rc = main(["diff", path_a, path_b])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "BREACH" in out and "DRIFT DETECTED" in out
+
+    def test_threshold_tolerates_drift(self, manifests, capsys):
+        path_a, path_b = manifests
+        rc = main(["diff", path_a, path_b, "--threshold", "0.01"])
+        assert rc == 0
+
+    def test_paper_gate_passes_on_fresh_run(self, manifests, capsys):
+        path_a, _ = manifests
+        rc = main(["diff", path_a, "--paper"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pinned Table I" in out
+        assert "note:" in out
+
+    def test_paper_gate_fails_on_drift(self, manifests, capsys):
+        _, path_b = manifests
+        rc = main(["diff", path_b, "--paper"])
+        assert rc == 1
+
+    def test_paper_with_two_manifests_rejected(self, manifests, capsys):
+        path_a, path_b = manifests
+        rc = main(["diff", path_a, path_b, "--paper"])
+        assert rc == 2
+
+    def test_missing_second_manifest_rejected(self, manifests, capsys):
+        path_a, _ = manifests
+        rc = main(["diff", path_a])
+        assert rc == 2
+
+    def test_unreadable_manifest_rejected(self, manifests, tmp_path, capsys):
+        path_a, _ = manifests
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = main(["diff", path_a, str(bad)])
+        assert rc == 2
+
+    def test_negative_threshold_rejected(self, manifests, capsys):
+        path_a, _ = manifests
+        rc = main(["diff", path_a, path_a, "--threshold", "-0.5"])
+        assert rc == 2
+
+
 class TestVerbosity:
     def teardown_method(self):
         from repro.obs.log import configure

@@ -1,0 +1,125 @@
+"""Tests for differential run analysis and drift gating (repro.obs.diff)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.diff import (
+    TABLE1_EXPECTED,
+    diff_against_paper,
+    diff_manifests,
+    render_diff,
+)
+from repro.obs.report import run_report
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return run_report(subset=("wc", "spline"))["manifest"]
+
+
+def _perturb(manifest, name="wc", machine="baseline",
+             metric="instructions", delta=500):
+    doc = copy.deepcopy(manifest)
+    for entry in doc["programs"]:
+        if entry["name"] == name:
+            entry[machine][metric] += delta
+    return doc
+
+
+class TestDiffManifests:
+    def test_identical_runs_are_clean(self, manifest):
+        result = diff_manifests(manifest, manifest)
+        assert result.rows and not result.breaches
+        assert result.exit_code == 0
+        assert all(row["delta"] == 0 for row in result.rows)
+
+    def test_perturbation_breaches_exact_gate(self, manifest):
+        result = diff_manifests(manifest, _perturb(manifest))
+        assert result.exit_code == 1
+        breach = result.breaches[0]
+        assert (breach["name"], breach["machine"], breach["metric"]) == (
+            "wc", "baseline", "instructions"
+        )
+        assert breach["delta"] == 500
+
+    def test_threshold_tolerates_small_drift(self, manifest):
+        # 500 extra instructions on wc's ~56k baseline count is under 1%.
+        result = diff_manifests(manifest, _perturb(manifest), threshold=0.05)
+        assert result.exit_code == 0
+        assert any(row["delta"] for row in result.rows)
+
+    def test_asymmetric_workloads_warn_not_breach(self, manifest):
+        smaller = copy.deepcopy(manifest)
+        smaller["programs"] = [
+            e for e in smaller["programs"] if e["name"] != "spline"
+        ]
+        result = diff_manifests(manifest, smaller, label_a="A", label_b="B")
+        assert any("spline" in w and "only in A" in w for w in result.warnings)
+        assert result.exit_code == 0
+
+    def test_labels_carry_provenance(self, manifest):
+        result = diff_manifests(manifest, manifest, label_a="before.json")
+        sha = (manifest.get("provenance") or {}).get("git_sha")
+        if sha:
+            assert sha[:12] in result.label_a
+
+
+class TestDiffAgainstPaper:
+    def test_fresh_run_reproduces_pinned_table(self, manifest):
+        result = diff_against_paper(manifest)
+        # Two workloads x two machines x two metrics.
+        assert len(result.rows) == 8
+        assert result.exit_code == 0
+
+    def test_pinned_values_match_fixture(self, manifest):
+        entry = {e["name"]: e for e in manifest["programs"]}["wc"]
+        expected = TABLE1_EXPECTED["wc"]
+        assert entry["baseline"]["instructions"] == expected[0]
+        assert entry["branchreg"]["instructions"] == expected[1]
+
+    def test_drift_fails_the_gate(self, manifest):
+        result = diff_against_paper(_perturb(manifest, delta=1))
+        assert result.exit_code == 1
+
+    def test_paper_claims_are_notes_not_rows(self, manifest):
+        result = diff_against_paper(manifest)
+        assert len(result.notes) == 3
+        assert all("informational" in note for note in result.notes)
+
+    def test_unpinned_workload_warns(self, manifest):
+        doc = copy.deepcopy(manifest)
+        doc["programs"].append(
+            json.loads(json.dumps(doc["programs"][0], default=str))
+        )
+        doc["programs"][-1]["name"] = "mystery"
+        result = diff_against_paper(doc)
+        assert any("mystery" in w for w in result.warnings)
+
+    def test_pinned_table_covers_all_19_workloads(self):
+        from repro.workloads import all_workloads
+
+        assert set(TABLE1_EXPECTED) == {w.name for w in all_workloads()}
+
+
+class TestRenderDiff:
+    def test_clean_render(self, manifest):
+        text = render_diff(diff_manifests(manifest, manifest))
+        assert "no changes" in text
+        assert text.endswith("result: OK")
+
+    def test_breach_render(self, manifest):
+        text = render_diff(diff_manifests(manifest, _perturb(manifest)))
+        assert "BREACH" in text
+        assert text.endswith("result: DRIFT DETECTED")
+
+    def test_max_rows_caps_output(self, manifest):
+        perturbed = copy.deepcopy(manifest)
+        for entry in perturbed["programs"]:
+            entry["baseline"]["instructions"] += 1
+            entry["branchreg"]["instructions"] += 1
+        text = render_diff(
+            diff_manifests(manifest, perturbed), max_rows=1
+        )
+        assert text.count("BREACH") == 1

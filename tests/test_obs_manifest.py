@@ -9,8 +9,11 @@ from repro.emu.stats import RunStats
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     SCHEMA_ID,
+    SCHEMA_V1,
     ManifestError,
     build_manifest,
+    collect_provenance,
+    git_commit,
     load_manifest,
     stats_to_dict,
     validate_manifest,
@@ -144,3 +147,50 @@ class TestValidator:
     def test_schema_itself_lists_phases_and_metrics(self):
         assert "phases" in MANIFEST_SCHEMA["required"]
         assert "metrics" in MANIFEST_SCHEMA["required"]
+
+
+class TestProvenance:
+    def test_manifest_embeds_provenance(self, manifest):
+        provenance = manifest["provenance"]
+        assert provenance["argv"]  # this test process's command line
+        assert provenance["git_sha"] is None or isinstance(
+            provenance["git_sha"], str
+        )
+
+    def test_explicit_argv_recorded(self, pair):
+        doc = build_manifest(
+            [pair],
+            config={"subset": ("simple",), "limit": None},
+            duration_s=0.1,
+            provenance=collect_provenance(["repro", "report", "--subset", "wc"]),
+        )
+        assert doc["provenance"]["argv"] == [
+            "repro", "report", "--subset", "wc"
+        ]
+
+    def test_git_sha_shape(self):
+        sha = git_commit()
+        # Outside a work tree this is None; inside it is a full hex sha.
+        if sha is not None:
+            assert len(sha) == 40
+            int(sha, 16)
+
+    def test_v1_manifest_still_validates(self, manifest):
+        # Older BENCH_*.json artifacts carry the v1 schema id and no
+        # provenance section; they must keep loading.
+        legacy = json.loads(json.dumps(manifest))
+        legacy["schema"] = SCHEMA_V1
+        del legacy["provenance"]
+        validate_manifest(legacy)
+
+    def test_unknown_schema_version_rejected(self, manifest):
+        broken = dict(manifest)
+        broken["schema"] = "repro.run-manifest/99"
+        with pytest.raises(ManifestError, match="schema"):
+            validate_manifest(broken)
+
+    def test_malformed_provenance_rejected(self, manifest):
+        broken = json.loads(json.dumps(manifest))
+        broken["provenance"] = {"git_sha": 42, "argv": []}
+        with pytest.raises(ManifestError, match="git_sha"):
+            validate_manifest(broken)

@@ -1,0 +1,184 @@
+"""Tests for the dynamic execution profiler (repro.obs.profile).
+
+The central property: the profiler's reconstructed per-PC counts must sum
+to the emulator's exact dynamic instruction count -- on every workload, on
+both machines.  Everything else (blocks, branch rows, source attribution)
+is derived from those counts, so consistency checks on the derived views
+ride on the same fixtures.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import ManifestError
+from repro.obs.profile import (
+    PROFILE_SCHEMA_ID,
+    load_profile,
+    render_listing,
+    run_profile,
+    validate_profile,
+    write_profile,
+)
+
+# Three workloads with different control-flow shapes: wc is branch-heavy,
+# matmult is loop-nest-heavy, spline is float/call-heavy.
+WORKLOADS = ("wc", "matmult", "spline")
+MACHINES = ("baseline", "branchreg")
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        (name, machine): run_profile(name, machine)
+        for name in WORKLOADS
+        for machine in MACHINES
+    }
+
+
+class TestExactness:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize("machine", MACHINES)
+    def test_pc_counts_sum_to_instruction_count(self, runs, name, machine):
+        profile = runs[(name, machine)].profile
+        assert profile["pc_total"] == profile["instructions"]
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize("machine", MACHINES)
+    def test_block_instructions_sum_to_instruction_count(
+        self, runs, name, machine
+    ):
+        profile = runs[(name, machine)].profile
+        assert (
+            sum(b["instructions"] for b in profile["blocks"])
+            == profile["instructions"]
+        )
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize("machine", MACHINES)
+    def test_function_counts_sum_to_instruction_count(
+        self, runs, name, machine
+    ):
+        profile = runs[(name, machine)].profile
+        assert (
+            sum(f["count"] for f in profile["functions"])
+            == profile["instructions"]
+        )
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize("machine", MACHINES)
+    def test_stats_match_unprofiled_run(self, runs, name, machine):
+        from repro.ease.environment import compile_for_machine
+        from repro.emu.baseline_emu import run_baseline
+        from repro.emu.branchreg_emu import run_branchreg
+
+        run = runs[(name, machine)]
+        runner = run_baseline if machine == "baseline" else run_branchreg
+        image = compile_for_machine(run.workload.source, machine)
+        plain = runner(image, stdin=run.workload.stdin_bytes(), program=name)
+        assert run.stats.instructions == plain.instructions
+        assert run.stats.data_refs == plain.data_refs
+        assert run.stats.output == plain.output
+
+
+class TestBlocks:
+    def test_blocks_are_disjoint_and_uniform(self, runs):
+        run = runs[("matmult", "branchreg")]
+        pcs = run.profiler.pc_counts()
+        seen = set()
+        for start, end, count in run.profiler.basic_blocks():
+            addrs = range(start, end + 4, 4)
+            for addr in addrs:
+                assert addr not in seen
+                seen.add(addr)
+                assert pcs[addr] == count
+        assert seen == set(pcs)
+
+    def test_hottest_function_of_matmult_is_multiply(self, runs):
+        for machine in MACHINES:
+            profile = runs[("matmult", machine)].profile
+            assert profile["functions"][0]["function"] == "multiply"
+
+
+class TestBranches:
+    @pytest.mark.parametrize("machine", MACHINES)
+    def test_conditional_rows_balance(self, runs, machine):
+        profile = runs[("wc", machine)].profile
+        cond_kinds = ("bcc", "fbcc") if machine == "baseline" else ("cond",)
+        conds = [b for b in profile["branches"] if b["kind"] in cond_kinds]
+        assert conds
+        for b in conds:
+            assert b["taken"] + b["not_taken"] == b["executed"]
+            assert 0 <= b["taken"] <= b["executed"]
+
+    def test_edge_counts_match_taken_totals(self, runs):
+        run = runs[("wc", "branchreg")]
+        profile = run.profile
+        taken_by_src = {}
+        for edge in profile["edges"]:
+            taken_by_src[edge["from"]] = (
+                taken_by_src.get(edge["from"], 0) + edge["count"]
+            )
+        rows = {b["addr"]: b for b in profile["branches"]}
+        for src, n in taken_by_src.items():
+            assert rows[src]["taken"] == n
+
+
+class TestMachineSpecificSections:
+    def test_baseline_has_delay_slots(self, runs):
+        profile = runs[("wc", "baseline")].profile
+        assert "delay_slots" in profile and "carriers" not in profile
+        slots = profile["delay_slots"]
+        assert slots["filled"] >= 0 and slots["unfilled"] >= 0
+        assert slots["filled"] + slots["unfilled"] > 0
+
+    def test_branchreg_carriers_match_transfer_stats(self, runs):
+        run = runs[("wc", "branchreg")]
+        carriers = run.profile["carriers"]
+        assert (
+            carriers["noop"] + carriers["useful"] == run.stats.transfers
+        )
+        assert "prefetch_gap" in run.profile
+
+
+class TestSerialisation:
+    def test_schema_id(self, runs):
+        assert runs[("wc", "baseline")].profile["schema"] == PROFILE_SCHEMA_ID
+
+    def test_roundtrip(self, runs, tmp_path):
+        profile = runs[("spline", "branchreg")].profile
+        path = write_profile(profile, str(tmp_path / "spline.json"))
+        loaded = load_profile(path)
+        assert loaded == json.loads(json.dumps(profile))
+
+    def test_invalid_document_rejected(self, runs):
+        broken = dict(runs[("wc", "baseline")].profile)
+        del broken["blocks"]
+        with pytest.raises(ManifestError, match="blocks"):
+            validate_profile(broken)
+
+    def test_wrong_machine_rejected(self, runs):
+        broken = json.loads(json.dumps(runs[("wc", "baseline")].profile))
+        broken["machine"] = "z80"
+        with pytest.raises(ManifestError, match="machine"):
+            validate_profile(broken)
+
+
+class TestListing:
+    def test_listing_mentions_hot_source_text(self, runs):
+        run = runs[("matmult", "baseline")]
+        text = render_listing(run, top=5)
+        assert "hot source lines" in text
+        assert "multiply" in text
+        assert "delay slots" in text
+        # The paper's inner-product line is matmult's hottest statement.
+        assert "mat_a" in text
+
+    def test_branchreg_listing_reports_carriers(self, runs):
+        text = render_listing(runs[("wc", "branchreg")], top=5)
+        assert "carriers" in text
+        assert "prefetch distance" in text
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_profile("nope", "baseline")

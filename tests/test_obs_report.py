@@ -73,6 +73,33 @@ class TestEmulationObserver:
         with pytest.raises(ValueError):
             EmulationObserver(sample_every=0)
 
+    def test_sample_every_one_samples_every_instruction(self):
+        observer = EmulationObserver(sample_every=1, registry=MetricsRegistry())
+        image = compile_for_machine(SIMPLE, "branchreg")
+        stats = run_branchreg(image, program="simple", observer=observer)
+        assert observer.samples == stats.instructions
+
+    def test_sample_interval_equal_to_run_length_samples_once(self):
+        # The last instruction is a sampling boundary: exactly one sample.
+        image = compile_for_machine(SIMPLE, "branchreg")
+        plain = run_branchreg(image.reset(), program="simple")
+        observer = EmulationObserver(
+            sample_every=plain.instructions, registry=MetricsRegistry()
+        )
+        run_branchreg(image.reset(), program="simple", observer=observer)
+        assert observer.samples == 1
+
+    def test_sample_interval_beyond_run_length_never_samples(self):
+        image = compile_for_machine(SIMPLE, "branchreg")
+        plain = run_branchreg(image.reset(), program="simple")
+        observer = EmulationObserver(
+            sample_every=plain.instructions + 1, registry=MetricsRegistry()
+        )
+        stats = run_branchreg(image.reset(), program="simple", observer=observer)
+        assert observer.samples == 0
+        assert observer.runs == 1
+        assert stats.instructions == plain.instructions
+
 
 @pytest.fixture(scope="module")
 def report():

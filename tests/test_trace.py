@@ -81,10 +81,10 @@ class TestTraceRun:
         assert trace.truncated
 
     def test_window_sentinel_stops_recording_but_keeps_running(self, images):
-        # Truncating inside a function window flips the window to the
-        # (1, 0) sentinel: recording stops for good -- even when the PC
-        # re-enters the function -- but emulation runs to completion so
-        # the stats stay accurate.
+        # Truncating inside a function filter empties the address set:
+        # recording stops for good -- even when the PC re-enters the
+        # function -- but emulation runs to completion so the stats stay
+        # accurate.
         full, _stats = trace_run(
             images["branchreg"], "branchreg", function="twice"
         )
@@ -96,6 +96,16 @@ class TestTraceRun:
         assert trace.truncated
         assert stats.output == b"42\n"  # ran to completion
         assert stats.instructions > len(trace.entries)
+
+    def test_limit_stops_emulation_early(self, images):
+        # `limit` bounds emulation itself (unlike max_entries, which only
+        # bounds recording): the run stops at exactly `limit` executed
+        # instructions without setting the truncation flag.
+        trace, stats = trace_run(images["branchreg"], "branchreg", limit=5)
+        assert stats.instructions == 5
+        assert len(trace.entries) == 5
+        assert not trace.truncated
+        assert stats.output == b""  # never reached the print
 
     def test_str_rendering(self, images):
         trace, _stats = trace_run(
