@@ -1,0 +1,79 @@
+"""Benchmark: overhead of the hardened (fault-tolerant) run loop.
+
+The robustness layer promises that the hardened execution path -- the
+wall-clock watchdog (checked every ``WATCHDOG_STRIDE`` instructions),
+the control-flow edge ring buffer, and the per-step typed-error
+conversion -- is cheap enough to leave on for every fault-tolerant
+suite run.  This benchmark measures the hardened/plain wall-time ratio
+the same way ``test_bench_obs.py`` measures instrumentation overhead:
+each workload image is compiled once, then emulated with and without
+hardening in interleaved rounds, and the min/min time ratio must stay
+under the budget.
+"""
+
+import time
+
+from repro.ease.environment import compile_for_machine
+from repro.emu.branchreg_emu import run_branchreg
+from repro.workloads import all_workloads
+
+SUBSET = ("wc", "sort", "sieve")
+ROUNDS = 5
+# Measured ~1.01 on an idle machine; the budget leaves headroom for
+# loaded CI runners while still catching an accidentally quadratic
+# watchdog or per-instruction ring-buffer regression.
+OVERHEAD_BUDGET = 1.25
+
+
+def _compile_subset():
+    workloads = {w.name: w for w in all_workloads() if w.name in SUBSET}
+    return {
+        name: (compile_for_machine(w.source, "branchreg"), w.stdin_bytes())
+        for name, w in workloads.items()
+    }
+
+
+def _emulate_all(images, hardened=False):
+    extra = {"deadline_s": 60.0, "record_edges": True} if hardened else {}
+    for name, (image, stdin) in images.items():
+        run_branchreg(image.reset(), stdin=stdin, program=name, **extra)
+
+
+def _timed_rounds(run_plain, run_hardened):
+    plain = []
+    hardened = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        run_plain()
+        plain.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        run_hardened()
+        hardened.append(time.perf_counter() - start)
+    return {
+        "plain_s": min(plain),
+        "hardened_s": min(hardened),
+        "ratio": min(hardened) / min(plain),
+    }
+
+
+def _measure_hardened_overhead():
+    images = _compile_subset()
+    _emulate_all(images)  # warm-up round, not timed
+    _emulate_all(images, hardened=True)
+    return _timed_rounds(
+        lambda: _emulate_all(images),
+        lambda: _emulate_all(images, hardened=True),
+    )
+
+
+def test_hardened_loop_overhead_under_budget(once):
+    result = once(_measure_hardened_overhead)
+    print()
+    print(
+        "hardened-loop overhead: plain %.3fs, hardened %.3fs, ratio %.3f"
+        % (result["plain_s"], result["hardened_s"], result["ratio"])
+    )
+    assert result["ratio"] < OVERHEAD_BUDGET, (
+        "hardened run-loop overhead %.1f%% exceeds the %d%% budget"
+        % (100.0 * (result["ratio"] - 1.0), round(100 * (OVERHEAD_BUDGET - 1)))
+    )

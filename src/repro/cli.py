@@ -23,7 +23,16 @@ Usage (``python -m repro [-v|-q] <command> ...``):
 * ``diff MANIFEST_A [MANIFEST_B] [--paper] [--threshold F]`` -- compare
   two run manifests (or one against the pinned Table I reproduction with
   ``--paper``); exits non-zero when any gated metric drifts beyond the
-  threshold, which is how CI uses it as a drift gate.
+  threshold, which is how CI uses it as a drift gate;
+* ``oracle [--subset a,b] [--json]`` -- run the differential machine
+  oracle over the workload suite (stdout, exit status, and data-segment
+  equivalence between the two machines); exits non-zero on divergence;
+* ``fuzz [--count N] [--seed N] [--artifacts DIR] [--json]`` -- seeded
+  differential fuzzing with automatic minimisation of failing programs
+  to reproducer ``.c`` files; exits non-zero when any case fails;
+* ``triage MANIFEST`` -- render the post-mortem view of a manifest's
+  ``failures`` section (error types, pc/icount, source attribution, and
+  the last control-flow edges); see ``docs/ROBUSTNESS.md``.
 
 ``-v``/``-vv`` raise and ``-q`` lowers the diagnostic log level on the
 shared ``repro`` logger (stderr); report/table output stays on stdout.
@@ -310,6 +319,8 @@ def cmd_report(args):
             limit=args.limit,
             sample_every=args.sample_every,
             events_path=args.events,
+            fault_tolerant=args.fault_tolerant,
+            deadline_s=args.deadline,
         )
     except ValueError as exc:  # e.g. unknown workload names
         print("error: %s" % exc, file=sys.stderr)
@@ -318,7 +329,90 @@ def cmd_report(args):
     print(result["text"])
     log.info("wrote run manifest to %s", path)
     print("\nmanifest: %s" % path)
+    if result["manifest"].get("failures"):
+        return 1
     return 0
+
+
+def cmd_oracle(args):
+    from repro.errors import ReproError
+    from repro.fault.oracle import check_workloads
+
+    subset = tuple(args.subset.split(",")) if args.subset else None
+    try:
+        results = check_workloads(names=subset, limit=args.limit)
+    except ValueError as exc:  # unknown workload names
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print("DIVERGENCE: %s" % exc, file=sys.stderr)
+        detail = getattr(exc, "detail", None)
+        if detail:
+            for key, value in sorted(detail.items()):
+                print("  %s: %r" % (key, value), file=sys.stderr)
+        return 1
+    if args.json:
+        _print_json(
+            {
+                "workloads": [
+                    {
+                        "name": r.name,
+                        "baseline_instructions": r.baseline.instructions,
+                        "branchreg_instructions": r.branchreg.instructions,
+                        "data_bytes": r.data_bytes,
+                    }
+                    for r in results
+                ],
+                "equivalent": True,
+            }
+        )
+        return 0
+    for r in results:
+        print(
+            "%-11s equivalent (%d output bytes, %d data bytes compared)"
+            % (r.name, len(r.output), r.data_bytes)
+        )
+    print("oracle: %d workload(s), machines equivalent" % len(results))
+    return 0
+
+
+def cmd_fuzz(args):
+    from repro.fault.oracle import fuzz_differential
+
+    if args.count <= 0:
+        print("error: --count must be positive", file=sys.stderr)
+        return 2
+    report = fuzz_differential(
+        count=args.count,
+        seed=args.seed,
+        depth=args.depth,
+        artifacts_dir=args.artifacts,
+        limit=args.limit,
+    )
+    if args.json:
+        _print_json(report)
+    else:
+        print(
+            "fuzz: %d/%d case(s) checked, %d failure(s) (seed %d)"
+            % (report["checked"], report["count"], len(report["failures"]),
+               report["seed"])
+        )
+        for record in report["failures"]:
+            print("  case %d: %s: %s" % (record["index"], record["error"],
+                                         record["message"]))
+            if "artifact" in record:
+                print("    reproducer: %s" % record["artifact"])
+    return 1 if report["failures"] else 0
+
+
+def cmd_triage(args):
+    from repro.fault.triage import render_triage
+
+    manifest = _load_manifest_or_none(args.manifest)
+    if manifest is None:
+        return 2
+    print(render_triage(manifest))
+    return 1 if manifest.get("failures") else 0
 
 
 def cmd_profile(args):
@@ -488,7 +582,53 @@ def build_parser():
         "--replay", default=None,
         help="re-render a saved manifest instead of running the suite",
     )
+    p_rep.add_argument(
+        "--fault-tolerant", action="store_true",
+        help="keep running past per-workload typed errors; record them in "
+        "the manifest's failures section (exit 1 when any occurred)",
+    )
+    p_rep.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-emulation wall-clock watchdog (WatchdogTimeout on breach)",
+    )
     p_rep.set_defaults(func=cmd_report)
+
+    p_or = sub.add_parser(
+        "oracle",
+        help="differential machine oracle over the workload suite",
+    )
+    p_or.add_argument("--subset", default=None, help="comma-separated names")
+    p_or.add_argument("--limit", type=int, default=20_000_000)
+    p_or.add_argument(
+        "--json", action="store_true", help="emit the verdict as JSON"
+    )
+    p_or.set_defaults(func=cmd_oracle)
+
+    p_fz = sub.add_parser(
+        "fuzz",
+        help="seeded differential fuzzing with failure minimisation",
+    )
+    p_fz.add_argument("--count", type=int, default=200)
+    p_fz.add_argument("--seed", type=int, default=0)
+    p_fz.add_argument(
+        "--depth", type=int, default=2, help="statement nesting depth"
+    )
+    p_fz.add_argument("--limit", type=int, default=500_000)
+    p_fz.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="write minimised reproducer .c files here on failure",
+    )
+    p_fz.add_argument(
+        "--json", action="store_true", help="emit the fuzz report as JSON"
+    )
+    p_fz.set_defaults(func=cmd_fuzz)
+
+    p_tg = sub.add_parser(
+        "triage",
+        help="post-mortem view of a manifest's failures section",
+    )
+    p_tg.add_argument("manifest", help="BENCH_*.json manifest")
+    p_tg.set_defaults(func=cmd_triage)
 
     p_prof = sub.add_parser(
         "profile",

@@ -17,7 +17,7 @@ from repro.codegen.branchreg_gen import generate_branchreg
 from repro.emu.baseline_emu import run_baseline
 from repro.emu.branchreg_emu import run_branchreg
 from repro.emu.loader import Image
-from repro.errors import EmulationError
+from repro.errors import MachineDivergence
 from repro.lang.frontend import compile_to_ir
 from repro.obs import log, span
 
@@ -67,9 +67,14 @@ def compile_for_machine(source, machine, **codegen_options):
 
 def run_on_machine(
     source, machine, stdin=b"", limit=None, name="", observer=None,
-    profiler=None, **options
+    profiler=None, deadline_s=None, record_edges=False, **options
 ):
-    """Compile and run one program on one machine; returns RunStats."""
+    """Compile and run one program on one machine; returns RunStats.
+
+    ``deadline_s`` arms the wall-clock watchdog and ``record_edges``
+    keeps the post-mortem control-flow ring buffer (both select the
+    emulators' hardened run loop; see ``docs/ROBUSTNESS.md``).
+    """
     image = compile_for_machine(source, machine, **options)
     log.debug("emulating %s on %s", name or "<anonymous>", machine)
     with span("emulate", machine=machine):
@@ -77,32 +82,39 @@ def run_on_machine(
             return run_baseline(
                 image, stdin=stdin, limit=limit, program=name,
                 observer=observer, profiler=profiler,
+                deadline_s=deadline_s, record_edges=record_edges,
             )
         return run_branchreg(
             image, stdin=stdin, limit=limit, program=name,
             observer=observer, profiler=profiler,
+            deadline_s=deadline_s, record_edges=record_edges,
         )
 
 
 def run_pair(
-    source, stdin=b"", limit=None, name="", branchreg_options=None, observer=None
+    source, stdin=b"", limit=None, name="", branchreg_options=None,
+    observer=None, deadline_s=None, record_edges=False,
 ):
     """Run one program on both machines and cross-check the outputs."""
     base_stats = run_on_machine(
-        source, "baseline", stdin=stdin, limit=limit, name=name, observer=observer
+        source, "baseline", stdin=stdin, limit=limit, name=name,
+        observer=observer, deadline_s=deadline_s, record_edges=record_edges,
     )
     br_stats = run_on_machine(
-        source, "branchreg", stdin=stdin, limit=limit, name=name, observer=observer,
+        source, "branchreg", stdin=stdin, limit=limit, name=name,
+        observer=observer, deadline_s=deadline_s, record_edges=record_edges,
         **(branchreg_options or {}),
     )
     if base_stats.output != br_stats.output:
-        raise EmulationError(
+        raise MachineDivergence(
             "machines disagree on %s: baseline %r... vs branchreg %r..."
-            % (name, base_stats.output[:80], br_stats.output[:80])
+            % (name, base_stats.output[:80], br_stats.output[:80]),
+            mismatches=["output"],
         )
     if base_stats.exit_code != br_stats.exit_code:
-        raise EmulationError(
+        raise MachineDivergence(
             "exit codes disagree on %s: %d vs %d"
-            % (name, base_stats.exit_code, br_stats.exit_code)
+            % (name, base_stats.exit_code, br_stats.exit_code),
+            mismatches=["exit_code"],
         )
     return PairResult(name=name, baseline=base_stats, branchreg=br_stats)

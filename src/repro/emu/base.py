@@ -6,13 +6,29 @@ loader pre-resolves symbols, and ``step`` dispatches on the opcode through
 a bound-method table.
 """
 
+import time as _time
+from collections import deque
+
 from repro.emu.intmath import cdiv, crem, shl, shr, to_signed, wrap
 from repro.emu.runtime import Runtime
 from repro.emu.stats import RunStats
-from repro.errors import EmulationError, RuntimeLimitExceeded
+from repro.errors import (
+    EmulationError,
+    IllegalInstruction,
+    ReproError,
+    RuntimeLimitExceeded,
+    WatchdogTimeout,
+)
 from repro.rtl.operand import Imm, Reg
 
 DEFAULT_LIMIT = 200_000_000
+
+#: Instructions between wall-clock watchdog checks in the hardened loop;
+#: large enough that ``time.monotonic`` stays off the per-step path.
+WATCHDOG_STRIDE = 4096
+
+#: Control-flow edges kept in the hardened loop's post-mortem ring buffer.
+EDGE_RING_SIZE = 16
 
 
 class BaseEmulator:
@@ -35,6 +51,8 @@ class BaseEmulator:
         icache=None,
         observer=None,
         profiler=None,
+        deadline_s=None,
+        record_edges=False,
     ):
         self.image = image
         self.spec = image.spec
@@ -45,6 +63,8 @@ class BaseEmulator:
         self.icache = icache
         self.observer = observer
         self.profiler = profiler
+        self.deadline_s = deadline_s
+        self.edge_ring = deque(maxlen=EDGE_RING_SIZE) if record_edges else None
         self.cache_stalls = 0
         self.r = [0] * self.spec.ints.count
         self.f = [0.0] * self.spec.flts.count
@@ -237,6 +257,46 @@ class BaseEmulator:
                 table[name[3:]] = getattr(self, name)
         return table
 
+    # -- post-mortem stamping ---------------------------------------------------
+
+    def _locate(self, addr):
+        """``function:line`` attribution for an address via the image's
+        debug map ("?" when the address has no attribution)."""
+        fn, line = self.image.source_location(addr)
+        return "%s:%d" % (fn, line) if fn != "?" else "?"
+
+    def _stamp(self, exc):
+        """Attach post-mortem machine state to an in-flight error: which
+        machine/program, the faulting pc with source attribution, the
+        retired-instruction count, and (when the hardened loop keeps
+        one) the last-N control-flow edge ring buffer snapshot."""
+        exc.machine = self.MACHINE_NAME
+        exc.program = self.stats.program or "program"
+        exc.pc = self.pc
+        exc.icount = self.icount
+        exc.function, exc.line = self.image.source_location(self.pc)
+        if self.edge_ring is not None:
+            exc.edges = [
+                {
+                    "from": src,
+                    "to": dst,
+                    "from_loc": self._locate(src),
+                    "to_loc": self._locate(dst),
+                }
+                for src, dst in self.edge_ring
+            ]
+        return exc
+
+    def _limit_error(self):
+        """The instruction-budget error every run loop raises: identical
+        wording everywhere, with post-mortem state attached."""
+        return self._stamp(
+            RuntimeLimitExceeded(
+                "exceeded %d instructions in %s"
+                % (self.limit, self.stats.program or "program")
+            )
+        )
+
     # -- main loop ----------------------------------------------------------------
 
     def step(self):
@@ -251,17 +311,20 @@ class BaseEmulator:
         sampled callback every ``observer.sample_every`` instructions.
         A profiler (:class:`repro.obs.profile.ExecutionProfiler`) uses a
         third loop that detects control discontinuities by comparing the
-        program counter before and after each step.
+        program counter before and after each step.  A wall-clock
+        ``deadline_s`` or ``record_edges=True`` selects the *hardened*
+        loop, which additionally keeps the post-mortem edge ring buffer
+        and converts any escape from ``step`` into a stamped, typed
+        :class:`~repro.errors.EmulationError`.
         """
         if self.profiler is not None:
             self._run_profiled()
+        elif self.deadline_s is not None or self.edge_ring is not None:
+            self._run_hardened()
         elif self.observer is None:
             while not self.halted:
                 if self.icount >= self.limit:
-                    raise RuntimeLimitExceeded(
-                        "exceeded %d instructions in %s"
-                        % (self.limit, self.stats.program or "program")
-                    )
+                    raise self._limit_error()
                 self.step()
         else:
             self._run_observed()
@@ -273,12 +336,61 @@ class BaseEmulator:
         next_sample = observer.sample_every
         while not self.halted:
             if self.icount >= self.limit:
-                raise RuntimeLimitExceeded(
-                    "exceeded %d instructions in %s"
-                    % (self.limit, self.stats.program or "program")
-                )
+                raise self._limit_error()
             self.step()
             if self.icount >= next_sample:
+                observer.on_sample(self)
+                next_sample = self.icount + observer.sample_every
+
+    def _run_hardened(self):
+        """Fault-tolerant loop: everything the observed loop does, plus a
+        wall-clock watchdog (checked every ``WATCHDOG_STRIDE``
+        instructions so ``time.monotonic`` stays off the per-step path),
+        a ring buffer of the last ``EDGE_RING_SIZE`` control-flow edges
+        for post-mortem triage, and a guarantee that whatever escapes
+        ``step`` -- a typed fault or a raw exception from a corrupted
+        image -- propagates as a stamped :class:`ReproError`."""
+        observer = self.observer
+        if observer is not None:
+            observer.on_start(self)
+            next_sample = observer.sample_every
+        else:
+            next_sample = None
+        deadline = None
+        next_watch = 0
+        if self.deadline_s is not None:
+            deadline = _time.monotonic() + self.deadline_s
+            next_watch = WATCHDOG_STRIDE
+        edges = self.edge_ring
+        pc = self.pc
+        while not self.halted:
+            if self.icount >= self.limit:
+                raise self._limit_error()
+            if deadline is not None and self.icount >= next_watch:
+                next_watch = self.icount + WATCHDOG_STRIDE
+                if _time.monotonic() > deadline:
+                    raise self._stamp(
+                        WatchdogTimeout(
+                            "exceeded %.3fs wall-clock in %s"
+                            % (self.deadline_s, self.stats.program or "program")
+                        )
+                    )
+            try:
+                self.step()
+            except ReproError as exc:
+                raise self._stamp(exc)
+            except Exception as exc:
+                raise self._stamp(
+                    IllegalInstruction(
+                        "illegal instruction or operand at 0x%x: %s"
+                        % (self.pc, exc)
+                    )
+                ) from exc
+            npc = self.pc
+            if edges is not None and npc != pc + 4:
+                edges.append((pc, npc))
+            pc = npc
+            if next_sample is not None and self.icount >= next_sample:
                 observer.on_sample(self)
                 next_sample = self.icount + observer.sample_every
 
@@ -307,10 +419,7 @@ class BaseEmulator:
         seg_start = pc
         while not self.halted:
             if self.icount >= limit:
-                raise RuntimeLimitExceeded(
-                    "exceeded %d instructions in %s"
-                    % (limit, self.stats.program or "program")
-                )
+                raise self._limit_error()
             step()
             npc = self.pc
             if npc != pc + 4:

@@ -30,12 +30,13 @@ class BranchRegEmulator(BaseEmulator):
 
     def __init__(
         self, image, stdin=b"", limit=None, icache=None, observer=None,
-        profiler=None,
+        profiler=None, deadline_s=None, record_edges=False,
     ):
         kwargs = {} if limit is None else {"limit": limit}
         super().__init__(
             image, stdin=stdin, icache=icache, observer=observer,
-            profiler=profiler, **kwargs
+            profiler=profiler, deadline_s=deadline_s,
+            record_edges=record_edges, **kwargs
         )
         n = self.spec.branch_regs
         self.link = self.spec.br_link
@@ -170,12 +171,12 @@ class BranchRegEmulator(BaseEmulator):
 
 def run_branchreg(
     image, stdin=b"", limit=None, program="", icache=None, observer=None,
-    profiler=None,
+    profiler=None, deadline_s=None, record_edges=False,
 ):
     """Convenience wrapper: run an image and return its RunStats."""
     emulator = BranchRegEmulator(
         image, stdin=stdin, limit=limit, icache=icache, observer=observer,
-        profiler=profiler,
+        profiler=profiler, deadline_s=deadline_s, record_edges=record_edges,
     )
     emulator.stats.program = program
     return emulator.run()

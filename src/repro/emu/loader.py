@@ -6,7 +6,7 @@ values onto the instruction objects so the emulators avoid per-step symbol
 lookups.
 """
 
-from repro.errors import CodegenError
+from repro.errors import CodegenError, ControlFlowViolation, ImageCorruption
 from repro.emu.memory import DATA_BASE, Memory, STACK_TOP, TEXT_BASE
 from repro.rtl.operand import Imm, Label, Sym
 
@@ -142,10 +142,49 @@ class Image:
         return self
 
     def instruction_at(self, addr):
+        if addr & 3:
+            raise ControlFlowViolation("misaligned instruction fetch", addr)
         index = (addr - TEXT_BASE) >> 2
         if index < 0 or index >= len(self.instrs):
-            raise CodegenError("fetch outside text segment: 0x%x" % addr)
+            raise ControlFlowViolation("fetch outside text segment", addr)
         return self.instrs[index]
+
+    def text_end(self):
+        """First address past the last text-segment instruction."""
+        return TEXT_BASE + 4 * len(self.instrs)
+
+    def verify(self):
+        """Integrity-check the loaded image; raises
+        :class:`~repro.errors.ImageCorruption` on the first violation.
+
+        Catches what static inspection can: an entry point outside the
+        text segment, instructions whose opcode no machine defines, and
+        resolved control-flow relocations (``t_addr``) that are
+        misaligned or point outside the text segment -- the load-time
+        face of truncated-segment and clobbered-relocation faults.
+        Returns self so call sites can chain.
+        """
+        from repro.machine.encoding import OPCODES
+
+        end = self.text_end()
+        if self.entry is None or not (TEXT_BASE <= self.entry < end):
+            raise ImageCorruption(
+                "entry point 0x%x outside text segment [0x%x, 0x%x)"
+                % (self.entry or 0, TEXT_BASE, end)
+            )
+        for ins in self.instrs:
+            if ins.op not in OPCODES:
+                raise ImageCorruption(
+                    "undecodable instruction %r at 0x%x" % (ins.op, ins.addr)
+                )
+            if ins.t_addr is not None:
+                if ins.t_addr & 3 or not (TEXT_BASE <= ins.t_addr < end):
+                    raise ImageCorruption(
+                        "relocation at 0x%x targets 0x%x, outside the "
+                        "aligned text segment [0x%x, 0x%x)"
+                        % (ins.addr, ins.t_addr, TEXT_BASE, end)
+                    )
+        return self
 
     @property
     def stack_top(self):

@@ -33,12 +33,20 @@ class Memory:
         if address < 0 or address + length > self.size:
             raise MemoryFault("access out of range", address)
 
+    def _check_word(self, address, what):
+        """Word-sized accesses must be 4-byte aligned; a misaligned
+        address is a corrupted pointer, never legitimate generated code."""
+        if address & 3:
+            raise MemoryFault("misaligned %s access" % what, address)
+        if address < 0 or address + 4 > self.size:
+            raise MemoryFault("access out of range", address)
+
     def load_word(self, address):
-        self._check(address, 4)
+        self._check_word(address, "word")
         return to_signed(int.from_bytes(self.data[address : address + 4], "little"))
 
     def store_word(self, address, value):
-        self._check(address, 4)
+        self._check_word(address, "word")
         self.data[address : address + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
 
     def load_byte(self, address):
@@ -50,11 +58,11 @@ class Memory:
         self.data[address] = value & 0xFF
 
     def load_float(self, address):
-        self._check(address, 4)
+        self._check_word(address, "float")
         return struct.unpack_from("<f", self.data, address)[0]
 
     def store_float(self, address, value):
-        self._check(address, 4)
+        self._check_word(address, "float")
         struct.pack_into("<f", self.data, address, value)
 
     def write_bytes(self, address, blob):

@@ -1,4 +1,23 @@
-"""Exception hierarchy shared by every subsystem of the reproduction."""
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+The robustness contract (see ``docs/ROBUSTNESS.md``) is that every
+abnormal condition -- compile-time, load-time, or runtime, including
+deliberately injected faults -- surfaces as a typed :class:`ReproError`
+subclass, never as a silent wrong answer, a hang, or a raw Python
+traceback from deep inside an emulator loop.
+"""
+
+
+def format_address(address):
+    """Render a memory address for error messages.
+
+    Corrupted pointers are frequently negative (sign-wrapped arithmetic)
+    or enormous; ``0x%x`` alone renders ``-4`` as the confusing
+    ``0x-4``, so negatives get an explicit sign instead.
+    """
+    if address < 0:
+        return "-0x%x" % -address
+    return "0x%x" % address
 
 
 class ReproError(Exception):
@@ -37,8 +56,30 @@ class EncodingError(ReproError):
     """Raised when an instruction does not fit its machine format."""
 
 
+class ImageCorruption(ReproError):
+    """A loaded image failed integrity checks: an undecodable
+    instruction, a truncated text segment, or a relocation resolving
+    outside (or misaligned within) the text segment."""
+
+
 class EmulationError(ReproError):
-    """Raised by an emulator on an illegal runtime condition."""
+    """Raised by an emulator on an illegal runtime condition.
+
+    Emulator run loops stamp post-mortem machine state onto any
+    instance they propagate (see ``BaseEmulator._stamp``); the class
+    attributes below are the defaults for errors raised outside a run
+    loop.  ``edges`` is the last-N control-flow edge ring buffer
+    snapshot, oldest first, each entry ``{"from", "to", "from_loc",
+    "to_loc"}``.
+    """
+
+    machine = None
+    program = None
+    pc = None
+    icount = None
+    function = None
+    line = None
+    edges = None
 
 
 class MemoryFault(EmulationError):
@@ -47,9 +88,47 @@ class MemoryFault(EmulationError):
     def __init__(self, message, address=None):
         self.address = address
         if address is not None:
-            message = "%s (address=0x%x)" % (message, address)
+            message = "%s (address=%s)" % (message, format_address(address))
         super().__init__(message)
+
+
+class ControlFlowViolation(EmulationError):
+    """Control transferred outside the text segment or to a misaligned
+    address (wild jump, truncated image, corrupted branch register)."""
+
+    def __init__(self, message, address=None):
+        self.address = address
+        if address is not None:
+            message = "%s (address=%s)" % (message, format_address(address))
+        super().__init__(message)
+
+
+class IllegalInstruction(EmulationError):
+    """The emulator fetched an instruction it cannot execute -- an
+    unknown opcode or operands of the wrong shape, as produced by a
+    corrupted image."""
 
 
 class RuntimeLimitExceeded(EmulationError):
     """Raised when an emulated program exceeds its instruction budget."""
+
+
+class WatchdogTimeout(EmulationError):
+    """Raised when an emulated program exceeds its wall-clock budget
+    (the watchdog that turns hangs into typed, triagable failures)."""
+
+
+class MachineDivergence(EmulationError):
+    """The two machines disagreed on observable behaviour (stdout, exit
+    status, or final data-segment state) for the same program -- the
+    differential oracle's failure type.
+
+    ``mismatches`` lists what disagreed (e.g. ``["output",
+    "exit_code"]``); ``detail`` carries a short human-readable
+    elaboration per mismatch.
+    """
+
+    def __init__(self, message, mismatches=None, detail=None):
+        self.mismatches = list(mismatches or [])
+        self.detail = dict(detail or {})
+        super().__init__(message)

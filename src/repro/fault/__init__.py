@@ -1,0 +1,68 @@
+"""Fault injection, differential oracle, and failure triage.
+
+This package is the robustness layer promised by the reproduction's
+methodology: because the whole pipeline (compiler, two code generators,
+two emulated machines) is deterministic, *any* corruption of an image or
+of runtime machine state must surface as a typed
+:class:`~repro.errors.ReproError` -- never as a silent wrong answer, a
+hang, or a raw Python traceback.
+
+* :mod:`repro.fault.inject`   -- the seeded injector catalogue and the
+  campaign runner that classifies each fault as detected or masked.
+* :mod:`repro.fault.oracle`   -- the differential machine oracle: run a
+  program on both machines and cross-check stdout, exit status, and the
+  observable data segment; plus the fuzzing entry point.
+* :mod:`repro.fault.progen`   -- seeded structured SmallC program
+  generation shared by the oracle fuzzer and the hypothesis tests.
+* :mod:`repro.fault.minimize` -- delta-debugging of failing generated
+  programs down to a small reproducer.
+* :mod:`repro.fault.triage`   -- structured failure records for run
+  manifests and the ``repro triage`` post-mortem view.
+
+See ``docs/ROBUSTNESS.md`` for the fault model and guarantees.
+"""
+
+from repro.fault.inject import (
+    IMAGE_INJECTORS,
+    INJECTORS,
+    RUNTIME_INJECTORS,
+    InjectionOutcome,
+    run_campaign,
+    run_trial,
+)
+from repro.fault.minimize import minimize
+from repro.fault.oracle import (
+    DifferentialResult,
+    check_workloads,
+    fuzz_differential,
+    run_differential,
+)
+from repro.fault.progen import (
+    program_source,
+    random_program,
+    render_c,
+    interpret,
+    expected_output,
+)
+from repro.fault.triage import failure_record, render_triage
+
+__all__ = [
+    "IMAGE_INJECTORS",
+    "INJECTORS",
+    "RUNTIME_INJECTORS",
+    "InjectionOutcome",
+    "run_campaign",
+    "run_trial",
+    "minimize",
+    "DifferentialResult",
+    "check_workloads",
+    "fuzz_differential",
+    "run_differential",
+    "program_source",
+    "random_program",
+    "render_c",
+    "interpret",
+    "expected_output",
+    "failure_record",
+    "render_triage",
+]

@@ -1,0 +1,411 @@
+"""Deterministic seeded fault injection.
+
+Two injector families, both driven by a :class:`random.Random` seed so
+every fault is exactly reproducible:
+
+* **Image injectors** corrupt a loaded :class:`~repro.emu.loader.Image`
+  before execution -- a bit flip in one encoded instruction word
+  (decoded back through the Figure 10/11 formats, so the flip lands in
+  a real field: opcode, displacement, or immediate), a truncated text
+  segment, or a clobbered control-flow relocation.
+* **Runtime injectors** corrupt live machine state -- a branch register
+  stuck at a poison value, a branch register whose writes commit one
+  write late, dropped instruction-cache prefetches, or a misaligned
+  data access.
+
+The campaign runner executes the faulted program under the emulators'
+hardened run loop and classifies each trial:
+
+* ``detected`` -- a typed :class:`~repro.errors.ReproError` surfaced, at
+  load time (``image.verify``), at runtime (emulator), or through the
+  output oracle (the faulted run's observable behaviour differs from a
+  clean run: a :class:`~repro.errors.MachineDivergence` is recorded).
+* ``masked``   -- the fault had no observable effect (e.g. a flipped
+  instruction that is never executed, or dropped prefetches, which only
+  cost stall cycles).
+* ``escaped``  -- anything else (a raw exception or silent hang).  The
+  test suite asserts this never happens; the category exists so a
+  regression shows up as data rather than as a crash.
+"""
+
+import copy
+import random
+from dataclasses import dataclass, field
+
+from repro.ease.environment import compile_for_machine
+from repro.emu.baseline_emu import BaselineEmulator
+from repro.emu.branchreg_emu import BranchRegEmulator
+from repro.emu.memory import DATA_BASE
+from repro.errors import MachineDivergence, ReproError
+from repro.fault.triage import failure_record
+from repro.machine.encoding import (
+    MNEMONICS,
+    OPCODES,
+    BaselineEncoder,
+    BranchRegEncoder,
+)
+from repro.rtl.operand import Imm
+
+DEFAULT_LIMIT = 2_000_000
+DEFAULT_DEADLINE_S = 10.0
+_POISON = 0x2  # misaligned and outside the text segment: doubly invalid
+
+
+# -- image injectors ---------------------------------------------------------
+
+
+def _encoder_for(image):
+    if image.spec.name == "baseline":
+        return BaselineEncoder(image.spec)
+    return BranchRegEncoder(image.spec)
+
+
+def inject_bitflip(image, rng):
+    """Flip one bit of one encoded instruction word.
+
+    The word is produced by the machine's real encoder, so the bit
+    position selects a genuine format field; the flip is then decoded
+    back onto the instruction object (the emulators execute objects,
+    not words).  Flips in the opcode field can produce an undecodable
+    opcode (caught by ``image.verify``) or a different valid opcode
+    (wrong execution, caught at runtime or by the output oracle).
+    """
+    index = rng.randrange(len(image.instrs))
+    ins = image.instrs[index]
+    encoder = _encoder_for(image)
+    encoder.encode(ins)  # prove the pre-image encodes; fields are real
+    bit = rng.randrange(32)
+    mutant = copy.copy(ins)
+    if bit >= 26 or (ins.t_addr is None and not _first_imm(ins)):
+        number = OPCODES[ins.op] ^ (1 << (bit % 6))
+        mutant.op = MNEMONICS.get(number, "undecodable(op=%d)" % number)
+        what = "op %s -> %s" % (ins.op, mutant.op)
+    elif ins.t_addr is not None:
+        mutant.t_addr = ins.t_addr ^ (4 << (bit % 16))
+        what = "target 0x%x -> 0x%x" % (ins.t_addr, mutant.t_addr)
+    else:
+        pos, imm = _first_imm(ins)
+        flipped = _wrap32(imm.value ^ (1 << (bit % 13)))
+        mutant.xsrcs = list(ins.xsrcs)
+        mutant.xsrcs[pos] = Imm(flipped)
+        what = "imm %d -> %d" % (imm.value, flipped)
+    image.instrs[index] = mutant
+    return "bit %d of word at 0x%x (%s)" % (bit, ins.addr, what)
+
+
+def inject_truncate(image, rng):
+    """Drop the tail of the text segment, as a short read would."""
+    count = rng.randint(1, min(8, len(image.instrs) - 1))
+    cut = image.text_end() - 4 * count
+    del image.instrs[-count:]
+    return "text truncated by %d words at 0x%x" % (count, cut)
+
+
+def inject_clobber_reloc(image, rng):
+    """Corrupt one resolved control-flow relocation (``t_addr``)."""
+    sites = [i for i, ins in enumerate(image.instrs) if ins.t_addr is not None]
+    index = rng.choice(sites)
+    ins = image.instrs[index]
+    mode = rng.choice(("misalign", "past_end", "data"))
+    mutant = copy.copy(ins)
+    if mode == "misalign":
+        mutant.t_addr = ins.t_addr + 2
+    elif mode == "past_end":
+        mutant.t_addr = image.text_end() + 64
+    else:
+        mutant.t_addr = DATA_BASE + 8
+    image.instrs[index] = mutant
+    return "relocation at 0x%x: 0x%x -> 0x%x (%s)" % (
+        ins.addr, ins.t_addr, mutant.t_addr, mode,
+    )
+
+
+def _first_imm(ins):
+    for pos, src in enumerate(getattr(ins, "xsrcs", []) or []):
+        if isinstance(src, Imm):
+            return pos, src
+    return None
+
+
+def _wrap32(value):
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+# -- runtime injectors -------------------------------------------------------
+
+
+class _StuckRegs(list):
+    """Branch-register file with one register stuck at a poison value."""
+
+    def __init__(self, values, index, poison):
+        super().__init__(values)
+        self._stuck = index
+        list.__setitem__(self, index, poison)
+
+    def __setitem__(self, index, value):
+        if index == self._stuck:
+            return
+        list.__setitem__(self, index, value)
+
+
+class _StaleRegs(list):
+    """Branch-register file where one register commits writes a write
+    late: readers see the previous value until the *next* write lands."""
+
+    def __init__(self, values, index):
+        super().__init__(values)
+        self._stale = index
+        self._pending = None
+
+    def __setitem__(self, index, value):
+        if index == self._stale:
+            pending, self._pending = self._pending, value
+            if pending is not None:
+                list.__setitem__(self, index, pending)
+            return
+        list.__setitem__(self, index, value)
+
+
+class _MisalignedMemory:
+    """Memory proxy that knocks the Nth word load off alignment."""
+
+    def __init__(self, memory, trigger):
+        self._memory = memory
+        self._trigger = trigger
+        self._count = 0
+
+    def __getattr__(self, name):
+        return getattr(self._memory, name)
+
+    def load_word(self, address):
+        self._count += 1
+        if self._count == self._trigger:
+            address += 2
+        return self._memory.load_word(address)
+
+
+def inject_stuck_branch_reg(emulator, rng):
+    """One branch register ignores all writes and reads back a poison
+    address; the first transfer through it is a wild jump."""
+    index = rng.randrange(len(emulator.b))
+    emulator.b = _StuckRegs(emulator.b, index, _POISON)
+    return "b%d stuck at 0x%x" % (index, _POISON)
+
+
+def inject_stale_branch_reg(emulator, rng):
+    """One branch register commits each write one write late, the
+    register-file analogue of a dropped forwarding path."""
+    index = rng.randrange(len(emulator.b))
+    emulator.b = _StaleRegs(emulator.b, index)
+    return "b%d commits writes one write late" % index
+
+
+def inject_dropped_prefetch(emulator, rng):
+    """The cache ignores every prefetch request (Section 8's mechanism
+    silently disabled).  Purely a performance fault: demand misses rise
+    but output must not change, so the expected outcome is ``masked``."""
+    cache = emulator.icache
+    if cache is None:
+        raise ValueError("dropped_prefetch requires an instruction cache")
+
+    def prefetch(addr, now):
+        cache.stats.prefetch_drops += 1
+
+    cache.prefetch = prefetch
+    return "all prefetches dropped"
+
+
+def inject_misaligned_access(emulator, rng):
+    """The Nth word load issues at address+2, as a corrupted pointer
+    or a broken load/store unit would."""
+    trigger = rng.randint(1, 4)
+    emulator.memory = _MisalignedMemory(emulator.memory, trigger)
+    return "word load #%d misaligned by +2" % trigger
+
+
+IMAGE_INJECTORS = {
+    "bitflip": inject_bitflip,
+    "truncate": inject_truncate,
+    "clobber_reloc": inject_clobber_reloc,
+}
+
+RUNTIME_INJECTORS = {
+    "stuck_branch_reg": inject_stuck_branch_reg,
+    "stale_branch_reg": inject_stale_branch_reg,
+    "dropped_prefetch": inject_dropped_prefetch,
+    "misaligned_access": inject_misaligned_access,
+}
+
+INJECTORS = dict(IMAGE_INJECTORS, **RUNTIME_INJECTORS)
+
+# Injectors that only exist on the branch-register machine.
+_BRANCHREG_ONLY = ("stuck_branch_reg", "stale_branch_reg")
+
+
+# -- campaign runner ---------------------------------------------------------
+
+
+@dataclass
+class InjectionOutcome:
+    """Classification of one injection trial."""
+
+    injector: str
+    machine: str
+    seed: int
+    site: str = ""
+    outcome: str = "masked"  # "detected" | "masked" | "escaped"
+    detected_by: str = None  # "load" | "runtime" | "oracle"
+    error: str = None
+    message: str = None
+    post_mortem: dict = field(default=None)
+
+    def to_dict(self):
+        return {
+            "injector": self.injector,
+            "machine": self.machine,
+            "seed": self.seed,
+            "site": self.site,
+            "outcome": self.outcome,
+            "detected_by": self.detected_by,
+            "error": self.error,
+            "message": self.message,
+            "post_mortem": self.post_mortem,
+        }
+
+
+def _make_emulator(machine, image, stdin, limit, icache, deadline_s):
+    cls = BaselineEmulator if machine == "baseline" else BranchRegEmulator
+    emulator = cls(
+        image, stdin=stdin, limit=limit, icache=icache,
+        deadline_s=deadline_s, record_edges=True,
+    )
+    emulator.stats.program = "faulted"
+    return emulator
+
+
+def run_trial(
+    source,
+    injector,
+    machine="branchreg",
+    seed=0,
+    stdin=b"",
+    limit=DEFAULT_LIMIT,
+    deadline_s=DEFAULT_DEADLINE_S,
+    icache_factory=None,
+    branchreg_options=None,
+):
+    """Inject one fault into one program and classify the outcome.
+
+    The clean reference run and the faulted run use freshly compiled
+    images, so trials never contaminate each other.  ``icache_factory``
+    (a zero-argument callable) is required by ``dropped_prefetch`` and
+    optional elsewhere.
+    """
+    if injector not in INJECTORS:
+        raise ValueError(
+            "unknown injector %r (have: %s)"
+            % (injector, ", ".join(sorted(INJECTORS)))
+        )
+    if machine != "branchreg" and injector in _BRANCHREG_ONLY:
+        raise ValueError("%s only exists on the branch-register machine"
+                         % injector)
+    if injector == "dropped_prefetch" and icache_factory is None:
+        raise ValueError("dropped_prefetch requires an instruction cache "
+                         "(pass icache_factory)")
+    options = branchreg_options if machine == "branchreg" else None
+    rng = random.Random(seed)
+    result = InjectionOutcome(injector=injector, machine=machine, seed=seed)
+
+    clean_image = compile_for_machine(source, machine, **(options or {}))
+    clean = _make_emulator(
+        machine, clean_image, stdin, limit, None, deadline_s
+    ).run()
+
+    image = compile_for_machine(source, machine, **(options or {}))
+    try:
+        if injector in IMAGE_INJECTORS:
+            result.site = IMAGE_INJECTORS[injector](image, rng)
+            image.verify()
+        emulator = _make_emulator(
+            machine, image, stdin, limit,
+            icache_factory() if icache_factory is not None else None,
+            deadline_s,
+        )
+        if injector in RUNTIME_INJECTORS:
+            result.site = RUNTIME_INJECTORS[injector](emulator, rng)
+        stats = emulator.run()
+    except ReproError as exc:
+        result.outcome = "detected"
+        result.detected_by = (
+            "load" if type(exc).__name__ == "ImageCorruption" else "runtime"
+        )
+        result.error = type(exc).__name__
+        result.message = str(exc)
+        result.post_mortem = failure_record("faulted", exc)
+        return result
+    except Exception as exc:  # pragma: no cover - would be a robustness bug
+        result.outcome = "escaped"
+        result.error = type(exc).__name__
+        result.message = str(exc)
+        return result
+
+    if stats.output != clean.output or stats.exit_code != clean.exit_code:
+        divergence = MachineDivergence(
+            "fault changed observable behaviour on %s: output %r... vs %r..."
+            % (machine, clean.output[:60], stats.output[:60]),
+            mismatches=[
+                name
+                for name, differs in (
+                    ("output", stats.output != clean.output),
+                    ("exit_code", stats.exit_code != clean.exit_code),
+                )
+                if differs
+            ],
+        )
+        result.outcome = "detected"
+        result.detected_by = "oracle"
+        result.error = type(divergence).__name__
+        result.message = str(divergence)
+        result.post_mortem = failure_record("faulted", divergence)
+    return result
+
+
+def run_campaign(
+    source,
+    machine="branchreg",
+    injectors=None,
+    trials_per_injector=3,
+    seed=0,
+    stdin=b"",
+    limit=DEFAULT_LIMIT,
+    deadline_s=DEFAULT_DEADLINE_S,
+    icache_factory=None,
+    branchreg_options=None,
+):
+    """Run a seeded injection campaign; returns a list of
+    :class:`InjectionOutcome`, one per (injector, trial)."""
+    chosen = list(injectors) if injectors is not None else sorted(INJECTORS)
+    if machine != "branchreg":
+        chosen = [name for name in chosen if name not in _BRANCHREG_ONLY]
+    if icache_factory is None:
+        chosen = [name for name in chosen if name != "dropped_prefetch"]
+    outcomes = []
+    for name in chosen:
+        for trial in range(trials_per_injector):
+            outcomes.append(
+                run_trial(
+                    source, name, machine=machine,
+                    seed=seed * 10_000 + trial * 100 + _stable_offset(name),
+                    stdin=stdin, limit=limit, deadline_s=deadline_s,
+                    icache_factory=icache_factory,
+                    branchreg_options=branchreg_options,
+                )
+            )
+    return outcomes
+
+
+def _stable_offset(name):
+    """A small per-injector seed offset that does not depend on hash
+    randomisation (so campaigns replay bit-for-bit across processes)."""
+    return sum(ord(ch) for ch in name) % 97

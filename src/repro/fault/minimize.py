@@ -1,0 +1,64 @@
+"""Greedy delta-debugging of generated statement trees.
+
+When the differential fuzzer finds a program the two machines (or the
+Python model) disagree on, the raw witness is usually dozens of nested
+statements.  ``minimize`` shrinks the statement tree while a caller-
+supplied predicate keeps reporting "still fails": statements are
+dropped, ``if`` statements are replaced by one of their arms, loops are
+unrolled to a single iteration or replaced by their body, and leaf
+expressions collapse to ``0``.  The result is the small reproducer the
+fuzz job writes as an artifact.
+
+The tree forms are those produced by :mod:`repro.fault.progen`.
+"""
+
+
+def _variants(stmts):
+    """Yield candidate trees, each one local simplification away."""
+    for i, stmt in enumerate(stmts):
+        before, after = stmts[:i], stmts[i + 1:]
+        if len(stmts) > 1:
+            yield before + after
+        if stmt[0] == "if":
+            yield before + list(stmt[2]) + after
+            if stmt[3] is not None:
+                yield before + list(stmt[3]) + after
+                yield before + [("if", stmt[1], stmt[2], None)] + after
+            for sub in _variants(stmt[2]):
+                yield before + [("if", stmt[1], sub, stmt[3])] + after
+            if stmt[3] is not None:
+                for sub in _variants(stmt[3]):
+                    yield before + [("if", stmt[1], stmt[2], sub)] + after
+        elif stmt[0] == "loop":
+            yield before + list(stmt[2]) + after
+            if stmt[1] > 1:
+                yield before + [("loop", 1, stmt[2])] + after
+            for sub in _variants(stmt[2]):
+                yield before + [("loop", stmt[1], sub)] + after
+        elif stmt[0] in ("assign", "augment") and stmt[2] != "0":
+            yield before + [(stmt[0], stmt[1], "0")] + after
+
+
+def minimize(stmts, failing, max_checks=400):
+    """Shrink ``stmts`` while ``failing(candidate)`` stays true.
+
+    ``failing`` must be total: it decides for *any* candidate tree
+    whether the failure of interest still reproduces.  ``max_checks``
+    bounds predicate evaluations so minimisation of an expensive
+    failure terminates promptly; the tree returned is always one for
+    which ``failing`` returned True (or the input tree itself).
+    """
+    current = list(stmts)
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate in _variants(current):
+            checks += 1
+            if failing(candidate):
+                current = list(candidate)
+                improved = True
+                break
+            if checks >= max_checks:
+                break
+    return current

@@ -1,0 +1,247 @@
+"""The differential machine oracle.
+
+The reproduction's strongest correctness argument is that two machines
+with *different* instruction sets, code generators, and emulators must
+agree on every observable behaviour of every program.  This module makes
+that argument executable three ways:
+
+* :func:`run_differential` -- one program, both machines: identical
+  stdout, exit status, and observable memory effects (the data segment
+  holding globals; stacks are private machine state and legitimately
+  differ).  Any mismatch raises a typed
+  :class:`~repro.errors.MachineDivergence` whose detail names the first
+  differing global.
+* :func:`check_workloads` -- the oracle over the Appendix I suite.
+* :func:`fuzz_differential` -- seeded random SmallC programs checked
+  three ways (baseline vs branch-register vs the Python model), with
+  automatic delta-debugging of any failing case down to a small
+  reproducer source file.
+"""
+
+import os
+import random
+from dataclasses import dataclass
+
+from repro.ease.environment import compile_for_machine
+from repro.emu.baseline_emu import run_baseline
+from repro.emu.branchreg_emu import run_branchreg
+from repro.emu.memory import DATA_BASE
+from repro.errors import MachineDivergence, ReproError
+from repro.fault.minimize import minimize
+from repro.fault.progen import expected_output, program_source, random_program
+from repro.harness.runner import DEFAULT_LIMIT, resolve_workloads
+from repro.obs import log
+
+FUZZ_LIMIT = 500_000  # generated programs are tiny; hangs fail fast
+
+
+@dataclass
+class DifferentialResult:
+    """One program verified equivalent on both machines."""
+
+    name: str
+    baseline: object  # RunStats
+    branchreg: object  # RunStats
+    data_bytes: int  # size of the compared data segment
+
+    @property
+    def output(self):
+        return self.baseline.output
+
+
+def _attribute(image, address):
+    """Name of the global owning ``address`` (best effort)."""
+    best_name, best_addr = None, -1
+    for name, addr in image.symbols.items():
+        if best_addr < addr <= address:
+            best_name, best_addr = name, addr
+    return best_name or "?"
+
+
+def _code_address_ranges(*images):
+    """Data-segment byte ranges holding *code* addresses (switch jump
+    tables, ``elem="label"`` globals).  Text layouts legitimately differ
+    between the two machines, so these bytes are machine-specific and
+    excluded from the equivalence check."""
+    ranges = []
+    for image in images:
+        for name, gvar in image.mprog.globals.items():
+            if gvar.elem == "label":
+                addr = image.symbols[name]
+                ranges.append((addr, addr + gvar.size))
+    return ranges
+
+
+def run_differential(
+    source, stdin=b"", limit=None, name="", branchreg_options=None,
+    deadline_s=None,
+):
+    """Run one program on both machines and verify equivalence.
+
+    Checks stdout, exit status, and the final data segment
+    (``DATA_BASE .. data_end``, i.e. every global the program could
+    have written).  Globals holding code addresses -- switch jump
+    tables -- are excluded: the two machines' text layouts legitimately
+    differ, so their contents are machine-specific by construction.
+    Raises :class:`MachineDivergence` on the first mismatch; its
+    ``mismatches`` list names the failing channels and ``detail``
+    pinpoints the first differing byte with its symbol.
+    """
+    base_image = compile_for_machine(source, "baseline").verify()
+    br_image = compile_for_machine(
+        source, "branchreg", **(branchreg_options or {})
+    ).verify()
+    base = run_baseline(
+        base_image, stdin=stdin, limit=limit, program=name,
+        deadline_s=deadline_s,
+    )
+    br = run_branchreg(
+        br_image, stdin=stdin, limit=limit, program=name,
+        deadline_s=deadline_s,
+    )
+    mismatches = []
+    detail = {}
+    if base.output != br.output:
+        mismatches.append("output")
+        detail["baseline_output"] = base.output[:200].decode("latin-1")
+        detail["branchreg_output"] = br.output[:200].decode("latin-1")
+    if base.exit_code != br.exit_code:
+        mismatches.append("exit_code")
+        detail["baseline_exit"] = base.exit_code
+        detail["branchreg_exit"] = br.exit_code
+    size = min(base_image.data_end, br_image.data_end) - DATA_BASE
+    base_data = bytearray(base_image.memory.read_bytes(DATA_BASE, size))
+    br_data = bytearray(br_image.memory.read_bytes(DATA_BASE, size))
+    masked = 0
+    for lo, hi in _code_address_ranges(base_image, br_image):
+        lo, hi = max(lo - DATA_BASE, 0), min(hi - DATA_BASE, size)
+        if lo < hi:
+            base_data[lo:hi] = br_data[lo:hi] = b"\0" * (hi - lo)
+            masked += hi - lo
+    if base_data != br_data:
+        mismatches.append("memory")
+        offset = next(
+            i for i in range(size) if base_data[i] != br_data[i]
+        )
+        address = DATA_BASE + offset
+        detail["address"] = address
+        detail["symbol"] = _attribute(base_image, address)
+        detail["baseline_byte"] = base_data[offset]
+        detail["branchreg_byte"] = br_data[offset]
+    if mismatches:
+        raise MachineDivergence(
+            "machines diverge on %s: %s differ"
+            % (name or "program", ", ".join(mismatches)),
+            mismatches=mismatches,
+            detail=detail,
+        )
+    return DifferentialResult(
+        name=name, baseline=base, branchreg=br, data_bytes=size - masked
+    )
+
+
+def check_workloads(names=None, limit=DEFAULT_LIMIT, branchreg_options=None):
+    """Run the differential oracle over the workload suite.
+
+    Returns the list of :class:`DifferentialResult`; raises on the
+    first divergence.  Unlike :func:`repro.harness.runner.run_suite`
+    this also compares final data segments, which the per-pair check in
+    the experiment environment does not."""
+    results = []
+    for w in resolve_workloads(tuple(names) if names is not None else None):
+        log.info("differential oracle: %s", w.name)
+        results.append(
+            run_differential(
+                w.source, stdin=w.stdin_bytes(), limit=limit, name=w.name,
+                branchreg_options=branchreg_options,
+            )
+        )
+    return results
+
+
+# -- fuzzing -----------------------------------------------------------------
+
+
+def _check_generated(stmts, limit):
+    """Oracle for one generated program: machines must agree with each
+    other *and* with the Python model.  Raises ReproError on failure."""
+    result = run_differential(
+        program_source(stmts), limit=limit, name="generated"
+    )
+    expected = expected_output(stmts)
+    actual = result.output.decode("latin-1")
+    if actual != expected:
+        raise MachineDivergence(
+            "machines agree with each other but not with the Python model: "
+            "expected %r, got %r" % (expected, actual),
+            mismatches=["model"],
+            detail={"expected": expected, "actual": actual},
+        )
+    return result
+
+
+def _still_fails(stmts, limit):
+    try:
+        _check_generated(stmts, limit)
+    except ReproError:
+        return True
+    return False
+
+
+def fuzz_differential(
+    count=200, seed=0, limit=FUZZ_LIMIT, depth=2, artifacts_dir=None,
+    max_failures=5,
+):
+    """Differential fuzzing: ``count`` seeded random programs, each an
+    equivalence witness across baseline, branch-register, and Python.
+
+    Deterministic for a given (count, seed, depth).  Failing cases are
+    delta-debugged to a minimal reproducer; when ``artifacts_dir`` is
+    set each reproducer is written there as a ``.c`` file with the
+    failure recorded in a comment header.  Stops early after
+    ``max_failures`` distinct failures.
+
+    Returns a report dict: ``{"count", "seed", "checked", "failures"}``.
+    """
+    rng = random.Random(seed)
+    failures = []
+    checked = 0
+    for index in range(count):
+        stmts = random_program(rng, depth=depth)
+        checked += 1
+        try:
+            _check_generated(stmts, limit)
+        except ReproError as exc:
+            log.warning("fuzz case %d failed: %s", index, exc)
+            minimized = minimize(stmts, lambda s: _still_fails(s, limit))
+            record = {
+                "index": index,
+                "seed": seed,
+                "error": type(exc).__name__,
+                "message": str(exc),
+                "source": program_source(minimized),
+            }
+            if artifacts_dir:
+                os.makedirs(artifacts_dir, exist_ok=True)
+                path = os.path.join(
+                    artifacts_dir, "repro_seed%d_case%d.c" % (seed, index)
+                )
+                with open(path, "w") as handle:
+                    handle.write(
+                        "/* differential fuzz failure\n"
+                        " * seed=%d case=%d\n"
+                        " * %s: %s\n"
+                        " */\n%s"
+                        % (seed, index, record["error"],
+                           record["message"], record["source"])
+                    )
+                record["artifact"] = path
+            failures.append(record)
+            if len(failures) >= max_failures:
+                break
+    return {
+        "count": count,
+        "seed": seed,
+        "checked": checked,
+        "failures": failures,
+    }

@@ -1,0 +1,84 @@
+"""Structured failure records and the ``repro triage`` post-mortem view.
+
+A failure record is the JSON-safe distillation of one caught
+:class:`~repro.errors.ReproError`: the typed error name, the message,
+and -- when the emulators' hardened run loop stamped it -- the
+post-mortem machine state (pc, instruction count, debug-map source
+attribution, and the last control-flow edges from the ring buffer).
+The fault-tolerant suite runner embeds these records in the run
+manifest's ``failures`` section; ``render_triage`` turns a manifest
+back into a human-readable post-mortem.
+"""
+
+from repro.errors import format_address
+
+
+def failure_record(name, exc):
+    """A JSON-safe record of one caught error.
+
+    Post-mortem fields are ``None`` when the error carries no machine
+    state (compile-time errors, load-time :class:`ImageCorruption`).
+    """
+    return {
+        "workload": name,
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "machine": getattr(exc, "machine", None),
+        "pc": getattr(exc, "pc", None),
+        "icount": getattr(exc, "icount", None),
+        "function": getattr(exc, "function", None),
+        "line": getattr(exc, "line", None),
+        "edges": getattr(exc, "edges", None),
+    }
+
+
+def _render_failure(record):
+    lines = []
+    lines.append("%s: %s" % (record.get("workload", "?"),
+                             record.get("error", "?")))
+    lines.append("  %s" % record.get("message", ""))
+    machine = record.get("machine")
+    if machine:
+        where = "  on %s" % machine
+        if record.get("pc") is not None:
+            where += " at pc=%s" % format_address(record["pc"])
+        if record.get("icount") is not None:
+            where += " after %d instructions" % record["icount"]
+        lines.append(where)
+    function = record.get("function")
+    if function and function != "?":
+        lines.append("  in %s (source line %d)" % (function,
+                                                   record.get("line") or 0))
+    edges = record.get("edges")
+    if edges:
+        lines.append("  last %d control-flow edges (oldest first):"
+                     % len(edges))
+        for edge in edges:
+            lines.append(
+                "    %s -> %s  [%s -> %s]"
+                % (
+                    format_address(edge["from"]),
+                    format_address(edge["to"]),
+                    edge.get("from_loc", "?"),
+                    edge.get("to_loc", "?"),
+                )
+            )
+    return lines
+
+
+def render_triage(manifest):
+    """Human-readable post-mortem for a run manifest's failures."""
+    failures = manifest.get("failures") or []
+    completed = manifest.get("programs") or []
+    lines = []
+    lines.append(
+        "triage: %d workload(s) completed, %d failure(s)"
+        % (len(completed), len(failures))
+    )
+    if not failures:
+        lines.append("no recorded failures -- nothing to triage")
+        return "\n".join(lines)
+    for record in failures:
+        lines.append("")
+        lines.extend(_render_failure(record))
+    return "\n".join(lines)

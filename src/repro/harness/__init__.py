@@ -1,5 +1,10 @@
 """Experiment drivers: one module per paper table/figure (see DESIGN.md §4)."""
 
-from repro.harness.runner import FAST_SUBSET, run_suite, suite_summary
+from repro.harness.runner import (
+    FAST_SUBSET,
+    SuiteResult,
+    run_suite,
+    suite_summary,
+)
 
-__all__ = ["FAST_SUBSET", "run_suite", "suite_summary"]
+__all__ = ["FAST_SUBSET", "SuiteResult", "run_suite", "suite_summary"]

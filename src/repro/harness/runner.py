@@ -13,12 +13,27 @@ can see whether they actually re-ran anything.
 
 from repro.ease.environment import run_pair
 from repro.emu.stats import suite_totals
+from repro.errors import ReproError
 from repro.obs import METRICS, log, span
 from repro.workloads import all_workloads
 
 DEFAULT_LIMIT = 20_000_000
 
 _CACHE = {}
+
+
+class SuiteResult(list):
+    """A list of PairResult plus the failures the run tolerated.
+
+    Behaves exactly like the plain list ``run_suite`` historically
+    returned; ``failures`` holds one structured record (see
+    :func:`repro.fault.triage.failure_record`) per workload that raised
+    a typed error during a fault-tolerant run.
+    """
+
+    def __init__(self, pairs=(), failures=None):
+        super().__init__(pairs)
+        self.failures = list(failures or [])
 
 # A fast subset with one program of each character (byte loops, recursion,
 # FP, sorting, compiler) for experiments that sweep many configurations.
@@ -50,42 +65,82 @@ def run_suite(
     branchreg_options=None,
     observer=None,
     use_cache=True,
+    fault_tolerant=False,
+    deadline_s=None,
+    limit_overrides=None,
 ):
-    """Run (or reuse) the suite; returns a list of PairResult.
+    """Run (or reuse) the suite; returns a :class:`SuiteResult`.
 
     ``subset`` is an iterable of workload names or None for all 19.
     ``branchreg_options`` forwards ablation switches to the
     branch-register code generator.  ``observer`` attaches a
-    :class:`repro.obs.emuobs.EmulationObserver` to every emulation;
-    ``use_cache=False`` forces a fresh run (the observer is *not* part of
-    the cache key, so instrumented runs should bypass the cache).
+    :class:`repro.obs.emuobs.EmulationObserver` to every emulation.
+
+    The memo cache is keyed only on (subset, limit, branchreg options),
+    so any argument outside that key -- an observer, fault tolerance, a
+    wall-clock deadline, per-workload limit overrides -- forces a fresh
+    uncached run; returning another caller's cached result (or caching
+    a run that a fault cut short) would silently lie.
+
+    ``fault_tolerant=True`` keeps going when a workload raises a typed
+    :class:`~repro.errors.ReproError`: the failure becomes a structured
+    record on ``result.failures`` (error type, pc, icount, source
+    attribution, last control-flow edges) and the remaining workloads
+    still run.  ``deadline_s`` arms a per-emulation wall-clock watchdog
+    alongside the instruction budget; ``limit_overrides`` maps workload
+    name -> instruction limit for that workload only.
     """
     names = tuple(subset) if subset is not None else None
     selected = resolve_workloads(names)
     options = tuple(sorted((branchreg_options or {}).items()))
     key = (names, limit, options)
+    uncacheable = (
+        observer is not None
+        or fault_tolerant
+        or deadline_s is not None
+        or bool(limit_overrides)
+    )
+    if uncacheable and use_cache:
+        log.debug("suite cache bypassed: run parameters outside cache key")
+        use_cache = False
     if use_cache and key in _CACHE:
         METRICS.counter("harness.suite_cache", result="hit").inc()
         log.debug("suite cache hit for subset=%s", names or "all")
         return _CACHE[key]
     METRICS.counter("harness.suite_cache", result="miss").inc()
     pairs = []
+    failures = []
+    overrides = limit_overrides or {}
     for w in selected:
         log.info("running workload %s on both machines", w.name)
         with span("workload", name=w.name):
-            pairs.append(
-                run_pair(
-                    w.source,
-                    stdin=w.stdin_bytes(),
-                    name=w.name,
-                    limit=limit,
-                    branchreg_options=branchreg_options,
-                    observer=observer,
+            try:
+                pairs.append(
+                    run_pair(
+                        w.source,
+                        stdin=w.stdin_bytes(),
+                        name=w.name,
+                        limit=overrides.get(w.name, limit),
+                        branchreg_options=branchreg_options,
+                        observer=observer,
+                        deadline_s=deadline_s,
+                        record_edges=fault_tolerant,
+                    )
                 )
-            )
+            except ReproError as exc:
+                if not fault_tolerant:
+                    raise
+                from repro.fault.triage import failure_record
+
+                METRICS.counter(
+                    "harness.workload_failures", error=type(exc).__name__
+                ).inc()
+                log.error("workload %s failed: %s", w.name, exc)
+                failures.append(failure_record(w.name, exc))
+    result = SuiteResult(pairs, failures)
     if use_cache:
-        _CACHE[key] = pairs
-    return pairs
+        _CACHE[key] = result
+    return result
 
 
 def suite_summary(pairs):

@@ -20,12 +20,16 @@ import sys
 import time
 from dataclasses import fields as dataclass_fields
 
-#: Version 2 adds the ``provenance`` section (git commit SHA and CLI argv)
-#: so any archived BENCH_*.json can be traced back to the exact tree and
-#: command that produced it.  Version-1 manifests are still accepted on
+#: Version 2 added the ``provenance`` section (git commit SHA and CLI
+#: argv) so any archived BENCH_*.json can be traced back to the exact
+#: tree and command that produced it.  Version 3 adds the optional
+#: ``failures`` section emitted by fault-tolerant suite runs: one
+#: structured post-mortem record per workload that raised a typed error
+#: (see ``repro.fault.triage``).  Older manifests are still accepted on
 #: load so ``repro diff`` can compare against old artifacts.
 SCHEMA_V1 = "repro.run-manifest/1"
-SCHEMA_ID = "repro.run-manifest/2"
+SCHEMA_V2 = "repro.run-manifest/2"
+SCHEMA_ID = "repro.run-manifest/3"
 
 
 class ManifestError(ValueError):
@@ -148,6 +152,34 @@ _PHASE_SCHEMA = {
     },
 }
 
+_FAILURE_SCHEMA = {
+    "type": "object",
+    "required": ["workload", "error", "message"],
+    "properties": {
+        "workload": {"type": "string"},
+        "error": {"type": "string"},
+        "message": {"type": "string"},
+        "machine": {"type": ["string", "null"]},
+        "pc": {"type": ["integer", "null"]},
+        "icount": {"type": ["integer", "null"]},
+        "function": {"type": ["string", "null"]},
+        "line": {"type": ["integer", "null"]},
+        "edges": {
+            "type": ["array", "null"],
+            "items": {
+                "type": "object",
+                "required": ["from", "to"],
+                "properties": {
+                    "from": {"type": "integer"},
+                    "to": {"type": "integer"},
+                    "from_loc": {"type": "string"},
+                    "to_loc": {"type": "string"},
+                },
+            },
+        },
+    },
+}
+
 MANIFEST_SCHEMA = {
     "type": "object",
     "required": [
@@ -163,7 +195,7 @@ MANIFEST_SCHEMA = {
         "metrics",
     ],
     "properties": {
-        "schema": {"type": "string", "enum": [SCHEMA_V1, SCHEMA_ID]},
+        "schema": {"type": "string", "enum": [SCHEMA_V1, SCHEMA_V2, SCHEMA_ID]},
         "created_unix": {"type": "number"},
         "duration_s": {"type": "number"},
         "provenance": {
@@ -224,6 +256,7 @@ MANIFEST_SCHEMA = {
         },
         "phases": {"type": "array", "items": _PHASE_SCHEMA},
         "phase_totals": {"type": "object"},
+        "failures": {"type": "array", "items": _FAILURE_SCHEMA},
         "metrics": {
             "type": "object",
             "required": ["counters", "gauges", "histograms"],
@@ -295,6 +328,7 @@ def build_manifest(
     workload_durations=None,
     created_unix=None,
     provenance=None,
+    failures=None,
 ):
     """Assemble (and validate) a run manifest from suite results.
 
@@ -302,7 +336,11 @@ def build_manifest(
     ``span_rows``/``phase_totals``/``metrics_snapshot`` come from the obs
     recorders; ``workload_durations`` maps workload name to seconds.
     ``provenance`` is the :func:`collect_provenance` section (collected
-    here when omitted).
+    here when omitted).  ``failures`` is the list of structured failure
+    records a fault-tolerant run collected (omitted from the document
+    when None; an empty list is recorded explicitly, so "ran fault
+    tolerant, nothing failed" and "not fault tolerant" stay
+    distinguishable).
     """
     from repro.emu.stats import suite_totals
 
@@ -354,6 +392,8 @@ def build_manifest(
         "metrics": metrics_snapshot
         or {"counters": [], "gauges": [], "histograms": []},
     }
+    if failures is not None:
+        manifest["failures"] = list(failures)
     return validate_manifest(manifest)
 
 

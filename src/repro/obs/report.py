@@ -35,6 +35,8 @@ def run_report(
     events_path=None,
     reset=True,
     argv=None,
+    fault_tolerant=False,
+    deadline_s=None,
 ):
     """Run the (sub)suite instrumented; returns {"manifest", "text", "pairs"}.
 
@@ -43,7 +45,10 @@ def run_report(
     the manifest; ``reset`` clears the global metric/span recorders first
     so the manifest reflects only this run.  ``argv`` is recorded in the
     manifest's provenance section (defaults to this process's command
-    line).
+    line).  ``fault_tolerant`` keeps the run going past per-workload
+    typed errors and records them in the manifest's ``failures``
+    section (the ``repro triage`` input); ``deadline_s`` arms the
+    per-emulation wall-clock watchdog.
     """
     from repro.harness.runner import DEFAULT_LIMIT, run_suite
 
@@ -60,6 +65,8 @@ def run_report(
             limit=limit if limit is not None else DEFAULT_LIMIT,
             observer=observer,
             use_cache=False,
+            fault_tolerant=fault_tolerant,
+            deadline_s=deadline_s,
         )
     finally:
         if sink is not None:
@@ -81,6 +88,7 @@ def run_report(
         metrics_snapshot=METRICS.snapshot(),
         workload_durations=workload_durations,
         provenance=collect_provenance(argv),
+        failures=getattr(pairs, "failures", None) if fault_tolerant else None,
     )
     log.info(
         "report: %d programs in %.2fs (%d spans, %d metrics)",
@@ -176,4 +184,14 @@ def render_report(manifest):
         )
         for phase, total in ordered:
             lines.append("  %-12s %10.4fs" % (phase, total))
+    failures = manifest.get("failures")
+    if failures is not None:
+        lines.append("")
+        lines.append("Failures: %d" % len(failures))
+        for record in failures:
+            lines.append(
+                "  %-11s %-22s %s"
+                % (record["workload"], record["error"], record["message"])
+            )
+        lines.append("  (run 'repro triage' on this manifest for post-mortems)")
     return "\n".join(lines)

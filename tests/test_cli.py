@@ -241,6 +241,95 @@ class TestDiffCommand:
         assert rc == 2
 
 
+class TestOracleCommand:
+    def test_subset_equivalent(self, capsys):
+        rc = main(["oracle", "--subset", "wc"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "machines equivalent" in out
+        assert "data bytes compared" in out
+
+    def test_json(self, capsys):
+        rc = main(["oracle", "--subset", "wc", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["equivalent"] is True
+        assert doc["workloads"][0]["name"] == "wc"
+        assert doc["workloads"][0]["data_bytes"] >= 0  # wc has no globals
+
+    def test_unknown_workload_rejected(self, capsys):
+        rc = main(["oracle", "--subset", "nope"])
+        assert rc == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_fixed_seed_passes(self, capsys):
+        rc = main(["fuzz", "--count", "5", "--seed", "20260806"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "5/5 case(s) checked, 0 failure(s)" in out
+
+    def test_json(self, capsys):
+        rc = main(["fuzz", "--count", "3", "--seed", "7", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["checked"] == 3
+        assert doc["failures"] == []
+
+    def test_bad_count_rejected(self, capsys):
+        rc = main(["fuzz", "--count", "0"])
+        assert rc == 2
+
+
+class TestTriageCommand:
+    def test_triage_renders_failures(self, tmp_path, capsys):
+        from repro.obs.report import run_report, save_report
+
+        result = run_report(subset=("wc",), fault_tolerant=True)
+        # inject a synthetic failure record so triage has work to do
+        result["manifest"]["failures"] = [
+            {
+                "workload": "wc", "error": "RuntimeLimitExceeded",
+                "message": "exceeded 100 instructions in wc",
+                "machine": "baseline", "pc": 4096, "icount": 100,
+                "function": "main", "line": 3, "edges": [],
+            }
+        ]
+        path = save_report(result, str(tmp_path / "m.json"))
+        rc = main(["triage", path])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "wc: RuntimeLimitExceeded" in out
+        assert "pc=0x1000" in out
+
+    def test_triage_clean_manifest(self, tmp_path, capsys):
+        from repro.obs.report import run_report, save_report
+
+        result = run_report(subset=("wc",), fault_tolerant=True)
+        path = save_report(result, str(tmp_path / "m.json"))
+        rc = main(["triage", path])
+        assert rc == 0
+        assert "nothing to triage" in capsys.readouterr().out
+
+    def test_triage_unreadable_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = main(["triage", str(bad)])
+        assert rc == 2
+
+
+class TestReportFaultTolerant:
+    def test_fault_tolerant_flag(self, tmp_path, capsys):
+        rc = main([
+            "report", "--subset", "wc", "--fault-tolerant",
+            "--out", str(tmp_path / "m.json"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Failures: 0" in out
+
+
 class TestVerbosity:
     def teardown_method(self):
         from repro.obs.log import configure

@@ -1,0 +1,149 @@
+"""Fault-injection campaigns: every catalogued fault is detected or
+masked -- never an escaped raw exception or silent hang."""
+
+import pytest
+
+from repro.cache.icache import PrefetchICache
+from repro.fault.inject import (
+    IMAGE_INJECTORS,
+    INJECTORS,
+    RUNTIME_INJECTORS,
+    run_campaign,
+    run_trial,
+)
+
+SOURCE = """
+int g;
+int main() {
+    int i; int s; s = 0;
+    for (i = 0; i < 20; i = i + 1) { s = s + i; }
+    g = s;
+    print_int(s); putchar(10);
+    return 0;
+}
+"""
+
+RECURSIVE = """
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { print_int(fib(12)); putchar(10); return 0; }
+"""
+
+
+class TestCatalogue:
+    def test_catalogue_is_complete(self):
+        assert set(INJECTORS) == set(IMAGE_INJECTORS) | set(RUNTIME_INJECTORS)
+        assert set(IMAGE_INJECTORS) == {"bitflip", "truncate", "clobber_reloc"}
+        assert set(RUNTIME_INJECTORS) == {
+            "stuck_branch_reg", "stale_branch_reg",
+            "dropped_prefetch", "misaligned_access",
+        }
+
+    def test_unknown_injector_rejected(self):
+        with pytest.raises(ValueError, match="unknown injector"):
+            run_trial(SOURCE, "rowhammer")
+
+    def test_branchreg_only_injectors_rejected_on_baseline(self):
+        with pytest.raises(ValueError, match="branch-register"):
+            run_trial(SOURCE, "stuck_branch_reg", machine="baseline")
+
+    def test_dropped_prefetch_requires_cache(self):
+        with pytest.raises(ValueError, match="instruction cache"):
+            run_trial(SOURCE, "dropped_prefetch", seed=1)
+
+
+@pytest.mark.parametrize("machine", ["baseline", "branchreg"])
+class TestCampaign:
+    def test_no_fault_escapes(self, machine):
+        outcomes = run_campaign(
+            SOURCE, machine=machine, trials_per_injector=4, seed=11,
+            deadline_s=10.0, icache_factory=PrefetchICache,
+        )
+        assert outcomes, "campaign ran no trials"
+        escaped = [o for o in outcomes if o.outcome == "escaped"]
+        assert not escaped, escaped
+
+    def test_detected_faults_carry_typed_error(self, machine):
+        outcomes = run_campaign(
+            SOURCE, machine=machine, trials_per_injector=4, seed=11,
+            deadline_s=10.0, icache_factory=PrefetchICache,
+        )
+        detected = [o for o in outcomes if o.outcome == "detected"]
+        assert detected, "expected at least one detected fault"
+        for o in detected:
+            assert o.error, o
+            assert o.detected_by in ("load", "runtime", "oracle"), o
+            assert o.post_mortem is not None, o
+
+    def test_campaign_is_deterministic(self, machine):
+        kwargs = dict(
+            machine=machine, trials_per_injector=2, seed=5, deadline_s=10.0
+        )
+        first = [o.to_dict() for o in run_campaign(SOURCE, **kwargs)]
+        second = [o.to_dict() for o in run_campaign(SOURCE, **kwargs)]
+        assert first == second
+
+
+class TestSpecificInjectors:
+    def test_clobber_reloc_caught_at_load(self):
+        out = run_trial(SOURCE, "clobber_reloc", seed=0)
+        assert out.outcome == "detected"
+        assert out.error == "ImageCorruption"
+        assert out.detected_by == "load"
+
+    def test_truncate_detected(self):
+        out = run_trial(SOURCE, "truncate", seed=0)
+        assert out.outcome == "detected"
+        assert out.error in ("ImageCorruption", "ControlFlowViolation")
+
+    def test_misaligned_access_detected_with_post_mortem(self):
+        out = run_trial(RECURSIVE, "misaligned_access", seed=0)
+        assert out.outcome == "detected"
+        assert out.error == "MemoryFault"
+        assert out.detected_by == "runtime"
+        assert out.post_mortem["pc"] is not None
+        assert out.post_mortem["icount"] is not None
+        assert out.post_mortem["edges"]
+
+    def test_stuck_branch_reg_on_link_is_wild_jump(self):
+        # seeds are cheap: find one that sticks a register the program
+        # actually transfers through, then assert the typed detection
+        for seed in range(16):
+            out = run_trial(RECURSIVE, "stuck_branch_reg", seed=seed)
+            assert out.outcome in ("detected", "masked")
+            if out.outcome == "detected":
+                assert out.error in (
+                    "ControlFlowViolation", "RuntimeLimitExceeded",
+                    "WatchdogTimeout", "MachineDivergence",
+                    "IllegalInstruction",
+                )
+                return
+        raise AssertionError("no seed in 0..15 produced a detection")
+
+    def test_stale_branch_reg_detected_somewhere(self):
+        for seed in range(16):
+            out = run_trial(RECURSIVE, "stale_branch_reg", seed=seed)
+            assert out.outcome in ("detected", "masked")
+            if out.outcome == "detected":
+                return
+        raise AssertionError("no seed in 0..15 produced a detection")
+
+    def test_dropped_prefetch_is_masked_but_counted(self):
+        cache_box = []
+
+        def factory():
+            cache_box.append(PrefetchICache())
+            return cache_box[-1]
+
+        out = run_trial(SOURCE, "dropped_prefetch", seed=2,
+                        icache_factory=factory)
+        assert out.outcome == "masked"
+        assert cache_box[-1].stats.prefetch_drops > 0
+
+    def test_bitflip_sites_are_described(self):
+        for seed in range(8):
+            out = run_trial(SOURCE, "bitflip", seed=seed)
+            assert out.outcome in ("detected", "masked")
+            assert "word at 0x" in out.site

@@ -1,0 +1,116 @@
+"""Delta-debugging of generated statement trees."""
+
+from repro.fault.minimize import minimize
+from repro.fault.progen import (
+    expected_output,
+    interpret,
+    program_source,
+    random_program,
+    render_c,
+)
+
+
+def contains_augment(stmts):
+    for stmt in stmts:
+        if stmt[0] == "augment":
+            return True
+        if stmt[0] == "if":
+            if contains_augment(stmt[2]):
+                return True
+            if stmt[3] is not None and contains_augment(stmt[3]):
+                return True
+        if stmt[0] == "loop" and contains_augment(stmt[2]):
+            return True
+    return False
+
+
+def tree_size(stmts):
+    total = 0
+    for stmt in stmts:
+        total += 1
+        if stmt[0] == "if":
+            total += tree_size(stmt[2])
+            if stmt[3] is not None:
+                total += tree_size(stmt[3])
+        elif stmt[0] == "loop":
+            total += tree_size(stmt[2])
+    return total
+
+
+class TestMinimize:
+    BIG = [
+        ("assign", "a", "5"),
+        ("loop", 3, [
+            ("augment", "b", "(a + 2)"),
+            ("assign", "c", "7"),
+        ]),
+        ("if", "(a > 1)", [
+            ("assign", "d", "1"),
+            ("if", "b", [("augment", "a", "2")], [("assign", "b", "0")]),
+        ], [
+            ("assign", "d", "2"),
+        ]),
+        ("assign", "c", "(c ^ 3)"),
+    ]
+
+    def test_minimize_preserves_predicate(self):
+        result = minimize(self.BIG, contains_augment)
+        assert contains_augment(result)
+
+    def test_minimize_shrinks(self):
+        result = minimize(self.BIG, contains_augment)
+        assert tree_size(result) < tree_size(self.BIG)
+        # the smallest tree satisfying the predicate is one statement
+        assert tree_size(result) <= 2
+
+    def test_minimize_never_fails_predicate_returns_input(self):
+        result = minimize(self.BIG, lambda stmts: False)
+        assert result == self.BIG
+
+    def test_minimized_tree_still_renders_and_interprets(self):
+        result = minimize(self.BIG, contains_augment)
+        source = program_source(result)
+        assert "int main()" in source
+        env = {"a": 1, "b": 2, "c": 3, "d": 4}
+        interpret(result, env)  # must not raise
+
+    def test_minimize_respects_check_budget(self):
+        calls = []
+
+        def expensive(stmts):
+            calls.append(1)
+            return False
+
+        minimize(self.BIG, expensive, max_checks=10)
+        assert len(calls) <= 10
+
+    def test_minimize_on_random_trees_terminates_small(self):
+        import random
+
+        for seed in range(5):
+            stmts = random_program(random.Random(seed))
+            if not contains_augment(stmts):
+                continue
+            result = minimize(stmts, contains_augment)
+            assert contains_augment(result)
+            assert tree_size(result) <= tree_size(stmts)
+
+
+class TestRenderCounterThreading:
+    def test_render_is_pure_no_shared_counter(self):
+        tree = [("loop", 2, [("assign", "a", "1")])]
+        first = render_c(tree)
+        second = render_c(tree)
+        assert first == second
+        assert any("int t1 =" in line for line in first)
+
+    def test_nested_loops_get_distinct_counters(self):
+        tree = [("loop", 2, [("loop", 3, [("assign", "a", "1")])])]
+        lines = render_c(tree)
+        text = "\n".join(lines)
+        assert "int t1 =" in text
+        assert "int t2 =" in text
+
+    def test_expected_output_matches_model(self):
+        tree = [("augment", "a", "10"), ("loop", 2, [("augment", "b", "3")])]
+        assert expected_output(tree) == "11 8 3 4\n"

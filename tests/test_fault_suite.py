@@ -1,0 +1,191 @@
+"""Fault-tolerant suite execution, the suite cache, and triage."""
+
+import pytest
+
+from repro.errors import RuntimeLimitExceeded, WatchdogTimeout
+from repro.fault.triage import failure_record, render_triage
+from repro.harness.runner import (
+    SuiteResult,
+    _CACHE,
+    resolve_workloads,
+    run_suite,
+)
+from repro.obs.manifest import SCHEMA_ID, build_manifest, validate_manifest
+
+
+class TestFaultTolerantSuite:
+    def test_one_failing_workload_does_not_stop_the_rest(self):
+        result = run_suite(
+            subset=("wc", "grep", "sort"),
+            fault_tolerant=True,
+            limit_overrides={"grep": 100},
+        )
+        assert isinstance(result, SuiteResult)
+        assert sorted(p.name for p in result) == ["sort", "wc"]
+        assert len(result.failures) == 1
+        record = result.failures[0]
+        assert record["workload"] == "grep"
+        assert record["error"] == "RuntimeLimitExceeded"
+        assert record["pc"] is not None
+        assert record["icount"] == 100
+        assert record["edges"], "fault-tolerant runs record the edge ring"
+
+    def test_failure_records_carry_source_attribution(self):
+        result = run_suite(
+            subset=("wc",), fault_tolerant=True, limit_overrides={"wc": 500}
+        )
+        record = result.failures[0]
+        assert record["function"] not in (None, "")
+        for edge in record["edges"]:
+            assert set(edge) == {"from", "to", "from_loc", "to_loc"}
+
+    def test_non_fault_tolerant_raises(self):
+        with pytest.raises(RuntimeLimitExceeded):
+            run_suite(subset=("wc",), limit_overrides={"wc": 100})
+
+    def test_watchdog_deadline(self):
+        with pytest.raises(WatchdogTimeout):
+            run_suite(subset=("wc",), deadline_s=0.0)
+
+    def test_watchdog_failure_is_tolerated_and_recorded(self):
+        result = run_suite(subset=("wc",), fault_tolerant=True, deadline_s=0.0)
+        assert len(result) == 0
+        assert result.failures[0]["error"] == "WatchdogTimeout"
+
+    def test_limit_exceeded_attaches_machine_state(self):
+        with pytest.raises(RuntimeLimitExceeded) as info:
+            run_suite(subset=("wc",), limit_overrides={"wc": 100})
+        exc = info.value
+        assert exc.machine == "baseline"  # baseline runs first
+        assert exc.program == "wc"
+        assert exc.pc is not None
+        assert exc.icount == 100
+
+
+class TestSuiteCache:
+    def test_same_key_returns_same_object(self):
+        first = run_suite(subset=("wc",))
+        second = run_suite(subset=("wc",))
+        assert first is second
+
+    def test_observer_bypasses_cache(self):
+        # regression: the cache key omits the observer, so an observed
+        # run must never return (or populate) a cached plain result
+        from repro.obs.emuobs import EmulationObserver
+
+        plain = run_suite(subset=("wc",))
+        observer = EmulationObserver(sample_every=1024)
+        observed = run_suite(subset=("wc",), observer=observer)
+        assert observed is not plain
+        assert observer.runs > 0, "observer never saw the run"
+        # and the observed run did not overwrite the cached entry
+        assert run_suite(subset=("wc",)) is plain
+
+    def test_fault_tolerant_runs_are_never_cached(self):
+        faulty = run_suite(
+            subset=("wc",), fault_tolerant=True, limit_overrides={"wc": 100}
+        )
+        clean = run_suite(subset=("wc",))
+        assert clean is not faulty
+        assert len(clean) == 1
+        key_entries = [
+            value for value in _CACHE.values() if value is faulty
+        ]
+        assert not key_entries, "a fault-cut run leaked into the cache"
+
+    def test_limit_overrides_bypass_cache(self):
+        clean = run_suite(subset=("wc",))
+        assert run_suite(
+            subset=("wc",), fault_tolerant=True, limit_overrides={"wc": 10**9}
+        ) is not clean
+
+
+class TestResolveWorkloads:
+    def test_duplicate_names_resolve_once(self):
+        workloads = resolve_workloads(("wc", "wc", "grep", "wc"))
+        assert sorted(w.name for w in workloads) == ["grep", "wc"]
+
+    def test_registry_order_is_preserved(self):
+        all_names = [w.name for w in resolve_workloads(None)]
+        subset = resolve_workloads(tuple(reversed(all_names[:4])))
+        assert [w.name for w in subset] == all_names[:4]
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            resolve_workloads(("wc", "bogus"))
+
+
+class TestManifestFailures:
+    def _manifest(self, result):
+        return build_manifest(
+            result,
+            config={"subset": ("wc",), "limit": None},
+            duration_s=0.01,
+            failures=result.failures,
+        )
+
+    def test_failures_section_validates(self):
+        result = run_suite(
+            subset=("wc", "grep"), fault_tolerant=True,
+            limit_overrides={"grep": 200},
+        )
+        manifest = self._manifest(result)
+        assert manifest["schema"] == SCHEMA_ID
+        assert len(manifest["failures"]) == 1
+        validate_manifest(manifest)  # must not raise
+
+    def test_empty_failures_section_is_recorded(self):
+        result = run_suite(subset=("wc",), fault_tolerant=True)
+        manifest = self._manifest(result)
+        assert manifest["failures"] == []
+
+    def test_triage_renders_post_mortem(self):
+        result = run_suite(
+            subset=("wc", "grep"), fault_tolerant=True,
+            limit_overrides={"grep": 200},
+        )
+        text = render_triage(self._manifest(result))
+        assert "grep: RuntimeLimitExceeded" in text
+        assert "control-flow edges" in text
+        assert "pc=0x" in text
+
+    def test_triage_with_no_failures(self):
+        result = run_suite(subset=("wc",), fault_tolerant=True)
+        text = render_triage(self._manifest(result))
+        assert "nothing to triage" in text
+
+
+class TestFailureRecord:
+    def test_record_from_unstamped_error(self):
+        from repro.errors import ImageCorruption
+
+        record = failure_record("x", ImageCorruption("broken"))
+        assert record["workload"] == "x"
+        assert record["error"] == "ImageCorruption"
+        assert record["machine"] is None
+        assert record["edges"] is None
+
+    def test_record_is_json_safe(self):
+        import json
+
+        result = run_suite(
+            subset=("wc",), fault_tolerant=True, limit_overrides={"wc": 100}
+        )
+        json.dumps(result.failures)  # must not raise
+
+
+class TestReportIntegration:
+    def test_fault_tolerant_report_embeds_failures(self):
+        from repro.obs.report import render_report, run_report
+
+        result = run_report(subset=("wc",), fault_tolerant=True)
+        manifest = result["manifest"]
+        assert manifest["failures"] == []
+        assert "Failures: 0" in render_report(manifest)
+
+    def test_plain_report_has_no_failures_section(self):
+        from repro.obs.report import render_report, run_report
+
+        result = run_report(subset=("wc",))
+        assert "failures" not in result["manifest"]
+        assert "Failures:" not in render_report(result["manifest"])

@@ -55,14 +55,48 @@ class TestErrorHierarchy:
         for name in (
             "LexError", "ParseError", "SemanticError", "CodegenError",
             "EncodingError", "EmulationError", "MemoryFault",
-            "RuntimeLimitExceeded",
+            "RuntimeLimitExceeded", "ImageCorruption",
+            "ControlFlowViolation", "IllegalInstruction",
+            "WatchdogTimeout", "MachineDivergence",
         ):
             cls = getattr(errors, name)
             assert issubclass(cls, errors.ReproError)
 
+    def test_runtime_faults_are_emulation_errors(self):
+        for name in (
+            "MemoryFault", "ControlFlowViolation", "IllegalInstruction",
+            "RuntimeLimitExceeded", "WatchdogTimeout", "MachineDivergence",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.EmulationError)
+
     def test_memory_fault_formats_address(self):
         fault = MemoryFault("bad access", address=0x1234)
         assert "0x1234" in str(fault)
+
+    def test_memory_fault_formats_negative_address(self):
+        fault = MemoryFault("bad access", address=-4)
+        assert "-0x4" in str(fault)
+        assert "0x-" not in str(fault)
+
+    def test_format_address_helper(self):
+        assert errors.format_address(0x10) == "0x10"
+        assert errors.format_address(0) == "0x0"
+        assert errors.format_address(-0x10) == "-0x10"
+
+    def test_emulation_errors_default_post_mortem_fields(self):
+        err = errors.EmulationError("plain")
+        assert err.machine is None
+        assert err.pc is None
+        assert err.icount is None
+        assert err.edges is None
+
+    def test_machine_divergence_carries_mismatches(self):
+        err = errors.MachineDivergence(
+            "diverged", mismatches=["output"], detail={"address": 4}
+        )
+        assert err.mismatches == ["output"]
+        assert err.detail == {"address": 4}
 
     def test_lex_error_position(self):
         err = errors.LexError("bad char", line=3, col=7)

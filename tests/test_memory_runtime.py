@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.emu.loader import Image
 from repro.emu.memory import DATA_BASE, Memory, STACK_TOP, TEXT_BASE
 from repro.emu.runtime import Runtime
-from repro.errors import MemoryFault
+from repro.errors import ControlFlowViolation, ImageCorruption, MemoryFault
 from repro.lang.frontend import compile_to_ir
 from repro.codegen.baseline_gen import generate_baseline
 
@@ -57,6 +57,30 @@ class TestMemory:
     def test_word_roundtrip_property(self, value):
         self.mem.store_word(0x20, value)
         assert self.mem.load_word(0x20) == value
+
+    @pytest.mark.parametrize("offset", [1, 2, 3])
+    def test_misaligned_word_load_faults(self, offset):
+        with pytest.raises(MemoryFault, match="misaligned word access"):
+            self.mem.load_word(0x100 + offset)
+
+    @pytest.mark.parametrize("offset", [1, 2, 3])
+    def test_misaligned_word_store_faults(self, offset):
+        with pytest.raises(MemoryFault, match="misaligned word access"):
+            self.mem.store_word(0x100 + offset, 1)
+
+    def test_misaligned_float_access_faults(self):
+        with pytest.raises(MemoryFault, match="misaligned float access"):
+            self.mem.load_float(0x102)
+        with pytest.raises(MemoryFault, match="misaligned float access"):
+            self.mem.store_float(0x102, 1.0)
+
+    def test_misaligned_fault_reports_address(self):
+        with pytest.raises(MemoryFault, match="0x102"):
+            self.mem.load_word(0x102)
+
+    def test_byte_access_never_alignment_checked(self):
+        self.mem.store_byte(0x101, 7)
+        assert self.mem.load_byte(0x101) == 7
 
 
 class TestRuntime:
@@ -158,3 +182,53 @@ class TestLoader:
     def test_float_global_initialised(self):
         image = self._image("float f = 2.5; int main() { return (int) f; }")
         assert image.memory.load_float(image.symbols["f"]) == 2.5
+
+    def test_misaligned_fetch_is_control_flow_violation(self):
+        image = self._image()
+        with pytest.raises(ControlFlowViolation, match="misaligned"):
+            image.instruction_at(TEXT_BASE + 2)
+
+    def test_fetch_outside_text_is_control_flow_violation(self):
+        image = self._image()
+        with pytest.raises(ControlFlowViolation, match="outside text"):
+            image.instruction_at(image.text_end())
+        with pytest.raises(ControlFlowViolation, match="outside text"):
+            image.instruction_at(TEXT_BASE - 4)
+
+    def test_text_end(self):
+        image = self._image()
+        assert image.text_end() == TEXT_BASE + 4 * len(image.instrs)
+        # the last instruction is fetchable, one past it is not
+        image.instruction_at(image.text_end() - 4)
+
+    def test_verify_accepts_clean_image(self):
+        image = self._image()
+        assert image.verify() is image
+
+    def test_verify_rejects_undecodable_opcode(self):
+        import copy
+
+        image = self._image()
+        mutant = copy.copy(image.instrs[0])
+        mutant.op = "undecodable(op=63)"
+        image.instrs[0] = mutant
+        with pytest.raises(ImageCorruption, match="undecodable"):
+            image.verify()
+
+    def test_verify_rejects_misaligned_relocation(self):
+        import copy
+
+        image = self._image("int main() { return 0; }")
+        sites = [i for i, ins in enumerate(image.instrs)
+                 if ins.t_addr is not None]
+        mutant = copy.copy(image.instrs[sites[0]])
+        mutant.t_addr += 2
+        image.instrs[sites[0]] = mutant
+        with pytest.raises(ImageCorruption, match="relocation"):
+            image.verify()
+
+    def test_verify_rejects_out_of_text_entry(self):
+        image = self._image()
+        image.entry = DATA_BASE
+        with pytest.raises(ImageCorruption, match="entry point"):
+            image.verify()

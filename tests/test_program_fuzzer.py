@@ -1,20 +1,30 @@
-"""Structured-program fuzzing.
+"""Structured-program fuzzing (hypothesis front end).
 
 Generates random SmallC programs (nested ifs, bounded while loops,
-assignments over a small variable pool) together with a semantically
-identical Python rendering, then checks that the baseline machine, the
-branch-register machine, and Python all agree on the final state.  This
-stresses exactly the machinery the paper adds: branch lowering, carrier
-selection, hoisting, and the two emulators' control flow.
+assignments over a small variable pool) and checks that the baseline
+machine, the branch-register machine, and Python all agree on the final
+state.  This stresses exactly the machinery the paper adds: branch
+lowering, carrier selection, hoisting, and the two emulators' control
+flow.
+
+Program rendering and the Python reference model live in
+:mod:`repro.fault.progen`, shared with the seeded differential fuzzer
+(``repro fuzz``) so both fuzzers agree on generated-program semantics;
+hypothesis supplies the search strategy here, while the fault package's
+:class:`random.Random`-driven generator supplies CI-reproducible seeds.
 """
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.emu.intmath import wrap
+from repro.fault.progen import (
+    BINOPS,
+    MAX_LOOP,
+    VARS,
+    expected_output,
+    program_source,
+)
 from tests.conftest import run_both
-
-VARS = ("a", "b", "c", "d")
 
 
 @st.composite
@@ -24,7 +34,7 @@ def expressions(draw):
         return str(draw(st.integers(min_value=-50, max_value=50)))
     if kind == 1:
         return draw(st.sampled_from(VARS))
-    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+    op = draw(st.sampled_from(BINOPS))
     left = draw(st.sampled_from(VARS))
     right = draw(st.integers(min_value=-20, max_value=20))
     return "(%s %s %s)" % (left, op, right)
@@ -44,7 +54,7 @@ def statements(draw, depth):
         then = draw(block(depth - 1))
         other = draw(block(depth - 1)) if draw(st.booleans()) else None
         return [("if", cond, then, other)]
-    iterations = draw(st.integers(min_value=0, max_value=5))
+    iterations = draw(st.integers(min_value=0, max_value=MAX_LOOP))
     body = draw(block(depth - 1))
     return [("loop", iterations, body)]
 
@@ -57,79 +67,8 @@ def block(draw, depth):
     return out
 
 
-_LOOP_COUNTER = [0]
-
-
-def render_c(stmts, indent="    "):
-    lines = []
-    for stmt in stmts:
-        if stmt[0] == "assign":
-            lines.append("%s%s = %s;" % (indent, stmt[1], stmt[2]))
-        elif stmt[0] == "augment":
-            lines.append("%s%s += %s;" % (indent, stmt[1], stmt[2]))
-        elif stmt[0] == "if":
-            lines.append("%sif (%s) {" % (indent, stmt[1]))
-            lines.extend(render_c(stmt[2], indent + "    "))
-            if stmt[3] is not None:
-                lines.append("%s} else {" % indent)
-                lines.extend(render_c(stmt[3], indent + "    "))
-            lines.append("%s}" % indent)
-        else:  # loop
-            _LOOP_COUNTER[0] += 1
-            counter = "t%d" % _LOOP_COUNTER[0]
-            lines.append("%s{" % indent)
-            lines.append("%s    int %s = %d;" % (indent, counter, stmt[1]))
-            lines.append("%s    while (%s > 0) {" % (indent, counter))
-            lines.append("%s        %s = %s - 1;" % (indent, counter, counter))
-            lines.extend(render_c(stmt[2], indent + "        "))
-            lines.append("%s    }" % indent)
-            lines.append("%s}" % indent)
-    return lines
-
-
-def evaluate_expr(text, env):
-    """Evaluate a generated expression with 32-bit C semantics."""
-    expr = text
-    for var in VARS:
-        expr = expr.replace(var, "env['%s']" % var)
-    value = eval(expr, {"env": env})  # noqa: S307 - generated by us
-    return wrap(value)
-
-
-def interpret(stmts, env):
-    for stmt in stmts:
-        if stmt[0] == "assign":
-            env[stmt[1]] = evaluate_expr(stmt[2], env)
-        elif stmt[0] == "augment":
-            env[stmt[1]] = wrap(env[stmt[1]] + evaluate_expr(stmt[2], env))
-        elif stmt[0] == "if":
-            if evaluate_expr(stmt[1], env):
-                interpret(stmt[2], env)
-            elif stmt[3] is not None:
-                interpret(stmt[3], env)
-        else:
-            for _ in range(stmt[1]):
-                interpret(stmt[2], env)
-
-
 @settings(max_examples=20, deadline=None, suppress_health_check=list(HealthCheck))
 @given(block(depth=2))
 def test_structured_program_matches_python_model(stmts):
-    _LOOP_COUNTER[0] = 0
-    body = "\n".join(render_c(stmts))
-    source = """
-int main() {
-    int a = 1; int b = 2; int c = 3; int d = 4;
-%s
-    print_int(a); putchar(' ');
-    print_int(b); putchar(' ');
-    print_int(c); putchar(' ');
-    print_int(d); putchar(10);
-    return 0;
-}
-""" % body
-    env = {"a": 1, "b": 2, "c": 3, "d": 4}
-    interpret(stmts, env)
-    expected = "%d %d %d %d\n" % (env["a"], env["b"], env["c"], env["d"])
-    pair = run_both(source)
-    assert pair.output.decode() == expected
+    pair = run_both(program_source(stmts))
+    assert pair.output.decode() == expected_output(stmts)
