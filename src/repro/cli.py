@@ -36,6 +36,12 @@ Usage (``python -m repro [-v|-q] <command> ...``):
 
 ``-v``/``-vv`` raise and ``-q`` lowers the diagnostic log level on the
 shared ``repro`` logger (stderr); report/table output stays on stdout.
+
+Suite-running commands (``run``, ``table1``, ``cycles``, ``report``,
+``oracle``, ``fuzz``) accept ``--jobs N`` to fan the emulations out
+across worker processes backed by the persistent artifact cache; the
+``REPRO_JOBS`` environment variable sets the default and results are
+identical at any job count (see ``docs/PERFORMANCE.md``).
 """
 
 import argparse
@@ -68,13 +74,28 @@ def _print_json(payload):
     sys.stdout.write("\n")
 
 
+def _add_jobs_arg(parser):
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the emulations (default: $REPRO_JOBS, "
+        "else 1; results are identical at any job count)",
+    )
+
+
 def cmd_run(args):
     from repro.obs.manifest import stats_to_dict
 
     source = _read(args.file)
     stdin = _read_bytes(args.stdin)
     if args.machine == "both":
-        pair = run_pair(source, stdin=stdin, name=args.file)
+        if args.jobs is not None and args.jobs > 1:
+            from repro.harness.parallel import run_pair_parallel
+
+            pair = run_pair_parallel(
+                source, stdin=stdin, name=args.file, jobs=args.jobs
+            )
+        else:
+            pair = run_pair(source, stdin=stdin, name=args.file)
         if args.json:
             _print_json(
                 {
@@ -169,7 +190,7 @@ def cmd_table1(args):
 
     subset = tuple(args.subset.split(",")) if args.subset else None
     try:
-        result = run_table1(subset=subset)
+        result = run_table1(subset=subset, jobs=args.jobs)
     except ValueError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
@@ -214,7 +235,9 @@ def cmd_cycles(args):
     stages = tuple(int(s) for s in args.stages.split(","))
     subset = tuple(args.subset.split(",")) if args.subset else None
     try:
-        result = run_cycle_estimate(stages_list=stages, subset=subset)
+        result = run_cycle_estimate(
+            stages_list=stages, subset=subset, jobs=args.jobs
+        )
     except ValueError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
@@ -321,6 +344,8 @@ def cmd_report(args):
             events_path=args.events,
             fault_tolerant=args.fault_tolerant,
             deadline_s=args.deadline,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir if args.cache_dir else False,
         )
     except ValueError as exc:  # e.g. unknown workload names
         print("error: %s" % exc, file=sys.stderr)
@@ -340,7 +365,7 @@ def cmd_oracle(args):
 
     subset = tuple(args.subset.split(",")) if args.subset else None
     try:
-        results = check_workloads(names=subset, limit=args.limit)
+        results = check_workloads(names=subset, limit=args.limit, jobs=args.jobs)
     except ValueError as exc:  # unknown workload names
         print("error: %s" % exc, file=sys.stderr)
         return 2
@@ -388,6 +413,7 @@ def cmd_fuzz(args):
         depth=args.depth,
         artifacts_dir=args.artifacts,
         limit=args.limit,
+        jobs=args.jobs,
     )
     if args.json:
         _print_json(report)
@@ -511,6 +537,7 @@ def build_parser():
     p_run.add_argument(
         "--json", action="store_true", help="emit stats as JSON instead of tables"
     )
+    _add_jobs_arg(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_asm = sub.add_parser("asm", help="print generated RTLs")
@@ -536,6 +563,7 @@ def build_parser():
     p_t1.add_argument(
         "--json", action="store_true", help="emit the table data as JSON"
     )
+    _add_jobs_arg(p_t1)
     p_t1.set_defaults(func=cmd_table1)
 
     p_cy = sub.add_parser("cycles", help="Section 7 cycle estimates")
@@ -544,6 +572,7 @@ def build_parser():
     p_cy.add_argument(
         "--json", action="store_true", help="emit the estimates as JSON"
     )
+    _add_jobs_arg(p_cy)
     p_cy.set_defaults(func=cmd_cycles)
 
     sub.add_parser("figures", help="Figures 2-9").set_defaults(func=cmd_figures)
@@ -591,6 +620,12 @@ def build_parser():
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="per-emulation wall-clock watchdog (WatchdogTimeout on breach)",
     )
+    p_rep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="serve compiles from this artifact cache (off by default so "
+        "the phase profile reflects real compiles)",
+    )
+    _add_jobs_arg(p_rep)
     p_rep.set_defaults(func=cmd_report)
 
     p_or = sub.add_parser(
@@ -602,6 +637,7 @@ def build_parser():
     p_or.add_argument(
         "--json", action="store_true", help="emit the verdict as JSON"
     )
+    _add_jobs_arg(p_or)
     p_or.set_defaults(func=cmd_oracle)
 
     p_fz = sub.add_parser(
@@ -621,6 +657,7 @@ def build_parser():
     p_fz.add_argument(
         "--json", action="store_true", help="emit the fuzz report as JSON"
     )
+    _add_jobs_arg(p_fz)
     p_fz.set_defaults(func=cmd_fuzz)
 
     p_tg = sub.add_parser(

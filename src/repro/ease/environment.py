@@ -47,14 +47,19 @@ class PairResult:
         return self.branchreg.data_refs / self.baseline.data_refs - 1.0
 
 
-def compile_for_machine(source, machine, **codegen_options):
+def compile_for_machine(source, machine, cache=None, **codegen_options):
     """Compile SmallC source to a loaded Image for one machine.
 
     ``machine`` is "baseline" or "branchreg".  ``codegen_options`` are
     forwarded to the code generator (the branch-register generator accepts
     ``hoisting``/``fill_carriers``/``replace_noops`` and ``spec`` for the
-    Section 9 ablations).
+    Section 9 ablations).  ``cache`` is an optional
+    :class:`~repro.harness.parallel.ArtifactCache`: when set, the image
+    is served from the persistent compile cache (and compiled into it on
+    a miss) instead of always being rebuilt from source.
     """
+    if cache is not None:
+        return cache.get_image(source, machine, codegen_options)
     program = compile_to_ir(source)
     if machine == "baseline":
         mprog = generate_baseline(program, **codegen_options)
@@ -67,15 +72,16 @@ def compile_for_machine(source, machine, **codegen_options):
 
 def run_on_machine(
     source, machine, stdin=b"", limit=None, name="", observer=None,
-    profiler=None, deadline_s=None, record_edges=False, **options
+    profiler=None, deadline_s=None, record_edges=False, cache=None, **options
 ):
     """Compile and run one program on one machine; returns RunStats.
 
     ``deadline_s`` arms the wall-clock watchdog and ``record_edges``
     keeps the post-mortem control-flow ring buffer (both select the
     emulators' hardened run loop; see ``docs/ROBUSTNESS.md``).
+    ``cache`` forwards to :func:`compile_for_machine`.
     """
-    image = compile_for_machine(source, machine, **options)
+    image = compile_for_machine(source, machine, cache=cache, **options)
     log.debug("emulating %s on %s", name or "<anonymous>", machine)
     with span("emulate", machine=machine):
         if machine == "baseline":
@@ -91,20 +97,11 @@ def run_on_machine(
         )
 
 
-def run_pair(
-    source, stdin=b"", limit=None, name="", branchreg_options=None,
-    observer=None, deadline_s=None, record_edges=False,
-):
-    """Run one program on both machines and cross-check the outputs."""
-    base_stats = run_on_machine(
-        source, "baseline", stdin=stdin, limit=limit, name=name,
-        observer=observer, deadline_s=deadline_s, record_edges=record_edges,
-    )
-    br_stats = run_on_machine(
-        source, "branchreg", stdin=stdin, limit=limit, name=name,
-        observer=observer, deadline_s=deadline_s, record_edges=record_edges,
-        **(branchreg_options or {}),
-    )
+def crosscheck_pair(name, base_stats, br_stats):
+    """Verify the two machines agreed on output and exit status; raises
+    :class:`MachineDivergence` otherwise.  Shared by the serial
+    :func:`run_pair` and the worker-pool pair runner in
+    :mod:`repro.harness.parallel`."""
     if base_stats.output != br_stats.output:
         raise MachineDivergence(
             "machines disagree on %s: baseline %r... vs branchreg %r..."
@@ -117,4 +114,22 @@ def run_pair(
             % (name, base_stats.exit_code, br_stats.exit_code),
             mismatches=["exit_code"],
         )
+
+
+def run_pair(
+    source, stdin=b"", limit=None, name="", branchreg_options=None,
+    observer=None, deadline_s=None, record_edges=False, cache=None,
+):
+    """Run one program on both machines and cross-check the outputs."""
+    base_stats = run_on_machine(
+        source, "baseline", stdin=stdin, limit=limit, name=name,
+        observer=observer, deadline_s=deadline_s, record_edges=record_edges,
+        cache=cache,
+    )
+    br_stats = run_on_machine(
+        source, "branchreg", stdin=stdin, limit=limit, name=name,
+        observer=observer, deadline_s=deadline_s, record_edges=record_edges,
+        cache=cache, **(branchreg_options or {}),
+    )
+    crosscheck_pair(name, base_stats, br_stats)
     return PairResult(name=name, baseline=base_stats, branchreg=br_stats)

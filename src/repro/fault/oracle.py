@@ -140,15 +140,53 @@ def run_differential(
     )
 
 
-def check_workloads(names=None, limit=DEFAULT_LIMIT, branchreg_options=None):
+def _oracle_task(task):
+    """Worker-process body for one :func:`check_workloads` program.
+    Module-level so it pickles; raises the typed error on divergence
+    (typed errors pickle back to the parent intact)."""
+    name, source, stdin, limit, options = task
+    return run_differential(
+        source, stdin=stdin, limit=limit, name=name,
+        branchreg_options=dict(options) if options else None,
+    )
+
+
+def check_workloads(
+    names=None, limit=DEFAULT_LIMIT, branchreg_options=None, jobs=None
+):
     """Run the differential oracle over the workload suite.
 
     Returns the list of :class:`DifferentialResult`; raises on the
     first divergence.  Unlike :func:`repro.harness.runner.run_suite`
     this also compares final data segments, which the per-pair check in
-    the experiment environment does not."""
+    the experiment environment does not.
+
+    ``jobs`` fans the per-program checks out across worker processes
+    (default ``REPRO_JOBS``, else serial).  Results keep Appendix I
+    registry order, and a divergence still surfaces as the
+    registry-earliest failing program's typed error."""
+    from repro.harness.parallel import default_jobs, map_tasks
+
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    selected = resolve_workloads(tuple(names) if names is not None else None)
+    if jobs > 1 and len(selected) > 1:
+        log.info(
+            "differential oracle: %d workloads across %d jobs",
+            len(selected), jobs,
+        )
+        tasks = [
+            (
+                w.name,
+                w.source,
+                w.stdin_bytes(),
+                limit,
+                tuple(sorted((branchreg_options or {}).items())),
+            )
+            for w in selected
+        ]
+        return list(map_tasks(_oracle_task, tasks, jobs))
     results = []
-    for w in resolve_workloads(tuple(names) if names is not None else None):
+    for w in selected:
         log.info("differential oracle: %s", w.name)
         results.append(
             run_differential(
@@ -188,24 +226,100 @@ def _still_fails(stmts, limit):
     return False
 
 
+def _fuzz_task(task):
+    """Worker-process body for one fuzz case: check the generated
+    program and, on failure, delta-debug it to a minimal reproducer.
+    Returns None on success, else a partial failure record (the parent
+    stamps the seed and writes artifacts)."""
+    index, stmts, limit = task
+    try:
+        _check_generated(stmts, limit)
+    except ReproError as exc:
+        minimized = minimize(stmts, lambda s: _still_fails(s, limit))
+        return {
+            "index": index,
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "source": program_source(minimized),
+        }
+    return None
+
+
+def _write_fuzz_artifact(record, artifacts_dir, seed):
+    os.makedirs(artifacts_dir, exist_ok=True)
+    path = os.path.join(
+        artifacts_dir, "repro_seed%d_case%d.c" % (seed, record["index"])
+    )
+    with open(path, "w") as handle:
+        handle.write(
+            "/* differential fuzz failure\n"
+            " * seed=%d case=%d\n"
+            " * %s: %s\n"
+            " */\n%s"
+            % (seed, record["index"], record["error"],
+               record["message"], record["source"])
+        )
+    return path
+
+
 def fuzz_differential(
     count=200, seed=0, limit=FUZZ_LIMIT, depth=2, artifacts_dir=None,
-    max_failures=5,
+    max_failures=5, jobs=None,
 ):
     """Differential fuzzing: ``count`` seeded random programs, each an
     equivalence witness across baseline, branch-register, and Python.
 
-    Deterministic for a given (count, seed, depth).  Failing cases are
-    delta-debugged to a minimal reproducer; when ``artifacts_dir`` is
-    set each reproducer is written there as a ``.c`` file with the
-    failure recorded in a comment header.  Stops early after
-    ``max_failures`` distinct failures.
+    Deterministic for a given (count, seed, depth) at any job count:
+    the programs are always drawn from one sequential RNG stream in the
+    parent, so ``jobs`` (default ``REPRO_JOBS``, else serial) only
+    decides how many worker processes check and minimise cases
+    concurrently.  Failing cases are delta-debugged to a minimal
+    reproducer; when ``artifacts_dir`` is set each reproducer is
+    written there as a ``.c`` file with the failure recorded in a
+    comment header.  Stops early after ``max_failures`` distinct
+    failures (a parallel run may check later cases speculatively, but
+    the report is truncated at the same case a serial run stops at).
 
     Returns a report dict: ``{"count", "seed", "checked", "failures"}``.
     """
+    from repro.harness.parallel import default_jobs, map_tasks
+
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
     rng = random.Random(seed)
     failures = []
     checked = 0
+    if jobs > 1:
+        tasks = [
+            (index, random_program(rng, depth=depth), limit)
+            for index in range(count)
+        ]
+        for outcome in map_tasks(_fuzz_task, tasks, jobs):
+            checked += 1
+            if outcome is None:
+                continue
+            log.warning(
+                "fuzz case %d failed: %s", outcome["index"], outcome["message"]
+            )
+            record = {
+                "index": outcome["index"],
+                "seed": seed,
+                "error": outcome["error"],
+                "message": outcome["message"],
+                "source": outcome["source"],
+            }
+            if artifacts_dir:
+                record["artifact"] = _write_fuzz_artifact(
+                    record, artifacts_dir, seed
+                )
+            failures.append(record)
+            if len(failures) >= max_failures:
+                break
+        return {
+            "count": count,
+            "seed": seed,
+            "checked": checked,
+            "failures": failures,
+        }
     for index in range(count):
         stmts = random_program(rng, depth=depth)
         checked += 1
@@ -222,20 +336,9 @@ def fuzz_differential(
                 "source": program_source(minimized),
             }
             if artifacts_dir:
-                os.makedirs(artifacts_dir, exist_ok=True)
-                path = os.path.join(
-                    artifacts_dir, "repro_seed%d_case%d.c" % (seed, index)
+                record["artifact"] = _write_fuzz_artifact(
+                    record, artifacts_dir, seed
                 )
-                with open(path, "w") as handle:
-                    handle.write(
-                        "/* differential fuzz failure\n"
-                        " * seed=%d case=%d\n"
-                        " * %s: %s\n"
-                        " */\n%s"
-                        % (seed, index, record["error"],
-                           record["message"], record["source"])
-                    )
-                record["artifact"] = path
             failures.append(record)
             if len(failures) >= max_failures:
                 break

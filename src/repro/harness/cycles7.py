@@ -13,10 +13,11 @@ from repro.harness.runner import run_suite, suite_summary
 from repro.pipeline.model import estimate_all
 
 
-def run_cycle_estimate(stages_list=(3, 4, 5), subset=None, limit=None):
-    """Returns {"estimates": [per-stage dicts], "text": table}."""
+def run_cycle_estimate(stages_list=(3, 4, 5), subset=None, limit=None, jobs=None):
+    """Returns {"estimates": [per-stage dicts], "text": table}.
+    ``jobs`` forwards to :func:`run_suite` for worker-pool fan-out."""
     kwargs = {} if limit is None else {"limit": limit}
-    pairs = run_suite(subset=subset, **kwargs)
+    pairs = run_suite(subset=subset, jobs=jobs, **kwargs)
     baseline, branchreg = suite_summary(pairs)
     estimates = [
         estimate_all(baseline, branchreg, stages=stages) for stages in stages_list

@@ -1,0 +1,394 @@
+"""Parallel suite execution and the persistent artifact cache.
+
+The paper's EASE workflow is embarrassingly parallel: each of the 19
+Appendix I programs is compiled and emulated on both machines completely
+independently.  This module exploits that twice over:
+
+* :func:`run_suite_parallel` fans each (workload, machine-pair) emulation
+  out to a :class:`~concurrent.futures.ProcessPoolExecutor` worker and
+  deterministically reassembles the results in Appendix I registry order,
+  so ``--jobs N`` produces results identical to a serial run regardless
+  of completion order (``docs/PERFORMANCE.md`` states the guarantee;
+  ``tests/test_parallel.py`` enforces it);
+* :class:`ArtifactCache` is a persistent, content-addressed compile cache
+  keyed by SHA-256 of (source, machine, codegen options, package
+  version), so each image is built once per *configuration* ever -- not
+  once per process -- and configuration sweeps stop paying the frontend /
+  optimizer / codegen cost on every run.
+
+Observability crosses the process boundary explicitly: every worker
+accumulates into its own freshly-reset metrics registry, span recorder,
+and event sink, pickles the snapshots back, and the parent folds them
+into the global recorders in registry order (``METRICS.merge_snapshot``,
+``RECORDER.merge_rows``, ``events.replay``).  Failure records from
+fault-tolerant runs travel the same way, so run manifests, ``repro
+report``, ``repro diff --paper``, and ``repro triage`` behave identically
+under ``--jobs N``.
+"""
+
+import concurrent.futures
+import hashlib
+import os
+import pickle
+import zlib
+
+from repro.emu.loader import Image
+from repro.errors import ReproError
+from repro.obs import METRICS, events, log, span
+from repro.obs.emuobs import EmulationObserver
+from repro.obs.spans import RECORDER
+from repro.workloads import workload
+
+
+def default_jobs():
+    """Worker-process count from the ``REPRO_JOBS`` environment variable;
+    1 (serial) when unset, empty, or not a positive integer."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    try:
+        value = int(raw.strip() or "1")
+    except ValueError:
+        log.warning("ignoring invalid REPRO_JOBS=%r (want a positive integer)", raw)
+        return 1
+    return max(1, value)
+
+
+def resolve_cache_dir(cache_dir=None):
+    """Resolve the artifact-cache root directory.
+
+    ``None`` selects the default (``REPRO_CACHE_DIR`` if set, else
+    ``~/.cache/repro/artifacts``); ``False`` -- or setting
+    ``REPRO_CACHE_DIR`` to the empty string -- disables on-disk caching
+    entirely and returns None.
+    """
+    if cache_dir is False:
+        return None
+    if cache_dir:
+        return str(cache_dir)
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        return env or None
+    return os.path.expanduser(os.path.join("~", ".cache", "repro", "artifacts"))
+
+
+# --------------------------------------------------------------------------
+# Artifact cache
+# --------------------------------------------------------------------------
+
+def artifact_key(source, machine, codegen_options=None):
+    """Content address of one compiled image: SHA-256 over the program
+    source, the target machine, the (sorted) codegen options, and the
+    package version -- so a new release or a different ablation switch
+    can never alias a stale image."""
+    from repro import __version__
+
+    payload = repr(
+        (source, machine, sorted((codegen_options or {}).items()), __version__)
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """Persistent on-disk compile cache for loaded images.
+
+    Entries live under ``root`` as one file per (machine, key):
+    a SHA-256 checksum line followed by the zlib-compressed pickle of the
+    :class:`~repro.rtl.function.MachineProgram` (a few KB; the multi-MB
+    ``Image`` memory arrays are rebuilt from it in ~10ms, several times
+    faster than recompiling).  Loads verify the checksum and fully
+    re-assemble the image, so a corrupted or truncated entry is detected,
+    counted (``harness.artifact_cache{result=corrupt}``), deleted, and
+    rebuilt from source rather than loaded.  Writes are atomic
+    (``os.replace``), so concurrent workers racing on the same key are
+    safe: both write identical content.
+
+    A per-process in-memory layer sits on top; images it returns are
+    ``reset()`` so a previous emulation's memory mutations never leak
+    into the next run.
+    """
+
+    def __init__(self, root, registry=None):
+        self.root = str(root)
+        self.registry = registry if registry is not None else METRICS
+        self._mem = {}
+        os.makedirs(self.root, exist_ok=True)
+
+    def _count(self, result):
+        self.registry.counter("harness.artifact_cache", result=result).inc()
+
+    def _path(self, machine, key):
+        return os.path.join(self.root, "%s-%s.mpc" % (machine, key))
+
+    def get_image(self, source, machine, codegen_options=None):
+        """A loaded, pristine :class:`Image` for (source, machine,
+        options), from memory, disk, or a fresh compile -- in that order."""
+        key = artifact_key(source, machine, codegen_options)
+        image = self._mem.get(key)
+        if image is not None:
+            self._count("hit")
+            return image.reset()
+        mprog = self._load(self._path(machine, key))
+        if mprog is not None:
+            self._count("hit")
+            image = Image(mprog)
+            self._mem[key] = image
+            return image
+        self._count("miss")
+        from repro.ease.environment import compile_for_machine
+
+        image = compile_for_machine(source, machine, **(codegen_options or {}))
+        self._store(self._path(machine, key), image.mprog)
+        self._mem[key] = image
+        return image
+
+    def _load(self, path):
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return None  # absent: a plain miss
+        try:
+            digest, payload = raw.split(b"\n", 1)
+            actual = hashlib.sha256(payload).hexdigest().encode("ascii")
+            if digest != actual:
+                raise ValueError("checksum mismatch")
+            return pickle.loads(zlib.decompress(payload))
+        except Exception as exc:
+            # Poisoned / truncated entry: never load it -- count, drop,
+            # and let the caller rebuild from source.
+            self._count("corrupt")
+            log.warning("artifact cache entry %s is corrupt (%s); rebuilding",
+                        path, exc)
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def _store(self, path, mprog):
+        payload = zlib.compress(
+            pickle.dumps(mprog, protocol=pickle.HIGHEST_PROTOCOL), 6
+        )
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "wb") as handle:
+            handle.write(digest)
+            handle.write(b"\n")
+            handle.write(payload)
+        os.replace(tmp, path)
+
+
+# --------------------------------------------------------------------------
+# Worker pool
+# --------------------------------------------------------------------------
+
+#: Per-worker-process cache instances, keyed by root directory, so one
+#: worker serving many tasks reuses its in-memory image layer.
+_WORKER_CACHES = {}
+
+
+def _worker_cache(root):
+    if not root:
+        return None
+    cache = _WORKER_CACHES.get(root)
+    if cache is None:
+        cache = _WORKER_CACHES[root] = ArtifactCache(root)
+    return cache
+
+
+def map_tasks(fn, tasks, jobs):
+    """Run ``fn`` over ``tasks`` in a worker pool; results in task order.
+
+    Falls back to an in-process loop for ``jobs <= 1``, so callers need
+    no special serial branch for correctness (they may keep one for
+    byte-identical legacy behavior).  Any ``jobs > 1`` request uses the
+    pool even for a single task: worker functions are allowed to reset
+    their process's global recorders, which must never happen in the
+    parent.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or not tasks:
+        return [fn(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, tasks))
+
+
+def _run_workload_task(task):
+    """Worker entry point: run one workload on both machines.
+
+    Resets this process's global recorders so the returned snapshots
+    contain exactly this task's telemetry, captures the event stream in
+    a memory sink, and converts a tolerated typed failure into the same
+    structured record the serial runner produces.  Everything returned
+    is picklable: PairResult (RunStats), failure record dicts, metric /
+    span snapshots, and raw event dicts.
+    """
+    (name, limit, options, fault_tolerant, deadline_s, sample_every,
+     cache_root) = task
+    from repro.ease.environment import run_pair
+
+    METRICS.reset()
+    RECORDER.reset()
+    sink = events.MemorySink()
+    previous = events.set_sink(sink)
+    pair = failure = error = None
+    try:
+        w = workload(name)
+        cache = _worker_cache(cache_root)
+        observer = (
+            EmulationObserver(sample_every=sample_every) if sample_every else None
+        )
+        log.info("running workload %s on both machines", name)
+        with span("workload", name=name):
+            try:
+                pair = run_pair(
+                    w.source,
+                    stdin=w.stdin_bytes(),
+                    name=name,
+                    limit=limit,
+                    branchreg_options=dict(options) if options else None,
+                    observer=observer,
+                    deadline_s=deadline_s,
+                    record_edges=fault_tolerant,
+                    cache=cache,
+                )
+            except ReproError as exc:
+                if fault_tolerant:
+                    from repro.fault.triage import failure_record
+
+                    METRICS.counter(
+                        "harness.workload_failures", error=type(exc).__name__
+                    ).inc()
+                    log.error("workload %s failed: %s", name, exc)
+                    failure = failure_record(name, exc)
+                else:
+                    error = exc
+    finally:
+        events.set_sink(previous)
+    return {
+        "name": name,
+        "pair": pair,
+        "failure": failure,
+        "error": error,
+        "metrics": METRICS.snapshot(),
+        "spans": RECORDER.snapshot(),
+        "events": sink.events,
+    }
+
+
+def run_suite_parallel(
+    workloads,
+    limit,
+    branchreg_options=None,
+    jobs=2,
+    fault_tolerant=False,
+    deadline_s=None,
+    limit_overrides=None,
+    cache_dir=None,
+    sample_every=None,
+):
+    """Fan the suite out to worker processes; returns a ``SuiteResult``.
+
+    ``workloads`` is the already-resolved (registry-ordered) workload
+    list; results are reassembled in that order no matter which worker
+    finishes first.  Worker telemetry -- metrics, spans, failure records,
+    and the event stream (replayed into the parent's sink when one is
+    attached, merged by monotonic timestamp) -- is folded into the parent
+    recorders in the same deterministic order.
+
+    ``sample_every`` attaches a per-worker
+    :class:`~repro.obs.emuobs.EmulationObserver` (an observer object
+    itself cannot cross the process boundary).  ``cache_dir`` selects the
+    persistent artifact cache root (see :func:`resolve_cache_dir`).
+
+    When a workload raises and ``fault_tolerant`` is false, the remaining
+    tasks still complete (they are already in flight), telemetry is
+    folded for every workload up to and including the failing one, and
+    the *registry-earliest* error is re-raised -- matching which error a
+    serial run would have surfaced.
+    """
+    from repro.harness.runner import SuiteResult
+
+    jobs = max(1, int(jobs))
+    options = tuple(sorted((branchreg_options or {}).items()))
+    overrides = limit_overrides or {}
+    cache_root = resolve_cache_dir(cache_dir)
+    tasks = [
+        (
+            w.name,
+            overrides.get(w.name, limit),
+            options,
+            fault_tolerant,
+            deadline_s,
+            sample_every,
+            cache_root,
+        )
+        for w in workloads
+    ]
+    METRICS.gauge("harness.jobs").set(jobs)
+    log.info(
+        "parallel suite: %d workload(s) across %d job(s)%s",
+        len(tasks), jobs,
+        " (cache %s)" % cache_root if cache_root else "",
+    )
+    results = map_tasks(_run_workload_task, tasks, jobs)
+    pairs = []
+    failures = []
+    collected = []
+    error = None
+    for result in results:  # registry order == task order
+        METRICS.merge_snapshot(result["metrics"])
+        RECORDER.merge_rows(result["spans"])
+        collected.append(result["events"])
+        if result["error"] is not None:
+            error = result["error"]
+            break
+        if result["pair"] is not None:
+            pairs.append(result["pair"])
+        if result["failure"] is not None:
+            failures.append(result["failure"])
+    if events.enabled():
+        events.replay(events.merge_events(*collected))
+    if error is not None:
+        raise error
+    return SuiteResult(pairs, failures)
+
+
+# --------------------------------------------------------------------------
+# Parallel single-program run (``repro run --jobs``)
+# --------------------------------------------------------------------------
+
+def _run_machine_task(task):
+    """Worker entry point: compile and run one program on one machine."""
+    (source, machine, stdin, limit, name, options, cache_root) = task
+    from repro.ease.environment import run_on_machine
+
+    return run_on_machine(
+        source,
+        machine,
+        stdin=stdin,
+        limit=limit,
+        name=name,
+        cache=_worker_cache(cache_root),
+        **(dict(options) if options else {}),
+    )
+
+
+def run_pair_parallel(
+    source, stdin=b"", limit=None, name="", branchreg_options=None,
+    jobs=2, cache_dir=None,
+):
+    """Run one program on both machines concurrently and cross-check the
+    outputs -- the two-process analogue of
+    :func:`repro.ease.environment.run_pair`."""
+    from repro.ease.environment import PairResult, crosscheck_pair
+
+    options = tuple(sorted((branchreg_options or {}).items()))
+    cache_root = resolve_cache_dir(cache_dir)
+    base_task = (source, "baseline", stdin, limit, name, (), cache_root)
+    br_task = (source, "branchreg", stdin, limit, name, options, cache_root)
+    base_stats, br_stats = map_tasks(
+        _run_machine_task, [base_task, br_task], jobs
+    )
+    crosscheck_pair(name, base_stats, br_stats)
+    return PairResult(name=name, baseline=base_stats, branchreg=br_stats)

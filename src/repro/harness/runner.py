@@ -1,9 +1,13 @@
-"""Shared suite runner with memoisation.
+"""Shared suite runner with memoisation and optional parallel fan-out.
 
 Emulating the full 19-program suite on both machines takes tens of
 seconds; every experiment harness shares the results through this module's
 cache so that ``pytest benchmarks/`` does each distinct configuration only
-once per process.
+once per process.  With ``jobs > 1`` (or ``REPRO_JOBS`` set) the suite
+additionally fans out across worker processes through
+:mod:`repro.harness.parallel`, whose persistent artifact cache means each
+image is compiled once per configuration ever -- see
+``docs/PERFORMANCE.md``.
 
 Observability: every suite run records a ``workload`` span per program
 (the per-workload durations that feed the run manifest), and the memo
@@ -35,6 +39,12 @@ class SuiteResult(list):
         super().__init__(pairs)
         self.failures = list(failures or [])
 
+    def copy(self):
+        """Shallow copy: a fresh list and failures list over the same
+        (immutable) PairResult objects, so callers may mutate the copy
+        without corrupting anyone else's view."""
+        return SuiteResult(self, self.failures)
+
 # A fast subset with one program of each character (byte loops, recursion,
 # FP, sorting, compiler) for experiments that sweep many configurations.
 FAST_SUBSET = ("wc", "grep", "puzzle", "spline", "sort", "vpcc")
@@ -42,9 +52,12 @@ FAST_SUBSET = ("wc", "grep", "puzzle", "spline", "sort", "vpcc")
 
 def resolve_workloads(names=None):
     """Workload objects for ``names`` (all 19 when None), always in
-    Appendix I registry order.  Raises ValueError for unknown names with
-    the same wording everywhere a subset is accepted (run_suite, the
-    report driver, ``repro profile``)."""
+    Appendix I registry order.  Raises ValueError for unknown or
+    duplicated names with the same wording everywhere a subset is
+    accepted (run_suite, the report driver, ``repro profile``).
+    Duplicates are rejected rather than collapsed because the memo cache
+    keys on the *requested* name tuple: ``("wc", "wc")`` and ``("wc",)``
+    would silently alias the same single-run result under two keys."""
     workloads = all_workloads()
     if names is None:
         return workloads
@@ -55,8 +68,18 @@ def resolve_workloads(names=None):
             "unknown workload(s): %s (see 'repro workloads')"
             % ", ".join(unknown)
         )
-    wanted = set(names)
-    return [w for w in workloads if w.name in wanted]
+    seen = set()
+    duplicates = []
+    for n in names:
+        if n in seen and n not in duplicates:
+            duplicates.append(n)
+        seen.add(n)
+    if duplicates:
+        raise ValueError(
+            "duplicate workload(s): %s (see 'repro workloads')"
+            % ", ".join(duplicates)
+        )
+    return [w for w in workloads if w.name in seen]
 
 
 def run_suite(
@@ -68,6 +91,9 @@ def run_suite(
     fault_tolerant=False,
     deadline_s=None,
     limit_overrides=None,
+    jobs=None,
+    cache_dir=None,
+    sample_every=None,
 ):
     """Run (or reuse) the suite; returns a :class:`SuiteResult`.
 
@@ -76,11 +102,28 @@ def run_suite(
     branch-register code generator.  ``observer`` attaches a
     :class:`repro.obs.emuobs.EmulationObserver` to every emulation.
 
+    ``jobs`` fans the per-workload emulations out across that many worker
+    processes (default: the ``REPRO_JOBS`` environment variable, else 1).
+    Serial runs (``jobs=1``) keep the historical behavior exactly;
+    parallel runs produce identical results, reassembled in Appendix I
+    registry order, with worker telemetry folded back into the global
+    recorders (see ``docs/PERFORMANCE.md``).  An in-process ``observer``
+    cannot cross process boundaries, so passing one forces a serial run;
+    parallel runs take ``sample_every`` instead, which gives each worker
+    its own observer.  ``cache_dir`` selects the persistent artifact
+    cache root (None = the ``REPRO_CACHE_DIR``/platform default for
+    parallel runs and *no* cache for serial runs, preserving their
+    historical metrics; False = disabled).
+
     The memo cache is keyed only on (subset, limit, branchreg options),
     so any argument outside that key -- an observer, fault tolerance, a
     wall-clock deadline, per-workload limit overrides -- forces a fresh
     uncached run; returning another caller's cached result (or caching
-    a run that a fault cut short) would silently lie.
+    a run that a fault cut short) would silently lie.  Parallel runs
+    share the serial key: their results are identical by construction.
+    Cache hits return a shallow *copy* (the pairs are immutable
+    dataclasses), so a caller mutating its result list or ``failures``
+    cannot corrupt what later callers receive.
 
     ``fault_tolerant=True`` keeps going when a workload raises a typed
     :class:`~repro.errors.ReproError`: the failure becomes a structured
@@ -90,10 +133,19 @@ def run_suite(
     alongside the instruction budget; ``limit_overrides`` maps workload
     name -> instruction limit for that workload only.
     """
+    from repro.harness.parallel import default_jobs
+
     names = tuple(subset) if subset is not None else None
     selected = resolve_workloads(names)
     options = tuple(sorted((branchreg_options or {}).items()))
     key = (names, limit, options)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    if jobs > 1 and observer is not None:
+        log.debug(
+            "an in-process observer cannot cross process boundaries; "
+            "running the suite serially (pass sample_every= instead)"
+        )
+        jobs = 1
     uncacheable = (
         observer is not None
         or fault_tolerant
@@ -106,8 +158,56 @@ def run_suite(
     if use_cache and key in _CACHE:
         METRICS.counter("harness.suite_cache", result="hit").inc()
         log.debug("suite cache hit for subset=%s", names or "all")
-        return _CACHE[key]
+        return _CACHE[key].copy()
     METRICS.counter("harness.suite_cache", result="miss").inc()
+    if jobs > 1:
+        from repro.harness.parallel import run_suite_parallel
+
+        result = run_suite_parallel(
+            selected,
+            limit,
+            branchreg_options=branchreg_options,
+            jobs=jobs,
+            fault_tolerant=fault_tolerant,
+            deadline_s=deadline_s,
+            limit_overrides=limit_overrides,
+            cache_dir=cache_dir,
+            sample_every=sample_every,
+        )
+    else:
+        result = _run_suite_serial(
+            selected,
+            limit,
+            branchreg_options=branchreg_options,
+            observer=observer,
+            fault_tolerant=fault_tolerant,
+            deadline_s=deadline_s,
+            limit_overrides=limit_overrides,
+            cache_dir=cache_dir,
+        )
+    if use_cache:
+        # Store a private copy so mutations of the returned result can
+        # never reach (and corrupt) later cache hits.
+        _CACHE[key] = result.copy()
+    return result
+
+
+def _run_suite_serial(
+    selected,
+    limit,
+    branchreg_options=None,
+    observer=None,
+    fault_tolerant=False,
+    deadline_s=None,
+    limit_overrides=None,
+    cache_dir=None,
+):
+    """The historical in-process suite loop."""
+    cache = None
+    if cache_dir:
+        from repro.harness.parallel import ArtifactCache
+
+        cache = ArtifactCache(str(cache_dir))
     pairs = []
     failures = []
     overrides = limit_overrides or {}
@@ -125,6 +225,7 @@ def run_suite(
                         observer=observer,
                         deadline_s=deadline_s,
                         record_edges=fault_tolerant,
+                        cache=cache,
                     )
                 )
             except ReproError as exc:
@@ -137,10 +238,7 @@ def run_suite(
                 ).inc()
                 log.error("workload %s failed: %s", w.name, exc)
                 failures.append(failure_record(w.name, exc))
-    result = SuiteResult(pairs, failures)
-    if use_cache:
-        _CACHE[key] = result
-    return result
+    return SuiteResult(pairs, failures)
 
 
 def suite_summary(pairs):

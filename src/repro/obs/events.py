@@ -1,11 +1,22 @@
 """Structured event stream: JSON-lines sinks for telemetry events.
 
-Events are flat dicts with a ``type``, a wall-clock timestamp ``t``, and
-arbitrary JSON-serialisable fields.  By default no sink is attached and
-:func:`emit` is a single ``is None`` test -- the hot paths stay effectively
-free.  Attach a :class:`MemorySink` (tests, in-process analysis) or a
-:class:`JsonlSink` (one JSON object per line, the interchange format the
-run-report tooling and external consumers read) to capture the stream.
+Events are flat dicts with a ``type``, two timestamps, and arbitrary
+JSON-serialisable fields.  Every event carries both clocks:
+
+* ``t`` -- wall-clock ``time.time()``, for correlating with the outside
+  world (logs, CI timestamps);
+* ``t_mono`` -- monotonic ``time.perf_counter()``, the same clock spans
+  use, so event and span timelines can be correlated and ordering
+  survives NTP steps (wall clocks can go backwards; ``t_mono`` cannot).
+  On Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, which is shared by
+  every process on the machine, so ``t_mono`` also totally orders events
+  merged from parallel worker processes (see :func:`merge_events`).
+
+By default no sink is attached and :func:`emit` is a single ``is None``
+test -- the hot paths stay effectively free.  Attach a :class:`MemorySink`
+(tests, in-process analysis) or a :class:`JsonlSink` (one JSON object per
+line, the interchange format the run-report tooling and external
+consumers read) to capture the stream.
 """
 
 import json
@@ -35,9 +46,38 @@ def emit(etype, **fields):
     sink = _SINK
     if sink is None:
         return
-    event = {"type": etype, "t": time.time()}
+    event = {"type": etype, "t": time.time(), "t_mono": time.perf_counter()}
     event.update(fields)
     sink.emit(event)
+
+
+def merge_events(*event_lists):
+    """Merge already-stamped event lists into one monotonic timeline.
+
+    Used by the parallel suite runner to fold per-worker event streams
+    back into a single stream: sorting is by ``t_mono`` (the cross-process
+    monotonic clock), never by wall-clock ``t``, so an NTP step during a
+    run cannot reorder the merged timeline.  Events predating the
+    ``t_mono`` stamp (old captures) sort first, preserving their relative
+    order -- ``sorted`` is stable.
+    """
+    merged = [event for events_ in event_lists for event in events_]
+    merged.sort(key=lambda event: event.get("t_mono", float("-inf")))
+    return merged
+
+
+def replay(event_list):
+    """Re-emit already-stamped events to the active sink (no-op when none
+    attached).  Unlike :func:`emit` this preserves the original ``t`` /
+    ``t_mono`` stamps, which is what makes cross-process folding honest:
+    the merged stream records when each event actually happened in its
+    worker, not when the parent collected it."""
+    sink = _SINK
+    if sink is None:
+        return 0
+    for event in event_list:
+        sink.emit(event)
+    return len(event_list)
 
 
 class MemorySink:

@@ -25,11 +25,15 @@ from dataclasses import fields as dataclass_fields
 #: tree and command that produced it.  Version 3 adds the optional
 #: ``failures`` section emitted by fault-tolerant suite runs: one
 #: structured post-mortem record per workload that raised a typed error
-#: (see ``repro.fault.triage``).  Older manifests are still accepted on
-#: load so ``repro diff`` can compare against old artifacts.
+#: (see ``repro.fault.triage``).  Version 4 adds the optional
+#: ``parallel`` section emitted by ``--jobs N`` runs: the worker count
+#: plus the persistent artifact cache's hit/miss/corrupt counters (see
+#: ``docs/PERFORMANCE.md``).  Older manifests are still accepted on load
+#: so ``repro diff`` can compare against old artifacts.
 SCHEMA_V1 = "repro.run-manifest/1"
 SCHEMA_V2 = "repro.run-manifest/2"
-SCHEMA_ID = "repro.run-manifest/3"
+SCHEMA_V3 = "repro.run-manifest/3"
+SCHEMA_ID = "repro.run-manifest/4"
 
 
 class ManifestError(ValueError):
@@ -180,6 +184,24 @@ _FAILURE_SCHEMA = {
     },
 }
 
+_PARALLEL_SCHEMA = {
+    "type": "object",
+    "required": ["jobs"],
+    "properties": {
+        "jobs": {"type": "integer"},
+        "artifact_cache": {
+            "type": "object",
+            "required": ["hits", "misses", "corrupt"],
+            "properties": {
+                "hits": {"type": "integer"},
+                "misses": {"type": "integer"},
+                "corrupt": {"type": "integer"},
+                "dir": {"type": ["string", "null"]},
+            },
+        },
+    },
+}
+
 MANIFEST_SCHEMA = {
     "type": "object",
     "required": [
@@ -195,7 +217,10 @@ MANIFEST_SCHEMA = {
         "metrics",
     ],
     "properties": {
-        "schema": {"type": "string", "enum": [SCHEMA_V1, SCHEMA_V2, SCHEMA_ID]},
+        "schema": {
+            "type": "string",
+            "enum": [SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_ID],
+        },
         "created_unix": {"type": "number"},
         "duration_s": {"type": "number"},
         "provenance": {
@@ -257,6 +282,7 @@ MANIFEST_SCHEMA = {
         "phases": {"type": "array", "items": _PHASE_SCHEMA},
         "phase_totals": {"type": "object"},
         "failures": {"type": "array", "items": _FAILURE_SCHEMA},
+        "parallel": _PARALLEL_SCHEMA,
         "metrics": {
             "type": "object",
             "required": ["counters", "gauges", "histograms"],
@@ -318,6 +344,21 @@ def validate_manifest(doc, schema=None):
 # Building
 # --------------------------------------------------------------------------
 
+def artifact_cache_counters(metrics_snapshot):
+    """Extract the artifact-cache hit/miss/corrupt counts from a metrics
+    snapshot (the ``harness.artifact_cache`` counter family); all zero
+    when the run never touched the cache."""
+    counts = {"hits": 0, "misses": 0, "corrupt": 0}
+    mapping = {"hit": "hits", "miss": "misses", "corrupt": "corrupt"}
+    for row in metrics_snapshot.get("counters", ()):
+        if row["name"] != "harness.artifact_cache":
+            continue
+        bucket = mapping.get(row["labels"].get("result"))
+        if bucket:
+            counts[bucket] += int(row["value"])
+    return counts
+
+
 def build_manifest(
     pairs,
     config,
@@ -329,6 +370,7 @@ def build_manifest(
     created_unix=None,
     provenance=None,
     failures=None,
+    parallel=None,
 ):
     """Assemble (and validate) a run manifest from suite results.
 
@@ -340,7 +382,10 @@ def build_manifest(
     records a fault-tolerant run collected (omitted from the document
     when None; an empty list is recorded explicitly, so "ran fault
     tolerant, nothing failed" and "not fault tolerant" stay
-    distinguishable).
+    distinguishable).  ``parallel`` is the schema-v4 section recorded by
+    ``--jobs N`` runs ({"jobs": N, "artifact_cache": {...}}); omitted
+    when None so serial manifests stay byte-identical to v3 output apart
+    from the schema id.
     """
     from repro.emu.stats import suite_totals
 
@@ -394,6 +439,8 @@ def build_manifest(
     }
     if failures is not None:
         manifest["failures"] = list(failures)
+    if parallel is not None:
+        manifest["parallel"] = dict(parallel)
     return validate_manifest(manifest)
 
 

@@ -120,6 +120,36 @@ class MetricsRegistry:
     def __len__(self):
         return len(self._instruments)
 
+    def merge_snapshot(self, snapshot):
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        This is how parallel suite workers report: each worker process
+        accumulates into its own registry, pickles ``snapshot()`` back,
+        and the parent merges.  Counters and histograms accumulate
+        (sums, counts, min/max, bucket counts); gauges are point-in-time
+        values so the merged value is simply the last one applied --
+        callers merge worker snapshots in deterministic (registry) order
+        so the outcome does not depend on completion order.
+        """
+        for row in snapshot.get("counters", ()):
+            self.counter(row["name"], **row["labels"]).inc(row["value"])
+        for row in snapshot.get("gauges", ()):
+            self.gauge(row["name"], **row["labels"]).set(row["value"])
+        for row in snapshot.get("histograms", ()):
+            hist = self.histogram(
+                row["name"], buckets=tuple(row.get("buckets", ())), **row["labels"]
+            )
+            if not row["count"]:
+                continue
+            hist.count += row["count"]
+            hist.total += row["total"]
+            hist.min = min(hist.min, row["min"])
+            hist.max = max(hist.max, row["max"])
+            if hist.buckets:
+                for i, bucket_count in enumerate(row.get("bucket_counts", ())):
+                    hist.bucket_counts[i] += bucket_count
+        return self
+
     def snapshot(self):
         """Serialisable view: {"counters": [...], "gauges": [...],
         "histograms": [...]}, each row {name, labels, ...}."""

@@ -17,6 +17,7 @@ from repro.obs import events
 from repro.obs.emuobs import EmulationObserver
 from repro.obs.log import log
 from repro.obs.manifest import (
+    artifact_cache_counters,
     build_manifest,
     collect_provenance,
     load_manifest,
@@ -37,6 +38,8 @@ def run_report(
     argv=None,
     fault_tolerant=False,
     deadline_s=None,
+    jobs=None,
+    cache_dir=False,
 ):
     """Run the (sub)suite instrumented; returns {"manifest", "text", "pairs"}.
 
@@ -49,15 +52,32 @@ def run_report(
     typed errors and records them in the manifest's ``failures``
     section (the ``repro triage`` input); ``deadline_s`` arms the
     per-emulation wall-clock watchdog.
+
+    ``jobs`` fans the workloads out across worker processes (default
+    ``REPRO_JOBS``, else 1); each worker attaches its own
+    ``EmulationObserver(sample_every=...)`` and the folded telemetry
+    produces a manifest identical in totals, per-workload stats, and
+    failure records to a serial run.  Parallel runs record a
+    ``parallel`` manifest section with the job count and artifact-cache
+    hit/miss/corrupt counters.
+
+    The artifact cache is *off* by default here (``cache_dir=False``,
+    unlike ``run_suite``): the report is the measuring instrument, and a
+    warm cache would silently drop the frontend/opt/codegen phase rows
+    from the profile because nothing was compiled.  Pass ``cache_dir``
+    (a path, or None for the ``REPRO_CACHE_DIR``/platform default) to
+    trade compile-phase fidelity for speed.
     """
+    from repro.harness.parallel import default_jobs, resolve_cache_dir
     from repro.harness.runner import DEFAULT_LIMIT, run_suite
 
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
     if reset:
         METRICS.reset()
         RECORDER.reset()
     sink = events.JsonlSink(events_path) if events_path else None
     previous_sink = events.set_sink(sink) if sink is not None else events.get_sink()
-    observer = EmulationObserver(sample_every=sample_every)
+    observer = EmulationObserver(sample_every=sample_every) if jobs == 1 else None
     started = time.perf_counter()
     try:
         pairs = run_suite(
@@ -67,6 +87,9 @@ def run_report(
             use_cache=False,
             fault_tolerant=fault_tolerant,
             deadline_s=deadline_s,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            sample_every=sample_every,
         )
     finally:
         if sink is not None:
@@ -74,21 +97,32 @@ def run_report(
             sink.close()
     duration = time.perf_counter() - started
     span_rows = RECORDER.snapshot()
+    metrics_snapshot = METRICS.snapshot()
     workload_durations = {
         row["labels"]["name"]: row["total_s"]
         for row in span_rows
         if row["name"] == "workload" and "name" in row["labels"]
     }
+    parallel = None
+    if jobs > 1:
+        cache_root = resolve_cache_dir(cache_dir)
+        parallel = {
+            "jobs": jobs,
+            "artifact_cache": dict(
+                artifact_cache_counters(metrics_snapshot), dir=cache_root
+            ),
+        }
     manifest = build_manifest(
         pairs,
         config={"subset": tuple(subset) if subset else None, "limit": limit},
         duration_s=duration,
         span_rows=span_rows,
         phase_totals=RECORDER.phase_totals(),
-        metrics_snapshot=METRICS.snapshot(),
+        metrics_snapshot=metrics_snapshot,
         workload_durations=workload_durations,
         provenance=collect_provenance(argv),
         failures=getattr(pairs, "failures", None) if fault_tolerant else None,
+        parallel=parallel,
     )
     log.info(
         "report: %d programs in %.2fs (%d spans, %d metrics)",

@@ -92,6 +92,27 @@ class SpanRecorder:
         stats.record(duration)
         events.emit("span", name=name, labels=labels, duration_s=duration)
 
+    def merge_rows(self, rows):
+        """Fold :meth:`snapshot` rows from another recorder into this one.
+
+        The parallel suite runner uses this to aggregate per-worker span
+        timings: counts and totals sum, min/max combine.  Merging does not
+        re-emit ``span`` events (the workers already emitted them into
+        their own captured streams; see ``repro.obs.events.replay``).
+        """
+        for row in rows:
+            key = (row["name"], _label_key(row.get("labels", {})))
+            stats = self._spans.get(key)
+            if stats is None:
+                stats = SpanStats(name=row["name"], labels=dict(row.get("labels", {})))
+                self._spans[key] = stats
+            stats.count += row["count"]
+            stats.total_s += row["total_s"]
+            if row["count"]:
+                stats.min_s = min(stats.min_s, row["min_s"])
+                stats.max_s = max(stats.max_s, row["max_s"])
+        return self
+
     def reset(self):
         self._spans.clear()
 

@@ -63,10 +63,25 @@ class TestFaultTolerantSuite:
 
 
 class TestSuiteCache:
-    def test_same_key_returns_same_object(self):
+    def test_same_key_returns_equal_copies(self):
         first = run_suite(subset=("wc",))
         second = run_suite(subset=("wc",))
-        assert first is second
+        assert first is not second, "cache hits must not share a list"
+        assert list(first) == list(second)
+        assert first.failures == second.failures
+
+    def test_mutating_a_hit_does_not_poison_the_cache(self):
+        # regression: run_suite used to hand out the cached SuiteResult
+        # by reference, so one caller's .clear() / .append() silently
+        # corrupted every later caller's "fresh" result
+        first = run_suite(subset=("wc",))
+        assert len(first) == 1
+        first.clear()
+        first.failures.append({"workload": "bogus"})
+        refetched = run_suite(subset=("wc",))
+        assert len(refetched) == 1
+        assert refetched[0].name == "wc"
+        assert refetched.failures == []
 
     def test_observer_bypasses_cache(self):
         # regression: the cache key omits the observer, so an observed
@@ -79,7 +94,8 @@ class TestSuiteCache:
         assert observed is not plain
         assert observer.runs > 0, "observer never saw the run"
         # and the observed run did not overwrite the cached entry
-        assert run_suite(subset=("wc",)) is plain
+        refetched = run_suite(subset=("wc",))
+        assert list(refetched) == list(plain)
 
     def test_fault_tolerant_runs_are_never_cached(self):
         faulty = run_suite(
@@ -101,9 +117,19 @@ class TestSuiteCache:
 
 
 class TestResolveWorkloads:
-    def test_duplicate_names_resolve_once(self):
-        workloads = resolve_workloads(("wc", "wc", "grep", "wc"))
-        assert sorted(w.name for w in workloads) == ["grep", "wc"]
+    def test_duplicate_names_rejected(self):
+        # regression: duplicates used to be silently collapsed via a
+        # set, so ("wc", "wc") and ("wc",) aliased the same run under
+        # two different memo-cache keys
+        with pytest.raises(ValueError, match="duplicate workload"):
+            resolve_workloads(("wc", "wc", "grep", "wc"))
+
+    def test_duplicate_error_names_each_duplicate_once(self):
+        with pytest.raises(
+            ValueError,
+            match=r"duplicate workload\(s\): wc, grep \(see 'repro workloads'\)",
+        ):
+            resolve_workloads(("wc", "grep", "wc", "grep", "wc"))
 
     def test_registry_order_is_preserved(self):
         all_names = [w.name for w in resolve_workloads(None)]

@@ -1,0 +1,340 @@
+"""Parallel suite execution, the artifact cache, and telemetry folding.
+
+The contract under test is serial-equivalence: ``--jobs N`` must produce
+results, failure records, metrics, and manifests identical to a serial
+run (``docs/PERFORMANCE.md`` states the guarantee).
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ReproError, RuntimeLimitExceeded
+from repro.harness.parallel import (
+    ArtifactCache,
+    artifact_key,
+    default_jobs,
+    map_tasks,
+    resolve_cache_dir,
+    run_pair_parallel,
+)
+from repro.harness.runner import run_suite
+from repro.obs import METRICS, events
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+SUBSET = ("wc", "cal", "sort")
+
+WC_SOURCE = """
+int main() {
+  int c; int n;
+  n = 0;
+  while ((c = getchar()) != -1) n = n + 1;
+  print_int(n);
+  putchar('\\n');
+  return 0;
+}
+"""
+
+
+def _counters(snapshot, exclude_prefix="harness."):
+    return [
+        row
+        for row in snapshot["counters"]
+        if not row["name"].startswith(exclude_prefix)
+    ]
+
+
+class TestSerialEquivalence:
+    def test_pairs_match_serial_run(self):
+        serial = run_suite(subset=SUBSET, use_cache=False)
+        par = run_suite(subset=SUBSET, use_cache=False, jobs=4, cache_dir=False)
+        assert [p.name for p in par] == [p.name for p in serial]
+        for a, b in zip(serial, par):
+            assert a.baseline == b.baseline
+            assert a.branchreg == b.branchreg
+
+    def test_metrics_match_serial_run(self):
+        METRICS.reset()
+        run_suite(subset=SUBSET, use_cache=False, jobs=1)
+        serial = METRICS.snapshot()
+        METRICS.reset()
+        run_suite(subset=SUBSET, use_cache=False, jobs=4, cache_dir=False)
+        parallel = METRICS.snapshot()
+        # harness.* differs by design (jobs gauge, cache counters); all
+        # compiler/emulator telemetry must fold back identically
+        assert _counters(parallel) == _counters(serial)
+
+    def test_failure_records_match_serial_run(self):
+        kwargs = dict(
+            subset=SUBSET,
+            fault_tolerant=True,
+            limit_overrides={"cal": 100},
+            use_cache=False,
+        )
+        serial = run_suite(jobs=1, **kwargs)
+        par = run_suite(jobs=4, cache_dir=False, **kwargs)
+        assert [p.name for p in par] == [p.name for p in serial] == ["sort", "wc"]
+        assert par.failures == serial.failures
+        assert par.failures[0]["workload"] == "cal"
+        assert par.failures[0]["error"] == "RuntimeLimitExceeded"
+        assert par.failures[0]["edges"], "edge ring must cross the pool"
+
+    def test_manifests_match_serial_run(self):
+        from repro.obs.manifest import validate_manifest
+        from repro.obs.report import run_report
+
+        serial = run_report(subset=("wc", "cal"), jobs=1)["manifest"]
+        par = run_report(subset=("wc", "cal"), jobs=4, cache_dir=False)["manifest"]
+        validate_manifest(par)
+        assert par["totals"] == serial["totals"]
+        for a, b in zip(serial["programs"], par["programs"]):
+            assert {k: v for k, v in a.items() if k != "duration_s"} == {
+                k: v for k, v in b.items() if k != "duration_s"
+            }
+        assert "parallel" not in serial
+        assert par["parallel"]["jobs"] == 4
+
+    def test_error_type_and_state_cross_the_pool(self):
+        with pytest.raises(RuntimeLimitExceeded) as info:
+            run_suite(
+                subset=SUBSET,
+                limit_overrides={"cal": 100},
+                use_cache=False,
+                jobs=4,
+                cache_dir=False,
+            )
+        exc = info.value
+        assert exc.machine == "baseline"
+        assert exc.program == "cal"
+        assert exc.icount == 100
+        assert exc.pc is not None
+
+    def test_registry_earliest_error_wins(self):
+        # two rigged failures: a serial run stops at the registry-earliest
+        # one, so the parallel run must surface the same error
+        with pytest.raises(ReproError) as info:
+            run_suite(
+                subset=SUBSET,
+                limit_overrides={"cal": 100, "sort": 100},
+                use_cache=False,
+                jobs=4,
+                cache_dir=False,
+            )
+        assert info.value.program == "cal"
+
+    def test_run_pair_parallel_matches_run_pair(self):
+        from repro.ease.environment import run_pair
+
+        serial = run_pair(WC_SOURCE, stdin=b"hello", name="wc-test")
+        par = run_pair_parallel(
+            WC_SOURCE, stdin=b"hello", name="wc-test", jobs=2, cache_dir=False
+        )
+        assert par.baseline == serial.baseline
+        assert par.branchreg == serial.branchreg
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ArtifactCache(tmp_path, registry=registry)
+        first = cache.get_image(WC_SOURCE, "baseline")
+        second = cache.get_image(WC_SOURCE, "baseline")
+        assert first is second  # in-memory layer, reset() in place
+        counters = {
+            row["labels"]["result"]: row["value"]
+            for row in registry.snapshot()["counters"]
+            if row["name"] == "harness.artifact_cache"
+        }
+        assert counters == {"miss": 1, "hit": 1}
+
+    def test_disk_hit_rebuilds_equivalent_image(self, tmp_path):
+        ArtifactCache(tmp_path).get_image(WC_SOURCE, "baseline")
+        from repro.emu.baseline_emu import run_baseline
+
+        # a fresh cache instance has an empty memory layer -> disk load
+        registry = MetricsRegistry()
+        image = ArtifactCache(tmp_path, registry=registry).get_image(
+            WC_SOURCE, "baseline"
+        )
+        stats = run_baseline(image, stdin=b"hi", limit=100_000)
+        assert stats.output == b"2\n"
+        counters = {
+            row["labels"]["result"]: row["value"]
+            for row in registry.snapshot()["counters"]
+            if row["name"] == "harness.artifact_cache"
+        }
+        assert counters == {"hit": 1}
+
+    def test_hits_return_pristine_images(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        from repro.emu.baseline_emu import run_baseline
+
+        image = cache.get_image(WC_SOURCE, "baseline")
+        run_baseline(image, stdin=b"dirty state", limit=100_000)
+        again = cache.get_image(WC_SOURCE, "baseline")
+        stats = run_baseline(again, stdin=b"hi", limit=100_000)
+        assert stats.output == b"2\n"
+
+    def test_key_separates_options_machine_and_source(self):
+        base = artifact_key(WC_SOURCE, "baseline")
+        assert artifact_key(WC_SOURCE, "branchreg") != base
+        assert artifact_key(WC_SOURCE + " ", "baseline") != base
+        assert artifact_key(WC_SOURCE, "baseline", {"hoisting": False}) != base
+        # option order is canonicalised
+        assert artifact_key(
+            WC_SOURCE, "branchreg", {"hoisting": True, "fill_carriers": True}
+        ) == artifact_key(
+            WC_SOURCE, "branchreg", {"fill_carriers": True, "hoisting": True}
+        )
+
+    def test_corrupt_entry_is_detected_and_rebuilt(self, tmp_path):
+        ArtifactCache(tmp_path).get_image(WC_SOURCE, "baseline")
+        (entry,) = list(tmp_path.iterdir())
+        entry.write_bytes(b"deadbeef\ngarbage that is not a pickle")
+        registry = MetricsRegistry()
+        image = ArtifactCache(tmp_path, registry=registry).get_image(
+            WC_SOURCE, "baseline"
+        )
+        from repro.emu.baseline_emu import run_baseline
+
+        assert run_baseline(image, stdin=b"hi", limit=100_000).output == b"2\n"
+        counters = {
+            row["labels"]["result"]: row["value"]
+            for row in registry.snapshot()["counters"]
+            if row["name"] == "harness.artifact_cache"
+        }
+        assert counters == {"corrupt": 1, "miss": 1}
+        # the poisoned entry was replaced by a valid one
+        (rebuilt,) = list(tmp_path.iterdir())
+        raw = rebuilt.read_bytes()
+        digest, payload = raw.split(b"\n", 1)
+        import hashlib
+
+        assert digest == hashlib.sha256(payload).hexdigest().encode("ascii")
+
+    def test_truncated_entry_is_a_counted_corruption(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.get_image(WC_SOURCE, "baseline")
+        (entry,) = list(tmp_path.iterdir())
+        entry.write_bytes(entry.read_bytes()[:-10])
+        registry = MetricsRegistry()
+        ArtifactCache(tmp_path, registry=registry).get_image(WC_SOURCE, "baseline")
+        names = [
+            row["labels"]["result"]
+            for row in registry.snapshot()["counters"]
+            if row["name"] == "harness.artifact_cache"
+        ]
+        assert "corrupt" in names
+
+    def test_suite_uses_cache_across_runs(self, tmp_path):
+        METRICS.reset()
+        run_suite(subset=("wc",), use_cache=False, jobs=2, cache_dir=tmp_path)
+        run_suite(subset=("wc",), use_cache=False, jobs=2, cache_dir=tmp_path)
+        counters = {
+            row["labels"]["result"]: row["value"]
+            for row in METRICS.snapshot()["counters"]
+            if row["name"] == "harness.artifact_cache"
+        }
+        assert counters["miss"] == 2  # baseline + branchreg, first run only
+        assert counters["hit"] == 2  # second run served from disk/memory
+
+
+class TestConfiguration:
+    def test_default_jobs_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert default_jobs() == 4
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert default_jobs() == 1
+
+    def test_resolve_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache_dir(False) is None
+        assert resolve_cache_dir(tmp_path) == str(tmp_path)
+        default = resolve_cache_dir(None)
+        assert default.endswith(os.path.join(".cache", "repro", "artifacts"))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache_dir(None) == str(tmp_path / "env")
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert resolve_cache_dir(None) is None
+
+    def test_map_tasks_serial_fallback_preserves_order(self):
+        assert map_tasks(str, [3, 1, 2], jobs=1) == ["3", "1", "2"]
+
+
+class TestTelemetryFolding:
+    def test_merge_snapshot_accumulates(self):
+        a, b, merged = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        a.counter("c", k="x").inc(2)
+        b.counter("c", k="x").inc(3)
+        b.counter("c", k="y").inc(1)
+        a.gauge("g").set(7)
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(3.0)
+        merged.merge_snapshot(a.snapshot())
+        merged.merge_snapshot(b.snapshot())
+        assert merged.counter("c", k="x").value == 5
+        assert merged.counter("c", k="y").value == 1
+        assert merged.gauge("g").value == 7
+        hist = merged.histogram("h")
+        assert (hist.count, hist.total, hist.min, hist.max) == (2, 4.0, 1.0, 3.0)
+
+    def test_merge_rows_combines_spans(self):
+        a, b = SpanRecorder(), SpanRecorder()
+        a._record("workload", {"name": "wc"}, 1.0)
+        b._record("workload", {"name": "wc"}, 3.0)
+        b._record("emulate", {"machine": "baseline"}, 0.5)
+        merged = SpanRecorder()
+        merged.merge_rows(a.snapshot())
+        merged.merge_rows(b.snapshot())
+        rows = {row["name"]: row for row in merged.snapshot()}
+        wc = rows["workload"]
+        assert (wc["count"], wc["total_s"], wc["min_s"], wc["max_s"]) == (
+            2, 4.0, 1.0, 3.0,
+        )
+        assert rows["emulate"]["count"] == 1
+
+    def test_events_carry_both_clocks(self):
+        sink = events.MemorySink()
+        previous = events.set_sink(sink)
+        try:
+            events.emit("x")
+        finally:
+            events.set_sink(previous)
+        event = sink.events[0]
+        assert event["t"] > 0
+        assert event["t_mono"] > 0
+
+    def test_merge_events_orders_by_monotonic_clock(self):
+        # wall clocks can step backwards; the monotonic stamp decides
+        worker_a = [{"type": "a", "t": 999.0, "t_mono": 2.0}]
+        worker_b = [
+            {"type": "b", "t": 1.0, "t_mono": 1.0},
+            {"type": "c", "t": 2.0, "t_mono": 3.0},
+        ]
+        merged = events.merge_events(worker_a, worker_b)
+        assert [e["type"] for e in merged] == ["b", "a", "c"]
+
+    def test_parallel_run_replays_worker_events_in_order(self):
+        sink = events.MemorySink()
+        previous = events.set_sink(sink)
+        try:
+            run_suite(
+                subset=("wc", "cal"),
+                use_cache=False,
+                jobs=2,
+                cache_dir=False,
+                sample_every=1024,
+            )
+        finally:
+            events.set_sink(previous)
+        assert sink.events, "worker events never reached the parent sink"
+        stamps = [e["t_mono"] for e in sink.events]
+        assert stamps == sorted(stamps)
+        types = {e["type"] for e in sink.events}
+        assert "span" in types
+        assert "emu.sample" in types or "emu.start" in types
