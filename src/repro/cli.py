@@ -27,6 +27,10 @@ Usage (``python -m repro [-v|-q] <command> ...``):
 * ``oracle [--subset a,b] [--json]`` -- run the differential machine
   oracle over the workload suite (stdout, exit status, and data-segment
   equivalence between the two machines); exits non-zero on divergence;
+* ``golden [--check|--update] [--subset a,b] [--dir DIR]`` -- verify
+  fresh reference-engine digests (and fast-vs-reference equivalence)
+  against the recorded ``tests/golden/`` corpus, or re-record it; exits
+  non-zero on any mismatch (see ``docs/PERFORMANCE.md``);
 * ``fuzz [--count N] [--seed N] [--artifacts DIR] [--json]`` -- seeded
   differential fuzzing with automatic minimisation of failing programs
   to reproducer ``.c`` files; exits non-zero when any case fails;
@@ -42,6 +46,11 @@ Suite-running commands (``run``, ``table1``, ``cycles``, ``report``,
 across worker processes backed by the persistent artifact cache; the
 ``REPRO_JOBS`` environment variable sets the default and results are
 identical at any job count (see ``docs/PERFORMANCE.md``).
+
+Emulating commands (``run``, ``table1``, ``cycles``, ``report``) accept
+``--engine fast|reference`` to pick the run loop (default
+``$REPRO_ENGINE``, else the predecoded fast core); the two engines are
+bit-identical by construction and the ``golden`` command proves it.
 """
 
 import argparse
@@ -82,6 +91,15 @@ def _add_jobs_arg(parser):
     )
 
 
+def _add_engine_arg(parser):
+    parser.add_argument(
+        "--engine", choices=("fast", "reference"), default=None,
+        help="run loop: 'fast' (predecoded closures, default) or "
+        "'reference' (the plain interpreter); default $REPRO_ENGINE, "
+        "else fast; results are bit-identical either way",
+    )
+
+
 def cmd_run(args):
     from repro.obs.manifest import stats_to_dict
 
@@ -92,10 +110,13 @@ def cmd_run(args):
             from repro.harness.parallel import run_pair_parallel
 
             pair = run_pair_parallel(
-                source, stdin=stdin, name=args.file, jobs=args.jobs
+                source, stdin=stdin, name=args.file, jobs=args.jobs,
+                engine=args.engine,
             )
         else:
-            pair = run_pair(source, stdin=stdin, name=args.file)
+            pair = run_pair(
+                source, stdin=stdin, name=args.file, engine=args.engine
+            )
         if args.json:
             _print_json(
                 {
@@ -130,7 +151,9 @@ def cmd_run(args):
             % ("instr change", -100.0 * pair.instruction_reduction())
         )
         return 0
-    stats = run_on_machine(source, args.machine, stdin=stdin, name=args.file)
+    stats = run_on_machine(
+        source, args.machine, stdin=stdin, name=args.file, engine=args.engine
+    )
     if args.json:
         payload = stats_to_dict(stats)
         payload["output"] = stats.output.decode("latin-1")
@@ -190,7 +213,7 @@ def cmd_table1(args):
 
     subset = tuple(args.subset.split(",")) if args.subset else None
     try:
-        result = run_table1(subset=subset, jobs=args.jobs)
+        result = run_table1(subset=subset, jobs=args.jobs, engine=args.engine)
     except ValueError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
@@ -236,7 +259,8 @@ def cmd_cycles(args):
     subset = tuple(args.subset.split(",")) if args.subset else None
     try:
         result = run_cycle_estimate(
-            stages_list=stages, subset=subset, jobs=args.jobs
+            stages_list=stages, subset=subset, jobs=args.jobs,
+            engine=args.engine,
         )
     except ValueError as exc:
         print("error: %s" % exc, file=sys.stderr)
@@ -346,6 +370,7 @@ def cmd_report(args):
             deadline_s=args.deadline,
             jobs=args.jobs,
             cache_dir=args.cache_dir if args.cache_dir else False,
+            engine=args.engine,
         )
     except ValueError as exc:  # e.g. unknown workload names
         print("error: %s" % exc, file=sys.stderr)
@@ -399,6 +424,68 @@ def cmd_oracle(args):
         )
     print("oracle: %d workload(s), machines equivalent" % len(results))
     return 0
+
+
+def cmd_golden(args):
+    from repro.errors import ReproError
+    from repro.harness.conformance import check_goldens, crosscheck_workloads
+
+    subset = tuple(args.subset.split(",")) if args.subset else None
+    try:
+        report = check_goldens(
+            golden_dir=args.dir, names=subset, update=args.update,
+        )
+    except ValueError as exc:  # unknown workload names
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.update:
+        for name in report["updated"]:
+            print("recorded %s" % name)
+        print("golden: %d digest(s) recorded" % len(report["updated"]))
+        return 0
+    crosscheck = None
+    if args.crosscheck and not report["failures"]:
+        try:
+            crosscheck = crosscheck_workloads(names=subset)
+        except ReproError as exc:
+            print("ENGINE DIVERGENCE: %s" % exc, file=sys.stderr)
+            detail = getattr(exc, "detail", None)
+            if detail:
+                for key, value in sorted(detail.items()):
+                    print("  %s: %s" % (key, value), file=sys.stderr)
+            return 1
+    if args.json:
+        payload = dict(report)
+        if crosscheck is not None:
+            payload["crosscheck"] = crosscheck
+        _print_json(payload)
+        return 1 if report["failures"] else 0
+    for name in report["checked"]:
+        print("%-11s matches its golden digest" % name)
+    for failure in report["failures"]:
+        if failure["reason"] == "missing":
+            print(
+                "%-11s MISSING (record with: repro golden --update "
+                "--subset %s)" % (failure["workload"], failure["workload"]),
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "%-11s MISMATCH: %s"
+                % (failure["workload"], ", ".join(failure["diffs"][:8])),
+                file=sys.stderr,
+            )
+    if crosscheck is not None:
+        fast = sum(1 for r in crosscheck if r["engine"] == "fast")
+        print(
+            "crosscheck: %d run(s) bit-identical across engines "
+            "(%d on the fast core)" % (len(crosscheck), fast)
+        )
+    print(
+        "golden: %d checked, %d failure(s)"
+        % (len(report["checked"]), len(report["failures"]))
+    )
+    return 1 if report["failures"] else 0
 
 
 def cmd_fuzz(args):
@@ -538,6 +625,7 @@ def build_parser():
         "--json", action="store_true", help="emit stats as JSON instead of tables"
     )
     _add_jobs_arg(p_run)
+    _add_engine_arg(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_asm = sub.add_parser("asm", help="print generated RTLs")
@@ -564,6 +652,7 @@ def build_parser():
         "--json", action="store_true", help="emit the table data as JSON"
     )
     _add_jobs_arg(p_t1)
+    _add_engine_arg(p_t1)
     p_t1.set_defaults(func=cmd_table1)
 
     p_cy = sub.add_parser("cycles", help="Section 7 cycle estimates")
@@ -573,6 +662,7 @@ def build_parser():
         "--json", action="store_true", help="emit the estimates as JSON"
     )
     _add_jobs_arg(p_cy)
+    _add_engine_arg(p_cy)
     p_cy.set_defaults(func=cmd_cycles)
 
     sub.add_parser("figures", help="Figures 2-9").set_defaults(func=cmd_figures)
@@ -626,6 +716,7 @@ def build_parser():
         "the phase profile reflects real compiles)",
     )
     _add_jobs_arg(p_rep)
+    _add_engine_arg(p_rep)
     p_rep.set_defaults(func=cmd_report)
 
     p_or = sub.add_parser(
@@ -639,6 +730,34 @@ def build_parser():
     )
     _add_jobs_arg(p_or)
     p_or.set_defaults(func=cmd_oracle)
+
+    p_go = sub.add_parser(
+        "golden",
+        help="check or re-record the golden-trace conformance corpus",
+    )
+    p_go.add_argument("--subset", default=None, help="comma-separated names")
+    p_go.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="golden corpus directory (default tests/golden)",
+    )
+    group = p_go.add_mutually_exclusive_group()
+    group.add_argument(
+        "--check", action="store_true", default=True,
+        help="verify fresh reference digests against the corpus (default)",
+    )
+    group.add_argument(
+        "--update", action="store_true",
+        help="re-record the corpus from fresh reference runs",
+    )
+    p_go.add_argument(
+        "--no-crosscheck", dest="crosscheck", action="store_false",
+        default=True,
+        help="skip the fast-vs-reference engine equivalence pass",
+    )
+    p_go.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_go.set_defaults(func=cmd_golden)
 
     p_fz = sub.add_parser(
         "fuzz",

@@ -72,14 +72,17 @@ def compile_for_machine(source, machine, cache=None, **codegen_options):
 
 def run_on_machine(
     source, machine, stdin=b"", limit=None, name="", observer=None,
-    profiler=None, deadline_s=None, record_edges=False, cache=None, **options
+    profiler=None, deadline_s=None, record_edges=False, cache=None,
+    engine=None, **options
 ):
     """Compile and run one program on one machine; returns RunStats.
 
     ``deadline_s`` arms the wall-clock watchdog and ``record_edges``
     keeps the post-mortem control-flow ring buffer (both select the
     emulators' hardened run loop; see ``docs/ROBUSTNESS.md``).
-    ``cache`` forwards to :func:`compile_for_machine`.
+    ``cache`` forwards to :func:`compile_for_machine`.  ``engine``
+    selects the run loop ("fast"/"reference"; default: the
+    ``REPRO_ENGINE`` environment variable, else "fast").
     """
     image = compile_for_machine(source, machine, cache=cache, **options)
     log.debug("emulating %s on %s", name or "<anonymous>", machine)
@@ -89,11 +92,13 @@ def run_on_machine(
                 image, stdin=stdin, limit=limit, program=name,
                 observer=observer, profiler=profiler,
                 deadline_s=deadline_s, record_edges=record_edges,
+                engine=engine,
             )
         return run_branchreg(
             image, stdin=stdin, limit=limit, program=name,
             observer=observer, profiler=profiler,
             deadline_s=deadline_s, record_edges=record_edges,
+            engine=engine,
         )
 
 
@@ -119,17 +124,18 @@ def crosscheck_pair(name, base_stats, br_stats):
 def run_pair(
     source, stdin=b"", limit=None, name="", branchreg_options=None,
     observer=None, deadline_s=None, record_edges=False, cache=None,
+    engine=None,
 ):
     """Run one program on both machines and cross-check the outputs."""
     base_stats = run_on_machine(
         source, "baseline", stdin=stdin, limit=limit, name=name,
         observer=observer, deadline_s=deadline_s, record_edges=record_edges,
-        cache=cache,
+        cache=cache, engine=engine,
     )
     br_stats = run_on_machine(
         source, "branchreg", stdin=stdin, limit=limit, name=name,
         observer=observer, deadline_s=deadline_s, record_edges=record_edges,
-        cache=cache, **(branchreg_options or {}),
+        cache=cache, engine=engine, **(branchreg_options or {}),
     )
     crosscheck_pair(name, base_stats, br_stats)
     return PairResult(name=name, baseline=base_stats, branchreg=br_stats)

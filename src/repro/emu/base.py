@@ -9,6 +9,7 @@ a bound-method table.
 import time as _time
 from collections import deque
 
+from repro.emu.fastcore import resolve_engine
 from repro.emu.intmath import cdiv, crem, shl, shr, to_signed, wrap
 from repro.emu.runtime import Runtime
 from repro.emu.stats import RunStats
@@ -53,6 +54,7 @@ class BaseEmulator:
         profiler=None,
         deadline_s=None,
         record_edges=False,
+        engine=None,
     ):
         self.image = image
         self.spec = image.spec
@@ -65,6 +67,10 @@ class BaseEmulator:
         self.profiler = profiler
         self.deadline_s = deadline_s
         self.edge_ring = deque(maxlen=EDGE_RING_SIZE) if record_edges else None
+        self.engine = resolve_engine(engine)
+        #: Why the fast engine was not used, when ``engine="fast"`` had to
+        #: fall back to the reference loop (``None`` otherwise).
+        self.fast_fallback = None
         self.cache_stalls = 0
         self.r = [0] * self.spec.ints.count
         self.f = [0.0] * self.spec.flts.count
@@ -305,30 +311,75 @@ class BaseEmulator:
     def run(self):
         """Run to halt (or instruction limit); returns the RunStats.
 
-        With no observer the loop below is the untouched hot path; with
-        one attached (:class:`repro.obs.emuobs.EmulationObserver`) the
-        instrumented loop adds one comparison per instruction plus a
-        sampled callback every ``observer.sample_every`` instructions.
-        A profiler (:class:`repro.obs.profile.ExecutionProfiler`) uses a
-        third loop that detects control discontinuities by comparing the
-        program counter before and after each step.  A wall-clock
-        ``deadline_s`` or ``record_edges=True`` selects the *hardened*
-        loop, which additionally keeps the post-mortem edge ring buffer
-        and converts any escape from ``step`` into a stamped, typed
-        :class:`~repro.errors.EmulationError`.
+        Which loop actually executes is decided once, in
+        :meth:`_select_loop` -- the single documented dispatch point for
+        every run-loop variant (plain / observed / hardened / profiled /
+        fast).  All variants retire the same instruction stream and
+        produce identical RunStats; they differ only in what they watch
+        while doing it.
         """
-        if self.profiler is not None:
-            self._run_profiled()
-        elif self.deadline_s is not None or self.edge_ring is not None:
-            self._run_hardened()
-        elif self.observer is None:
-            while not self.halted:
-                if self.icount >= self.limit:
-                    raise self._limit_error()
-                self.step()
-        else:
-            self._run_observed()
+        self._select_loop()()
         return self._finalize()
+
+    def _select_loop(self):
+        """The one place a run-loop variant is chosen.
+
+        Every variant is a zero-argument bound callable that runs the
+        program to halt (or raises the stamped limit error):
+
+        ========== ======================================== ============
+        variant    selected by                              extra work
+        ========== ======================================== ============
+        profiled   ``profiler`` attached                    edge Counter
+        hardened   ``deadline_s`` or ``record_edges=True``  watchdog+ring
+        observed   ``observer`` attached                    sampled hook
+        fast       ``engine="fast"`` and no hook above      predecoded
+                                                            closure table
+        plain      everything else                          none
+        ========== ======================================== ============
+
+        The fast engine preserves every observable of the plain loop but
+        cannot service per-step hooks, the icache model, or proxied
+        state installed by fault injectors; any of those forces the
+        reference loop and records the reason in ``fast_fallback``.
+        ``stats.engine`` records which core actually ran.
+        """
+        fallback = None
+        if self.engine == "fast":
+            if self.profiler is not None:
+                fallback = "profiler attached"
+            elif self.deadline_s is not None:
+                fallback = "wall-clock deadline requested"
+            elif self.edge_ring is not None:
+                fallback = "edge-ring recording requested"
+            elif self.observer is not None:
+                fallback = "observer attached"
+            elif self.icache is not None:
+                fallback = "icache model attached"
+            else:
+                from repro.emu import fastcore
+
+                runner = fastcore.prepare(self)
+                if runner is not None:
+                    self.stats.engine = "fast"
+                    return runner
+                fallback = self.fast_fallback
+        self.fast_fallback = fallback
+        self.stats.engine = "reference"
+        if self.profiler is not None:
+            return self._run_profiled
+        if self.deadline_s is not None or self.edge_ring is not None:
+            return self._run_hardened
+        if self.observer is not None:
+            return self._run_observed
+        return self._run_plain
+
+    def _run_plain(self):
+        """The untouched reference hot path: no hooks, no watchdog."""
+        while not self.halted:
+            if self.icount >= self.limit:
+                raise self._limit_error()
+            self.step()
 
     def _run_observed(self):
         observer = self.observer

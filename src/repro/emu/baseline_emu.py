@@ -19,13 +19,13 @@ class BaselineEmulator(BaseEmulator):
 
     def __init__(
         self, image, stdin=b"", limit=None, icache=None, observer=None,
-        profiler=None, deadline_s=None, record_edges=False,
+        profiler=None, deadline_s=None, record_edges=False, engine=None,
     ):
         kwargs = {} if limit is None else {"limit": limit}
         super().__init__(
             image, stdin=stdin, icache=icache, observer=observer,
             profiler=profiler, deadline_s=deadline_s,
-            record_edges=record_edges, **kwargs
+            record_edges=record_edges, engine=engine, **kwargs
         )
         self.npc = self.pc + 4
         self.rt = 0
@@ -90,12 +90,13 @@ class BaselineEmulator(BaseEmulator):
 
 def run_baseline(
     image, stdin=b"", limit=None, program="", icache=None, observer=None,
-    profiler=None, deadline_s=None, record_edges=False,
+    profiler=None, deadline_s=None, record_edges=False, engine=None,
 ):
     """Convenience wrapper: run an image and return its RunStats."""
     emulator = BaselineEmulator(
         image, stdin=stdin, limit=limit, icache=icache, observer=observer,
         profiler=profiler, deadline_s=deadline_s, record_edges=record_edges,
+        engine=engine,
     )
     emulator.stats.program = program
     return emulator.run()

@@ -30,13 +30,13 @@ class BranchRegEmulator(BaseEmulator):
 
     def __init__(
         self, image, stdin=b"", limit=None, icache=None, observer=None,
-        profiler=None, deadline_s=None, record_edges=False,
+        profiler=None, deadline_s=None, record_edges=False, engine=None,
     ):
         kwargs = {} if limit is None else {"limit": limit}
         super().__init__(
             image, stdin=stdin, icache=icache, observer=observer,
             profiler=profiler, deadline_s=deadline_s,
-            record_edges=record_edges, **kwargs
+            record_edges=record_edges, engine=engine, **kwargs
         )
         n = self.spec.branch_regs
         self.link = self.spec.br_link
@@ -171,12 +171,13 @@ class BranchRegEmulator(BaseEmulator):
 
 def run_branchreg(
     image, stdin=b"", limit=None, program="", icache=None, observer=None,
-    profiler=None, deadline_s=None, record_edges=False,
+    profiler=None, deadline_s=None, record_edges=False, engine=None,
 ):
     """Convenience wrapper: run an image and return its RunStats."""
     emulator = BranchRegEmulator(
         image, stdin=stdin, limit=limit, icache=icache, observer=observer,
         profiler=profiler, deadline_s=deadline_s, record_edges=record_edges,
+        engine=engine,
     )
     emulator.stats.program = program
     return emulator.run()

@@ -1,0 +1,1734 @@
+"""Predecoded fast emulator core.
+
+The reference loop (``BaseEmulator.step``) resolves operands and
+dispatches through a bound-method table on every dynamic instruction.
+This module does that analysis once, at run start: each instruction in
+the image is compiled into a specialized Python closure with its operand
+register indices and immediates burned in, and the run loop becomes a
+closure-table walk.  Common pairs (``cmp``+``bcc`` on the baseline
+machine, ``cmpset``+transfer-carrying instruction on the branch-register
+machine) are fused into superinstructions when both halves are provably
+non-raising.
+
+Static :class:`~repro.emu.stats.RunStats` counters (opcounts, noops,
+loads/stores, transfer categories, carrier classes...) are reconstructed
+from per-slot execution counts when the run finishes; only genuinely
+dynamic observables (taken conditionals, the prefetch/compare gap
+histograms) are recorded inside the closures.  The conformance suite
+(:mod:`repro.harness.conformance`, ``tests/test_conformance.py``) pins
+the result bit-for-bit against the reference loop on every workload.
+
+Fallback matrix -- the fast core refuses and the reference loop runs
+(``emulator.fast_fallback`` records why) whenever:
+
+* a per-step hook is attached: observer, profiler, wall-clock deadline,
+  edge-ring recording, or the icache model (``_select_loop`` checks
+  these before calling :func:`prepare`);
+* a fault injector proxied machine state (``memory``, ``r``/``f``, or
+  the branch-register file is no longer the plain built-in type);
+* predecode meets anything it cannot compile faithfully: an unknown
+  opcode or condition, an operand of unexpected shape, an unresolved
+  or non-integer branch target, an out-of-range branch-register field,
+  or an unknown machine.
+
+Exact-parity corners the loop goes out of its way to preserve:
+
+* a halting ``trap``/``halt`` still retires its own step (icount,
+  opcounts, pc advance, and -- on the branch-register machine -- the
+  transfer bookkeeping of its ``br`` field; ``br != 0`` on those ops
+  falls back instead of guessing);
+* an exception escaping a handler leaves ``pc``/``icount`` exactly
+  where the reference dispatch would have (the faulting instruction not
+  retired), so post-mortem stamping and fault campaigns agree;
+* the last instruction before the limit is delegated to the reference
+  loop so the stamped :class:`~repro.errors.RuntimeLimitExceeded` is
+  raised at the identical icount even across a fused pair;
+* a wild jump raises the byte-identical
+  :class:`~repro.errors.ControlFlowViolation` by re-fetching through
+  ``image.instruction_at``.
+"""
+
+import operator
+import os
+
+from repro.codegen.common import BASELINE_CONTROL
+from repro.emu.intmath import cdiv, crem, shl, shr, to_signed, wrap
+from repro.emu.memory import Memory, TEXT_BASE
+from repro.errors import EmulationError
+from repro.rtl.operand import Imm, Reg
+
+ENGINES = ("fast", "reference")
+
+#: Closure return sentinel: the program halted during this step (the
+#: step itself still retires, matching the reference loop).
+_STOP = object()
+
+_MASK = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+_CONDS = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
+
+
+def resolve_engine(engine=None):
+    """Resolve the emulation engine: explicit argument, then the
+    ``REPRO_ENGINE`` environment variable, then the ``"fast"`` default.
+    The fast engine is always safe to default to: anything it cannot
+    reproduce bit-for-bit falls back to the reference loop."""
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE") or "fast"
+    if engine not in ENGINES:
+        raise ValueError(
+            "unknown emulation engine %r (expected one of %s)"
+            % (engine, "/".join(ENGINES))
+        )
+    return engine
+
+
+class _Unsupported(Exception):
+    """Predecode cannot faithfully compile this image; the whole run
+    falls back to the reference loop."""
+
+
+class _Ctx:
+    """Per-run mutable cells shared by the compiled closures.
+
+    Register files, memory, and the branch-register bookkeeping lists
+    are the emulator's own objects (mutated in place, so post-mortem
+    state needs no sync).  The baseline machine's immutable-attribute
+    state (``cc``, ``rt``) and the taken-conditional counter live in
+    single-element list cells and are synced back on every loop exit.
+    """
+
+    def __init__(self, emu):
+        self.emu = emu
+        self.spec = emu.spec
+        self.r = emu.r
+        self.f = emu.f
+        self.memory = emu.memory
+        self.runtime = emu.runtime
+        self.stats = emu.stats
+        self.cc = [0, 0]
+        self.rt = [0]
+        self.taken = [0]
+        self.b = getattr(emu, "b", None)
+        self.b_set_at = getattr(emu, "b_set_at", None)
+        self.cmpset_at = getattr(emu, "cmpset_at", None)
+        self.link = getattr(emu, "link", None)
+        # Branch-register constants, filled in by _prepare_branchreg
+        # (lazy import keeps base -> fastcore -> branchreg_emu acyclic).
+        self.SEQ = None
+        self.READY = None
+        self.GAP_CAP = None
+        # Per-slot execution counter, rebound by the predecode loop before
+        # each factory call; the factory burns ``c[0] += 1`` into its
+        # closure so the run loop needs no bookkeeping of its own.
+        self.cell = None
+
+
+# -- operand getters ---------------------------------------------------------
+
+
+def _value_getter(ctx, x):
+    """A zero-arg closure returning the operand's current value, exactly
+    like ``BaseEmulator.value`` would."""
+    if type(x) is Reg:
+        i = x.index
+        if x.kind == "r":
+            r = ctx.r
+
+            def g():
+                return r[i]
+
+            return g
+        if x.kind == "f":
+            f = ctx.f
+
+            def g():
+                return f[i]
+
+            return g
+        raise _Unsupported("branch register in data context")
+    if type(x) is Imm:
+        v = x.value
+
+        def g():
+            return v
+
+        return g
+    raise _Unsupported("operand %r" % (x,))
+
+
+def _int_src(ctx, x):
+    """('r', index) / ('i', value) for the r-reg/imm fast shapes, or
+    None when the operand needs the generic getter."""
+    if type(x) is Reg and x.kind == "r":
+        return ("r", x.index)
+    if type(x) is Imm:
+        return ("i", x.value)
+    return None
+
+
+# -- common opcode factories -------------------------------------------------
+#
+# Every factory takes (ins, ctx, addr) and returns a one-argument
+# closure ``h(ic)`` where ``ic`` is the icount *before* this instruction
+# retires (== the reference's ``self.icount`` at dispatch time).  Each
+# body transcribes the corresponding ``op_`` handler with everything
+# static pre-resolved.
+
+
+def _c_li(ins, ctx, addr):
+    c = ctx.cell
+    x = ins.xsrcs[0]
+    if type(x) is not Imm:
+        raise _Unsupported("li source %r" % (x,))
+    r, d, v = ctx.r, ins.dst.index, x.value
+
+    def h(ic):
+        c[0] += 1
+        r[d] = v
+
+    return h
+
+
+def _c_sethi(ins, ctx, addr):
+    c = ctx.cell
+    x = ins.xsrcs[0]
+    if type(x) is not Imm:
+        raise _Unsupported("sethi source %r" % (x,))
+    lo_bits = ctx.spec.imm_bits - 1
+    const = to_signed((x.value & _MASK) & ~((1 << lo_bits) - 1))
+    r, d = ctx.r, ins.dst.index
+
+    def h(ic):
+        c[0] += 1
+        r[d] = const
+
+    return h
+
+
+def _c_addlo(ins, ctx, addr):
+    c = ctx.cell
+    x1 = ins.xsrcs[1]
+    if type(x1) is not Imm:
+        raise _Unsupported("addlo low part %r" % (x1,))
+    lo_bits = ctx.spec.imm_bits - 1
+    low = (x1.value & _MASK) & ((1 << lo_bits) - 1)
+    r, d = ctx.r, ins.dst.index
+    s = _int_src(ctx, ins.xsrcs[0])
+    if s is not None and s[0] == "r":
+        a = s[1]
+
+        def h(ic):
+            c[0] += 1
+            r[d] = (((r[a] + low) & _MASK) ^ _SIGN) - _SIGN
+
+        return h
+    g0 = _value_getter(ctx, ins.xsrcs[0])
+
+    def h(ic):
+        c[0] += 1
+        r[d] = (((g0() + low) & _MASK) ^ _SIGN) - _SIGN
+
+    return h
+
+
+def _c_mov(ins, ctx, addr):
+    c = ctx.cell
+    r, d = ctx.r, ins.dst.index
+    s = _int_src(ctx, ins.xsrcs[0])
+    if s is not None:
+        if s[0] == "r":
+            a = s[1]
+
+            def h(ic):
+                c[0] += 1
+                r[d] = r[a]
+
+        else:
+            v = s[1]
+
+            def h(ic):
+                c[0] += 1
+                r[d] = v
+
+        return h
+    g0 = _value_getter(ctx, ins.xsrcs[0])
+
+    def h(ic):
+        c[0] += 1
+        r[d] = g0()
+
+    return h
+
+
+def _c_fmov(ins, ctx, addr):
+    c = ctx.cell
+    f, d = ctx.f, ins.dst.index
+    g0 = _value_getter(ctx, ins.xsrcs[0])
+
+    def h(ic):
+        c[0] += 1
+        f[d] = g0()
+
+    return h
+
+
+def _c_neg(ins, ctx, addr):
+    c = ctx.cell
+    r, d = ctx.r, ins.dst.index
+    g0 = _value_getter(ctx, ins.xsrcs[0])
+
+    def h(ic):
+        c[0] += 1
+        r[d] = (((-g0()) & _MASK) ^ _SIGN) - _SIGN
+
+    return h
+
+
+def _c_not(ins, ctx, addr):
+    c = ctx.cell
+    r, d = ctx.r, ins.dst.index
+    g0 = _value_getter(ctx, ins.xsrcs[0])
+
+    def h(ic):
+        c[0] += 1
+        r[d] = (((~g0()) & _MASK) ^ _SIGN) - _SIGN
+
+    return h
+
+
+def _c_fneg(ins, ctx, addr):
+    c = ctx.cell
+    f, d, s = ctx.f, ins.dst.index, ins.xsrcs[0].index
+
+    def h(ic):
+        c[0] += 1
+        f[d] = -f[s]
+
+    return h
+
+
+def _c_cvtif(ins, ctx, addr):
+    c = ctx.cell
+    f, d = ctx.f, ins.dst.index
+    g0 = _value_getter(ctx, ins.xsrcs[0])
+
+    def h(ic):
+        c[0] += 1
+        f[d] = float(g0())
+
+    return h
+
+
+def _c_cvtfi(ins, ctx, addr):
+    c = ctx.cell
+    r, f, d, s = ctx.r, ctx.f, ins.dst.index, ins.xsrcs[0].index
+
+    def h(ic):
+        c[0] += 1
+        r[d] = wrap(int(f[s]))
+
+    return h
+
+
+def _addsub_factory(sign):
+    def factory(ins, ctx, addr):
+        c = ctx.cell
+        r, d = ctx.r, ins.dst.index
+        s0 = _int_src(ctx, ins.xsrcs[0])
+        s1 = _int_src(ctx, ins.xsrcs[1])
+        if s0 is not None and s0[0] == "r" and s1 is not None:
+            a = s0[1]
+            if s1[0] == "r":
+                b = s1[1]
+                if sign > 0:
+
+                    def h(ic):
+                        c[0] += 1
+                        r[d] = (((r[a] + r[b]) & _MASK) ^ _SIGN) - _SIGN
+
+                else:
+
+                    def h(ic):
+                        c[0] += 1
+                        r[d] = (((r[a] - r[b]) & _MASK) ^ _SIGN) - _SIGN
+
+                return h
+            v = s1[1] if sign > 0 else -s1[1]
+
+            def h(ic):
+                c[0] += 1
+                r[d] = (((r[a] + v) & _MASK) ^ _SIGN) - _SIGN
+
+            return h
+        g0 = _value_getter(ctx, ins.xsrcs[0])
+        g1 = _value_getter(ctx, ins.xsrcs[1])
+        if sign > 0:
+
+            def h(ic):
+                c[0] += 1
+                r[d] = (((g0() + g1()) & _MASK) ^ _SIGN) - _SIGN
+
+        else:
+
+            def h(ic):
+                c[0] += 1
+                r[d] = (((g0() - g1()) & _MASK) ^ _SIGN) - _SIGN
+
+        return h
+
+    return factory
+
+
+def _int_binop_factory(fn, inline=None):
+    """Two-source integer op; ``fn`` applies the reference's wrapping
+    semantics.  The dominant register/register and register/immediate
+    shapes skip the operand-getter closures, and ops with an ``inline``
+    expression builder burn the wrapped arithmetic straight into the
+    closure (no per-step function call at all)."""
+
+    def factory(ins, ctx, addr):
+        c = ctx.cell
+        r, d = ctx.r, ins.dst.index
+        s0 = _int_src(ctx, ins.xsrcs[0])
+        s1 = _int_src(ctx, ins.xsrcs[1])
+        if s0 is not None and s0[0] == "r" and s1 is not None:
+            a = s0[1]
+            if inline is not None:
+                h = inline(c, r, d, a, s1[0] == "r", s1[1])
+                if h is not None:
+                    return h
+            if s1[0] == "r":
+                b = s1[1]
+
+                def h(ic):
+                    c[0] += 1
+                    r[d] = fn(r[a], r[b])
+
+            else:
+                v = s1[1]
+
+                def h(ic):
+                    c[0] += 1
+                    r[d] = fn(r[a], v)
+
+            return h
+        g0 = _value_getter(ctx, ins.xsrcs[0])
+        g1 = _value_getter(ctx, ins.xsrcs[1])
+
+        def h(ic):
+            c[0] += 1
+            r[d] = fn(g0(), g1())
+
+        return h
+
+    return factory
+
+
+def _inline_shift(left):
+    def build(c, r, d, a, reg, b):
+        if left:
+            if reg:
+
+                def h(ic):
+                    c[0] += 1
+                    r[d] = (((r[a] << (r[b] & 31)) & _MASK) ^ _SIGN) - _SIGN
+
+            else:
+                k = b & 31
+
+                def h(ic):
+                    c[0] += 1
+                    r[d] = (((r[a] << k) & _MASK) ^ _SIGN) - _SIGN
+
+        else:
+            if reg:
+
+                def h(ic):
+                    c[0] += 1
+                    r[d] = (((r[a] >> (r[b] & 31)) & _MASK) ^ _SIGN) - _SIGN
+
+            else:
+                k = b & 31
+
+                def h(ic):
+                    c[0] += 1
+                    r[d] = (((r[a] >> k) & _MASK) ^ _SIGN) - _SIGN
+
+        return h
+
+    return build
+
+
+def _inline_wrapmul(c, r, d, a, reg, b):
+    if reg:
+
+        def h(ic):
+            c[0] += 1
+            r[d] = (((r[a] * r[b]) & _MASK) ^ _SIGN) - _SIGN
+
+    else:
+
+        def h(ic):
+            c[0] += 1
+            r[d] = (((r[a] * b) & _MASK) ^ _SIGN) - _SIGN
+
+    return h
+
+
+def _inline_bitop(op):
+    """Masked bitwise op; masking both operands first matches the
+    reference's wrap(to_unsigned op to_unsigned) exactly."""
+
+    def build(c, r, d, a, reg, b):
+        if op == "&":
+            if reg:
+
+                def h(ic):
+                    c[0] += 1
+                    r[d] = ((r[a] & r[b] & _MASK) ^ _SIGN) - _SIGN
+
+            else:
+                k = b & _MASK
+
+                def h(ic):
+                    c[0] += 1
+                    r[d] = (((r[a] & _MASK) & k ^ _SIGN)) - _SIGN
+
+        elif op == "|":
+            if reg:
+
+                def h(ic):
+                    c[0] += 1
+                    r[d] = ((((r[a] & _MASK) | (r[b] & _MASK)) ^ _SIGN)) - _SIGN
+
+            else:
+                k = b & _MASK
+
+                def h(ic):
+                    c[0] += 1
+                    r[d] = ((((r[a] & _MASK) | k) ^ _SIGN)) - _SIGN
+
+        else:
+            if reg:
+
+                def h(ic):
+                    c[0] += 1
+                    r[d] = ((((r[a] & _MASK) ^ (r[b] & _MASK)) ^ _SIGN)) - _SIGN
+
+            else:
+                k = b & _MASK
+
+                def h(ic):
+                    c[0] += 1
+                    r[d] = ((((r[a] & _MASK) ^ k) ^ _SIGN)) - _SIGN
+
+        return h
+
+    return build
+
+
+def _flt_binop_factory(op):
+    def factory(ins, ctx, addr):
+        c = ctx.cell
+        f, d = ctx.f, ins.dst.index
+        a, b = ins.xsrcs[0].index, ins.xsrcs[1].index
+        if op == "+":
+
+            def h(ic):
+                c[0] += 1
+                f[d] = f[a] + f[b]
+
+        elif op == "-":
+
+            def h(ic):
+                c[0] += 1
+                f[d] = f[a] - f[b]
+
+        else:
+
+            def h(ic):
+                c[0] += 1
+                f[d] = f[a] * f[b]
+
+        return h
+
+    return factory
+
+
+def _c_fdiv(ins, ctx, addr):
+    c = ctx.cell
+    f, d = ctx.f, ins.dst.index
+    a, b = ins.xsrcs[0].index, ins.xsrcs[1].index
+
+    def h(ic):
+        c[0] += 1
+        denom = f[b]
+        if denom == 0.0:
+            raise EmulationError("float division by zero")
+        f[d] = f[a] / denom
+
+    return h
+
+
+def _mem_addr_parts(ctx, base_x, off_x):
+    """(base getter spec, static offset) for load/store addressing; the
+    offset operand is always an ``Imm`` in reference semantics."""
+    if type(off_x) is not Imm:
+        raise _Unsupported("memory offset %r" % (off_x,))
+    return _int_src(ctx, base_x), off_x.value
+
+
+def _load_factory(kind):
+    def factory(ins, ctx, addr):
+        c = ctx.cell
+        s, off = _mem_addr_parts(ctx, ins.xsrcs[0], ins.xsrcs[1])
+        if kind == "w":
+            load, dest = ctx.memory.load_word, ctx.r
+        elif kind == "b":
+            load, dest = ctx.memory.load_byte, ctx.r
+        else:
+            load, dest = ctx.memory.load_float, ctx.f
+        d = ins.dst.index
+        data = ctx.memory.data
+        size = ctx.memory.size
+        if s is not None and s[0] == "r":
+            a = s[1]
+            r = ctx.r
+            if kind == "w":
+                # Inline word load; the guarded method call on the slow
+                # path raises the reference's exact MemoryFault.
+
+                def h(ic):
+                    c[0] += 1
+                    at = r[a] + off
+                    if at & 3 or at < 0 or at + 4 > size:
+                        load(at)
+                    r[d] = (
+                        int.from_bytes(data[at : at + 4], "little") ^ _SIGN
+                    ) - _SIGN
+
+                return h
+            if kind == "b":
+
+                def h(ic):
+                    c[0] += 1
+                    at = r[a] + off
+                    if at < 0 or at >= size:
+                        load(at)
+                    r[d] = data[at]
+
+                return h
+
+            def h(ic):
+                c[0] += 1
+                dest[d] = load(r[a] + off)
+
+            return h
+        if s is not None:  # static address (resolved symbol)
+            const = s[1] + off
+
+            def h(ic):
+                c[0] += 1
+                dest[d] = load(const)
+
+            return h
+        g0 = _value_getter(ctx, ins.xsrcs[0])
+
+        def h(ic):
+            c[0] += 1
+            dest[d] = load(g0() + off)
+
+        return h
+
+    return factory
+
+
+def _store_factory(kind):
+    def factory(ins, ctx, addr):
+        c = ctx.cell
+        s, off = _mem_addr_parts(ctx, ins.xsrcs[1], ins.xsrcs[2])
+        if kind == "w":
+            store = ctx.memory.store_word
+        elif kind == "b":
+            store = ctx.memory.store_byte
+        else:
+            store = ctx.memory.store_float
+        gv = _value_getter(ctx, ins.xsrcs[0])
+        v = _int_src(ctx, ins.xsrcs[0])
+        r = ctx.r
+        data = ctx.memory.data
+        size = ctx.memory.size
+        if s is not None and s[0] == "r":
+            a = s[1]
+            if kind == "w" and v is not None and v[0] == "r":
+                sv = v[1]
+
+                def h(ic):
+                    c[0] += 1
+                    at = r[a] + off
+                    if at & 3 or at < 0 or at + 4 > size:
+                        store(at, r[sv])
+                    data[at : at + 4] = (r[sv] & _MASK).to_bytes(4, "little")
+
+                return h
+            if kind == "b" and v is not None and v[0] == "r":
+                sv = v[1]
+
+                def h(ic):
+                    c[0] += 1
+                    at = r[a] + off
+                    if at < 0 or at >= size:
+                        store(at, r[sv])
+                    data[at] = r[sv] & 0xFF
+
+                return h
+            def h(ic):
+                c[0] += 1
+                store(r[a] + off, gv())
+
+            return h
+        if s is not None:
+            const = s[1] + off
+
+            def h(ic):
+                c[0] += 1
+                store(const, gv())
+
+            return h
+        gb = _value_getter(ctx, ins.xsrcs[1])
+
+        def h(ic):
+            c[0] += 1
+            store(gb() + off, gv())
+
+        return h
+
+    return factory
+
+
+def _c_noop(ins, ctx, addr):
+    c = ctx.cell
+    def h(ic):
+        c[0] += 1
+        return None
+
+    return h
+
+
+def _c_trap(ins, ctx, addr):
+    c = ctx.cell
+    runtime = ctx.runtime
+    trap = runtime.trap
+    callee = ins.callee
+    r = ctx.r
+    arg_i = ctx.spec.ints.args[0]
+    ret_i = ctx.spec.ints.ret
+
+    def h(ic):
+        c[0] += 1
+        r[ret_i] = trap(callee, r[arg_i])
+        if runtime.exit_code is not None:
+            return _STOP
+        return None
+
+    return h
+
+
+def _c_halt(ins, ctx, addr):
+    c = ctx.cell
+    def h(ic):
+        c[0] += 1
+        return _STOP
+
+    return h
+
+
+_COMMON_OPS = {
+    "li": _c_li,
+    "sethi": _c_sethi,
+    "addlo": _c_addlo,
+    "mov": _c_mov,
+    "fmov": _c_fmov,
+    "neg": _c_neg,
+    "not": _c_not,
+    "fneg": _c_fneg,
+    "cvtif": _c_cvtif,
+    "cvtfi": _c_cvtfi,
+    "add": _addsub_factory(+1),
+    "sub": _addsub_factory(-1),
+    "mul": _int_binop_factory(lambda a, b: wrap(a * b), inline=_inline_wrapmul),
+    "div": _int_binop_factory(cdiv),
+    "rem": _int_binop_factory(crem),
+    "and": _int_binop_factory(
+        lambda a, b: wrap((a & _MASK) & (b & _MASK)), inline=_inline_bitop("&")
+    ),
+    "or": _int_binop_factory(
+        lambda a, b: wrap((a & _MASK) | (b & _MASK)), inline=_inline_bitop("|")
+    ),
+    "xor": _int_binop_factory(
+        lambda a, b: wrap((a & _MASK) ^ (b & _MASK)), inline=_inline_bitop("^")
+    ),
+    "shl": _int_binop_factory(shl, inline=_inline_shift(True)),
+    "shr": _int_binop_factory(shr, inline=_inline_shift(False)),
+    "fadd": _flt_binop_factory("+"),
+    "fsub": _flt_binop_factory("-"),
+    "fmul": _flt_binop_factory("*"),
+    "fdiv": _c_fdiv,
+    "lw": _load_factory("w"),
+    "lb": _load_factory("b"),
+    "lf": _load_factory("f"),
+    "sw": _store_factory("w"),
+    "sb": _store_factory("b"),
+    "sf": _store_factory("f"),
+    "noop": _c_noop,
+    "trap": _c_trap,
+    "halt": _c_halt,
+}
+
+
+# -- baseline-machine factories ----------------------------------------------
+
+
+def _c_cmp(ins, ctx, addr):
+    c = ctx.cell
+    cc = ctx.cc
+    s0 = _int_src(ctx, ins.xsrcs[0])
+    s1 = _int_src(ctx, ins.xsrcs[1])
+    if s0 is not None and s0[0] == "r" and s1 is not None:
+        a = s0[1]
+        r = ctx.r
+        if s1[0] == "r":
+            b = s1[1]
+
+            def h(ic):
+                c[0] += 1
+                cc[0] = r[a]
+                cc[1] = r[b]
+
+            return h
+        v = s1[1]
+
+        def h(ic):
+            c[0] += 1
+            cc[0] = r[a]
+            cc[1] = v
+
+        return h
+    g0 = _value_getter(ctx, ins.xsrcs[0])
+    g1 = _value_getter(ctx, ins.xsrcs[1])
+
+    def h(ic):
+        c[0] += 1
+        cc[0] = g0()
+        cc[1] = g1()
+
+    return h
+
+
+def _c_bcc(ins, ctx, addr):
+    c = ctx.cell
+    fn = _CONDS.get(ins.cond)
+    if fn is None:
+        raise _Unsupported("condition %r" % (ins.cond,))
+    t = ins.t_addr
+    if not isinstance(t, int):
+        raise _Unsupported("branch target %r" % (t,))
+    cc = ctx.cc
+    taken = ctx.taken
+
+    def h(ic):
+        c[0] += 1
+        if fn(cc[0], cc[1]):
+            taken[0] += 1
+            return t
+        return None
+
+    return h
+
+
+def _c_jmp(ins, ctx, addr):
+    c = ctx.cell
+    t = ins.t_addr
+    if not isinstance(t, int):
+        raise _Unsupported("jump target %r" % (t,))
+
+    def h(ic):
+        c[0] += 1
+        return t
+
+    return h
+
+
+def _c_ijmp(ins, ctx, addr):
+    c = ctx.cell
+    s = _int_src(ctx, ins.xsrcs[0])
+    if s is not None and s[0] == "r":
+        a = s[1]
+        r = ctx.r
+
+        def h(ic):
+            c[0] += 1
+            return r[a]
+
+        return h
+    g0 = _value_getter(ctx, ins.xsrcs[0])
+
+    def h(ic):
+        c[0] += 1
+        return g0()
+
+    return h
+
+
+def _c_call(ins, ctx, addr):
+    c = ctx.cell
+    t = ins.t_addr
+    if not isinstance(t, int):
+        raise _Unsupported("call target %r" % (t,))
+    rt = ctx.rt
+    ra = addr + 8  # the return point past the delay slot (pc + 8)
+
+    def h(ic):
+        c[0] += 1
+        rt[0] = ra
+        return t
+
+    return h
+
+
+def _c_retrt(ins, ctx, addr):
+    c = ctx.cell
+    rt = ctx.rt
+
+    def h(ic):
+        c[0] += 1
+        return rt[0]
+
+    return h
+
+
+def _c_mfrt(ins, ctx, addr):
+    c = ctx.cell
+    r, d, rt = ctx.r, ins.dst.index, ctx.rt
+
+    def h(ic):
+        c[0] += 1
+        r[d] = rt[0]
+
+    return h
+
+
+def _c_mtrt(ins, ctx, addr):
+    c = ctx.cell
+    rt = ctx.rt
+    g0 = _value_getter(ctx, ins.xsrcs[0])
+
+    def h(ic):
+        c[0] += 1
+        rt[0] = g0()
+
+    return h
+
+
+_BASELINE_OPS = dict(_COMMON_OPS)
+_BASELINE_OPS.update(
+    {
+        "cmp": _c_cmp,
+        "fcmp": _c_cmp,
+        "bcc": _c_bcc,
+        "fbcc": _c_bcc,
+        "jmp": _c_jmp,
+        "ijmp": _c_ijmp,
+        "call": _c_call,
+        "retrt": _c_retrt,
+        "mfrt": _c_mfrt,
+        "mtrt": _c_mtrt,
+    }
+)
+
+
+# -- branch-register-machine factories ----------------------------------------
+
+
+def _c_bta(ins, ctx, addr):
+    c = ctx.cell
+    t = ins.t_addr
+    if not isinstance(t, int):
+        raise _Unsupported("bta target %r" % (t,))
+    b, bsa, d = ctx.b, ctx.b_set_at, ins.dst.index
+
+    def h(ic):
+        c[0] += 1
+        b[d] = t
+        bsa[d] = ic
+
+    return h
+
+
+def _c_btalo(ins, ctx, addr):
+    c = ctx.cell
+    lo_bits = ctx.spec.imm_bits - 1
+    mask = (1 << lo_bits) - 1
+    if ins.t_addr is not None:
+        low = ins.t_addr & mask
+    else:
+        x1 = ins.xsrcs[1]
+        if type(x1) is not Imm:
+            raise _Unsupported("btalo low part %r" % (x1,))
+        low = x1.value & mask
+    b, bsa, d = ctx.b, ctx.b_set_at, ins.dst.index
+    g0 = _value_getter(ctx, ins.xsrcs[0])
+
+    def h(ic):
+        c[0] += 1
+        b[d] = (((g0() + low) & _MASK) ^ _SIGN) - _SIGN
+        bsa[d] = ic
+
+    return h
+
+
+def _c_bmov(ins, ctx, addr):
+    c = ctx.cell
+    b, bsa = ctx.b, ctx.b_set_at
+    d, s = ins.dst.index, ins.srcs[0].index
+
+    def h(ic):
+        c[0] += 1
+        b[d] = b[s]
+        bsa[d] = bsa[s]
+
+    return h
+
+
+def _c_bld(ins, ctx, addr):
+    c = ctx.cell
+    s, off = _mem_addr_parts(ctx, ins.xsrcs[0], ins.xsrcs[1])
+    load = ctx.memory.load_word
+    b, bsa, d = ctx.b, ctx.b_set_at, ins.dst.index
+    if s is not None and s[0] == "r":
+        a = s[1]
+        r = ctx.r
+
+        def h(ic):
+            c[0] += 1
+            b[d] = load(r[a] + off)
+            bsa[d] = ic
+
+        return h
+    g0 = _value_getter(ctx, ins.xsrcs[0])
+
+    def h(ic):
+        c[0] += 1
+        b[d] = load(g0() + off)
+        bsa[d] = ic
+
+    return h
+
+
+def _c_bst(ins, ctx, addr):
+    c = ctx.cell
+    s, off = _mem_addr_parts(ctx, ins.xsrcs[1], ins.xsrcs[2])
+    store = ctx.memory.store_word
+    b, sv = ctx.b, ins.srcs[0].index
+    if s is not None and s[0] == "r":
+        a = s[1]
+        r = ctx.r
+
+        def h(ic):
+            c[0] += 1
+            store(r[a] + off, b[sv])
+
+        return h
+    gb = _value_getter(ctx, ins.xsrcs[1])
+
+    def h(ic):
+        c[0] += 1
+        store(gb() + off, b[sv])
+
+    return h
+
+
+def _c_cmpset(ins, ctx, addr):
+    c = ctx.cell
+    fn = _CONDS.get(ins.cond)
+    if fn is None:
+        raise _Unsupported("condition %r" % (ins.cond,))
+    d = ins.dst.index
+    btrue = ins.btrue
+    b, bsa, csa = ctx.b, ctx.b_set_at, ctx.cmpset_at
+    SEQ, READY = ctx.SEQ, ctx.READY
+    g0 = _value_getter(ctx, ins.xsrcs[0])
+    g1 = _value_getter(ctx, ins.xsrcs[1])
+
+    def h(ic):
+        c[0] += 1
+        if fn(g0(), g1()):
+            b[d] = b[btrue]
+            bsa[d] = bsa[btrue]
+        else:
+            b[d] = SEQ
+            bsa[d] = READY
+        csa[d] = ic
+
+    return h
+
+
+_BRANCHREG_OPS = dict(_COMMON_OPS)
+_BRANCHREG_OPS.update(
+    {
+        "bta": _c_bta,
+        "btalo": _c_btalo,
+        "bmov": _c_bmov,
+        "bld": _c_bld,
+        "bst": _c_bst,
+        "cmpset": _c_cmpset,
+        "fcmpset": _c_cmpset,
+    }
+)
+
+
+def _with_transfer(eff, ins, ctx, addr):
+    """Compose an instruction's effect with the branch-register transfer
+    epilogue (read ``b[br]``, record gap histograms, clobber the link
+    register, return the absolute next pc)."""
+    br = ins.br
+    nb = ctx.spec.branch_regs
+    if not isinstance(br, int) or not 0 < br < nb:
+        raise _Unsupported("branch-register field %r" % (br,))
+    seq = addr + 4
+    b, bsa, link = ctx.b, ctx.b_set_at, ctx.link
+    stats = ctx.stats
+    SEQ, READY, CAP = ctx.SEQ, ctx.READY, ctx.GAP_CAP
+    prefetch_gap = stats.prefetch_gap
+    if getattr(ins, "tkind", "jump") == "cond":
+        csa = ctx.cmpset_at
+        compare_gap = stats.compare_gap
+        cond_joint = stats.cond_joint
+        taken = ctx.taken
+
+        def h(ic):
+            eff(ic)
+            target = b[br]
+            gap_c = ic - csa[br]
+            if gap_c > CAP:
+                gap_c = CAP
+            compare_gap[gap_c] += 1
+            set_at = bsa[br]
+            if target is SEQ or set_at == READY:
+                gap_p = READY
+            else:
+                gap_p = ic - set_at
+                if gap_p > CAP:
+                    gap_p = CAP
+            cond_joint[(gap_p, gap_c)] += 1
+            if target is not SEQ:
+                taken[0] += 1
+            prefetch_gap[gap_p] += 1
+            b[link] = seq
+            bsa[link] = ic
+            return seq if target is SEQ else target
+
+        return h
+
+    def h(ic):
+        eff(ic)
+        target = b[br]
+        set_at = bsa[br]
+        if target is SEQ or set_at == READY:
+            prefetch_gap[READY] += 1
+        else:
+            gap = ic - set_at
+            prefetch_gap[gap if gap < CAP else CAP] += 1
+        b[link] = seq
+        bsa[link] = ic
+        return seq if target is SEQ else target
+
+    return h
+
+
+#: Longest superinstruction (head + body + optional tail).  The run
+#: loops leave ``MAX_CHAIN - 1`` instructions of budget to the reference
+#: tail so a chain can never retire past the instruction limit.
+MAX_CHAIN = 4
+
+
+def _fuse_seq(h1, h2, nextpc):
+    """Superinstruction: sequential (non-raising) handlers retire
+    atomically at consecutive icounts; execution continues at the
+    burned-in next pc."""
+
+    def h(ic):
+        h1(ic)
+        h2(ic + 1)
+        return nextpc
+
+    return h
+
+
+def _seq3(h1, h2, h3, nextpc):
+    def h(ic):
+        h1(ic)
+        h2(ic + 1)
+        h3(ic + 2)
+        return nextpc
+
+    return h
+
+
+def _seq4(h1, h2, h3, h4, nextpc):
+    def h(ic):
+        h1(ic)
+        h2(ic + 1)
+        h3(ic + 2)
+        h4(ic + 3)
+        return nextpc
+
+    return h
+
+
+def _fuse_to_transfer(h1, h2):
+    """Superinstruction whose tail always transfers (returns the
+    absolute next pc / npc itself)."""
+
+    def h(ic):
+        h1(ic)
+        return h2(ic + 1)
+
+    return h
+
+
+def _chain3_t(h1, h2, h3):
+    def h(ic):
+        h1(ic)
+        h2(ic + 1)
+        return h3(ic + 2)
+
+    return h
+
+
+def _chain4_t(h1, h2, h3, h4):
+    def h(ic):
+        h1(ic)
+        h2(ic + 1)
+        h3(ic + 2)
+        return h4(ic + 3)
+
+    return h
+
+
+def _fuse_base_cond(h1, h2, fallthrough):
+    """Baseline superinstruction with a ``bcc``/``fbcc`` tail: the new
+    npc is the branch target or the burned-in fall-through."""
+
+    def h(ic):
+        h1(ic)
+        t = h2(ic + 1)
+        return fallthrough if t is None else t
+
+    return h
+
+
+def _chain3_cond(h1, h2, h3, fallthrough):
+    def h(ic):
+        h1(ic)
+        h2(ic + 1)
+        t = h3(ic + 2)
+        return fallthrough if t is None else t
+
+    return h
+
+
+def _chain4_cond(h1, h2, h3, h4, fallthrough):
+    def h(ic):
+        h1(ic)
+        h2(ic + 1)
+        h3(ic + 2)
+        t = h4(ic + 3)
+        return fallthrough if t is None else t
+
+    return h
+
+
+#: Chain builders by total length; ``seq`` takes a burned-in next pc,
+#: ``t`` ends in an always-taken transfer, ``cond`` in a baseline
+#: conditional with a burned-in fall-through.
+_SEQ_CHAIN = {2: _fuse_seq, 3: _seq3, 4: _seq4}
+_T_CHAIN = {2: _fuse_to_transfer, 3: _chain3_t, 4: _chain4_t}
+_COND_CHAIN = {2: _fuse_base_cond, 3: _chain3_cond, 4: _chain4_cond}
+
+
+# -- fusion safety ------------------------------------------------------------
+
+#: Ops whose compiled closures cannot raise (given in-range operands):
+#: pure register/immediate arithmetic, compares, and branch-register
+#: target-address manipulation.  Anything touching memory, dividing, or
+#: trapping is excluded.
+_SAFE_OPS = frozenset(
+    (
+        "noop", "li", "sethi", "addlo", "mov", "fmov", "neg", "not",
+        "fneg", "cvtif", "add", "sub", "mul", "and", "or", "xor",
+        "shl", "shr", "fadd", "fsub", "fmul", "cmp", "fcmp",
+        "cmpset", "fcmpset", "bta", "bmov", "mfrt", "mtrt",
+    )
+)
+_INT_DST_OPS = frozenset(
+    ("li", "sethi", "addlo", "mov", "neg", "not", "add", "sub", "mul",
+     "and", "or", "xor", "shl", "shr", "mfrt")
+)
+_FLT_DST_OPS = frozenset(("fmov", "fneg", "cvtif", "fadd", "fsub", "fmul"))
+
+#: Baseline control ops whose compiled closures cannot raise: their
+#: factories already validated the condition and target address.
+_SAFE_BASE_CONTROL = frozenset(("bcc", "fbcc", "jmp", "call", "retrt"))
+
+
+def _is_safe(ins, ctx):
+    """True when the instruction's compiled closure provably cannot
+    raise, making it eligible for superinstruction fusion."""
+    op = ins.op
+    if op not in _SAFE_OPS:
+        return False
+    nr = ctx.spec.ints.count
+    nf = ctx.spec.flts.count
+
+    def src_ok(x):
+        if type(x) is Imm:
+            return True
+        if type(x) is Reg:
+            if x.kind == "r":
+                return 0 <= x.index < nr
+            if x.kind == "f":
+                return 0 <= x.index < nf
+        return False
+
+    if not all(src_ok(x) for x in ins.xsrcs):
+        return False
+    dst = ins.dst
+    if op in _INT_DST_OPS:
+        return type(dst) is Reg and 0 <= dst.index < nr
+    if op in _FLT_DST_OPS:
+        return type(dst) is Reg and 0 <= dst.index < nf
+    if op in ("cmpset", "fcmpset", "bta", "bmov"):
+        nb = ctx.spec.branch_regs
+        if type(dst) is not Reg or not 0 <= dst.index < nb:
+            return False
+        if op == "bta":
+            return isinstance(ins.t_addr, int)
+        if op == "bmov":
+            s = ins.srcs[0] if ins.srcs else None
+            return type(s) is Reg and 0 <= s.index < nb
+        return (
+            ins.cond in _CONDS
+            and isinstance(ins.btrue, int)
+            and 0 <= ins.btrue < nb
+        )
+    return True  # noop, cmp, fcmp, mtrt
+
+
+def _is_safe_baseline_tail(ins, ctx):
+    """True when the instruction can be the *second* half of a baseline
+    superinstruction: any safe sequential op, or a control op whose
+    closure cannot raise."""
+    op = ins.op
+    if op in _SAFE_BASE_CONTROL:
+        return True
+    if op == "ijmp":
+        x = ins.xsrcs[0]
+        if type(x) is Imm:
+            return True
+        return (
+            type(x) is Reg and x.kind == "r"
+            and 0 <= x.index < ctx.spec.ints.count
+        )
+    return _is_safe(ins, ctx)
+
+
+# -- static-stats reconstruction ----------------------------------------------
+
+
+def _flush_spec(ins, machine):
+    """(opcount names, int stat fields) credited once per execution of
+    this slot; mirrors what the reference handlers increment."""
+    op = ins.op
+    fields = []
+    if op == "noop":
+        fields.append("noops")
+    elif op in ("lw", "lb", "lf"):
+        fields += ["loads", "data_refs"]
+    elif op in ("sw", "sb", "sf"):
+        fields += ["stores", "data_refs"]
+    elif op == "trap":
+        fields.append("traps")
+    if machine == "baseline":
+        if op in ("bcc", "fbcc"):
+            fields.append("cond_transfers")
+        elif op in ("jmp", "ijmp"):
+            fields.append("uncond_transfers")
+        elif op == "call":
+            fields += ["uncond_transfers", "calls"]
+        elif op == "retrt":
+            fields += ["uncond_transfers", "returns"]
+    else:
+        if op in ("bta", "btalo"):
+            fields.append("bta_calcs")
+        elif op == "bld":
+            fields += ["loads", "data_refs"]
+            if ins.note.startswith("restore"):
+                fields.append("branch_reg_restores")
+        elif op == "bst":
+            fields += ["stores", "data_refs"]
+            if ins.note.startswith("save"):
+                fields.append("branch_reg_saves")
+        if ins.br:
+            if getattr(ins, "tkind", "jump") == "cond":
+                fields.append("cond_transfers")
+            else:
+                fields.append("uncond_transfers")
+                tkind = getattr(ins, "tkind", "jump")
+                if tkind == "call":
+                    fields.append("calls")
+                elif tkind == "return":
+                    fields.append("returns")
+            if ins.is_noop():
+                fields.append("noop_carriers")
+            else:
+                fields.append("useful_carriers")
+                if ins.is_bta_calc():
+                    fields.append("bta_carriers")
+    return ((op,), tuple(fields))
+
+
+def _flush(stats, cells, specs, taken):
+    """Credit the statically-reconstructible counters from the per-slot
+    execution cells (called exactly once, on any loop exit).
+
+    Each compiled closure increments its own cell, so a superinstruction
+    needs no spec merging: its head and tail closures each count their
+    own slot, whatever the entry path.  Cells are zeroed after crediting
+    so a flush is idempotent."""
+    opcounts = stats.opcounts
+    for i, cell in enumerate(cells):
+        c = cell[0]
+        if not c:
+            continue
+        cell[0] = 0
+        names, fields = specs[i]
+        for name in names:
+            opcounts[name] += c
+        for fname in fields:
+            setattr(stats, fname, getattr(stats, fname) + c)
+    if taken[0]:
+        stats.cond_taken += taken[0]
+        taken[0] = 0
+
+
+# -- predecode ----------------------------------------------------------------
+
+
+def prepare(emulator):
+    """Predecode the emulator's image into a closure table.
+
+    Returns a zero-argument runner (drop-in for ``_run_plain``) or
+    ``None`` -- with ``emulator.fast_fallback`` explaining why -- when
+    the image or machine state cannot be compiled faithfully."""
+    machine = emulator.MACHINE_NAME
+    if machine == "baseline":
+        build = _prepare_baseline
+    elif machine == "branchreg":
+        build = _prepare_branchreg
+    else:
+        emulator.fast_fallback = "unknown machine %r" % (machine,)
+        return None
+    if type(emulator.memory) is not Memory:
+        emulator.fast_fallback = "memory proxied (fault injection)"
+        return None
+    if type(emulator.r) is not list or type(emulator.f) is not list:
+        emulator.fast_fallback = "register file proxied (fault injection)"
+        return None
+    if machine == "branchreg" and (
+        type(emulator.b) is not list
+        or type(emulator.b_set_at) is not list
+        or type(emulator.cmpset_at) is not list
+    ):
+        emulator.fast_fallback = "branch registers proxied (fault injection)"
+        return None
+    try:
+        return build(emulator)
+    except _Unsupported as exc:
+        emulator.fast_fallback = str(exc) or "unsupported instruction"
+        return None
+    except Exception as exc:  # corrupted image shapes, missing operands...
+        emulator.fast_fallback = "predecode failed: %s" % (exc,)
+        return None
+
+
+def _prepare_baseline(emu):
+    ctx = _Ctx(emu)
+    ctx.cc = [emu.cc[0], emu.cc[1]]
+    ctx.rt = [emu.rt]
+    instrs = emu.image.instrs
+    n = len(instrs)
+    handlers = [None] * n
+    lens = [1] * n
+    specs = [None] * n
+    cells = [[0] for _ in range(n)]
+    for i, ins in enumerate(instrs):
+        factory = _BASELINE_OPS.get(ins.op)
+        if factory is None:
+            raise _Unsupported("op %r" % (ins.op,))
+        ctx.cell = cells[i]
+        handlers[i] = factory(ins, ctx, TEXT_BASE + 4 * i)
+        specs[i] = _flush_spec(ins, "baseline")
+    # Fuse straight-line runs (up to MAX_CHAIN long) into
+    # superinstructions.  The fused closure assumes the delayed-branch
+    # entry invariant npc == pc + 4, which only a taken transfer breaks;
+    # statically that means: never start a chain in a delay slot (the
+    # word after a control op).  The body must be safe sequential ops;
+    # the last element may be any safe op *including* a control op (its
+    # delay slot is then the word after the chain, which the loop
+    # fetches next -- delayed semantics fall out).  A jump *into* a
+    # chain lands on that slot's untouched standalone handler;
+    # overlapping chains are consistent because each chain captured the
+    # standalone closures, which also count their own cells (no spec
+    # merging).
+    plain = [h for h in handlers]
+    for i in range(n - 1):
+        head = instrs[i]
+        if head.op in BASELINE_CONTROL or not _is_safe(head, ctx):
+            continue
+        if i > 0 and instrs[i - 1].op in BASELINE_CONTROL:
+            continue  # delay slot: npc == pc + 4 not guaranteed on entry
+        parts = [plain[i]]
+        kind = "seq"
+        j = i + 1
+        while len(parts) < MAX_CHAIN and j < n:
+            tail = instrs[j]
+            if tail.op not in BASELINE_CONTROL and _is_safe(tail, ctx):
+                parts.append(plain[j])
+                j += 1
+                continue
+            if _is_safe_baseline_tail(tail, ctx):
+                parts.append(plain[j])
+                kind = "cond" if tail.op in ("bcc", "fbcc") else "t"
+            break
+        k = len(parts)
+        if k < 2:
+            continue
+        after = TEXT_BASE + 4 * (i + k) + 4  # npc past the chain
+        if kind == "seq":
+            handlers[i] = _SEQ_CHAIN[k](*parts, after)
+        elif kind == "t":
+            handlers[i] = _T_CHAIN[k](*parts)
+        else:
+            handlers[i] = _COND_CHAIN[k](*parts, after)
+        lens[i] = k
+    return _make_baseline_runner(emu, ctx, handlers, lens, specs, cells)
+
+
+def _prepare_branchreg(emu):
+    from repro.emu.branchreg_emu import GAP_CAP, READY, _SEQ
+
+    ctx = _Ctx(emu)
+    ctx.SEQ = _SEQ
+    ctx.READY = READY
+    ctx.GAP_CAP = GAP_CAP
+    instrs = emu.image.instrs
+    n = len(instrs)
+    handlers = [None] * n
+    lens = [1] * n
+    specs = [None] * n
+    cells = [[0] for _ in range(n)]
+    effects = [None] * n  # pre-epilogue effect, for fusion safety checks
+    for i, ins in enumerate(instrs):
+        factory = _BRANCHREG_OPS.get(ins.op)
+        if factory is None:
+            raise _Unsupported("op %r" % (ins.op,))
+        addr = TEXT_BASE + 4 * i
+        ctx.cell = cells[i]
+        eff = factory(ins, ctx, addr)
+        effects[i] = eff
+        if ins.br:
+            if ins.op in ("trap", "halt"):
+                # The runner's _STOP protocol cannot carry a transfer
+                # target as well; the reference loop handles this
+                # (never-generated) combination correctly.
+                raise _Unsupported("halting op with a transfer")
+            handlers[i] = _with_transfer(eff, ins, ctx, addr)
+        else:
+            handlers[i] = eff
+        specs[i] = _flush_spec(ins, "branchreg")
+    # Fuse straight-line runs (up to MAX_CHAIN long) into
+    # superinstructions: element m of a chain starting at icount ic runs
+    # at ic + m, including any transfer epilogue on the last element.
+    # Every element must be provably non-raising so the chain retires
+    # atomically; only the last element may carry a transfer (br != 0).
+    # A jump into a chain lands on that slot's untouched standalone
+    # handler; overlapping chains are consistent because each chain
+    # captured the standalone closures, which also count their own
+    # cells (no spec merging).
+    plain = [h for h in handlers]
+    for i in range(n - 1):
+        head = instrs[i]
+        if head.br or not _is_safe(head, ctx):
+            continue
+        parts = [plain[i]]
+        has_transfer = False
+        j = i + 1
+        while len(parts) < MAX_CHAIN and j < n:
+            tail = instrs[j]
+            if not _is_safe(tail, ctx):
+                break
+            parts.append(plain[j])
+            if tail.br:
+                has_transfer = True
+                break
+            j += 1
+        k = len(parts)
+        if k < 2:
+            continue
+        if has_transfer:
+            handlers[i] = _T_CHAIN[k](*parts)
+        else:
+            handlers[i] = _SEQ_CHAIN[k](*parts, TEXT_BASE + 4 * (i + k))
+        lens[i] = k
+    return _make_branchreg_runner(emu, ctx, handlers, lens, specs, cells)
+
+
+# -- run loops ----------------------------------------------------------------
+
+
+def _make_baseline_runner(emu, ctx, handlers, lens, specs, cells):
+    image = emu.image
+    by_pc = {TEXT_BASE + 4 * i: h for i, h in enumerate(handlers)}
+    len_by_pc = {TEXT_BASE + 4 * i: k for i, k in enumerate(lens)}
+
+    def run():
+        # Dispatch is one dict probe keyed by pc: a miss covers every bad
+        # fetch (misaligned, below text, past the end) in a single check,
+        # and the closures count their own cells, so the hot loop carries
+        # no index arithmetic, bounds tests, or per-slot bookkeeping.
+        Hg = by_pc.get
+        Lg = len_by_pc.__getitem__
+        STOP = _STOP
+        # A chain retires up to MAX_CHAIN instructions atomically;
+        # leave that margin so the loop can never run past the limit
+        # (the reference tail retires the remainder and raises the
+        # stamped limit error at the exact icount).
+        stop_at = emu.limit - (MAX_CHAIN - 1)
+        pc = emu.pc
+        npc = emu.npc
+        ic = emu.icount
+        stopped = False
+        bad = False
+        try:
+            while ic < stop_at:
+                h = Hg(pc)
+                if h is None:
+                    bad = True
+                    break
+                t = h(ic)
+                if t is None:  # sequential, one instruction
+                    ic += 1
+                    pc = npc
+                    npc = pc + 4
+                elif t is STOP:
+                    ic += 1
+                    pc = npc
+                    npc = pc + 4
+                    stopped = True
+                    break
+                else:  # t is the new npc
+                    k = Lg(pc)
+                    if k == 1:  # taken transfer
+                        ic += 1
+                        pc = npc
+                        npc = t
+                    else:  # fused pair: both slots retire
+                        ic += k
+                        pc += k << 2
+                        npc = t
+        except Exception:
+            # The faulting instruction does not retire (the reference
+            # raises from dispatch, before icount/pc advance).  Only
+            # standalone closures can raise -- fusion requires provably
+            # non-raising halves -- so the culprit's slot is pc's.
+            cells[(pc - TEXT_BASE) >> 2][0] -= 1
+            emu.pc, emu.npc, emu.icount = pc, npc, ic
+            emu.cc = (ctx.cc[0], ctx.cc[1])
+            emu.rt = ctx.rt[0]
+            _flush(emu.stats, cells, specs, ctx.taken)
+            raise
+        emu.pc, emu.npc, emu.icount = pc, npc, ic
+        emu.cc = (ctx.cc[0], ctx.cc[1])
+        emu.rt = ctx.rt[0]
+        _flush(emu.stats, cells, specs, ctx.taken)
+        if stopped:
+            emu.halted = True
+            return
+        if bad:
+            image.instruction_at(pc)  # raises the reference's exact error
+            raise AssertionError("unreachable: bad fetch did not raise")
+        # At most one instruction of budget left: let the reference loop
+        # retire it and raise the stamped limit error at the exact icount.
+        emu._run_plain()
+
+    return run
+
+
+def _make_branchreg_runner(emu, ctx, handlers, lens, specs, cells):
+    image = emu.image
+    by_pc = {TEXT_BASE + 4 * i: h for i, h in enumerate(handlers)}
+    len_by_pc = {TEXT_BASE + 4 * i: k for i, k in enumerate(lens)}
+
+    def run():
+        Hg = by_pc.get
+        Lg = len_by_pc.__getitem__
+        STOP = _STOP
+        stop_at = emu.limit - (MAX_CHAIN - 1)
+        pc = emu.pc
+        ic = emu.icount
+        stopped = False
+        bad = False
+        try:
+            while ic < stop_at:
+                h = Hg(pc)
+                if h is None:
+                    bad = True
+                    break
+                t = h(ic)
+                if t is None:  # sequential, one instruction
+                    ic += 1
+                    pc += 4
+                elif t is STOP:
+                    ic += 1
+                    pc += 4
+                    stopped = True
+                    break
+                else:  # transfer or fused pair: t is the new pc
+                    ic += Lg(pc)
+                    pc = t
+        except Exception:
+            cells[(pc - TEXT_BASE) >> 2][0] -= 1
+            emu.pc, emu.icount = pc, ic
+            _flush(emu.stats, cells, specs, ctx.taken)
+            raise
+        emu.pc, emu.icount = pc, ic
+        _flush(emu.stats, cells, specs, ctx.taken)
+        if stopped:
+            emu.halted = True
+            return
+        if bad:
+            image.instruction_at(pc)
+            raise AssertionError("unreachable: bad fetch did not raise")
+        emu._run_plain()
+
+    return run

@@ -16,6 +16,10 @@ class RunStats:
 
     machine: str = ""
     program: str = ""
+    #: Which run loop produced these counters ("reference" or "fast");
+    #: identity, not a measurement -- the conformance suite asserts the
+    #: measured fields are bit-identical across engines.
+    engine: str = ""
     instructions: int = 0
     data_refs: int = 0
     loads: int = 0
@@ -62,7 +66,7 @@ class RunStats:
 
     #: Fields that identify a run rather than measure it; ``merge`` leaves
     #: them untouched on the receiving side.
-    IDENTITY_FIELDS = ("machine", "program", "exit_code", "output")
+    IDENTITY_FIELDS = ("machine", "program", "engine", "exit_code", "output")
 
     def merge(self, other):
         """Accumulate another run's counters into this one (suite totals).

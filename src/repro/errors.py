@@ -132,3 +132,11 @@ class MachineDivergence(EmulationError):
         self.mismatches = list(mismatches or [])
         self.detail = dict(detail or {})
         super().__init__(message)
+
+
+class EngineDivergence(MachineDivergence):
+    """The fast (predecoded) and reference run loops disagreed on *any*
+    observable for the same image on the same machine: RunStats, final
+    architectural state, or the data segment.  The two engines must be
+    bit-identical by construction; this firing means the fast core (or
+    its fallback matrix) has a bug -- see ``docs/PERFORMANCE.md``."""

@@ -13,7 +13,8 @@ that argument executable three ways:
   differing global.
 * :func:`check_workloads` -- the oracle over the Appendix I suite.
 * :func:`fuzz_differential` -- seeded random SmallC programs checked
-  three ways (baseline vs branch-register vs the Python model), with
+  four ways (baseline vs branch-register vs the Python model, plus
+  fast-engine vs reference-engine equivalence on each machine), with
   automatic delta-debugging of any failing case down to a small
   reproducer source file.
 """
@@ -202,10 +203,14 @@ def check_workloads(
 
 def _check_generated(stmts, limit):
     """Oracle for one generated program: machines must agree with each
-    other *and* with the Python model.  Raises ReproError on failure."""
-    result = run_differential(
-        program_source(stmts), limit=limit, name="generated"
-    )
+    other, with the Python model, *and* each machine's fast engine must
+    be bit-identical to its reference engine.  Raises ReproError on
+    failure; an engine divergence minimises to a reproducer exactly like
+    a machine divergence does."""
+    from repro.harness.conformance import crosscheck_engines
+
+    source = program_source(stmts)
+    result = run_differential(source, limit=limit, name="generated")
     expected = expected_output(stmts)
     actual = result.output.decode("latin-1")
     if actual != expected:
@@ -215,6 +220,8 @@ def _check_generated(stmts, limit):
             mismatches=["model"],
             detail={"expected": expected, "actual": actual},
         )
+    for machine in ("baseline", "branchreg"):
+        crosscheck_engines(source, machine, limit=limit, name="generated")
     return result
 
 

@@ -1,0 +1,347 @@
+"""Golden-trace conformance: the gate that lets the fast core exist.
+
+The predecoded run loop (:mod:`repro.emu.fastcore`) is only trustworthy
+because this module can prove, mechanically, that it is *bit-identical*
+to the reference interpreter.  Two independent checks back that claim:
+
+* **Golden digests** -- for every Appendix I workload on both machines, a
+  reference-engine run is distilled into a JSON digest: exit state,
+  SHA-256 of the program output and of the final data segment, the full
+  RunStats counters, and a first/last-``WINDOW`` window of the executed
+  instruction trace.  The digests live in ``tests/golden/`` and are
+  checked (never silently regenerated) by ``repro golden --check`` and
+  ``tests/test_conformance.py``.  Any behavioural change to a compiler,
+  emulator, or workload shows up as a digest diff that must be reviewed
+  and re-recorded with ``repro golden --update``.
+
+* **Cross-engine check** -- :func:`crosscheck_engines` runs the same
+  image under ``engine="reference"`` and ``engine="fast"`` and compares
+  *all* observable state: RunStats (minus the ``engine`` identity
+  field), the data segment, both register files, the final pc/halt
+  flag, and the machine-specific control state (``npc``/``cc``/``rt``
+  on baseline; ``b``/``b_set_at``/``cmpset_at`` on branch-register).
+  Any difference raises :class:`~repro.errors.EngineDivergence`.
+
+The trace windows are produced by a *step-driven* reference run that
+mirrors ``BaseEmulator._run_plain`` exactly (same limit check, same
+stamped error), so a digest mismatch localises to the first/last
+diverging instruction rather than just "some counter is off".
+"""
+
+import hashlib
+import json
+import os
+from collections import deque
+
+from repro.emu.baseline_emu import BaselineEmulator
+from repro.emu.branchreg_emu import BranchRegEmulator
+from repro.emu.memory import DATA_BASE
+from repro.errors import EngineDivergence, RuntimeLimitExceeded
+from repro.obs import log
+from repro.rtl.printer import minstr_text
+
+GOLDEN_SCHEMA = "repro.golden/1"
+#: Same budget the suite runner uses; golden runs must retire the whole
+#: workload, not a truncated prefix.
+CONFORMANCE_LIMIT = 20_000_000
+#: Trace-window length: the first and last WINDOW executed instructions
+#: are recorded verbatim in each digest.
+WINDOW = 32
+MACHINES = ("baseline", "branchreg")
+
+_EMULATORS = {"baseline": BaselineEmulator, "branchreg": BranchRegEmulator}
+
+#: Default location of the recorded corpus: ``tests/golden`` next to the
+#: package's ``src`` tree (i.e. the repository checkout).
+DEFAULT_GOLDEN_DIR = os.path.join(
+    os.path.dirname(  # repo root
+        os.path.dirname(  # src
+            os.path.dirname(  # src/repro
+                os.path.dirname(os.path.abspath(__file__))  # src/repro/harness
+            )
+        )
+    ),
+    "tests",
+    "golden",
+)
+
+
+def _sha256(data):
+    return hashlib.sha256(bytes(data)).hexdigest()
+
+
+def _stats_digest(stats):
+    """RunStats as a JSON-stable dict, minus the ``engine`` identity
+    field (a digest describes behaviour, not which loop measured it)."""
+    from repro.obs.manifest import stats_to_dict
+
+    digest = stats_to_dict(stats)
+    digest.pop("engine", None)
+    return digest
+
+
+def _trace_line(emu):
+    return "0x%04x %s" % (
+        emu.pc, minstr_text(emu.image.instruction_at(emu.pc))
+    )
+
+
+def _traced_reference_run(emu, window=WINDOW):
+    """Step-drive a reference-engine emulator to completion, recording
+    the first and last ``window`` executed instructions.
+
+    Mirrors ``BaseEmulator._run_plain`` exactly -- same pre-step limit
+    check, same stamped :class:`RuntimeLimitExceeded` -- so the recorded
+    trace is the reference instruction stream, not an approximation.
+    Returns ``(stats, first_window, last_window)``.
+    """
+    first = []
+    last = deque(maxlen=window)
+    while not emu.halted:
+        if emu.icount >= emu.limit:
+            raise emu._limit_error()
+        line = _trace_line(emu)
+        if len(first) < window:
+            first.append(line)
+        last.append(line)
+        emu.step()
+    emu.stats.engine = "reference"
+    stats = emu._finalize()
+    return stats, first, list(last)
+
+
+def _fresh_emulator(image, machine, stdin, limit, name, engine):
+    image.reset()
+    emu = _EMULATORS[machine](
+        image, stdin=stdin, limit=limit, engine=engine
+    )
+    emu.stats.program = name
+    return emu
+
+
+def machine_digest(
+    source, machine, stdin=b"", name="", limit=CONFORMANCE_LIMIT,
+    options=None,
+):
+    """Golden digest of one program on one machine (reference engine).
+
+    Everything a behavioural regression could perturb is either included
+    verbatim (exit state, counters, trace windows) or content-addressed
+    (output and data-segment SHA-256), so the digest is small enough to
+    commit yet strong enough to catch a single flipped byte.
+    """
+    from repro.ease.environment import compile_for_machine
+
+    image = compile_for_machine(
+        source, machine, **(dict(options) if options else {})
+    )
+    emu = _fresh_emulator(image, machine, stdin, limit, name, "reference")
+    stats, first, last = _traced_reference_run(emu)
+    data = image.memory.read_bytes(DATA_BASE, image.data_end - DATA_BASE)
+    return {
+        "machine": machine,
+        "limit": limit,
+        "exit_code": stats.exit_code,
+        "instructions": stats.instructions,
+        "final_pc": emu.pc,
+        "output_len": len(stats.output),
+        "output_sha256": _sha256(stats.output),
+        "data_len": len(data),
+        "data_sha256": _sha256(data),
+        "stats": _stats_digest(stats),
+        "trace_first": first,
+        "trace_last": last,
+    }
+
+
+def golden_digest(wl, limit=CONFORMANCE_LIMIT):
+    """Full golden record for one workload: both machines' digests."""
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "workload": wl.name,
+        "machines": {
+            machine: machine_digest(
+                wl.source, machine, stdin=wl.stdin_bytes(), name=wl.name,
+                limit=limit,
+            )
+            for machine in MACHINES
+        },
+    }
+
+
+def _diff_digests(recorded, fresh, prefix=""):
+    """Flat list of dotted keys where two digest dicts disagree."""
+    diffs = []
+    for key in sorted(set(recorded) | set(fresh)):
+        path = prefix + key
+        a, b = recorded.get(key), fresh.get(key)
+        if isinstance(a, dict) and isinstance(b, dict):
+            diffs.extend(_diff_digests(a, b, path + "."))
+        elif a != b:
+            diffs.append(path)
+    return diffs
+
+
+def golden_path(golden_dir, name):
+    return os.path.join(golden_dir, "%s.json" % name)
+
+
+def check_goldens(
+    golden_dir=None, names=None, update=False, limit=CONFORMANCE_LIMIT,
+):
+    """Check (or re-record) the golden corpus for the named workloads.
+
+    With ``update=False`` every workload's fresh reference digest is
+    compared against the recorded one; missing or mismatching records
+    are reported, never rewritten.  With ``update=True`` the fresh
+    digests are written out (sorted keys, stable formatting) so diffs
+    review cleanly.
+
+    Returns a report dict::
+
+        {"checked": [...], "updated": [...],
+         "failures": [{"workload", "reason", "diffs"}, ...]}
+    """
+    from repro.harness.runner import resolve_workloads
+
+    golden_dir = golden_dir or DEFAULT_GOLDEN_DIR
+    selected = resolve_workloads(tuple(names) if names is not None else None)
+    report = {"checked": [], "updated": [], "failures": []}
+    for wl in selected:
+        fresh = golden_digest(wl, limit=limit)
+        path = golden_path(golden_dir, wl.name)
+        if update:
+            os.makedirs(golden_dir, exist_ok=True)
+            with open(path, "w") as handle:
+                json.dump(fresh, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            report["updated"].append(wl.name)
+            log.info("golden: recorded %s", wl.name)
+            continue
+        if not os.path.exists(path):
+            report["failures"].append(
+                {"workload": wl.name, "reason": "missing", "diffs": []}
+            )
+            continue
+        with open(path) as handle:
+            recorded = json.load(handle)
+        diffs = _diff_digests(recorded, fresh)
+        if diffs:
+            report["failures"].append(
+                {"workload": wl.name, "reason": "mismatch", "diffs": diffs}
+            )
+            log.warning(
+                "golden: %s diverges from its recorded digest: %s",
+                wl.name, ", ".join(diffs[:8]),
+            )
+        else:
+            report["checked"].append(wl.name)
+    return report
+
+
+# -- cross-engine equivalence --------------------------------------------------
+
+
+def _final_state(image, machine, stdin, limit, name, engine):
+    """Run one engine over a (reset) image and capture every observable.
+
+    A run that exhausts the instruction budget is itself an observable:
+    the stamped icount/pc pair is recorded and the partial architectural
+    state still participates in the comparison.
+    """
+    emu = _fresh_emulator(image, machine, stdin, limit, name, engine)
+    limit_hit = None
+    try:
+        emu.run()
+    except RuntimeLimitExceeded as exc:
+        limit_hit = {"icount": exc.icount, "pc": exc.pc}
+    state = {
+        "stats": _stats_digest(emu.stats),
+        "pc": emu.pc,
+        "halted": emu.halted,
+        "icount": emu.icount,
+        "r": list(emu.r),
+        "f": list(emu.f),
+        "data": bytes(
+            image.memory.read_bytes(DATA_BASE, image.data_end - DATA_BASE)
+        ),
+        "limit_exceeded": limit_hit,
+    }
+    if machine == "baseline":
+        state["npc"] = emu.npc
+        state["cc"] = emu.cc
+        state["rt"] = emu.rt
+    else:
+        state["b"] = list(emu.b)
+        state["b_set_at"] = list(emu.b_set_at)
+        state["cmpset_at"] = list(emu.cmpset_at)
+    return state, emu
+
+
+def crosscheck_engines(
+    source, machine, stdin=b"", limit=CONFORMANCE_LIMIT, name="",
+    options=None,
+):
+    """Prove the fast and reference engines agree on one program.
+
+    Compiles once, runs the image under the reference loop, resets it,
+    runs it again under the fast loop, and compares the complete
+    observable state of both runs.  Raises
+    :class:`~repro.errors.EngineDivergence` naming every differing
+    channel; otherwise returns a summary dict recording which loop the
+    fast run actually used (``fast_fallback`` explains a reference
+    fallback, e.g. under fault-injection proxies).
+    """
+    from repro.ease.environment import compile_for_machine
+
+    image = compile_for_machine(
+        source, machine, **(dict(options) if options else {})
+    )
+    ref, _ = _final_state(image, machine, stdin, limit, name, "reference")
+    fast, fast_emu = _final_state(image, machine, stdin, limit, name, "fast")
+    mismatches = sorted(
+        key for key in ref
+        if ref[key] != fast[key]
+    )
+    if mismatches:
+        detail = {}
+        if "stats" in mismatches:
+            detail["stats_keys"] = _diff_digests(ref["stats"], fast["stats"])
+        for key in mismatches:
+            if key not in ("stats", "data"):
+                detail["reference_" + key] = repr(ref[key])
+                detail["fast_" + key] = repr(fast[key])
+        raise EngineDivergence(
+            "engines diverge on %s/%s: %s differ"
+            % (name or "program", machine, ", ".join(mismatches)),
+            mismatches=mismatches,
+            detail=detail,
+        )
+    return {
+        "name": name,
+        "machine": machine,
+        "engine": fast_emu.stats.engine,
+        "fast_fallback": fast_emu.fast_fallback,
+        "instructions": fast["icount"],
+    }
+
+
+def crosscheck_workloads(names=None, limit=CONFORMANCE_LIMIT):
+    """Cross-engine check over the workload suite (both machines).
+
+    Returns the list of per-run summary dicts; raises
+    :class:`~repro.errors.EngineDivergence` on the first disagreement.
+    """
+    from repro.harness.runner import resolve_workloads
+
+    results = []
+    for wl in resolve_workloads(tuple(names) if names is not None else None):
+        for machine in MACHINES:
+            log.info("crosscheck: %s on %s", wl.name, machine)
+            results.append(
+                crosscheck_engines(
+                    wl.source, machine, stdin=wl.stdin_bytes(),
+                    limit=limit, name=wl.name,
+                )
+            )
+    return results

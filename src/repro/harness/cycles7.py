@@ -13,11 +13,13 @@ from repro.harness.runner import run_suite, suite_summary
 from repro.pipeline.model import estimate_all
 
 
-def run_cycle_estimate(stages_list=(3, 4, 5), subset=None, limit=None, jobs=None):
+def run_cycle_estimate(
+    stages_list=(3, 4, 5), subset=None, limit=None, jobs=None, engine=None
+):
     """Returns {"estimates": [per-stage dicts], "text": table}.
-    ``jobs`` forwards to :func:`run_suite` for worker-pool fan-out."""
+    ``jobs`` and ``engine`` forward to :func:`run_suite`."""
     kwargs = {} if limit is None else {"limit": limit}
-    pairs = run_suite(subset=subset, jobs=jobs, **kwargs)
+    pairs = run_suite(subset=subset, jobs=jobs, engine=engine, **kwargs)
     baseline, branchreg = suite_summary(pairs)
     estimates = [
         estimate_all(baseline, branchreg, stages=stages) for stages in stages_list

@@ -224,7 +224,7 @@ def _run_workload_task(task):
     span snapshots, and raw event dicts.
     """
     (name, limit, options, fault_tolerant, deadline_s, sample_every,
-     cache_root) = task
+     cache_root, engine) = task
     from repro.ease.environment import run_pair
 
     METRICS.reset()
@@ -251,6 +251,7 @@ def _run_workload_task(task):
                     deadline_s=deadline_s,
                     record_edges=fault_tolerant,
                     cache=cache,
+                    engine=engine,
                 )
             except ReproError as exc:
                 if fault_tolerant:
@@ -286,6 +287,7 @@ def run_suite_parallel(
     limit_overrides=None,
     cache_dir=None,
     sample_every=None,
+    engine=None,
 ):
     """Fan the suite out to worker processes; returns a ``SuiteResult``.
 
@@ -322,6 +324,7 @@ def run_suite_parallel(
             deadline_s,
             sample_every,
             cache_root,
+            engine,
         )
         for w in workloads
     ]
@@ -360,7 +363,7 @@ def run_suite_parallel(
 
 def _run_machine_task(task):
     """Worker entry point: compile and run one program on one machine."""
-    (source, machine, stdin, limit, name, options, cache_root) = task
+    (source, machine, stdin, limit, name, options, cache_root, engine) = task
     from repro.ease.environment import run_on_machine
 
     return run_on_machine(
@@ -370,13 +373,14 @@ def _run_machine_task(task):
         limit=limit,
         name=name,
         cache=_worker_cache(cache_root),
+        engine=engine,
         **(dict(options) if options else {}),
     )
 
 
 def run_pair_parallel(
     source, stdin=b"", limit=None, name="", branchreg_options=None,
-    jobs=2, cache_dir=None,
+    jobs=2, cache_dir=None, engine=None,
 ):
     """Run one program on both machines concurrently and cross-check the
     outputs -- the two-process analogue of
@@ -385,8 +389,12 @@ def run_pair_parallel(
 
     options = tuple(sorted((branchreg_options or {}).items()))
     cache_root = resolve_cache_dir(cache_dir)
-    base_task = (source, "baseline", stdin, limit, name, (), cache_root)
-    br_task = (source, "branchreg", stdin, limit, name, options, cache_root)
+    base_task = (
+        source, "baseline", stdin, limit, name, (), cache_root, engine,
+    )
+    br_task = (
+        source, "branchreg", stdin, limit, name, options, cache_root, engine,
+    )
     base_stats, br_stats = map_tasks(
         _run_machine_task, [base_task, br_task], jobs
     )

@@ -16,6 +16,7 @@ can see whether they actually re-ran anything.
 """
 
 from repro.ease.environment import run_pair
+from repro.emu.fastcore import resolve_engine
 from repro.emu.stats import suite_totals
 from repro.errors import ReproError
 from repro.obs import METRICS, log, span
@@ -94,6 +95,7 @@ def run_suite(
     jobs=None,
     cache_dir=None,
     sample_every=None,
+    engine=None,
 ):
     """Run (or reuse) the suite; returns a :class:`SuiteResult`.
 
@@ -115,7 +117,11 @@ def run_suite(
     parallel runs and *no* cache for serial runs, preserving their
     historical metrics; False = disabled).
 
-    The memo cache is keyed only on (subset, limit, branchreg options),
+    ``engine`` selects the emulation run loop ("fast"/"reference";
+    default: the ``REPRO_ENGINE`` environment variable, else "fast") and
+    is resolved once here so the memo cache key is stable.
+
+    The memo cache is keyed on (subset, limit, branchreg options, engine),
     so any argument outside that key -- an observer, fault tolerance, a
     wall-clock deadline, per-workload limit overrides -- forces a fresh
     uncached run; returning another caller's cached result (or caching
@@ -138,7 +144,8 @@ def run_suite(
     names = tuple(subset) if subset is not None else None
     selected = resolve_workloads(names)
     options = tuple(sorted((branchreg_options or {}).items()))
-    key = (names, limit, options)
+    engine = resolve_engine(engine)
+    key = (names, limit, options, engine)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     if jobs > 1 and observer is not None:
         log.debug(
@@ -173,6 +180,7 @@ def run_suite(
             limit_overrides=limit_overrides,
             cache_dir=cache_dir,
             sample_every=sample_every,
+            engine=engine,
         )
     else:
         result = _run_suite_serial(
@@ -184,6 +192,7 @@ def run_suite(
             deadline_s=deadline_s,
             limit_overrides=limit_overrides,
             cache_dir=cache_dir,
+            engine=engine,
         )
     if use_cache:
         # Store a private copy so mutations of the returned result can
@@ -201,6 +210,7 @@ def _run_suite_serial(
     deadline_s=None,
     limit_overrides=None,
     cache_dir=None,
+    engine=None,
 ):
     """The historical in-process suite loop."""
     cache = None
@@ -226,6 +236,7 @@ def _run_suite_serial(
                         deadline_s=deadline_s,
                         record_edges=fault_tolerant,
                         cache=cache,
+                        engine=engine,
                     )
                 )
             except ReproError as exc:

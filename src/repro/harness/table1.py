@@ -16,11 +16,11 @@ from repro.ease.report import per_program_table, table1_text
 from repro.harness.runner import run_suite, suite_summary
 
 
-def run_table1(subset=None, limit=None, jobs=None):
+def run_table1(subset=None, limit=None, jobs=None, engine=None):
     """Run the experiment; returns a result dict (see keys below).
-    ``jobs`` forwards to :func:`run_suite` for worker-pool fan-out."""
+    ``jobs`` and ``engine`` forward to :func:`run_suite`."""
     kwargs = {} if limit is None else {"limit": limit}
-    pairs = run_suite(subset=subset, jobs=jobs, **kwargs)
+    pairs = run_suite(subset=subset, jobs=jobs, engine=engine, **kwargs)
     baseline, branchreg = suite_summary(pairs)
     saved = baseline.instructions - branchreg.instructions
     added_refs = branchreg.data_refs - baseline.data_refs

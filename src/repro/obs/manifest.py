@@ -28,12 +28,16 @@ from dataclasses import fields as dataclass_fields
 #: (see ``repro.fault.triage``).  Version 4 adds the optional
 #: ``parallel`` section emitted by ``--jobs N`` runs: the worker count
 #: plus the persistent artifact cache's hit/miss/corrupt counters (see
-#: ``docs/PERFORMANCE.md``).  Older manifests are still accepted on load
-#: so ``repro diff`` can compare against old artifacts.
+#: ``docs/PERFORMANCE.md``).  Version 5 adds ``config.engine``: which
+#: emulation run loop produced the numbers ("fast" predecoded core or
+#: the "reference" step loop -- bit-identical by the conformance suite,
+#: but provenance belongs in the record).  Older manifests are still
+#: accepted on load so ``repro diff`` can compare against old artifacts.
 SCHEMA_V1 = "repro.run-manifest/1"
 SCHEMA_V2 = "repro.run-manifest/2"
 SCHEMA_V3 = "repro.run-manifest/3"
-SCHEMA_ID = "repro.run-manifest/4"
+SCHEMA_V4 = "repro.run-manifest/4"
+SCHEMA_ID = "repro.run-manifest/5"
 
 
 class ManifestError(ValueError):
@@ -219,7 +223,7 @@ MANIFEST_SCHEMA = {
     "properties": {
         "schema": {
             "type": "string",
-            "enum": [SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_ID],
+            "enum": [SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4, SCHEMA_ID],
         },
         "created_unix": {"type": "number"},
         "duration_s": {"type": "number"},
@@ -246,6 +250,7 @@ MANIFEST_SCHEMA = {
             "properties": {
                 "subset": {"type": ["array", "null"], "items": {"type": "string"}},
                 "limit": {"type": ["integer", "null"]},
+                "engine": {"type": "string"},
             },
         },
         "programs": {
@@ -420,16 +425,19 @@ def build_manifest(
             else 0.0
         ),
     }
+    config_section = {
+        "subset": list(config.get("subset")) if config.get("subset") else None,
+        "limit": config.get("limit"),
+    }
+    if config.get("engine"):
+        config_section["engine"] = config["engine"]
     manifest = {
         "schema": SCHEMA_ID,
         "created_unix": time.time() if created_unix is None else created_unix,
         "duration_s": duration_s,
         "environment": environment_info(),
         "provenance": provenance if provenance is not None else collect_provenance(),
-        "config": {
-            "subset": list(config.get("subset")) if config.get("subset") else None,
-            "limit": config.get("limit"),
-        },
+        "config": config_section,
         "programs": programs,
         "totals": totals,
         "phases": list(span_rows or []),

@@ -40,8 +40,13 @@ def run_report(
     deadline_s=None,
     jobs=None,
     cache_dir=False,
+    engine=None,
 ):
     """Run the (sub)suite instrumented; returns {"manifest", "text", "pairs"}.
+
+    ``engine`` selects the emulation run loop ("fast"/"reference";
+    default ``REPRO_ENGINE``, else "fast") and is recorded in the
+    manifest's ``config.engine`` field (schema v5).
 
     ``subset`` is an iterable of workload names (None = all 19);
     ``events_path`` writes the raw event stream as JSON lines alongside
@@ -68,9 +73,11 @@ def run_report(
     (a path, or None for the ``REPRO_CACHE_DIR``/platform default) to
     trade compile-phase fidelity for speed.
     """
+    from repro.emu.fastcore import resolve_engine
     from repro.harness.parallel import default_jobs, resolve_cache_dir
     from repro.harness.runner import DEFAULT_LIMIT, run_suite
 
+    engine = resolve_engine(engine)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     if reset:
         METRICS.reset()
@@ -90,6 +97,7 @@ def run_report(
             jobs=jobs,
             cache_dir=cache_dir,
             sample_every=sample_every,
+            engine=engine,
         )
     finally:
         if sink is not None:
@@ -114,7 +122,11 @@ def run_report(
         }
     manifest = build_manifest(
         pairs,
-        config={"subset": tuple(subset) if subset else None, "limit": limit},
+        config={
+            "subset": tuple(subset) if subset else None,
+            "limit": limit,
+            "engine": engine,
+        },
         duration_s=duration,
         span_rows=span_rows,
         phase_totals=RECORDER.phase_totals(),

@@ -1,0 +1,154 @@
+"""The conformance gate for the predecoded fast core.
+
+Three layers of evidence, strongest first:
+
+* :func:`crosscheck_engines` proves the fast and reference run loops
+  produce bit-identical observable state (RunStats, registers, data
+  segment, final control state) for real workloads;
+* the committed ``tests/golden/`` corpus pins the *reference* behaviour
+  itself, so neither engine can drift without a reviewed digest update;
+* targeted unit tests cover the digest diffing and failure reporting.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import EngineDivergence
+from repro.harness import conformance
+from repro.harness.conformance import (
+    DEFAULT_GOLDEN_DIR,
+    GOLDEN_SCHEMA,
+    MACHINES,
+    WINDOW,
+    check_goldens,
+    crosscheck_engines,
+    crosscheck_workloads,
+    golden_digest,
+    golden_path,
+)
+from repro.workloads import workload, workload_names
+
+#: Small enough to keep tier-1 fast; the full corpus is checked by
+#: ``repro golden`` in CI.
+GOLDEN_SUBSET = ("wc", "sort", "grep")
+CROSSCHECK_SUBSET = ("wc", "sieve")
+
+
+class TestGoldenCorpus:
+    def test_corpus_is_complete(self):
+        """Every Appendix I workload has a committed golden record."""
+        missing = [
+            name for name in workload_names()
+            if not os.path.exists(golden_path(DEFAULT_GOLDEN_DIR, name))
+        ]
+        assert not missing, "unrecorded workloads: %s" % ", ".join(missing)
+
+    def test_corpus_shape(self):
+        """Committed records carry the schema, both machines, and full
+        trace windows."""
+        for name in workload_names():
+            with open(golden_path(DEFAULT_GOLDEN_DIR, name)) as handle:
+                record = json.load(handle)
+            assert record["schema"] == GOLDEN_SCHEMA
+            assert record["workload"] == name
+            assert set(record["machines"]) == set(MACHINES)
+            for machine, digest in record["machines"].items():
+                assert digest["machine"] == machine
+                assert digest["instructions"] > 0
+                assert len(digest["output_sha256"]) == 64
+                assert len(digest["data_sha256"]) == 64
+                assert digest["stats"]["instructions"] == (
+                    digest["instructions"]
+                )
+                assert 0 < len(digest["trace_first"]) <= WINDOW
+                assert 0 < len(digest["trace_last"]) <= WINDOW
+
+    def test_reference_matches_goldens(self):
+        """Fresh reference-engine digests reproduce the committed corpus."""
+        report = check_goldens(names=GOLDEN_SUBSET)
+        assert report["failures"] == []
+        assert sorted(report["checked"]) == sorted(GOLDEN_SUBSET)
+
+    def test_missing_golden_reported(self, tmp_path):
+        report = check_goldens(golden_dir=str(tmp_path), names=("wc",))
+        assert report["checked"] == []
+        assert report["failures"] == [
+            {"workload": "wc", "reason": "missing", "diffs": []}
+        ]
+
+    def test_mismatch_names_the_diverging_keys(self, tmp_path):
+        """A tampered digest fails with the dotted paths that changed."""
+        fresh = golden_digest(workload("wc"))
+        fresh["machines"]["baseline"]["instructions"] += 1
+        fresh["machines"]["baseline"]["stats"]["loads"] += 1
+        path = golden_path(str(tmp_path), "wc")
+        with open(path, "w") as handle:
+            json.dump(fresh, handle)
+        report = check_goldens(golden_dir=str(tmp_path), names=("wc",))
+        (failure,) = report["failures"]
+        assert failure["reason"] == "mismatch"
+        assert "machines.baseline.instructions" in failure["diffs"]
+        assert "machines.baseline.stats.loads" in failure["diffs"]
+
+    def test_update_round_trips(self, tmp_path):
+        """--update followed by --check is clean, and the file is stable
+        (sorted keys) so re-recording an unchanged workload is a no-op."""
+        report = check_goldens(
+            golden_dir=str(tmp_path), names=("wc",), update=True
+        )
+        assert report["updated"] == ["wc"]
+        first = open(golden_path(str(tmp_path), "wc")).read()
+        assert check_goldens(
+            golden_dir=str(tmp_path), names=("wc",)
+        )["failures"] == []
+        check_goldens(golden_dir=str(tmp_path), names=("wc",), update=True)
+        assert open(golden_path(str(tmp_path), "wc")).read() == first
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            check_goldens(names=("no-such-workload",))
+
+
+class TestCrossEngine:
+    def test_workloads_bit_identical(self):
+        """The decisive check: fast vs reference on real workloads, all
+        observable state compared, and the fast core actually ran."""
+        results = crosscheck_workloads(names=CROSSCHECK_SUBSET)
+        assert len(results) == len(CROSSCHECK_SUBSET) * len(MACHINES)
+        for result in results:
+            assert result["engine"] == "fast"
+            assert result["fast_fallback"] is None
+            assert result["instructions"] > 0
+
+    def test_limit_exceeded_is_compared_too(self):
+        """Both engines must agree byte-for-byte even when the run dies
+        on the instruction budget: same stamped icount, same pc."""
+        source = "int main() { while (1) {} return 0; }"
+        for machine in MACHINES:
+            result = crosscheck_engines(
+                source, machine, limit=1000, name="spin"
+            )
+            assert result["engine"] == "fast"
+
+    def test_divergence_raises_with_channels(self, monkeypatch):
+        """A cooked fast-side difference surfaces as EngineDivergence
+        naming the differing channel."""
+        real = conformance._final_state
+
+        def skewed(image, machine, stdin, limit, name, engine):
+            state, emu = real(image, machine, stdin, limit, name, engine)
+            if engine == "fast":
+                state["pc"] += 4
+            return state, emu
+
+        monkeypatch.setattr(conformance, "_final_state", skewed)
+        source = "int main() { return 0; }"
+        with pytest.raises(EngineDivergence) as excinfo:
+            crosscheck_engines(source, "baseline", name="skewed")
+        assert "pc" in excinfo.value.mismatches
+
+    def test_digest_is_deterministic(self):
+        wl = workload("wc")
+        assert golden_digest(wl) == golden_digest(wl)

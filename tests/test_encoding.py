@@ -12,8 +12,13 @@ from repro.codegen.branchreg_gen import generate_branchreg
 from repro.machine.encoding import (
     BASE_BRANCH,
     BASE_COMPUTE_IMM,
+    BASE_COMPUTE_REG,
+    BASE_SETHI,
     BR_BTA,
     BR_CMPSET,
+    BR_COMPUTE_IMM,
+    BR_COMPUTE_REG,
+    BR_SETHI,
     BaselineEncoder,
     BranchRegEncoder,
     Format,
@@ -172,3 +177,81 @@ class TestWholeProgramValidation:
 
     def test_opcode_fits_6_bits(self):
         assert max(OPCODES.values()) < 64
+
+
+# ---- encode -> decode -> encode identity (property) ------------------------
+
+_ALL_FORMATS = (
+    BASE_BRANCH, BASE_SETHI, BASE_COMPUTE_IMM, BASE_COMPUTE_REG,
+    BR_BTA, BR_CMPSET, BR_SETHI, BR_COMPUTE_IMM, BR_COMPUTE_REG,
+)
+
+_FORMATS_BY_KEYS = {
+    frozenset(f.name for f in fmt.fields): fmt for fmt in _ALL_FORMATS
+}
+# Key-set lookup is how the round-trip test re-packs decoded fields, so
+# the key sets must be unambiguous across all nine formats.
+assert len(_FORMATS_BY_KEYS) == len(_ALL_FORMATS)
+
+
+@st.composite
+def format_values(draw):
+    """A format plus a full set of in-range values for its fields."""
+    fmt = draw(st.sampled_from(_ALL_FORMATS))
+    values = {}
+    for field in fmt.fields:
+        if field.signed:
+            half = 1 << (field.bits - 1)
+            values[field.name] = draw(
+                st.integers(min_value=-half, max_value=half - 1)
+            )
+        else:
+            values[field.name] = draw(
+                st.integers(min_value=0, max_value=(1 << field.bits) - 1)
+            )
+    return fmt, values
+
+
+class TestEncodeDecodeEncodeIdentity:
+    """The bit-exactness property behind both encoders: packing is a
+    bijection between in-range field values and 32-bit words, and every
+    instruction either machine's code generator emits survives
+    encode -> decode -> encode unchanged."""
+
+    @given(format_values())
+    def test_pack_unpack_pack_identity(self, fv):
+        fmt, values = fv
+        word = fmt.pack(**values)
+        assert 0 <= word < 2**32
+        unpacked = fmt.unpack(word)
+        assert unpacked == values
+        assert fmt.pack(**unpacked) == word
+
+    def _roundtrip_program(self, mprog, encoder):
+        checked = 0
+        for ins in mprog.all_instrs():
+            if ins.is_label():
+                continue
+            word = encoder.encode(ins)
+            op, fields = encoder.decode(word)
+            assert op == ins.op, (
+                "0x%08x decoded as %r, encoded from %r" % (word, op, ins.op)
+            )
+            fmt = _FORMATS_BY_KEYS[frozenset(fields)]
+            assert fmt.pack(**fields) == word
+            checked += 1
+        return checked
+
+    def test_baseline_workload_instructions_roundtrip(self):
+        from repro.workloads import workload
+
+        for name in ("wc", "sieve", "whetstone"):
+            mprog = generate_baseline(compile_to_ir(workload(name).source))
+            assert self._roundtrip_program(mprog, BaselineEncoder()) > 0
+
+    def test_branchreg_workload_instructions_roundtrip(self):
+        from repro.workloads import workload
+
+        for name in ("wc", "sieve", "whetstone"):
+            mprog = generate_branchreg(compile_to_ir(workload(name).source))
+            assert self._roundtrip_program(mprog, BranchRegEncoder()) > 0

@@ -1,0 +1,230 @@
+"""Unit tests for the predecoded fast core's machinery.
+
+Functional equivalence with the reference loop is proven by
+``tests/test_conformance.py``; this file pins the *mechanism*: engine
+resolution, the documented fallback matrix in
+``BaseEmulator._select_loop``, exact instruction-limit semantics at
+superinstruction boundaries, and the invariant that every run-loop
+variant retires the same instruction stream.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cache.icache import PrefetchICache
+from repro.ease.environment import compile_for_machine
+from repro.emu.baseline_emu import BaselineEmulator
+from repro.emu.branchreg_emu import BranchRegEmulator
+from repro.emu.fastcore import ENGINES, resolve_engine
+from repro.errors import RuntimeLimitExceeded
+from repro.obs.emuobs import EmulationObserver
+from repro.obs.profile import ExecutionProfiler
+
+_EMULATORS = {"baseline": BaselineEmulator, "branchreg": BranchRegEmulator}
+
+#: Long enough to cross every superinstruction-chain shape, with calls,
+#: loops, and memory traffic.
+LOOP_SOURCE = """
+int total;
+int main() {
+    int i;
+    i = 0;
+    while (i < 40) {
+        total = total + i;
+        i = i + 1;
+    }
+    print_int(total);
+    putchar(10);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def images():
+    return {
+        machine: compile_for_machine(LOOP_SOURCE, machine)
+        for machine in ("baseline", "branchreg")
+    }
+
+
+def _run(images, machine, **kwargs):
+    emu = _EMULATORS[machine](images[machine].reset(), **kwargs)
+    stats = emu.run()
+    return emu, stats
+
+
+class TestEngineResolution:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine() == "fast"
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        assert resolve_engine() == "reference"
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        assert resolve_engine("fast") == "fast"
+
+    def test_invalid_engine_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_engine("turbo")
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        with pytest.raises(ValueError):
+            resolve_engine()
+
+    def test_emulator_honours_env(self, monkeypatch, images):
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        _, stats = _run(images, "baseline")
+        assert stats.engine == "reference"
+
+    def test_engines_constant(self):
+        assert ENGINES == ("fast", "reference")
+
+
+class TestFallbackMatrix:
+    """Each hook the fast core cannot service forces the reference loop
+    and records why; the run still completes correctly."""
+
+    @pytest.mark.parametrize("machine", ("baseline", "branchreg"))
+    def test_fast_runs_by_default(self, images, machine):
+        emu, stats = _run(images, machine, engine="fast")
+        assert stats.engine == "fast"
+        assert emu.fast_fallback is None
+        assert stats.output == b"780\n"
+
+    @pytest.mark.parametrize("machine", ("baseline", "branchreg"))
+    def test_reference_engine_never_predecodes(self, images, machine):
+        emu, stats = _run(images, machine, engine="reference")
+        assert stats.engine == "reference"
+        assert emu.fast_fallback is None
+
+    def test_observer_forces_reference(self, images):
+        emu, stats = _run(
+            images, "baseline", engine="fast",
+            observer=EmulationObserver(sample_every=16),
+        )
+        assert stats.engine == "reference"
+        assert emu.fast_fallback == "observer attached"
+
+    def test_profiler_forces_reference(self, images):
+        emu, stats = _run(
+            images, "branchreg", engine="fast", profiler=ExecutionProfiler()
+        )
+        assert stats.engine == "reference"
+        assert emu.fast_fallback == "profiler attached"
+
+    def test_deadline_forces_reference(self, images):
+        emu, stats = _run(
+            images, "baseline", engine="fast", deadline_s=60.0
+        )
+        assert stats.engine == "reference"
+        assert emu.fast_fallback == "wall-clock deadline requested"
+
+    def test_edge_ring_forces_reference(self, images):
+        emu, stats = _run(
+            images, "baseline", engine="fast", record_edges=True
+        )
+        assert stats.engine == "reference"
+        assert emu.fast_fallback == "edge-ring recording requested"
+
+    def test_icache_forces_reference(self, images):
+        emu, stats = _run(
+            images, "branchreg", engine="fast",
+            icache=PrefetchICache(words=64),
+        )
+        assert stats.engine == "reference"
+        assert emu.fast_fallback == "icache model attached"
+
+    def test_fault_proxied_memory_forces_reference(self, images):
+        """A fault injector replacing machine state (here the memory, as
+        ``inject_misaligned_access`` does) must disqualify predecode:
+        the fast core burned direct byte access into its closures."""
+        from repro.fault.inject import _MisalignedMemory
+
+        emu = BaselineEmulator(images["baseline"].reset(), engine="fast")
+        emu.memory = _MisalignedMemory(emu.memory, trigger=10**9)
+        stats = emu.run()
+        assert stats.engine == "reference"
+        assert emu.fast_fallback == "memory proxied (fault injection)"
+        assert stats.output == b"780\n"
+
+    def test_fault_proxied_branch_regs_force_reference(self, images):
+        """Any non-plain-list branch-register file (the shape every
+        branch-register fault injector installs) disqualifies predecode,
+        even a behaviourally transparent one."""
+
+        class _ProxiedRegs(list):
+            pass
+
+        emu = BranchRegEmulator(images["branchreg"].reset(), engine="fast")
+        emu.b = _ProxiedRegs(emu.b)
+        stats = emu.run()
+        assert stats.engine == "reference"
+        assert emu.fast_fallback == (
+            "branch registers proxied (fault injection)"
+        )
+        assert stats.output == b"780\n"
+
+
+class TestLimitBoundaries:
+    """The instruction budget must bite at the *exact* same instruction
+    under both engines, including limits that land inside a fused
+    superinstruction chain (the fast loop must hand the tail back to the
+    reference loop rather than overshoot)."""
+
+    @pytest.mark.parametrize("machine", ("baseline", "branchreg"))
+    def test_limit_parity_sweep(self, images, machine):
+        image = images[machine]
+        for limit in list(range(1, 24)) + [97, 161, 255]:
+            outcomes = {}
+            for engine in ENGINES:
+                emu = _EMULATORS[machine](
+                    image.reset(), limit=limit, engine=engine
+                )
+                try:
+                    emu.run()
+                    outcomes[engine] = ("halted", emu.pc, emu.icount)
+                except RuntimeLimitExceeded as exc:
+                    outcomes[engine] = ("limit", exc.pc, exc.icount)
+                assert emu.icount <= limit
+            assert outcomes["fast"] == outcomes["reference"], (
+                "limit=%d diverged on %s: %r" % (limit, machine, outcomes)
+            )
+
+
+class TestLoopVariantsAgree:
+    """Every run-loop variant behind ``_select_loop`` (plain, observed,
+    hardened, profiled, fast) retires the identical instruction stream:
+    same RunStats apart from the ``engine`` identity field."""
+
+    @pytest.mark.parametrize("machine", ("baseline", "branchreg"))
+    def test_all_variants_identical(self, images, machine):
+        variants = {
+            "fast": dict(engine="fast"),
+            "plain": dict(engine="reference"),
+            "observed": dict(
+                engine="reference", observer=EmulationObserver(sample_every=8)
+            ),
+            "hardened": dict(engine="reference", record_edges=True),
+            "profiled": dict(
+                engine="reference", profiler=ExecutionProfiler()
+            ),
+        }
+        baseline_fields = None
+        for label, kwargs in variants.items():
+            _, stats = _run(images, machine, **kwargs)
+            fields = {
+                f.name: getattr(stats, f.name)
+                for f in dataclasses.fields(stats)
+                if f.name != "engine"
+            }
+            if baseline_fields is None:
+                baseline_fields = (label, fields)
+                continue
+            first_label, first = baseline_fields
+            assert fields == first, (
+                "%s and %s loops disagree on %s" % (first_label, label, machine)
+            )

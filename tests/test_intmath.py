@@ -149,3 +149,70 @@ class TestCompare:
             intmath.compare("gt", a, b),
         ]
         assert sum(results) == 1
+
+
+# ---- C-semantics oracle (property) ------------------------------------------
+
+
+def _c_wrap(value):
+    """Independent formulation of signed 32-bit wrapping (modular
+    arithmetic recentred on [-2**31, 2**31)), used as the oracle."""
+    return (value + 2**31) % 2**32 - 2**31
+
+
+def _c_quotient(a, b):
+    """C99 6.5.5 truncating quotient, phrased via Python's floor
+    division (not via the abs() form the implementation uses)."""
+    q = a // b
+    if q < 0 and q * b != a:
+        q += 1
+    return q
+
+
+class TestCSemanticsOracle:
+    """cdiv/crem/shl/shr/wrap against an independently-formulated
+    C-semantics oracle.  These are the exact operations the fast core
+    burns into its specialised closures, so a semantic slip here would
+    corrupt every workload identically on both engines -- the oracle is
+    the only thing anchoring them to C."""
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_wrap_matches_modular_oracle(self, value):
+        assert intmath.wrap(value) == _c_wrap(value)
+
+    @given(i32, nonzero_i32)
+    def test_cdiv_truncates_toward_zero(self, a, b):
+        assert intmath.cdiv(a, b) == _c_wrap(_c_quotient(a, b))
+
+    @given(i32, nonzero_i32)
+    def test_crem_satisfies_the_c_identity(self, a, b):
+        # C99: (a/b)*b + a%b == a, and the remainder's sign follows the
+        # dividend.
+        r = intmath.crem(a, b)
+        assert r == a - b * _c_quotient(a, b)
+        assert r == 0 or (r < 0) == (a < 0)
+        assert abs(r) < abs(b)
+
+    def test_int_min_corner(self):
+        # INT_MIN / -1 overflows in C (UB); the machines define it as
+        # wrapping, INT_MIN % -1 as 0.
+        assert intmath.cdiv(-(2**31), -1) == -(2**31)
+        assert intmath.crem(-(2**31), -1) == 0
+
+    @given(i32, st.integers(min_value=0, max_value=255))
+    def test_shl_is_wrapped_multiplication(self, a, n):
+        # Shift counts are masked to 5 bits, as 32-bit hardware does.
+        assert intmath.shl(a, n) == _c_wrap(a * 2 ** (n & 31))
+
+    @given(i32, st.integers(min_value=0, max_value=255))
+    def test_shr_is_arithmetic(self, a, n):
+        # Arithmetic right shift == floor division by the power of two
+        # (sign-extending, not zero-filling).
+        assert intmath.shr(a, n) == a // 2 ** (n & 31)
+
+    @given(i32, st.integers(min_value=0, max_value=31))
+    def test_shift_roundtrip_sign_extends_low_bits(self, a, n):
+        # (a << n) >> n recovers a sign-extended to its low 32-n bits.
+        keep = 32 - n
+        expected = (a % 2**keep + 2 ** (keep - 1)) % 2**keep - 2 ** (keep - 1)
+        assert intmath.shr(intmath.shl(a, n), n) == expected

@@ -72,3 +72,43 @@ def block(draw, depth):
 def test_structured_program_matches_python_model(stmts):
     pair = run_both(program_source(stmts))
     assert pair.output.decode() == expected_output(stmts)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=list(HealthCheck))
+@given(block(depth=2))
+def test_structured_program_identical_across_engines(stmts):
+    """Cross-engine fuzzing: for random structured programs, the
+    predecoded fast core must be bit-identical to the reference loop on
+    both machines (every counter, register, and data byte -- see
+    :func:`repro.harness.conformance.crosscheck_engines`)."""
+    from repro.harness.conformance import crosscheck_engines
+
+    source = program_source(stmts)
+    for machine in ("baseline", "branchreg"):
+        result = crosscheck_engines(
+            source, machine, limit=500_000, name="generated"
+        )
+        assert result["engine"] == "fast"
+
+
+def test_fuzz_oracle_gates_engines(monkeypatch):
+    """The seeded fuzzer's per-case oracle (``repro fuzz`` and the CI
+    differential-fuzz job) calls the cross-engine check: an injected
+    divergence fails the case."""
+    import repro.harness.conformance as conformance
+    from repro.errors import EngineDivergence
+    from repro.fault.oracle import _check_generated
+
+    stmts = [("assign", "a", "1")]
+    _check_generated(stmts, 500_000)  # engines agree: case passes
+
+    def explode(*args, **kwargs):
+        raise EngineDivergence("injected", mismatches=["stats"])
+
+    monkeypatch.setattr(conformance, "crosscheck_engines", explode)
+    try:
+        _check_generated(stmts, 500_000)
+    except EngineDivergence:
+        pass
+    else:
+        raise AssertionError("engine divergence did not fail the fuzz case")
