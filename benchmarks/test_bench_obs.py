@@ -9,6 +9,12 @@ workload image is compiled once, then emulated with and without the
 instrument attached in interleaved rounds (so OS noise and cache warmth
 hit both arms equally), and the enabled/disabled time ratio must stay
 under the budget.
+
+Two further gates cover the tracing layer: a fully armed trace context
+(event sink + span stamping, what ``repro trace`` runs under) must stay
+inside the same overhead budget on whole suite runs, and the fast core's
+sampling loop must beat the reference observed loop by at least 1.5x --
+otherwise the ``--observe`` fast path would not be worth its complexity.
 """
 
 import time
@@ -27,7 +33,7 @@ ROUNDS = 5
 OVERHEAD_BUDGET = 1.10
 
 
-def _emulate_all(images, observer=None, profiled=False):
+def _emulate_all(images, observer=None, profiled=False, engine=None):
     for name, (image, stdin) in images.items():
         run_branchreg(
             image.reset(),
@@ -35,6 +41,7 @@ def _emulate_all(images, observer=None, profiled=False):
             program=name,
             observer=observer,
             profiler=ExecutionProfiler() if profiled else None,
+            engine=engine,
         )
 
 
@@ -80,11 +87,15 @@ def _measure_overhead():
 
 
 def _measure_profiler_overhead():
+    # The profiler forces the reference loop (see the fallback matrix in
+    # docs/PERFORMANCE.md), so both arms pin engine="reference": the
+    # budget gates the *instrument's* marginal cost, not the unrelated
+    # fast-vs-reference engine gap.
     images = _compile_subset()
-    _emulate_all(images)  # warm-up round, not timed
+    _emulate_all(images, engine="reference")  # warm-up round, not timed
     _emulate_all(images, profiled=True)
     return _timed_rounds(
-        lambda: _emulate_all(images),
+        lambda: _emulate_all(images, engine="reference"),
         lambda: _emulate_all(images, profiled=True),
     )
 
@@ -100,6 +111,85 @@ def test_observer_overhead_under_budget(once):
     assert result["ratio"] < OVERHEAD_BUDGET, (
         "instrumentation overhead %.1f%% exceeds the %d%% budget"
         % (100.0 * (result["ratio"] - 1.0), round(100 * (OVERHEAD_BUDGET - 1)))
+    )
+
+
+def _measure_tracing_overhead():
+    """Suite runs with the tracing layer fully armed (trace context +
+    in-memory event sink, what ``repro trace`` does) versus bare suite
+    runs.  Stamping is two dict writes per event and a tuple per span,
+    so the ratio must stay inside the observability budget."""
+    from repro.harness.runner import run_suite
+    from repro.obs import events, trace
+
+    def plain():
+        run_suite(subset=SUBSET, use_cache=False)
+
+    def traced():
+        sink = events.MemorySink(max_events=1_000_000)
+        previous = events.set_sink(sink)
+        token = trace.start_trace()
+        try:
+            run_suite(subset=SUBSET, use_cache=False)
+        finally:
+            trace.end_trace(token)
+            events.set_sink(previous)
+
+    plain()  # warm-up round, not timed
+    return _timed_rounds(plain, traced)
+
+
+def _measure_observed_engines():
+    """The fast core's sampling loop versus the reference observed loop,
+    same observer cadence, same images."""
+    images = _compile_subset()
+
+    def observed(engine):
+        for name, (image, stdin) in images.items():
+            run_branchreg(
+                image.reset(),
+                stdin=stdin,
+                program=name,
+                engine=engine,
+                observer=EmulationObserver(
+                    sample_every=65536, registry=MetricsRegistry()
+                ),
+            )
+
+    observed("fast")  # warm-up round, not timed
+    result = _timed_rounds(
+        lambda: observed("fast"), lambda: observed("reference")
+    )
+    return {
+        "fast_s": result["disabled_s"],
+        "reference_s": result["enabled_s"],
+        "speedup": result["ratio"],
+    }
+
+
+def test_tracing_overhead_under_budget(once):
+    result = once(_measure_tracing_overhead)
+    print()
+    print(
+        "tracing overhead: untraced %.3fs, traced %.3fs, ratio %.3f"
+        % (result["disabled_s"], result["enabled_s"], result["ratio"])
+    )
+    assert result["ratio"] < OVERHEAD_BUDGET, (
+        "tracing overhead %.1f%% exceeds the %d%% budget"
+        % (100.0 * (result["ratio"] - 1.0), round(100 * (OVERHEAD_BUDGET - 1)))
+    )
+
+
+def test_observed_fast_core_beats_reference(once):
+    result = once(_measure_observed_engines)
+    print()
+    print(
+        "observed engines: fast %.3fs, reference %.3fs, speedup %.2fx"
+        % (result["fast_s"], result["reference_s"], result["speedup"])
+    )
+    assert result["speedup"] >= 1.5, (
+        "observed fast core only %.2fx faster than the reference loop "
+        "(needs >= 1.5x)" % result["speedup"]
     )
 
 

@@ -6,6 +6,15 @@ Usage (``python -m repro [-v|-q] <command> ...``):
   -- compile a SmallC file, emulate it, print its output and measurements;
 * ``asm FILE [--machine baseline|branchreg] [--function NAME]`` -- print
   the generated code in the paper's RTL notation;
+* ``steptrace FILE [--machine baseline|branchreg] [--function NAME]
+  [--max-entries N]`` -- annotated per-instruction execution trace;
+* ``trace [--subset a,b] [--jobs N] [--out FILE] [--from-events FILE]``
+  -- run the suite (or convert a saved event stream) into a
+  schema-validated Chrome-trace JSON timeline viewable in Perfetto or
+  ``chrome://tracing``, with spans stitched across worker processes;
+* ``flame [--subset a,b] [--machine M] [--out FILE]`` -- profile the
+  suite and emit collapsed-stack flamegraph input (``flamegraph.pl`` /
+  speedscope format) reconstructed from the profiler's call edges;
 * ``table1 [--subset a,b,c] [--json]`` -- regenerate Table I;
 * ``cycles [--stages 3,4,5] [--json]`` -- regenerate the Section 7 cycle
   estimates;
@@ -42,7 +51,7 @@ Usage (``python -m repro [-v|-q] <command> ...``):
 shared ``repro`` logger (stderr); report/table output stays on stdout.
 
 Suite-running commands (``run``, ``table1``, ``cycles``, ``report``,
-``oracle``, ``fuzz``) accept ``--jobs N`` to fan the emulations out
+``trace``, ``oracle``, ``fuzz``) accept ``--jobs N`` to fan the emulations out
 across worker processes backed by the persistent artifact cache; the
 ``REPRO_JOBS`` environment variable sets the default and results are
 identical at any job count (see ``docs/PERFORMANCE.md``).
@@ -180,7 +189,7 @@ def cmd_asm(args):
     return 0
 
 
-def cmd_trace(args):
+def cmd_steptrace(args):
     from repro.codegen.baseline_gen import generate_baseline as gen_base
     from repro.codegen.branchreg_gen import generate_branchreg as gen_br
     from repro.emu.loader import Image
@@ -203,6 +212,66 @@ def cmd_trace(args):
     print(
         "--- %d instructions executed, output: %r"
         % (stats.instructions, stats.output.decode("latin-1"))
+    )
+    return 0
+
+
+def cmd_trace(args):
+    from repro.obs import trace as obstrace
+
+    if args.sample_every <= 0:
+        print("error: --sample-every must be positive", file=sys.stderr)
+        return 2
+    if args.from_events:
+        try:
+            event_list = obstrace.load_events(args.from_events)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                "error: cannot load %s: %s" % (args.from_events, exc),
+                file=sys.stderr,
+            )
+            return 2
+        doc = obstrace.export_chrome_trace(
+            event_list, label=args.label or args.from_events
+        )
+    else:
+        subset = tuple(args.subset.split(",")) if args.subset else None
+        try:
+            doc = obstrace.run_trace(
+                subset=subset,
+                jobs=args.jobs,
+                limit=args.limit,
+                sample_every=args.sample_every,
+                engine=args.engine,
+                label=args.label,
+            )
+        except ValueError as exc:  # e.g. unknown workload names
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+    path = obstrace.write_trace(doc, out=args.out)
+    print(
+        "trace: %d event(s) -> %s (open in Perfetto / chrome://tracing)"
+        % (len(doc["traceEvents"]), path)
+    )
+    return 0
+
+
+def cmd_flame(args):
+    from repro.obs.flame import render_flame_suite, run_flame, write_flame
+
+    subset = tuple(args.subset.split(",")) if args.subset else None
+    try:
+        results = run_flame(
+            subset=subset, machine=args.machine, limit=args.limit
+        )
+    except ValueError as exc:  # unknown workload names
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    text = render_flame_suite(results)
+    path = write_flame(text, out=args.out)
+    print(
+        "flame: %d workload(s), %d stack(s) -> %s"
+        % (len(results), len(text.splitlines()) if text else 0, path)
     )
     return 0
 
@@ -636,15 +705,56 @@ def build_parser():
     p_asm.add_argument("--function", default=None)
     p_asm.set_defaults(func=cmd_asm)
 
-    p_tr = sub.add_parser("trace", help="annotated execution trace")
-    p_tr.add_argument("file")
-    p_tr.add_argument("--stdin", default=None)
-    p_tr.add_argument(
+    p_st = sub.add_parser("steptrace", help="annotated execution trace")
+    p_st.add_argument("file")
+    p_st.add_argument("--stdin", default=None)
+    p_st.add_argument(
         "--machine", choices=("baseline", "branchreg"), default="branchreg"
     )
-    p_tr.add_argument("--function", default=None)
-    p_tr.add_argument("--max-entries", type=int, default=60)
+    p_st.add_argument("--function", default=None)
+    p_st.add_argument("--max-entries", type=int, default=60)
+    p_st.set_defaults(func=cmd_steptrace)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="run the suite and export a Chrome-trace JSON timeline",
+    )
+    p_tr.add_argument("--subset", default=None, help="comma-separated names")
+    p_tr.add_argument("--limit", type=int, default=None)
+    p_tr.add_argument(
+        "--sample-every", type=int, default=65536,
+        help="emulator telemetry sampling interval in instructions",
+    )
+    p_tr.add_argument(
+        "--out", default=None,
+        help="trace path (default trace.json)",
+    )
+    p_tr.add_argument(
+        "--from-events", default=None, metavar="FILE",
+        help="convert a saved JSON-lines event stream (e.g. from "
+        "'repro report --events') instead of running the suite",
+    )
+    p_tr.add_argument(
+        "--label", default=None,
+        help="trace label recorded in the document's otherData section",
+    )
+    _add_jobs_arg(p_tr)
+    _add_engine_arg(p_tr)
     p_tr.set_defaults(func=cmd_trace)
+
+    p_fl = sub.add_parser(
+        "flame",
+        help="export collapsed-stack flamegraph input from the profiler",
+    )
+    p_fl.add_argument("--subset", default=None, help="comma-separated names")
+    p_fl.add_argument(
+        "--machine", choices=("baseline", "branchreg"), default="branchreg"
+    )
+    p_fl.add_argument("--limit", type=int, default=None)
+    p_fl.add_argument(
+        "--out", default=None, help="collapsed-stack path (default flame.txt)"
+    )
+    p_fl.set_defaults(func=cmd_flame)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table I")
     p_t1.add_argument("--subset", default=None, help="comma-separated names")

@@ -332,17 +332,21 @@ class BaseEmulator:
         ========== ======================================== ============
         profiled   ``profiler`` attached                    edge Counter
         hardened   ``deadline_s`` or ``record_edges=True``  watchdog+ring
-        observed   ``observer`` attached                    sampled hook
+        observed   ``observer`` attached (reference engine, sampled hook
+                   or any fallback below)
         fast       ``engine="fast"`` and no hook above      predecoded
-                                                            closure table
+                   (an ``observer`` alone stays fast: the   closure table
+                   fast core has a sampling loop)
         plain      everything else                          none
         ========== ======================================== ============
 
         The fast engine preserves every observable of the plain loop but
-        cannot service per-step hooks, the icache model, or proxied
-        state installed by fault injectors; any of those forces the
-        reference loop and records the reason in ``fast_fallback``.
-        ``stats.engine`` records which core actually ran.
+        cannot service per-step hooks (except the sampling observer,
+        which it services through its pre-fusion closure table), the
+        icache model, or proxied state installed by fault injectors; any
+        of those forces the reference loop and records the reason in
+        ``fast_fallback``.  ``stats.engine`` records which core actually
+        ran.
         """
         fallback = None
         if self.engine == "fast":
@@ -352,8 +356,6 @@ class BaseEmulator:
                 fallback = "wall-clock deadline requested"
             elif self.edge_ring is not None:
                 fallback = "edge-ring recording requested"
-            elif self.observer is not None:
-                fallback = "observer attached"
             elif self.icache is not None:
                 fallback = "icache model attached"
             else:

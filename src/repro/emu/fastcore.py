@@ -21,15 +21,24 @@ the result bit-for-bit against the reference loop on every workload.
 Fallback matrix -- the fast core refuses and the reference loop runs
 (``emulator.fast_fallback`` records why) whenever:
 
-* a per-step hook is attached: observer, profiler, wall-clock deadline,
-  edge-ring recording, or the icache model (``_select_loop`` checks
-  these before calling :func:`prepare`);
+* a per-step hook is attached: profiler, wall-clock deadline, edge-ring
+  recording, or the icache model (``_select_loop`` checks these before
+  calling :func:`prepare`);
 * a fault injector proxied machine state (``memory``, ``r``/``f``, or
   the branch-register file is no longer the plain built-in type);
 * predecode meets anything it cannot compile faithfully: an unknown
   opcode or condition, an operand of unexpected shape, an unresolved
   or non-integer branch target, an out-of-range branch-register field,
   or an unknown machine.
+
+A sampling :class:`~repro.obs.emuobs.EmulationObserver` is *not* on
+that list: an observed run dispatches through the pre-fusion standalone
+closure table -- one instruction per iteration, so the sample boundary
+check after every retire matches the reference observed loop exactly
+(same sample count, same state at every ``on_sample``) -- while still
+skipping the reference loop's per-step operand resolution.  Counter
+cells are flushed into the stats before each sample so the observer
+reads exactly what the reference loop would have shown it.
 
 Exact-parity corners the loop goes out of its way to preserve:
 
@@ -1531,7 +1540,7 @@ def _prepare_baseline(emu):
         else:
             handlers[i] = _COND_CHAIN[k](*parts, after)
         lens[i] = k
-    return _make_baseline_runner(emu, ctx, handlers, lens, specs, cells)
+    return _make_baseline_runner(emu, ctx, handlers, lens, specs, cells, plain)
 
 
 def _prepare_branchreg(emu):
@@ -1600,18 +1609,127 @@ def _prepare_branchreg(emu):
         else:
             handlers[i] = _SEQ_CHAIN[k](*parts, TEXT_BASE + 4 * (i + k))
         lens[i] = k
-    return _make_branchreg_runner(emu, ctx, handlers, lens, specs, cells)
+    return _make_branchreg_runner(emu, ctx, handlers, lens, specs, cells, plain)
 
 
 # -- run loops ----------------------------------------------------------------
 
 
-def _make_baseline_runner(emu, ctx, handlers, lens, specs, cells):
+def _make_baseline_runner(emu, ctx, handlers, lens, specs, cells, plain):
     image = emu.image
     by_pc = {TEXT_BASE + 4 * i: h for i, h in enumerate(handlers)}
     len_by_pc = {TEXT_BASE + 4 * i: k for i, k in enumerate(lens)}
 
+    def _sync():
+        emu.cc = (ctx.cc[0], ctx.cc[1])
+        emu.rt = ctx.rt[0]
+        _flush(emu.stats, cells, specs, ctx.taken)
+
+    def run_observed():
+        # Sampled-observer loop: between boundaries (the next sample
+        # point or the instruction limit) dispatch runs through the same
+        # superinstruction table as the unobserved loop, switching to
+        # the *pre-fusion* standalone closures within ``MAX_CHAIN - 1``
+        # instructions of the boundary so no chain can retire across it.
+        # Samples therefore fire at exactly the reference observed
+        # loop's icounts -- same sample count, same machine state at
+        # every ``on_sample`` (state and counters are synced/flushed
+        # first) -- while long sampling intervals run at fused speed.
+        observer = emu.observer
+        observer.on_start(emu)
+        HgF = by_pc.get
+        Lg = len_by_pc.__getitem__
+        Hg = {TEXT_BASE + 4 * i: h for i, h in enumerate(plain)}.get
+        STOP = _STOP
+        sample_every = observer.sample_every
+        next_sample = sample_every
+        limit = emu.limit
+        pc = emu.pc
+        npc = emu.npc
+        ic = emu.icount
+        stopped = False
+        bad = False
+        sampling = False
+        try:
+            while True:
+                if ic >= next_sample:
+                    emu.pc, emu.npc, emu.icount = pc, npc, ic
+                    _sync()
+                    sampling = True
+                    observer.on_sample(emu)
+                    sampling = False
+                    next_sample = ic + sample_every
+                if stopped or bad or ic >= limit:
+                    break
+                boundary = next_sample if next_sample < limit else limit
+                fused_stop = boundary - (MAX_CHAIN - 1)
+                while ic < fused_stop:  # fused phase (run_fused's body)
+                    h = HgF(pc)
+                    if h is None:
+                        bad = True
+                        break
+                    t = h(ic)
+                    if t is None:  # sequential, one instruction
+                        ic += 1
+                        pc = npc
+                        npc = pc + 4
+                    elif t is STOP:
+                        ic += 1
+                        pc = npc
+                        npc = pc + 4
+                        stopped = True
+                        break
+                    else:  # t is the new npc
+                        k = Lg(pc)
+                        if k == 1:  # taken transfer
+                            ic += 1
+                            pc = npc
+                            npc = t
+                        else:  # fused chain: all slots retire
+                            ic += k
+                            pc += k << 2
+                            npc = t
+                if stopped or bad:
+                    continue
+                while ic < boundary:  # single-step up to the boundary
+                    h = Hg(pc)
+                    if h is None:
+                        bad = True
+                        break
+                    t = h(ic)
+                    ic += 1
+                    pc = npc
+                    npc = pc + 4 if (t is None or t is STOP) else t
+                    if t is STOP:
+                        stopped = True
+                        break
+        except Exception:
+            # A faulting instruction does not retire (the reference
+            # raises from dispatch; only standalone closures can raise,
+            # so the culprit's slot is pc's); an exception out of
+            # ``on_sample`` happened *after* its instruction retired
+            # and flushed.
+            if not sampling:
+                cells[(pc - TEXT_BASE) >> 2][0] -= 1
+            emu.pc, emu.npc, emu.icount = pc, npc, ic
+            _sync()
+            raise
+        emu.pc, emu.npc, emu.icount = pc, npc, ic
+        _sync()
+        if stopped:
+            emu.halted = True
+            return
+        if bad:
+            image.instruction_at(pc)  # raises the reference's exact error
+            raise AssertionError("unreachable: bad fetch did not raise")
+        raise emu._limit_error()
+
     def run():
+        if emu.observer is not None:
+            return run_observed()
+        return run_fused()
+
+    def run_fused():
         # Dispatch is one dict probe keyed by pc: a miss covers every bad
         # fetch (misaligned, below text, past the end) in a single check,
         # and the closures count their own cells, so the hot loop carries
@@ -1684,12 +1802,99 @@ def _make_baseline_runner(emu, ctx, handlers, lens, specs, cells):
     return run
 
 
-def _make_branchreg_runner(emu, ctx, handlers, lens, specs, cells):
+def _make_branchreg_runner(emu, ctx, handlers, lens, specs, cells, plain):
     image = emu.image
     by_pc = {TEXT_BASE + 4 * i: h for i, h in enumerate(handlers)}
     len_by_pc = {TEXT_BASE + 4 * i: k for i, k in enumerate(lens)}
 
+    def run_observed():
+        # See _make_baseline_runner.run_observed: fused dispatch between
+        # boundaries, standalone (pre-fusion) dispatch within
+        # ``MAX_CHAIN - 1`` instructions of the next sample point or the
+        # limit -- bit-identical sampling to the reference loop at fused
+        # speed.
+        observer = emu.observer
+        observer.on_start(emu)
+        HgF = by_pc.get
+        Lg = len_by_pc.__getitem__
+        Hg = {TEXT_BASE + 4 * i: h for i, h in enumerate(plain)}.get
+        STOP = _STOP
+        sample_every = observer.sample_every
+        next_sample = sample_every
+        limit = emu.limit
+        pc = emu.pc
+        ic = emu.icount
+        stopped = False
+        bad = False
+        sampling = False
+        try:
+            while True:
+                if ic >= next_sample:
+                    emu.pc, emu.icount = pc, ic
+                    _flush(emu.stats, cells, specs, ctx.taken)
+                    sampling = True
+                    observer.on_sample(emu)
+                    sampling = False
+                    next_sample = ic + sample_every
+                if stopped or bad or ic >= limit:
+                    break
+                boundary = next_sample if next_sample < limit else limit
+                fused_stop = boundary - (MAX_CHAIN - 1)
+                while ic < fused_stop:  # fused phase (run_fused's body)
+                    h = HgF(pc)
+                    if h is None:
+                        bad = True
+                        break
+                    t = h(ic)
+                    if t is None:  # sequential, one instruction
+                        ic += 1
+                        pc += 4
+                    elif t is STOP:
+                        ic += 1
+                        pc += 4
+                        stopped = True
+                        break
+                    else:  # transfer or fused pair: t is the new pc
+                        ic += Lg(pc)
+                        pc = t
+                if stopped or bad:
+                    continue
+                while ic < boundary:  # single-step up to the boundary
+                    h = Hg(pc)
+                    if h is None:
+                        bad = True
+                        break
+                    t = h(ic)
+                    ic += 1
+                    if t is None or t is STOP:
+                        pc += 4
+                        if t is STOP:
+                            stopped = True
+                            break
+                    else:
+                        pc = t
+        except Exception:
+            if not sampling:
+                cells[(pc - TEXT_BASE) >> 2][0] -= 1
+            emu.pc, emu.icount = pc, ic
+            _flush(emu.stats, cells, specs, ctx.taken)
+            raise
+        emu.pc, emu.icount = pc, ic
+        _flush(emu.stats, cells, specs, ctx.taken)
+        if stopped:
+            emu.halted = True
+            return
+        if bad:
+            image.instruction_at(pc)
+            raise AssertionError("unreachable: bad fetch did not raise")
+        raise emu._limit_error()
+
     def run():
+        if emu.observer is not None:
+            return run_observed()
+        return run_fused()
+
+    def run_fused():
         Hg = by_pc.get
         Lg = len_by_pc.__getitem__
         STOP = _STOP

@@ -2,8 +2,9 @@
 
 Built on the emulators' ``step`` loop, the tracer records (address,
 paper-notation text, interesting state) tuples, optionally filtered to a
-single function's address range.  Used by ``python -m repro trace`` and by
-tests that assert on control-flow sequences.
+single function's address range.  Used by ``python -m repro steptrace``
+and by tests that assert on control-flow sequences.  (The suite-level
+Chrome-trace exporter is separate: :mod:`repro.obs.trace`.)
 """
 
 from dataclasses import dataclass, field

@@ -110,10 +110,10 @@ def _traced_reference_run(emu, window=WINDOW):
     return stats, first, list(last)
 
 
-def _fresh_emulator(image, machine, stdin, limit, name, engine):
+def _fresh_emulator(image, machine, stdin, limit, name, engine, observer=None):
     image.reset()
     emu = _EMULATORS[machine](
-        image, stdin=stdin, limit=limit, engine=engine
+        image, stdin=stdin, limit=limit, engine=engine, observer=observer
     )
     emu.stats.program = name
     return emu
@@ -242,14 +242,30 @@ def check_goldens(
 # -- cross-engine equivalence --------------------------------------------------
 
 
-def _final_state(image, machine, stdin, limit, name, engine):
+def _final_state(image, machine, stdin, limit, name, engine, sample_every=None):
     """Run one engine over a (reset) image and capture every observable.
 
     A run that exhausts the instruction budget is itself an observable:
     the stamped icount/pc pair is recorded and the partial architectural
     state still participates in the comparison.
+
+    ``sample_every`` attaches a sampling observer (with its own isolated
+    metrics registry, so the global recorders stay untouched); the
+    sample count it accumulated joins the compared state, which is what
+    pins the fast core's observed loop to the reference loop's exact
+    sampling boundaries.
     """
-    emu = _fresh_emulator(image, machine, stdin, limit, name, engine)
+    observer = None
+    if sample_every is not None:
+        from repro.obs.emuobs import EmulationObserver
+        from repro.obs.metrics import MetricsRegistry
+
+        observer = EmulationObserver(
+            sample_every=sample_every, registry=MetricsRegistry()
+        )
+    emu = _fresh_emulator(
+        image, machine, stdin, limit, name, engine, observer=observer
+    )
     limit_hit = None
     try:
         emu.run()
@@ -267,6 +283,9 @@ def _final_state(image, machine, stdin, limit, name, engine):
         ),
         "limit_exceeded": limit_hit,
     }
+    if observer is not None:
+        state["observer_samples"] = observer.samples
+        state["observer_runs"] = observer.runs
     if machine == "baseline":
         state["npc"] = emu.npc
         state["cc"] = emu.cc
@@ -280,7 +299,7 @@ def _final_state(image, machine, stdin, limit, name, engine):
 
 def crosscheck_engines(
     source, machine, stdin=b"", limit=CONFORMANCE_LIMIT, name="",
-    options=None,
+    options=None, sample_every=None,
 ):
     """Prove the fast and reference engines agree on one program.
 
@@ -291,14 +310,23 @@ def crosscheck_engines(
     channel; otherwise returns a summary dict recording which loop the
     fast run actually used (``fast_fallback`` explains a reference
     fallback, e.g. under fault-injection proxies).
+
+    ``sample_every`` runs both engines with a sampling observer attached
+    and adds the observer's sample/run counts to the compared state --
+    the cross-engine gate for the fast core's observed loop.
     """
     from repro.ease.environment import compile_for_machine
 
     image = compile_for_machine(
         source, machine, **(dict(options) if options else {})
     )
-    ref, _ = _final_state(image, machine, stdin, limit, name, "reference")
-    fast, fast_emu = _final_state(image, machine, stdin, limit, name, "fast")
+    ref, _ = _final_state(
+        image, machine, stdin, limit, name, "reference",
+        sample_every=sample_every,
+    )
+    fast, fast_emu = _final_state(
+        image, machine, stdin, limit, name, "fast", sample_every=sample_every
+    )
     mismatches = sorted(
         key for key in ref
         if ref[key] != fast[key]

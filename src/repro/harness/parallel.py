@@ -34,7 +34,7 @@ import zlib
 
 from repro.emu.loader import Image
 from repro.errors import ReproError
-from repro.obs import METRICS, events, log, span
+from repro.obs import METRICS, events, log, span, trace
 from repro.obs.emuobs import EmulationObserver
 from repro.obs.spans import RECORDER
 from repro.workloads import workload
@@ -151,7 +151,11 @@ class ArtifactCache:
             actual = hashlib.sha256(payload).hexdigest().encode("ascii")
             if digest != actual:
                 raise ValueError("checksum mismatch")
-            return pickle.loads(zlib.decompress(payload))
+            mprog = pickle.loads(zlib.decompress(payload))
+            self.registry.counter(
+                "harness.artifact_cache_bytes", direction="read"
+            ).inc(len(raw))
+            return mprog
         except Exception as exc:
             # Poisoned / truncated entry: never load it -- count, drop,
             # and let the caller rebuild from source.
@@ -175,6 +179,9 @@ class ArtifactCache:
             handle.write(b"\n")
             handle.write(payload)
         os.replace(tmp, path)
+        self.registry.counter(
+            "harness.artifact_cache_bytes", direction="written"
+        ).inc(len(digest) + 1 + len(payload))
 
 
 # --------------------------------------------------------------------------
@@ -222,15 +229,24 @@ def _run_workload_task(task):
     structured record the serial runner produces.  Everything returned
     is picklable: PairResult (RunStats), failure record dicts, metric /
     span snapshots, and raw event dicts.
+
+    ``trace_ctx`` -- the parent's ``(trace_id, span_id)`` pair, or None
+    when no trace was active -- re-activates the parent's trace here, so
+    this worker's spans carry the same trace id and parent to the
+    parent's enclosing (suite) span.
     """
     (name, limit, options, fault_tolerant, deadline_s, sample_every,
-     cache_root, engine) = task
+     cache_root, engine, trace_ctx) = task
     from repro.ease.environment import run_pair
 
     METRICS.reset()
     RECORDER.reset()
     sink = events.MemorySink()
     previous = events.set_sink(sink)
+    if trace_ctx is not None:
+        trace_token = trace.start_trace(
+            trace_id=trace_ctx[0], parent_span_id=trace_ctx[1]
+        )
     pair = failure = error = None
     try:
         w = workload(name)
@@ -265,6 +281,8 @@ def _run_workload_task(task):
                 else:
                     error = exc
     finally:
+        if trace_ctx is not None:
+            trace.end_trace(trace_token)
         events.set_sink(previous)
     return {
         "name": name,
@@ -315,6 +333,10 @@ def run_suite_parallel(
     options = tuple(sorted((branchreg_options or {}).items()))
     overrides = limit_overrides or {}
     cache_root = resolve_cache_dir(cache_dir)
+    # Capture the active trace context (None when untraced): workers
+    # re-activate it so their spans join this run's trace, parented to
+    # the enclosing (suite) span.
+    trace_ctx = trace.task_context()
     tasks = [
         (
             w.name,
@@ -325,6 +347,7 @@ def run_suite_parallel(
             sample_every,
             cache_root,
             engine,
+            trace_ctx,
         )
         for w in workloads
     ]

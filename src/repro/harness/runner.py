@@ -166,34 +166,40 @@ def run_suite(
         METRICS.counter("harness.suite_cache", result="hit").inc()
         log.debug("suite cache hit for subset=%s", names or "all")
         return _CACHE[key].copy()
-    METRICS.counter("harness.suite_cache", result="miss").inc()
-    if jobs > 1:
-        from repro.harness.parallel import run_suite_parallel
+    # "miss" means a genuine cold lookup that the cache will now fill;
+    # a caller that opted out (or was forced out) of memoisation is a
+    # "bypass" -- folding those into misses would understate hit rate.
+    METRICS.counter(
+        "harness.suite_cache", result="miss" if use_cache else "bypass"
+    ).inc()
+    with span("suite", mode="parallel" if jobs > 1 else "serial"):
+        if jobs > 1:
+            from repro.harness.parallel import run_suite_parallel
 
-        result = run_suite_parallel(
-            selected,
-            limit,
-            branchreg_options=branchreg_options,
-            jobs=jobs,
-            fault_tolerant=fault_tolerant,
-            deadline_s=deadline_s,
-            limit_overrides=limit_overrides,
-            cache_dir=cache_dir,
-            sample_every=sample_every,
-            engine=engine,
-        )
-    else:
-        result = _run_suite_serial(
-            selected,
-            limit,
-            branchreg_options=branchreg_options,
-            observer=observer,
-            fault_tolerant=fault_tolerant,
-            deadline_s=deadline_s,
-            limit_overrides=limit_overrides,
-            cache_dir=cache_dir,
-            engine=engine,
-        )
+            result = run_suite_parallel(
+                selected,
+                limit,
+                branchreg_options=branchreg_options,
+                jobs=jobs,
+                fault_tolerant=fault_tolerant,
+                deadline_s=deadline_s,
+                limit_overrides=limit_overrides,
+                cache_dir=cache_dir,
+                sample_every=sample_every,
+                engine=engine,
+            )
+        else:
+            result = _run_suite_serial(
+                selected,
+                limit,
+                branchreg_options=branchreg_options,
+                observer=observer,
+                fault_tolerant=fault_tolerant,
+                deadline_s=deadline_s,
+                limit_overrides=limit_overrides,
+                cache_dir=cache_dir,
+                engine=engine,
+            )
     if use_cache:
         # Store a private copy so mutations of the returned result can
         # never reach (and corrupt) later cache hits.

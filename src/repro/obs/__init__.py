@@ -12,6 +12,11 @@ This package is the instrumentation substrate for the whole reproduction
 * :mod:`repro.obs.log` -- the shared ``repro`` logger and its ``-v``/``-q``
   configuration;
 * :mod:`repro.obs.emuobs` -- sampled low-overhead emulator hooks;
+* :mod:`repro.obs.trace` -- hierarchical trace contexts (trace/span/parent
+  ids, propagated across worker processes) and the Chrome trace-event
+  exporter behind ``python -m repro trace``;
+* :mod:`repro.obs.flame` -- collapsed-stack flamegraph export from the
+  basic-block profiler (``python -m repro flame``);
 * :mod:`repro.obs.manifest` -- the run-manifest JSON schema, builder, and
   dependency-free validator;
 * :mod:`repro.obs.report` -- the ``python -m repro report`` driver.

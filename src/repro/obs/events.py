@@ -19,10 +19,32 @@ line, the interchange format the run-report tooling and external
 consumers read) to capture the stream.
 """
 
+import itertools
 import json
+import os
 import time
 
 _SINK = None
+
+#: Per-process emission counter.  ``(t_mono, pid, seq)`` is a total
+#: order over merged multi-process streams: ``t_mono`` alone is not (two
+#: workers can stamp the same perf_counter reading), but ``seq`` never
+#: repeats within a pid.  ``itertools.count`` restarts naturally in
+#: forked workers, which is fine -- their pid differs.
+_SEQ = itertools.count()
+
+#: Optional trace-context provider (set by :mod:`repro.obs.trace` on
+#: import): a callable returning ``(trace_id, span_id)`` or None.  A
+#: hook rather than an import so this module stays leaf-level.
+_TRACE = None
+
+
+def set_trace_provider(provider):
+    """Install the trace-context callable; returns the previous one."""
+    global _TRACE
+    previous = _TRACE
+    _TRACE = provider
+    return previous
 
 
 def set_sink(sink):
@@ -42,13 +64,39 @@ def enabled():
 
 
 def emit(etype, **fields):
-    """Emit one event to the active sink (no-op when none attached)."""
+    """Emit one event to the active sink (no-op when none attached).
+
+    Each event is stamped with the emitting process id and a per-process
+    sequence number (the :func:`merge_events` tie-break), and -- when a
+    trace context is active (:mod:`repro.obs.trace`) -- with the trace id
+    and enclosing span id.  Explicit ``fields`` win over stamps.
+    """
     sink = _SINK
     if sink is None:
         return
-    event = {"type": etype, "t": time.time(), "t_mono": time.perf_counter()}
+    event = {
+        "type": etype,
+        "t": time.time(),
+        "t_mono": time.perf_counter(),
+        "pid": os.getpid(),
+        "seq": next(_SEQ),
+    }
+    if _TRACE is not None:
+        context = _TRACE()
+        if context is not None:
+            event["trace_id"] = context[0]
+            if context[1] is not None:
+                event["parent_id"] = context[1]
     event.update(fields)
     sink.emit(event)
+
+
+def _merge_key(event):
+    return (
+        event.get("t_mono", float("-inf")),
+        event.get("pid", -1),
+        event.get("seq", -1),
+    )
 
 
 def merge_events(*event_lists):
@@ -57,12 +105,15 @@ def merge_events(*event_lists):
     Used by the parallel suite runner to fold per-worker event streams
     back into a single stream: sorting is by ``t_mono`` (the cross-process
     monotonic clock), never by wall-clock ``t``, so an NTP step during a
-    run cannot reorder the merged timeline.  Events predating the
-    ``t_mono`` stamp (old captures) sort first, preserving their relative
-    order -- ``sorted`` is stable.
+    run cannot reorder the merged timeline.  ``t_mono`` alone is not a
+    total order -- distinct processes can stamp identical readings -- so
+    ties break on ``(pid, seq)``, which is deterministic and preserves
+    each process's own emission order.  Events predating the stamps (old
+    captures) sort first, preserving their relative order -- ``sorted``
+    is stable.
     """
     merged = [event for events_ in event_lists for event in events_]
-    merged.sort(key=lambda event: event.get("t_mono", float("-inf")))
+    merged.sort(key=_merge_key)
     return merged
 
 

@@ -1,0 +1,160 @@
+"""Collapsed-stack flamegraph export from the basic-block profiler.
+
+The PR-2 profiler records control-flow *edges*, not call stacks -- the
+emulated machines have no frame-pointer chain to walk.  This module
+reconstructs approximate stacks gprof-style from the call edges alone:
+
+1. filter the profiled edges down to *call sites* (``call`` ops on the
+   baseline machine; transfer-carrying instructions whose ``tkind`` is
+   ``"call"`` on the branch-register machine) and aggregate them into a
+   function-level caller -> callee multigraph;
+2. give every function's *self* count (its dynamically executed
+   instructions, from the profile's ``functions`` table) to the call
+   paths that reach it, splitting at each step proportionally to the
+   observed caller counts -- exactly gprof's attribution assumption
+   (time is distributed over callers pro rata, not tracked per call);
+3. emit the classic collapsed-stack format (``root;...;leaf count``, one
+   line per path) that ``flamegraph.pl``, speedscope, and Brendan
+   Gregg's tooling consume directly.
+
+Cycles are cut by never revisiting a function already on the path
+(recursion collapses onto its first frame, the standard flamegraph
+treatment), and paths are capped at :data:`MAX_DEPTH` frames.
+"""
+
+from collections import Counter
+
+#: Recursion guard for pathological call graphs; deeper chains collapse
+#: onto their first MAX_DEPTH frames.
+MAX_DEPTH = 64
+
+
+def call_edges(profiler):
+    """Function-level call multigraph from one profiled run.
+
+    Returns ``{(caller_fn, callee_fn): count}`` keeping only edges whose
+    source instruction is a call site.  Self-calls (direct recursion)
+    are kept -- :func:`collapsed_stacks` excludes them from attribution
+    but they still document the recursion in the profile.
+    """
+    image = profiler.image
+    machine = profiler.machine
+    edges = Counter()
+    for (src, dst), n in profiler.edges.items():
+        ins = image.instruction_at(src)
+        if machine == "baseline":
+            if ins.op != "call":
+                continue
+        elif not (ins.br and getattr(ins, "tkind", "jump") == "call"):
+            continue
+        caller, _ = image.source_location(src)
+        callee, _ = image.source_location(dst)
+        edges[(caller, callee)] += n
+    return dict(edges)
+
+
+def _paths(fn, callers, incoming, depth, seen):
+    """``[(path, share), ...]``: root-to-``fn`` call paths with the
+    fraction of ``fn``'s self count each should receive."""
+    inbound = callers.get(fn)
+    if not inbound or depth <= 0 or fn in seen:
+        return [((fn,), 1.0)]
+    out = []
+    total = incoming[fn]
+    blocked = seen | {fn}
+    for caller, n in inbound.items():
+        weight = n / total
+        for path, share in _paths(caller, callers, incoming, depth - 1, blocked):
+            out.append((path + (fn,), share * weight))
+    return out
+
+
+def collapsed_stacks(profiler, profile):
+    """``{"root;...;leaf": count}`` -- collapsed stacks for one run.
+
+    ``profile`` is the run's :func:`~repro.obs.profile.ExecutionProfiler.
+    to_profile` document (its ``functions`` table carries the per-function
+    dynamic instruction counts that become frame widths).
+    """
+    graph = call_edges(profiler)
+    callers = {}
+    incoming = Counter()
+    for (caller, callee), n in graph.items():
+        if caller == callee:
+            continue  # self-recursion cannot parent its own frame
+        callers.setdefault(callee, {})[caller] = (
+            callers.get(callee, {}).get(caller, 0) + n
+        )
+        incoming[callee] += n
+    stacks = Counter()
+    for row in profile["functions"]:
+        fn, count = row["function"], row["count"]
+        if not count:
+            continue
+        for path, share in _paths(fn, callers, incoming, MAX_DEPTH, frozenset()):
+            credit = int(round(count * share))
+            if credit:
+                stacks[";".join(path)] += credit
+    return dict(stacks)
+
+
+def render_flame(stacks):
+    """The collapsed-stack text: ``stack count`` lines, widest first."""
+    lines = [
+        "%s %d" % (stack, count)
+        for stack, count in sorted(
+            stacks.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    ]
+    return "\n".join(lines)
+
+
+def run_flame(subset=None, machine="branchreg", limit=None):
+    """Profile the (sub)suite and build per-workload collapsed stacks.
+
+    Returns ``{workload: {stack: count}}``.  Each workload runs under
+    its own :class:`~repro.obs.profile.ExecutionProfiler` on ``machine``;
+    the per-workload stacks are namespaced under the workload name when
+    rendered by :func:`render_flame_suite` so one file can hold the
+    whole suite.
+    """
+    from repro.harness.runner import resolve_workloads
+    from repro.obs.profile import run_profile
+
+    results = {}
+    for wl in resolve_workloads(tuple(subset) if subset is not None else None):
+        run = run_profile(wl.name, machine, limit=limit)
+        results[wl.name] = collapsed_stacks(run.profiler, run.profile)
+    return results
+
+
+def render_flame_suite(results):
+    """Suite-wide collapsed stacks: each workload's stacks rooted under a
+    frame named after the workload, so one flamegraph shows the whole
+    suite side by side."""
+    merged = {}
+    for name, stacks in sorted(results.items()):
+        for stack, count in stacks.items():
+            merged["%s;%s" % (name, stack)] = count
+    return render_flame(merged)
+
+
+def write_flame(text, out=None):
+    """Write collapsed stacks; returns the path."""
+    out = out or "flame.txt"
+    with open(out, "w") as handle:
+        handle.write(text)
+        if text and not text.endswith("\n"):
+            handle.write("\n")
+    return out
+
+
+__all__ = [
+    "MAX_DEPTH",
+    "call_edges",
+    "collapsed_stacks",
+    "render_flame",
+    "render_flame_suite",
+    "run_flame",
+    "write_flame",
+]

@@ -31,13 +31,18 @@ from dataclasses import fields as dataclass_fields
 #: ``docs/PERFORMANCE.md``).  Version 5 adds ``config.engine``: which
 #: emulation run loop produced the numbers ("fast" predecoded core or
 #: the "reference" step loop -- bit-identical by the conformance suite,
-#: but provenance belongs in the record).  Older manifests are still
-#: accepted on load so ``repro diff`` can compare against old artifacts.
+#: but provenance belongs in the record).  Version 6 extends the
+#: ``parallel`` section with cache telemetry: artifact-cache byte
+#: counters and hit rate, and a ``memo_cache`` object recording the
+#: in-process suite memo cache's hits/misses/bypasses (the ROADMAP's
+#: missing hit-rate telemetry).  Older manifests are still accepted on
+#: load so ``repro diff`` can compare against old artifacts.
 SCHEMA_V1 = "repro.run-manifest/1"
 SCHEMA_V2 = "repro.run-manifest/2"
 SCHEMA_V3 = "repro.run-manifest/3"
 SCHEMA_V4 = "repro.run-manifest/4"
-SCHEMA_ID = "repro.run-manifest/5"
+SCHEMA_V5 = "repro.run-manifest/5"
+SCHEMA_ID = "repro.run-manifest/6"
 
 
 class ManifestError(ValueError):
@@ -200,7 +205,20 @@ _PARALLEL_SCHEMA = {
                 "hits": {"type": "integer"},
                 "misses": {"type": "integer"},
                 "corrupt": {"type": "integer"},
+                "bytes_read": {"type": "integer"},
+                "bytes_written": {"type": "integer"},
+                "hit_rate": {"type": ["number", "null"]},
                 "dir": {"type": ["string", "null"]},
+            },
+        },
+        "memo_cache": {
+            "type": "object",
+            "required": ["hits", "misses"],
+            "properties": {
+                "hits": {"type": "integer"},
+                "misses": {"type": "integer"},
+                "bypassed": {"type": "integer"},
+                "hit_rate": {"type": ["number", "null"]},
             },
         },
     },
@@ -223,7 +241,14 @@ MANIFEST_SCHEMA = {
     "properties": {
         "schema": {
             "type": "string",
-            "enum": [SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4, SCHEMA_ID],
+            "enum": [
+                SCHEMA_V1,
+                SCHEMA_V2,
+                SCHEMA_V3,
+                SCHEMA_V4,
+                SCHEMA_V5,
+                SCHEMA_ID,
+            ],
         },
         "created_unix": {"type": "number"},
         "duration_s": {"type": "number"},
@@ -350,17 +375,49 @@ def validate_manifest(doc, schema=None):
 # --------------------------------------------------------------------------
 
 def artifact_cache_counters(metrics_snapshot):
-    """Extract the artifact-cache hit/miss/corrupt counts from a metrics
-    snapshot (the ``harness.artifact_cache`` counter family); all zero
-    when the run never touched the cache."""
-    counts = {"hits": 0, "misses": 0, "corrupt": 0}
+    """Extract the artifact-cache hit/miss/corrupt counts, byte traffic,
+    and hit rate from a metrics snapshot (the ``harness.artifact_cache``
+    and ``harness.artifact_cache_bytes`` counter families); all zero
+    (rate None) when the run never touched the cache."""
+    counts = {
+        "hits": 0,
+        "misses": 0,
+        "corrupt": 0,
+        "bytes_read": 0,
+        "bytes_written": 0,
+    }
     mapping = {"hit": "hits", "miss": "misses", "corrupt": "corrupt"}
+    directions = {"read": "bytes_read", "written": "bytes_written"}
     for row in metrics_snapshot.get("counters", ()):
-        if row["name"] != "harness.artifact_cache":
+        if row["name"] == "harness.artifact_cache":
+            bucket = mapping.get(row["labels"].get("result"))
+            if bucket:
+                counts[bucket] += int(row["value"])
+        elif row["name"] == "harness.artifact_cache_bytes":
+            bucket = directions.get(row["labels"].get("direction"))
+            if bucket:
+                counts[bucket] += int(row["value"])
+    lookups = counts["hits"] + counts["misses"]
+    counts["hit_rate"] = counts["hits"] / lookups if lookups else None
+    return counts
+
+
+def memo_cache_counters(metrics_snapshot):
+    """Extract the suite memo-cache hit/miss/bypass counts and hit rate
+    from a metrics snapshot (the ``harness.suite_cache`` counter family).
+    Bypasses -- runs whose parameters put them outside the cache key, or
+    that opted out -- are excluded from the rate: they were never
+    candidate hits."""
+    counts = {"hits": 0, "misses": 0, "bypassed": 0}
+    mapping = {"hit": "hits", "miss": "misses", "bypass": "bypassed"}
+    for row in metrics_snapshot.get("counters", ()):
+        if row["name"] != "harness.suite_cache":
             continue
         bucket = mapping.get(row["labels"].get("result"))
         if bucket:
             counts[bucket] += int(row["value"])
+    lookups = counts["hits"] + counts["misses"]
+    counts["hit_rate"] = counts["hits"] / lookups if lookups else None
     return counts
 
 

@@ -17,6 +17,13 @@ metric lookup is one dict access and instruments hold plain ints/floats.
 
 from dataclasses import dataclass, field
 
+#: Raw observations retained per histogram for percentile summaries.
+#: Beyond the cap further values still update count/total/min/max/buckets
+#: but are not retained (``sample_overflow`` counts them), so memory
+#: stays bounded and the percentiles become approximate-by-truncation --
+#: honest, because the overflow count is reported alongside them.
+SAMPLE_CAP = 4096
+
 
 def _label_key(labels):
     return tuple(sorted(labels.items()))
@@ -66,6 +73,8 @@ class Histogram:
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
     bucket_counts: list = field(default_factory=list)
+    samples: list = field(default_factory=list)
+    sample_overflow: int = 0
 
     def __post_init__(self):
         if self.buckets and not self.bucket_counts:
@@ -79,6 +88,10 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self.samples) < SAMPLE_CAP:
+            self.samples.append(value)
+        else:
+            self.sample_overflow += 1
         if self.buckets:
             for i, bound in enumerate(self.buckets):
                 if value <= bound:
@@ -89,6 +102,19 @@ class Histogram:
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q):
+        """The ``q``-th percentile (0..100) of retained samples, by
+        linear interpolation between closest ranks (numpy's default
+        definition).  0.0 with no observations."""
+        if not self.samples:
+            return 0.0
+        data = sorted(self.samples)
+        rank = (len(data) - 1) * (q / 100.0)
+        lo = int(rank)
+        hi = min(lo + 1, len(data) - 1)
+        frac = rank - lo
+        return data[lo] + (data[hi] - data[lo]) * frac
 
 
 class MetricsRegistry:
@@ -145,6 +171,12 @@ class MetricsRegistry:
             hist.total += row["total"]
             hist.min = min(hist.min, row["min"])
             hist.max = max(hist.max, row["max"])
+            hist.sample_overflow += row.get("sample_overflow", 0)
+            for value in row.get("samples", ()):
+                if len(hist.samples) < SAMPLE_CAP:
+                    hist.samples.append(value)
+                else:
+                    hist.sample_overflow += 1
             if hist.buckets:
                 for i, bucket_count in enumerate(row.get("bucket_counts", ())):
                     hist.bucket_counts[i] += bucket_count
@@ -176,6 +208,11 @@ class MetricsRegistry:
                 if inst.count:
                     row["min"] = inst.min
                     row["max"] = inst.max
+                    row["p50"] = inst.percentile(50)
+                    row["p95"] = inst.percentile(95)
+                    row["p99"] = inst.percentile(99)
+                    row["samples"] = list(inst.samples)
+                    row["sample_overflow"] = inst.sample_overflow
                 if inst.buckets:
                     row["buckets"] = list(inst.buckets)
                     row["bucket_counts"] = list(inst.bucket_counts)

@@ -21,6 +21,7 @@ from repro.obs.manifest import (
     build_manifest,
     collect_provenance,
     load_manifest,
+    memo_cache_counters,
     write_manifest,
 )
 from repro.obs.metrics import METRICS
@@ -119,6 +120,7 @@ def run_report(
             "artifact_cache": dict(
                 artifact_cache_counters(metrics_snapshot), dir=cache_root
             ),
+            "memo_cache": memo_cache_counters(metrics_snapshot),
         }
     manifest = build_manifest(
         pairs,
@@ -230,6 +232,74 @@ def render_report(manifest):
         )
         for phase, total in ordered:
             lines.append("  %-12s %10.4fs" % (phase, total))
+    percentile_rows = [
+        row
+        for row in manifest.get("metrics", {}).get("histograms", ())
+        if "p50" in row
+    ]
+    if percentile_rows:
+        lines.append("")
+        lines.append("Histogram percentiles:")
+        lines.append(
+            "%-28s %8s %10s %10s %10s %10s"
+            % ("histogram", "count", "mean", "p50", "p95", "p99")
+        )
+        for row in percentile_rows:
+            label = row["name"]
+            if row.get("labels"):
+                label += "{%s}" % ",".join(
+                    "%s=%s" % kv for kv in sorted(row["labels"].items())
+                )
+            note = (
+                " (+%d unsampled)" % row["sample_overflow"]
+                if row.get("sample_overflow")
+                else ""
+            )
+            lines.append(
+                "%-28s %8d %10.4g %10.4g %10.4g %10.4g%s"
+                % (
+                    label[:28],
+                    row["count"],
+                    row["mean"],
+                    row["p50"],
+                    row["p95"],
+                    row["p99"],
+                    note,
+                )
+            )
+    lines.append("")
+    lines.append("Cache telemetry:")
+    memo = memo_cache_counters(manifest.get("metrics", {}))
+    lines.append(
+        "  memo cache      %d hit(s), %d miss(es), %d bypassed%s"
+        % (
+            memo["hits"],
+            memo["misses"],
+            memo["bypassed"],
+            " (%.0f%% hit rate)" % (100.0 * memo["hit_rate"])
+            if memo["hit_rate"] is not None
+            else "",
+        )
+    )
+    artifact = (manifest.get("parallel") or {}).get("artifact_cache")
+    if artifact is None:
+        artifact = artifact_cache_counters(manifest.get("metrics", {}))
+    if artifact.get("hits") or artifact.get("misses") or artifact.get("corrupt"):
+        lines.append(
+            "  artifact cache  %d hit(s), %d miss(es), %d corrupt%s%s"
+            % (
+                artifact["hits"],
+                artifact["misses"],
+                artifact["corrupt"],
+                " (%.0f%% hit rate)" % (100.0 * artifact["hit_rate"])
+                if artifact.get("hit_rate") is not None
+                else "",
+                ", %d B read / %d B written"
+                % (artifact["bytes_read"], artifact["bytes_written"])
+                if artifact.get("bytes_read") is not None
+                else "",
+            )
+        )
     failures = manifest.get("failures")
     if failures is not None:
         lines.append("")

@@ -13,7 +13,10 @@ run manifest groups the profile table.
 
 If an event sink is attached (:mod:`repro.obs.events`), every span
 completion additionally emits a ``span`` event so external tools can see
-the raw stream.
+the raw stream.  When a trace context is active (:mod:`repro.obs.trace`)
+each span entry also opens a trace span, so the emitted event carries
+``trace_id`` / ``span_id`` / ``parent_id`` and the whole run reassembles
+into a hierarchy -- including across ``--jobs N`` worker processes.
 """
 
 import time
@@ -21,7 +24,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import wraps
 
-from repro.obs import events
+from repro.obs import events, trace
 
 
 def _label_key(labels):
@@ -60,12 +63,14 @@ class SpanRecorder:
 
     @contextmanager
     def span(self, name, /, **labels):
+        token = trace.push_span()
         start = time.perf_counter()
         try:
             yield
         finally:
             duration = time.perf_counter() - start
-            self._record(name, labels, duration)
+            trace.pop_span(token)
+            self._record(name, labels, duration, token=token)
 
     def timed(self, name, /, **labels):
         """Decorator form: ``@timed("opt.copyprop")``."""
@@ -73,24 +78,38 @@ class SpanRecorder:
         def deco(fn):
             @wraps(fn)
             def wrapper(*args, **kwargs):
+                token = trace.push_span()
                 start = time.perf_counter()
                 try:
                     return fn(*args, **kwargs)
                 finally:
-                    self._record(name, labels, time.perf_counter() - start)
+                    duration = time.perf_counter() - start
+                    trace.pop_span(token)
+                    self._record(name, labels, duration, token=token)
 
             return wrapper
 
         return deco
 
-    def _record(self, name, labels, duration):
+    def _record(self, name, labels, duration, token=None):
         key = (name, _label_key(labels))
         stats = self._spans.get(key)
         if stats is None:
             stats = SpanStats(name=name, labels=dict(labels))
             self._spans[key] = stats
         stats.record(duration)
-        events.emit("span", name=name, labels=labels, duration_s=duration)
+        if token is None:
+            events.emit("span", name=name, labels=labels, duration_s=duration)
+        else:
+            # The span event is emitted *after* pop, so the ambient
+            # context would stamp the parent's ids; pass this span's own
+            # identity explicitly (explicit fields win over stamps).
+            extra = {"trace_id": token.trace_id, "span_id": token.span_id}
+            if token.parent_id is not None:
+                extra["parent_id"] = token.parent_id
+            events.emit(
+                "span", name=name, labels=labels, duration_s=duration, **extra
+            )
 
     def merge_rows(self, rows):
         """Fold :meth:`snapshot` rows from another recorder into this one.

@@ -1,0 +1,392 @@
+"""Hierarchical trace contexts and the Chrome trace-event exporter.
+
+A *trace* is one logical operation -- typically a whole suite run --
+identified by a random ``trace_id``.  While a trace is active, every
+span opened through :mod:`repro.obs.spans` gets its own random
+``span_id`` and remembers the enclosing span as ``parent_id``, and every
+event emitted through :mod:`repro.obs.events` is stamped with the trace
+id plus the id of the span it happened inside.  The context is plain
+module state (the whole emulator is single-threaded by design), and it
+crosses the ``--jobs N`` process boundary explicitly: the parent puts
+:func:`task_context` -- a picklable ``(trace_id, parent_span_id)`` pair
+-- into each worker task, and the worker activates it with
+:func:`start_trace` so its workload spans nest under the parent's suite
+span.  With no trace active all hooks are a single ``is None`` test, so
+untraced runs pay nothing.
+
+The captured stream exports to the Chrome trace-event JSON format
+(load it at ``ui.perfetto.dev`` or ``about:tracing``): span events
+become complete (``ph: "X"``) slices, everything else becomes instants
+(``ph: "i"``), and per-process metadata records which pid was which
+worker.  The wrapper document is schema-validated (``repro.trace/1``)
+with the same dependency-free validator the run manifest uses.
+"""
+
+import json
+import os
+
+from repro.obs import events
+
+TRACE_SCHEMA_ID = "repro.trace/1"
+
+#: Event types that render as complete slices rather than instants.
+_SPAN_TYPE = "span"
+
+
+def _new_id():
+    return os.urandom(8).hex()
+
+
+class _State:
+    """One active trace: its id plus the open-span stack."""
+
+    __slots__ = ("trace_id", "stack")
+
+    def __init__(self, trace_id, stack):
+        self.trace_id = trace_id
+        self.stack = stack
+
+
+_ACTIVE = None
+
+
+class SpanToken:
+    """Identity of one open span, returned by :func:`push_span`."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id")
+
+    def __init__(self, trace_id, span_id, parent_id):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+
+def active():
+    """True when a trace context is currently installed."""
+    return _ACTIVE is not None
+
+
+def start_trace(trace_id=None, parent_span_id=None):
+    """Install a trace context; returns a token for :func:`end_trace`.
+
+    ``trace_id`` continues an existing trace (worker processes pass the
+    parent's id); None starts a fresh one.  ``parent_span_id`` seeds the
+    span stack so spans opened here nest under a span owned by another
+    process -- the seed entry is never popped because pops only match
+    ids issued by :func:`push_span` in this process.
+    """
+    global _ACTIVE
+    token = _ACTIVE
+    stack = [parent_span_id] if parent_span_id else []
+    _ACTIVE = _State(trace_id or _new_id(), stack)
+    return token
+
+
+def end_trace(token):
+    """Restore whatever context :func:`start_trace` displaced."""
+    global _ACTIVE
+    _ACTIVE = token
+
+
+def current_context():
+    """``(trace_id, enclosing span_id or None)``, or None when inactive.
+
+    This is the provider :func:`repro.obs.events.emit` consults to stamp
+    every event (registered at import time, below).
+    """
+    state = _ACTIVE
+    if state is None:
+        return None
+    return (state.trace_id, state.stack[-1] if state.stack else None)
+
+
+#: Picklable form of :func:`current_context` for worker task tuples.
+task_context = current_context
+
+
+def push_span():
+    """Open a span: returns its :class:`SpanToken`, or None untraced."""
+    state = _ACTIVE
+    if state is None:
+        return None
+    parent = state.stack[-1] if state.stack else None
+    span_id = _new_id()
+    state.stack.append(span_id)
+    return SpanToken(state.trace_id, span_id, parent)
+
+
+def pop_span(token):
+    """Close the span ``token`` identifies (no-op for a None token)."""
+    state = _ACTIVE
+    if state is None or token is None:
+        return
+    stack = state.stack
+    if stack and stack[-1] == token.span_id:
+        stack.pop()
+    elif token.span_id in stack:  # unbalanced exit: drop just this span
+        stack.remove(token.span_id)
+
+
+# Register the context provider with the event layer.  events.py cannot
+# import this module (spans -> trace -> events would turn circular), so
+# the hook points the other way: importing repro.obs.trace -- which
+# repro.obs.spans does -- is what turns event stamping on.
+events.set_trace_provider(current_context)
+
+
+# --------------------------------------------------------------------------
+# Chrome trace-event export
+# --------------------------------------------------------------------------
+
+TRACE_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "displayTimeUnit", "traceEvents"],
+    "properties": {
+        "schema": {"type": "string", "const": TRACE_SCHEMA_ID},
+        "displayTimeUnit": {"type": "string", "enum": ["ms", "ns"]},
+        "otherData": {"type": "object"},
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["ph", "name", "pid", "tid", "ts"],
+                "properties": {
+                    "ph": {"type": "string", "enum": ["X", "i", "M"]},
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "ts": {"type": "number"},
+                    "dur": {"type": "number"},
+                    "s": {"type": "string", "enum": ["g", "p", "t"]},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+
+def validate_trace(doc):
+    """Raise :class:`~repro.obs.manifest.ManifestError` on violation;
+    returns the document for chaining."""
+    from repro.obs.manifest import _validate
+
+    _validate(doc, TRACE_SCHEMA, "$")
+    return doc
+
+
+def _start_mono(event):
+    """Timeline start of one event: spans emit at completion, so their
+    slice starts ``duration_s`` before the stamp."""
+    t = event.get("t_mono", 0.0)
+    if event.get("type") == _SPAN_TYPE:
+        return t - event.get("duration_s", 0.0)
+    return t
+
+
+def _slice_name(event):
+    """Display name for a span slice: the span name plus its label
+    values ("workload:wc", "emulate:baseline")."""
+    labels = event.get("labels") or {}
+    parts = [event.get("name", _SPAN_TYPE)]
+    parts.extend(str(labels[key]) for key in sorted(labels))
+    return ":".join(parts)
+
+
+_STAMP_KEYS = ("type", "t", "t_mono", "pid", "seq")
+
+
+def export_chrome_trace(event_list, label="repro"):
+    """Convert a captured event stream into a Chrome trace document.
+
+    ``event_list`` is any iterable of stamped events (one process's sink
+    contents, or a merged multi-process stream); ordering is
+    re-established here, so callers need not pre-sort.  Span events
+    become ``ph:"X"`` complete slices (their emit stamp marks the *end*
+    of the slice), all other events become ``ph:"i"`` instants, and each
+    pid gets a ``ph:"M"`` process_name metadata record.  Timestamps are
+    microseconds relative to the earliest slice start, which keeps the
+    numbers small and Perfetto-friendly.
+    """
+    merged = events.merge_events(list(event_list))
+    if not merged:
+        doc = {
+            "schema": TRACE_SCHEMA_ID,
+            "displayTimeUnit": "ms",
+            "otherData": {"label": label},
+            "traceEvents": [],
+        }
+        return validate_trace(doc)
+    t0 = min(_start_mono(event) for event in merged)
+    trace_ids = sorted(
+        {event["trace_id"] for event in merged if "trace_id" in event}
+    )
+    pids = []
+    trace_events = []
+    for event in merged:
+        pid = int(event.get("pid", 0))
+        if pid not in pids:
+            pids.append(pid)
+        etype = event.get("type")
+        args = {
+            key: value
+            for key, value in event.items()
+            if key not in _STAMP_KEYS and value is not None
+        }
+        if etype == _SPAN_TYPE and "duration_s" in event:
+            args.pop("labels", None)
+            args.pop("name", None)
+            args.pop("duration_s", None)
+            args.update(event.get("labels") or {})
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": _slice_name(event),
+                    "cat": _SPAN_TYPE,
+                    "pid": pid,
+                    "tid": pid,
+                    "ts": (_start_mono(event) - t0) * 1e6,
+                    "dur": event["duration_s"] * 1e6,
+                    "args": args,
+                }
+            )
+        else:
+            trace_events.append(
+                {
+                    "ph": "i",
+                    "name": str(etype),
+                    "cat": "event",
+                    "pid": pid,
+                    "tid": pid,
+                    "ts": (event.get("t_mono", t0) - t0) * 1e6,
+                    "s": "p",
+                    "args": args,
+                }
+            )
+    # The first pid seen at the earliest timestamp is the coordinating
+    # process (it opened the root span); label the rest as workers.
+    for i, pid in enumerate(pids):
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": pid,
+                "ts": 0,
+                "args": {
+                    "name": "repro" if i == 0 else "repro worker %d" % pid
+                },
+            }
+        )
+    doc = {
+        "schema": TRACE_SCHEMA_ID,
+        "displayTimeUnit": "ms",
+        "otherData": {"label": label, "trace_ids": trace_ids},
+        "traceEvents": trace_events,
+    }
+    return validate_trace(doc)
+
+
+# --------------------------------------------------------------------------
+# The ``repro trace`` driver
+# --------------------------------------------------------------------------
+
+def run_trace(
+    subset=None,
+    jobs=None,
+    limit=None,
+    sample_every=65536,
+    engine=None,
+    label=None,
+):
+    """Run the (sub)suite with tracing active; returns the Chrome doc.
+
+    The suite runs uncached (a memoised result would have no spans to
+    show) under a fresh trace context, with the event stream captured in
+    memory; ``jobs > 1`` fans out across worker processes whose spans
+    re-assemble under the parent's ``suite`` span via the propagated
+    context.  Serial runs attach an in-process
+    :class:`~repro.obs.emuobs.EmulationObserver`; parallel runs give
+    each worker its own via ``sample_every``.
+    """
+    from repro.emu.fastcore import resolve_engine
+    from repro.harness.parallel import default_jobs
+    from repro.harness.runner import DEFAULT_LIMIT, run_suite
+    from repro.obs.emuobs import EmulationObserver
+    from repro.obs.metrics import METRICS
+    from repro.obs.spans import RECORDER
+
+    engine = resolve_engine(engine)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    METRICS.reset()
+    RECORDER.reset()
+    sink = events.MemorySink(max_events=1_000_000)
+    previous = events.set_sink(sink)
+    token = start_trace()
+    observer = EmulationObserver(sample_every=sample_every) if jobs == 1 else None
+    try:
+        run_suite(
+            subset=subset,
+            limit=limit if limit is not None else DEFAULT_LIMIT,
+            observer=observer,
+            use_cache=False,
+            jobs=jobs,
+            sample_every=sample_every,
+            engine=engine,
+        )
+    finally:
+        end_trace(token)
+        events.set_sink(previous)
+    return export_chrome_trace(
+        sink.events, label=label or "suite (%d workload(s))" % _suite_size(subset)
+    )
+
+
+def _suite_size(subset):
+    from repro.workloads import all_workloads
+
+    return len(tuple(subset)) if subset else len(all_workloads())
+
+
+def load_events(path):
+    """Read a JSON-lines event stream (``repro report --events`` output)
+    back into a list of stamped events."""
+    with open(path, "r") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def write_trace(doc, out=None):
+    """Write a Chrome trace document; returns the path."""
+    out = out or "trace.json"
+    with open(out, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return out
+
+
+def load_trace(path):
+    """Read and validate a Chrome trace document."""
+    with open(path, "r") as handle:
+        doc = json.load(handle)
+    return validate_trace(doc)
+
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_ID",
+    "SpanToken",
+    "active",
+    "current_context",
+    "end_trace",
+    "export_chrome_trace",
+    "load_events",
+    "load_trace",
+    "pop_span",
+    "push_span",
+    "run_trace",
+    "start_trace",
+    "task_context",
+    "validate_trace",
+    "write_trace",
+]

@@ -132,13 +132,29 @@ class TestCrossEngine:
             )
             assert result["engine"] == "fast"
 
+    def test_observed_runs_bit_identical(self):
+        """With ``sample_every`` set both engines run under a sampling
+        observer and the compared state gains the sample/run counts --
+        the conformance gate for the fast core's observed loop."""
+        source = (
+            "int main() { int i; int n = 0;"
+            " for (i = 0; i < 100; i++) n += i;"
+            " print_int(n); putchar(10); return 0; }"
+        )
+        for machine in MACHINES:
+            result = crosscheck_engines(
+                source, machine, name="observed", sample_every=64
+            )
+            assert result["engine"] == "fast"
+            assert result["fast_fallback"] is None
+
     def test_divergence_raises_with_channels(self, monkeypatch):
         """A cooked fast-side difference surfaces as EngineDivergence
         naming the differing channel."""
         real = conformance._final_state
 
-        def skewed(image, machine, stdin, limit, name, engine):
-            state, emu = real(image, machine, stdin, limit, name, engine)
+        def skewed(image, machine, stdin, limit, name, engine, **kwargs):
+            state, emu = real(image, machine, stdin, limit, name, engine, **kwargs)
             if engine == "fast":
                 state["pc"] += 4
             return state, emu

@@ -86,7 +86,8 @@ class TestEngineResolution:
 
 class TestFallbackMatrix:
     """Each hook the fast core cannot service forces the reference loop
-    and records why; the run still completes correctly."""
+    and records why; the run still completes correctly.  The sampling
+    observer is the exception: it is serviced natively."""
 
     @pytest.mark.parametrize("machine", ("baseline", "branchreg"))
     def test_fast_runs_by_default(self, images, machine):
@@ -101,13 +102,25 @@ class TestFallbackMatrix:
         assert stats.engine == "reference"
         assert emu.fast_fallback is None
 
-    def test_observer_forces_reference(self, images):
-        emu, stats = _run(
-            images, "baseline", engine="fast",
-            observer=EmulationObserver(sample_every=16),
-        )
-        assert stats.engine == "reference"
-        assert emu.fast_fallback == "observer attached"
+    @pytest.mark.parametrize("machine", ("baseline", "branchreg"))
+    def test_observer_stays_fast(self, images, machine):
+        """An observer alone no longer disqualifies the fast core: the
+        sampling loop services it at reference-identical sample points."""
+        from repro.obs.metrics import MetricsRegistry
+
+        observers = {}
+        for engine in ENGINES:
+            observers[engine] = EmulationObserver(
+                sample_every=16, registry=MetricsRegistry()
+            )
+            emu, stats = _run(
+                images, machine, engine=engine, observer=observers[engine]
+            )
+            assert stats.engine == engine
+            assert emu.fast_fallback is None
+            assert stats.output == b"780\n"
+        assert observers["fast"].samples == observers["reference"].samples
+        assert observers["fast"].runs == observers["reference"].runs
 
     def test_profiler_forces_reference(self, images):
         emu, stats = _run(
@@ -194,6 +207,38 @@ class TestLimitBoundaries:
                 "limit=%d diverged on %s: %r" % (limit, machine, outcomes)
             )
 
+    @pytest.mark.parametrize("machine", ("baseline", "branchreg"))
+    def test_observed_limit_parity_sweep(self, images, machine):
+        """The sampling loop must hit the budget at the same instruction
+        and deliver the same sample count as the reference observed loop,
+        for limits landing on and off sample boundaries."""
+        from repro.obs.metrics import MetricsRegistry
+
+        image = images[machine]
+        for limit in list(range(1, 24)) + [97, 161, 255]:
+            outcomes = {}
+            for engine in ENGINES:
+                observer = EmulationObserver(
+                    sample_every=8, registry=MetricsRegistry()
+                )
+                emu = _EMULATORS[machine](
+                    image.reset(), limit=limit, engine=engine,
+                    observer=observer,
+                )
+                try:
+                    emu.run()
+                    outcomes[engine] = (
+                        "halted", emu.pc, emu.icount, observer.samples
+                    )
+                except RuntimeLimitExceeded as exc:
+                    outcomes[engine] = (
+                        "limit", exc.pc, exc.icount, observer.samples
+                    )
+                assert emu.icount <= limit
+            assert outcomes["fast"] == outcomes["reference"], (
+                "limit=%d diverged on %s: %r" % (limit, machine, outcomes)
+            )
+
 
 class TestLoopVariantsAgree:
     """Every run-loop variant behind ``_select_loop`` (plain, observed,
@@ -207,6 +252,9 @@ class TestLoopVariantsAgree:
             "plain": dict(engine="reference"),
             "observed": dict(
                 engine="reference", observer=EmulationObserver(sample_every=8)
+            ),
+            "fast_observed": dict(
+                engine="fast", observer=EmulationObserver(sample_every=8)
             ),
             "hardened": dict(engine="reference", record_edges=True),
             "profiled": dict(

@@ -70,6 +70,26 @@ class TestSuiteCache:
         assert list(first) == list(second)
         assert first.failures == second.failures
 
+    def test_hits_misses_and_bypasses_counted(self):
+        from repro.obs.metrics import METRICS
+
+        def counts():
+            return {
+                result: METRICS.counter(
+                    "harness.suite_cache", result=result
+                ).value
+                for result in ("hit", "miss", "bypass")
+            }
+
+        before = counts()
+        run_suite(subset=("sieve",))  # cold: miss, fills the cache
+        run_suite(subset=("sieve",))  # warm: hit
+        run_suite(subset=("sieve",), use_cache=False)  # forced around
+        after = counts()
+        assert after["miss"] - before["miss"] == 1
+        assert after["hit"] - before["hit"] == 1
+        assert after["bypass"] - before["bypass"] == 1
+
     def test_mutating_a_hit_does_not_poison_the_cache(self):
         # regression: run_suite used to hand out the cached SuiteResult
         # by reference, so one caller's .clear() / .append() silently

@@ -1,8 +1,22 @@
 """Tests for the metrics registry (repro.obs.metrics)."""
 
+import math
+import random
+
 import pytest
 
-from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.metrics import METRICS, SAMPLE_CAP, MetricsRegistry
+
+
+def _oracle_percentile(values, q):
+    """Sorted-list linear-interpolation percentile (numpy's default)."""
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[int(rank)])
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
 
 
 @pytest.fixture
@@ -68,6 +82,67 @@ class TestHistogram:
 
     def test_empty_mean_zero(self, registry):
         assert registry.histogram("empty").mean == 0.0
+
+
+class TestHistogramPercentiles:
+    def test_empty_is_zero(self, registry):
+        assert registry.histogram("empty").percentile(50) == 0.0
+
+    def test_single_observation_is_every_percentile(self, registry):
+        h = registry.histogram("one")
+        h.observe(42.5)
+        for q in (0, 50, 95, 99, 100):
+            assert h.percentile(q) == 42.5
+
+    def test_matches_sorted_list_oracle(self, registry):
+        rng = random.Random(7)
+        values = [rng.uniform(0, 1000) for _ in range(257)]
+        h = registry.histogram("h")
+        for v in values:
+            h.observe(v)
+        for q in (0, 1, 25, 50, 75, 95, 99, 100):
+            assert h.percentile(q) == pytest.approx(
+                _oracle_percentile(values, q)
+            )
+
+    def test_duplicate_heavy_distribution(self, registry):
+        values = [5.0] * 90 + [100.0] * 10
+        h = registry.histogram("h")
+        for v in values:
+            h.observe(v)
+        assert h.percentile(50) == 5.0
+        assert h.percentile(99) == pytest.approx(
+            _oracle_percentile(values, 99)
+        )
+
+    def test_sample_cap_overflow_counted(self, registry):
+        h = registry.histogram("h")
+        for i in range(SAMPLE_CAP + 10):
+            h.observe(float(i))
+        assert len(h.samples) == SAMPLE_CAP
+        assert h.sample_overflow == 10
+        assert h.count == SAMPLE_CAP + 10
+
+    def test_snapshot_carries_percentiles(self, registry):
+        h = registry.histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        row = registry.snapshot()["histograms"][0]
+        assert row["p50"] == pytest.approx(2.5)
+        assert row["p95"] == pytest.approx(_oracle_percentile([1, 2, 3, 4], 95))
+        assert row["samples"] == [1.0, 2.0, 3.0, 4.0]
+        assert row["sample_overflow"] == 0
+
+    def test_merge_snapshot_folds_samples(self, registry):
+        other = MetricsRegistry()
+        for v in (1.0, 2.0):
+            registry.histogram("h").observe(v)
+        for v in (3.0, 4.0):
+            other.histogram("h").observe(v)
+        registry.merge_snapshot(other.snapshot())
+        h = registry.histogram("h")
+        assert sorted(h.samples) == [1.0, 2.0, 3.0, 4.0]
+        assert h.percentile(50) == pytest.approx(2.5)
 
 
 class TestRegistry:

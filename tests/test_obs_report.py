@@ -132,6 +132,41 @@ class TestRunReport:
         assert "Phase profile" in report["text"]
         assert "wc" in report["text"]
 
+    def test_histogram_percentiles_rendered(self, report):
+        rows = report["manifest"]["metrics"]["histograms"]
+        assert any("p50" in row for row in rows)
+        assert "Histogram percentiles:" in report["text"]
+
+    def test_cache_telemetry_rendered(self, report):
+        # The report path bypasses the memo cache (use_cache=False), and
+        # that shows up as bypasses rather than misses.
+        from repro.obs.manifest import memo_cache_counters
+
+        memo = memo_cache_counters(report["manifest"]["metrics"])
+        assert memo == {
+            "hits": 0, "misses": 0, "bypassed": 1, "hit_rate": None,
+        }
+        assert "Cache telemetry:" in report["text"]
+        assert "memo cache      0 hit(s), 0 miss(es), 1 bypassed" in (
+            report["text"]
+        )
+
+    def test_parallel_manifest_reports_cache_sections(self, tmp_path):
+        result = run_report(
+            subset=("wc", "sieve"), sample_every=4096, jobs=2,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        parallel = result["manifest"]["parallel"]
+        assert parallel["jobs"] == 2
+        artifact = parallel["artifact_cache"]
+        assert artifact["misses"] == 4  # 2 workloads x 2 machines, all cold
+        assert artifact["hits"] == 0
+        assert artifact["bytes_written"] > 0
+        assert artifact["bytes_read"] == 0
+        assert artifact["hit_rate"] == 0.0
+        assert parallel["memo_cache"]["bypassed"] == 1
+        validate_manifest(result["manifest"])
+
     def test_events_path_written(self, tmp_path):
         path = tmp_path / "events.jsonl"
         run_report(subset=("wc",), events_path=str(path), sample_every=4096)

@@ -132,6 +132,80 @@ class TestEvents:
         assert parsed[1]["y"] == [1, 2]
 
 
+class TestEventStamps:
+    def test_pid_and_seq_stamped(self, sink):
+        import os
+
+        events.emit("a")
+        events.emit("b")
+        first, second = sink.events
+        assert first["pid"] == os.getpid() == second["pid"]
+        assert second["seq"] > first["seq"]
+
+    def test_explicit_fields_win_over_stamps(self, sink):
+        events.emit("a", pid=42, seq=7)
+        assert sink.events[0]["pid"] == 42
+        assert sink.events[0]["seq"] == 7
+
+    def test_trace_provider_stamps_context(self, sink):
+        provider = events.set_trace_provider(lambda: ("tid01", "span01"))
+        try:
+            events.emit("a")
+        finally:
+            events.set_trace_provider(provider)
+        assert sink.events[0]["trace_id"] == "tid01"
+        assert sink.events[0]["parent_id"] == "span01"
+
+    def test_no_context_no_trace_fields(self, sink):
+        provider = events.set_trace_provider(None)
+        try:
+            events.emit("a")
+        finally:
+            events.set_trace_provider(provider)
+        assert "trace_id" not in sink.events[0]
+        assert "parent_id" not in sink.events[0]
+
+
+class TestMergeEvents:
+    def test_sorted_by_monotonic_time(self):
+        streams = [
+            [{"type": "a", "t_mono": 2.0}, {"type": "a", "t_mono": 5.0}],
+            [{"type": "b", "t_mono": 1.0}, {"type": "b", "t_mono": 3.0}],
+        ]
+        merged = events.merge_events(*streams)
+        assert [e["t_mono"] for e in merged] == [1.0, 2.0, 3.0, 5.0]
+
+    def test_colliding_timestamps_tie_break_on_pid_then_seq(self):
+        """Regression: equal t_mono values from different workers used to
+        merge in arbitrary stream order; the (t_mono, pid, seq) key makes
+        the interleave deterministic."""
+        t = 1234.5
+        streams = [
+            [
+                {"type": "x", "t_mono": t, "pid": 20, "seq": 0},
+                {"type": "x", "t_mono": t, "pid": 20, "seq": 1},
+            ],
+            [
+                {"type": "x", "t_mono": t, "pid": 10, "seq": 1},
+                {"type": "x", "t_mono": t, "pid": 10, "seq": 0},
+            ],
+        ]
+        merged = events.merge_events(*streams)
+        assert [(e["pid"], e["seq"]) for e in merged] == [
+            (10, 0), (10, 1), (20, 0), (20, 1),
+        ]
+        # Same input in the opposite stream order merges identically.
+        remerged = events.merge_events(*reversed(streams))
+        assert remerged == merged
+
+    def test_unstamped_events_sort_first(self):
+        merged = events.merge_events(
+            [{"type": "new", "t_mono": 1.0, "pid": 1, "seq": 0}],
+            [{"type": "legacy"}],
+        )
+        assert [e["type"] for e in merged] == ["legacy", "new"]
+
+
 class TestLogging:
     def teardown_method(self):
         configure(0)

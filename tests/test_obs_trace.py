@@ -1,0 +1,281 @@
+"""Tests for the tracing layer (repro.obs.trace) and the flamegraph
+exporter (repro.obs.flame): context propagation, event stamping, the
+Chrome trace-event document, and collapsed-stack reconstruction."""
+
+import pickle
+
+import pytest
+
+from repro.obs import events, trace
+from repro.obs.flame import collapsed_stacks, render_flame, run_flame
+from repro.obs.manifest import ManifestError
+from repro.obs.spans import SpanRecorder
+
+
+@pytest.fixture
+def sink():
+    previous = events.set_sink(events.MemorySink())
+    yield events.get_sink()
+    events.set_sink(previous)
+
+
+@pytest.fixture
+def traced():
+    token = trace.start_trace()
+    yield trace.current_context()[0]
+    trace.end_trace(token)
+
+
+class TestTraceContext:
+    def test_inactive_by_default(self):
+        assert not trace.active()
+        assert trace.current_context() is None
+        assert trace.push_span() is None
+        trace.pop_span(None)  # must not raise
+
+    def test_start_and_end_restore(self):
+        token = trace.start_trace()
+        assert trace.active()
+        trace.end_trace(token)
+        assert not trace.active()
+
+    def test_nested_traces_restore_outer(self):
+        outer = trace.start_trace()
+        outer_id = trace.current_context()[0]
+        inner = trace.start_trace()
+        assert trace.current_context()[0] != outer_id
+        trace.end_trace(inner)
+        assert trace.current_context()[0] == outer_id
+        trace.end_trace(outer)
+
+    def test_span_stack_nests(self, traced):
+        parent = trace.push_span()
+        child = trace.push_span()
+        assert child.parent_id == parent.span_id
+        assert parent.parent_id is None
+        assert trace.current_context() == (traced, child.span_id)
+        trace.pop_span(child)
+        assert trace.current_context() == (traced, parent.span_id)
+        trace.pop_span(parent)
+        assert trace.current_context() == (traced, None)
+
+    def test_unbalanced_pop_drops_only_that_span(self, traced):
+        a = trace.push_span()
+        b = trace.push_span()
+        trace.pop_span(a)  # out of order
+        assert trace.current_context() == (traced, b.span_id)
+        trace.pop_span(b)
+
+    def test_task_context_is_picklable(self, traced):
+        span = trace.push_span()
+        ctx = trace.task_context()
+        assert pickle.loads(pickle.dumps(ctx)) == (traced, span.span_id)
+        trace.pop_span(span)
+
+    def test_worker_side_activation_nests_under_parent(self, traced):
+        parent = trace.push_span()
+        ctx = trace.task_context()
+        # What _run_workload_task does on the other side of the pickle.
+        worker_token = trace.start_trace(
+            trace_id=ctx[0], parent_span_id=ctx[1]
+        )
+        try:
+            child = trace.push_span()
+            assert child.trace_id == traced
+            assert child.parent_id == parent.span_id
+            trace.pop_span(child)
+        finally:
+            trace.end_trace(worker_token)
+        trace.pop_span(parent)
+
+
+class TestSpanEventStamps:
+    def test_span_event_carries_own_identity(self, sink, traced):
+        rec = SpanRecorder()
+        with rec.span("workload", name="wc"):
+            events.emit("emu.start", machine="baseline")
+        span_event = sink.by_type("span")[0]
+        instant = sink.by_type("emu.start")[0]
+        assert span_event["trace_id"] == traced
+        assert "span_id" in span_event
+        assert "parent_id" not in span_event  # top-level span
+        # The instant nests inside the span, not beside it.
+        assert instant["parent_id"] == span_event["span_id"]
+
+    def test_nested_spans_link_parent(self, sink, traced):
+        rec = SpanRecorder()
+        with rec.span("suite"):
+            with rec.span("workload", name="wc"):
+                pass
+        inner, outer = sink.by_type("span")  # inner closes first
+        assert inner["labels"] == {"name": "wc"}
+        assert inner["parent_id"] == outer["span_id"]
+
+    def test_untraced_spans_unstamped(self, sink):
+        rec = SpanRecorder()
+        with rec.span("workload", name="wc"):
+            pass
+        assert "trace_id" not in sink.by_type("span")[0]
+
+
+class TestChromeExport:
+    def _capture(self):
+        sink = events.MemorySink()
+        previous = events.set_sink(sink)
+        token = trace.start_trace()
+        rec = SpanRecorder()
+        try:
+            with rec.span("suite", mode="serial"):
+                with rec.span("workload", name="wc"):
+                    events.emit("emu.start", machine="baseline")
+        finally:
+            trace.end_trace(token)
+            events.set_sink(previous)
+        return sink.events
+
+    def test_document_shape_and_schema(self):
+        doc = trace.export_chrome_trace(self._capture())
+        assert doc["schema"] == trace.TRACE_SCHEMA_ID
+        phases = sorted(ev["ph"] for ev in doc["traceEvents"])
+        assert phases == ["M", "X", "X", "i"]
+        trace.validate_trace(doc)
+
+    def test_slices_nest_by_span_ids(self):
+        doc = trace.export_chrome_trace(self._capture())
+        slices = {
+            ev["name"]: ev for ev in doc["traceEvents"] if ev["ph"] == "X"
+        }
+        suite = slices["suite:serial"]
+        workload = slices["workload:wc"]
+        assert workload["args"]["parent_id"] == suite["args"]["span_id"]
+        assert workload["args"]["name"] == "wc"
+        assert workload["dur"] <= suite["dur"]
+
+    def test_empty_stream_still_validates(self):
+        doc = trace.export_chrome_trace([])
+        assert doc["traceEvents"] == []
+        trace.validate_trace(doc)
+
+    def test_validation_rejects_bad_phase(self):
+        doc = trace.export_chrome_trace([])
+        doc["traceEvents"] = [
+            {"ph": "Z", "name": "x", "pid": 1, "tid": 1, "ts": 0}
+        ]
+        with pytest.raises(ManifestError):
+            trace.validate_trace(doc)
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        doc = trace.export_chrome_trace(self._capture())
+        path = trace.write_trace(doc, out=str(tmp_path / "t.json"))
+        assert trace.load_trace(path) == doc
+
+
+class TestRunTrace:
+    @pytest.mark.parametrize("jobs", (1, 2))
+    def test_suite_trace_covers_workloads(self, jobs):
+        doc = trace.run_trace(subset=("wc", "sieve"), jobs=jobs)
+        slices = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        by_name = {}
+        for ev in slices:
+            by_name.setdefault(ev["name"], ev)
+        suite = by_name["suite:parallel" if jobs > 1 else "suite:serial"]
+        for workload in ("wc", "sieve"):
+            ev = by_name["workload:%s" % workload]
+            assert ev["args"]["parent_id"] == suite["args"]["span_id"]
+        # One trace id spans every process.
+        assert len(doc["otherData"]["trace_ids"]) == 1
+        if jobs > 1:
+            assert len({ev["pid"] for ev in slices}) > 1
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ValueError):
+            trace.run_trace(subset=("nope",))
+
+    def test_leaves_no_context_or_sink_behind(self):
+        before = events.get_sink()
+        trace.run_trace(subset=("wc",), jobs=1)
+        assert not trace.active()
+        assert events.get_sink() is before
+
+
+class TestFlame:
+    def test_collapsed_stacks_from_profiler(self):
+        from repro.obs.profile import run_profile
+
+        run = run_profile("wc", "branchreg")
+        stacks = collapsed_stacks(run.profiler, run.profile)
+        assert stacks
+        # Every frame path is rooted at the entry stub and the total
+        # credit approximates the dynamic instruction count.
+        assert all(stack.startswith("__start") for stack in stacks)
+        total = sum(stacks.values())
+        executed = sum(row["count"] for row in run.profile["functions"])
+        assert total == pytest.approx(executed, rel=0.01)
+
+    def test_render_widest_first(self):
+        text = render_flame({"a;b": 5, "a;c": 50, "a": 1})
+        assert text.splitlines() == ["a;c 50", "a;b 5", "a 1"]
+
+    def test_run_flame_nonempty_per_workload(self):
+        results = run_flame(subset=("wc", "sieve"))
+        assert set(results) == {"wc", "sieve"}
+        assert all(results.values())
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ValueError):
+            run_flame(subset=("nope",))
+
+
+class TestCliVerbs:
+    def test_trace_verb_writes_validated_doc(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "trace.json")
+        rc = main(["trace", "--subset", "wc", "--out", out])
+        assert rc == 0
+        assert "trace:" in capsys.readouterr().out
+        doc = trace.load_trace(out)
+        assert any(
+            ev["name"] == "workload:wc"
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "X"
+        )
+
+    def test_trace_verb_from_events(self, tmp_path, capsys):
+        from repro.cli import main
+
+        events_path = tmp_path / "events.jsonl"
+        events_path.write_text(
+            '{"type": "span", "name": "suite", "t_mono": 1.0, '
+            '"duration_s": 0.5, "pid": 1, "seq": 0}\n'
+        )
+        out = str(tmp_path / "trace.json")
+        rc = main(["trace", "--from-events", str(events_path), "--out", out])
+        assert rc == 0
+        doc = trace.load_trace(out)
+        assert doc["traceEvents"][0]["ph"] == "X"
+
+    def test_trace_verb_rejects_bad_events_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["trace", "--from-events", str(tmp_path / "missing.jsonl")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_flame_verb_writes_stacks(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "flame.txt")
+        rc = main(["flame", "--subset", "wc", "--out", out])
+        assert rc == 0
+        lines = open(out).read().strip().splitlines()
+        assert lines and all(
+            line.startswith("wc;") or line.split(" ")[0] == "wc"
+            for line in lines
+        )
+
+    def test_unknown_workload_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "--subset", "nope"]) == 2
+        assert main(["flame", "--subset", "nope"]) == 2
