@@ -1,0 +1,66 @@
+"""Benchmark: supervision overhead on a clean run.
+
+``docs/ROBUSTNESS.md`` promises the supervised coordinator is close to
+free when nothing goes wrong: on a warm artifact cache with ``--jobs 4``
+and no injected faults, a supervised suite run must stay within
+``OVERHEAD_CEILING`` of the plain parallel pool.  (The crash-recovery
+and checkpoint machinery only spends time on the failure paths.)
+
+Both arms run over the same warm cache, several rounds each with the
+min taken, so the comparison isolates coordinator overhead from compile
+time and scheduler noise.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.harness.parallel import run_suite_parallel
+from repro.harness.runner import resolve_workloads, run_suite
+from repro.workloads import all_workloads
+
+SUBSET = tuple(w.name for w in all_workloads())  # the full Appendix I suite
+OVERHEAD_CEILING = 1.05  # supervised <= 5% slower than the plain pool
+ROUNDS = 3
+
+
+def _measure_overhead(cache_dir):
+    run_suite_parallel(  # warm the on-disk artifact cache
+        resolve_workloads(SUBSET), limit=20_000_000, jobs=2,
+        cache_dir=cache_dir,
+    )
+    plain_times, supervised_times = [], []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        run_suite(subset=SUBSET, use_cache=False, jobs=4, cache_dir=cache_dir)
+        plain_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        run_suite(
+            subset=SUBSET, use_cache=False, jobs=4, cache_dir=cache_dir,
+            supervise=True,
+        )
+        supervised_times.append(time.perf_counter() - start)
+    return {
+        "plain_s": min(plain_times),
+        "supervised_s": min(supervised_times),
+        "overhead": min(supervised_times) / min(plain_times),
+    }
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="needs >= 4 cores for a meaningful --jobs 4 comparison "
+    "(CI enforces the overhead ceiling)",
+)
+def test_supervision_overhead_under_five_percent(once, tmp_path):
+    result = once(_measure_overhead, str(tmp_path / "artifacts"))
+    print()
+    print(
+        "suite wall time: plain %.2fs, supervised %.2fs, overhead %.2fx"
+        % (result["plain_s"], result["supervised_s"], result["overhead"])
+    )
+    assert result["overhead"] <= OVERHEAD_CEILING, (
+        "supervised clean run is %.2fx the plain pool (ceiling %.2fx)"
+        % (result["overhead"], OVERHEAD_CEILING)
+    )

@@ -45,7 +45,19 @@ Usage (``python -m repro [-v|-q] <command> ...``):
   to reproducer ``.c`` files; exits non-zero when any case fails;
 * ``triage MANIFEST`` -- render the post-mortem view of a manifest's
   ``failures`` section (error types, pc/icount, source attribution, and
-  the last control-flow edges); see ``docs/ROBUSTNESS.md``.
+  the last control-flow edges); see ``docs/ROBUSTNESS.md``;
+* ``chaos [--seed N] [--campaigns N] [--jobs N]`` -- seeded
+  harness-level chaos campaigns (worker SIGKILLs, cache corruption,
+  delays/hangs) against the supervised runner, asserting every campaign
+  converges byte-identical to the serial reference; exits non-zero on
+  divergence.
+
+``table1`` and ``report`` additionally accept ``--supervise``
+(worker-crash recovery, seeded retry/backoff, quarantine),
+``--max-attempts N``, ``--checkpoint PATH``, and ``--resume`` (skip
+workloads the checkpoint journal already records); ``report`` also takes
+``--limit-override NAME=N`` per-workload instruction limits.  See
+``docs/ROBUSTNESS.md``.
 
 ``-v``/``-vv`` raise and ``-q`` lowers the diagnostic log level on the
 shared ``repro`` logger (stderr); report/table output stays on stdout.
@@ -107,6 +119,61 @@ def _add_engine_arg(parser):
         "'reference' (the plain interpreter); default $REPRO_ENGINE, "
         "else fast; results are bit-identical either way",
     )
+
+
+def _add_supervise_args(parser):
+    from repro.harness.checkpoint import DEFAULT_CHECKPOINT
+
+    parser.add_argument(
+        "--supervise", action="store_true",
+        help="run the suite under the supervision layer: worker-crash "
+        "recovery, seeded retry/backoff, quarantine of repeated failers, "
+        "and the parent-side hang watchdog (see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="supervised per-task attempt budget before quarantine "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal completed workloads to PATH (JSON lines, schema "
+        "repro.checkpoint/1) so --resume skips them after a crash or "
+        "Ctrl-C",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip workloads already recorded in the checkpoint journal "
+        "(default journal: %s)" % DEFAULT_CHECKPOINT,
+    )
+
+
+def _resolve_checkpoint(args):
+    """The checkpoint path implied by --checkpoint/--resume (None = no
+    journal): --resume alone uses the default journal path."""
+    from repro.harness.checkpoint import DEFAULT_CHECKPOINT
+
+    if args.checkpoint:
+        return args.checkpoint
+    return DEFAULT_CHECKPOINT if args.resume else None
+
+
+def _parse_limit_overrides(values):
+    """{name: limit} from repeated NAME=LIMIT arguments (None if empty)."""
+    overrides = {}
+    for item in values or ():
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise ValueError(
+                "--limit-override wants NAME=LIMIT, got %r" % item
+            )
+        try:
+            overrides[name] = int(value)
+        except ValueError:
+            raise ValueError(
+                "--limit-override %s: %r is not an integer" % (name, value)
+            ) from None
+    return overrides or None
 
 
 def cmd_run(args):
@@ -277,15 +344,30 @@ def cmd_flame(args):
 
 
 def cmd_table1(args):
+    from repro.errors import SuiteInterrupted
     from repro.harness.table1 import run_table1
     from repro.obs.manifest import stats_to_dict
 
     subset = tuple(args.subset.split(",")) if args.subset else None
     try:
-        result = run_table1(subset=subset, jobs=args.jobs, engine=args.engine)
+        result = run_table1(
+            subset=subset, jobs=args.jobs, engine=args.engine,
+            supervise=True if args.supervise else None,
+            max_attempts=args.max_attempts,
+            checkpoint=_resolve_checkpoint(args),
+            resume=args.resume,
+        )
     except ValueError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    except SuiteInterrupted as exc:
+        print(
+            "interrupted: %d workload(s) unfinished (%s); the checkpoint "
+            "journal has the completed prefix -- re-run with --resume"
+            % (len(exc.remaining), ", ".join(exc.remaining)),
+            file=sys.stderr,
+        )
+        return 130
     if args.json:
         _print_json(
             {
@@ -430,6 +512,7 @@ def cmd_report(args):
         return 2
     subset = tuple(args.subset.split(",")) if args.subset else None
     try:
+        limit_overrides = _parse_limit_overrides(args.limit_override)
         result = run_report(
             subset=subset,
             limit=args.limit,
@@ -440,6 +523,11 @@ def cmd_report(args):
             jobs=args.jobs,
             cache_dir=args.cache_dir if args.cache_dir else False,
             engine=args.engine,
+            limit_overrides=limit_overrides,
+            supervise=True if args.supervise else None,
+            max_attempts=args.max_attempts,
+            checkpoint=_resolve_checkpoint(args),
+            resume=args.resume,
         )
     except ValueError as exc:  # e.g. unknown workload names
         print("error: %s" % exc, file=sys.stderr)
@@ -448,6 +536,10 @@ def cmd_report(args):
     print(result["text"])
     log.info("wrote run manifest to %s", path)
     print("\nmanifest: %s" % path)
+    if result.get("interrupted"):
+        # The partial manifest above is valid and --resume picks up the
+        # journal; exit with the conventional SIGINT status.
+        return 130
     if result["manifest"].get("failures"):
         return 1
     return 0
@@ -585,6 +677,34 @@ def cmd_fuzz(args):
             if "artifact" in record:
                 print("    reproducer: %s" % record["artifact"])
     return 1 if report["failures"] else 0
+
+
+def cmd_chaos(args):
+    from repro.fault.harness_chaos import render_chaos, run_chaos
+
+    subset = tuple(args.subset.split(",")) if args.subset else None
+    try:
+        summary = run_chaos(
+            seed=args.seed,
+            campaigns=args.campaigns,
+            jobs=args.jobs if args.jobs else 2,
+            subset=subset,
+            limit=args.limit,
+            kills=args.kills,
+            raises=args.raises,
+            delays=args.delays,
+            corrupt=args.corrupt,
+            hangs=args.hangs,
+            keep_going=args.keep_going,
+        )
+    except ValueError as exc:  # unknown workload names
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json(summary)
+    else:
+        print(render_chaos(summary))
+    return 0 if summary["divergent"] == 0 else 1
 
 
 def cmd_triage(args):
@@ -763,6 +883,7 @@ def build_parser():
     )
     _add_jobs_arg(p_t1)
     _add_engine_arg(p_t1)
+    _add_supervise_args(p_t1)
     p_t1.set_defaults(func=cmd_table1)
 
     p_cy = sub.add_parser("cycles", help="Section 7 cycle estimates")
@@ -825,8 +946,13 @@ def build_parser():
         help="serve compiles from this artifact cache (off by default so "
         "the phase profile reflects real compiles)",
     )
+    p_rep.add_argument(
+        "--limit-override", action="append", default=None, metavar="NAME=N",
+        help="per-workload instruction-limit override (repeatable)",
+    )
     _add_jobs_arg(p_rep)
     _add_engine_arg(p_rep)
+    _add_supervise_args(p_rep)
     p_rep.set_defaults(func=cmd_report)
 
     p_or = sub.add_parser(
@@ -889,6 +1015,54 @@ def build_parser():
     _add_jobs_arg(p_fz)
     p_fz.set_defaults(func=cmd_fuzz)
 
+    p_ch = sub.add_parser(
+        "chaos",
+        help="seeded harness-level chaos campaigns against the "
+        "supervised runner (worker kills, cache corruption, delays); "
+        "exits non-zero if any campaign diverges from the serial "
+        "reference",
+    )
+    p_ch.add_argument("--seed", type=int, default=0)
+    p_ch.add_argument(
+        "--campaigns", type=int, default=5, metavar="N",
+        help="number of perturbed suite runs (default 5)",
+    )
+    p_ch.add_argument("--subset", default=None, help="comma-separated names")
+    p_ch.add_argument(
+        "--limit", type=int, default=200_000,
+        help="per-workload instruction limit (small by default: chaos "
+        "exercises the harness, not the emulators)",
+    )
+    p_ch.add_argument(
+        "--kills", type=int, default=3, metavar="N",
+        help="worker SIGKILLs injected per campaign (default 3)",
+    )
+    p_ch.add_argument(
+        "--raises", type=int, default=2, metavar="N",
+        help="transient task exceptions injected per campaign (default 2)",
+    )
+    p_ch.add_argument(
+        "--delays", type=int, default=2, metavar="N",
+        help="random task delays injected per campaign (default 2)",
+    )
+    p_ch.add_argument(
+        "--corrupt", type=int, default=2, metavar="N",
+        help="artifact-cache entries corrupted per campaign (default 2)",
+    )
+    p_ch.add_argument(
+        "--hangs", type=int, default=0, metavar="N",
+        help="task hangs injected per campaign, recovered by the "
+        "parent-side watchdog (default 0)",
+    )
+    p_ch.add_argument(
+        "--keep-going", action="store_true",
+        help="run every campaign even after a divergence (default: stop "
+        "at the first, whose seed reproduces it)",
+    )
+    p_ch.add_argument("--json", action="store_true")
+    _add_jobs_arg(p_ch)
+    p_ch.set_defaults(func=cmd_chaos)
+
     p_tg = sub.add_parser(
         "triage",
         help="post-mortem view of a manifest's failures section",
@@ -950,6 +1124,12 @@ def main(argv=None):
     configure_logging(args.verbose - args.quiet)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # Suite coordinators reap their workers and checkpoint before
+        # this propagates (see repro.harness.supervise); exit with the
+        # conventional SIGINT status rather than a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Reader went away (e.g. ``repro report | head``); exit quietly
         # with the conventional SIGPIPE status instead of a traceback.

@@ -134,6 +134,22 @@ class MachineDivergence(EmulationError):
         super().__init__(message)
 
 
+class SuiteInterrupted(ReproError):
+    """A supervised suite run was interrupted (Ctrl-C / SIGINT) after the
+    coordinator reaped its workers and checkpointed completed work.
+
+    ``partial`` is the :class:`~repro.harness.runner.SuiteResult` of
+    everything that finished before the interrupt; ``remaining`` lists
+    the workload names that did not.  ``repro report`` turns this into a
+    valid *partial* manifest which ``--resume`` later picks up.
+    """
+
+    def __init__(self, message, partial=None, remaining=None):
+        self.partial = partial
+        self.remaining = list(remaining or [])
+        super().__init__(message)
+
+
 class EngineDivergence(MachineDivergence):
     """The fast (predecoded) and reference run loops disagreed on *any*
     observable for the same image on the same machine: RunStats, final

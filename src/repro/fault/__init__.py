@@ -18,6 +18,10 @@ hang, or a raw Python traceback.
   programs down to a small reproducer.
 * :mod:`repro.fault.triage`   -- structured failure records for run
   manifests and the ``repro triage`` post-mortem view.
+* :mod:`repro.fault.harness_chaos` -- chaos testing one level up: kill
+  workers, corrupt cache entries, delay/hang tasks, and assert the
+  supervised harness (``repro.harness.supervise``) converges to results
+  byte-identical to an unperturbed serial run.
 
 See ``docs/ROBUSTNESS.md`` for the fault model and guarantees.
 """
@@ -29,6 +33,14 @@ from repro.fault.inject import (
     InjectionOutcome,
     run_campaign,
     run_trial,
+)
+from repro.fault.harness_chaos import (
+    HarnessChaosError,
+    apply_chaos,
+    chaos_plan,
+    corrupt_cache_entries,
+    render_chaos,
+    run_chaos,
 )
 from repro.fault.minimize import minimize
 from repro.fault.oracle import (
@@ -53,6 +65,12 @@ __all__ = [
     "InjectionOutcome",
     "run_campaign",
     "run_trial",
+    "HarnessChaosError",
+    "apply_chaos",
+    "chaos_plan",
+    "corrupt_cache_entries",
+    "render_chaos",
+    "run_chaos",
     "minimize",
     "DifferentialResult",
     "check_workloads",

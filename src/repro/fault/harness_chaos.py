@@ -1,0 +1,350 @@
+"""Harness-level chaos testing for the supervised suite runner.
+
+The fault injectors in :mod:`repro.fault.inject` corrupt *emulated*
+state -- images, registers, memory -- and assert the pipeline detects
+the corruption.  This module injects faults one level up, into the
+**harness itself**: workers are SIGKILLed mid-task, artifact-cache
+entries are scribbled over, tasks are delayed, hung, or made to raise
+transient exceptions.  A chaos *campaign* runs the suite under
+:func:`repro.harness.supervise.run_suite_supervised` with a seeded fault
+plan and asserts the supervision layer converges: the perturbed parallel
+run must reassemble **byte-identical** to an unperturbed serial run.
+
+Fault actions (one per task *attempt*, injected in the worker before the
+real task body runs):
+
+``("kill",)``
+    ``SIGKILL`` the worker's own process -- the coordinator sees
+    ``BrokenProcessPool``, respawns the pool, and reschedules.
+``("raise", message)``
+    Raise :class:`HarnessChaosError` -- a deliberately *untyped*
+    (non-``ReproError``) exception, i.e. the transient-failure class the
+    supervisor retries with backoff.
+``("delay", seconds)``
+    Sleep before running -- reorders completion without failing.
+``("hang", seconds)``
+    Sleep *as if stuck* -- long enough that only the parent-side
+    ``task_timeout_s`` watchdog can recover (SIGKILL + reschedule).
+
+Everything is driven by seeds (campaign seeds derive from the top-level
+seed) so a failing campaign reproduces exactly from its number alone.
+See ``docs/ROBUSTNESS.md`` ("Harness chaos") and ``repro chaos``.
+"""
+
+import os
+import random
+import signal
+import tempfile
+import time
+
+from repro.obs import METRICS, log
+
+#: Injected failing-action kinds (consume a task attempt when they fire).
+_FAILING = ("kill", "raise", "hang")
+
+
+class HarnessChaosError(Exception):
+    """The chaos harness's injected transient failure.
+
+    Deliberately **not** a :class:`~repro.errors.ReproError`: typed
+    errors are deterministic and never retried, while this class exists
+    precisely to exercise the supervisor's transient-retry path.
+    """
+
+
+def apply_chaos(action):
+    """Execute one fault action inside a worker process.
+
+    Called by :func:`repro.harness.supervise._supervised_task` right
+    after the start marker is written and before the real task body.
+    """
+    kind = action[0]
+    if kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "raise":
+        raise HarnessChaosError(action[1])
+    elif kind == "delay":
+        time.sleep(action[1])
+    elif kind == "hang":
+        # A "hang" is just a long sleep from the worker's point of view;
+        # what makes it a hang is that only the parent-side watchdog can
+        # end it early.  Sleep in small slices so a test's fallback
+        # timeout still terminates if the watchdog is broken.
+        deadline = time.monotonic() + action[1]
+        while time.monotonic() < deadline:
+            time.sleep(0.05)
+    else:
+        raise ValueError("unknown chaos action %r" % (kind,))
+
+
+def chaos_plan(
+    names,
+    rng,
+    kills=0,
+    raises=0,
+    delays=0,
+    hangs=0,
+    delay_s=0.05,
+    hang_s=30.0,
+    max_attempts=3,
+):
+    """A seeded fault plan: {workload: [action per attempt, ...]}.
+
+    Failing actions (kill/raise/hang) are capped at ``max_attempts - 1``
+    per workload so every task retains at least one clean attempt and
+    the campaign can converge; a fault that cannot be placed within that
+    budget is dropped (and reported).  Returns ``(plan, placed)`` where
+    ``placed`` counts the faults actually scheduled per kind.
+    """
+    names = list(names)
+    plan = {name: [] for name in names}
+
+    def place(action):
+        failing = action[0] in _FAILING
+        candidates = names[:]
+        rng.shuffle(candidates)
+        for name in candidates:
+            budget = sum(1 for a in plan[name] if a[0] in _FAILING)
+            if failing and budget >= max_attempts - 1:
+                continue
+            plan[name].append(action)
+            return True
+        return False
+
+    placed = {"kill": 0, "raise": 0, "delay": 0, "hang": 0}
+    for index in range(kills):
+        placed["kill"] += place(("kill",))
+    for index in range(raises):
+        placed["raise"] += place(
+            ("raise", "injected transient failure #%d" % index)
+        )
+    for _ in range(hangs):
+        placed["hang"] += place(("hang", hang_s))
+    for _ in range(delays):
+        placed["delay"] += place(("delay", delay_s * (0.5 + rng.random())))
+    dropped = kills + raises + hangs + delays - sum(placed.values())
+    if dropped:
+        log.warning("chaos plan dropped %d unplaceable fault(s)", dropped)
+    return {k: v for k, v in plan.items() if v}, placed
+
+
+def corrupt_cache_entries(cache_root, count, rng):
+    """Scribble over ``count`` artifact-cache entries (seeded choice).
+
+    Each victim's payload is truncated and tailed with garbage, so the
+    cache's checksum line no longer matches -- the torn/corrupt shape a
+    crashed writer or bad disk produces.  Returns the corrupted paths.
+    The supervised run must *detect* each one (counted
+    ``harness.artifact_cache{result=corrupt}``), drop it, and rebuild.
+    """
+    try:
+        entries = sorted(
+            name for name in os.listdir(cache_root) if name.endswith(".mpc")
+        )
+    except OSError:
+        entries = []
+    victims = rng.sample(entries, min(count, len(entries)))
+    corrupted = []
+    for name in victims:
+        path = os.path.join(cache_root, name)
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\x00chaos\x00")
+            corrupted.append(path)
+        except OSError:
+            pass
+    if len(corrupted) < count:
+        log.warning(
+            "chaos: corrupted %d/%d cache entries (cache too small?)",
+            len(corrupted), count,
+        )
+    return corrupted
+
+
+def _counter_value(snapshot, name):
+    """Sum of a counter across all label sets in a metrics snapshot."""
+    return sum(
+        row["value"] for row in snapshot.get("counters", ())
+        if row["name"] == name
+    )
+
+
+def run_chaos(
+    seed=0,
+    campaigns=5,
+    jobs=2,
+    subset=None,
+    limit=200_000,
+    kills=3,
+    raises=2,
+    delays=2,
+    corrupt=2,
+    hangs=0,
+    hang_s=30.0,
+    task_timeout_s=None,
+    max_attempts=3,
+    keep_going=False,
+):
+    """Run seeded chaos campaigns; returns a summary dict.
+
+    Each campaign perturbs one supervised parallel suite run -- worker
+    SIGKILLs, injected transient exceptions, delays, optional hangs, and
+    ``corrupt`` freshly-scribbled artifact-cache entries -- and asserts
+    the result is byte-identical (PairResult equality, which includes
+    program output, exit status, and every instruction/branch counter)
+    to the unperturbed serial reference computed once up front.
+
+    The summary has ``converged`` / ``divergent`` campaign counts, the
+    per-campaign records, fault totals, and the supervision telemetry
+    delta across the whole run.  ``keep_going=False`` stops at the first
+    divergent campaign (its seed reproduces it exactly).
+    """
+    from repro.harness.checkpoint import CheckpointJournal, checkpoint_run_key
+    from repro.harness.runner import FAST_SUBSET, resolve_workloads, run_suite
+    from repro.harness.supervise import SupervisePolicy, run_suite_supervised
+    from repro.emu.fastcore import resolve_engine
+
+    names = tuple(subset) if subset is not None else FAST_SUBSET
+    workloads = resolve_workloads(names)
+    engine = resolve_engine(None)
+    if hangs and task_timeout_s is None:
+        task_timeout_s = max(0.5, hang_s / 10.0)
+    before = METRICS.snapshot()
+    log.info(
+        "chaos: %d campaign(s), seed %d, %d workload(s), jobs=%d "
+        "(%d kill / %d raise / %d delay / %d hang / %d corrupt per campaign)",
+        campaigns, seed, len(workloads), jobs,
+        kills, raises, delays, hangs, corrupt,
+    )
+    reference = run_suite(
+        subset=names, limit=limit, jobs=1, use_cache=False, cache_dir=False
+    )
+    records = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
+        cache_root = os.path.join(root, "cache")
+        # Warm the artifact cache once so every campaign has real
+        # entries to corrupt; the supervised runs self-heal it.
+        run_suite(
+            subset=names, limit=limit, jobs=1, use_cache=False,
+            cache_dir=cache_root,
+        )
+        for campaign in range(campaigns):
+            rng = random.Random("%d:%d" % (seed, campaign))
+            plan, placed = chaos_plan(
+                [w.name for w in workloads], rng,
+                kills=kills, raises=raises, delays=delays, hangs=hangs,
+                hang_s=hang_s, max_attempts=max_attempts,
+            )
+            corrupted = corrupt_cache_entries(cache_root, corrupt, rng)
+            checkpoint = os.path.join(root, "campaign-%d.jsonl" % campaign)
+            policy = SupervisePolicy(
+                max_attempts=max_attempts,
+                backoff_base_s=0.01,
+                backoff_cap_s=0.1,
+                seed=rng.randrange(2**31),
+                task_timeout_s=task_timeout_s,
+            )
+            journal = CheckpointJournal.open(
+                checkpoint,
+                checkpoint_run_key(
+                    names=[w.name for w in workloads], limit=limit,
+                    engine=engine,
+                ),
+            )
+            try:
+                result = run_suite_supervised(
+                    workloads, limit,
+                    jobs=jobs,
+                    cache_dir=cache_root,
+                    engine=engine,
+                    policy=policy,
+                    journal=journal,
+                    fault_plan=plan,
+                )
+            finally:
+                journal.close()
+            converged = (
+                list(result) == list(reference) and not result.failures
+            )
+            record = {
+                "campaign": campaign,
+                "seed": seed,
+                "converged": converged,
+                "injected": placed,
+                "corrupted": len(corrupted),
+                "quarantined": len(result.quarantined),
+            }
+            records.append(record)
+            log.info(
+                "chaos campaign %d/%d: %s (%s)",
+                campaign + 1, campaigns,
+                "converged" if converged else "DIVERGED",
+                ", ".join("%s=%d" % kv for kv in sorted(placed.items())),
+            )
+            if not converged and not keep_going:
+                break
+    after = METRICS.snapshot()
+    telemetry = {
+        name: _counter_value(after, name) - _counter_value(before, name)
+        for name in (
+            "harness.retries", "harness.worker_crashes",
+            "harness.hang_kills", "harness.quarantined",
+        )
+    }
+    converged = sum(1 for r in records if r["converged"])
+    return {
+        "campaigns": len(records),
+        "requested": campaigns,
+        "converged": converged,
+        "divergent": len(records) - converged,
+        "records": records,
+        "injected": {
+            kind: sum(r["injected"][kind] for r in records)
+            for kind in ("kill", "raise", "delay", "hang")
+        },
+        "corrupted": sum(r["corrupted"] for r in records),
+        "telemetry": telemetry,
+    }
+
+
+def render_chaos(summary):
+    """Human-readable campaign table + verdict for ``repro chaos``."""
+    lines = []
+    lines.append(
+        "chaos: %d/%d campaign(s) converged (%d divergent)"
+        % (summary["converged"], summary["campaigns"], summary["divergent"])
+    )
+    injected = summary["injected"]
+    lines.append(
+        "injected: %d worker kill(s), %d transient raise(s), %d delay(s), "
+        "%d hang(s); %d cache entr%s corrupted"
+        % (
+            injected["kill"], injected["raise"], injected["delay"],
+            injected["hang"], summary["corrupted"],
+            "y" if summary["corrupted"] == 1 else "ies",
+        )
+    )
+    telemetry = summary["telemetry"]
+    lines.append(
+        "supervision: %d retr%s, %d pool rebuild(s), %d hang kill(s), "
+        "%d quarantine(s)"
+        % (
+            telemetry["harness.retries"],
+            "y" if telemetry["harness.retries"] == 1 else "ies",
+            telemetry["harness.worker_crashes"],
+            telemetry["harness.hang_kills"],
+            telemetry["harness.quarantined"],
+        )
+    )
+    for record in summary["records"]:
+        if not record["converged"]:
+            lines.append(
+                "DIVERGED: campaign %d (reproduce with --seed %d "
+                "--campaigns %d)"
+                % (record["campaign"], record["seed"],
+                   record["campaign"] + 1)
+            )
+    return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""Crash-consistent suite checkpointing (schema ``repro.checkpoint/1``).
+
+A checkpoint journal is an append-only JSON-lines file recording the
+outcome of every completed (workload, machine-pair) task of one suite
+run, so that ``--resume`` after a coordinator crash or Ctrl-C re-executes
+only the unfinished work and reassembles results *byte-identical* to an
+uninterrupted run.
+
+File layout::
+
+    {"schema": "repro.checkpoint/1", "run_key": "<sha256>", ...}   # header
+    {"type": "task", "workload": "wc", "status": "ok", ...}        # 1/record
+    ...
+
+Each task record carries its result -- the pickled
+:class:`~repro.ease.environment.PairResult` for ``ok`` tasks, the
+structured failure record for ``failure``/``quarantined`` tasks -- as a
+zlib-compressed base64 payload guarded by its own SHA-256, so a torn
+write (coordinator killed mid-append) is *detected and dropped* on load
+rather than resurrected as a corrupt result.  Records are flushed and
+fsynced as they are written: everything before a crash is durable.
+
+The ``run_key`` hashes the full run configuration (workload names,
+instruction limit and per-workload overrides, codegen options, engine,
+fault tolerance, deadline, package version).  A journal is only resumed
+by a run with the *same* key; any other configuration starts fresh, so a
+stale journal can never leak results into a differently-parameterised
+run.  See ``docs/ROBUSTNESS.md`` ("Checkpoint / resume").
+"""
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import zlib
+
+from repro.obs import METRICS, log
+
+CHECKPOINT_SCHEMA = "repro.checkpoint/1"
+
+#: Default journal path used by the CLI's ``--resume`` when no
+#: ``--checkpoint`` path was given.
+DEFAULT_CHECKPOINT = ".repro.checkpoint.jsonl"
+
+#: Valid terminal statuses for a task record.
+_STATUSES = ("ok", "failure", "quarantined")
+
+
+def checkpoint_run_key(
+    names,
+    limit,
+    options=(),
+    engine=None,
+    limit_overrides=None,
+    fault_tolerant=False,
+    deadline_s=None,
+    sample_every=None,
+):
+    """SHA-256 over the full run configuration (plus package version).
+
+    Two runs share a journal only when every parameter that can change a
+    task's result is identical -- the same rule the artifact cache uses
+    for compiled images.
+    """
+    from repro import __version__
+
+    payload = repr(
+        (
+            tuple(names) if names is not None else None,
+            limit,
+            tuple(sorted(options or ())),
+            engine,
+            tuple(sorted((limit_overrides or {}).items())),
+            bool(fault_tolerant),
+            deadline_s,
+            sample_every,
+            __version__,
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _encode_payload(obj):
+    raw = zlib.compress(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL), 6)
+    return (
+        base64.b64encode(raw).decode("ascii"),
+        hashlib.sha256(raw).hexdigest(),
+    )
+
+
+def _decode_payload(text, digest):
+    raw = base64.b64decode(text.encode("ascii"), validate=True)
+    if hashlib.sha256(raw).hexdigest() != digest:
+        raise ValueError("payload checksum mismatch")
+    return pickle.loads(zlib.decompress(raw))
+
+
+class CheckpointJournal:
+    """One suite run's append-only checkpoint journal.
+
+    Use :meth:`open` rather than the constructor: it decides between
+    resuming an existing journal (header ``run_key`` matches) and
+    starting a fresh one, and loads the surviving records either way.
+    """
+
+    def __init__(self, path, run_key):
+        self.path = str(path)
+        self.run_key = run_key
+        #: workload name -> {"status", "attempts", "result"} for every
+        #: valid record loaded from disk (last record per name wins).
+        self.entries = {}
+        self._handle = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def open(cls, path, run_key, resume=False):
+        """Open (and, with ``resume``, reload) a journal for ``run_key``.
+
+        Without ``resume`` any existing file is truncated.  With it, the
+        existing records are kept only when the header's ``run_key``
+        matches; a mismatched or unreadable journal is started over --
+        resuming someone else's configuration would be silent corruption.
+        """
+        journal = cls(path, run_key)
+        if resume:
+            journal._load()
+        journal._open_for_append(fresh=not journal.entries)
+        return journal
+
+    def _load(self):
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            log.warning("checkpoint %s has a corrupt header; starting fresh",
+                        self.path)
+            return
+        if (
+            header.get("schema") != CHECKPOINT_SCHEMA
+            or header.get("run_key") != self.run_key
+        ):
+            log.warning(
+                "checkpoint %s belongs to a different run configuration; "
+                "starting fresh", self.path,
+            )
+            return
+        dropped = 0
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            record = self._parse_record(line)
+            if record is None:
+                dropped += 1
+                continue
+            self.entries[record["workload"]] = record
+        if dropped:
+            log.warning(
+                "checkpoint %s: dropped %d torn/corrupt record(s)",
+                self.path, dropped,
+            )
+
+    def _parse_record(self, line):
+        """One task record, or None for a torn/corrupt line."""
+        try:
+            doc = json.loads(line)
+            if doc.get("type") != "task":
+                return None
+            name = doc["workload"]
+            status = doc["status"]
+            if status not in _STATUSES:
+                return None
+            result = _decode_payload(doc["payload"], doc["sha256"])
+            return {
+                "workload": name,
+                "status": status,
+                "attempts": int(doc.get("attempts", 1)),
+                "result": result,
+            }
+        except Exception:
+            return None
+
+    def _open_for_append(self, fresh):
+        if fresh:
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._write_line(
+                {"schema": CHECKPOINT_SCHEMA, "run_key": self.run_key}
+            )
+        else:
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- recording ---------------------------------------------------------
+
+    def _write_line(self, doc):
+        self._handle.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record(self, name, status, result, attempts=1):
+        """Append one durable task record (``status`` in ``ok`` /
+        ``failure`` / ``quarantined``; ``result`` is the PairResult or
+        the structured failure record)."""
+        if status not in _STATUSES:
+            raise ValueError("bad checkpoint status %r" % status)
+        payload, digest = _encode_payload(result)
+        self._write_line(
+            {
+                "type": "task",
+                "workload": name,
+                "status": status,
+                "attempts": int(attempts),
+                "payload": payload,
+                "sha256": digest,
+            }
+        )
+        self.entries[name] = {
+            "workload": name,
+            "status": status,
+            "attempts": int(attempts),
+            "result": result,
+        }
+        METRICS.counter("harness.checkpoint", result="write").inc()
+
+    def get(self, name):
+        """The loaded record for ``name`` (None when not checkpointed)."""
+        return self.entries.get(name)
+
+    def close(self):
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

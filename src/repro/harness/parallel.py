@@ -30,6 +30,7 @@ import concurrent.futures
 import hashlib
 import os
 import pickle
+import time
 import zlib
 
 from repro.emu.loader import Image
@@ -101,16 +102,62 @@ class ArtifactCache:
     (``os.replace``), so concurrent workers racing on the same key are
     safe: both write identical content.
 
+    Concurrent *writers* are additionally de-duplicated by a per-entry
+    advisory lock (``<entry>.lock``, created ``O_CREAT|O_EXCL``): the
+    first process compiling a key takes the lock, later processes wait
+    briefly for the entry to appear (a "hit" -- they never compiled)
+    and only fall back to compiling themselves when the writer is slow
+    or died.  Locks older than ``LOCK_STALE_S`` are reaped as leftovers
+    of crashed writers, as are orphaned ``*.tmp.*`` staging files; both
+    protocols are crash-consistent because the final ``os.replace`` is
+    the only visible state change (see ``docs/ROBUSTNESS.md``).
+
     A per-process in-memory layer sits on top; images it returns are
     ``reset()`` so a previous emulation's memory mutations never leak
     into the next run.
     """
+
+    #: A lock file older than this is presumed to belong to a dead
+    #: writer and is reaped.
+    LOCK_STALE_S = 60.0
+    #: How long a reader waits for a concurrent writer's entry before
+    #: giving up and compiling itself (correct either way: the atomic
+    #: rename makes duplicate writes converge on identical content).
+    WAIT_FOR_WRITER_S = 10.0
+    #: Polling interval while waiting on a concurrent writer.
+    WAIT_POLL_S = 0.02
+    #: Staging (``*.tmp.*``) files older than this are reaped at init.
+    TMP_STALE_S = 300.0
 
     def __init__(self, root, registry=None):
         self.root = str(root)
         self.registry = registry if registry is not None else METRICS
         self._mem = {}
         os.makedirs(self.root, exist_ok=True)
+        self._reap_stale_files()
+
+    def _reap_stale_files(self):
+        """Remove staging/lock leftovers of writers that died mid-flight."""
+        now = time.time()
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        for name in names:
+            stale_after = None
+            if ".tmp." in name:
+                stale_after = self.TMP_STALE_S
+            elif name.endswith(".lock"):
+                stale_after = self.LOCK_STALE_S
+            if stale_after is None:
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                if now - os.path.getmtime(path) > stale_after:
+                    os.remove(path)
+                    log.warning("reaped stale artifact-cache file %s", path)
+            except OSError:
+                pass
 
     def _count(self, result):
         self.registry.counter("harness.artifact_cache", result=result).inc()
@@ -120,25 +167,113 @@ class ArtifactCache:
 
     def get_image(self, source, machine, codegen_options=None):
         """A loaded, pristine :class:`Image` for (source, machine,
-        options), from memory, disk, or a fresh compile -- in that order."""
+        options), from memory, disk, or a fresh compile -- in that order.
+
+        On a disk miss the per-entry advisory lock decides who compiles:
+        the lock holder compiles and stores (a "miss"); everyone else
+        waits for the entry to appear and loads it (a "hit").  A reader
+        whose writer stalls or dies past :data:`WAIT_FOR_WRITER_S` falls
+        back to compiling itself -- duplicated work, never a wrong
+        answer, because the final ``os.replace`` publishes identical
+        content either way.
+        """
         key = artifact_key(source, machine, codegen_options)
         image = self._mem.get(key)
         if image is not None:
             self._count("hit")
             return image.reset()
-        mprog = self._load(self._path(machine, key))
-        if mprog is not None:
-            self._count("hit")
-            image = Image(mprog)
-            self._mem[key] = image
-            return image
-        self._count("miss")
+        path = self._path(machine, key)
+        mprog = self._load(path)
+        if mprog is None and self._acquire_lock(path):
+            try:
+                # Re-check under the lock: a concurrent writer may have
+                # published between our miss and our lock acquisition.
+                mprog = self._load(path)
+                if mprog is None:
+                    self._count("miss")
+                    image = self._compile_and_store(
+                        source, machine, codegen_options, path
+                    )
+                    self._mem[key] = image
+                    return image
+            finally:
+                self._release_lock(path)
+        elif mprog is None:
+            # Another process holds the lock: wait briefly for its entry
+            # rather than compiling the same key twice.
+            mprog = self._wait_for_writer(path)
+            if mprog is None:
+                self._count("miss")
+                image = self._compile_and_store(
+                    source, machine, codegen_options, path
+                )
+                self._mem[key] = image
+                return image
+        self._count("hit")
+        image = Image(mprog)
+        self._mem[key] = image
+        return image
+
+    def _compile_and_store(self, source, machine, codegen_options, path):
         from repro.ease.environment import compile_for_machine
 
         image = compile_for_machine(source, machine, **(codegen_options or {}))
-        self._store(self._path(machine, key), image.mprog)
-        self._mem[key] = image
+        self._store(path, image.mprog)
         return image
+
+    # -- advisory per-entry write locks ------------------------------------
+
+    def _acquire_lock(self, path):
+        """Try to become the writer for ``path`` (non-blocking).
+
+        ``O_CREAT|O_EXCL`` makes creation atomic even on shared
+        filesystems; a lock whose mtime is older than
+        :data:`LOCK_STALE_S` belongs to a crashed writer and is reaped
+        before one retry.
+        """
+        lock = path + ".lock"
+        for _ in range(2):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    if time.time() - os.path.getmtime(lock) > self.LOCK_STALE_S:
+                        os.remove(lock)
+                        log.warning("reaped stale artifact-cache lock %s", lock)
+                        continue
+                except OSError:
+                    continue  # lock vanished or is unreadable; retry once
+                return False
+            except OSError:
+                return True  # cannot lock here (read-only?); compile anyway
+            try:
+                os.write(fd, ("%d\n" % os.getpid()).encode("ascii"))
+            finally:
+                os.close(fd)
+            return True
+        return False
+
+    def _release_lock(self, path):
+        try:
+            os.remove(path + ".lock")
+        except OSError:
+            pass
+
+    def _wait_for_writer(self, path):
+        """Poll for a concurrent writer's entry; its MachineProgram, or
+        None when the writer was too slow (or died)."""
+        deadline = time.time() + self.WAIT_FOR_WRITER_S
+        lock = path + ".lock"
+        while time.time() < deadline:
+            time.sleep(self.WAIT_POLL_S)
+            mprog = self._load(path)
+            if mprog is not None:
+                return mprog
+            if not os.path.exists(lock):
+                # Writer released (or died and was reaped) without
+                # publishing: stop waiting and compile ourselves.
+                return self._load(path)
+        return None
 
     def _load(self, path):
         try:
@@ -202,6 +337,17 @@ def _worker_cache(root):
     return cache
 
 
+def _kill_worker_processes(pool):
+    """SIGKILL every live worker process of ``pool`` -- the coordinator's
+    last-resort reaper for Ctrl-C, so an interrupted ``--jobs N`` run
+    never leaves orphaned children grinding through the queued tasks."""
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.kill()
+        except Exception:
+            pass
+
+
 def map_tasks(fn, tasks, jobs):
     """Run ``fn`` over ``tasks`` in a worker pool; results in task order.
 
@@ -211,13 +357,27 @@ def map_tasks(fn, tasks, jobs):
     pool even for a single task: worker functions are allowed to reset
     their process's global recorders, which must never happen in the
     parent.
+
+    A ``KeyboardInterrupt`` while results are pending cancels the queued
+    futures, SIGKILLs the workers, and re-raises -- without this, the
+    executor's exit handler would block until every already-queued task
+    ran to completion, leaving "orphaned" children busy long after the
+    user hit Ctrl-C.
     """
     tasks = list(tasks)
     if jobs <= 1 or not tasks:
         return [fn(task) for task in tasks]
     workers = min(jobs, len(tasks))
     with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, tasks))
+        futures = [pool.submit(fn, task) for task in tasks]
+        try:
+            return [future.result() for future in futures]
+        except KeyboardInterrupt:
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            _kill_worker_processes(pool)
+            raise
 
 
 def _run_workload_task(task):

@@ -36,15 +36,18 @@ class SuiteResult(list):
     a typed error during a fault-tolerant run.
     """
 
-    def __init__(self, pairs=(), failures=None):
+    def __init__(self, pairs=(), failures=None, quarantined=None):
         super().__init__(pairs)
         self.failures = list(failures or [])
+        # Supervised runs: structured records of tasks quarantined after
+        # exhausting their attempt budget (a subset of ``failures``).
+        self.quarantined = list(quarantined or [])
 
     def copy(self):
         """Shallow copy: a fresh list and failures list over the same
         (immutable) PairResult objects, so callers may mutate the copy
         without corrupting anyone else's view."""
-        return SuiteResult(self, self.failures)
+        return SuiteResult(self, self.failures, self.quarantined)
 
 # A fast subset with one program of each character (byte loops, recursion,
 # FP, sorting, compiler) for experiments that sweep many configurations.
@@ -96,6 +99,11 @@ def run_suite(
     cache_dir=None,
     sample_every=None,
     engine=None,
+    supervise=None,
+    max_attempts=None,
+    checkpoint=None,
+    resume=False,
+    interrupt_after=None,
 ):
     """Run (or reuse) the suite; returns a :class:`SuiteResult`.
 
@@ -138,8 +146,23 @@ def run_suite(
     still run.  ``deadline_s`` arms a per-emulation wall-clock watchdog
     alongside the instruction budget; ``limit_overrides`` maps workload
     name -> instruction limit for that workload only.
+
+    ``supervise`` (True or a :class:`~repro.harness.supervise
+    .SupervisePolicy`) routes parallel execution through the supervised
+    runner -- worker-crash recovery, retry/backoff with quarantine, and
+    the parent-side hang watchdog (see ``docs/ROBUSTNESS.md``);
+    ``max_attempts`` overrides the policy's per-task attempt budget.
+    ``checkpoint`` journals every completed (workload, machine-pair)
+    task to that path (schema ``repro.checkpoint/1``) and ``resume=True``
+    skips tasks the journal already records, reassembling byte-identical
+    results after a crash or Ctrl-C.  ``interrupt_after`` raises
+    ``KeyboardInterrupt`` once that many tasks have completed -- the
+    deterministic stand-in for Ctrl-C the chaos harness and tests use to
+    drive the real interrupt path.
     """
+    from repro.harness.checkpoint import CheckpointJournal, checkpoint_run_key
     from repro.harness.parallel import default_jobs
+    from repro.harness.supervise import SupervisePolicy
 
     names = tuple(subset) if subset is not None else None
     selected = resolve_workloads(names)
@@ -153,11 +176,36 @@ def run_suite(
             "running the suite serially (pass sample_every= instead)"
         )
         jobs = 1
+    policy = SupervisePolicy.coerce(supervise)
+    if policy is None and checkpoint and jobs > 1:
+        # A checkpointed parallel run needs the supervised coordinator
+        # (the plain pool has no incremental-completion hook to journal).
+        policy = SupervisePolicy()
+    if policy is not None:
+        policy = policy.with_attempts(max_attempts)
+    journal = None
+    if checkpoint:
+        journal = CheckpointJournal.open(
+            checkpoint,
+            checkpoint_run_key(
+                names=[w.name for w in selected],
+                limit=limit,
+                options=options,
+                engine=engine,
+                limit_overrides=limit_overrides,
+                fault_tolerant=fault_tolerant,
+                deadline_s=deadline_s,
+                sample_every=sample_every if jobs > 1 else None,
+            ),
+            resume=resume,
+        )
     uncacheable = (
         observer is not None
         or fault_tolerant
         or deadline_s is not None
         or bool(limit_overrides)
+        or policy is not None
+        or journal is not None
     )
     if uncacheable and use_cache:
         log.debug("suite cache bypassed: run parameters outside cache key")
@@ -172,34 +220,63 @@ def run_suite(
     METRICS.counter(
         "harness.suite_cache", result="miss" if use_cache else "bypass"
     ).inc()
-    with span("suite", mode="parallel" if jobs > 1 else "serial"):
-        if jobs > 1:
-            from repro.harness.parallel import run_suite_parallel
+    mode = "serial"
+    if policy is not None:
+        mode = "supervised"
+    elif jobs > 1:
+        mode = "parallel"
+    try:
+        with span("suite", mode=mode):
+            if policy is not None:
+                from repro.harness.supervise import run_suite_supervised
 
-            result = run_suite_parallel(
-                selected,
-                limit,
-                branchreg_options=branchreg_options,
-                jobs=jobs,
-                fault_tolerant=fault_tolerant,
-                deadline_s=deadline_s,
-                limit_overrides=limit_overrides,
-                cache_dir=cache_dir,
-                sample_every=sample_every,
-                engine=engine,
-            )
-        else:
-            result = _run_suite_serial(
-                selected,
-                limit,
-                branchreg_options=branchreg_options,
-                observer=observer,
-                fault_tolerant=fault_tolerant,
-                deadline_s=deadline_s,
-                limit_overrides=limit_overrides,
-                cache_dir=cache_dir,
-                engine=engine,
-            )
+                result = run_suite_supervised(
+                    selected,
+                    limit,
+                    branchreg_options=branchreg_options,
+                    jobs=jobs,
+                    fault_tolerant=fault_tolerant,
+                    deadline_s=deadline_s,
+                    limit_overrides=limit_overrides,
+                    cache_dir=cache_dir,
+                    sample_every=sample_every,
+                    engine=engine,
+                    policy=policy,
+                    journal=journal,
+                    interrupt_after=interrupt_after,
+                )
+            elif jobs > 1:
+                from repro.harness.parallel import run_suite_parallel
+
+                result = run_suite_parallel(
+                    selected,
+                    limit,
+                    branchreg_options=branchreg_options,
+                    jobs=jobs,
+                    fault_tolerant=fault_tolerant,
+                    deadline_s=deadline_s,
+                    limit_overrides=limit_overrides,
+                    cache_dir=cache_dir,
+                    sample_every=sample_every,
+                    engine=engine,
+                )
+            else:
+                result = _run_suite_serial(
+                    selected,
+                    limit,
+                    branchreg_options=branchreg_options,
+                    observer=observer,
+                    fault_tolerant=fault_tolerant,
+                    deadline_s=deadline_s,
+                    limit_overrides=limit_overrides,
+                    cache_dir=cache_dir,
+                    engine=engine,
+                    journal=journal,
+                    interrupt_after=interrupt_after,
+                )
+    finally:
+        if journal is not None:
+            journal.close()
     if use_cache:
         # Store a private copy so mutations of the returned result can
         # never reach (and corrupt) later cache hits.
@@ -217,8 +294,19 @@ def _run_suite_serial(
     limit_overrides=None,
     cache_dir=None,
     engine=None,
+    journal=None,
+    interrupt_after=None,
 ):
-    """The historical in-process suite loop."""
+    """The historical in-process suite loop.
+
+    ``journal`` (a :class:`~repro.harness.checkpoint.CheckpointJournal`)
+    makes the loop crash-consistent: completed workloads are skipped as
+    checkpoint hits, every outcome is journaled as it happens, and a
+    Ctrl-C surfaces as :class:`~repro.errors.SuiteInterrupted` carrying
+    the partial result after the completed prefix was made durable.
+    """
+    from repro.errors import SuiteInterrupted
+
     cache = None
     if cache_dir:
         from repro.harness.parallel import ArtifactCache
@@ -227,12 +315,24 @@ def _run_suite_serial(
     pairs = []
     failures = []
     overrides = limit_overrides or {}
-    for w in selected:
-        log.info("running workload %s on both machines", w.name)
-        with span("workload", name=w.name):
-            try:
-                pairs.append(
-                    run_pair(
+    done = 0
+    try:
+        for w in selected:
+            if journal is not None:
+                entry = journal.get(w.name)
+                if entry is not None:
+                    METRICS.counter("harness.checkpoint", result="hit").inc()
+                    log.info("workload %s served from checkpoint", w.name)
+                    if entry["status"] == "ok":
+                        pairs.append(entry["result"])
+                    else:
+                        failures.append(entry["result"])
+                    done += 1
+                    continue
+            log.info("running workload %s on both machines", w.name)
+            with span("workload", name=w.name):
+                try:
+                    pair = run_pair(
                         w.source,
                         stdin=w.stdin_bytes(),
                         name=w.name,
@@ -244,17 +344,40 @@ def _run_suite_serial(
                         cache=cache,
                         engine=engine,
                     )
-                )
-            except ReproError as exc:
-                if not fault_tolerant:
-                    raise
-                from repro.fault.triage import failure_record
+                except ReproError as exc:
+                    if not fault_tolerant:
+                        raise
+                    from repro.fault.triage import failure_record
 
-                METRICS.counter(
-                    "harness.workload_failures", error=type(exc).__name__
-                ).inc()
-                log.error("workload %s failed: %s", w.name, exc)
-                failures.append(failure_record(w.name, exc))
+                    METRICS.counter(
+                        "harness.workload_failures", error=type(exc).__name__
+                    ).inc()
+                    log.error("workload %s failed: %s", w.name, exc)
+                    record = failure_record(w.name, exc)
+                    failures.append(record)
+                    if journal is not None:
+                        journal.record(w.name, "failure", record)
+                else:
+                    pairs.append(pair)
+                    if journal is not None:
+                        journal.record(w.name, "ok", pair)
+            done += 1
+            if interrupt_after is not None and done >= interrupt_after:
+                # Deterministic Ctrl-C stand-in (tests/chaos harness).
+                raise KeyboardInterrupt()
+    except KeyboardInterrupt:
+        remaining = [w.name for w in selected[done:]]
+        log.warning(
+            "suite interrupted: %d workload(s) done, %d remaining%s",
+            done, len(remaining),
+            "; resume with --resume" if journal is not None else "",
+        )
+        raise SuiteInterrupted(
+            "suite interrupted with %d workload(s) unfinished"
+            % len(remaining),
+            partial=SuiteResult(pairs, failures),
+            remaining=remaining,
+        ) from None
     return SuiteResult(pairs, failures)
 
 

@@ -1,0 +1,679 @@
+"""Supervised fault-tolerant suite execution.
+
+:mod:`repro.harness.parallel` assumes a well-behaved world: every worker
+process survives, every task terminates, and nothing external kills or
+delays anything.  This module is the supervision layer the ROADMAP's
+"compile-and-run as a service" farm needs underneath it -- the same
+harness fan-out, wrapped in a coordinator that recovers instead of
+collapsing:
+
+* **Worker-crash recovery** -- a died/killed pool worker (which
+  ``ProcessPoolExecutor`` surfaces as ``BrokenProcessPool`` for *every*
+  in-flight future) respawns the pool and reschedules only the lost
+  tasks.  Per-task *start markers* (one atomic ``O_APPEND`` line per
+  task attempt, written by the worker before it begins) let the
+  coordinator distinguish the task that was actually running -- the
+  crash suspect, which is charged an attempt -- from tasks that were
+  merely queued, which are rescheduled for free.
+* **Retry with seeded backoff** -- a transient failure (an exception
+  that is *not* a typed :class:`~repro.errors.ReproError`, a worker
+  crash, a hang kill) is retried with exponential backoff plus seeded
+  jitter up to ``SupervisePolicy.max_attempts``; outcomes are classified
+  ``ok`` / ``retried`` / ``quarantined``.  Typed emulator errors are
+  deterministic and are never retried: fault-tolerant runs record them,
+  other runs surface the registry-earliest one, exactly like the
+  unsupervised paths.
+* **Quarantine** -- a task that exhausts its attempt budget becomes a
+  structured *quarantine record* (shape-compatible with
+  :func:`repro.fault.triage.failure_record`, plus ``outcome`` /
+  ``attempts`` fields) on ``SuiteResult.failures`` and
+  ``SuiteResult.quarantined`` instead of failing the run.
+* **Hang kill** -- per-workload deadlines already arm the emulators'
+  in-child watchdog; ``SupervisePolicy.task_timeout_s`` additionally
+  arms a parent-side watchdog that SIGKILLs the worker whose start
+  marker has been running too long (a *true* hang: a stuck syscall, a
+  sleep, a compile loop the child watchdog cannot see) and reschedules
+  the task through the ordinary crash path.
+* **Checkpoint / resume** -- with a
+  :class:`~repro.harness.checkpoint.CheckpointJournal` attached, every
+  terminal task outcome is durably journaled as it happens and
+  journaled tasks are skipped (counted as checkpoint hits) on resume,
+  reassembling byte-identical results.
+
+Telemetry: ``harness.retries``, ``harness.worker_crashes``,
+``harness.hang_kills``, ``harness.quarantined``, and
+``harness.checkpoint{result=hit|write}`` counters flow into the normal
+metrics/manifest stack (manifest schema v7 ``supervision`` section).
+The chaos harness (:mod:`repro.fault.harness_chaos`, ``repro chaos``)
+drives all of these paths deterministically and asserts convergence.
+"""
+
+import os
+import random
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+
+from repro.errors import SuiteInterrupted
+from repro.obs import METRICS, events, log, trace
+from repro.obs.spans import RECORDER
+
+#: Coordinator wake-up granularity (seconds): the wait timeout used when
+#: there is delayed (backing-off) work or a parent-side hang watchdog.
+_TICK_S = 0.05
+
+
+@dataclass(frozen=True)
+class SupervisePolicy:
+    """Knobs of the supervision layer.
+
+    ``max_attempts`` is the *total* attempt budget per task across
+    transient failures, worker crashes, and hang kills.  Backoff before
+    attempt ``n+1`` is ``min(cap, base * 2**(n-1))`` scaled by a seeded
+    jitter factor in ``[0.5, 1.5)``, so chaos campaigns are exactly
+    reproducible.  ``task_timeout_s`` (None = off) arms the parent-side
+    hang watchdog, measured from the moment the worker's start marker
+    appears.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    seed: int = 0
+    task_timeout_s: float = None
+    #: A worker crash kills *every* task in flight, so an innocent task
+    #: sharing a pool with a crashy one is charged collateral attempts.
+    #: Before quarantining a task whose budget was exhausted by crashes,
+    #: grant one extra attempt in a dedicated single-worker pool: a
+    #: genuinely poison task still crashes alone (and is quarantined
+    #: with proof); a collateral victim completes.
+    isolation_retry: bool = True
+
+    @classmethod
+    def coerce(cls, value):
+        """None/False -> None (unsupervised), True -> defaults, a policy
+        instance -> itself."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        raise TypeError("supervise= wants None, a bool, or a SupervisePolicy")
+
+    def with_attempts(self, max_attempts):
+        if max_attempts is None:
+            return self
+        return replace(self, max_attempts=max(1, int(max_attempts)))
+
+
+class _TaskState:
+    """Coordinator-side bookkeeping for one (workload, machine-pair) task."""
+
+    __slots__ = (
+        "index", "name", "task", "attempts", "outcome", "res", "pair",
+        "failure", "error", "record", "started_at", "from_checkpoint",
+        "retried", "isolated",
+    )
+
+    def __init__(self, index, name, task):
+        self.index = index
+        self.name = name
+        self.task = task
+        self.attempts = 0
+        self.outcome = None  # None | ok | failure | quarantined | error
+        self.res = None      # the final attempt's worker result dict
+        self.pair = None
+        self.failure = None
+        self.error = None
+        self.record = None   # quarantine record
+        self.started_at = None
+        self.from_checkpoint = False
+        self.retried = False
+        self.isolated = False
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+def _supervised_task(payload):
+    """Worker entry point: stamp a start marker, apply any injected
+    chaos action, then run the ordinary parallel-harness task."""
+    task, attempt, chaos, start_log = payload
+    if start_log:
+        line = "%s\t%d\t%d\t%.6f\n" % (task[0], attempt, os.getpid(), time.time())
+        fd = os.open(start_log, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))  # O_APPEND: atomic line
+        finally:
+            os.close(fd)
+    if chaos is not None:
+        from repro.fault.harness_chaos import apply_chaos
+
+        apply_chaos(chaos)
+    from repro.harness.parallel import _run_workload_task
+
+    return _run_workload_task(task)
+
+
+def _read_start_markers(path):
+    """{(workload, attempt): (pid, wall_start)} from the marker log.
+
+    Torn trailing lines (a worker killed mid-write) are skipped.
+    """
+    markers = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                parts = line.rstrip("\n").split("\t")
+                if len(parts) != 4:
+                    continue
+                try:
+                    markers[(parts[0], int(parts[1]))] = (
+                        int(parts[2]), float(parts[3])
+                    )
+                except ValueError:
+                    continue
+    except OSError:
+        pass
+    return markers
+
+
+def _kill_worker_processes(pool):
+    """SIGKILL every live worker of ``pool`` (used when reaping after an
+    interrupt or shutting a broken pool down hard)."""
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.kill()
+        except Exception:
+            pass
+
+
+def quarantine_record(name, reason, message, attempts):
+    """The structured record a quarantined task leaves behind -- the
+    shape of :func:`repro.fault.triage.failure_record` plus supervision
+    fields, so ``repro triage`` and the manifest ``failures`` schema
+    accept it unchanged."""
+    return {
+        "workload": name,
+        "error": reason,
+        "message": message,
+        "machine": None,
+        "pc": None,
+        "icount": None,
+        "function": None,
+        "line": None,
+        "edges": None,
+        "outcome": "quarantined",
+        "attempts": attempts,
+    }
+
+
+# --------------------------------------------------------------------------
+# Coordinator
+# --------------------------------------------------------------------------
+
+class _Supervisor:
+    def __init__(self, states, jobs, policy, journal, fault_plan,
+                 interrupt_after):
+        self.states = states
+        self.jobs = jobs
+        self.policy = policy
+        self.journal = journal
+        self.fault_plan = fault_plan or {}
+        self.interrupt_after = interrupt_after
+        self.rng = random.Random(policy.seed)
+        self.pool = None
+        self.inflight = {}   # future -> state
+        self.delayed = []    # (ready_monotonic, state)
+        self.completed = 0
+        self.start_log = None
+
+    # -- scheduling --------------------------------------------------------
+
+    def _chaos_for(self, state):
+        actions = self.fault_plan.get(state.name)
+        if not actions:
+            return None
+        index = state.attempts - 1  # attempts was already incremented
+        return actions[index] if index < len(actions) else None
+
+    def _submit(self, state, charge=True):
+        if charge:
+            state.attempts += 1
+        payload = (state.task, state.attempts, self._chaos_for(state),
+                   self.start_log)
+        state.started_at = None
+        future = self.pool.submit(_supervised_task, payload)
+        self.inflight[future] = state
+
+    def _backoff(self, attempt):
+        base = min(
+            self.policy.backoff_cap_s,
+            self.policy.backoff_base_s * (2 ** max(0, attempt - 1)),
+        )
+        return base * (0.5 + self.rng.random())
+
+    def _retry_or_quarantine(self, state, reason, message):
+        if state.attempts < self.policy.max_attempts:
+            state.retried = True
+            METRICS.counter("harness.retries", reason=reason).inc()
+            delay = self._backoff(state.attempts)
+            log.warning(
+                "workload %s attempt %d failed (%s); retrying in %.2fs",
+                state.name, state.attempts, reason, delay,
+            )
+            self.delayed.append((time.monotonic() + delay, state))
+            return
+        if (
+            reason in ("WorkerCrash", "HangKill")
+            and self.policy.isolation_retry
+            and not state.isolated
+        ):
+            # Budget exhausted by crashes -- which kill every co-resident
+            # task, so some of those attempts may be collateral charges.
+            # One final attempt alone in a single-worker pool settles it.
+            self._isolation_attempt(state)
+            return
+        self._quarantine(state, reason, message)
+
+    def _quarantine(self, state, reason, message):
+        METRICS.counter("harness.quarantined").inc()
+        log.error(
+            "workload %s quarantined after %d attempt(s): %s",
+            state.name, state.attempts, message,
+        )
+        state.outcome = "quarantined"
+        state.record = quarantine_record(
+            state.name, reason, message, state.attempts
+        )
+        self.completed += 1
+        if self.journal is not None:
+            self.journal.record(
+                state.name, "quarantined", state.record, state.attempts
+            )
+
+    def _isolation_attempt(self, state):
+        """The last-chance solo attempt before a crash quarantine.
+
+        Runs synchronously in a dedicated one-worker pool so nothing
+        else can crash it (and it can crash nothing else); the main
+        pool's workers keep computing in the background meanwhile.
+        """
+        state.isolated = True
+        state.attempts += 1
+        METRICS.counter("harness.retries", reason="IsolationRetry").inc()
+        log.warning(
+            "workload %s exhausted its attempt budget on worker crashes; "
+            "final isolation retry (attempt %d)", state.name, state.attempts,
+        )
+        payload = (state.task, state.attempts, self._chaos_for(state),
+                   self.start_log)
+        solo = ProcessPoolExecutor(max_workers=1)
+        try:
+            future = solo.submit(_supervised_task, payload)
+            try:
+                res = future.result(timeout=self.policy.task_timeout_s)
+            except BrokenProcessPool:
+                self._quarantine(
+                    state, "WorkerCrash",
+                    "worker died running %s even in isolation (attempt %d)"
+                    % (state.name, state.attempts),
+                )
+            except FuturesTimeoutError:
+                METRICS.counter("harness.hang_kills").inc()
+                self._quarantine(
+                    state, "HangKill",
+                    "%s exceeded the %.1fs task timeout even in isolation "
+                    "(attempt %d)"
+                    % (state.name, self.policy.task_timeout_s, state.attempts),
+                )
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                self._quarantine(
+                    state, type(exc).__name__, str(exc) or repr(exc)
+                )
+            else:
+                self._handle_result(state, res)
+        finally:
+            try:
+                solo.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            _kill_worker_processes(solo)
+
+    # -- completion --------------------------------------------------------
+
+    def _handle_result(self, state, res):
+        state.res = res
+        if res["error"] is not None:
+            # A typed ReproError in a non-fault-tolerant run: it is
+            # deterministic, so retrying cannot help -- surface it with
+            # the registry-earliest-wins rule at assembly time.
+            state.outcome = "error"
+            state.error = res["error"]
+        elif res["failure"] is not None:
+            state.outcome = "failure"
+            state.failure = res["failure"]
+            if self.journal is not None:
+                self.journal.record(
+                    state.name, "failure", state.failure, state.attempts
+                )
+        else:
+            state.outcome = "ok"
+            state.pair = res["pair"]
+            if self.journal is not None:
+                self.journal.record(
+                    state.name, "ok", state.pair, state.attempts
+                )
+        self.completed += 1
+
+    # -- crash / hang recovery --------------------------------------------
+
+    def _recover_pool(self, kind):
+        """The pool broke (worker SIGKILLed, or we hang-killed one):
+        figure out which in-flight tasks had actually *started* (the
+        crash suspects), charge them the attempt, reschedule everything
+        unfinished, and respawn the pool."""
+        METRICS.counter("harness.worker_crashes", kind=kind).inc()
+        markers = _read_start_markers(self.start_log)
+        lost = list(self.inflight.values())
+        self.inflight.clear()
+        try:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        _kill_worker_processes(self.pool)
+        self.pool = self._new_pool()
+        for state in lost:
+            suspect = (state.name, state.attempts) in markers
+            if suspect:
+                log.warning(
+                    "worker running %s (attempt %d) died; recovering",
+                    state.name, state.attempts,
+                )
+                self._retry_or_quarantine(
+                    state, "WorkerCrash",
+                    "worker process died while running %s (attempt %d)"
+                    % (state.name, state.attempts),
+                )
+            else:
+                # Never started: reschedule without charging an attempt.
+                self._submit(state, charge=False)
+
+    def _check_hangs(self):
+        timeout = self.policy.task_timeout_s
+        if timeout is None or not self.inflight:
+            return False
+        markers = _read_start_markers(self.start_log)
+        now = time.time()
+        for state in self.inflight.values():
+            marker = markers.get((state.name, state.attempts))
+            if marker is None:
+                continue
+            pid, started = marker
+            if now - started <= timeout:
+                continue
+            METRICS.counter("harness.hang_kills").inc()
+            log.warning(
+                "workload %s (attempt %d, pid %d) exceeded the %.1fs task "
+                "timeout; killing the worker",
+                state.name, state.attempts, pid, timeout,
+            )
+            try:
+                import signal
+
+                os.kill(pid, signal.SIGKILL)
+            except OSError:
+                pass
+            # The kill breaks the pool; the normal crash path (which
+            # will see this task's start marker) does the rescheduling.
+            return True
+        return False
+
+    # -- main loop ---------------------------------------------------------
+
+    def _new_pool(self):
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+    def run(self):
+        pending = [s for s in self.states if s.outcome is None]
+        if not pending:
+            return
+        fd, self.start_log = tempfile.mkstemp(prefix="repro-supervise-")
+        os.close(fd)
+        self.pool = self._new_pool()
+        try:
+            for state in pending:
+                self._submit(state)
+            self._loop()
+        except KeyboardInterrupt:
+            self._reap()
+            raise
+        finally:
+            try:
+                self.pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:
+                pass
+            try:
+                os.remove(self.start_log)
+            except OSError:
+                pass
+
+    def _loop(self):
+        while self.inflight or self.delayed:
+            now = time.monotonic()
+            broke = False
+            for ready, state in list(self.delayed):
+                if ready <= now:
+                    self.delayed.remove((ready, state))
+                    try:
+                        self._submit(state)
+                    except BrokenProcessPool:
+                        # The pool broke during the backoff window, before
+                        # any completed future could surface it.  Undo the
+                        # charge, requeue, and recover like a normal crash.
+                        state.attempts -= 1
+                        self.delayed.append((now, state))
+                        broke = True
+                        break
+            if broke:
+                self._recover_pool(kind="worker_died")
+                continue
+            if not self.inflight:
+                time.sleep(_TICK_S)
+                continue
+            use_tick = self.delayed or self.policy.task_timeout_s is not None
+            done, _ = wait(
+                list(self.inflight),
+                timeout=_TICK_S if use_tick else None,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                self._check_hangs()
+                continue
+            crashed = False
+            for future in done:
+                state = self.inflight.pop(future)
+                try:
+                    res = future.result()
+                except BrokenProcessPool:
+                    # Defer recovery until the whole batch is harvested:
+                    # other futures in it may hold completed results,
+                    # which rescheduling would needlessly redo (and
+                    # wrongly charge as crash suspects).
+                    self.inflight[future] = state  # recover sees it too
+                    crashed = True
+                    continue
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    # A non-Repro exception crossing the pool: transient.
+                    self._retry_or_quarantine(
+                        state, type(exc).__name__, str(exc) or repr(exc)
+                    )
+                    continue
+                self._handle_result(state, res)
+            if crashed:
+                self._recover_pool(kind="worker_died")
+                continue
+            if (
+                self.interrupt_after is not None
+                and self.completed >= self.interrupt_after
+            ):
+                # Deterministic stand-in for Ctrl-C, used by the chaos
+                # harness and tests to drive the real interrupt path.
+                raise KeyboardInterrupt()
+
+    def _reap(self):
+        """Ctrl-C: cancel queued futures, SIGKILL workers, drop in-flight
+        bookkeeping -- completed work is already journaled."""
+        for future in list(self.inflight):
+            future.cancel()
+        try:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        _kill_worker_processes(self.pool)
+        self.inflight.clear()
+        self.delayed.clear()
+
+
+def run_suite_supervised(
+    workloads,
+    limit,
+    branchreg_options=None,
+    jobs=2,
+    fault_tolerant=False,
+    deadline_s=None,
+    limit_overrides=None,
+    cache_dir=None,
+    sample_every=None,
+    engine=None,
+    policy=None,
+    journal=None,
+    fault_plan=None,
+    interrupt_after=None,
+):
+    """Run the suite under supervision; returns a ``SuiteResult``.
+
+    The task payloads, worker function, telemetry folding, and
+    deterministic Appendix-I-order reassembly are shared with
+    :func:`repro.harness.parallel.run_suite_parallel`; what this adds is
+    the recovery machinery described in the module docstring.
+
+    ``journal`` is an open :class:`~repro.harness.checkpoint
+    .CheckpointJournal`; tasks it already records are skipped and
+    counted as ``harness.checkpoint{result=hit}``.  ``fault_plan`` maps
+    workload name -> a list of chaos actions applied per attempt (None
+    entries run clean) -- the deterministic injection hook ``repro
+    chaos`` uses.  ``interrupt_after`` raises ``KeyboardInterrupt`` in
+    the coordinator once that many tasks have completed, driving the
+    real Ctrl-C handling deterministically.
+
+    On interrupt the coordinator cancels queued work, SIGKILLs its
+    workers (no orphans), and raises :class:`SuiteInterrupted` carrying
+    the partial ``SuiteResult`` -- which ``repro report`` turns into a
+    valid partial manifest that ``--resume`` picks up.
+    """
+    from repro.harness.parallel import resolve_cache_dir
+
+    policy = policy or SupervisePolicy()
+    jobs = max(1, int(jobs))
+    options = tuple(sorted((branchreg_options or {}).items()))
+    overrides = limit_overrides or {}
+    cache_root = resolve_cache_dir(cache_dir)
+    trace_ctx = trace.task_context()
+    states = []
+    for index, w in enumerate(workloads):
+        task = (
+            w.name,
+            overrides.get(w.name, limit),
+            options,
+            fault_tolerant,
+            deadline_s,
+            sample_every,
+            cache_root,
+            engine,
+            trace_ctx,
+        )
+        states.append(_TaskState(index, w.name, task))
+    if journal is not None:
+        for state in states:
+            entry = journal.get(state.name)
+            if entry is None:
+                continue
+            state.outcome = entry["status"]
+            state.attempts = entry["attempts"]
+            state.from_checkpoint = True
+            if entry["status"] == "ok":
+                state.pair = entry["result"]
+            elif entry["status"] == "failure":
+                state.failure = entry["result"]
+            else:
+                state.record = entry["result"]
+            METRICS.counter("harness.checkpoint", result="hit").inc()
+    METRICS.gauge("harness.jobs").set(jobs)
+    log.info(
+        "supervised suite: %d workload(s) across %d job(s), "
+        "%d from checkpoint, max %d attempt(s)%s",
+        len(states), jobs,
+        sum(1 for s in states if s.from_checkpoint),
+        policy.max_attempts,
+        " (cache %s)" % cache_root if cache_root else "",
+    )
+    supervisor = _Supervisor(
+        states, jobs, policy, journal, fault_plan, interrupt_after
+    )
+    try:
+        supervisor.run()
+    except KeyboardInterrupt:
+        partial = _assemble(states, partial=True)
+        remaining = [s.name for s in states if s.outcome is None]
+        log.warning(
+            "suite interrupted: %d task(s) done, %d remaining%s",
+            len(states) - len(remaining), len(remaining),
+            "; resume with --resume" if journal is not None else "",
+        )
+        raise SuiteInterrupted(
+            "suite interrupted with %d workload(s) unfinished"
+            % len(remaining),
+            partial=partial,
+            remaining=remaining,
+        ) from None
+    return _assemble(states)
+
+
+def _assemble(states, partial=False):
+    """Deterministic registry-order reassembly + telemetry folding,
+    mirroring ``run_suite_parallel`` (fold up to and including the
+    registry-earliest error, then raise it)."""
+    from repro.harness.runner import SuiteResult
+
+    pairs, failures, quarantined, collected = [], [], [], []
+    error = None
+    for state in states:
+        if state.res is not None:
+            METRICS.merge_snapshot(state.res["metrics"])
+            RECORDER.merge_rows(state.res["spans"])
+            collected.append(state.res["events"])
+        if state.outcome == "error":
+            error = state.error
+            break
+        if state.pair is not None:
+            pairs.append(state.pair)
+        if state.failure is not None:
+            failures.append(state.failure)
+        if state.record is not None:
+            failures.append(state.record)
+            quarantined.append(state.record)
+    if events.enabled() and collected:
+        events.replay(events.merge_events(*collected))
+    if error is not None and not partial:
+        raise error
+    return SuiteResult(pairs, failures, quarantined)

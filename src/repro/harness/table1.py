@@ -16,11 +16,18 @@ from repro.ease.report import per_program_table, table1_text
 from repro.harness.runner import run_suite, suite_summary
 
 
-def run_table1(subset=None, limit=None, jobs=None, engine=None):
+def run_table1(subset=None, limit=None, jobs=None, engine=None,
+               supervise=None, max_attempts=None, checkpoint=None,
+               resume=False):
     """Run the experiment; returns a result dict (see keys below).
-    ``jobs`` and ``engine`` forward to :func:`run_suite`."""
+    ``jobs``, ``engine``, and the supervision/checkpoint knobs forward
+    to :func:`run_suite` (see ``docs/ROBUSTNESS.md``)."""
     kwargs = {} if limit is None else {"limit": limit}
-    pairs = run_suite(subset=subset, jobs=jobs, engine=engine, **kwargs)
+    pairs = run_suite(
+        subset=subset, jobs=jobs, engine=engine, supervise=supervise,
+        max_attempts=max_attempts, checkpoint=checkpoint, resume=resume,
+        **kwargs
+    )
     baseline, branchreg = suite_summary(pairs)
     saved = baseline.instructions - branchreg.instructions
     added_refs = branchreg.data_refs - baseline.data_refs

@@ -35,14 +35,21 @@ from dataclasses import fields as dataclass_fields
 #: ``parallel`` section with cache telemetry: artifact-cache byte
 #: counters and hit rate, and a ``memo_cache`` object recording the
 #: in-process suite memo cache's hits/misses/bypasses (the ROADMAP's
-#: missing hit-rate telemetry).  Older manifests are still accepted on
-#: load so ``repro diff`` can compare against old artifacts.
+#: missing hit-rate telemetry).  Version 7 adds the optional
+#: ``supervision`` section emitted by supervised/checkpointed runs
+#: (``--supervise`` / ``--checkpoint``): retry, worker-crash, hang-kill,
+#: quarantine, and checkpoint hit/write counts, plus ``interrupted`` /
+#: ``remaining`` for the valid *partial* manifest a Ctrl-C run writes
+#: (which ``--resume`` picks up; see ``docs/ROBUSTNESS.md``).  Older
+#: manifests are still accepted on load so ``repro diff`` can compare
+#: against old artifacts.
 SCHEMA_V1 = "repro.run-manifest/1"
 SCHEMA_V2 = "repro.run-manifest/2"
 SCHEMA_V3 = "repro.run-manifest/3"
 SCHEMA_V4 = "repro.run-manifest/4"
 SCHEMA_V5 = "repro.run-manifest/5"
-SCHEMA_ID = "repro.run-manifest/6"
+SCHEMA_V6 = "repro.run-manifest/6"
+SCHEMA_ID = "repro.run-manifest/7"
 
 
 class ManifestError(ValueError):
@@ -224,6 +231,30 @@ _PARALLEL_SCHEMA = {
     },
 }
 
+_SUPERVISION_SCHEMA = {
+    "type": "object",
+    "required": ["enabled"],
+    "properties": {
+        "enabled": {"type": "boolean"},
+        "max_attempts": {"type": "integer"},
+        "retries": {"type": "integer"},
+        "worker_crashes": {"type": "integer"},
+        "hang_kills": {"type": "integer"},
+        "quarantined": {"type": "integer"},
+        "checkpoint": {
+            "type": "object",
+            "required": ["hits", "writes"],
+            "properties": {
+                "hits": {"type": "integer"},
+                "writes": {"type": "integer"},
+                "path": {"type": ["string", "null"]},
+            },
+        },
+        "interrupted": {"type": "boolean"},
+        "remaining": {"type": "array", "items": {"type": "string"}},
+    },
+}
+
 MANIFEST_SCHEMA = {
     "type": "object",
     "required": [
@@ -247,6 +278,7 @@ MANIFEST_SCHEMA = {
                 SCHEMA_V3,
                 SCHEMA_V4,
                 SCHEMA_V5,
+                SCHEMA_V6,
                 SCHEMA_ID,
             ],
         },
@@ -313,6 +345,7 @@ MANIFEST_SCHEMA = {
         "phase_totals": {"type": "object"},
         "failures": {"type": "array", "items": _FAILURE_SCHEMA},
         "parallel": _PARALLEL_SCHEMA,
+        "supervision": _SUPERVISION_SCHEMA,
         "metrics": {
             "type": "object",
             "required": ["counters", "gauges", "histograms"],
@@ -421,6 +454,35 @@ def memo_cache_counters(metrics_snapshot):
     return counts
 
 
+def supervision_counters(metrics_snapshot):
+    """Extract the supervision-layer telemetry from a metrics snapshot:
+    retry / worker-crash / hang-kill / quarantine totals (summed across
+    their reason/kind labels) and checkpoint hit/write counts."""
+    names = {
+        "harness.retries": "retries",
+        "harness.worker_crashes": "worker_crashes",
+        "harness.hang_kills": "hang_kills",
+        "harness.quarantined": "quarantined",
+    }
+    counts = {
+        "retries": 0,
+        "worker_crashes": 0,
+        "hang_kills": 0,
+        "quarantined": 0,
+        "checkpoint": {"hits": 0, "writes": 0},
+    }
+    checkpoint = {"hit": "hits", "write": "writes"}
+    for row in metrics_snapshot.get("counters", ()):
+        bucket = names.get(row["name"])
+        if bucket:
+            counts[bucket] += int(row["value"])
+        elif row["name"] == "harness.checkpoint":
+            sub = checkpoint.get(row["labels"].get("result"))
+            if sub:
+                counts["checkpoint"][sub] += int(row["value"])
+    return counts
+
+
 def build_manifest(
     pairs,
     config,
@@ -433,6 +495,7 @@ def build_manifest(
     provenance=None,
     failures=None,
     parallel=None,
+    supervision=None,
 ):
     """Assemble (and validate) a run manifest from suite results.
 
@@ -447,7 +510,9 @@ def build_manifest(
     distinguishable).  ``parallel`` is the schema-v4 section recorded by
     ``--jobs N`` runs ({"jobs": N, "artifact_cache": {...}}); omitted
     when None so serial manifests stay byte-identical to v3 output apart
-    from the schema id.
+    from the schema id.  ``supervision`` is the schema-v7 section
+    recorded by supervised/checkpointed runs (see
+    :func:`supervision_counters`); omitted when None.
     """
     from repro.emu.stats import suite_totals
 
@@ -506,6 +571,8 @@ def build_manifest(
         manifest["failures"] = list(failures)
     if parallel is not None:
         manifest["parallel"] = dict(parallel)
+    if supervision is not None:
+        manifest["supervision"] = dict(supervision)
     return validate_manifest(manifest)
 
 

@@ -22,6 +22,7 @@ from repro.obs.manifest import (
     collect_provenance,
     load_manifest,
     memo_cache_counters,
+    supervision_counters,
     write_manifest,
 )
 from repro.obs.metrics import METRICS
@@ -42,6 +43,12 @@ def run_report(
     jobs=None,
     cache_dir=False,
     engine=None,
+    limit_overrides=None,
+    supervise=None,
+    max_attempts=None,
+    checkpoint=None,
+    resume=False,
+    interrupt_after=None,
 ):
     """Run the (sub)suite instrumented; returns {"manifest", "text", "pairs"}.
 
@@ -73,13 +80,31 @@ def run_report(
     from the profile because nothing was compiled.  Pass ``cache_dir``
     (a path, or None for the ``REPRO_CACHE_DIR``/platform default) to
     trade compile-phase fidelity for speed.
+
+    ``supervise`` / ``max_attempts`` / ``checkpoint`` / ``resume`` /
+    ``limit_overrides`` forward to :func:`~repro.harness.runner
+    .run_suite` (see ``docs/ROBUSTNESS.md``).  Supervised or
+    checkpointed runs record a ``supervision`` manifest section
+    (schema v7) with retry / crash / quarantine / checkpoint telemetry,
+    and an interrupted run (Ctrl-C) still returns a *valid partial
+    manifest* -- ``supervision.interrupted`` true, ``remaining`` listing
+    the unfinished workloads -- instead of raising, with
+    ``result["interrupted"]`` set so the CLI can exit 130.
     """
     from repro.emu.fastcore import resolve_engine
+    from repro.errors import SuiteInterrupted
     from repro.harness.parallel import default_jobs, resolve_cache_dir
     from repro.harness.runner import DEFAULT_LIMIT, run_suite
+    from repro.harness.supervise import SupervisePolicy
 
     engine = resolve_engine(engine)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    policy = SupervisePolicy.coerce(supervise)
+    if policy is None and checkpoint and jobs > 1:
+        policy = SupervisePolicy()
+    if policy is not None:
+        policy = policy.with_attempts(max_attempts)
+    supervised = policy is not None or bool(checkpoint)
     if reset:
         METRICS.reset()
         RECORDER.reset()
@@ -87,6 +112,8 @@ def run_report(
     previous_sink = events.set_sink(sink) if sink is not None else events.get_sink()
     observer = EmulationObserver(sample_every=sample_every) if jobs == 1 else None
     started = time.perf_counter()
+    interrupted = False
+    remaining = []
     try:
         pairs = run_suite(
             subset=subset,
@@ -95,11 +122,23 @@ def run_report(
             use_cache=False,
             fault_tolerant=fault_tolerant,
             deadline_s=deadline_s,
+            limit_overrides=limit_overrides,
             jobs=jobs,
             cache_dir=cache_dir,
             sample_every=sample_every,
             engine=engine,
+            supervise=policy,
+            checkpoint=checkpoint,
+            resume=resume,
+            interrupt_after=interrupt_after,
         )
+    except SuiteInterrupted as exc:
+        # Ctrl-C mid-suite: the completed prefix is already durable in
+        # the checkpoint journal; emit a valid *partial* manifest that
+        # --resume picks up rather than losing the run.
+        pairs = exc.partial
+        interrupted = True
+        remaining = list(exc.remaining)
     finally:
         if sink is not None:
             events.set_sink(previous_sink)
@@ -122,6 +161,19 @@ def run_report(
             ),
             "memo_cache": memo_cache_counters(metrics_snapshot),
         }
+    supervision = None
+    if supervised or interrupted:
+        supervision = dict(
+            supervision_counters(metrics_snapshot),
+            enabled=policy is not None,
+            interrupted=interrupted,
+        )
+        if policy is not None:
+            supervision["max_attempts"] = policy.max_attempts
+        if checkpoint:
+            supervision["checkpoint"]["path"] = str(checkpoint)
+        if interrupted:
+            supervision["remaining"] = remaining
     manifest = build_manifest(
         pairs,
         config={
@@ -135,17 +187,29 @@ def run_report(
         metrics_snapshot=metrics_snapshot,
         workload_durations=workload_durations,
         provenance=collect_provenance(argv),
-        failures=getattr(pairs, "failures", None) if fault_tolerant else None,
+        failures=(
+            getattr(pairs, "failures", None)
+            if (fault_tolerant or supervised) else None
+        ),
         parallel=parallel,
+        supervision=supervision,
     )
     log.info(
-        "report: %d programs in %.2fs (%d spans, %d metrics)",
+        "report: %d programs in %.2fs (%d spans, %d metrics)%s",
         len(pairs),
         duration,
         len(span_rows),
         len(METRICS),
+        " [interrupted: %d workload(s) remaining]" % len(remaining)
+        if interrupted else "",
     )
-    return {"manifest": manifest, "text": render_report(manifest), "pairs": pairs}
+    return {
+        "manifest": manifest,
+        "text": render_report(manifest),
+        "pairs": pairs,
+        "interrupted": interrupted,
+        "remaining": remaining,
+    }
 
 
 def replay_report(path):
@@ -300,6 +364,39 @@ def render_report(manifest):
                 else "",
             )
         )
+    supervision = manifest.get("supervision")
+    if supervision is not None:
+        lines.append("")
+        lines.append("Supervision:")
+        lines.append(
+            "  %d retr%s, %d worker crash(es), %d hang kill(s), "
+            "%d quarantined"
+            % (
+                supervision.get("retries", 0),
+                "y" if supervision.get("retries", 0) == 1 else "ies",
+                supervision.get("worker_crashes", 0),
+                supervision.get("hang_kills", 0),
+                supervision.get("quarantined", 0),
+            )
+        )
+        checkpoint = supervision.get("checkpoint")
+        if checkpoint and (checkpoint["hits"] or checkpoint["writes"]):
+            lines.append(
+                "  checkpoint      %d hit(s), %d write(s)%s"
+                % (
+                    checkpoint["hits"],
+                    checkpoint["writes"],
+                    " (%s)" % checkpoint["path"]
+                    if checkpoint.get("path") else "",
+                )
+            )
+        if supervision.get("interrupted"):
+            remaining = supervision.get("remaining", [])
+            lines.append(
+                "  INTERRUPTED: %d workload(s) unfinished (%s); "
+                "re-run with --resume"
+                % (len(remaining), ", ".join(remaining) or "none")
+            )
     failures = manifest.get("failures")
     if failures is not None:
         lines.append("")

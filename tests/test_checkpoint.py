@@ -1,0 +1,198 @@
+"""The checkpoint journal: durability, torn-write tolerance, run keys,
+and resume semantics (schema ``repro.checkpoint/1``)."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointJournal,
+    checkpoint_run_key,
+    _decode_payload,
+    _encode_payload,
+)
+from repro.harness.runner import run_suite
+from repro.obs import METRICS
+
+
+class TestRunKey:
+    def test_stable_for_identical_configs(self):
+        a = checkpoint_run_key(["wc", "cal"], 1000, options=(("x", 1),))
+        b = checkpoint_run_key(["wc", "cal"], 1000, options=(("x", 1),))
+        assert a == b
+
+    def test_changes_with_every_parameter(self):
+        base = checkpoint_run_key(["wc"], 1000)
+        assert checkpoint_run_key(["cal"], 1000) != base
+        assert checkpoint_run_key(["wc"], 2000) != base
+        assert checkpoint_run_key(["wc"], 1000, engine="reference") != base
+        assert checkpoint_run_key(
+            ["wc"], 1000, limit_overrides={"wc": 5}
+        ) != base
+        assert checkpoint_run_key(["wc"], 1000, fault_tolerant=True) != base
+        assert checkpoint_run_key(["wc"], 1000, deadline_s=1.0) != base
+        assert checkpoint_run_key(["wc"], 1000, sample_every=64) != base
+
+    def test_override_order_is_canonical(self):
+        assert checkpoint_run_key(
+            ["wc"], 1000, limit_overrides={"a": 1, "b": 2}
+        ) == checkpoint_run_key(
+            ["wc"], 1000, limit_overrides={"b": 2, "a": 1}
+        )
+
+
+class TestPayloadCodec:
+    def test_round_trip(self):
+        payload, digest = _encode_payload({"answer": 42, "blob": b"\x00\xff"})
+        assert _decode_payload(payload, digest) == {
+            "answer": 42, "blob": b"\x00\xff",
+        }
+
+    def test_checksum_guards_payload(self):
+        payload, digest = _encode_payload([1, 2, 3])
+        with pytest.raises(ValueError):
+            _decode_payload(payload, "0" * 64)
+
+
+class TestJournal:
+    def test_record_and_reload(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        with CheckpointJournal.open(path, "key1") as journal:
+            journal.record("wc", "ok", {"stats": 1}, attempts=2)
+            journal.record("cal", "failure", {"workload": "cal"})
+        reloaded = CheckpointJournal.open(path, "key1", resume=True)
+        try:
+            assert reloaded.get("wc") == {
+                "workload": "wc", "status": "ok", "attempts": 2,
+                "result": {"stats": 1},
+            }
+            assert reloaded.get("cal")["status"] == "failure"
+            assert reloaded.get("sort") is None
+        finally:
+            reloaded.close()
+
+    def test_header_schema_and_key(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        CheckpointJournal.open(path, "key1").close()
+        header = json.loads(open(path).readline())
+        assert header == {"schema": CHECKPOINT_SCHEMA, "run_key": "key1"}
+
+    def test_torn_trailing_record_is_dropped(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        with CheckpointJournal.open(path, "key1") as journal:
+            journal.record("wc", "ok", {"stats": 1})
+            journal.record("cal", "ok", {"stats": 2})
+        # Simulate a coordinator killed mid-append: truncate into the
+        # last record's JSON line.
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[:-20])
+        reloaded = CheckpointJournal.open(path, "key1", resume=True)
+        try:
+            assert reloaded.get("wc") is not None
+            assert reloaded.get("cal") is None
+        finally:
+            reloaded.close()
+
+    def test_corrupt_payload_is_dropped(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        with CheckpointJournal.open(path, "key1") as journal:
+            journal.record("wc", "ok", {"stats": 1})
+        lines = open(path).read().splitlines()
+        doc = json.loads(lines[1])
+        doc["sha256"] = "0" * 64
+        open(path, "w").write(lines[0] + "\n" + json.dumps(doc) + "\n")
+        reloaded = CheckpointJournal.open(path, "key1", resume=True)
+        try:
+            assert reloaded.get("wc") is None
+        finally:
+            reloaded.close()
+
+    def test_run_key_mismatch_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        with CheckpointJournal.open(path, "key1") as journal:
+            journal.record("wc", "ok", {"stats": 1})
+        other = CheckpointJournal.open(path, "key2", resume=True)
+        try:
+            assert other.get("wc") is None
+        finally:
+            other.close()
+        # ...and the file was truncated to the new header.
+        header = json.loads(open(path).readline())
+        assert header["run_key"] == "key2"
+
+    def test_without_resume_truncates(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        with CheckpointJournal.open(path, "key1") as journal:
+            journal.record("wc", "ok", {"stats": 1})
+        fresh = CheckpointJournal.open(path, "key1", resume=False)
+        try:
+            assert fresh.get("wc") is None
+        finally:
+            fresh.close()
+
+    def test_bad_status_rejected(self, tmp_path):
+        with CheckpointJournal.open(str(tmp_path / "c.jsonl"), "k") as journal:
+            with pytest.raises(ValueError):
+                journal.record("wc", "exploded", {})
+
+    def test_last_record_per_workload_wins(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        with CheckpointJournal.open(path, "key1") as journal:
+            journal.record("wc", "failure", {"workload": "wc"})
+            journal.record("wc", "ok", {"stats": 1}, attempts=2)
+        reloaded = CheckpointJournal.open(path, "key1", resume=True)
+        try:
+            assert reloaded.get("wc")["status"] == "ok"
+        finally:
+            reloaded.close()
+
+
+class TestSerialResume:
+    def test_resume_skips_completed_and_matches_fresh_run(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        kwargs = dict(
+            subset=("wc", "cal", "sort"), limit=200_000, jobs=1,
+            use_cache=False, cache_dir=False,
+        )
+        reference = run_suite(**kwargs)
+        from repro.errors import SuiteInterrupted
+
+        with pytest.raises(SuiteInterrupted) as info:
+            run_suite(checkpoint=path, interrupt_after=1, **kwargs)
+        assert len(info.value.partial) == 1
+        assert len(info.value.remaining) == 2
+        METRICS.reset()
+        resumed = run_suite(checkpoint=path, resume=True, **kwargs)
+        assert list(resumed) == list(reference)
+        hits = sum(
+            row["value"]
+            for row in METRICS.snapshot()["counters"]
+            if row["name"] == "harness.checkpoint"
+            and row["labels"].get("result") == "hit"
+        )
+        assert hits == 1
+
+    def test_changed_config_ignores_stale_journal(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        kwargs = dict(subset=("wc",), jobs=1, use_cache=False, cache_dir=False)
+        run_suite(limit=200_000, checkpoint=path, **kwargs)
+        # A different limit must not resurrect the 200k results.
+        result = run_suite(
+            limit=150_000, checkpoint=path, resume=True, **kwargs
+        )
+        fresh = run_suite(limit=150_000, **kwargs)
+        assert list(result) == list(fresh)
+
+    def test_journal_file_has_one_record_per_workload(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        run_suite(
+            subset=("wc", "cal"), limit=200_000, jobs=1, use_cache=False,
+            cache_dir=False, checkpoint=path,
+        )
+        lines = open(path).read().splitlines()
+        records = [json.loads(line) for line in lines[1:]]
+        assert sorted(r["workload"] for r in records) == ["cal", "wc"]
+        assert all(r["status"] == "ok" for r in records)
+        assert os.path.getsize(path) > 0

@@ -354,3 +354,115 @@ class TestVerbosity:
         with caplog.at_level(logging.DEBUG, logger="repro"):
             main(["-vv", "run", demo_c])
         assert any("compiled" in r.message for r in caplog.records)
+
+
+class TestSuperviseCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seed == 0
+        assert args.campaigns == 5
+        assert args.kills == 3
+        assert args.raises == 2
+        assert args.delays == 2
+        assert args.corrupt == 2
+        assert args.hangs == 0
+        assert args.keep_going is False
+        rep = build_parser().parse_args(
+            ["report", "--supervise", "--max-attempts", "5",
+             "--checkpoint", "ck.jsonl", "--limit-override", "wc=5"]
+        )
+        assert rep.supervise is True
+        assert rep.max_attempts == 5
+        assert rep.checkpoint == "ck.jsonl"
+        assert rep.limit_override == ["wc=5"]
+        t1 = build_parser().parse_args(["table1", "--supervise", "--resume"])
+        assert t1.supervise is True
+        assert t1.resume is True
+
+    def test_resume_alone_uses_default_checkpoint(self):
+        from repro.cli import _resolve_checkpoint
+        from repro.harness.checkpoint import DEFAULT_CHECKPOINT
+
+        args = build_parser().parse_args(["table1", "--resume"])
+        assert _resolve_checkpoint(args) == DEFAULT_CHECKPOINT
+        args = build_parser().parse_args(["table1"])
+        assert _resolve_checkpoint(args) is None
+
+    def test_bad_limit_override_exits_2(self, capsys):
+        rc = main(
+            ["report", "--subset", "wc", "--limit", "200000",
+             "--limit-override", "wc"]
+        )
+        assert rc == 2
+        assert "NAME=LIMIT" in capsys.readouterr().err
+        rc = main(
+            ["report", "--subset", "wc", "--limit", "200000",
+             "--limit-override", "wc=lots"]
+        )
+        assert rc == 2
+
+    def test_supervised_table1(self, capsys):
+        rc = main(["table1", "--subset", "wc", "--supervise", "--jobs", "2"])
+        assert rc == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_supervised_report_renders_supervision(self, tmp_path, capsys):
+        rc = main(
+            ["report", "--subset", "wc", "--limit", "200000", "--supervise",
+             "--jobs", "2", "--out", str(tmp_path / "m.json")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Supervision:" in out
+        doc = json.loads((tmp_path / "m.json").read_text())
+        assert doc["schema"] == "repro.run-manifest/7"
+        assert doc["supervision"]["enabled"] is True
+
+    def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.jsonl")
+        base = [
+            "report", "--subset", "wc,cal", "--limit", "200000",
+            "--jobs", "2", "--supervise", "--checkpoint", ck,
+        ]
+        rc = main(base + ["--out", str(tmp_path / "a.json")])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(base + ["--resume", "--out", str(tmp_path / "b.json")])
+        assert rc == 0
+        doc = json.loads((tmp_path / "b.json").read_text())
+        assert doc["supervision"]["checkpoint"]["hits"] == 2
+
+
+class TestChaosCommand:
+    def test_single_campaign_converges(self, capsys):
+        rc = main(
+            ["chaos", "--seed", "7", "--campaigns", "1", "--jobs", "2",
+             "--subset", "wc,cal", "--limit", "200000", "--kills", "1",
+             "--raises", "1", "--delays", "1", "--corrupt", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1/1" in out
+
+    def test_json_output(self, capsys):
+        rc = main(
+            ["chaos", "--campaigns", "1", "--jobs", "2", "--subset", "wc",
+             "--limit", "200000", "--kills", "1", "--raises", "0",
+             "--delays", "0", "--corrupt", "0"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(
+            ["chaos", "--campaigns", "1", "--jobs", "2", "--subset", "wc",
+             "--limit", "200000", "--kills", "1", "--raises", "0",
+             "--delays", "0", "--corrupt", "0", "--json"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["divergent"] == 0
+        assert doc["campaigns"] == 1
+
+    def test_unknown_workload_exits_2(self, capsys):
+        rc = main(["chaos", "--subset", "nope", "--campaigns", "1"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

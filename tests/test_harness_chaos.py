@@ -1,0 +1,136 @@
+"""Harness-level chaos testing: seeded fault plans, cache corruption,
+and the convergence guarantee (``repro chaos``).
+
+The acceptance bar from ``docs/ROBUSTNESS.md``: a campaign that SIGKILLs
+workers and corrupts artifact-cache entries mid-run must still produce a
+suite result byte-identical to an unperturbed serial run.
+"""
+
+import random
+
+import pytest
+
+from repro.fault.harness_chaos import (
+    HarnessChaosError,
+    apply_chaos,
+    chaos_plan,
+    corrupt_cache_entries,
+    render_chaos,
+    run_chaos,
+)
+
+NAMES = ("wc", "cal", "sort")
+
+
+class TestChaosPlan:
+    def test_deterministic_for_same_seed(self):
+        a, placed_a = chaos_plan(NAMES, random.Random(7), kills=2, raises=1,
+                                 delays=3)
+        b, placed_b = chaos_plan(NAMES, random.Random(7), kills=2, raises=1,
+                                 delays=3)
+        assert a == b
+        assert placed_a == placed_b
+
+    def test_failing_actions_capped_below_attempt_budget(self):
+        # With max_attempts=3 a workload may absorb at most 2 failing
+        # actions -- a converging plan must leave one attempt clean.
+        plan, placed = chaos_plan(
+            NAMES, random.Random(0), kills=50, raises=50, max_attempts=3
+        )
+        for actions in plan.values():
+            failing = [a for a in actions if a[0] in ("kill", "raise")]
+            assert len(failing) <= 2
+        assert placed["kill"] + placed["raise"] <= len(NAMES) * 2
+
+    def test_delays_are_not_capped(self):
+        plan, placed = chaos_plan(
+            NAMES, random.Random(0), delays=9, max_attempts=2
+        )
+        assert placed["delay"] == 9
+        assert sum(
+            1 for acts in plan.values() for a in acts if a[0] == "delay"
+        ) == 9
+
+    def test_empty_request_yields_empty_plan(self):
+        plan, placed = chaos_plan(NAMES, random.Random(0))
+        assert plan == {}
+        assert all(count == 0 for count in placed.values())
+
+
+class TestApplyChaos:
+    def test_raise_action(self):
+        with pytest.raises(HarnessChaosError, match="flaky"):
+            apply_chaos(("raise", "flaky"))
+
+    def test_chaos_error_is_not_a_typed_repro_error(self):
+        # Retryability hinges on this: typed ReproErrors are
+        # deterministic and never retried; chaos faults must look
+        # transient to the supervisor.
+        from repro.errors import ReproError
+
+        assert not issubclass(HarnessChaosError, ReproError)
+
+    def test_delay_action(self):
+        import time
+
+        start = time.monotonic()
+        apply_chaos(("delay", 0.05))
+        assert time.monotonic() - start >= 0.05
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            apply_chaos(("explode",))
+
+
+class TestCorruptCacheEntries:
+    def test_corrupts_requested_count(self, tmp_path):
+        for i in range(4):
+            (tmp_path / ("entry%d.mpc" % i)).write_bytes(b"x" * 100)
+        (tmp_path / "not-an-entry.lock").write_bytes(b"pid")
+        before = {
+            p.name: p.read_bytes() for p in tmp_path.iterdir()
+        }
+        paths = corrupt_cache_entries(str(tmp_path), 2, random.Random(3))
+        assert len(paths) == 2
+        changed = [
+            p.name for p in tmp_path.iterdir()
+            if p.read_bytes() != before[p.name]
+        ]
+        assert sorted(changed) == sorted(p.rsplit("/", 1)[-1] for p in paths)
+
+    def test_empty_cache_is_a_noop(self, tmp_path):
+        assert corrupt_cache_entries(str(tmp_path), 2, random.Random(0)) == []
+
+
+class TestCampaigns:
+    def test_acceptance_campaign_converges(self):
+        # The headline acceptance criterion: >=3 worker SIGKILLs and
+        # >=2 corrupted cache entries, byte-identical convergence.
+        summary = run_chaos(
+            seed=7, campaigns=1, jobs=2, subset=NAMES, limit=200_000,
+            kills=3, raises=2, delays=1, corrupt=2,
+        )
+        assert summary["divergent"] == 0
+        assert summary["converged"] == 1
+        assert summary["injected"]["kill"] >= 3
+        assert summary["corrupted"] >= 2
+        assert summary["telemetry"]["harness.worker_crashes"] >= 1
+
+    def test_divergence_is_reported_per_campaign(self):
+        summary = run_chaos(
+            seed=1, campaigns=2, jobs=2, subset=("wc",), limit=200_000,
+            kills=0, raises=1, delays=0, corrupt=0,
+        )
+        assert summary["campaigns"] == 2
+        assert summary["divergent"] == 0
+        for record in summary["records"]:
+            assert record["converged"] is True
+
+    def test_render_mentions_convergence(self):
+        summary = run_chaos(
+            seed=3, campaigns=1, jobs=2, subset=("wc",), limit=200_000,
+            kills=1, raises=0, delays=0, corrupt=1,
+        )
+        text = render_chaos(summary)
+        assert "1/1" in text
+        assert "DIVERGED" not in text

@@ -338,3 +338,231 @@ class TestTelemetryFolding:
         types = {e["type"] for e in sink.events}
         assert "span" in types
         assert "emu.sample" in types or "emu.start" in types
+
+
+_STRESS_SCRIPT = """
+import json, os, sys, time
+root, src_path, go = sys.argv[1], sys.argv[2], sys.argv[3]
+source = open(src_path).read()
+from repro.harness.parallel import ArtifactCache
+from repro.obs.metrics import MetricsRegistry
+registry = MetricsRegistry()
+cache = ArtifactCache(root, registry=registry)
+while not os.path.exists(go):  # start gate: maximise contention
+    time.sleep(0.005)
+image = cache.get_image(source, "baseline")
+from repro.emu.baseline_emu import run_baseline
+stats = run_baseline(image, stdin=b"hi", limit=100000)
+counters = {
+    row["labels"]["result"]: row["value"]
+    for row in registry.snapshot()["counters"]
+    if row["name"] == "harness.artifact_cache"
+}
+print(json.dumps({"output": stats.output.decode(), "counters": counters}))
+"""
+
+
+class TestConcurrentWriters:
+    def test_two_processes_same_key_no_torn_reads(self, tmp_path):
+        # Two real processes race to fill the same cache key.  Whatever
+        # the interleaving: both must end with a working image, the
+        # entry must never be observed torn, and exactly one valid
+        # entry file may remain.
+        import json
+        import subprocess
+        import sys
+
+        cache_root = tmp_path / "cache"
+        cache_root.mkdir()
+        src_path = tmp_path / "wc.c"
+        src_path.write_text(WC_SOURCE)
+        go = tmp_path / "go"
+        env = dict(os.environ)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _STRESS_SCRIPT, str(cache_root),
+                 str(src_path), str(go)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            )
+            for _ in range(3)
+        ]
+        go.write_text("")
+        results = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode()
+            results.append(json.loads(out))
+        # Everybody computed the right answer from an intact image.
+        assert [r["output"] for r in results] == ["2\n"] * 3
+        # No torn reads: a half-written entry would count "corrupt".
+        for r in results:
+            assert "corrupt" not in r["counters"]
+            # Each process resolved the key exactly once.
+            assert sum(r["counters"].values()) == 1
+        # Hit accounting: at least one process compiled; the rest either
+        # loaded the published entry (hit) or -- if the writer was slow
+        # -- compiled redundantly, which is allowed but never wrong.
+        misses = sum(r["counters"].get("miss", 0) for r in results)
+        hits = sum(r["counters"].get("hit", 0) for r in results)
+        assert misses >= 1
+        assert misses + hits == 3
+        # No duplicate entries, no leftover locks or staging files.
+        (entry,) = list(cache_root.iterdir())
+        assert entry.name.endswith(".mpc")
+        raw = entry.read_bytes()
+        digest, payload = raw.split(b"\n", 1)
+        import hashlib
+
+        assert digest == hashlib.sha256(payload).hexdigest().encode("ascii")
+
+
+class TestCacheLocking:
+    def test_lock_is_released_after_compile(self, tmp_path):
+        ArtifactCache(tmp_path).get_image(WC_SOURCE, "baseline")
+        assert not [p for p in tmp_path.iterdir() if p.name.endswith(".lock")]
+
+    def test_stale_lock_is_reaped_on_acquire(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = artifact_key(WC_SOURCE, "baseline")
+        lock = tmp_path / ("baseline-%s.mpc.lock" % key)
+        lock.write_text("99999\n")
+        old = __import__("time").time() - cache.LOCK_STALE_S - 5
+        os.utime(lock, (old, old))
+        registry = MetricsRegistry()
+        image = ArtifactCache(tmp_path, registry=registry).get_image(
+            WC_SOURCE, "baseline"
+        )
+        assert image is not None
+        assert not lock.exists()
+
+    def test_fresh_lock_blocks_acquire(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = str(tmp_path / "entry.mpc")
+        assert cache._acquire_lock(path) is True
+        assert cache._acquire_lock(path) is False  # held and fresh
+        cache._release_lock(path)
+        assert cache._acquire_lock(path) is True
+        cache._release_lock(path)
+
+    def test_waiter_loads_writers_entry(self, tmp_path):
+        # A reader that loses the lock race waits for the writer's
+        # os.replace and counts the load as a hit, not a recompile.
+        import threading
+
+        writer_cache = ArtifactCache(tmp_path)
+        key = artifact_key(WC_SOURCE, "baseline")
+        path = writer_cache._path("baseline", key)
+        assert writer_cache._acquire_lock(path)
+
+        def publish():
+            __import__("time").sleep(0.2)
+            writer_cache._compile_and_store(WC_SOURCE, "baseline", None, path)
+            writer_cache._release_lock(path)
+
+        thread = threading.Thread(target=publish)
+        thread.start()
+        try:
+            registry = MetricsRegistry()
+            image = ArtifactCache(tmp_path, registry=registry).get_image(
+                WC_SOURCE, "baseline"
+            )
+        finally:
+            thread.join()
+        assert image is not None
+        counters = {
+            row["labels"]["result"]: row["value"]
+            for row in registry.snapshot()["counters"]
+            if row["name"] == "harness.artifact_cache"
+        }
+        assert counters == {"hit": 1}
+
+    def test_dead_writer_does_not_block_forever(self, tmp_path, monkeypatch):
+        # The lock holder died without publishing: the waiter notices
+        # the reaped/vanished lock and compiles itself.
+        cache = ArtifactCache(tmp_path)
+        key = artifact_key(WC_SOURCE, "baseline")
+        path = cache._path("baseline", key)
+        assert cache._acquire_lock(path)
+
+        import threading
+
+        def abandon():
+            __import__("time").sleep(0.2)
+            cache._release_lock(path)  # died; lock reaped, nothing stored
+
+        thread = threading.Thread(target=abandon)
+        thread.start()
+        try:
+            registry = MetricsRegistry()
+            image = ArtifactCache(tmp_path, registry=registry).get_image(
+                WC_SOURCE, "baseline"
+            )
+        finally:
+            thread.join()
+        assert image is not None
+        counters = {
+            row["labels"]["result"]: row["value"]
+            for row in registry.snapshot()["counters"]
+            if row["name"] == "harness.artifact_cache"
+        }
+        assert counters == {"miss": 1}
+
+    def test_init_reaps_stale_staging_and_lock_files(self, tmp_path):
+        stale_tmp = tmp_path / "baseline-abc.mpc.tmp.123"
+        stale_lock = tmp_path / "baseline-abc.mpc.lock"
+        fresh_lock = tmp_path / "baseline-def.mpc.lock"
+        for p in (stale_tmp, stale_lock, fresh_lock):
+            p.write_text("x")
+        old = __import__("time").time() - ArtifactCache.TMP_STALE_S - 5
+        os.utime(stale_tmp, (old, old))
+        os.utime(stale_lock, (old, old))
+        ArtifactCache(tmp_path)
+        assert not stale_tmp.exists()
+        assert not stale_lock.exists()
+        assert fresh_lock.exists()  # fresh: a live writer owns it
+
+
+class TestInterruptReaping:
+    def test_map_tasks_keyboard_interrupt_reaps_workers(self):
+        # A Ctrl-C mid-map must not leave orphaned pool workers behind.
+        import time as _time
+
+        def live_children():
+            me = str(os.getpid())
+            pids = []
+            for entry in os.listdir("/proc"):
+                if not entry.isdigit():
+                    continue
+                try:
+                    status = open("/proc/%s/status" % entry).read()
+                except OSError:
+                    continue
+                fields = dict(
+                    line.split(":\t", 1)
+                    for line in status.splitlines()
+                    if ":\t" in line
+                )
+                if fields.get("PPid") == me and not fields.get(
+                    "State", ""
+                ).startswith("Z"):
+                    pids.append(int(entry))
+            return pids
+
+        with pytest.raises(KeyboardInterrupt):
+            map_tasks(_interruptible_task, list(range(8)), jobs=2)
+        for _ in range(100):
+            if not live_children():
+                break
+            _time.sleep(0.05)
+        assert live_children() == []
+
+
+def _interruptible_task(n):
+    import time as _time
+
+    if n == 0:
+        # give the pool a moment to start the other workers
+        _time.sleep(0.2)
+        raise KeyboardInterrupt()
+    _time.sleep(0.05)
+    return n

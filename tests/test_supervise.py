@@ -1,0 +1,353 @@
+"""The supervision layer: crash recovery, retry/backoff, quarantine,
+hang kills, checkpoint/resume, and interrupt handling.
+
+The overarching contract is the same serial-equivalence guarantee the
+plain parallel harness gives (``docs/PERFORMANCE.md``), extended to a
+hostile world: whatever is killed, delayed, or corrupted mid-run, a
+converging supervised run must reassemble results byte-identical to an
+unperturbed serial run (``docs/ROBUSTNESS.md``).
+"""
+
+import os
+
+import pytest
+
+from repro.errors import SuiteInterrupted
+from repro.harness.runner import resolve_workloads, run_suite
+from repro.harness.supervise import (
+    SupervisePolicy,
+    _read_start_markers,
+    quarantine_record,
+    run_suite_supervised,
+)
+from repro.emu.fastcore import resolve_engine
+from repro.obs import METRICS
+
+SUBSET = ("wc", "cal", "sort")
+LIMIT = 200_000
+
+#: A fast policy for tests: tiny backoff, deterministic seed.
+FAST = SupervisePolicy(max_attempts=3, backoff_base_s=0.01, backoff_cap_s=0.05)
+
+
+def _supervised(fault_plan=None, policy=FAST, subset=SUBSET, jobs=2,
+                **kwargs):
+    return run_suite_supervised(
+        resolve_workloads(subset), LIMIT, jobs=jobs, cache_dir=False,
+        engine=resolve_engine(None), policy=policy, fault_plan=fault_plan,
+        **kwargs
+    )
+
+
+def _counter(name, **labels):
+    total = 0
+    for row in METRICS.snapshot()["counters"]:
+        if row["name"] != name:
+            continue
+        if any(row["labels"].get(k) != v for k, v in labels.items()):
+            continue
+        total += row["value"]
+    return total
+
+
+@pytest.fixture
+def reference():
+    return run_suite(subset=SUBSET, limit=LIMIT, jobs=1, use_cache=False,
+                     cache_dir=False)
+
+
+class TestPolicy:
+    def test_coerce(self):
+        assert SupervisePolicy.coerce(None) is None
+        assert SupervisePolicy.coerce(False) is None
+        assert SupervisePolicy.coerce(True) == SupervisePolicy()
+        policy = SupervisePolicy(max_attempts=5)
+        assert SupervisePolicy.coerce(policy) is policy
+        with pytest.raises(TypeError):
+            SupervisePolicy.coerce("yes")
+
+    def test_with_attempts(self):
+        assert SupervisePolicy().with_attempts(None).max_attempts == 3
+        assert SupervisePolicy().with_attempts(7).max_attempts == 7
+        assert SupervisePolicy().with_attempts(0).max_attempts == 1
+
+    def test_quarantine_record_shape_matches_failure_record(self):
+        from repro.fault.triage import failure_record
+        from repro.errors import CodegenError
+
+        reference = failure_record("wc", CodegenError("boom"))
+        record = quarantine_record("wc", "WorkerCrash", "died", 3)
+        assert set(reference) <= set(record)
+        assert record["outcome"] == "quarantined"
+        assert record["attempts"] == 3
+
+
+class TestCleanRuns:
+    def test_supervised_matches_serial(self, reference):
+        result = _supervised()
+        assert list(result) == list(reference)
+        assert result.failures == []
+        assert result.quarantined == []
+
+    def test_run_suite_supervise_flag(self, reference):
+        result = run_suite(
+            subset=SUBSET, limit=LIMIT, jobs=2, use_cache=False,
+            cache_dir=False, supervise=True,
+        )
+        assert list(result) == list(reference)
+
+    def test_supervised_run_bypasses_memo_cache(self):
+        METRICS.reset()
+        run_suite(subset=("wc",), limit=LIMIT, jobs=2, use_cache=True,
+                  cache_dir=False, supervise=True)
+        assert _counter("harness.suite_cache", result="bypass") == 1
+        assert _counter("harness.suite_cache", result="hit") == 0
+
+
+class TestCrashRecovery:
+    def test_worker_kill_is_recovered(self, reference):
+        METRICS.reset()
+        result = _supervised(fault_plan={"cal": [("kill",)]})
+        assert list(result) == list(reference)
+        assert result.failures == []
+        assert _counter("harness.worker_crashes") >= 1
+        assert _counter("harness.retries") >= 1
+
+    def test_transient_exception_is_retried(self, reference):
+        METRICS.reset()
+        result = _supervised(fault_plan={"wc": [("raise", "flaky")]})
+        assert list(result) == list(reference)
+        assert _counter("harness.retries", reason="HarnessChaosError") == 1
+
+    def test_typed_errors_are_never_retried(self):
+        # A deterministic ReproError must surface exactly as the serial
+        # run surfaces it -- no retry can change a deterministic result.
+        from repro.errors import RuntimeLimitExceeded
+
+        METRICS.reset()
+        with pytest.raises(RuntimeLimitExceeded):
+            run_suite_supervised(
+                resolve_workloads(SUBSET), LIMIT, jobs=2, cache_dir=False,
+                engine=resolve_engine(None), policy=FAST,
+                limit_overrides={"cal": 100},
+            )
+        assert _counter("harness.retries") == 0
+
+    def test_fault_tolerant_typed_errors_become_failures(self):
+        result = run_suite_supervised(
+            resolve_workloads(SUBSET), LIMIT, jobs=2, cache_dir=False,
+            engine=resolve_engine(None), policy=FAST, fault_tolerant=True,
+            limit_overrides={"cal": 100},
+        )
+        assert [p.name for p in result] == ["sort", "wc"]
+        assert result.failures[0]["workload"] == "cal"
+        assert result.failures[0]["error"] == "RuntimeLimitExceeded"
+        assert result.quarantined == []
+
+    def test_poison_task_is_quarantined_with_isolation_proof(self):
+        # Killed on every attempt *including* the final isolation retry:
+        # that is a genuinely poison workload.
+        METRICS.reset()
+        policy = SupervisePolicy(max_attempts=2, backoff_base_s=0.01,
+                                 backoff_cap_s=0.05)
+        result = _supervised(
+            subset=("wc", "cal"), policy=policy,
+            fault_plan={"cal": [("kill",)] * 5},
+        )
+        assert [p.name for p in result] == ["wc"]
+        (record,) = result.quarantined
+        assert record["workload"] == "cal"
+        assert record["error"] == "WorkerCrash"
+        assert record["outcome"] == "quarantined"
+        assert "isolation" in record["message"]
+        assert result.failures == [record]
+        assert _counter("harness.quarantined") == 1
+        # wc may also burn its budget to collateral pool deaths and pass
+        # through isolation, so the count is at-least rather than exact.
+        assert _counter("harness.retries", reason="IsolationRetry") >= 1
+
+    def test_collateral_victim_is_rescued_by_isolation_retry(self,
+                                                             reference):
+        # cal is killed twice (its whole budget at max_attempts=2); wc
+        # may also be charged collateral attempts when the shared pool
+        # breaks.  Nobody innocent may be quarantined.
+        policy = SupervisePolicy(max_attempts=2, backoff_base_s=0.01,
+                                 backoff_cap_s=0.05)
+        result = _supervised(policy=policy,
+                             fault_plan={"cal": [("kill",), ("kill",)]})
+        assert list(result) == list(reference)
+        assert result.quarantined == []
+
+    def test_hang_is_killed_and_recovered(self, reference):
+        METRICS.reset()
+        policy = SupervisePolicy(max_attempts=3, backoff_base_s=0.01,
+                                 backoff_cap_s=0.05, task_timeout_s=1.0)
+        result = _supervised(policy=policy,
+                             fault_plan={"wc": [("hang", 30.0)]})
+        assert list(result) == list(reference)
+        assert _counter("harness.hang_kills") == 1
+        assert _counter("harness.worker_crashes") >= 1
+
+
+class TestBackoff:
+    def test_backoff_is_seeded_and_bounded(self):
+        from repro.harness.supervise import _Supervisor
+
+        policy = SupervisePolicy(backoff_base_s=0.05, backoff_cap_s=0.2,
+                                 seed=42)
+        a = _Supervisor([], 1, policy, None, None, None)
+        b = _Supervisor([], 1, policy, None, None, None)
+        delays_a = [a._backoff(n) for n in range(1, 6)]
+        delays_b = [b._backoff(n) for n in range(1, 6)]
+        assert delays_a == delays_b  # same seed, same jitter
+        assert all(d <= 0.2 * 1.5 for d in delays_a)  # cap * max jitter
+        assert all(d >= 0.05 * 0.5 for d in delays_a[:1])
+        different = _Supervisor(
+            [], 1, SupervisePolicy(backoff_base_s=0.05, backoff_cap_s=0.2,
+                                   seed=7), None, None, None)
+        assert [different._backoff(n) for n in range(1, 6)] != delays_a
+
+
+class TestLimitOverrides:
+    def test_jobs1_vs_jobs2_equivalence(self):
+        # Satellite: per-workload limit overrides must thread through
+        # every execution path -- serial, plain parallel, supervised.
+        kwargs = dict(
+            subset=SUBSET, limit=LIMIT, fault_tolerant=True,
+            limit_overrides={"cal": 100}, use_cache=False, cache_dir=False,
+        )
+        serial = run_suite(jobs=1, **kwargs)
+        parallel = run_suite(jobs=2, **kwargs)
+        supervised = run_suite(jobs=2, supervise=True, **kwargs)
+        assert list(serial) == list(parallel) == list(supervised)
+        assert serial.failures == parallel.failures == supervised.failures
+        assert supervised.failures[0]["workload"] == "cal"
+        assert supervised.failures[0]["error"] == "RuntimeLimitExceeded"
+
+
+class TestStartMarkers:
+    def test_torn_marker_lines_are_skipped(self, tmp_path):
+        path = str(tmp_path / "markers.log")
+        with open(path, "w") as handle:
+            handle.write("wc\t1\t123\t10.5\n")
+            handle.write("cal\t2\t456\t11.5\n")
+            handle.write("sort\t1\t78")  # torn: killed mid-write
+        markers = _read_start_markers(path)
+        assert markers == {("wc", 1): (123, 10.5), ("cal", 2): (456, 11.5)}
+
+    def test_missing_marker_file_is_empty(self, tmp_path):
+        assert _read_start_markers(str(tmp_path / "absent")) == {}
+
+
+class TestInterrupt:
+    def test_interrupt_raises_suite_interrupted_with_partial(self, tmp_path):
+        from repro.harness.checkpoint import CheckpointJournal
+
+        path = str(tmp_path / "ck.jsonl")
+        journal = CheckpointJournal.open(path, "test-key")
+        try:
+            with pytest.raises(SuiteInterrupted) as info:
+                run_suite_supervised(
+                    resolve_workloads(SUBSET), LIMIT, jobs=2,
+                    cache_dir=False, engine=resolve_engine(None),
+                    policy=FAST, journal=journal, interrupt_after=1,
+                )
+        finally:
+            journal.close()
+        exc = info.value
+        assert len(exc.partial) == 1
+        assert len(exc.remaining) == 2
+        assert len(exc.partial) + len(exc.remaining) == len(SUBSET)
+        # The completed prefix is durable.
+        reloaded = CheckpointJournal.open(path, "test-key", resume=True)
+        try:
+            assert len(reloaded.entries) == 1
+        finally:
+            reloaded.close()
+
+    def test_interrupt_leaves_no_orphan_workers(self):
+        import time
+
+        def live_children():
+            pids = []
+            me = str(os.getpid())
+            for entry in os.listdir("/proc"):
+                if not entry.isdigit():
+                    continue
+                try:
+                    status = open("/proc/%s/status" % entry).read()
+                except OSError:
+                    continue
+                fields = dict(
+                    line.split(":\t", 1)
+                    for line in status.splitlines()
+                    if ":\t" in line
+                )
+                if fields.get("PPid") == me and not fields.get(
+                    "State", ""
+                ).startswith("Z"):
+                    pids.append(int(entry))
+            return pids
+
+        with pytest.raises(SuiteInterrupted):
+            _supervised(interrupt_after=1)
+        # Shutdown reaps synchronously, but give the kernel a moment to
+        # transition any killed worker out of the process table.
+        for _ in range(100):
+            if not live_children():
+                break
+            time.sleep(0.05)
+        assert live_children() == []
+
+    def test_resume_after_interrupt_is_byte_identical(self, tmp_path,
+                                                      reference):
+        path = str(tmp_path / "ck.jsonl")
+        kwargs = dict(
+            subset=SUBSET, limit=LIMIT, jobs=2, use_cache=False,
+            cache_dir=False, supervise=True, checkpoint=path,
+        )
+        with pytest.raises(SuiteInterrupted):
+            run_suite(interrupt_after=1, **kwargs)
+        METRICS.reset()
+        resumed = run_suite(resume=True, **kwargs)
+        assert list(resumed) == list(reference)
+        assert _counter("harness.checkpoint", result="hit") == 1
+
+
+class TestManifest:
+    def test_supervised_report_records_supervision_section(self):
+        from repro.obs.manifest import validate_manifest
+        from repro.obs.report import run_report
+
+        result = run_report(subset=("wc", "cal"), limit=LIMIT, jobs=2,
+                            supervise=True)
+        manifest = result["manifest"]
+        validate_manifest(manifest)
+        assert manifest["schema"] == "repro.run-manifest/7"
+        supervision = manifest["supervision"]
+        assert supervision["enabled"] is True
+        assert supervision["max_attempts"] == 3
+        assert supervision["interrupted"] is False
+        assert manifest["failures"] == []
+
+    def test_interrupted_report_is_a_valid_partial_manifest(self, tmp_path):
+        from repro.obs.manifest import validate_manifest
+        from repro.obs.report import run_report
+
+        path = str(tmp_path / "ck.jsonl")
+        result = run_report(subset=SUBSET, limit=LIMIT, jobs=2,
+                            supervise=True, checkpoint=path,
+                            interrupt_after=1)
+        assert result["interrupted"] is True
+        manifest = result["manifest"]
+        validate_manifest(manifest)
+        supervision = manifest["supervision"]
+        assert supervision["interrupted"] is True
+        assert len(supervision["remaining"]) == 2
+        assert len(manifest["programs"]) == 1
+        # ...and --resume completes it with only the unfinished pairs.
+        resumed = run_report(subset=SUBSET, limit=LIMIT, jobs=2,
+                             supervise=True, checkpoint=path, resume=True)
+        assert resumed["interrupted"] is False
+        assert len(resumed["manifest"]["programs"]) == 3
+        assert resumed["manifest"]["supervision"]["checkpoint"]["hits"] == 1
