@@ -1,0 +1,147 @@
+"""Benchmark: the trace-compiling engine against fastcore and reference.
+
+``docs/PERFORMANCE.md`` promises that ``engine="trace"`` retires the
+Appendix I suite's dynamic instruction stream at least 2x faster than
+the predecoded fast core (and at least 5x faster than the reference
+interpreter) while staying bit-identical -- the three-engine
+conformance wall proves the identity; this file measures the speed.
+
+Methodology: all images are compiled once up front and ``reset()``
+between runs, so each measurement is pure emulation.  Every engine
+gets untimed priming passes followed by ``REPS`` timed passes, and
+the per-engine time is the *minimum* across reps -- the standard
+noise-rejection discipline for wall-clock floors on shared runners.
+Priming is where the trace engine pays its one-time costs (profiled
+warm-up, anchor selection, codegen); like any adaptive-JIT harness it
+gets several warm-up iterations (``TRACE_PRIMING``) because re-profile
+rounds keep refining the trace set for a few runs before the per-image
+mega-function converges.  Timed passes then measure steady-state suite
+emulation, where the in-process trace memo re-installs each image's
+compiled dispatcher at instruction zero.  That is the regime the
+floors are about: the conformance wall, the differential fuzzer, and
+any repeated experiment re-run the same images many times per process,
+and the cost they see is the steady-state cost.  The persistent
+artifact cache is disabled so priming pays real selection+codegen
+rather than a disk hit.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.ease.environment import compile_for_machine
+from repro.emu.baseline_emu import BaselineEmulator
+from repro.emu.branchreg_emu import BranchRegEmulator
+from repro.workloads import all_workloads
+
+#: Regression floors, set below the measured steady-state result
+#: (2.1x over fast, 5.7x over reference on a quiet container -- see
+#: docs/PERFORMANCE.md) so a noisy shared runner does not flake the
+#: gate; the printed report carries the actual measured ratios.
+SPEEDUP_OVER_FAST = 1.8
+SPEEDUP_OVER_REFERENCE = 4.5
+LIMIT = 20_000_000
+REPS = 3
+#: Untimed warm-up passes for the adaptive engine: re-profile rounds
+#: grow the trace set for a few runs; the mega-function re-render that
+#: follows each growth trails it by one run.
+TRACE_PRIMING = 4
+
+_EMULATORS = {"baseline": BaselineEmulator, "branchreg": BranchRegEmulator}
+
+
+def _compile_suite():
+    images = []
+    for w in all_workloads():
+        for machine in ("baseline", "branchreg"):
+            images.append(
+                (machine, compile_for_machine(w.source, machine),
+                 w.stdin_bytes(), w.name)
+            )
+    return images
+
+
+def _run_suite(images, engine):
+    instructions = 0
+    traced = 0
+    start = time.perf_counter()
+    for machine, image, stdin, name in images:
+        emu = _EMULATORS[machine](
+            image.reset(), stdin=stdin, limit=LIMIT, engine=engine
+        )
+        emu.stats.program = name
+        stats = emu.run()
+        assert stats.engine == engine, (
+            name, machine, emu.trace_fallback, emu.fast_fallback
+        )
+        instructions += stats.instructions
+        traced += stats.trace_instructions
+    return instructions, traced, time.perf_counter() - start
+
+
+def _measure():
+    os.environ["REPRO_CACHE_DIR"] = ""  # priming pays real codegen cost
+    images = _compile_suite()
+    times = {"reference": [], "fast": [], "trace": []}
+    counts = {}
+    traced = 0
+    for engine in times:  # untimed priming passes per engine
+        for _ in range(TRACE_PRIMING if engine == "trace" else 1):
+            counts[engine], _, _ = _run_suite(images, engine)
+    assert (
+        counts["reference"] == counts["fast"] == counts["trace"]
+    )  # same retired stream
+    for _ in range(REPS):  # interleaved so drift hits every engine alike
+        for engine in times:
+            instr, tr, seconds = _run_suite(images, engine)
+            assert instr == counts[engine]
+            times[engine].append(seconds)
+            if engine == "trace":
+                traced = tr
+    ref_s = min(times["reference"])
+    fast_s = min(times["fast"])
+    trace_s = min(times["trace"])
+    return {
+        "instructions": counts["reference"],
+        "trace_coverage": traced / counts["reference"],
+        "reference_s": ref_s,
+        "fast_s": fast_s,
+        "trace_s": trace_s,
+        "speedup_vs_fast": fast_s / trace_s,
+        "speedup_vs_reference": ref_s / trace_s,
+        "trace_mips": counts["reference"] / trace_s / 1e6,
+    }
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="timing floors are meaningless on a starved single-core "
+    "runner (CI enforces them on standard runners)",
+)
+@pytest.mark.benchmark(group="tracecore")
+def test_trace_engine_speedup(once):
+    """The trace engine runs the whole suite ~2x faster than the fast
+    core and ~5x faster than the reference loop (steady state,
+    min-of-N after priming passes); the asserted floors sit below the
+    measured ratios to absorb shared-runner noise."""
+    result = once(_measure)
+    print(
+        "\ntrace engine: %.2fx over fast, %.2fx over reference "
+        "(reference %.2fs, fast %.2fs, trace %.2fs, %.1fM instructions, "
+        "%.0f%% retired in-trace, %.2f MIPS trace)"
+        % (
+            result["speedup_vs_fast"], result["speedup_vs_reference"],
+            result["reference_s"], result["fast_s"], result["trace_s"],
+            result["instructions"] / 1e6,
+            100.0 * result["trace_coverage"], result["trace_mips"],
+        )
+    )
+    assert result["speedup_vs_fast"] >= SPEEDUP_OVER_FAST, (
+        "trace engine %.2fx over the fast core, below the %.1fx floor"
+        % (result["speedup_vs_fast"], SPEEDUP_OVER_FAST)
+    )
+    assert result["speedup_vs_reference"] >= SPEEDUP_OVER_REFERENCE, (
+        "trace engine %.2fx over the reference loop, below the %.1fx "
+        "floor" % (result["speedup_vs_reference"], SPEEDUP_OVER_REFERENCE)
+    )

@@ -37,9 +37,10 @@ Usage (``python -m repro [-v|-q] <command> ...``):
   oracle over the workload suite (stdout, exit status, and data-segment
   equivalence between the two machines); exits non-zero on divergence;
 * ``golden [--check|--update] [--subset a,b] [--dir DIR]`` -- verify
-  fresh reference-engine digests (and fast-vs-reference equivalence)
-  against the recorded ``tests/golden/`` corpus, or re-record it; exits
-  non-zero on any mismatch (see ``docs/PERFORMANCE.md``);
+  fresh reference-engine digests (and reference/fast/trace engine
+  equivalence) against the recorded ``tests/golden/`` corpus, or
+  re-record it; exits non-zero on any mismatch (see
+  ``docs/PERFORMANCE.md``);
 * ``fuzz [--count N] [--seed N] [--artifacts DIR] [--json]`` -- seeded
   differential fuzzing with automatic minimisation of failing programs
   to reproducer ``.c`` files; exits non-zero when any case fails;
@@ -69,9 +70,10 @@ across worker processes backed by the persistent artifact cache; the
 identical at any job count (see ``docs/PERFORMANCE.md``).
 
 Emulating commands (``run``, ``table1``, ``cycles``, ``report``) accept
-``--engine fast|reference`` to pick the run loop (default
-``$REPRO_ENGINE``, else the predecoded fast core); the two engines are
-bit-identical by construction and the ``golden`` command proves it.
+``--engine fast|reference|trace`` to pick the run loop (default
+``$REPRO_ENGINE``, else the predecoded fast core); the engines are
+bit-identical by construction and the ``golden`` command proves it for
+all three.
 """
 
 import argparse
@@ -114,10 +116,11 @@ def _add_jobs_arg(parser):
 
 def _add_engine_arg(parser):
     parser.add_argument(
-        "--engine", choices=("fast", "reference"), default=None,
-        help="run loop: 'fast' (predecoded closures, default) or "
-        "'reference' (the plain interpreter); default $REPRO_ENGINE, "
-        "else fast; results are bit-identical either way",
+        "--engine", choices=("fast", "reference", "trace"), default=None,
+        help="run loop: 'fast' (predecoded closures, default), "
+        "'reference' (the plain interpreter), or 'trace' (hot traces "
+        "compiled to specialized functions); default $REPRO_ENGINE, "
+        "else fast; results are bit-identical in every case",
     )
 
 
@@ -631,20 +634,29 @@ def cmd_golden(args):
                 file=sys.stderr,
             )
         else:
+            what = ("MISMATCH" if failure["reason"] == "mismatch"
+                    else failure["reason"].upper())
             print(
-                "%-11s MISMATCH: %s"
-                % (failure["workload"], ", ".join(failure["diffs"][:8])),
+                "%-11s %s: %s"
+                % (failure["workload"], what,
+                   ", ".join(failure["diffs"][:8])),
                 file=sys.stderr,
             )
     if crosscheck is not None:
-        fast = sum(1 for r in crosscheck if r["engine"] == "fast")
+        fast = sum(1 for r in crosscheck if r.get("engine") == "fast")
+        traced = sum(
+            1 for r in crosscheck
+            if r.get("engines", {}).get("trace", {}).get("engine") == "trace"
+        )
         print(
             "crosscheck: %d run(s) bit-identical across engines "
-            "(%d on the fast core)" % (len(crosscheck), fast)
+            "(%d on the fast core, %d on the trace core)"
+            % (len(crosscheck), fast, traced)
         )
     print(
-        "golden: %d checked, %d failure(s)"
-        % (len(report["checked"]), len(report["failures"]))
+        "golden: %d checked across %d engine(s), %d failure(s)"
+        % (len(report["checked"]), len(report.get("engines", ()) or ()),
+           len(report["failures"]))
     )
     return 1 if report["failures"] else 0
 
@@ -988,7 +1000,8 @@ def build_parser():
     p_go.add_argument(
         "--no-crosscheck", dest="crosscheck", action="store_false",
         default=True,
-        help="skip the fast-vs-reference engine equivalence pass",
+        help="skip the three-engine (reference/fast/trace) equivalence "
+        "pass",
     )
     p_go.add_argument(
         "--json", action="store_true", help="emit the report as JSON"

@@ -68,9 +68,13 @@ class BaseEmulator:
         self.deadline_s = deadline_s
         self.edge_ring = deque(maxlen=EDGE_RING_SIZE) if record_edges else None
         self.engine = resolve_engine(engine)
-        #: Why the fast engine was not used, when ``engine="fast"`` had to
-        #: fall back to the reference loop (``None`` otherwise).
+        #: Why the fast engine was not used, when ``engine="fast"`` (or
+        #: the trace engine's fastcore fallback) had to fall back to the
+        #: reference loop (``None`` otherwise).
         self.fast_fallback = None
+        #: Why the trace engine was not used, when ``engine="trace"`` had
+        #: to fall back to the fastcore or reference loop.
+        self.trace_fallback = None
         self.cache_stalls = 0
         self.r = [0] * self.spec.ints.count
         self.f = [0.0] * self.spec.flts.count
@@ -334,40 +338,67 @@ class BaseEmulator:
         hardened   ``deadline_s`` or ``record_edges=True``  watchdog+ring
         observed   ``observer`` attached (reference engine, sampled hook
                    or any fallback below)
+        trace      ``engine="trace"`` and no hook above     hot traces
+                   (an ``observer`` alone stays on trace:   compiled to
+                   tracecore has a sampling loop too)       functions
         fast       ``engine="fast"`` and no hook above      predecoded
                    (an ``observer`` alone stays fast: the   closure table
                    fast core has a sampling loop)
         plain      everything else                          none
         ========== ======================================== ============
 
-        The fast engine preserves every observable of the plain loop but
-        cannot service per-step hooks (except the sampling observer,
-        which it services through its pre-fusion closure table), the
-        icache model, or proxied state installed by fault injectors; any
-        of those forces the reference loop and records the reason in
-        ``fast_fallback``.  ``stats.engine`` records which core actually
-        ran.
+        Neither compiled engine can service per-step hooks (except the
+        sampling observer, which both service natively), the icache
+        model, or proxied state installed by fault injectors; any of
+        those forces a fallback and records the reason.  The fallback
+        chain is ``trace -> fast -> reference``: when ``engine="trace"``
+        cannot compile (reason in ``trace_fallback``) it degrades to the
+        fastcore predecoded loop, and only when that also refuses
+        (reason in ``fast_fallback``) does the reference loop run.
+        ``stats.engine`` records which core actually ran and
+        ``stats.engine_fallback`` records the first fallback reason for
+        the run manifest.
         """
         fallback = None
-        if self.engine == "fast":
-            if self.profiler is not None:
-                fallback = "profiler attached"
-            elif self.deadline_s is not None:
-                fallback = "wall-clock deadline requested"
-            elif self.edge_ring is not None:
-                fallback = "edge-ring recording requested"
-            elif self.icache is not None:
-                fallback = "icache model attached"
+        trace_fallback = None
+        hook = None
+        if self.profiler is not None:
+            hook = "profiler attached"
+        elif self.deadline_s is not None:
+            hook = "wall-clock deadline requested"
+        elif self.edge_ring is not None:
+            hook = "edge-ring recording requested"
+        elif self.icache is not None:
+            hook = "icache model attached"
+        if self.engine == "trace":
+            if hook is not None:
+                trace_fallback = hook
+            else:
+                from repro.emu import tracecore
+
+                runner = tracecore.prepare(self)
+                if runner is not None:
+                    self.trace_fallback = None
+                    self.stats.engine = "trace"
+                    return runner
+                trace_fallback = self.trace_fallback
+        if self.engine in ("fast", "trace"):
+            if hook is not None:
+                fallback = hook
             else:
                 from repro.emu import fastcore
 
                 runner = fastcore.prepare(self)
                 if runner is not None:
+                    self.trace_fallback = trace_fallback
                     self.stats.engine = "fast"
+                    self.stats.engine_fallback = trace_fallback or ""
                     return runner
                 fallback = self.fast_fallback
         self.fast_fallback = fallback
+        self.trace_fallback = trace_fallback
         self.stats.engine = "reference"
+        self.stats.engine_fallback = trace_fallback or fallback or ""
         if self.profiler is not None:
             return self._run_profiled
         if self.deadline_s is not None or self.edge_ring is not None:

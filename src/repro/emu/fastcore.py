@@ -66,7 +66,7 @@ from repro.emu.memory import Memory, TEXT_BASE
 from repro.errors import EmulationError
 from repro.rtl.operand import Imm, Reg
 
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "reference", "trace")
 
 #: Closure return sentinel: the program halted during this step (the
 #: step itself still retires, matching the reference loop).
@@ -89,7 +89,10 @@ def resolve_engine(engine=None):
     """Resolve the emulation engine: explicit argument, then the
     ``REPRO_ENGINE`` environment variable, then the ``"fast"`` default.
     The fast engine is always safe to default to: anything it cannot
-    reproduce bit-for-bit falls back to the reference loop."""
+    reproduce bit-for-bit falls back to the reference loop.  The trace
+    engine (:mod:`repro.emu.tracecore`) layers hot-trace compilation on
+    top of this module's predecoded tables and inherits the same
+    fallback guarantees."""
     if engine is None:
         engine = os.environ.get("REPRO_ENGINE") or "fast"
     if engine not in ENGINES:
@@ -1481,6 +1484,15 @@ def prepare(emulator):
 
 
 def _prepare_baseline(emu):
+    return _make_baseline_runner(emu, *_predecode_baseline(emu))
+
+
+def _predecode_baseline(emu):
+    """Build the baseline predecode tables without committing to a run
+    loop: ``(ctx, handlers, lens, specs, cells, plain)``.  ``handlers``
+    holds the fused superinstruction closures, ``plain`` the standalone
+    (pre-fusion) closures; both count the shared per-slot ``cells``.
+    The trace engine reuses these tables for its off-trace loop."""
     ctx = _Ctx(emu)
     ctx.cc = [emu.cc[0], emu.cc[1]]
     ctx.rt = [emu.rt]
@@ -1540,10 +1552,15 @@ def _prepare_baseline(emu):
         else:
             handlers[i] = _COND_CHAIN[k](*parts, after)
         lens[i] = k
-    return _make_baseline_runner(emu, ctx, handlers, lens, specs, cells, plain)
+    return ctx, handlers, lens, specs, cells, plain
 
 
 def _prepare_branchreg(emu):
+    return _make_branchreg_runner(emu, *_predecode_branchreg(emu))
+
+
+def _predecode_branchreg(emu):
+    """Branch-register twin of :func:`_predecode_baseline`."""
     from repro.emu.branchreg_emu import GAP_CAP, READY, _SEQ
 
     ctx = _Ctx(emu)
@@ -1609,7 +1626,7 @@ def _prepare_branchreg(emu):
         else:
             handlers[i] = _SEQ_CHAIN[k](*parts, TEXT_BASE + 4 * (i + k))
         lens[i] = k
-    return _make_branchreg_runner(emu, ctx, handlers, lens, specs, cells, plain)
+    return ctx, handlers, lens, specs, cells, plain
 
 
 # -- run loops ----------------------------------------------------------------

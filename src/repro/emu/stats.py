@@ -16,10 +16,14 @@ class RunStats:
 
     machine: str = ""
     program: str = ""
-    #: Which run loop produced these counters ("reference" or "fast");
-    #: identity, not a measurement -- the conformance suite asserts the
-    #: measured fields are bit-identical across engines.
+    #: Which run loop produced these counters ("reference", "fast", or
+    #: "trace"); identity, not a measurement -- the conformance suite
+    #: asserts the measured fields are bit-identical across engines.
     engine: str = ""
+    #: Why the requested engine degraded to a slower loop family (empty
+    #: when the requested engine ran).  Identity, not a measurement; it
+    #: surfaces the fallback matrix in run manifests.
+    engine_fallback: str = ""
     instructions: int = 0
     data_refs: int = 0
     loads: int = 0
@@ -52,6 +56,14 @@ class RunStats:
     # penalties per transfer exactly.
     cond_joint: Counter = field(default_factory=Counter)
     opcounts: Counter = field(default_factory=Counter)
+    # Trace-engine diagnostics (repro.emu.tracecore): how many hot traces
+    # were compiled for the image, how often compiled code was entered,
+    # and how many instructions retired inside compiled traces.  These
+    # describe *how* the work was done, not *what* was done, so the
+    # conformance digest excludes them alongside ``engine``.
+    traces_compiled: int = 0
+    trace_enters: int = 0
+    trace_instructions: int = 0
     exit_code: int = 0
     output: bytes = b""
 
@@ -66,7 +78,17 @@ class RunStats:
 
     #: Fields that identify a run rather than measure it; ``merge`` leaves
     #: them untouched on the receiving side.
-    IDENTITY_FIELDS = ("machine", "program", "engine", "exit_code", "output")
+    IDENTITY_FIELDS = (
+        "machine", "program", "engine", "engine_fallback",
+        "exit_code", "output",
+    )
+
+    #: Fields describing *how* a run executed rather than what it
+    #: computed; the conformance digest pops these (plus ``engine`` and
+    #: ``engine_fallback``) before comparing engines bit-for-bit.
+    DIAGNOSTIC_FIELDS = (
+        "traces_compiled", "trace_enters", "trace_instructions",
+    )
 
     def merge(self, other):
         """Accumulate another run's counters into this one (suite totals).

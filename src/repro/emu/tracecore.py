@@ -1,0 +1,2382 @@
+"""Trace-compiling emulator engine.
+
+The predecoded fast core (:mod:`repro.emu.fastcore`) pays one closure
+call per retired instruction (amortized by short superinstruction
+chains).  This engine goes one step further for *hot* code: it runs a
+profiled warm-up using the fast core's standalone closure tables while
+recording control-flow edges exactly like
+:meth:`~repro.emu.base.BaseEmulator._run_profiled`, asks the
+:class:`~repro.obs.profile.ExecutionProfiler` reconstruction which
+back-edge targets are hot, and compiles one specialized Python function
+per hot trace (a loop body closed over its back edge, or a straight-line
+superblock) via ``compile``/``exec``:
+
+* registers live in Python locals for the whole trace;
+* memory accesses are inlined against the raw ``bytearray`` with the
+  fast core's exact guard expressions (the guarded method call on the
+  slow path raises the reference's error);
+* every point where execution can leave the trace -- a conditional that
+  goes the cold way, an indirect target mismatch, a halting trap -- is a
+  side-exit stub that retires the exact number of instructions executed
+  and returns the precise continuation pc;
+* the icount budget is enforced by construction: a trace is entered only
+  with ``ic <= fuel`` (``limit - trace_length``), so no invocation can
+  retire past the instruction limit, and the final sub-``MAX_CHAIN``
+  tail is still delegated to the reference loop for the exact stamped
+  :class:`~repro.errors.RuntimeLimitExceeded`.
+
+Off-trace execution falls back to the fast core's fused dispatch (the
+tables are shared -- ``_predecode_*`` builds them once), so cold code is
+never slower than ``engine="fast"``.  Per-slot execution cells are
+credited by the trace's exit stubs and exception handler, which keeps
+:func:`repro.emu.fastcore._flush` reconstruction -- and therefore every
+RunStats counter -- bit-identical to the reference loop; the conformance
+wall (``tests/test_conformance.py``, ``repro golden --check``) pins
+this across all three engines.
+
+Compiled trace sources are memoized in the content-addressed artifact
+cache (:class:`repro.harness.parallel.ArtifactCache` blob entries keyed
+by image hash, trace PCs, and engine version), inheriting its
+corrupt-entry detect/delete/rebuild guard and telemetry.  Compilation
+is observable: a ``trace_compile`` span wraps selection+codegen and the
+``emulator.trace_compile`` counter records compiled/cached/none/error
+outcomes per machine.
+
+Fallback matrix -- mirrors the fast core's, with the reason recorded in
+``emulator.trace_fallback`` (see ``BaseEmulator._select_loop``): any
+per-step hook except the sampling observer (profiler, deadline,
+edge-ring, icache) or proxied machine state degrades the run, first to
+the fast core, then to the reference loop.  A sampling
+:class:`~repro.obs.emuobs.EmulationObserver` is serviced natively: the
+observed loop bounds each trace invocation's fuel by the next sample
+boundary, so samples fire at reference-identical icounts while hot code
+still rides the compiled traces between boundaries.
+"""
+
+import hashlib
+import os
+import re
+from collections import Counter
+
+from repro.codegen.common import BASELINE_CONTROL
+from repro.emu.fastcore import (
+    MAX_CHAIN,
+    _STOP,
+    _Unsupported,
+    _flush,
+    _predecode_baseline,
+    _predecode_branchreg,
+)
+from repro.emu.intmath import cdiv, crem, to_signed
+from repro.emu.memory import Memory, TEXT_BASE
+from repro.errors import EmulationError
+from repro.rtl.operand import Imm, Reg
+
+#: Instructions executed under the profiled warm-up loop before hot
+#: traces are selected and compiled (``REPRO_TRACE_WARMUP`` overrides).
+WARMUP_INSTRUCTIONS = 4096
+#: Length of each *re*-profiling window: when off-trace execution keeps
+#: dominating after a compile (a program phase the warm-up never saw),
+#: the runner records another edge window and compiles the new hot
+#: anchors it reveals.
+REPROFILE_WINDOW = 4096
+#: Off-trace instructions retired since the last compile before a
+#: re-profiling window fires; doubles after any window that yields no
+#: new trace, so untraceable programs stop paying for profiling.  The
+#: doubled value persists per image (:data:`_RETRACE_MEMO`), so repeat
+#: runs of a converged image skip the windows entirely.
+RETRACE_START = 8_192
+#: At most this many *new* traces are compiled per selection pass.
+MAX_TRACES = 24
+#: Hard cap on compiled traces per image across all passes.
+TOTAL_TRACES = 64
+#: A trace stops growing past this many instructions.
+MAX_TRACE_LEN = 96
+#: Minimum length for a closed loop trace to be worth compiling.
+MIN_LOOP_LEN = 2
+#: Minimum length for an open (superblock) trace to be worth compiling.
+MIN_SUPERBLOCK_LEN = 4
+#: A back edge must have fired at least this often during warm-up for
+#: its target to become a trace anchor.
+HOT_EDGE_MIN = 8
+
+#: Minimum re-profile-window heat for anchoring a target that is
+#: already inside a compiled trace's body (a duplicate tail that closes
+#: an off-trace gap between sibling traces).
+COVERED_EDGE_MIN = 32
+#: Bump to invalidate every cached trace when codegen changes shape.
+TRACE_FORMAT = 4
+
+#: Assignment to a register-shaped local in generated trace bodies.
+_ASSIGN = re.compile(r"\s*([rfbsq]\d+|cA|cB|rtv) = ")
+
+_MASK = 0xFFFFFFFF
+_SIGN = 0x80000000
+_M = "4294967295"
+_S = "2147483648"
+
+_COND_OPS = {
+    "eq": "==",
+    "ne": "!=",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+}
+
+#: Ops whose emitted code provably cannot raise (given the grow-time
+#: operand validation); only these may sit in a baseline delay slot
+#: inside a trace, which preserves ``npc == pc + 4`` at any fault.
+_NONRAISING_COMMON = frozenset(
+    (
+        "noop", "li", "sethi", "addlo", "mov", "fmov", "neg", "not",
+        "fneg", "cvtif", "add", "sub", "mul", "and", "or", "xor",
+        "shl", "shr", "fadd", "fsub", "fmul", "cmp", "fcmp",
+    )
+)
+_NONRAISING_BASE = _NONRAISING_COMMON | frozenset(("mfrt", "mtrt"))
+_RAISING_COMMON = frozenset(
+    ("cvtfi", "div", "rem", "fdiv", "lw", "lb", "lf", "sw", "sb", "sf",
+     "trap")
+)
+#: Everything the per-machine emitters can compile (control flow and
+#: ``halt`` are handled by the growers, not here).
+_EMIT_BASE = _NONRAISING_BASE | _RAISING_COMMON
+_EMIT_BR = (
+    _NONRAISING_COMMON
+    | _RAISING_COMMON
+    | frozenset(("bta", "btalo", "bmov", "bld", "bst", "cmpset", "fcmpset"))
+)
+
+
+def _warmup_budget():
+    """Warm-up instruction budget; the environment variable wins so the
+    property tests can force early compilation on tiny programs."""
+    raw = os.environ.get("REPRO_TRACE_WARMUP")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return WARMUP_INSTRUCTIONS
+
+
+class _Abort(Exception):
+    """This anchor cannot be (profitably) compiled; skip it."""
+
+
+# -- artifact-cache memoization ----------------------------------------------
+
+#: Per-process cache instances keyed by root directory (same idiom as
+#: the suite runner's worker caches).
+_CACHES = {}
+
+#: In-process memo of selected trace sources keyed by
+#: ``(image hash, machine)``: ``{anchor: (source, pcs)}``.  A repeat run
+#: of the same image (golden re-checks, engine crosschecks, benchmark
+#: repetitions) installs its traces at instruction zero -- no profiled
+#: warm-up, no re-selection, no re-render -- and CPython's compiled code
+#: objects are reused outright via :data:`_CODE_MEMO`.
+_TRACE_MEMO = {}
+_TRACE_MEMO_MAX = 64
+
+#: Memoized mega-function per image: ``(ihash, machine) -> (source,
+#: ((anchor, len), ...), all_pcs)``.  Validated against the trace
+#: memo's (anchor, len) sequence so a repeat run skips re-rendering the
+#: combined dispatcher and goes straight to the cached code object.
+_MEGA_MEMO = {}
+
+#: Persisted re-profile back-off per image: ``(ihash, machine) ->
+#: rethreshold``.  Each failed re-profile round doubles the off-trace
+#: count required to try again; without persistence every repeat run
+#: would reset the back-off and re-pay the profiled windows (slow,
+#: plain dispatch) that the previous run already proved fruitless.
+_RETRACE_MEMO = {}
+
+#: Compiled code objects keyed by trace key; exec'ing a cached code
+#: object into a fresh namespace is ~100x cheaper than compile().
+_CODE_MEMO = {}
+_CODE_MEMO_MAX = 512
+
+
+def _trace_cache():
+    """The shared on-disk artifact cache, or None when caching is
+    disabled (``REPRO_CACHE_DIR=""``) or the root is unusable."""
+    from repro.harness.parallel import ArtifactCache, resolve_cache_dir
+
+    root = resolve_cache_dir(None)
+    if not root:
+        return None
+    cache = _CACHES.get(root)
+    if cache is None:
+        try:
+            cache = ArtifactCache(root)
+        except OSError:
+            return None
+        _CACHES[root] = cache
+    return cache
+
+
+def _image_hash(image, machine):
+    """Content address of the instruction stream (memoized per image)."""
+    cached = getattr(image, "_tracecore_hash", None)
+    if cached is not None:
+        return cached
+    from repro.rtl.printer import minstr_text
+
+    parts = [machine, "0x%x" % getattr(image, "entry", 0)]
+    for ins in image.instrs:
+        parts.append(minstr_text(ins))
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+    try:
+        image._tracecore_hash = digest
+    except Exception:
+        pass
+    return digest
+
+
+def _trace_key(ihash, pcs):
+    """Cache key for one compiled trace: image hash, the exact trace PC
+    sequence, the codegen format, and the package version."""
+    from repro import __version__
+
+    payload = repr((ihash, tuple(pcs), TRACE_FORMAT, __version__))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- trace codegen ------------------------------------------------------------
+
+
+class _Trace:
+    """Builder for one compiled trace's Python source.
+
+    The generated function has the signature ``_trace(ic, fuel)`` and
+    returns ``None`` (not entered: over budget) or ``(pc, ic, stop)``.
+    Registers named in the trace are loaded into locals up front and
+    written back on every exit path; per-slot execution cells are
+    credited from full-iteration (``_nf``) and side-exit (``_e<j>``)
+    counters so :func:`repro.emu.fastcore._flush` reconstructs RunStats
+    bit-identically.  An exception inside the ``try`` body performs the
+    reference loop's post-mortem itself (state written back, the
+    faulting instruction not retired, ``emu.pc``/``npc``/``icount``
+    stamped) and sets the shared ``F`` flag so the runner knows not to
+    re-stamp.
+    """
+
+    def __init__(self, machine, anchor, ctx):
+        self.machine = machine
+        self.anchor = anchor
+        self.ctx = ctx
+        self.spec = ctx.spec
+        self.body = []
+        self.exits = []  # retired-instruction count per side exit
+        self.pcs = []
+        self.seen = set()
+        self.ints = set()
+        self.flts = set()
+        self.bregs = set()
+        self.cregs = set()
+        self.use_cc = False
+        self.use_rt = False
+        self.use_hp = False
+        self.use_hc = False
+        self.use_hj = False
+        self.closed = False
+        self.rastack = []
+        # Straight-line constant tracking for branch-register locals:
+        # maps a local name to an int (b-local holding a static target),
+        # ("stamp", P) (s/q-local holding ``ic + P`` from this
+        # iteration), or ("const", v).  The trace body is one linear
+        # iteration, so a value recorded here is exact wherever it is
+        # consumed later in the same walk; anything written
+        # conditionally or from outside the walk stays absent.
+        self.known = {}
+        # Constant-keyed histogram bumps deferred to ``_fold``: a list
+        # of ``(P, container, key_literal)`` where the container name is
+        # an ns global (HP/HC/HJ/TK).  A bump recorded here executes
+        # exactly when position ``P`` retires, so ``_fold`` credits it
+        # with the same per-position count the cell credit uses and the
+        # exception stub credits the partial iteration from ``_HL`` --
+        # bit-identical to inline updates at every sync point, without
+        # a Counter hash per branch per iteration.
+        self.hist = []
+
+    # -- emission helpers --------------------------------------------------
+
+    def w(self, line, depth=0):
+        self.body.append("    " * depth + line)
+
+    def note(self, addr):
+        """Claim the next trace position for ``addr``; returns it."""
+        p = len(self.pcs)
+        self.pcs.append(addr)
+        self.seen.add(addr)
+        return p
+
+    def exit_block(self, retired, pc_expr, depth, stop=False):
+        """Emit a side exit retiring ``retired`` instructions of the
+        current iteration and continuing at ``pc_expr``.  The exit count
+        goes straight into the persistent ``_EX`` accumulator (exits run
+        at most once per invocation), deferring the per-slot cell credit
+        to ``_fold``."""
+        j = len(self.exits)
+        self.exits.append(retired)
+        self.w("_EX[%d] += 1" % j, depth)
+        self.w("ic += %d" % retired, depth)
+        self.w("_pc = %s" % pc_expr, depth)
+        if stop:
+            self.w("_stop = 1", depth)
+        self.w("break", depth)
+
+    # -- operand -> expression --------------------------------------------
+
+    def ival(self, x):
+        if type(x) is Reg:
+            i = x.index
+            if x.kind == "r":
+                if not 0 <= i < self.spec.ints.count:
+                    raise _Abort("int register out of range")
+                self.ints.add(i)
+                return "r%d" % i
+            if x.kind == "f":
+                if not 0 <= i < self.spec.flts.count:
+                    raise _Abort("float register out of range")
+                self.flts.add(i)
+                return "f%d" % i
+            raise _Abort("branch register in data context")
+        if type(x) is Imm:
+            return repr(x.value)
+        raise _Abort("operand %r" % (x,))
+
+    def ireg(self, x):
+        if (
+            type(x) is not Reg
+            or x.kind != "r"
+            or not 0 <= x.index < self.spec.ints.count
+        ):
+            raise _Abort("int destination %r" % (x,))
+        self.ints.add(x.index)
+        return "r%d" % x.index
+
+    def fidx(self, x):
+        """Float-file operand addressed by raw index, exactly like the
+        reference's ``self.f[x.index]`` (kind is not consulted)."""
+        if type(x) is not Reg or not 0 <= x.index < self.spec.flts.count:
+            raise _Abort("float operand %r" % (x,))
+        self.flts.add(x.index)
+        return "f%d" % x.index
+
+    def breg(self, i):
+        if not isinstance(i, int) or not 0 <= i < self.spec.branch_regs:
+            raise _Abort("branch register %r" % (i,))
+        self.bregs.add(i)
+        return "b%d" % i, "s%d" % i
+
+    def mem_parts(self, base_x, off_x):
+        """(base expression or static int, offset) for load/store
+        addressing; mirrors fastcore's ``_mem_addr_parts``."""
+        if type(off_x) is not Imm:
+            raise _Abort("memory offset %r" % (off_x,))
+        if type(base_x) is Imm:
+            return base_x.value, off_x.value
+        return self.ival(base_x), off_x.value
+
+    # -- per-op emitters ---------------------------------------------------
+
+    def emit_simple(self, ins, addr, P):
+        """Emit one non-control instruction at trace position ``P``.
+
+        Each body transcribes the corresponding fastcore closure with
+        operands burned into source text; raising ops record their
+        position in ``_ix`` first so the exception handler stamps the
+        exact faulting pc/icount.
+        """
+        op = ins.op
+        w = self.w
+        if op == "noop":
+            return
+        if op == "li":
+            x = ins.xsrcs[0]
+            if type(x) is not Imm:
+                raise _Abort("li source %r" % (x,))
+            w("%s = %r" % (self.ireg(ins.dst), x.value))
+        elif op == "sethi":
+            x = ins.xsrcs[0]
+            if type(x) is not Imm:
+                raise _Abort("sethi source %r" % (x,))
+            lo = self.spec.imm_bits - 1
+            const = to_signed((x.value & _MASK) & ~((1 << lo) - 1))
+            w("%s = %r" % (self.ireg(ins.dst), const))
+        elif op == "addlo":
+            x1 = ins.xsrcs[1]
+            if type(x1) is not Imm:
+                raise _Abort("addlo low part %r" % (x1,))
+            lo = self.spec.imm_bits - 1
+            low = (x1.value & _MASK) & ((1 << lo) - 1)
+            w("%s = (((%s + %d) & %s) ^ %s) - %s"
+              % (self.ireg(ins.dst), self.ival(ins.xsrcs[0]), low, _M, _S, _S))
+        elif op == "mov":
+            w("%s = %s" % (self.ireg(ins.dst), self.ival(ins.xsrcs[0])))
+        elif op == "fmov":
+            w("%s = %s" % (self.fidx(ins.dst), self.ival(ins.xsrcs[0])))
+        elif op == "neg":
+            w("%s = (((-%s) & %s) ^ %s) - %s"
+              % (self.ireg(ins.dst), self.ival(ins.xsrcs[0]), _M, _S, _S))
+        elif op == "not":
+            w("%s = (((~%s) & %s) ^ %s) - %s"
+              % (self.ireg(ins.dst), self.ival(ins.xsrcs[0]), _M, _S, _S))
+        elif op == "fneg":
+            w("%s = -%s" % (self.fidx(ins.dst), self.fidx(ins.xsrcs[0])))
+        elif op == "cvtif":
+            w("%s = float(%s)" % (self.fidx(ins.dst), self.ival(ins.xsrcs[0])))
+        elif op == "cvtfi":
+            w("_ix = %d" % P)
+            w("%s = ((int(%s) & %s) ^ %s) - %s"
+              % (self.ireg(ins.dst), self.fidx(ins.xsrcs[0]), _M, _S, _S))
+        elif op in ("add", "sub"):
+            sign = "+" if op == "add" else "-"
+            w("%s = (((%s %s %s) & %s) ^ %s) - %s"
+              % (self.ireg(ins.dst), self.ival(ins.xsrcs[0]), sign,
+                 self.ival(ins.xsrcs[1]), _M, _S, _S))
+        elif op == "mul":
+            w("%s = (((%s * %s) & %s) ^ %s) - %s"
+              % (self.ireg(ins.dst), self.ival(ins.xsrcs[0]),
+                 self.ival(ins.xsrcs[1]), _M, _S, _S))
+        elif op in ("div", "rem"):
+            fn = "cdiv" if op == "div" else "crem"
+            w("_ix = %d" % P)
+            w("%s = %s(%s, %s)"
+              % (self.ireg(ins.dst), fn, self.ival(ins.xsrcs[0]),
+                 self.ival(ins.xsrcs[1])))
+        elif op in ("and", "or", "xor"):
+            sign = {"and": "&", "or": "|", "xor": "^"}[op]
+            w("%s = (((%s %s %s) ^ %s) - %s)"
+              % (self.ireg(ins.dst), self.mval(ins.xsrcs[0]), sign,
+                 self.mval(ins.xsrcs[1]), _S, _S))
+        elif op in ("shl", "shr"):
+            sign = "<<" if op == "shl" else ">>"
+            x1 = ins.xsrcs[1]
+            if type(x1) is Imm:
+                amt = "%d" % (x1.value & 31)
+            else:
+                amt = "(%s & 31)" % self.ival(x1)
+            w("%s = (((%s %s %s) & %s) ^ %s) - %s"
+              % (self.ireg(ins.dst), self.ival(ins.xsrcs[0]), sign, amt,
+                 _M, _S, _S))
+        elif op in ("fadd", "fsub", "fmul"):
+            sign = {"fadd": "+", "fsub": "-", "fmul": "*"}[op]
+            w("%s = %s %s %s"
+              % (self.fidx(ins.dst), self.fidx(ins.xsrcs[0]), sign,
+                 self.fidx(ins.xsrcs[1])))
+        elif op == "fdiv":
+            a = self.fidx(ins.xsrcs[0])
+            b = self.fidx(ins.xsrcs[1])
+            w("_ix = %d" % P)
+            w("if %s == 0.0:" % b)
+            w("raise EE('float division by zero')", 1)
+            w("%s = %s / %s" % (self.fidx(ins.dst), a, b))
+        elif op in ("lw", "lb", "lf"):
+            self._emit_load(ins, P)
+        elif op in ("sw", "sb", "sf"):
+            self._emit_store(ins, P)
+        elif op == "trap":
+            r_arg, _s = "r%d" % self.spec.ints.args[0], None
+            self.ints.add(self.spec.ints.args[0])
+            self.ints.add(self.spec.ints.ret)
+            w("_ix = %d" % P)
+            w("r%d = TRAP(%r, %s)" % (self.spec.ints.ret, ins.callee, r_arg))
+            w("if RT.exit_code is not None:")
+            self.exit_block(P + 1, "%d" % (addr + 4), 1, stop=True)
+        elif op == "cmp" or op == "fcmp":
+            self.use_cc = True
+            w("cA = %s" % self.ival(ins.xsrcs[0]))
+            w("cB = %s" % self.ival(ins.xsrcs[1]))
+        elif op == "mfrt":
+            self.use_rt = True
+            w("%s = rtv" % self.ireg(ins.dst))
+        elif op == "mtrt":
+            self.use_rt = True
+            w("rtv = %s" % self.ival(ins.xsrcs[0]))
+        elif op == "bta":
+            t = ins.t_addr
+            if not isinstance(t, int):
+                raise _Abort("bta target %r" % (t,))
+            bn, sn = self.breg(ins.dst.index)
+            w("%s = %d" % (bn, t))
+            w("%s = ic + %d" % (sn, P))
+            self.known[bn] = t
+            self.known[sn] = ("stamp", P)
+        elif op == "btalo":
+            lo = self.spec.imm_bits - 1
+            mask = (1 << lo) - 1
+            if ins.t_addr is not None:
+                low = ins.t_addr & mask
+            else:
+                x1 = ins.xsrcs[1]
+                if type(x1) is not Imm:
+                    raise _Abort("btalo low part %r" % (x1,))
+                low = x1.value & mask
+            bn, sn = self.breg(ins.dst.index)
+            x0 = ins.xsrcs[0]
+            if type(x0) is Imm:
+                val = ((((x0.value + low) & _MASK) ^ _SIGN) - _SIGN)
+                w("%s = %d" % (bn, val))
+                self.known[bn] = val
+            else:
+                w("%s = (((%s + %d) & %s) ^ %s) - %s"
+                  % (bn, self.ival(x0), low, _M, _S, _S))
+                self.known.pop(bn, None)
+            w("%s = ic + %d" % (sn, P))
+            self.known[sn] = ("stamp", P)
+        elif op == "bmov":
+            bn, sn = self.breg(ins.dst.index)
+            src = ins.srcs[0] if ins.srcs else None
+            if type(src) is not Reg:
+                raise _Abort("bmov source %r" % (src,))
+            b2, s2 = self.breg(src.index)
+            w("%s = %s" % (bn, b2))
+            w("%s = %s" % (sn, s2))
+            for dst_l, src_l in ((bn, b2), (sn, s2)):
+                if src_l in self.known:
+                    self.known[dst_l] = self.known[src_l]
+                else:
+                    self.known.pop(dst_l, None)
+        elif op == "bld":
+            base, off = self.mem_parts(ins.xsrcs[0], ins.xsrcs[1])
+            bn, sn = self.breg(ins.dst.index)
+            w("_ix = %d" % P)
+            if isinstance(base, int):
+                w("%s = LW(%d)" % (bn, base + off))
+            else:
+                w("%s = LW(%s + %d)" % (bn, base, off))
+            w("%s = ic + %d" % (sn, P))
+            # LW returns an int from memory -- never the SEQ sentinel
+            # object -- so a loaded branch register is always "taken".
+            self.known[bn] = ("int",)
+            self.known[sn] = ("stamp", P)
+        elif op == "bst":
+            base, off = self.mem_parts(ins.xsrcs[1], ins.xsrcs[2])
+            src = ins.srcs[0] if ins.srcs else None
+            if type(src) is not Reg:
+                raise _Abort("bst source %r" % (src,))
+            bn, _sn = self.breg(src.index)
+            w("_ix = %d" % P)
+            if isinstance(base, int):
+                w("SW(%d, %s)" % (base + off, bn))
+            else:
+                w("SW(%s + %d, %s)" % (base, off, bn))
+        elif op in ("cmpset", "fcmpset"):
+            cond = _COND_OPS.get(ins.cond)
+            if cond is None:
+                raise _Abort("condition %r" % (ins.cond,))
+            if type(ins.dst) is not Reg or not isinstance(ins.btrue, int):
+                raise _Abort("cmpset shape")
+            bn, sn = self.breg(ins.dst.index)
+            bt, st = self.breg(ins.btrue)
+            self.cregs.add(ins.dst.index)
+            w("if %s %s %s:"
+              % (self.ival(ins.xsrcs[0]), cond, self.ival(ins.xsrcs[1])))
+            w("%s = %s" % (bn, bt), 1)
+            w("%s = %s" % (sn, st), 1)
+            w("else:")
+            w("%s = SEQ" % bn, 1)
+            w("%s = %r" % (sn, self.ctx.READY), 1)
+            w("q%d = ic + %d" % (ins.dst.index, P))
+            self.known.pop(bn, None)  # condition-dependent
+            self.known.pop(sn, None)
+            self.known["q%d" % ins.dst.index] = ("stamp", P)
+        else:
+            raise _Abort("op %r" % (op,))
+
+    def mval(self, x):
+        """Operand expression pre-masked to 32 bits (for bitwise ops)."""
+        if type(x) is Imm:
+            return repr(x.value & _MASK)
+        return "(%s & %s)" % (self.ival(x), _M)
+
+    def _emit_load(self, ins, P):
+        op = ins.op
+        base, off = self.mem_parts(ins.xsrcs[0], ins.xsrcs[1])
+        size = self.ctx.memory.size
+        w = self.w
+        w("_ix = %d" % P)
+        if op == "lf":
+            dst = self.fidx(ins.dst)
+            if isinstance(base, int):
+                w("%s = LF(%d)" % (dst, base + off))
+            else:
+                w("%s = LF(%s + %d)" % (dst, base, off))
+            return
+        dst = self.ireg(ins.dst)
+        fn = "LW" if op == "lw" else "LB"
+        if isinstance(base, int):
+            # Static address (resolved symbol): the guarded method call
+            # raises the reference's exact MemoryFault when bad.
+            w("%s = %s(%d)" % (dst, fn, base + off))
+            return
+        w("_at = %s + %d" % (base, off))
+        if op == "lw":
+            w("if _at & 3 or _at < 0 or _at + 4 > %d:" % size)
+            w("LW(_at)", 1)
+            w("%s = (int.from_bytes(D[_at:_at + 4], 'little') ^ %s) - %s"
+              % (dst, _S, _S))
+        else:
+            w("if _at < 0 or _at >= %d:" % size)
+            w("LB(_at)", 1)
+            w("%s = D[_at]" % dst)
+
+    def _emit_store(self, ins, P):
+        op = ins.op
+        base, off = self.mem_parts(ins.xsrcs[1], ins.xsrcs[2])
+        size = self.ctx.memory.size
+        val_x = ins.xsrcs[0]
+        w = self.w
+        w("_ix = %d" % P)
+        if op == "sf":
+            val = self.ival(val_x)
+            if isinstance(base, int):
+                w("SF(%d, %s)" % (base + off, val))
+            else:
+                w("SF(%s + %d, %s)" % (base, off, val))
+            return
+        fn = "SW" if op == "sw" else "SB"
+        val = self.ival(val_x)
+        if isinstance(base, int):
+            w("%s(%d, %s)" % (fn, base + off, val))
+            return
+        w("_at = %s + %d" % (base, off))
+        if op == "sw":
+            w("if _at & 3 or _at < 0 or _at + 4 > %d:" % size)
+            w("SW(_at, %s)" % val, 1)
+            if type(val_x) is Imm:
+                w("D[_at:_at + 4] = %r"
+                  % ((val_x.value & _MASK).to_bytes(4, "little"),))
+            else:
+                w("D[_at:_at + 4] = ((%s) & %s).to_bytes(4, 'little')"
+                  % (val, _M))
+        else:
+            w("if _at < 0 or _at >= %d:" % size)
+            w("SB(_at, %s)" % val, 1)
+            w("D[_at] = %s & 255" % val)
+
+    # -- rendering ---------------------------------------------------------
+
+    def _written_locals(self):
+        """Register-shaped locals the body ever assigns.  Locals only
+        ever *read* keep their load-time value, so writing them back
+        would store what the file already holds -- skip them."""
+        written = set()
+        for line in self.body:
+            m = _ASSIGN.match(line)
+            if m:
+                written.add(m.group(1))
+        return written
+
+    def _writeback_lines(self):
+        wr = self._written_locals()
+        out = []
+        for i in sorted(self.ints):
+            if "r%d" % i in wr:
+                out.append("r[%d] = r%d" % (i, i))
+        for i in sorted(self.flts):
+            if "f%d" % i in wr:
+                out.append("f[%d] = f%d" % (i, i))
+        if self.use_cc and "cA" in wr:
+            out.append("cc[0] = cA")
+            out.append("cc[1] = cB")
+        if self.use_rt and "rtv" in wr:
+            out.append("rt[0] = rtv")
+        for i in sorted(self.bregs):
+            if "b%d" % i in wr:
+                out.append("b[%d] = b%d" % (i, i))
+            if "s%d" % i in wr:
+                out.append("bs[%d] = s%d" % (i, i))
+        for i in sorted(self.cregs):
+            if "q%d" % i in wr:
+                out.append("cs[%d] = q%d" % (i, i))
+        out.append("TK[0] += _tk")
+        out.append("_NF[0] += _nf")
+        return out
+
+    def render(self):
+        # Per-trace persistent accumulators: full-iteration and
+        # side-exit counts pile up here across invocations, and _fold
+        # credits them into the shared per-slot execution cells.  The
+        # runner folds every trace before any _flush, so the cells are
+        # exact at every sync point without the trace paying an
+        # O(trace length) writeback on every enter.
+        lines = ["_NF = [0]", "_EX = [0] * %d" % len(self.exits)]
+        a = lines.append
+        hist_at = {}
+        for p, cname, key in self.hist:
+            hist_at.setdefault(p, []).append((cname, key))
+        if self.hist:
+            a("_HL = (%s,)" % ", ".join(
+                _hl_literal(hist_at.get(i)) for i in range(len(self.pcs))
+            ))
+        a("def _fold():")
+        a("    _acc = _NF[0]")
+        a("    _NF[0] = 0")
+        by_retired = {}
+        for j, retired in enumerate(self.exits):
+            by_retired.setdefault(retired, []).append(j)
+        for i in range(len(self.pcs) - 1, -1, -1):
+            for j in by_retired.get(i + 1, ()):
+                a("    _acc += _EX[%d]" % j)
+                a("    _EX[%d] = 0" % j)
+            a("    _CL[%d][0] += _acc" % i)
+            hs = hist_at.get(i)
+            if hs:
+                # A Counter bump of 0 would materialize a zero entry
+                # the reference's inline updates never create.
+                a("    if _acc:")
+                for cname, key in hs:
+                    a("        %s[%s] += _acc" % (cname, key))
+        a("def _trace(ic, fuel):")
+        a("    if ic > fuel:")
+        a("        return None")
+        for i in sorted(self.ints):
+            a("    r%d = r[%d]" % (i, i))
+        for i in sorted(self.flts):
+            a("    f%d = f[%d]" % (i, i))
+        if self.use_cc:
+            a("    cA = cc[0]")
+            a("    cB = cc[1]")
+        if self.use_rt:
+            a("    rtv = rt[0]")
+        for i in sorted(self.bregs):
+            a("    b%d = b[%d]" % (i, i))
+            a("    s%d = bs[%d]" % (i, i))
+        for i in sorted(self.cregs):
+            a("    q%d = cs[%d]" % (i, i))
+        # Histogram Counters are updated in place (``__missing__``
+        # yields 0), so partial iterations need no merge-or-discard
+        # bookkeeping in the exception stub -- exactly like fastcore's
+        # per-instruction closures.
+        if self.use_hp:
+            a("    _hp = HP")
+        if self.use_hc:
+            a("    _hc = HC")
+        if self.use_hj:
+            a("    _hj = HJ")
+        a("    _tk = 0")
+        a("    _nf = 0")
+        a("    _ix = 0")
+        a("    _stop = 0")
+        a("    _pc = %d" % self.anchor)
+        a("    try:")
+        a("        while True:")
+        for line in self.body:
+            a("            " + line)
+        if self.closed:
+            a("            ic += %d" % len(self.pcs))
+            a("            _nf += 1")
+            a("            if ic > fuel:")
+            a("                break")
+        wb = self._writeback_lines()
+        a("    except BaseException:")
+        for line in wb:
+            a("        " + line)
+        a("        for _k in range(_ix):")
+        a("            _CL[_k][0] += 1")
+        if self.hist:
+            a("            for _c, _y in _HL[_k]:")
+            a("                _c[_y] += 1")
+        a("        emu.pc = _PCS[_ix]")
+        if self.machine == "baseline":
+            a("        emu.npc = _PCS[_ix] + 4")
+        a("        emu.icount = ic + _ix")
+        a("        F[0] = 1")
+        a("        raise")
+        for line in wb:
+            a("    " + line)
+        a("    return (_pc, ic, _stop)")
+        return "\n".join(lines) + "\n"
+
+
+# -- trace growing ------------------------------------------------------------
+
+
+def _require_super(tr):
+    if len(tr.pcs) < MIN_SUPERBLOCK_LEN:
+        raise _Abort("superblock too short")
+
+
+def _static_exit(tr, addr):
+    """End the trace just before ``addr`` (which is not executed)."""
+    tr.exit_block(len(tr.pcs), "%d" % addr, 0)
+    _require_super(tr)
+
+
+def _best_target(targets, n):
+    """The hottest recorded target that is a plausible text address."""
+    best = None
+    best_n = -1
+    for dst, cnt in targets.items():
+        if cnt > best_n and (dst - TEXT_BASE) % 4 == 0:
+            if 0 <= (dst - TEXT_BASE) >> 2 < n:
+                best, best_n = dst, cnt
+    return best
+
+
+def _grow_baseline(tr, instrs, counts, by_src):
+    """Grow a baseline-machine trace from its anchor.
+
+    Control ops always bring their delay slot along (two consecutive
+    trace positions), and the slot must be provably non-raising -- which
+    preserves ``npc == pc + 4`` at every possible fault site, so the
+    exception stub's ``npc`` stamp is exact.  Conditionals follow the
+    warm-up-biased direction and side-exit the other way; ``call``/
+    ``retrt`` pairs are matched on a grow-time return-address stack.
+    """
+    n = len(instrs)
+    addr = tr.anchor
+    while True:
+        if tr.pcs and addr == tr.anchor:
+            tr.closed = True
+            if len(tr.pcs) < MIN_LOOP_LEN:
+                raise _Abort("loop too short")
+            return
+        if len(tr.pcs) >= MAX_TRACE_LEN or addr in tr.seen:
+            _static_exit(tr, addr)
+            return
+        i = (addr - TEXT_BASE) >> 2
+        if not 0 <= i < n or (addr - TEXT_BASE) % 4:
+            raise _Abort("trace left the text segment")
+        ins = instrs[i]
+        op = ins.op
+        if op in BASELINE_CONTROL:
+            addr = _grow_base_control(tr, instrs, ins, addr, i, counts, by_src)
+            if addr is None:
+                return
+            continue
+        if op == "halt":
+            P = tr.note(addr)
+            tr.exit_block(P + 1, "%d" % (addr + 4), 0, stop=True)
+            _require_super(tr)
+            return
+        if op not in _EMIT_BASE:
+            _static_exit(tr, addr)
+            return
+        P = tr.note(addr)
+        tr.emit_simple(ins, addr, P)
+        addr += 4
+
+
+def _grow_base_control(tr, instrs, ins, addr, i, counts, by_src):
+    """Emit one baseline control op plus its delay slot; returns the
+    next trace address, or None when the trace ended here."""
+    n = len(instrs)
+    op = ins.op
+    w = tr.w
+    if i + 1 >= n:
+        raise _Abort("control op at image end")
+    slot = instrs[i + 1]
+    if slot.op not in _NONRAISING_BASE:
+        _static_exit(tr, addr)
+        return None
+
+    def emit_slot():
+        sp = tr.note(addr + 4)
+        tr.emit_simple(slot, addr + 4, sp)
+
+    if op in ("bcc", "fbcc"):
+        cond = _COND_OPS.get(ins.cond)
+        t = ins.t_addr
+        if cond is None or not isinstance(t, int):
+            raise _Abort("branch shape %r" % (op,))
+        P = tr.note(addr)
+        tr.use_cc = True
+        w("_t = cA %s cB" % cond)
+        w("if _t:")
+        w("_tk += 1", 1)
+        emit_slot()
+        executed = counts.get(addr, 0)
+        taken = by_src.get(addr, {}).get(t, 0)
+        if taken and 2 * taken >= executed:
+            w("if not _t:")
+            tr.exit_block(P + 2, "%d" % (addr + 8), 1)
+            return t
+        w("if _t:")
+        tr.exit_block(P + 2, "%d" % t, 1)
+        return addr + 8
+    if op == "jmp":
+        t = ins.t_addr
+        if not isinstance(t, int):
+            raise _Abort("jump target %r" % (t,))
+        tr.note(addr)
+        emit_slot()
+        return t
+    if op == "call":
+        t = ins.t_addr
+        if not isinstance(t, int):
+            raise _Abort("call target %r" % (t,))
+        tr.note(addr)
+        tr.use_rt = True
+        w("rtv = %d" % (addr + 8))
+        emit_slot()
+        tr.rastack.append(addr + 8)
+        return t
+    if op == "retrt":
+        P = tr.note(addr)
+        tr.use_rt = True
+        # Read the return target at the branch's own execution time:
+        # the delay slot may legally overwrite rt afterwards.
+        w("_j = rtv")
+        emit_slot()
+        if tr.rastack:
+            ra = tr.rastack.pop()
+            w("if _j != %d:" % ra)
+            tr.exit_block(P + 2, "_j", 1)
+            return ra
+        tr.exit_block(P + 2, "_j", 0)
+        _require_super(tr)
+        return None
+    if op == "ijmp":
+        src = tr.ival(ins.xsrcs[0])
+        P = tr.note(addr)
+        w("_j = %s" % src)
+        emit_slot()
+        best = _best_target(by_src.get(addr, {}), n)
+        if best is not None:
+            w("if _j != %d:" % best)
+            tr.exit_block(P + 2, "_j", 1)
+            return best
+        tr.exit_block(P + 2, "_j", 0)
+        _require_super(tr)
+        return None
+    raise _Abort("control op %r" % (op,))
+
+
+def _grow_branchreg(tr, instrs, counts, by_src):
+    """Branch-register twin of :func:`_grow_baseline`: any instruction
+    may carry a transfer (``br != 0``), whose epilogue -- gap
+    histograms, link-register clobber, target selection -- is
+    transcribed from fastcore's ``_with_transfer`` onto trace locals."""
+    n = len(instrs)
+    ctx = tr.ctx
+    addr = tr.anchor
+    while True:
+        if tr.pcs and addr == tr.anchor:
+            tr.closed = True
+            if len(tr.pcs) < MIN_LOOP_LEN:
+                raise _Abort("loop too short")
+            return
+        if len(tr.pcs) >= MAX_TRACE_LEN or addr in tr.seen:
+            _static_exit(tr, addr)
+            return
+        i = (addr - TEXT_BASE) >> 2
+        if not 0 <= i < n or (addr - TEXT_BASE) % 4:
+            raise _Abort("trace left the text segment")
+        ins = instrs[i]
+        op = ins.op
+        if op == "halt" and not ins.br:
+            P = tr.note(addr)
+            tr.exit_block(P + 1, "%d" % (addr + 4), 0, stop=True)
+            _require_super(tr)
+            return
+        if op not in _EMIT_BR:
+            _static_exit(tr, addr)
+            return
+        if not ins.br:
+            P = tr.note(addr)
+            tr.emit_simple(ins, addr, P)
+            addr += 4
+            continue
+        # Transfer carrier: effect first, then the epilogue.
+        br = ins.br
+        if op in ("trap", "halt"):
+            raise _Abort("halting op with a transfer")
+        if not isinstance(br, int) or not 0 < br < ctx.spec.branch_regs:
+            raise _Abort("branch-register field %r" % (br,))
+        P = tr.note(addr)
+        tr.emit_simple(ins, addr, P)
+        w = tr.w
+        bn, sn = tr.breg(br)
+        bl, sl = tr.breg(ctx.link)
+        seq = addr + 4
+        CAP = ctx.GAP_CAP
+        READY = ctx.READY
+        # A b-local holding a statically-known target (bta/btalo with an
+        # immediate, earlier in this same walk) can never be SEQ, and a
+        # stamp local written at a known position makes the gap a
+        # compile-time constant -- the SEQ tests, gap subtract/clamp
+        # chains, and the not-taken/wrong-target side exits all fold
+        # away, leaving bare constant-keyed histogram bumps.
+        t0k = tr.known.get(bn)
+        i_t = (t0k - TEXT_BASE) >> 2 if isinstance(t0k, int) else -1
+        static_taken = (
+            isinstance(t0k, int)
+            and 0 <= i_t < n
+            and (t0k - TEXT_BASE) % 4 == 0
+        )
+        # An int (bta/btalo constant) or a bld-loaded word is never the
+        # SEQ sentinel: the transfer is always taken, so every ``is
+        # SEQ`` test and the not-taken side exit are dead code.
+        never_seq = isinstance(t0k, int) or t0k == ("int",)
+        snk = tr.known.get(sn)
+        if not static_taken:
+            w("_t0 = %s" % bn)
+        if getattr(ins, "tkind", "jump") == "cond":
+            tr.cregs.add(br)
+            qk = tr.known.get("q%d" % br)
+            gc_const = min(P - qk[1], CAP) if qk is not None else None
+            gp_const = None
+            if never_seq and snk is not None and snk[0] == "stamp":
+                gp_const = min(P - snk[1], CAP)
+            if gc_const is not None:
+                tr.hist.append((P, "HC", "%d" % gc_const))
+                gc_x = "%d" % gc_const
+            else:
+                tr.use_hc = True
+                w("_gc = ic + %d - q%d" % (P, br))
+                w("if _gc > %d:" % CAP)
+                w("_gc = %d" % CAP, 1)
+                w("_hc[_gc] += 1")
+                gc_x = "_gc"
+            if gp_const is not None:
+                gp_x = "%d" % gp_const
+            elif never_seq:
+                w("if %s == %d:" % (sn, READY))
+                w("_gp = %d" % READY, 1)
+                w("else:")
+                w("_gp = ic + %d - %s" % (P, sn), 1)
+                w("if _gp > %d:" % CAP, 1)
+                w("_gp = %d" % CAP, 2)
+                gp_x = "_gp"
+            else:
+                w("if _t0 is SEQ or %s == %d:" % (sn, READY))
+                w("_gp = %d" % READY, 1)
+                w("else:")
+                w("_gp = ic + %d - %s" % (P, sn), 1)
+                w("if _gp > %d:" % CAP, 1)
+                w("_gp = %d" % CAP, 2)
+                gp_x = "_gp"
+            if gp_const is not None and gc_const is not None:
+                tr.hist.append(
+                    (P, "HJ", "(%d, %d)" % (gp_const, gc_const))
+                )
+            else:
+                tr.use_hj = True
+                w("_hj[(%s, %s)] += 1" % (gp_x, gc_x))
+            if never_seq:
+                tr.hist.append((P, "TK", "0"))
+            else:
+                w("if _t0 is not SEQ:")
+                w("_tk += 1", 1)
+            if gp_const is not None:
+                tr.hist.append((P, "HP", "%d" % gp_const))
+            else:
+                tr.use_hp = True
+                w("_hp[%s] += 1" % gp_x)
+        else:
+            if never_seq and snk is not None and snk[0] == "stamp":
+                tr.hist.append((P, "HP", "%d" % min(P - snk[1], CAP)))
+            elif never_seq:
+                tr.use_hp = True
+                w("if %s == %d:" % (sn, READY))
+                w("_hp[%d] += 1" % READY, 1)
+                w("else:")
+                w("_gp = ic + %d - %s" % (P, sn), 1)
+                w("if _gp >= %d:" % CAP, 1)
+                w("_gp = %d" % CAP, 2)
+                w("_hp[_gp] += 1", 1)
+            else:
+                tr.use_hp = True
+                w("if _t0 is SEQ or %s == %d:" % (sn, READY))
+                w("_hp[%d] += 1" % READY, 1)
+                w("else:")
+                w("_gp = ic + %d - %s" % (P, sn), 1)
+                w("if _gp >= %d:" % CAP, 1)
+                w("_gp = %d" % CAP, 2)
+                w("_hp[_gp] += 1", 1)
+        w("%s = %d" % (bl, seq))
+        w("%s = ic + %d" % (sl, P))
+        tr.known[bl] = seq
+        tr.known[sl] = ("stamp", P)
+        if static_taken:
+            # The transfer is unconditional with a known in-text target:
+            # no fall-through exit, no wrong-target exit -- the trace
+            # simply continues there (closing the loop if it is the
+            # anchor).
+            addr = t0k
+            continue
+        executed = counts.get(addr, 0)
+        targets = by_src.get(addr, {})
+        taken_total = sum(targets.values())
+        if (not targets or 2 * taken_total < executed) and not never_seq:
+            # Mostly falls through: side-exit on any taken transfer.
+            w("if _t0 is not SEQ:")
+            tr.exit_block(P + 1, "_t0", 1)
+            addr = seq
+            continue
+        best = _best_target(targets, n) if targets else None
+        if best is not None:
+            if not never_seq:
+                w("if _t0 is SEQ:")
+                tr.exit_block(P + 1, "%d" % seq, 1)
+            w("if _t0 != %d:" % best)
+            tr.exit_block(P + 1, "_t0", 1)
+            addr = best
+            continue
+        # No usable static target (or an always-taken transfer the
+        # profile never saw): end the trace dynamically.
+        if never_seq:
+            w("_pc = _t0")
+        else:
+            w("if _t0 is SEQ:")
+            w("_pc = %d" % seq, 1)
+            w("else:")
+            w("_pc = _t0", 1)
+        j = len(tr.exits)
+        tr.exits.append(P + 1)
+        w("_EX[%d] += 1" % j)
+        w("ic += %d" % (P + 1))
+        w("break")
+        _require_super(tr)
+        return
+
+
+# -- trace selection and compilation ------------------------------------------
+
+
+def _select_anchors(emu, machine, state, cur_pc, exclude=frozenset(),
+                    allow_covered=False):
+    """(anchors, counts, by_src) from the accumulated edge profile.
+
+    Anchor candidates are hot transfer targets: back-edge targets (loop
+    heads) but also hot forward targets -- else-blocks and callees
+    inside hot loops -- so a side exit from one trace can land directly
+    on the anchor of another and chain without an off-trace gap.
+    Candidates must be hot enough (:data:`HOT_EDGE_MIN`), aligned,
+    inside the text segment, not already compiled (``exclude``), and --
+    on the baseline machine -- not a delay slot (a trace entry assumes
+    no transfer is in flight).
+    """
+    from repro.obs.profile import ExecutionProfiler
+
+    prof = ExecutionProfiler()
+    prof.raw_edges = state["edges"]
+    prof.entry = state["entry"]
+    prof.shadow = emu.TRANSFER_SHADOW
+    prof.image = emu.image
+    prof.machine = machine
+    prof.seg_start = state["seg"]
+    prof.final_end = cur_pc - 4
+    counts = prof.pc_counts()
+    by_src = {}
+    heat = Counter()
+    for (src, dst), cnt in prof.edges.items():
+        by_src.setdefault(src, {})[dst] = cnt
+        heat[dst] += cnt
+    instrs = emu.image.instrs
+    n = len(instrs)
+    covered = state.setdefault("covered", set())
+    anchors = []
+    for dst, cnt in heat.items():
+        if cnt < HOT_EDGE_MIN or dst in exclude:
+            continue
+        # Covered targets are normally redundant (a trace through that
+        # pc exists), but traces cannot be entered mid-body: when a
+        # re-profile round finds one hot *off-trace* -- a side exit
+        # landing just past a sibling's anchor -- a duplicate tail
+        # anchored there closes the gap and keeps execution in-trace.
+        # The higher bar keeps marginal duplicates from churning the
+        # trace set (every addition re-renders the image's dispatcher).
+        if dst in covered and (
+            not allow_covered or cnt < COVERED_EDGE_MIN
+        ):
+            continue
+        off = dst - TEXT_BASE
+        if off % 4 or not 0 <= off >> 2 < n:
+            continue
+        i = off >> 2
+        if machine == "baseline" and i > 0 \
+                and instrs[i - 1].op in BASELINE_CONTROL:
+            continue  # delay slot: a transfer may be in flight on entry
+        anchors.append((dst, cnt))
+    anchors.sort(key=lambda it: (-it[1], it[0]))
+    return anchors[:MAX_TRACES], counts, by_src
+
+
+def _never_enter(ic, fuel):
+    """Stand-in trace function for an anchor whose compile failed: the
+    probe always misses and dispatch falls back to the fast core."""
+    return None
+
+
+def _no_fold():
+    """Fold stand-in for entries with no deferred cell credits."""
+
+
+def _lazy_entry(machine, traces, anchor, src_text, pcs, result, make_ns,
+                stats, program):
+    """A self-replacing trace-table entry: the first probe compiles the
+    rendered source (or reuses the process-wide code object), installs
+    the real ``(fn, len, fold)`` entry, and delegates to it.  Selected
+    anchors that execution never reaches never pay compile()."""
+    from repro.obs import METRICS, log
+
+    npcs = len(pcs)
+
+    def thunk(ic, fuel):
+        try:
+            code = _CODE_MEMO.get(src_text)
+            if code is None:
+                code = compile(src_text, "<trace@0x%x>" % anchor, "exec")
+                if len(_CODE_MEMO) >= _CODE_MEMO_MAX:
+                    _CODE_MEMO.clear()
+                _CODE_MEMO[src_text] = code
+            ns = make_ns(pcs)
+            exec(code, ns)
+        except Exception as exc:
+            traces[anchor] = (_never_enter, npcs, _no_fold)
+            METRICS.counter(
+                "emulator.trace_compile", machine=machine, result="error"
+            ).inc()
+            log.warning(
+                "trace compile failed at 0x%x in %s: %s",
+                anchor, program, exc,
+            )
+            return None
+        entry = (ns["_trace"], npcs, ns["_fold"])
+        traces[anchor] = entry
+        stats.traces_compiled += 1
+        METRICS.counter(
+            "emulator.trace_compile", machine=machine, result=result
+        ).inc()
+        return entry[0](ic, fuel)
+
+    return (thunk, npcs, _no_fold)
+
+
+_IX_LINE = re.compile(r"^(\s*)_ix = (\d+)$")
+
+
+def _hl_literal(pairs):
+    """One position's ``_HL`` entry: a tuple of (container, key) pairs
+    the exception stub credits when a partial iteration retired past
+    that position."""
+    if not pairs:
+        return "()"
+    return "(%s,)" % ", ".join(
+        "(%s, %s)" % (cname, key) for cname, key in pairs
+    )
+
+
+def _render_mega(machine, records):
+    """Render one dispatcher function covering every compiled trace of
+    an image.  A side exit whose target is another trace's anchor hops
+    to that trace *inside the same Python frame*: the dispatch loop
+    costs one int compare per hop, where separate per-trace functions
+    pay a full register writeback, a runner round-trip, a probe, and a
+    fresh prologue.  Sibling loops that ping-pong (caller loop <->
+    callee body) are exactly the traces with short average stays, so
+    this is where the per-enter overhead actually lives.
+
+    Layout: trace k's slots occupy ``[base_k, base_k + len_k)`` of the
+    shared ``_CL``/``_PCS`` arrays, its ``_ix`` constants are rebased to
+    those global positions, and ``_rb`` tracks the current region's base
+    so the exception stub can credit ``range(_rb, _ix)`` and stamp
+    ``icount = ic + _ix - _rb`` -- bit-identical to the per-trace stubs.
+    Per-region fuel checks use ``_L - len_k`` (``_L`` is the caller's
+    limit or sample boundary), which is exactly the admission test the
+    runner would apply before entering trace k on its own.
+    """
+    ints = set()
+    flts = set()
+    bregs = set()
+    cregs = set()
+    written = set()
+    use = {"cc": False, "rt": False, "hp": False, "hc": False,
+           "hj": False}
+    bases = []
+    base = 0
+    for rec in records:
+        bases.append(base)
+        base += len(rec["pcs"])
+        ints |= rec["ints"]
+        flts |= rec["flts"]
+        bregs |= rec["bregs"]
+        cregs |= rec["cregs"]
+        written |= rec["written"]
+        for flag in use:
+            use[flag] = use[flag] or rec["use_" + flag]
+    wb = []
+    for i in sorted(ints):
+        if "r%d" % i in written:
+            wb.append("r[%d] = r%d" % (i, i))
+    for i in sorted(flts):
+        if "f%d" % i in written:
+            wb.append("f[%d] = f%d" % (i, i))
+    if use["cc"] and "cA" in written:
+        wb.append("cc[0] = cA")
+        wb.append("cc[1] = cB")
+    if use["rt"] and "rtv" in written:
+        wb.append("rt[0] = rtv")
+    for i in sorted(bregs):
+        if "b%d" % i in written:
+            wb.append("b[%d] = b%d" % (i, i))
+        if "s%d" % i in written:
+            wb.append("bs[%d] = s%d" % (i, i))
+    for i in sorted(cregs):
+        if "q%d" % i in written:
+            wb.append("cs[%d] = q%d" % (i, i))
+    wb.append("TK[0] += _tk")
+
+    any_hist = any(rec["hist"] for rec in records)
+    lines = []
+    a = lines.append
+    for k, rec in enumerate(records):
+        a("_NF%d = [0]" % k)
+        a("_EX%d = [0] * %d" % (k, len(rec["exits"])))
+    if any_hist:
+        cells = []
+        for rec in records:
+            hist_at = {}
+            for p, cname, key in rec["hist"]:
+                hist_at.setdefault(p, []).append((cname, key))
+            cells.extend(
+                _hl_literal(hist_at.get(i))
+                for i in range(len(rec["pcs"]))
+            )
+        a("_HL = (%s,)" % ", ".join(cells))
+    a("def _fold():")
+    for k, rec in enumerate(records):
+        a("    _acc = _NF%d[0]" % k)
+        a("    _NF%d[0] = 0" % k)
+        by_retired = {}
+        for j, retired in enumerate(rec["exits"]):
+            by_retired.setdefault(retired, []).append(j)
+        hist_at = {}
+        for p, cname, key in rec["hist"]:
+            hist_at.setdefault(p, []).append((cname, key))
+        for i in range(len(rec["pcs"]) - 1, -1, -1):
+            for j in by_retired.get(i + 1, ()):
+                a("    _acc += _EX%d[%d]" % (k, j))
+                a("    _EX%d[%d] = 0" % (k, j))
+            a("    _CL[%d][0] += _acc" % (bases[k] + i))
+            hs = hist_at.get(i)
+            if hs:
+                # A Counter bump of 0 would materialize a zero entry
+                # the reference's inline updates never create.
+                a("    if _acc:")
+                for cname, key in hs:
+                    a("        %s[%s] += _acc" % (cname, key))
+    a("def _mega(_pc, ic, _L):")
+    for i in sorted(ints):
+        a("    r%d = r[%d]" % (i, i))
+    for i in sorted(flts):
+        a("    f%d = f[%d]" % (i, i))
+    if use["cc"]:
+        a("    cA = cc[0]")
+        a("    cB = cc[1]")
+    if use["rt"]:
+        a("    rtv = rt[0]")
+    for i in sorted(bregs):
+        a("    b%d = b[%d]" % (i, i))
+        a("    s%d = bs[%d]" % (i, i))
+    for i in sorted(cregs):
+        a("    q%d = cs[%d]" % (i, i))
+    if use["hp"]:
+        a("    _hp = HP")
+    if use["hc"]:
+        a("    _hc = HC")
+    if use["hj"]:
+        a("    _hj = HJ")
+    a("    _tk = 0")
+    a("    _ix = 0")
+    a("    _rb = 0")
+    a("    _stop = 0")
+    a("    _went = 0")
+    a("    try:")
+    a("        while 1:")
+    for k, rec in enumerate(records):
+        npcs = len(rec["pcs"])
+        a("            %s _pc == %d:"
+          % ("if" if k == 0 else "elif", rec["anchor"]))
+        a("                if ic > _L - %d:" % npcs)
+        a("                    break")
+        a("                _went = 1")
+        a("                _rb = %d" % bases[k])
+        a("                while 1:")
+        ex = "_EX%d[" % k
+        for line in rec["body"]:
+            m = _IX_LINE.match(line)
+            if m:
+                line = "%s_ix = %d" % (m.group(1),
+                                       int(m.group(2)) + bases[k])
+            elif "_EX[" in line:
+                line = line.replace("_EX[", ex)
+            a("                    " + line)
+        if rec["closed"]:
+            a("                    ic += %d" % npcs)
+            a("                    _NF%d[0] += 1" % k)
+            a("                    if ic > _L - %d:" % npcs)
+            a("                        break")
+        a("                if _stop:")
+        a("                    break")
+    a("            else:")
+    a("                break")
+    a("    except BaseException:")
+    for line in wb:
+        a("        " + line)
+    a("        for _k in range(_rb, _ix):")
+    a("            _CL[_k][0] += 1")
+    if any_hist:
+        a("            for _c, _y in _HL[_k]:")
+        a("                _c[_y] += 1")
+    a("        emu.pc = _PCS[_ix]")
+    if machine == "baseline":
+        a("        emu.npc = _PCS[_ix] + 4")
+    a("        emu.icount = ic + _ix - _rb")
+    a("        F[0] = 1")
+    a("        raise")
+    a("    if not _went:")
+    a("        return None")
+    for line in wb:
+        a("    " + line)
+    a("    return (_pc, ic, _stop)")
+    for k, rec in enumerate(records):
+        a("def _t%d(ic, fuel):" % k)
+        a("    return _mega(%d, ic, fuel + %d)"
+          % (rec["anchor"], len(rec["pcs"])))
+    return "\n".join(lines) + "\n"
+
+
+def _trace_record(tr, heat=0):
+    """The ctx-free slice of a grown :class:`_Trace` that the mega
+    renderer needs; safe to hold in the process-wide memo (no image,
+    memory, or runtime references)."""
+    return {
+        "heat": heat,
+        "anchor": tr.anchor,
+        "pcs": tuple(tr.pcs),
+        "body": tuple(tr.body),
+        "exits": tuple(tr.exits),
+        "closed": tr.closed,
+        "ints": frozenset(tr.ints),
+        "flts": frozenset(tr.flts),
+        "bregs": frozenset(tr.bregs),
+        "cregs": frozenset(tr.cregs),
+        "use_cc": tr.use_cc,
+        "use_rt": tr.use_rt,
+        "use_hp": tr.use_hp,
+        "use_hc": tr.use_hc,
+        "use_hj": tr.use_hj,
+        "hist": tuple(tr.hist),
+        "written": frozenset(tr._written_locals()),
+    }
+
+
+def _build_mega(machine, memo, traces, make_ns, stats, program, fresh,
+                mega_key=None):
+    """Compile the image's memoized traces into one mega-function and
+    swap its per-anchor entry points into ``traces``, replacing any
+    per-trace functions (their pending fold credits are flushed first).
+    ``fresh`` maps the anchors new to this build to their compile-metric
+    result label; they are stamped only if the build succeeds -- on
+    failure the caller's per-trace lazy entries stay in place and stamp
+    themselves on first probe, exactly as before.  The rendered source
+    is memoized per image (``_MEGA_MEMO``) so a repeat run re-binds the
+    cached code object to the fresh context instead of re-rendering.
+    Returns True on success."""
+    from repro.obs import METRICS, log
+
+    records = [rec for (_src, _pcs, rec) in memo.values()]
+    if not records:
+        return False
+    # Hottest anchors first: the dispatcher is a linear if/elif scan,
+    # so every chain hop pays one compare per arm it walks past.
+    records.sort(key=lambda r: (-r["heat"], r["anchor"]))
+    order = tuple((rec["anchor"], len(rec["pcs"])) for rec in records)
+    try:
+        mg = _MEGA_MEMO.get(mega_key) if mega_key is not None else None
+        if mg is not None and mg[1] == order:
+            src, all_pcs = mg[0], mg[2]
+        else:
+            src = _render_mega(machine, records)
+            all_pcs = []
+            for rec in records:
+                all_pcs.extend(rec["pcs"])
+            all_pcs = tuple(all_pcs)
+            if mega_key is not None:
+                if len(_MEGA_MEMO) >= _TRACE_MEMO_MAX:
+                    _MEGA_MEMO.clear()
+                _MEGA_MEMO[mega_key] = (src, order, all_pcs)
+        code = _CODE_MEMO.get(src)
+        if code is None:
+            code = compile(src, "<mega:%s>" % machine, "exec")
+            if len(_CODE_MEMO) >= _CODE_MEMO_MAX:
+                _CODE_MEMO.clear()
+            _CODE_MEMO[src] = code
+        ns = make_ns(all_pcs)
+        exec(code, ns)
+        fold = ns["_fold"]
+        entries = {
+            anchor: (ns["_t%d" % k], npcs, fold)
+            for k, (anchor, npcs) in enumerate(order)
+        }
+    except Exception as exc:
+        METRICS.counter(
+            "emulator.trace_compile", machine=machine, result="error"
+        ).inc()
+        log.warning("mega-trace compile failed in %s: %s", program, exc)
+        return False
+    for entry in traces.values():
+        entry[2]()  # flush pending credits before the swap discards them
+    traces.update(entries)
+    for _anchor, result in fresh.items():
+        stats.traces_compiled += 1
+        METRICS.counter(
+            "emulator.trace_compile", machine=machine, result=result
+        ).inc()
+    return True
+
+
+def _install_memo(emu, machine, state, traces, make_ns):
+    """Install this image's previously-selected traces (same process,
+    same instruction stream), letting a repeat run trace from
+    instruction zero with no profiled warm-up, selection, or rendering.
+    Returns True when traces were installed."""
+    ihash = _image_hash(emu.image, machine)
+    state["rekey"] = (ihash, machine)
+    memo = _TRACE_MEMO.get((ihash, machine))
+    if not memo:
+        return False
+    stats = emu.stats
+    program = stats.program or "program"
+    covered = state.setdefault("covered", set())
+    fresh = {anchor: "cached" for anchor in memo}
+    if not _build_mega(machine, memo, traces, make_ns, stats, program,
+                       fresh, (ihash, machine)):
+        for anchor, (src_text, pcs, _rec) in memo.items():
+            traces[anchor] = _lazy_entry(
+                machine, traces, anchor, src_text, pcs, "cached",
+                make_ns, stats, program,
+            )
+    for _anchor, (_src, pcs, _rec) in memo.items():
+        covered.update(pcs)
+    state["compiled"] = True
+    return True
+
+
+def _compile_traces(emu, machine, ctx, cells, state, traces, cur_pc, make_ns):
+    """Select hot anchors from the warm-up profile and compile one
+    specialized function per trace into ``traces``.  Never raises: any
+    failure is counted (``emulator.trace_compile{result=error}``),
+    logged, and simply leaves that anchor -- or all of them -- running
+    on the fast core's fused dispatch."""
+    state["compiled"] = True
+    from repro.obs import METRICS, log, span
+
+    stats = emu.stats
+    grow = _grow_baseline if machine == "baseline" else _grow_branchreg
+    program = stats.program or "program"
+    before = len(traces)
+    try:
+        with span("trace_compile", machine=machine, program=program):
+            allow_covered = before > 0  # re-profile round: edges are
+            # recorded off-trace only, so a hot covered target is real
+            anchors, counts, by_src = _select_anchors(
+                emu, machine, state, cur_pc, exclude=frozenset(traces),
+                allow_covered=allow_covered,
+            )
+            anchors = anchors[:max(0, TOTAL_TRACES - len(traces))]
+            cache = _trace_cache()
+            ihash = _image_hash(emu.image, machine)
+            if (
+                len(_TRACE_MEMO) >= _TRACE_MEMO_MAX
+                and (ihash, machine) not in _TRACE_MEMO
+            ):
+                _TRACE_MEMO.clear()
+                _MEGA_MEMO.clear()
+                _RETRACE_MEMO.clear()
+            memo = _TRACE_MEMO.setdefault((ihash, machine), {})
+            state["rekey"] = (ihash, machine)
+            instrs = emu.image.instrs
+            covered = state.setdefault("covered", set())
+            fresh = {}
+            round_cov = set() if allow_covered else covered
+            for anchor, _cnt in anchors:
+                if anchor in round_cov:  # swallowed by an earlier pick
+                    continue
+                try:
+                    tr = _Trace(machine, anchor, ctx)
+                    grow(tr, instrs, counts, by_src)
+                    result = "compiled"
+                    src_text = None
+                    key = None
+                    if cache is not None:
+                        key = _trace_key(ihash, tr.pcs)
+                        blob = cache.get_blob("trace", key)
+                        if (
+                            isinstance(blob, dict)
+                            and blob.get("pcs") == list(tr.pcs)
+                            and isinstance(blob.get("source"), str)
+                        ):
+                            src_text = blob["source"]
+                            result = "cached"
+                    if src_text is None:
+                        src_text = tr.render()
+                        if cache is not None and key is not None:
+                            cache.put_blob(
+                                "trace", key,
+                                {"pcs": list(tr.pcs), "source": src_text},
+                            )
+                    pcs = tuple(tr.pcs)
+                    traces[anchor] = _lazy_entry(
+                        machine, traces, anchor, src_text, pcs, result,
+                        make_ns, stats, program,
+                    )
+                    memo[anchor] = (src_text, pcs, _trace_record(tr, _cnt))
+                    fresh[anchor] = result
+                    # A selected trace's body makes every pc inside it a
+                    # redundant anchor candidate: a trace anchored there
+                    # would mostly duplicate this one's tail, and each
+                    # duplicate pays CPython's compile() on first enter.
+                    covered.update(pcs)
+                    if round_cov is not covered:
+                        round_cov.update(pcs)
+                except _Abort:
+                    continue
+                except Exception as exc:
+                    METRICS.counter(
+                        "emulator.trace_compile",
+                        machine=machine, result="error",
+                    ).inc()
+                    log.warning(
+                        "trace selection failed at 0x%x in %s: %s",
+                        anchor, program, exc,
+                    )
+                    continue
+            if len(traces) == before:
+                METRICS.counter(
+                    "emulator.trace_compile",
+                    machine=machine, result="none",
+                ).inc()
+            if fresh and before == 0:
+                # Combine the initial selection into one dispatcher; on
+                # failure the lazy per-trace entries above stay.  Later
+                # re-profile batches are NOT combined mid-run: rendering
+                # and compiling a fresh multi-thousand-line dispatcher
+                # would stall this run for longer than the new traces
+                # save, so they run as per-trace functions now and join
+                # the (memoized) mega at the next run's install.
+                _build_mega(
+                    machine, memo, traces, make_ns, stats, program,
+                    fresh, (ihash, machine),
+                )
+    except Exception as exc:
+        METRICS.counter(
+            "emulator.trace_compile", machine=machine, result="error"
+        ).inc()
+        log.warning("trace selection failed in %s: %s", program, exc)
+
+
+# -- run loops ----------------------------------------------------------------
+
+
+def _make_baseline_tracerunner(emu, ctx, handlers, lens, specs, cells, plain):
+    image = emu.image
+    mem = ctx.memory
+    by_pc = {TEXT_BASE + 4 * i: h for i, h in enumerate(handlers)}
+    len_by_pc = {TEXT_BASE + 4 * i: k for i, k in enumerate(lens)}
+    plain_by_pc = {TEXT_BASE + 4 * i: h for i, h in enumerate(plain)}
+    traces = {}
+    state = {"compiled": False, "edges": Counter(), "entry": None,
+             "seg": None}
+    #: Set by a trace's exception stub after it has stamped the exact
+    #: faulting pc/npc/icount and credited its cells, so the runner's
+    #: handler must not re-stamp or decrement anything.
+    fail = [0]
+
+    def _sync():
+        done = set()  # mega entries share one fold: run it once
+        for entry in traces.values():
+            fold = entry[2]
+            if id(fold) not in done:
+                done.add(id(fold))
+                fold()  # fold deferred trace credits into the cells
+        emu.cc = (ctx.cc[0], ctx.cc[1])
+        emu.rt = ctx.rt[0]
+        _flush(emu.stats, cells, specs, ctx.taken)
+
+    def make_ns(pcs):
+        return {
+            "r": ctx.r, "f": ctx.f, "cc": ctx.cc, "rt": ctx.rt,
+            "D": mem.data,
+            "LW": mem.load_word, "LB": mem.load_byte,
+            "LF": mem.load_float, "SW": mem.store_word,
+            "SB": mem.store_byte, "SF": mem.store_float,
+            "cdiv": cdiv, "crem": crem, "EE": EmulationError,
+            "TRAP": ctx.runtime.trap, "RT": ctx.runtime,
+            "TK": ctx.taken, "emu": emu, "F": fail,
+            "_CL": [cells[(a - TEXT_BASE) >> 2] for a in pcs],
+            "_PCS": tuple(pcs),
+        }
+
+    def _compile_now(cur_pc):
+        _compile_traces(
+            emu, "baseline", ctx, cells, state, traces, cur_pc, make_ns
+        )
+
+    def run_plain():
+        Hg = by_pc.get
+        Lg = len_by_pc.__getitem__
+        Pg = plain_by_pc.get
+        Tg = traces.get
+        STOP = _STOP
+        raw = state["edges"]
+        limit = emu.limit
+        pc = emu.pc
+        npc = emu.npc
+        ic = emu.icount
+        state["entry"] = pc
+        state["seg"] = pc
+        stopped = False
+        bad = False
+        tent = 0
+        tin = 0
+        stats = emu.stats
+        if not state["compiled"]:
+            _install_memo(emu, "baseline", state, traces, make_ns)
+        wstop = 0 if state["compiled"] else _warmup_budget()
+        if wstop > limit:
+            wstop = limit
+        try:
+            # Profiled warm-up: standalone (pre-fusion) dispatch while
+            # recording control-flow edges exactly like _run_profiled.
+            while ic < wstop:
+                h = Pg(pc)
+                if h is None:
+                    bad = True
+                    break
+                t = h(ic)
+                ic += 1
+                opc = pc
+                pc = npc
+                npc = pc + 4 if (t is None or t is STOP) else t
+                if pc != opc + 4:
+                    raw[(opc << 32) | pc] += 1
+                    state["seg"] = pc
+                if t is STOP:
+                    stopped = True
+                    break
+            if not stopped and not bad:
+                if ic < limit and not state["compiled"]:
+                    _compile_now(pc)
+                off = 0
+                rekey = state.get("rekey")
+                rethreshold = _RETRACE_MEMO.get(rekey, RETRACE_START)
+                stop_at = limit - (MAX_CHAIN - 1)
+                while ic < stop_at:
+                    if off >= rethreshold:
+                        # Off-trace execution keeps dominating: the
+                        # startup profile missed this phase.  Record
+                        # another edge window and compile more traces.
+                        off = 0
+                        if len(traces) < TOTAL_TRACES:
+                            wb = ic + REPROFILE_WINDOW
+                            if wb > limit:
+                                wb = limit
+                            while ic < wb:
+                                h = Pg(pc)
+                                if h is None:
+                                    bad = True
+                                    break
+                                t = h(ic)
+                                ic += 1
+                                opc = pc
+                                pc = npc
+                                npc = (
+                                    pc + 4 if (t is None or t is STOP)
+                                    else t
+                                )
+                                if pc != opc + 4:
+                                    raw[(opc << 32) | pc] += 1
+                                    state["seg"] = pc
+                                if t is STOP:
+                                    stopped = True
+                                    break
+                            if stopped or bad:
+                                break
+                            before = len(traces)
+                            _compile_now(pc)
+                            if len(traces) == before:
+                                rethreshold <<= 1
+                                if rekey is not None:
+                                    _RETRACE_MEMO[rekey] = rethreshold
+                            continue
+                        rethreshold = limit + 1  # cap hit: stop probing
+                    if npc == pc + 4:  # no transfer in flight
+                        tr = Tg(pc)
+                        if tr is not None:
+                            res = tr[0](ic, limit - tr[1])
+                            if res is not None:
+                                tent += 1
+                                tin += res[1] - ic
+                                pc = res[0]
+                                ic = res[1]
+                                npc = pc + 4
+                                if res[2]:
+                                    stopped = True
+                                    break
+                                continue
+                    h = Hg(pc)
+                    if h is None:
+                        bad = True
+                        break
+                    t = h(ic)
+                    if t is None:  # sequential, one instruction
+                        ic += 1
+                        off += 1
+                        pc = npc
+                        npc = pc + 4
+                    elif t is STOP:
+                        ic += 1
+                        pc = npc
+                        npc = pc + 4
+                        stopped = True
+                        break
+                    else:  # t is the new npc
+                        k = Lg(pc)
+                        if k == 1:  # taken transfer
+                            ic += 1
+                            off += 1
+                            pc = npc
+                            npc = t
+                        else:  # fused chain: all slots retire
+                            ic += k
+                            off += k
+                            pc += k << 2
+                            npc = t
+        except Exception:
+            stats.trace_enters += tent
+            stats.trace_instructions += tin
+            if fail[0]:
+                fail[0] = 0  # the trace stub stamped the exact state
+            else:
+                cells[(pc - TEXT_BASE) >> 2][0] -= 1
+                emu.pc, emu.npc, emu.icount = pc, npc, ic
+            _sync()
+            raise
+        emu.pc, emu.npc, emu.icount = pc, npc, ic
+        stats.trace_enters += tent
+        stats.trace_instructions += tin
+        _sync()
+        if stopped:
+            emu.halted = True
+            return
+        if bad:
+            image.instruction_at(pc)  # raises the reference's exact error
+            raise AssertionError("unreachable: bad fetch did not raise")
+        emu._run_plain()
+
+    def run_observed():
+        # See fastcore's run_observed; additionally each trace
+        # invocation's fuel is bounded by the sample boundary, so
+        # samples still fire at reference-identical icounts.
+        observer = emu.observer
+        observer.on_start(emu)
+        HgF = by_pc.get
+        Lg = len_by_pc.__getitem__
+        Hg = plain_by_pc.get
+        Tg = traces.get
+        STOP = _STOP
+        raw = state["edges"]
+        sample_every = observer.sample_every
+        next_sample = sample_every
+        limit = emu.limit
+        pc = emu.pc
+        npc = emu.npc
+        ic = emu.icount
+        state["entry"] = pc
+        state["seg"] = pc
+        if not state["compiled"]:
+            _install_memo(emu, "baseline", state, traces, make_ns)
+        wend = _warmup_budget()
+        stopped = False
+        bad = False
+        sampling = False
+        tent = 0
+        tin = 0
+        stats = emu.stats
+        try:
+            while True:
+                if ic >= next_sample:
+                    emu.pc, emu.npc, emu.icount = pc, npc, ic
+                    stats.trace_enters += tent
+                    stats.trace_instructions += tin
+                    tent = tin = 0
+                    _sync()
+                    sampling = True
+                    observer.on_sample(emu)
+                    sampling = False
+                    next_sample = ic + sample_every
+                if stopped or bad or ic >= limit:
+                    break
+                if not state["compiled"] and ic >= wend:
+                    _compile_now(pc)
+                boundary = next_sample if next_sample < limit else limit
+                if not state["compiled"]:
+                    # Profiled warm-up, capped by the sample boundary.
+                    wb = boundary if boundary < wend else wend
+                    while ic < wb:
+                        h = Hg(pc)
+                        if h is None:
+                            bad = True
+                            break
+                        t = h(ic)
+                        ic += 1
+                        opc = pc
+                        pc = npc
+                        npc = pc + 4 if (t is None or t is STOP) else t
+                        if pc != opc + 4:
+                            raw[(opc << 32) | pc] += 1
+                            state["seg"] = pc
+                        if t is STOP:
+                            stopped = True
+                            break
+                    continue
+                fused_stop = boundary - (MAX_CHAIN - 1)
+                while ic < fused_stop:  # fused phase with trace probes
+                    if npc == pc + 4:
+                        tr = Tg(pc)
+                        if tr is not None:
+                            res = tr[0](ic, boundary - tr[1])
+                            if res is not None:
+                                tent += 1
+                                tin += res[1] - ic
+                                pc = res[0]
+                                ic = res[1]
+                                npc = pc + 4
+                                if res[2]:
+                                    stopped = True
+                                    break
+                                continue
+                    h = HgF(pc)
+                    if h is None:
+                        bad = True
+                        break
+                    t = h(ic)
+                    if t is None:
+                        ic += 1
+                        pc = npc
+                        npc = pc + 4
+                    elif t is STOP:
+                        ic += 1
+                        pc = npc
+                        npc = pc + 4
+                        stopped = True
+                        break
+                    else:
+                        k = Lg(pc)
+                        if k == 1:
+                            ic += 1
+                            pc = npc
+                            npc = t
+                        else:
+                            ic += k
+                            pc += k << 2
+                            npc = t
+                if stopped or bad:
+                    continue
+                while ic < boundary:  # single-step up to the boundary
+                    h = Hg(pc)
+                    if h is None:
+                        bad = True
+                        break
+                    t = h(ic)
+                    ic += 1
+                    pc = npc
+                    npc = pc + 4 if (t is None or t is STOP) else t
+                    if t is STOP:
+                        stopped = True
+                        break
+        except Exception:
+            stats.trace_enters += tent
+            stats.trace_instructions += tin
+            if fail[0]:
+                fail[0] = 0
+            else:
+                if not sampling:
+                    cells[(pc - TEXT_BASE) >> 2][0] -= 1
+                emu.pc, emu.npc, emu.icount = pc, npc, ic
+            _sync()
+            raise
+        emu.pc, emu.npc, emu.icount = pc, npc, ic
+        stats.trace_enters += tent
+        stats.trace_instructions += tin
+        _sync()
+        if stopped:
+            emu.halted = True
+            return
+        if bad:
+            image.instruction_at(pc)  # raises the reference's exact error
+            raise AssertionError("unreachable: bad fetch did not raise")
+        raise emu._limit_error()
+
+    def run():
+        if emu.observer is not None:
+            return run_observed()
+        return run_plain()
+
+    return run
+
+
+def _make_branchreg_tracerunner(emu, ctx, handlers, lens, specs, cells,
+                                plain):
+    image = emu.image
+    mem = ctx.memory
+    by_pc = {TEXT_BASE + 4 * i: h for i, h in enumerate(handlers)}
+    len_by_pc = {TEXT_BASE + 4 * i: k for i, k in enumerate(lens)}
+    plain_by_pc = {TEXT_BASE + 4 * i: h for i, h in enumerate(plain)}
+    traces = {}
+    state = {"compiled": False, "edges": Counter(), "entry": None,
+             "seg": None}
+    fail = [0]
+    stats = emu.stats
+
+    def _sync():
+        done = set()  # mega entries share one fold: run it once
+        for entry in traces.values():
+            fold = entry[2]
+            if id(fold) not in done:
+                done.add(id(fold))
+                fold()  # fold deferred trace credits into the cells
+        _flush(emu.stats, cells, specs, ctx.taken)
+
+    def make_ns(pcs):
+        return {
+            "r": ctx.r, "f": ctx.f, "cc": ctx.cc, "rt": ctx.rt,
+            "b": ctx.b, "bs": ctx.b_set_at, "cs": ctx.cmpset_at,
+            "SEQ": ctx.SEQ,
+            "D": mem.data,
+            "LW": mem.load_word, "LB": mem.load_byte,
+            "LF": mem.load_float, "SW": mem.store_word,
+            "SB": mem.store_byte, "SF": mem.store_float,
+            "cdiv": cdiv, "crem": crem, "EE": EmulationError,
+            "TRAP": ctx.runtime.trap, "RT": ctx.runtime,
+            "TK": ctx.taken, "emu": emu, "F": fail,
+            "HP": stats.prefetch_gap, "HC": stats.compare_gap,
+            "HJ": stats.cond_joint,
+            "_CL": [cells[(a - TEXT_BASE) >> 2] for a in pcs],
+            "_PCS": tuple(pcs),
+        }
+
+    def _compile_now(cur_pc):
+        _compile_traces(
+            emu, "branchreg", ctx, cells, state, traces, cur_pc, make_ns
+        )
+
+    def run_plain():
+        Hg = by_pc.get
+        Lg = len_by_pc.__getitem__
+        Pg = plain_by_pc.get
+        Tg = traces.get
+        STOP = _STOP
+        raw = state["edges"]
+        limit = emu.limit
+        pc = emu.pc
+        ic = emu.icount
+        state["entry"] = pc
+        state["seg"] = pc
+        stopped = False
+        bad = False
+        tent = 0
+        tin = 0
+        if not state["compiled"]:
+            _install_memo(emu, "branchreg", state, traces, make_ns)
+        wstop = 0 if state["compiled"] else _warmup_budget()
+        if wstop > limit:
+            wstop = limit
+        try:
+            while ic < wstop:  # profiled warm-up, standalone dispatch
+                h = Pg(pc)
+                if h is None:
+                    bad = True
+                    break
+                t = h(ic)
+                ic += 1
+                opc = pc
+                pc = opc + 4 if (t is None or t is STOP) else t
+                if pc != opc + 4:
+                    raw[(opc << 32) | pc] += 1
+                    state["seg"] = pc
+                if t is STOP:
+                    stopped = True
+                    break
+            if not stopped and not bad:
+                if ic < limit and not state["compiled"]:
+                    _compile_now(pc)
+                off = 0
+                rekey = state.get("rekey")
+                rethreshold = _RETRACE_MEMO.get(rekey, RETRACE_START)
+                stop_at = limit - (MAX_CHAIN - 1)
+                while ic < stop_at:
+                    if off >= rethreshold:
+                        # Off-trace execution keeps dominating: the
+                        # startup profile missed this phase.  Record
+                        # another edge window and compile more traces.
+                        off = 0
+                        if len(traces) < TOTAL_TRACES:
+                            wb = ic + REPROFILE_WINDOW
+                            if wb > limit:
+                                wb = limit
+                            while ic < wb:
+                                h = Pg(pc)
+                                if h is None:
+                                    bad = True
+                                    break
+                                t = h(ic)
+                                ic += 1
+                                opc = pc
+                                pc = (
+                                    opc + 4 if (t is None or t is STOP)
+                                    else t
+                                )
+                                if pc != opc + 4:
+                                    raw[(opc << 32) | pc] += 1
+                                    state["seg"] = pc
+                                if t is STOP:
+                                    stopped = True
+                                    break
+                            if stopped or bad:
+                                break
+                            before = len(traces)
+                            _compile_now(pc)
+                            if len(traces) == before:
+                                rethreshold <<= 1
+                                if rekey is not None:
+                                    _RETRACE_MEMO[rekey] = rethreshold
+                            continue
+                        rethreshold = limit + 1  # cap hit: stop probing
+                    tr = Tg(pc)
+                    if tr is not None:
+                        res = tr[0](ic, limit - tr[1])
+                        if res is not None:
+                            tent += 1
+                            tin += res[1] - ic
+                            pc = res[0]
+                            ic = res[1]
+                            if res[2]:
+                                stopped = True
+                                break
+                            continue
+                    h = Hg(pc)
+                    if h is None:
+                        bad = True
+                        break
+                    t = h(ic)
+                    if t is None:  # sequential, one instruction
+                        ic += 1
+                        off += 1
+                        pc += 4
+                    elif t is STOP:
+                        ic += 1
+                        pc += 4
+                        stopped = True
+                        break
+                    else:  # transfer or fused pair: t is the new pc
+                        k = Lg(pc)
+                        ic += k
+                        off += k
+                        pc = t
+        except Exception:
+            stats.trace_enters += tent
+            stats.trace_instructions += tin
+            if fail[0]:
+                fail[0] = 0
+            else:
+                cells[(pc - TEXT_BASE) >> 2][0] -= 1
+                emu.pc, emu.icount = pc, ic
+            _sync()
+            raise
+        emu.pc, emu.icount = pc, ic
+        stats.trace_enters += tent
+        stats.trace_instructions += tin
+        _sync()
+        if stopped:
+            emu.halted = True
+            return
+        if bad:
+            image.instruction_at(pc)
+            raise AssertionError("unreachable: bad fetch did not raise")
+        emu._run_plain()
+
+    def run_observed():
+        observer = emu.observer
+        observer.on_start(emu)
+        HgF = by_pc.get
+        Lg = len_by_pc.__getitem__
+        Hg = plain_by_pc.get
+        Tg = traces.get
+        STOP = _STOP
+        raw = state["edges"]
+        sample_every = observer.sample_every
+        next_sample = sample_every
+        limit = emu.limit
+        pc = emu.pc
+        ic = emu.icount
+        state["entry"] = pc
+        state["seg"] = pc
+        if not state["compiled"]:
+            _install_memo(emu, "branchreg", state, traces, make_ns)
+        wend = _warmup_budget()
+        stopped = False
+        bad = False
+        sampling = False
+        tent = 0
+        tin = 0
+        try:
+            while True:
+                if ic >= next_sample:
+                    emu.pc, emu.icount = pc, ic
+                    stats.trace_enters += tent
+                    stats.trace_instructions += tin
+                    tent = tin = 0
+                    _sync()
+                    sampling = True
+                    observer.on_sample(emu)
+                    sampling = False
+                    next_sample = ic + sample_every
+                if stopped or bad or ic >= limit:
+                    break
+                if not state["compiled"] and ic >= wend:
+                    _compile_now(pc)
+                boundary = next_sample if next_sample < limit else limit
+                if not state["compiled"]:
+                    wb = boundary if boundary < wend else wend
+                    while ic < wb:  # profiled warm-up
+                        h = Hg(pc)
+                        if h is None:
+                            bad = True
+                            break
+                        t = h(ic)
+                        ic += 1
+                        opc = pc
+                        pc = opc + 4 if (t is None or t is STOP) else t
+                        if pc != opc + 4:
+                            raw[(opc << 32) | pc] += 1
+                            state["seg"] = pc
+                        if t is STOP:
+                            stopped = True
+                            break
+                    continue
+                fused_stop = boundary - (MAX_CHAIN - 1)
+                while ic < fused_stop:  # fused phase with trace probes
+                    tr = Tg(pc)
+                    if tr is not None:
+                        res = tr[0](ic, boundary - tr[1])
+                        if res is not None:
+                            tent += 1
+                            tin += res[1] - ic
+                            pc = res[0]
+                            ic = res[1]
+                            if res[2]:
+                                stopped = True
+                                break
+                            continue
+                    h = HgF(pc)
+                    if h is None:
+                        bad = True
+                        break
+                    t = h(ic)
+                    if t is None:
+                        ic += 1
+                        pc += 4
+                    elif t is STOP:
+                        ic += 1
+                        pc += 4
+                        stopped = True
+                        break
+                    else:
+                        ic += Lg(pc)
+                        pc = t
+                if stopped or bad:
+                    continue
+                while ic < boundary:  # single-step up to the boundary
+                    h = Hg(pc)
+                    if h is None:
+                        bad = True
+                        break
+                    t = h(ic)
+                    ic += 1
+                    if t is None or t is STOP:
+                        pc += 4
+                        if t is STOP:
+                            stopped = True
+                            break
+                    else:
+                        pc = t
+        except Exception:
+            stats.trace_enters += tent
+            stats.trace_instructions += tin
+            if fail[0]:
+                fail[0] = 0
+            else:
+                if not sampling:
+                    cells[(pc - TEXT_BASE) >> 2][0] -= 1
+                emu.pc, emu.icount = pc, ic
+            _sync()
+            raise
+        emu.pc, emu.icount = pc, ic
+        stats.trace_enters += tent
+        stats.trace_instructions += tin
+        _sync()
+        if stopped:
+            emu.halted = True
+            return
+        if bad:
+            image.instruction_at(pc)
+            raise AssertionError("unreachable: bad fetch did not raise")
+        raise emu._limit_error()
+
+    def run():
+        if emu.observer is not None:
+            return run_observed()
+        return run_plain()
+
+    return run
+
+
+def prepare(emulator):
+    """Build the trace-compiling runner for an emulator.
+
+    Returns a zero-argument runner (drop-in for ``_run_plain``) or
+    ``None`` -- with ``emulator.trace_fallback`` explaining why -- when
+    the image or machine state cannot be compiled faithfully.  The
+    eligibility matrix is the fast core's: trace compilation happens
+    lazily after warm-up, so preparation cost is one predecode."""
+    machine = emulator.MACHINE_NAME
+    if machine == "baseline":
+        predecode = _predecode_baseline
+        make = _make_baseline_tracerunner
+    elif machine == "branchreg":
+        predecode = _predecode_branchreg
+        make = _make_branchreg_tracerunner
+    else:
+        emulator.trace_fallback = "unknown machine %r" % (machine,)
+        return None
+    if type(emulator.memory) is not Memory:
+        emulator.trace_fallback = "memory proxied (fault injection)"
+        return None
+    if type(emulator.r) is not list or type(emulator.f) is not list:
+        emulator.trace_fallback = "register file proxied (fault injection)"
+        return None
+    if machine == "branchreg" and (
+        type(emulator.b) is not list
+        or type(emulator.b_set_at) is not list
+        or type(emulator.cmpset_at) is not list
+    ):
+        emulator.trace_fallback = "branch registers proxied (fault injection)"
+        return None
+    try:
+        return make(emulator, *predecode(emulator))
+    except _Unsupported as exc:
+        emulator.trace_fallback = str(exc) or "unsupported instruction"
+        return None
+    except Exception as exc:  # corrupted image shapes, missing operands...
+        emulator.trace_fallback = "predecode failed: %s" % (exc,)
+        return None

@@ -151,8 +151,14 @@ class SuiteInterrupted(ReproError):
 
 
 class EngineDivergence(MachineDivergence):
-    """The fast (predecoded) and reference run loops disagreed on *any*
-    observable for the same image on the same machine: RunStats, final
-    architectural state, or the data segment.  The two engines must be
-    bit-identical by construction; this firing means the fast core (or
-    its fallback matrix) has a bug -- see ``docs/PERFORMANCE.md``."""
+    """A compiled run loop (``fast`` or ``trace``) disagreed with the
+    reference interpreter on *any* observable for the same image on the
+    same machine: RunStats, final architectural state, or the data
+    segment.  The engines must be bit-identical by construction; this
+    firing means the named engine (or its fallback matrix) has a bug --
+    see ``docs/PERFORMANCE.md``.  ``engine`` names the run loop that
+    diverged from the reference."""
+
+    def __init__(self, message, mismatches=None, detail=None, engine=""):
+        self.engine = engine
+        super().__init__(message, mismatches=mismatches, detail=detail)

@@ -13,10 +13,10 @@ that argument executable three ways:
   differing global.
 * :func:`check_workloads` -- the oracle over the Appendix I suite.
 * :func:`fuzz_differential` -- seeded random SmallC programs checked
-  four ways (baseline vs branch-register vs the Python model, plus
-  fast-engine vs reference-engine equivalence on each machine), with
-  automatic delta-debugging of any failing case down to a small
-  reproducer source file.
+  five ways (baseline vs branch-register vs the Python model, plus
+  fast-engine and trace-engine vs reference-engine equivalence on each
+  machine), with automatic delta-debugging of any failing case down to
+  a small reproducer source file.
 """
 
 import os
@@ -203,10 +203,16 @@ def check_workloads(
 
 def _check_generated(stmts, limit):
     """Oracle for one generated program: machines must agree with each
-    other, with the Python model, *and* each machine's fast engine must
-    be bit-identical to its reference engine.  Raises ReproError on
-    failure; an engine divergence minimises to a reproducer exactly like
-    a machine divergence does."""
+    other, with the Python model, *and* each machine's compiled engines
+    (fast and trace) must be bit-identical to its reference engine.
+    Raises ReproError on failure; an engine divergence minimises to a
+    reproducer exactly like a machine divergence does.
+
+    The trace engine's warm-up is lowered for the check (unless the
+    caller already pinned ``REPRO_TRACE_WARMUP``) so generated loops
+    actually reach compiled traces instead of retiring entirely inside
+    the profiled warm-up.
+    """
     from repro.harness.conformance import crosscheck_engines
 
     source = program_source(stmts)
@@ -220,8 +226,16 @@ def _check_generated(stmts, limit):
             mismatches=["model"],
             detail={"expected": expected, "actual": actual},
         )
-    for machine in ("baseline", "branchreg"):
-        crosscheck_engines(source, machine, limit=limit, name="generated")
+    pinned = os.environ.get("REPRO_TRACE_WARMUP")
+    if pinned is None:
+        os.environ["REPRO_TRACE_WARMUP"] = "256"
+    try:
+        for machine in ("baseline", "branchreg"):
+            crosscheck_engines(source, machine, limit=limit,
+                               name="generated")
+    finally:
+        if pinned is None:
+            os.environ.pop("REPRO_TRACE_WARMUP", None)
     return result
 
 

@@ -15,12 +15,17 @@ to the reference interpreter.  Two independent checks back that claim:
   and re-recorded with ``repro golden --update``.
 
 * **Cross-engine check** -- :func:`crosscheck_engines` runs the same
-  image under ``engine="reference"`` and ``engine="fast"`` and compares
-  *all* observable state: RunStats (minus the ``engine`` identity
-  field), the data segment, both register files, the final pc/halt
-  flag, and the machine-specific control state (``npc``/``cc``/``rt``
-  on baseline; ``b``/``b_set_at``/``cmpset_at`` on branch-register).
-  Any difference raises :class:`~repro.errors.EngineDivergence`.
+  image under ``engine="reference"`` and then under every compiled
+  engine (``"fast"`` and ``"trace"``) and compares *all* observable
+  state pairwise against the reference: RunStats (minus the identity
+  and diagnostic fields), the data segment, both register files, the
+  final pc/halt flag, and the machine-specific control state
+  (``npc``/``cc``/``rt`` on baseline; ``b``/``b_set_at``/``cmpset_at``
+  on branch-register).  Any difference raises
+  :class:`~repro.errors.EngineDivergence` naming the engine that
+  diverged.  ``check_goldens`` runs the same pairwise comparison for
+  every checked workload, so ``repro golden --check`` is a
+  three-engine gate.
 
 The trace windows are produced by a *step-driven* reference run that
 mirrors ``BaseEmulator._run_plain`` exactly (same limit check, same
@@ -48,6 +53,8 @@ CONFORMANCE_LIMIT = 20_000_000
 #: are recorded verbatim in each digest.
 WINDOW = 32
 MACHINES = ("baseline", "branchreg")
+#: Compiled engines cross-checked against the reference interpreter.
+COMPILED_ENGINES = ("fast", "trace")
 
 _EMULATORS = {"baseline": BaselineEmulator, "branchreg": BranchRegEmulator}
 
@@ -71,12 +78,17 @@ def _sha256(data):
 
 
 def _stats_digest(stats):
-    """RunStats as a JSON-stable dict, minus the ``engine`` identity
-    field (a digest describes behaviour, not which loop measured it)."""
+    """RunStats as a JSON-stable dict, minus the identity fields
+    (``engine``/``engine_fallback``) and the trace-engine diagnostics
+    (``RunStats.DIAGNOSTIC_FIELDS``): a digest describes behaviour, not
+    which loop measured it or how that loop organised the work."""
     from repro.obs.manifest import stats_to_dict
 
     digest = stats_to_dict(stats)
     digest.pop("engine", None)
+    digest.pop("engine_fallback", None)
+    for key in getattr(stats, "DIAGNOSTIC_FIELDS", ()):
+        digest.pop(key, None)
     return digest
 
 
@@ -188,25 +200,32 @@ def golden_path(golden_dir, name):
 
 def check_goldens(
     golden_dir=None, names=None, update=False, limit=CONFORMANCE_LIMIT,
+    engines=COMPILED_ENGINES,
 ):
     """Check (or re-record) the golden corpus for the named workloads.
 
     With ``update=False`` every workload's fresh reference digest is
-    compared against the recorded one; missing or mismatching records
-    are reported, never rewritten.  With ``update=True`` the fresh
-    digests are written out (sorted keys, stable formatting) so diffs
-    review cleanly.
+    compared against the recorded one -- missing or mismatching records
+    are reported, never rewritten -- and then every engine in
+    ``engines`` is run over the same workload on both machines and
+    pairwise-compared against the reference run
+    (:func:`crosscheck_engines`), so one golden check gates all three
+    run loops.  With ``update=True`` the fresh digests are written out
+    (sorted keys, stable formatting) so diffs review cleanly.
 
     Returns a report dict::
 
-        {"checked": [...], "updated": [...],
+        {"checked": [...], "updated": [...], "engines": [...],
          "failures": [{"workload", "reason", "diffs"}, ...]}
     """
     from repro.harness.runner import resolve_workloads
 
     golden_dir = golden_dir or DEFAULT_GOLDEN_DIR
     selected = resolve_workloads(tuple(names) if names is not None else None)
-    report = {"checked": [], "updated": [], "failures": []}
+    report = {
+        "checked": [], "updated": [],
+        "engines": ["reference"] + list(engines), "failures": [],
+    }
     for wl in selected:
         fresh = golden_digest(wl, limit=limit)
         path = golden_path(golden_dir, wl.name)
@@ -234,9 +253,33 @@ def check_goldens(
                 "golden: %s diverges from its recorded digest: %s",
                 wl.name, ", ".join(diffs[:8]),
             )
-        else:
-            report["checked"].append(wl.name)
+            continue
+        divergence = _check_workload_engines(wl, limit, engines)
+        if divergence is not None:
+            report["failures"].append(divergence)
+            continue
+        report["checked"].append(wl.name)
     return report
+
+
+def _check_workload_engines(wl, limit, engines):
+    """Pairwise-compare every requested engine against the reference on
+    both machines; a failure dict on divergence, else None."""
+    for machine in MACHINES:
+        try:
+            crosscheck_engines(
+                wl.source, machine, stdin=wl.stdin_bytes(), limit=limit,
+                name=wl.name, engines=engines,
+            )
+        except EngineDivergence as exc:
+            log.warning("golden: %s", exc)
+            return {
+                "workload": wl.name,
+                "reason": "engine divergence (%s on %s)"
+                          % (exc.engine, machine),
+                "diffs": list(exc.mismatches),
+            }
+    return None
 
 
 # -- cross-engine equivalence --------------------------------------------------
@@ -299,21 +342,24 @@ def _final_state(image, machine, stdin, limit, name, engine, sample_every=None):
 
 def crosscheck_engines(
     source, machine, stdin=b"", limit=CONFORMANCE_LIMIT, name="",
-    options=None, sample_every=None,
+    options=None, sample_every=None, engines=COMPILED_ENGINES,
 ):
-    """Prove the fast and reference engines agree on one program.
+    """Prove the compiled engines agree with the reference on a program.
 
-    Compiles once, runs the image under the reference loop, resets it,
-    runs it again under the fast loop, and compares the complete
-    observable state of both runs.  Raises
-    :class:`~repro.errors.EngineDivergence` naming every differing
-    channel; otherwise returns a summary dict recording which loop the
-    fast run actually used (``fast_fallback`` explains a reference
-    fallback, e.g. under fault-injection proxies).
+    Compiles once, runs the image under the reference loop, then resets
+    it and runs it again under each compiled engine in ``engines``
+    (``"fast"`` and ``"trace"`` by default), comparing the complete
+    observable state of each run pairwise against the reference run.
+    Raises :class:`~repro.errors.EngineDivergence` naming the diverging
+    engine and every differing channel; otherwise returns a summary
+    dict recording, per engine, which loop actually ran and why it fell
+    back if it did (e.g. under fault-injection proxies).  The legacy
+    top-level ``engine``/``fast_fallback`` keys still describe the
+    ``"fast"`` run when it was requested.
 
-    ``sample_every`` runs both engines with a sampling observer attached
-    and adds the observer's sample/run counts to the compared state --
-    the cross-engine gate for the fast core's observed loop.
+    ``sample_every`` runs every engine with a sampling observer
+    attached and adds the observer's sample/run counts to the compared
+    state -- the cross-engine gate for the compiled observed loops.
     """
     from repro.ease.environment import compile_for_machine
 
@@ -324,34 +370,47 @@ def crosscheck_engines(
         image, machine, stdin, limit, name, "reference",
         sample_every=sample_every,
     )
-    fast, fast_emu = _final_state(
-        image, machine, stdin, limit, name, "fast", sample_every=sample_every
-    )
-    mismatches = sorted(
-        key for key in ref
-        if ref[key] != fast[key]
-    )
-    if mismatches:
-        detail = {}
-        if "stats" in mismatches:
-            detail["stats_keys"] = _diff_digests(ref["stats"], fast["stats"])
-        for key in mismatches:
-            if key not in ("stats", "data"):
-                detail["reference_" + key] = repr(ref[key])
-                detail["fast_" + key] = repr(fast[key])
-        raise EngineDivergence(
-            "engines diverge on %s/%s: %s differ"
-            % (name or "program", machine, ", ".join(mismatches)),
-            mismatches=mismatches,
-            detail=detail,
-        )
-    return {
+    summary = {
         "name": name,
         "machine": machine,
-        "engine": fast_emu.stats.engine,
-        "fast_fallback": fast_emu.fast_fallback,
-        "instructions": fast["icount"],
+        "instructions": ref["icount"],
+        "engines": {},
     }
+    for engine in engines:
+        state, emu = _final_state(
+            image, machine, stdin, limit, name, engine,
+            sample_every=sample_every,
+        )
+        mismatches = sorted(
+            key for key in ref
+            if ref[key] != state[key]
+        )
+        if mismatches:
+            detail = {}
+            if "stats" in mismatches:
+                detail["stats_keys"] = _diff_digests(
+                    ref["stats"], state["stats"]
+                )
+            for key in mismatches:
+                if key not in ("stats", "data"):
+                    detail["reference_" + key] = repr(ref[key])
+                    detail["%s_%s" % (engine, key)] = repr(state[key])
+            raise EngineDivergence(
+                "engine %r diverges from reference on %s/%s: %s differ"
+                % (engine, name or "program", machine,
+                   ", ".join(mismatches)),
+                mismatches=mismatches,
+                detail=detail,
+                engine=engine,
+            )
+        summary["engines"][engine] = {
+            "engine": emu.stats.engine,
+            "fallback": emu.stats.engine_fallback or None,
+        }
+        if engine == "fast":
+            summary["engine"] = emu.stats.engine
+            summary["fast_fallback"] = emu.fast_fallback
+    return summary
 
 
 def crosscheck_workloads(names=None, limit=CONFORMANCE_LIMIT):

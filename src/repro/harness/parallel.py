@@ -318,6 +318,37 @@ class ArtifactCache:
             "harness.artifact_cache_bytes", direction="written"
         ).inc(len(digest) + 1 + len(payload))
 
+    # -- generic blob entries ----------------------------------------------
+
+    def get_blob(self, kind, key):
+        """A picklable blob stored under (kind, key), or None on a miss.
+
+        Blobs share the image entries' on-disk format and therefore the
+        whole robustness story: checksum verification, corrupt-entry
+        detect/delete/rebuild, atomic publication, and the
+        ``harness.artifact_cache`` / ``harness.artifact_cache_bytes``
+        telemetry.  ``kind`` namespaces the entry (e.g. ``"trace"`` for
+        :mod:`repro.emu.tracecore` compiled-trace sources) so blob keys
+        can never alias image keys."""
+        mkey = (kind, key)
+        blob = self._mem.get(mkey)
+        if blob is not None:
+            self._count("hit")
+            return blob
+        blob = self._load(self._path(kind, key))
+        if blob is None:
+            self._count("miss")
+            return None
+        self._count("hit")
+        self._mem[mkey] = blob
+        return blob
+
+    def put_blob(self, kind, key, blob):
+        """Publish a blob under (kind, key); atomic and idempotent."""
+        self._mem[(kind, key)] = blob
+        self._store(self._path(kind, key), blob)
+        return blob
+
 
 # --------------------------------------------------------------------------
 # Worker pool

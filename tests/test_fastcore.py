@@ -81,7 +81,7 @@ class TestEngineResolution:
         assert stats.engine == "reference"
 
     def test_engines_constant(self):
-        assert ENGINES == ("fast", "reference")
+        assert ENGINES == ("fast", "reference", "trace")
 
 
 class TestFallbackMatrix:

@@ -1,0 +1,365 @@
+"""Trace-engine wall: compilation mechanics, the documented fallback
+matrix, exact limit semantics inside compiled traces, artifact-cache
+memoization of trace sources, and a Hypothesis sweep proving
+fuzzer-generated programs behave bit-identically under ``engine="trace"``
+and the reference interpreter.
+
+Functional equivalence on the real workload suite is pinned by
+``tests/test_conformance.py`` (now a three-engine gate); this file pins
+the trace engine's *mechanism* on purpose-built hot loops with the
+warm-up budget lowered so traces actually compile inside a unit test.
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.icache import PrefetchICache
+from repro.ease.environment import compile_for_machine
+from repro.emu import tracecore
+from repro.emu.baseline_emu import BaselineEmulator
+from repro.emu.branchreg_emu import BranchRegEmulator
+from repro.errors import RuntimeLimitExceeded
+from repro.fault.progen import program_source, random_program
+from repro.harness.conformance import crosscheck_engines
+from repro.obs.emuobs import EmulationObserver
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ExecutionProfiler
+
+_EMULATORS = {"baseline": BaselineEmulator, "branchreg": BranchRegEmulator}
+MACHINES = ("baseline", "branchreg")
+
+#: Hot enough that a 64-instruction warm-up sees the back edge many
+#: times, with calls and memory traffic inside the loop body.
+HOT_SOURCE = """
+int total;
+int bump(int x) {
+    return x + 1;
+}
+int main() {
+    int i;
+    i = 0;
+    while (i < 4000) {
+        total = total + i;
+        i = bump(i);
+    }
+    print_int(total);
+    putchar(10);
+    return 0;
+}
+"""
+HOT_OUTPUT = b"7998000\n"
+
+
+@pytest.fixture(scope="module")
+def images():
+    return {m: compile_for_machine(HOT_SOURCE, m) for m in MACHINES}
+
+
+@pytest.fixture(autouse=True)
+def _trace_unit_env(monkeypatch):
+    """Lower the warm-up so unit-sized programs reach compiled traces,
+    and keep unit runs off any persistent artifact cache and the
+    in-process trace memo (tests share compiled images)."""
+    monkeypatch.setenv("REPRO_TRACE_WARMUP", "64")
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")
+    monkeypatch.setattr(tracecore, "HOT_EDGE_MIN", 2)
+    monkeypatch.setattr(tracecore, "_TRACE_MEMO", {})
+    monkeypatch.setattr(tracecore, "_CODE_MEMO", {})
+    monkeypatch.setattr(tracecore, "_MEGA_MEMO", {})
+    monkeypatch.setattr(tracecore, "_RETRACE_MEMO", {})
+
+
+def _run(images, machine, **kwargs):
+    emu = _EMULATORS[machine](images[machine].reset(), **kwargs)
+    stats = emu.run()
+    return emu, stats
+
+
+def _assert_stats_identical(ref, other):
+    """Every measured RunStats field matches; only ``engine`` and the
+    trace diagnostics may differ between run loops."""
+    for f in dataclasses.fields(ref):
+        if f.name == "engine" or f.name in ref.DIAGNOSTIC_FIELDS:
+            continue
+        assert getattr(ref, f.name) == getattr(other, f.name), (
+            "RunStats.%s diverged" % f.name
+        )
+
+
+class TestTraceCompilation:
+    @pytest.mark.parametrize("machine", MACHINES)
+    def test_hot_loop_compiles_and_enters_traces(self, images, machine):
+        emu, stats = _run(images, machine, engine="trace")
+        assert stats.engine == "trace"
+        assert emu.trace_fallback is None
+        assert stats.output == HOT_OUTPUT
+        assert stats.traces_compiled >= 1
+        assert stats.trace_enters >= 1
+        # The loop dominates the run, so most retirement is in-trace.
+        assert stats.trace_instructions > stats.instructions // 2
+
+    @pytest.mark.parametrize("machine", MACHINES)
+    def test_stats_bit_identical_to_reference(self, images, machine):
+        _, ref = _run(images, machine, engine="reference")
+        _, trc = _run(images, machine, engine="trace")
+        _assert_stats_identical(ref, trc)
+
+    @pytest.mark.parametrize("machine", MACHINES)
+    def test_observer_sampling_matches_reference(self, images, machine):
+        """The trace engine services a sampling observer natively, at
+        reference-identical sample boundaries, while still entering
+        compiled traces between samples."""
+        samples = {}
+        for engine in ("reference", "trace"):
+            observer = EmulationObserver(
+                sample_every=97, registry=MetricsRegistry()
+            )
+            emu, stats = _run(
+                images, machine, engine=engine, observer=observer
+            )
+            assert stats.engine == engine
+            samples[engine] = (observer.samples, observer.runs)
+            if engine == "trace":
+                assert stats.trace_enters >= 1
+        assert samples["trace"] == samples["reference"]
+
+    def test_compile_metrics_counted(self, images):
+        from repro.obs import METRICS
+
+        before = METRICS.counter(
+            "emulator.trace_compile", machine="baseline", result="compiled"
+        ).value
+        _, stats = _run(images, "baseline", engine="trace")
+        after = METRICS.counter(
+            "emulator.trace_compile", machine="baseline", result="compiled"
+        ).value
+        assert after - before == stats.traces_compiled >= 1
+
+
+class TestTraceArtifactCache:
+    def test_trace_sources_memoized_and_corruption_recovered(
+        self, images, monkeypatch, tmp_path
+    ):
+        """Compiled trace sources round-trip through the artifact cache
+        (second run hits), and a corrupted entry is detected, deleted,
+        and rebuilt -- reusing ArtifactCache's guard and telemetry."""
+        from repro.obs import METRICS
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(tracecore, "_CACHES", {})
+
+        def compiles(result):
+            return METRICS.counter(
+                "emulator.trace_compile", machine="baseline", result=result
+            ).value
+
+        base_compiled = compiles("compiled")
+        base_cached = compiles("cached")
+        _, first = _run(images, "baseline", engine="trace")
+        assert compiles("compiled") - base_compiled == first.traces_compiled
+        entries = list(tmp_path.glob("trace-*.mpc"))
+        # Every *selected* anchor memoizes its rendered source; only
+        # anchors execution reached get compiled (lazily, on first hit).
+        assert len(entries) >= first.traces_compiled >= 1
+
+        # Fresh cache object (new process simulation): sources are hits.
+        monkeypatch.setattr(tracecore, "_CACHES", {})
+        monkeypatch.setattr(tracecore, "_TRACE_MEMO", {})
+        monkeypatch.setattr(tracecore, "_CODE_MEMO", {})
+        monkeypatch.setattr(tracecore, "_MEGA_MEMO", {})
+        monkeypatch.setattr(tracecore, "_RETRACE_MEMO", {})
+        _, second = _run(images, "baseline", engine="trace")
+        assert compiles("cached") - base_cached == second.traces_compiled
+        _assert_stats_identical(first, second)
+
+        # Corrupt every entry: the guard deletes and recompiles.
+        for entry in entries:
+            entry.write_bytes(b"garbage not a checksummed pickle")
+        monkeypatch.setattr(tracecore, "_CACHES", {})
+        monkeypatch.setattr(tracecore, "_TRACE_MEMO", {})
+        monkeypatch.setattr(tracecore, "_CODE_MEMO", {})
+        monkeypatch.setattr(tracecore, "_MEGA_MEMO", {})
+        monkeypatch.setattr(tracecore, "_RETRACE_MEMO", {})
+        corrupt_before = METRICS.counter(
+            "harness.artifact_cache", result="corrupt"
+        ).value
+        _, third = _run(images, "baseline", engine="trace")
+        assert METRICS.counter(
+            "harness.artifact_cache", result="corrupt"
+        ).value > corrupt_before
+        _assert_stats_identical(first, third)
+        for entry in entries:  # rebuilt with valid contents
+            assert entry.exists()
+        monkeypatch.setattr(tracecore, "_CACHES", {})
+        monkeypatch.setattr(tracecore, "_TRACE_MEMO", {})
+        monkeypatch.setattr(tracecore, "_CODE_MEMO", {})
+        monkeypatch.setattr(tracecore, "_MEGA_MEMO", {})
+        monkeypatch.setattr(tracecore, "_RETRACE_MEMO", {})
+        base_cached = compiles("cached")
+        _, fourth = _run(images, "baseline", engine="trace")
+        assert compiles("cached") - base_cached == fourth.traces_compiled
+
+
+class TestFallbackMatrix:
+    """Every hook the trace engine cannot service degrades the run --
+    through the fast core when only tracing is impossible, to the
+    reference loop when both compiled engines are disqualified -- and
+    stamps the reason on ``emulator.trace_fallback`` (and
+    ``emulator.fast_fallback`` when the fast core refused too).  The
+    sampling observer is the exception: serviced natively, no fallback.
+    """
+
+    @pytest.mark.parametrize("machine", MACHINES)
+    def test_observer_stays_on_trace(self, images, machine):
+        emu, stats = _run(
+            images, machine, engine="trace",
+            observer=EmulationObserver(registry=MetricsRegistry()),
+        )
+        assert stats.engine == "trace"
+        assert emu.trace_fallback is None
+        assert stats.engine_fallback == ""
+
+    @pytest.mark.parametrize("machine", MACHINES)
+    @pytest.mark.parametrize(
+        "hook,reason",
+        [
+            (lambda: {"profiler": ExecutionProfiler()},
+             "profiler attached"),
+            (lambda: {"deadline_s": 60.0},
+             "wall-clock deadline requested"),
+            (lambda: {"record_edges": True},
+             "edge-ring recording requested"),
+            (lambda: {"icache": PrefetchICache(words=64)},
+             "icache model attached"),
+        ],
+        ids=["profiler", "deadline", "edge-ring", "icache"],
+    )
+    def test_per_step_hooks_force_reference(
+        self, images, machine, hook, reason
+    ):
+        emu, stats = _run(images, machine, engine="trace", **hook())
+        assert stats.engine == "reference"
+        assert emu.trace_fallback == reason
+        assert emu.fast_fallback == reason
+        assert stats.engine_fallback == reason
+        assert stats.output == HOT_OUTPUT
+
+    def test_proxied_memory_forces_reference(self, images):
+        from repro.fault.inject import _MisalignedMemory
+
+        emu = BaselineEmulator(images["baseline"].reset(), engine="trace")
+        emu.memory = _MisalignedMemory(emu.memory, trigger=10**9)
+        stats = emu.run()
+        assert stats.engine == "reference"
+        assert emu.trace_fallback == "memory proxied (fault injection)"
+        assert emu.fast_fallback == "memory proxied (fault injection)"
+        assert stats.engine_fallback == "memory proxied (fault injection)"
+        assert stats.output == HOT_OUTPUT
+
+    def test_proxied_branch_regs_force_reference(self, images):
+        class _ProxiedRegs(list):
+            pass
+
+        emu = BranchRegEmulator(images["branchreg"].reset(), engine="trace")
+        emu.b = _ProxiedRegs(emu.b)
+        stats = emu.run()
+        assert stats.engine == "reference"
+        assert emu.trace_fallback == (
+            "branch registers proxied (fault injection)"
+        )
+        assert stats.engine_fallback == (
+            "branch registers proxied (fault injection)"
+        )
+
+    @pytest.mark.parametrize("machine", MACHINES)
+    def test_trace_degrades_to_fast_when_compile_yields_nothing(
+        self, images, machine, monkeypatch
+    ):
+        """A warm-up that never fires (budget above the whole run) means
+        no traces exist -- the run must still complete on the trace
+        engine's off-trace (fused) dispatch with identical results."""
+        monkeypatch.setenv("REPRO_TRACE_WARMUP", "100000000")
+        _, ref = _run(images, machine, engine="reference")
+        emu, trc = _run(images, machine, engine="trace")
+        assert trc.engine == "trace"
+        assert trc.traces_compiled == 0
+        assert trc.trace_enters == 0
+        _assert_stats_identical(ref, trc)
+
+
+class TestLimitBoundaries:
+    """The instruction budget must bite at the *exact* reference
+    instruction even when it lands inside a compiled trace: the fuel
+    guard side-exits at the last complete iteration and hands the tail
+    to the off-trace loops (the 1..255 sweep crosses the warm-up edge,
+    trace entry, and every side-exit boundary of the hot loop)."""
+
+    @pytest.mark.parametrize("machine", MACHINES)
+    def test_limit_parity_sweep(self, images, machine):
+        image = images[machine]
+        traced_limits = 0
+        for limit in list(range(1, 256)) + [997, 4001]:
+            outcomes = {}
+            for engine in ("reference", "trace"):
+                emu = _EMULATORS[machine](
+                    image.reset(), limit=limit, engine=engine
+                )
+                try:
+                    emu.run()
+                    outcomes[engine] = ("halted", emu.pc, emu.icount)
+                except RuntimeLimitExceeded as exc:
+                    outcomes[engine] = ("limit", exc.pc, exc.icount)
+                assert emu.icount <= limit
+                if engine == "trace" and emu.stats.trace_enters:
+                    traced_limits += 1
+            assert outcomes["trace"] == outcomes["reference"], (
+                "limit=%d diverged on %s: %r" % (limit, machine, outcomes)
+            )
+        # The sweep must actually exercise limits landing mid-trace.
+        assert traced_limits > 50
+
+    @pytest.mark.parametrize("machine", MACHINES)
+    def test_full_state_parity_under_limits(self, images, machine):
+        """Beyond icount/pc: the complete architectural state at a
+        mid-trace limit matches the reference (crosscheck_engines runs
+        the pairwise full-state comparison)."""
+        for limit in (80, 129, 200):
+            crosscheck_engines(
+                HOT_SOURCE, machine, limit=limit, name="hot-limit",
+                engines=("trace",),
+            )
+
+
+class TestFuzzedPrograms:
+    """Hypothesis wall: seeded fuzzer-generated programs, wrapped in a
+    hot outer loop so the trace engine compiles their bodies, must be
+    bit-identical to the reference on every observable -- including
+    under random instruction limits that land inside compiled traces."""
+
+    @settings(
+        max_examples=12, deadline=None,
+        suppress_health_check=list(HealthCheck),
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        limit=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=255)
+        ),
+    )
+    def test_generated_program_trace_equals_reference(self, seed, limit):
+        import os
+
+        os.environ["REPRO_TRACE_WARMUP"] = "24"
+        rng = random.Random(seed)
+        stmts = [("loop", 5, [("loop", 5, random_program(rng, depth=2))])]
+        source = program_source(stmts)
+        for machine in MACHINES:
+            crosscheck_engines(
+                source, machine, name="hypo-%d" % seed,
+                limit=limit if limit is not None else 2_000_000,
+                engines=("trace",),
+            )
